@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper-artifact benchmarks (one per table/figure) run the experiment
+harness at a reduced corpus scale so the whole suite finishes in minutes;
+``python -m repro.experiments.runner --paper-scale`` regenerates the
+full-scale numbers.  The expensive 25-task × 4-tool comparison sweep is
+shared by the Figure 12 / Table 2 / Table 6 benchmarks via a session
+fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, fig12
+
+#: Reduced scale used by all artifact benchmarks.
+BENCH_CONFIG = ExperimentConfig(n_pages=8, n_train=2, ensemble_size=30)
+
+
+@pytest.fixture(scope="session")
+def comparison_results():
+    """The shared fig12/table2/table6 sweep (all 25 tasks, 4 tools)."""
+    return fig12.run(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG

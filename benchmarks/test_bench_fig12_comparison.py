@@ -1,0 +1,48 @@
+"""Benchmark E1 — Figure 12: WebQA vs BERTQA / HYB / EntExtract.
+
+Regenerates the headline comparison (average P/R/F1 over all 25 tasks)
+and asserts the paper's shape: WebQA wins every aggregate metric.
+"""
+
+from repro.experiments import fig12
+
+from conftest import BENCH_CONFIG
+
+
+def test_bench_fig12_comparison(benchmark, comparison_results):
+    def summarize():
+        return fig12.summarize(comparison_results)
+
+    scores = benchmark(summarize)
+    print()
+    print(fig12.render(comparison_results))
+
+    webqa = scores["WebQA"]
+    for baseline in ("BERTQA", "HYB", "EntExtract"):
+        assert webqa.f1 > scores[baseline].f1, f"WebQA must beat {baseline} on F1"
+        assert webqa.recall > scores[baseline].recall
+    # Figure 12's secondary observation: recall is where BERTQA loses.
+    assert webqa.recall - scores["BERTQA"].recall > 0.1
+
+
+def test_bench_fig12_single_task_fit(benchmark):
+    """Wall-clock of one full WebQA fit (synthesis + selection)."""
+    from repro.core import WebQA
+    from repro.dataset import TASKS_BY_ID
+    from repro.experiments import dataset_for
+
+    dataset = dataset_for(TASKS_BY_ID["clinic_t1"], BENCH_CONFIG)
+
+    def fit():
+        tool = WebQA(ensemble_size=BENCH_CONFIG.ensemble_size)
+        tool.fit(
+            dataset.task.question,
+            dataset.task.keywords,
+            list(dataset.train),
+            list(dataset.test_pages),
+            dataset.models,
+        )
+        return tool.report.train_f1
+
+    f1 = benchmark.pedantic(fit, rounds=1, iterations=1, warmup_rounds=0)
+    assert f1 > 0.5

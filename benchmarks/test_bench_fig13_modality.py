@@ -1,0 +1,29 @@
+"""Benchmark E5 — Figure 13: input-modality ablation (NL / KW / both).
+
+Shape target: full WebQA's per-domain F1 is at least that of each
+single-modality variant (small tolerance for bench-scale noise).
+"""
+
+from repro.experiments import fig13
+
+from conftest import BENCH_CONFIG
+
+DOMAINS = ("faculty", "clinic")
+
+
+def test_bench_fig13_modality(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig13.run(BENCH_CONFIG, domains=DOMAINS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(fig13.render(results))
+
+    series = fig13.summarize(results)
+    for i, _ in enumerate(DOMAINS):
+        assert series["WebQA"][i] >= series["WebQA-NL"][i] - 0.1
+        assert series["WebQA"][i] >= series["WebQA-KW"][i] - 0.1
+    # Dropping both-modality synergy hurts somewhere: at least one domain
+    # shows a real gap for the question-only variant.
+    gaps = [series["WebQA"][i] - series["WebQA-NL"][i] for i in range(len(DOMAINS))]
+    assert max(gaps) > 0.0

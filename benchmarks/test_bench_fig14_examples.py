@@ -1,0 +1,26 @@
+"""Benchmark E6 — Figure 14: F1 vs number of labeled examples.
+
+Shape target: per-task F1 series over example counts exist for all six
+conference tasks; F1 with the most labels is, for most tasks, at least
+F1 with a single label (sensitivity is task-dependent, per Appendix C.2).
+"""
+
+from repro.experiments import fig14
+
+from conftest import BENCH_CONFIG
+
+COUNTS = (1, 3)
+
+
+def test_bench_fig14_examples(benchmark):
+    series = benchmark.pedantic(
+        lambda: fig14.run(BENCH_CONFIG, example_counts=COUNTS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(fig14.render(series, COUNTS))
+
+    assert len(series) == 6
+    non_decreasing = sum(1 for f1s in series.values() if f1s[-1] >= f1s[0] - 0.05)
+    # More labels help (or do not hurt) for most tasks.
+    assert non_decreasing >= 4

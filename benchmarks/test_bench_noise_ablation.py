@@ -1,0 +1,30 @@
+"""Extension benchmark: robustness of WebQA to neural-module error.
+
+Shape target: clean models score best, mild noise (5-10% predicate
+flips) costs little, heavy noise costs more — decay, not collapse.
+"""
+
+from repro.experiments import noise
+
+from conftest import BENCH_CONFIG
+
+RATES = (0.0, 0.1, 0.4)
+TASKS = ("clinic_t1",)
+
+
+def test_bench_noise_ablation(benchmark):
+    series = benchmark.pedantic(
+        lambda: noise.run(BENCH_CONFIG, task_ids=TASKS, error_rates=RATES),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(noise.render(series, RATES))
+
+    for f1s in series.values():
+        clean, mild, heavy = f1s
+        assert clean > 0.5
+        # Mild noise: graceful degradation (allow small improvements from
+        # lucky flips at bench scale).
+        assert mild >= clean - 0.35
+        # Heavy noise must not *beat* the clean system.
+        assert heavy <= clean + 0.05

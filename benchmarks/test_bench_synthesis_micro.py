@@ -1,0 +1,127 @@
+"""Synthesis-engine microbenchmarks: the hot paths behind Table 3.
+
+These are classic pytest-benchmark timings (many rounds) of the
+individual components: HTML parsing, tree building, the three neural
+primitives, DSL evaluation, guard enumeration and extractor synthesis.
+"""
+
+from repro.dataset import generate_page
+from repro.dsl import EvalContext, ast
+from repro.html import parse_html
+from repro.nlp import NlpModels
+from repro.synthesis import (
+    LabeledExample,
+    TaskContexts,
+    synthesize,
+    synthesize_branch,
+)
+from repro.synthesis.config import SynthesisConfig
+from repro.dsl.productions import ProductionConfig
+from repro.webtree import build_tree
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+PAGE_HTML = generate_page("faculty", 11).html
+PAGE = generate_page("faculty", 11).page
+GOLD = generate_page("faculty", 11).gold["fac_t1"]
+
+SMALL = SynthesisConfig(
+    productions=ProductionConfig(
+        keyword_thresholds=(0.7,),
+        entity_labels=("PERSON", "ORG", "DATE"),
+        use_negation=False,
+        use_subtree_text=False,
+    ),
+    guard_depth=3,
+    extractor_depth=3,
+    max_branches=1,
+)
+
+
+def test_bench_parse_html(benchmark):
+    doc = benchmark(parse_html, PAGE_HTML)
+    assert doc.body is not None
+
+
+def test_bench_build_tree(benchmark):
+    doc = parse_html(PAGE_HTML)
+    page = benchmark(build_tree, doc)
+    assert page.size() > 3
+
+
+def test_bench_keyword_similarity(benchmark):
+    matcher = NlpModels().keywords  # fresh: no memoized results
+
+    def score():
+        return matcher.similarity("Professional Service and Activities", "PC")
+
+    value = benchmark(score)
+    assert 0.0 <= value <= 1.0
+
+
+def test_bench_ner_extraction(benchmark):
+    from repro.nlp.ner import extract_entities
+
+    text = PAGE.root.subtree_text()[:500]
+    spans = benchmark(extract_entities, text)
+    assert isinstance(spans, list)
+
+
+def test_bench_qa_answer(benchmark):
+    model = NlpModels().qa
+    passage = PAGE.root.subtree_text()[:800]
+
+    def answer():
+        model._cache.clear()
+        return model.answer(QUESTION, passage)
+
+    benchmark(answer)
+
+
+def test_bench_eval_locator(benchmark):
+    locator = ast.GetDescendants(
+        ast.GetRoot(), ast.MatchText(ast.MatchKeyword(0.7), False)
+    )
+
+    def run():
+        ctx = EvalContext(PAGE, QUESTION, KEYWORDS, MODELS)
+        return ctx.eval_locator(locator)
+
+    benchmark(run)
+
+
+def test_bench_eval_extractor(benchmark):
+    ctx = EvalContext(PAGE, QUESTION, KEYWORDS, MODELS)
+    nodes = ctx.eval_locator(ast.get_leaves(ast.GetRoot()))
+    extractor = ast.Filter(
+        ast.Split(ast.ExtractContent(), ","), ast.HasEntity("PERSON")
+    )
+
+    def run():
+        fresh = EvalContext(PAGE, QUESTION, KEYWORDS, MODELS)
+        return fresh.eval_extractor(extractor, nodes)
+
+    benchmark(run)
+
+
+def test_bench_branch_synthesis(benchmark):
+    def run():
+        contexts = TaskContexts(QUESTION, KEYWORDS, MODELS)
+        return synthesize_branch(
+            [LabeledExample(PAGE, GOLD)], [], contexts, SMALL
+        )
+
+    space = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert space.f1 > 0
+
+
+def test_bench_full_synthesis(benchmark):
+    examples = [LabeledExample(PAGE, GOLD)]
+
+    def run():
+        return synthesize(examples, QUESTION, KEYWORDS, MODELS, SMALL)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert result.f1 > 0

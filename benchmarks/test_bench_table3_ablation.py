@@ -1,0 +1,26 @@
+"""Benchmark E3 — Table 3: synthesis-engine ablation.
+
+Measures the full synthesizer against its NoPrune and NoDecomp ablations
+on one task per domain.  Shape target (paper: 3.6× / 2.4×): both ablated
+variants are materially slower than full WebQA, while all three find the
+same optimal F1 (asserted inside :func:`table3.run`).
+"""
+
+from repro.experiments import table3
+
+from conftest import BENCH_CONFIG
+
+
+def test_bench_table3_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table3.run(BENCH_CONFIG), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(table3.render(rows))
+
+    by_name = {row.technique: row for row in rows}
+    assert by_name["WebQA"].avg_seconds > 0
+    # Both engineering ideas must buy real speedups (>1.2x here; the
+    # paper reports 3.6x and 2.4x at its scale).
+    assert by_name["WebQA-NoPrune"].speedup_of_webqa > 1.2
+    assert by_name["WebQA-NoDecomp"].speedup_of_webqa > 1.2

@@ -1,0 +1,34 @@
+"""Benchmark E2b — Table 6: per-task breakdown for all four tools.
+
+Checks the task-level texture the paper reports, including its own
+failure analysis: WebQA wins most tasks but is *not* required to beat
+BERTQA on the two QA-flavoured conference tasks (conf_t4 deadlines,
+conf_t5 double-blind) — Section 8.1 "Failure analysis for WebQA".
+"""
+
+from repro.dataset.tasks import TASKS
+from repro.experiments import table6
+
+
+def test_bench_table6_tasks(benchmark, comparison_results):
+    by_key = benchmark(
+        lambda: {(r.task_id, r.tool): r.score for r in comparison_results}
+    )
+    print()
+    print(table6.render(comparison_results))
+
+    qa_flavoured = {"conf_t4", "conf_t5"}
+    webqa_wins = 0
+    for task in TASKS:
+        webqa = by_key[(task.task_id, "WebQA")]
+        bert = by_key[(task.task_id, "BERTQA")]
+        if webqa.f1 >= bert.f1:
+            webqa_wins += 1
+        elif task.task_id not in qa_flavoured:
+            # Allow isolated upsets at bench scale, but not many (checked
+            # in aggregate below).
+            pass
+    assert webqa_wins >= 20, f"WebQA won only {webqa_wins}/25 tasks vs BERTQA"
+
+    # Every task got scored by every tool.
+    assert len(by_key) == len(TASKS) * 4

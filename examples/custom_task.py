@@ -1,0 +1,73 @@
+"""Defining a brand-new extraction task on your own HTML.
+
+WebQA is not tied to the paper's 25 tasks: any (question, keywords,
+labeled pages) triple defines a task.  Here we invent one — extracting
+*office hours* from course pages — write the pages inline, and train an
+extractor on two of them.
+
+Run:  python examples/custom_task.py
+"""
+
+from repro import LabeledExample, NlpModels, WebQA, page_from_html
+
+COURSE_A = page_from_html(
+    """
+    <h1>CS 389: Compilers</h1>
+    <h2>Staff</h2><p>Instructor: Mary Anderson</p>
+    <h2>Office Hours</h2>
+    <ul><li>Tuesday 2:00 pm - 3:00 pm</li><li>Friday 10:00 am - 11:00 am</li></ul>
+    <h2>Grading</h2><p>Homework: 40%, Exams: 60%</p>
+    """,
+    url="course-a",
+)
+
+COURSE_B = page_from_html(
+    """
+    <h1>CS 101</h1>
+    <h2>When to find us</h2>
+    <p><b>Office hours</b></p>
+    <p>Monday 9:00 am - 10:00 am</p>
+    <p>Thursday 4:00 pm - 5:00 pm</p>
+    <h2>Exams</h2><p>Midterm: October 12, 2021</p>
+    """,
+    url="course-b",
+)
+
+COURSE_C = page_from_html(
+    """
+    <h1>CS 240: Databases</h1>
+    <h2>Logistics</h2>
+    <p><b>Drop-in hours</b></p>
+    <ul><li>Wednesday 1:30 pm - 2:30 pm</li></ul>
+    <h2>Textbook</h2><p>Databases: Principles and Practice by Jack Nguyen</p>
+    """,
+    url="course-c",
+)
+
+
+def main() -> None:
+    tool = WebQA(ensemble_size=150)
+    tool.fit(
+        question="When are the office hours?",
+        keywords=("Office Hours", "Drop-in Hours"),
+        train=[
+            LabeledExample(
+                COURSE_A,
+                ("Tuesday 2:00 pm - 3:00 pm", "Friday 10:00 am - 11:00 am"),
+            ),
+            LabeledExample(
+                COURSE_B,
+                ("Monday 9:00 am - 10:00 am", "Thursday 4:00 pm - 5:00 pm"),
+            ),
+        ],
+        unlabeled=[COURSE_C],
+        models=NlpModels(),
+    )
+    print(tool.explain())
+    print()
+    print("Office hours on the unseen page (different section name!):")
+    print("  ", tool.predict(COURSE_C))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Web Question Answering with Neurosymbolic
+Program Synthesis" (Chen et al., PLDI 2021, arXiv:2104.07162).
+
+Quickstart::
+
+    from repro import WebQA, LabeledExample
+    from repro.webtree import page_from_html
+    from repro.nlp import NlpModels
+
+    page = page_from_html(open("prof.html").read())
+    tool = WebQA().fit(
+        question="Who are the current PhD students?",
+        keywords=("Current Students", "PhD"),
+        train=[LabeledExample(page, ("Robert Smith", "Mary Anderson"))],
+        unlabeled=other_pages,
+        models=NlpModels(),
+    )
+    tool.predict(other_pages[0])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core.webqa import WebQA
+from .nlp.models import NlpModels
+from .synthesis.examples import LabeledExample
+from .synthesis.top import synthesize
+from .webtree.builder import page_from_html
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WebQA",
+    "NlpModels",
+    "LabeledExample",
+    "synthesize",
+    "page_from_html",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Comparison baselines of the paper's evaluation (Section 8.1)."""
+
+from .base import ExtractionTool
+from .bertqa import BertQaBaseline, flatten_page
+from .entextract import EntExtractBaseline, candidate_groups
+from .hyb import WILDCARD, HybBaseline, PathProgram, generalize
+
+__all__ = [
+    "ExtractionTool",
+    "BertQaBaseline",
+    "flatten_page",
+    "EntExtractBaseline",
+    "candidate_groups",
+    "HybBaseline",
+    "PathProgram",
+    "generalize",
+    "WILDCARD",
+]

@@ -1,0 +1,42 @@
+"""Common interface for the comparison baselines (paper Section 8.1).
+
+Every tool — WebQA itself and the three baselines — is exposed through
+the same two-phase protocol so the experiment harness can treat them
+uniformly: ``fit`` on the (question, keywords, labeled pages) inputs the
+tool consumes, then ``predict`` per test page.  Baselines that take fewer
+inputs than WebQA simply ignore the extras, mirroring the paper's remark
+that the comparison is not perfectly apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..nlp.models import NlpModels
+from ..synthesis.examples import LabeledExample
+from ..webtree.node import WebPage
+
+
+class ExtractionTool(abc.ABC):
+    """A tool that can answer one web-extraction task over many pages."""
+
+    #: Display name used in experiment tables.
+    name: str = "tool"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "ExtractionTool":
+        """Prepare the tool for a task; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, page: WebPage) -> tuple[str, ...]:
+        """Answer strings extracted from one page."""
+
+    def predict_all(self, pages: list[WebPage]) -> list[tuple[str, ...]]:
+        return [self.predict(page) for page in pages]

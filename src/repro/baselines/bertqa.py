@@ -1,0 +1,56 @@
+"""The BERTQA baseline (paper Section 8.1).
+
+"A state-of-the-art textual question answering system that takes as input
+an entire webpage and a question and outputs the answer."  The webpage is
+flattened to raw text — deliberately discarding the tree structure — and
+the QA model returns its single best span.  Per the paper's footnote 10,
+the labeled examples are ignored (fine-tuning made the real system
+worse), which this reproduction mirrors by making ``fit`` a no-op on the
+training data.
+"""
+
+from __future__ import annotations
+
+from ..nlp.models import NlpModels
+from ..synthesis.examples import LabeledExample
+from ..webtree.node import WebPage
+from .base import ExtractionTool
+
+
+def flatten_page(page: WebPage) -> str:
+    """The rendered page as one text blob, one node per line.
+
+    This is what "treating the webpage as a raw sequence of words"
+    (Section 1) means operationally: all nesting information is gone.
+    """
+    return "\n".join(n.text for n in page.nodes() if n.text)
+
+
+class BertQaBaseline(ExtractionTool):
+    """Single-span extractive QA over the flattened page."""
+
+    name = "BERTQA"
+
+    def __init__(self) -> None:
+        self._question = ""
+        self._models: NlpModels | None = None
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "BertQaBaseline":
+        self._question = question
+        self._models = models
+        return self
+
+    def predict(self, page: WebPage) -> tuple[str, ...]:
+        assert self._models is not None, "fit must be called before predict"
+        text = flatten_page(page)
+        answer = self._models.qa.answer(self._question, text)
+        if answer is None or answer.score < self._models.qa.threshold:
+            return ()
+        return (answer.text,)

@@ -1,0 +1,72 @@
+"""The EntExtract baseline — zero-shot entity-list extraction.
+
+Models Pasupat & Liang (2014): given only a natural-language query, find
+the structural group of page elements most likely to be the queried list.
+Candidate groups are sibling sets under a common parent (the paper's
+XPath-cluster analogue); each group is scored by lexical similarity of
+its *header* to the query.  No labeled examples are used.
+
+The reproduced failure mode matches the paper's analysis: the tool picks
+a plausible-looking structured list, but with no examples to anchor it,
+the list is often the wrong one (publications instead of students), and
+there is no sub-node string processing.
+"""
+
+from __future__ import annotations
+
+from ..nlp.models import NlpModels
+from ..nlp.qa import question_content_words
+from ..synthesis.examples import LabeledExample
+from ..webtree.node import PageNode, WebPage
+from .base import ExtractionTool
+
+
+def candidate_groups(page: WebPage) -> list[tuple[PageNode, list[PageNode]]]:
+    """(header node, member nodes) for every sibling group of size ≥ 2."""
+    groups: list[tuple[PageNode, list[PageNode]]] = []
+    for node in page.nodes():
+        members = [c for c in node.children if c.is_leaf() and c.text]
+        if len(members) >= 2:
+            groups.append((node, members))
+    return groups
+
+
+class EntExtractBaseline(ExtractionTool):
+    """Query-driven zero-shot list extraction."""
+
+    name = "EntExtract"
+
+    def __init__(self) -> None:
+        self._query_words: tuple[str, ...] = ()
+        self._models: NlpModels | None = None
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "EntExtractBaseline":
+        # Zero-shot: only the natural language query is consumed.
+        self._query_words = tuple(question_content_words(question)) or (question,)
+        self._models = models
+        return self
+
+    def predict(self, page: WebPage) -> tuple[str, ...]:
+        assert self._models is not None, "fit must be called before predict"
+        groups = candidate_groups(page)
+        if not groups:
+            return ()
+        best_members: list[PageNode] = []
+        best_score = -1.0
+        for header, members in groups:
+            header_text = header.text or ""
+            score = self._models.keyword_similarity(header_text, self._query_words)
+            # Mild preference for larger groups: queried lists tend to be
+            # the page's substantive enumerations.
+            score += min(len(members), 10) * 0.01
+            if score > best_score:
+                best_score = score
+                best_members = members
+        return tuple(m.text for m in best_members)

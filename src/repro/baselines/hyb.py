@@ -1,0 +1,132 @@
+"""The HYB baseline — wrapper induction by example (paper Section 8.1).
+
+Models Raza & Gulwani's hybrid web-data-extraction synthesizer at the
+level that matters for the comparison: it learns *structural path*
+programs (XPath-analogues over the webpage tree) that must reproduce the
+provided labels **exactly**.  Its two failure modes on heterogeneous
+pages are the ones the paper reports:
+
+* a gold string that is not exactly the text of some tree node cannot be
+  expressed at all (no sub-node string processing), and
+* paths learned on the training pages rarely generalize when section
+  order, nesting depth, or list encodings differ across pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.models import NlpModels
+from ..synthesis.examples import LabeledExample
+from ..webtree.node import PageNode, WebPage
+from ..webtree.paths import node_path
+from .base import ExtractionTool
+
+#: Wildcard child index ("any position among siblings").
+WILDCARD = -1
+
+
+@dataclass(frozen=True)
+class PathProgram:
+    """A generalized child-index path; ``WILDCARD`` steps match any child."""
+
+    steps: tuple[int, ...]
+
+    def run(self, page: WebPage) -> list[PageNode]:
+        frontier = [page.root]
+        for step in self.steps:
+            next_frontier: list[PageNode] = []
+            for node in frontier:
+                if step == WILDCARD:
+                    next_frontier.extend(node.children)
+                elif 0 <= step < len(node.children):
+                    next_frontier.append(node.children[step])
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+
+def generalize(paths: list[tuple[int, ...]]) -> PathProgram | None:
+    """Least-general path covering all examples, or None if lengths differ.
+
+    >>> generalize([(0, 1), (0, 2)]).steps
+    (0, -1)
+    """
+    if not paths:
+        return None
+    length = len(paths[0])
+    if any(len(p) != length for p in paths):
+        return None
+    steps = tuple(
+        paths[0][i] if all(p[i] == paths[0][i] for p in paths) else WILDCARD
+        for i in range(length)
+    )
+    return PathProgram(steps)
+
+
+class HybBaseline(ExtractionTool):
+    """Exact-match structural-path wrapper induction."""
+
+    name = "HYB"
+
+    def __init__(self) -> None:
+        self._programs: tuple[PathProgram, ...] = ()
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "HybBaseline":
+        # 1. Locate each gold string as an exact node text on its page.
+        per_page_paths: list[list[tuple[int, ...]]] = []
+        for example in train:
+            if not example.gold:
+                continue
+            paths: list[tuple[int, ...]] = []
+            text_to_node = {n.text: n for n in example.page.nodes()}
+            for gold in example.gold:
+                node = text_to_node.get(gold)
+                if node is None:
+                    # Exact-match induction cannot express this label.
+                    paths = []
+                    break
+                paths.append(node_path(node))
+            if paths:
+                per_page_paths.append(paths)
+        if not per_page_paths:
+            self._programs = ()
+            return self
+        # 2. Generalize within each page (one program covering all labels),
+        #    then across pages (programs must agree after generalization).
+        page_programs: list[PathProgram] = []
+        for paths in per_page_paths:
+            program = generalize(paths)
+            if program is None:
+                self._programs = ()
+                return self
+            page_programs.append(program)
+        merged = generalize([p.steps for p in page_programs])
+        # WILDCARD steps survive cross-page generalization as wildcards.
+        if merged is None:
+            self._programs = ()
+            return self
+        steps = tuple(
+            WILDCARD
+            if any(p.steps[i] == WILDCARD for p in page_programs)
+            else merged.steps[i]
+            for i in range(len(merged.steps))
+        )
+        self._programs = (PathProgram(steps),)
+        return self
+
+    def predict(self, page: WebPage) -> tuple[str, ...]:
+        answers: list[str] = []
+        for program in self._programs:
+            for node in program.run(page):
+                if node.text and node.text not in answers:
+                    answers.append(node.text)
+        return tuple(answers)

@@ -1,0 +1,128 @@
+"""Command-line interface: fit an extractor, save it, run it on pages.
+
+Fit a program from labeled HTML files and save it::
+
+    python -m repro.cli fit \
+        --question "Who are the current PhD students?" \
+        --keyword "Current Students" --keyword "PhD" \
+        --label jane.html "Robert Smith;Mary Anderson" \
+        --label john.html "Sarah Brown" \
+        --unlabeled-dir pages/ \
+        --out program.json
+
+Run a saved program on more pages::
+
+    python -m repro.cli extract --program program.json \
+        --question "Who are the current PhD students?" \
+        --keyword "Current Students" --keyword "PhD" \
+        pages/*.html
+
+Answers are printed one page per line as tab-separated values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import sys
+
+from .core.webqa import WebQA
+from .dsl.eval import run_program
+from .dsl.pretty import pretty_program
+from .dsl.serialize import load_program, save_program
+from .nlp.models import NlpModels
+from .synthesis.examples import LabeledExample
+from .webtree.builder import page_from_html
+from .webtree.node import WebPage
+
+
+def _load_page(path: str) -> WebPage:
+    with open(path, "r", encoding="utf-8") as handle:
+        return page_from_html(handle.read(), url=path)
+
+
+def _split_labels(raw: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(";") if part.strip())
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    train = [
+        LabeledExample(_load_page(path), _split_labels(labels))
+        for path, labels in args.label
+    ]
+    unlabeled: list[WebPage] = []
+    if args.unlabeled_dir:
+        for path in sorted(glob.glob(f"{args.unlabeled_dir}/*.html")):
+            unlabeled.append(_load_page(path))
+    models = NlpModels.for_corpus(
+        [e.page.root.subtree_text() for e in train]
+        + [p.root.subtree_text() for p in unlabeled]
+    )
+    tool = WebQA(ensemble_size=args.ensemble)
+    tool.fit(args.question, tuple(args.keyword), train, unlabeled, models)
+    save_program(tool.program, args.out)
+    print(f"training F1: {tool.report.train_f1:.3f}")
+    print(f"optimal programs: {tool.report.optimal_count}")
+    print(f"saved: {args.out}")
+    print(pretty_program(tool.program))
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pages = [_load_page(path) for path in args.pages]
+    models = NlpModels.for_corpus([p.root.subtree_text() for p in pages])
+    for page in pages:
+        answers = run_program(
+            program, page, args.question, tuple(args.keyword), models
+        )
+        print(f"{page.url}\t" + "\t".join(answers))
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(pretty_program(load_program(args.program)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit", help="synthesize and save an extractor")
+    fit.add_argument("--question", required=True)
+    fit.add_argument("--keyword", action="append", default=[],
+                     help="repeatable; the keyword set K")
+    fit.add_argument(
+        "--label", nargs=2, action="append", metavar=("HTML", "ANSWERS"),
+        required=True,
+        help="a labeled page: path and ';'-separated gold answers",
+    )
+    fit.add_argument("--unlabeled-dir", default=None,
+                     help="directory of unlabeled .html pages for selection")
+    fit.add_argument("--ensemble", type=int, default=300)
+    fit.add_argument("--out", required=True, help="output program JSON path")
+    fit.set_defaults(func=cmd_fit)
+
+    extract = sub.add_parser("extract", help="run a saved extractor on pages")
+    extract.add_argument("--program", required=True)
+    extract.add_argument("--question", required=True)
+    extract.add_argument("--keyword", action="append", default=[])
+    extract.add_argument("pages", nargs="+", help=".html files to extract from")
+    extract.set_defaults(func=cmd_extract)
+
+    show = sub.add_parser("show", help="pretty-print a saved program")
+    show.add_argument("--program", required=True)
+    show.set_defaults(func=cmd_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""End-to-end WebQA system and its ablated variants."""
+
+from .ablations import (
+    WebQAKwOnly,
+    WebQANlOnly,
+    WebQANoDecomp,
+    WebQANoPrune,
+    webqa_random_selection,
+    webqa_shortest_selection,
+)
+from .results import DomainSummary, TaskResult, overall_scores, summarize_by_domain
+from .webqa import SELECTION_STRATEGIES, FitReport, WebQA
+
+__all__ = [
+    "WebQA",
+    "FitReport",
+    "SELECTION_STRATEGIES",
+    "WebQAKwOnly",
+    "WebQANlOnly",
+    "WebQANoDecomp",
+    "WebQANoPrune",
+    "webqa_random_selection",
+    "webqa_shortest_selection",
+    "DomainSummary",
+    "TaskResult",
+    "overall_scores",
+    "summarize_by_domain",
+]

@@ -1,0 +1,84 @@
+"""Ablated WebQA variants used across the paper's studies.
+
+* Section 8.2 (Table 3): ``WebQA-NoPrune`` / ``WebQA-NoDecomp`` —
+  synthesis-engine ablations; same programs, slower search.
+* Section 8.3 (Table 4): random / shortest program selection.
+* Appendix C.1 (Figure 13): ``WebQA-NL`` (question only) and
+  ``WebQA-KW`` (keywords only) — input-modality ablations.
+"""
+
+from __future__ import annotations
+
+from ..nlp.models import NlpModels
+from ..synthesis.config import SynthesisConfig, no_decomp, no_prune
+from ..synthesis.examples import LabeledExample
+from ..webtree.node import WebPage
+from .webqa import WebQA
+
+
+class WebQANoPrune(WebQA):
+    """WebQA without the F1 upper-bound pruning (Table 3)."""
+
+    name = "WebQA-NoPrune"
+
+    def __init__(self, config: SynthesisConfig | None = None, **kwargs: object) -> None:
+        base = config or SynthesisConfig()
+        super().__init__(config=no_prune(base), **kwargs)  # type: ignore[arg-type]
+
+
+class WebQANoDecomp(WebQA):
+    """WebQA with joint guard/extractor synthesis (Table 3)."""
+
+    name = "WebQA-NoDecomp"
+
+    def __init__(self, config: SynthesisConfig | None = None, **kwargs: object) -> None:
+        base = config or SynthesisConfig()
+        super().__init__(config=no_decomp(base), **kwargs)  # type: ignore[arg-type]
+
+
+class WebQANlOnly(WebQA):
+    """WebQA-NL: uses the question but drops the keywords (Figure 13)."""
+
+    name = "WebQA-NL"
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "WebQANlOnly":
+        super().fit(question, (), train, unlabeled, models)
+        return self
+
+
+class WebQAKwOnly(WebQA):
+    """WebQA-KW: uses the keywords but drops the question (Figure 13)."""
+
+    name = "WebQA-KW"
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "WebQAKwOnly":
+        super().fit("", keywords, train, unlabeled, models)
+        return self
+
+
+def webqa_random_selection(seed: int = 0, **kwargs: object) -> WebQA:
+    """The Random selection baseline of Table 4."""
+    tool = WebQA(selection="random", seed=seed, **kwargs)  # type: ignore[arg-type]
+    tool.name = "WebQA-Random"
+    return tool
+
+
+def webqa_shortest_selection(seed: int = 0, **kwargs: object) -> WebQA:
+    """The Shortest selection baseline of Table 4."""
+    tool = WebQA(selection="shortest", seed=seed, **kwargs)  # type: ignore[arg-type]
+    tool.name = "WebQA-Shortest"
+    return tool

@@ -1,0 +1,58 @@
+"""Result containers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.scores import Score, mean_score
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One tool's scores on one task's test set."""
+
+    task_id: str
+    domain: str
+    tool: str
+    score: Score
+    seconds: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DomainSummary:
+    """Per-domain aggregation of task results (one Table 2 row group)."""
+
+    domain: str
+    tool: str
+    score: Score
+    n_tasks: int
+
+
+def summarize_by_domain(results: list[TaskResult]) -> list[DomainSummary]:
+    """Mean scores per (domain, tool), in first-appearance order."""
+    grouped: dict[tuple[str, str], list[TaskResult]] = {}
+    order: list[tuple[str, str]] = []
+    for result in results:
+        key = (result.domain, result.tool)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(result)
+    return [
+        DomainSummary(
+            domain=domain,
+            tool=tool,
+            score=mean_score([r.score for r in grouped[(domain, tool)]]),
+            n_tasks=len(grouped[(domain, tool)]),
+        )
+        for domain, tool in order
+    ]
+
+
+def overall_scores(results: list[TaskResult]) -> dict[str, Score]:
+    """Mean score per tool across all tasks (the Figure 12 bars)."""
+    by_tool: dict[str, list[Score]] = {}
+    for result in results:
+        by_tool.setdefault(result.tool, []).append(result.score)
+    return {tool: mean_score(scores) for tool, scores in by_tool.items()}

@@ -1,0 +1,162 @@
+"""The WebQA tool: synthesis + transductive selection, end to end.
+
+This is the public entry point matching Figure 1 of the paper: given a
+question, keywords, a few labeled webpages and the unlabeled target
+pages, ``fit`` synthesizes all F1-optimal DSL programs and selects the
+consensus program; ``predict`` runs it on any page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import ExtractionTool
+from ..dsl import ast
+from ..dsl.eval import EvalContext
+from ..dsl.pretty import pretty_program
+from ..nlp.models import NlpModels
+from ..selection.baselines import select_random, select_shortest
+from ..selection.transductive import SelectionOutcome, select_program
+from ..synthesis.config import SynthesisConfig, default_config
+from ..synthesis.examples import LabeledExample, TaskContexts
+from ..synthesis.top import SynthesisResult, synthesize
+from ..webtree.node import WebPage
+
+#: How the final program is chosen from the optimal set.
+SELECTION_STRATEGIES = ("transductive", "random", "shortest")
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Everything ``fit`` learned, for inspection and experiments."""
+
+    synthesis: SynthesisResult
+    program: ast.Program
+    selection: SelectionOutcome | None
+
+    @property
+    def train_f1(self) -> float:
+        return self.synthesis.f1
+
+    @property
+    def optimal_count(self) -> int:
+        return self.synthesis.count()
+
+    def program_text(self) -> str:
+        return pretty_program(self.program)
+
+
+class WebQA(ExtractionTool):
+    """The full WebQA system (paper Figure 1).
+
+    Parameters
+    ----------
+    config:
+        Synthesis bounds; defaults to :func:`default_config`.
+    ensemble_size:
+        Transductive ensemble size N (paper default 1000).
+    selection:
+        One of :data:`SELECTION_STRATEGIES`; "transductive" is the paper's
+        method, the others are the Table 4 baselines.
+    seed:
+        Seed for program sampling, making runs reproducible.
+    """
+
+    name = "WebQA"
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        ensemble_size: int = 1000,
+        selection: str = "transductive",
+        seed: int = 0,
+    ) -> None:
+        if selection not in SELECTION_STRATEGIES:
+            raise ValueError(
+                f"selection must be one of {SELECTION_STRATEGIES}, got {selection!r}"
+            )
+        self.config = config or default_config()
+        self.ensemble_size = ensemble_size
+        self.selection_strategy = selection
+        self.seed = seed
+        self.report: FitReport | None = None
+        self._question = ""
+        self._keywords: tuple[str, ...] = ()
+        self._models: NlpModels | None = None
+        self._contexts: dict[int, EvalContext] = {}
+
+    # -- ExtractionTool interface ------------------------------------------------
+
+    def fit(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        train: list[LabeledExample],
+        unlabeled: list[WebPage],
+        models: NlpModels,
+    ) -> "WebQA":
+        self._question = question
+        self._keywords = tuple(keywords)
+        self._models = models
+        # Per-page prediction contexts are bound to (question, keywords,
+        # models); refitting invalidates them.
+        self._contexts.clear()
+        contexts = TaskContexts(question, self._keywords, models)
+        synthesis = synthesize(
+            list(train), question, self._keywords, models,
+            config=self.config, contexts=contexts,
+        )
+        if not synthesis.spaces:
+            # No program scored above zero (possible under the modality
+            # ablations): degrade to the empty program, which answers ∅.
+            empty = ast.Program(())
+            self.report = FitReport(synthesis=synthesis, program=empty, selection=None)
+            return self
+        selection: SelectionOutcome | None = None
+        if self.selection_strategy == "transductive":
+            selection = select_program(
+                synthesis, list(unlabeled), models,
+                ensemble_size=self.ensemble_size, seed=self.seed,
+            )
+            program = selection.program
+        elif self.selection_strategy == "random":
+            program = select_random(synthesis, seed=self.seed)
+        else:
+            program = select_shortest(synthesis, seed=self.seed)
+        self.report = FitReport(synthesis=synthesis, program=program, selection=selection)
+        return self
+
+    def predict(self, page: WebPage) -> tuple[str, ...]:
+        if self.report is None or self._models is None:
+            raise RuntimeError("fit must be called before predict")
+        ctx = self._contexts.get(id(page))
+        if ctx is None:
+            ctx = EvalContext(page, self._question, self._keywords, self._models)
+            self._contexts[id(page)] = ctx
+        return ctx.eval_program(self.report.program)
+
+    # -- conveniences ----------------------------------------------------------------
+
+    @property
+    def program(self) -> ast.Program:
+        if self.report is None:
+            raise RuntimeError("fit must be called first")
+        return self.report.program
+
+    def explain(self) -> str:
+        """Human-readable description of the learned program."""
+        if self.report is None:
+            return "<unfitted WebQA>"
+        lines = [
+            f"question: {self._question}",
+            f"keywords: {', '.join(self._keywords)}",
+            f"training F1: {self.report.train_f1:.3f}",
+            f"optimal programs: {self.report.optimal_count}",
+            f"selected: {self.report.program_text()}",
+        ]
+        if self.report.selection is not None:
+            lines.append(
+                f"consensus loss: {self.report.selection.loss:.2f} over "
+                f"{self.report.selection.distinct_outputs} distinct behaviours"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Synthetic corpus: 4 domains × ~40 heterogeneous webpages, 25 tasks.
+
+This package reconstructs the paper's evaluation data (Section 8) from
+seeded generators; see DESIGN.md for the substitution rationale.
+"""
+
+from .corpus import (
+    DEFAULT_PAGES_PER_DOMAIN,
+    DEFAULT_TRAIN_PAGES,
+    CorpusPage,
+    TaskDataset,
+    build_domain_corpus,
+    generate_page,
+    load_domain_datasets,
+    load_task_dataset,
+)
+from .tasks import DOMAINS, TASKS, TASKS_BY_ID, Task, tasks_for_domain
+
+__all__ = [
+    "DEFAULT_PAGES_PER_DOMAIN",
+    "DEFAULT_TRAIN_PAGES",
+    "CorpusPage",
+    "TaskDataset",
+    "build_domain_corpus",
+    "generate_page",
+    "load_domain_datasets",
+    "load_task_dataset",
+    "DOMAINS",
+    "TASKS",
+    "TASKS_BY_ID",
+    "Task",
+    "tasks_for_domain",
+]

@@ -1,0 +1,207 @@
+"""Course-webpage generator (the paper's Class domain, class_t1-t6)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from . import people
+from .render import PageLayout, SectionSpec, assemble_page, esc, pick_title, render_items
+
+
+@dataclass(frozen=True)
+class Lecture:
+    days: str
+    time: str
+
+    def listing(self) -> str:
+        return f"{self.days} {self.time}"
+
+
+@dataclass(frozen=True)
+class Exam:
+    name: str
+    date: str
+
+    def listing(self) -> str:
+        return f"{self.name}: {self.date}"
+
+
+@dataclass(frozen=True)
+class Textbook:
+    title: str
+    author: str
+
+    def listing(self) -> str:
+        return f"{self.title} by {self.author}"
+
+
+@dataclass(frozen=True)
+class GradeComponent:
+    name: str
+    weight: int
+
+    def listing(self) -> str:
+        return f"{self.name}: {self.weight}%"
+
+
+@dataclass(frozen=True)
+class CoursePage:
+    """Content model for one course webpage."""
+
+    code: str
+    subject: str
+    term: str
+    instructors: tuple[str, ...]
+    tas: tuple[str, ...]
+    lectures: tuple[Lecture, ...]
+    exams: tuple[Exam, ...]
+    textbooks: tuple[Textbook, ...]
+    grading: tuple[GradeComponent, ...]
+
+
+_DAY_PATTERNS = ("MWF", "TTh", "MW", "TuTh", "Mon/Wed", "Tue/Thu")
+
+
+def _lecture_time(rng: random.Random) -> str:
+    hour = rng.randint(8, 16)
+    minute = rng.choice((0, 30))
+    end_hour = hour + 1
+    suffix = "am" if hour < 12 else "pm"
+    end_suffix = "am" if end_hour < 12 else "pm"
+    to12 = lambda h: h if h <= 12 else h - 12
+    return (
+        f"{to12(hour)}:{minute:02d} {suffix} - {to12(end_hour)}:{minute:02d} {end_suffix}"
+    )
+
+
+def _exam_date(rng: random.Random) -> str:
+    month = rng.choice(("September", "October", "November", "December",
+                        "February", "March", "April", "May"))
+    return f"{month} {rng.randint(1, 28)}, {rng.randint(2019, 2021)}"
+
+
+def generate_course(rng: random.Random) -> CoursePage:
+    n_exams = rng.randint(1, 3)
+    exam_names = ["Final Exam"] if n_exams == 1 else (
+        [f"Midterm {i}" for i in range(1, n_exams)] + ["Final Exam"]
+    )
+    components = rng.sample(
+        ("Homework", "Projects", "Quizzes", "Participation", "Midterm", "Final"),
+        rng.randint(3, 4),
+    )
+    weights = _random_weights(rng, len(components))
+    return CoursePage(
+        code=f"CS {rng.randint(100, 499)}",
+        subject=rng.choice(people.COURSE_SUBJECTS),
+        term=f"{rng.choice(('Spring', 'Fall'))} {rng.randint(2019, 2021)}",
+        instructors=tuple(people.person_names(rng, rng.randint(1, 2))),
+        tas=tuple(people.person_names(rng, rng.randint(0, 4))),
+        lectures=tuple(
+            Lecture(rng.choice(_DAY_PATTERNS), _lecture_time(rng))
+            for _ in range(rng.randint(1, 2))
+        ),
+        exams=tuple(Exam(name, _exam_date(rng)) for name in exam_names),
+        textbooks=tuple(
+            Textbook(
+                f"{rng.choice(people.TEXTBOOK_TOPICS)}: Principles and Practice",
+                people.person_name(rng),
+            )
+            for _ in range(rng.randint(0, 2))
+        ),
+        grading=tuple(
+            GradeComponent(name, weight)
+            for name, weight in zip(components, weights)
+        ),
+    )
+
+
+def _random_weights(rng: random.Random, n: int) -> list[int]:
+    cuts = sorted(rng.sample(range(1, 20), n - 1))
+    bounds = [0] + cuts + [20]
+    return [(bounds[i + 1] - bounds[i]) * 5 for i in range(n)]
+
+
+LECTURE_TITLES = ("Lectures", "Lecture Times", "Sections", "Meeting Times",
+                  "Schedule")
+INSTRUCTOR_TITLES = ("Instructors", "Instructor", "Course Staff", "Taught By")
+TA_TITLES = ("Teaching Assistants", "TAs", "Course Assistants")
+EXAM_TITLES = ("Exams", "Exam Dates", "Midterms and Finals", "Tests")
+TEXTBOOK_TITLES = ("Textbooks", "Required Texts", "Course Materials", "Readings")
+GRADING_TITLES = ("Grading", "Grades", "Grade Breakdown", "Assessment")
+
+
+def render_course(course: CoursePage, rng: random.Random) -> str:
+    layout = PageLayout.draw(rng)
+    title = f"{course.code}: {course.subject}"
+    intro = f"<p>{esc(course.term)}</p>"
+    sections: list[SectionSpec] = []
+
+    sections.append(
+        SectionSpec(
+            pick_title(rng, INSTRUCTOR_TITLES),
+            render_items(
+                list(course.instructors),
+                layout.pick_list_style(("ul", "comma", "lines")),
+            ),
+        )
+    )
+    if course.tas:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, TA_TITLES),
+                render_items(
+                    list(course.tas), layout.pick_list_style(("ul", "comma", "lines"))
+                ),
+            )
+        )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, LECTURE_TITLES),
+            render_items(
+                [lec.listing() for lec in course.lectures],
+                layout.pick_list_style(("ul", "lines")),
+            ),
+        )
+    )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, EXAM_TITLES),
+            render_items(
+                [e.listing() for e in course.exams],
+                layout.pick_list_style(("ul", "lines", "table")),
+            ),
+        )
+    )
+    if course.textbooks:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, TEXTBOOK_TITLES),
+                render_items(
+                    [t.listing() for t in course.textbooks],
+                    layout.pick_list_style(("ul", "lines")),
+                ),
+            )
+        )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, GRADING_TITLES),
+            render_items(
+                [g.listing() for g in course.grading],
+                layout.pick_list_style(("ul", "lines", "comma", "table")),
+            ),
+        )
+    )
+    return assemble_page(title, intro, sections, layout)
+
+
+def ground_truth(course: CoursePage) -> dict[str, tuple[str, ...]]:
+    """Gold answers for the six class tasks on this course page."""
+    return {
+        "class_t1": tuple(lec.listing() for lec in course.lectures),
+        "class_t2": course.instructors,
+        "class_t3": course.tas,
+        "class_t4": tuple(e.date for e in course.exams),
+        "class_t5": tuple(t.listing() for t in course.textbooks),
+        "class_t6": tuple(g.listing() for g in course.grading),
+    }

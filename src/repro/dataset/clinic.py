@@ -1,0 +1,136 @@
+"""Clinic-website generator (the paper's Clinic domain, clinic_t1-t5)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from . import people
+from .render import PageLayout, SectionSpec, assemble_page, esc, pick_title, render_items
+
+
+@dataclass(frozen=True)
+class Doctor:
+    name: str
+    credential: str
+
+    def display_name(self) -> str:
+        return f"Dr. {self.name}"
+
+    def listing(self) -> str:
+        return f"Dr. {self.name}, {self.credential}"
+
+
+@dataclass(frozen=True)
+class ClinicSite:
+    """Content model for one clinic website."""
+
+    name: str
+    tagline: str
+    doctors: tuple[Doctor, ...]
+    services: tuple[str, ...]
+    treatments: tuple[str, ...]
+    insurances: tuple[str, ...]
+    locations: tuple[str, ...]
+    phone: str
+
+
+_CLINIC_KINDS = ("Family Clinic", "Medical Center", "Health Clinic",
+                 "Primary Care", "Wellness Center")
+
+
+def generate_clinic(rng: random.Random) -> ClinicSite:
+    place = rng.choice(people.PLACES)
+    return ClinicSite(
+        name=f"{place} {rng.choice(_CLINIC_KINDS)}",
+        tagline=rng.choice(
+            (
+                "Caring for our community since 1998.",
+                "Compassionate care, close to home.",
+                "Your health, our priority.",
+            )
+        ),
+        doctors=tuple(
+            Doctor(people.person_name(rng), rng.choice(("MD", "DO", "MD, PhD")))
+            for _ in range(rng.randint(2, 5))
+        ),
+        services=tuple(rng.sample(people.CLINIC_SERVICES, rng.randint(3, 6))),
+        treatments=tuple(rng.sample(people.CLINIC_TREATMENTS, rng.randint(2, 5))),
+        insurances=tuple(rng.sample(people.INSURANCE_PLANS, rng.randint(3, 6))),
+        locations=tuple(
+            people.street_address(rng) for _ in range(rng.randint(1, 3))
+        ),
+        phone=people.phone_number(rng),
+    )
+
+
+DOCTOR_TITLES = ("Our Doctors", "Our Team", "Providers", "Meet the Team",
+                 "Our Providers", "Medical Staff")
+SERVICE_TITLES = ("Our Services", "Services", "What We Offer", "Services Offered")
+TREATMENT_TITLES = ("Treatments", "Specialties", "We Specialize In",
+                    "Areas of Expertise")
+INSURANCE_TITLES = ("Insurance", "Plans Accepted", "Insurance Plans",
+                    "Accepted Insurances")
+LOCATION_TITLES = ("Locations", "Our Offices", "Find Us", "Visit Us")
+
+
+def render_clinic(clinic: ClinicSite, rng: random.Random) -> str:
+    layout = PageLayout.draw(rng)
+    intro = f"<p>{esc(clinic.tagline)}</p><p>Call us at {esc(clinic.phone)}.</p>"
+    sections: list[SectionSpec] = []
+
+    doctor_items = [
+        d.listing() if rng.random() < 0.6 else d.display_name()
+        for d in clinic.doctors
+    ]
+    sections.append(
+        SectionSpec(
+            pick_title(rng, DOCTOR_TITLES),
+            render_items(doctor_items, layout.pick_list_style(("ul", "lines", "comma"))),
+        )
+    )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, SERVICE_TITLES),
+            render_items(
+                list(clinic.services),
+                layout.pick_list_style(("ul", "lines", "semicolon")),
+            ),
+        )
+    )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, TREATMENT_TITLES),
+            render_items(
+                list(clinic.treatments),
+                layout.pick_list_style(("ul", "lines", "comma")),
+            ),
+        )
+    )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, INSURANCE_TITLES),
+            render_items(
+                list(clinic.insurances),
+                layout.pick_list_style(("ul", "comma", "semicolon")),
+            ),
+        )
+    )
+    sections.append(
+        SectionSpec(
+            pick_title(rng, LOCATION_TITLES),
+            render_items(list(clinic.locations), layout.pick_list_style(("ul", "lines"))),
+        )
+    )
+    return assemble_page(clinic.name, intro, sections, layout)
+
+
+def ground_truth(clinic: ClinicSite) -> dict[str, tuple[str, ...]]:
+    """Gold answers for the five clinic tasks on this site."""
+    return {
+        "clinic_t1": tuple(d.display_name() for d in clinic.doctors),
+        "clinic_t2": clinic.services,
+        "clinic_t3": clinic.treatments,
+        "clinic_t4": clinic.insurances,
+        "clinic_t5": clinic.locations,
+    }

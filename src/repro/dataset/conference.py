@@ -1,0 +1,160 @@
+"""Conference-website generator (the paper's Conference domain, conf_t1-t6)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from . import people
+from .render import (
+    PageLayout,
+    SectionSpec,
+    assemble_page,
+    esc,
+    pick_title,
+    render_items,
+    render_pairs_table,
+)
+
+
+@dataclass(frozen=True)
+class Member:
+    name: str
+    affiliation: str
+
+    def listing(self, style: str) -> str:
+        if style == "paren":
+            return f"{self.name} ({self.affiliation})"
+        if style == "comma":
+            return f"{self.name}, {self.affiliation}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConferenceSite:
+    """Content model for one conference homepage."""
+
+    name: str
+    year: int
+    location: str
+    chairs: tuple[Member, ...]
+    pc_members: tuple[Member, ...]
+    topics: tuple[str, ...]
+    submission_deadline: str
+    notification_date: str
+    camera_ready_date: str
+    blind: str  # "double-blind" or "single-blind"
+
+
+def _date(rng: random.Random, year: int) -> str:
+    month = rng.choice(
+        ("January", "February", "March", "April", "May", "June", "July",
+         "August", "September", "October", "November", "December")
+    )
+    return f"{month} {rng.randint(1, 28)}, {year}"
+
+
+def generate_site(rng: random.Random) -> ConferenceSite:
+    year = rng.randint(2019, 2022)
+    chairs = tuple(
+        Member(people.person_name(rng), people.university_name(rng))
+        for _ in range(rng.randint(1, 2))
+    )
+    pc_members = tuple(
+        Member(people.person_name(rng), people.university_name(rng))
+        for _ in range(rng.randint(5, 12))
+    )
+    return ConferenceSite(
+        name=rng.choice(people.CONFERENCES),
+        year=year,
+        location=f"{rng.choice(tuple(sorted(people.PLACES)))}",
+        chairs=chairs,
+        pc_members=pc_members,
+        topics=tuple(rng.sample(people.TOPIC_PHRASES, rng.randint(4, 7))),
+        submission_deadline=_date(rng, year - 1),
+        notification_date=_date(rng, year),
+        camera_ready_date=_date(rng, year),
+        blind=rng.choice(("double-blind", "single-blind")),
+    )
+
+
+CHAIR_TITLES = ("Program Chairs", "Program Co-chairs", "PC Chairs", "Organizers")
+PC_TITLES = ("Program Committee", "PC Members", "Technical Program Committee",
+             "Committee Members")
+TOPIC_TITLES = ("Topics", "Topics of Interest", "Call for Papers", "Scope")
+DATE_TITLES = ("Important Dates", "Deadlines", "Key Dates")
+REVIEW_TITLES = ("Review Process", "Submission Policies", "Reviewing")
+
+
+def render_site(site: ConferenceSite, rng: random.Random) -> str:
+    layout = PageLayout.draw(rng)
+    title = f"{site.name} {site.year}"
+    intro = (
+        f"<p>The conference will be held in {esc(site.location)}.</p>"
+    )
+    member_style = rng.choice(("paren", "comma"))
+    sections: list[SectionSpec] = []
+
+    sections.append(
+        SectionSpec(
+            pick_title(rng, CHAIR_TITLES),
+            render_items(
+                [c.listing(member_style) for c in site.chairs],
+                layout.pick_list_style(("ul", "lines", "comma")),
+            ),
+        )
+    )
+    if rng.random() < 0.35:
+        pc_html = render_pairs_table(
+            [(m.name, m.affiliation) for m in site.pc_members]
+        )
+    else:
+        pc_html = render_items(
+            [m.listing(member_style) for m in site.pc_members],
+            layout.pick_list_style(("ul", "lines")),
+        )
+    sections.append(SectionSpec(pick_title(rng, PC_TITLES), pc_html))
+    sections.append(
+        SectionSpec(
+            pick_title(rng, TOPIC_TITLES),
+            render_items(list(site.topics), layout.pick_list_style(("ul", "semicolon", "lines"))),
+        )
+    )
+    date_lines = [
+        f"Paper submission deadline: {site.submission_deadline}",
+        f"Author notification: {site.notification_date}",
+        f"Camera-ready deadline: {site.camera_ready_date}",
+    ]
+    sections.append(
+        SectionSpec(
+            pick_title(rng, DATE_TITLES),
+            render_items(date_lines, layout.pick_list_style(("ul", "lines", "table"))),
+        )
+    )
+    review_sentence = rng.choice(
+        (
+            f"Reviewing is {site.blind}: submissions must follow the policy.",
+            f"{site.name} {site.year} uses a {site.blind} review process.",
+            f"The review process is {site.blind}.",
+        )
+    )
+    sections.append(
+        SectionSpec(pick_title(rng, REVIEW_TITLES), f"<p>{esc(review_sentence)}</p>")
+    )
+    return assemble_page(title, intro, sections, layout)
+
+
+def ground_truth(site: ConferenceSite) -> dict[str, tuple[str, ...]]:
+    """Gold answers for the six conference tasks on this site."""
+    affiliations: list[str] = []
+    for member in site.pc_members:
+        if member.affiliation not in affiliations:
+            affiliations.append(member.affiliation)
+    return {
+        "conf_t1": tuple(c.name for c in site.chairs),
+        "conf_t2": tuple(m.name for m in site.pc_members),
+        "conf_t3": site.topics,
+        "conf_t4": (site.submission_deadline,),
+        "conf_t5": (site.blind,),
+        "conf_t6": tuple(affiliations),
+    }

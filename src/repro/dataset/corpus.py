@@ -1,0 +1,140 @@
+"""Corpus assembly: generated pages, gold labels, train/test splits.
+
+Recreates the shape of the paper's evaluation data: four domains of ~40
+structurally heterogeneous webpages each (Section 8, "Benchmarks"), with
+ground-truth answers for every task of Table 5.  Pages are parsed into
+the webpage-tree representation once and shared across tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..labeling.suggest import suggest_pages_to_label
+from ..nlp.models import NlpModels
+from ..synthesis.examples import LabeledExample
+from ..webtree.builder import page_from_html
+from ..webtree.node import WebPage
+from . import classes, clinic, conference, faculty
+from .tasks import DOMAINS, Task, tasks_for_domain
+
+#: Pages generated per domain (the paper collects "approximately 40").
+DEFAULT_PAGES_PER_DOMAIN = 40
+#: Labeled (training) pages per task (the paper uses "around 5").
+DEFAULT_TRAIN_PAGES = 5
+
+
+@dataclass(frozen=True)
+class CorpusPage:
+    """One generated webpage with gold answers for its domain's tasks."""
+
+    page: WebPage
+    html: str
+    gold: dict[str, tuple[str, ...]]
+
+
+_GENERATORS = {
+    "faculty": (faculty.generate_profile, faculty.render_profile, faculty.ground_truth),
+    "conference": (conference.generate_site, conference.render_site, conference.ground_truth),
+    "class": (classes.generate_course, classes.render_course, classes.ground_truth),
+    "clinic": (clinic.generate_clinic, clinic.render_clinic, clinic.ground_truth),
+}
+
+
+def generate_page(domain: str, seed: int) -> CorpusPage:
+    """One reproducible page of ``domain`` (same seed → same page)."""
+    if domain not in _GENERATORS:
+        raise ValueError(f"unknown domain {domain!r}; expected one of {DOMAINS}")
+    generate, render, truth = _GENERATORS[domain]
+    content_rng = random.Random(f"content:{domain}:{seed}")
+    content = generate(content_rng)
+    layout_rng = random.Random(f"layout:{domain}:{seed}")
+    html = render(content, layout_rng)
+    url = f"https://example.org/{domain}/{seed}"
+    return CorpusPage(page=page_from_html(html, url=url), html=html, gold=truth(content))
+
+
+def build_domain_corpus(
+    domain: str, n_pages: int = DEFAULT_PAGES_PER_DOMAIN, seed: int = 0
+) -> list[CorpusPage]:
+    """``n_pages`` reproducible pages for one domain."""
+    return [generate_page(domain, seed * 10000 + i) for i in range(n_pages)]
+
+
+@lru_cache(maxsize=8)
+def _cached_domain_corpus(domain: str, n_pages: int, seed: int) -> tuple[CorpusPage, ...]:
+    return tuple(build_domain_corpus(domain, n_pages, seed))
+
+
+@dataclass(frozen=True)
+class TaskDataset:
+    """Train/test material for one task: the unit the experiments consume."""
+
+    task: Task
+    train: tuple[LabeledExample, ...]
+    test_pages: tuple[WebPage, ...]
+    test_gold: tuple[tuple[str, ...], ...]
+    models: NlpModels = field(repr=False, default_factory=NlpModels)
+
+    def all_pages(self) -> list[WebPage]:
+        return [e.page for e in self.train] + list(self.test_pages)
+
+
+def load_task_dataset(
+    task: Task,
+    n_pages: int = DEFAULT_PAGES_PER_DOMAIN,
+    n_train: int = DEFAULT_TRAIN_PAGES,
+    seed: int = 0,
+    use_label_suggestions: bool = True,
+    models: NlpModels | None = None,
+) -> TaskDataset:
+    """Build the train/test split for one task.
+
+    With ``use_label_suggestions`` (the paper's interactive labeling,
+    Section 7) the training pages are the cluster representatives chosen
+    by the labeling module; otherwise the first ``n_train`` pages are
+    used.  Everything else becomes the unlabeled test set.
+    """
+    corpus = list(_cached_domain_corpus(task.domain, n_pages, seed))
+    if models is None:
+        models = NlpModels.for_corpus([cp.page.root.subtree_text() for cp in corpus])
+    if use_label_suggestions:
+        indices = suggest_pages_to_label(
+            [cp.page for cp in corpus], models, task.keywords, budget=n_train
+        )
+    else:
+        indices = list(range(min(n_train, len(corpus))))
+    train_set = set(indices)
+    train = tuple(
+        LabeledExample(corpus[i].page, corpus[i].gold[task.task_id])
+        for i in indices
+    )
+    test = [cp for i, cp in enumerate(corpus) if i not in train_set]
+    return TaskDataset(
+        task=task,
+        train=train,
+        test_pages=tuple(cp.page for cp in test),
+        test_gold=tuple(cp.gold[task.task_id] for cp in test),
+        models=models,
+    )
+
+
+def load_domain_datasets(
+    domain: str,
+    n_pages: int = DEFAULT_PAGES_PER_DOMAIN,
+    n_train: int = DEFAULT_TRAIN_PAGES,
+    seed: int = 0,
+    **kwargs: object,
+) -> list[TaskDataset]:
+    """Datasets for every task of one domain (shared page corpus)."""
+    corpus = list(_cached_domain_corpus(domain, n_pages, seed))
+    models = NlpModels.for_corpus([cp.page.root.subtree_text() for cp in corpus])
+    return [
+        load_task_dataset(
+            task, n_pages=n_pages, n_train=n_train, seed=seed,
+            models=models, **kwargs,  # type: ignore[arg-type]
+        )
+        for task in tasks_for_domain(domain)
+    ]

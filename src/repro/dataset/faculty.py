@@ -1,0 +1,268 @@
+"""Faculty-homepage generator (the paper's Faculty domain, tasks fac_t1-t8).
+
+Models a researcher's profile — students, publications, teaching, service
+— and renders it through the heterogeneous layout toolkit.  Ground truth
+for all eight faculty tasks is computed from the content model, never
+from the rendered HTML.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from . import people
+from .render import PageLayout, SectionSpec, assemble_page, esc, pick_title, render_items
+
+
+@dataclass(frozen=True)
+class Publication:
+    title: str
+    authors: tuple[str, ...]
+    venue: str
+    year: int
+    best_paper: bool
+
+    def citation(self) -> str:
+        text = f"{self.title}. {', '.join(self.authors)}. {self.venue} {self.year}."
+        if self.best_paper:
+            text += " Best Paper Award."
+        return text
+
+
+@dataclass(frozen=True)
+class Course:
+    code: str
+    subject: str
+    term: str
+
+    def listing(self) -> str:
+        return f"{self.code}: {self.subject}. {self.term}."
+
+
+@dataclass(frozen=True)
+class ServiceEntry:
+    venue: str
+    year: int
+    role: str
+
+    def listing(self) -> str:
+        return f"{self.venue} {self.year} ({self.role})"
+
+
+@dataclass(frozen=True)
+class FacultyProfile:
+    """Content model for one faculty homepage."""
+
+    name: str
+    position: str
+    university: str
+    email: str
+    phone: str
+    areas: tuple[str, ...]
+    phd_students: tuple[str, ...]
+    former_students: tuple[str, ...]
+    publications: tuple[Publication, ...]
+    courses: tuple[Course, ...]
+    service: tuple[ServiceEntry, ...]
+    news: tuple[str, ...]
+    #: Undergraduate advisees: rendered near the PhD students but *not*
+    #: part of the fac_t1 gold — programs must tell the subsections apart.
+    undergrad_students: tuple[str, ...] = ()
+
+
+def generate_profile(rng: random.Random) -> FacultyProfile:
+    name = people.person_name(rng)
+    university = people.university_name(rng)
+    # Most profiles have students/alumni; a minority genuinely lack them
+    # (schema heterogeneity includes missing sections).
+    n_students = rng.randint(1, 5) if rng.random() < 0.85 else 0
+    n_former = rng.randint(1, 4) if rng.random() < 0.8 else 0
+    students = people.person_names(rng, n_students + n_former)
+
+    publications = []
+    for _ in range(rng.randint(4, 8)):
+        coauthors = people.person_names(rng, rng.randint(1, 3))
+        authors = tuple(sorted({name, *coauthors}))
+        # PL researchers: PLDI is heavily over-represented, and 2012 is a
+        # plausible year, so the venue/year-conditioned tasks (fac_t2/t6/t7)
+        # have non-empty answers on most pages.
+        venue = "PLDI" if rng.random() < 0.35 else rng.choice(people.CONFERENCES)
+        publications.append(
+            Publication(
+                title=people.paper_title(rng),
+                authors=authors,
+                venue=venue,
+                year=2012 if rng.random() < 0.25 else rng.randint(2008, 2021),
+                best_paper=rng.random() < 0.2,
+            )
+        )
+
+    courses = []
+    for _ in range(rng.randint(0, 4)):
+        courses.append(
+            Course(
+                code=f"CS {rng.randint(100, 499)}",
+                subject=rng.choice(people.COURSE_SUBJECTS),
+                term=f"{rng.choice(('Spring', 'Fall'))} {rng.randint(2016, 2021)}",
+            )
+        )
+
+    service = []
+    for _ in range(rng.randint(2, 9)):
+        service.append(
+            ServiceEntry(
+                venue=rng.choice(people.CONFERENCES),
+                year=rng.randint(2015, 2021),
+                role=rng.choice(people.SERVICE_ROLES),
+            )
+        )
+
+    news = tuple(
+        rng.choice(
+            (
+                f"Welcome incoming students {people.person_name(rng)}.",
+                f"Paper accepted to {rng.choice(people.CONFERENCES)} {rng.randint(2019, 2021)}.",
+                f"Invited talk at {people.university_name(rng)}.",
+            )
+        )
+        for _ in range(rng.randint(0, 3))
+    )
+
+    # A minority of pages nest an undergraduate list next to the PhD list
+    # under one Students section (drawn last to keep earlier draws stable).
+    undergrads: tuple[str, ...] = ()
+    if students[:n_students] and rng.random() < 0.3:
+        undergrads = tuple(people.person_names(rng, rng.randint(1, 3)))
+
+    return FacultyProfile(
+        name=name,
+        position=rng.choice(("Professor", "Associate Professor", "Assistant Professor")),
+        university=university,
+        email=people.email_for(name),
+        phone=people.phone_number(rng),
+        areas=tuple(rng.sample(people.RESEARCH_AREAS, rng.randint(1, 3))),
+        phd_students=tuple(students[:n_students]),
+        former_students=tuple(students[n_students:]),
+        publications=tuple(publications),
+        courses=tuple(courses),
+        service=tuple(service),
+        news=news,
+        undergrad_students=undergrads,
+    )
+
+
+#: Equivalent section names per schema concept — the heterogeneity that
+#: forces synthesized programs to use semantic keyword matching.
+STUDENT_TITLES = ("PhD Students", "Current Students", "Advisees", "Students")
+FORMER_TITLES = ("Alumni", "Former Students", "Past Advisees", "Graduated Students")
+PUB_TITLES = ("Publications", "Recent Publications", "Selected Publications",
+              "Conference Publications", "Papers")
+COURSE_TITLES = ("Teaching", "Courses", "Courses Taught")
+SERVICE_TITLES = ("Service", "Professional Service", "Professional Activities",
+                  "Activities")
+NEWS_TITLES = ("News", "Recent News", "Announcements")
+AREA_TITLES = ("Research", "Research Interests", "Interests")
+
+
+def render_profile(profile: FacultyProfile, rng: random.Random) -> str:
+    layout = PageLayout.draw(rng)
+    intro = (
+        f"<p>{esc(profile.position)}, {esc(profile.university)}</p>"
+        f"<p>{esc(profile.email)} | {esc(profile.phone)}</p>"
+    )
+    sections: list[SectionSpec] = []
+
+    if profile.areas:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, AREA_TITLES),
+                f"<p>My research interests are in {esc(', '.join(profile.areas))}.</p>",
+            )
+        )
+    if profile.phd_students and profile.undergrad_students:
+        # Nested schema: one Students section, two labeled sub-lists.
+        style = layout.pick_list_style(("ul", "comma", "lines"))
+        phd_label = rng.choice(("PhD students", "Doctoral students", "PhD advisees"))
+        ug_label = rng.choice(("Undergraduate students", "Undergraduate researchers"))
+        body = (
+            f"<p><b>{phd_label}</b></p>"
+            + render_items(list(profile.phd_students), style)
+            + f"<p><b>{ug_label}</b></p>"
+            + render_items(list(profile.undergrad_students), style)
+        )
+        sections.append(SectionSpec(rng.choice(("Students", "Advising")), body))
+    elif profile.phd_students:
+        style = layout.pick_list_style(("ul", "comma", "lines"))
+        sections.append(
+            SectionSpec(
+                pick_title(rng, STUDENT_TITLES),
+                render_items(list(profile.phd_students), style),
+            )
+        )
+    if profile.former_students:
+        style = layout.pick_list_style(("ul", "comma", "lines"))
+        sections.append(
+            SectionSpec(
+                pick_title(rng, FORMER_TITLES),
+                render_items(list(profile.former_students), style),
+            )
+        )
+    if profile.publications:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, PUB_TITLES),
+                render_items(
+                    [p.citation() for p in profile.publications],
+                    layout.pick_list_style(("ul", "lines")),
+                ),
+            )
+        )
+    if profile.courses:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, COURSE_TITLES),
+                render_items(
+                    [c.listing() for c in profile.courses],
+                    layout.pick_list_style(("ul", "lines", "table")),
+                ),
+            )
+        )
+    if profile.service:
+        style = layout.pick_list_style(("ul", "comma", "semicolon", "lines"))
+        sections.append(
+            SectionSpec(
+                pick_title(rng, SERVICE_TITLES),
+                render_items([s.listing() for s in profile.service], style),
+            )
+        )
+    if profile.news:
+        sections.append(
+            SectionSpec(
+                pick_title(rng, NEWS_TITLES),
+                render_items(list(profile.news), "lines"),
+            )
+        )
+    return assemble_page(profile.name, intro, sections, layout)
+
+
+def ground_truth(profile: FacultyProfile) -> dict[str, tuple[str, ...]]:
+    """Gold answers for the eight faculty tasks on this profile."""
+    pldi_pubs = [p for p in profile.publications if p.venue == "PLDI"]
+    coauthors: list[str] = []
+    for pub in pldi_pubs:
+        for author in pub.authors:
+            if author != profile.name and author not in coauthors:
+                coauthors.append(author)
+    return {
+        "fac_t1": profile.phd_students,
+        "fac_t2": tuple(p.title for p in pldi_pubs),
+        "fac_t3": tuple(f"{c.code}: {c.subject}" for c in profile.courses),
+        "fac_t4": tuple(p.title for p in profile.publications if p.best_paper),
+        "fac_t5": tuple(
+            f"{s.venue} {s.year}" for s in profile.service if s.role == "PC"
+        ),
+        "fac_t6": tuple(p.title for p in profile.publications if p.year == 2012),
+        "fac_t7": tuple(coauthors),
+        "fac_t8": profile.former_students,
+    }

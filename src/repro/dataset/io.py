@@ -1,0 +1,71 @@
+"""Corpus export/import: materialize the synthetic corpus as files.
+
+The generated corpus normally lives in memory, but the CLI and external
+tools want real ``.html`` files plus a labels file.  ``export_corpus``
+writes one directory per domain::
+
+    out/faculty/page_000.html
+    out/faculty/page_001.html
+    ...
+    out/faculty/labels.json      # {task_id: {page filename: [answers]}}
+
+``import_corpus`` reads such a directory back into
+(:class:`~repro.webtree.node.WebPage`, gold) pairs — which also makes it
+the integration point for anyone who wants to run this system on *real*
+scraped pages: produce the same layout by hand and import it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..webtree.builder import page_from_html
+from ..webtree.node import WebPage
+from .corpus import CorpusPage, build_domain_corpus
+from .tasks import tasks_for_domain
+
+
+def export_corpus(
+    domain: str, out_dir: str, n_pages: int = 20, seed: int = 0
+) -> list[str]:
+    """Write ``n_pages`` generated pages + labels.json; returns file paths."""
+    corpus = build_domain_corpus(domain, n_pages=n_pages, seed=seed)
+    domain_dir = os.path.join(out_dir, domain)
+    os.makedirs(domain_dir, exist_ok=True)
+    paths: list[str] = []
+    labels: dict[str, dict[str, list[str]]] = {
+        task.task_id: {} for task in tasks_for_domain(domain)
+    }
+    for index, corpus_page in enumerate(corpus):
+        filename = f"page_{index:03d}.html"
+        path = os.path.join(domain_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(corpus_page.html)
+        paths.append(path)
+        for task_id, gold in corpus_page.gold.items():
+            labels[task_id][filename] = list(gold)
+    with open(os.path.join(domain_dir, "labels.json"), "w", encoding="utf-8") as handle:
+        json.dump(labels, handle, indent=2)
+    return paths
+
+
+def import_corpus(domain_dir: str) -> list[CorpusPage]:
+    """Read a directory written by :func:`export_corpus`."""
+    with open(os.path.join(domain_dir, "labels.json"), "r", encoding="utf-8") as handle:
+        labels: dict[str, dict[str, list[str]]] = json.load(handle)
+    filenames = sorted(
+        name for name in os.listdir(domain_dir) if name.endswith(".html")
+    )
+    corpus: list[CorpusPage] = []
+    for filename in filenames:
+        path = os.path.join(domain_dir, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            html = handle.read()
+        page: WebPage = page_from_html(html, url=path)
+        gold = {
+            task_id: tuple(per_file.get(filename, ()))
+            for task_id, per_file in labels.items()
+        }
+        corpus.append(CorpusPage(page=page, html=html, gold=gold))
+    return corpus

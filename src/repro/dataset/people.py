@@ -1,0 +1,174 @@
+"""Seeded content generators: names, venues, titles, addresses.
+
+All generation is driven by an explicit :class:`random.Random` so the
+corpus is fully reproducible.  Person names draw mostly — but not only —
+from the NER gazetteers: the ``EXTRA_*`` pools are names the entity model
+has never seen, keeping its accuracy realistically below 100%.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..nlp import gazetteers as gaz
+
+#: Names absent from the NER gazetteers (see module docstring).
+EXTRA_FIRST_NAMES = (
+    "kaelen", "yusuke", "ingrid", "bastian", "odalys", "tomasz", "severin",
+    "anouk", "vidya", "leopold", "marisol", "emeka", "signe", "takoda",
+    "zbigniew", "ffion", "ilkay", "roswitha", "eitan", "xiulan",
+)
+EXTRA_LAST_NAMES = (
+    "vantassel", "okonkwo", "szczepanski", "laukkanen", "beaumont-reyes",
+    "mirzakhani", "oyelaran", "thistlethwaite", "vukovic", "njoroge",
+    "halvorsen", "quispe", "baranowski", "acquah", "strandberg",
+)
+
+CONFERENCES = (
+    "PLDI", "POPL", "OOPSLA", "CAV", "ICSE", "FSE", "ICFP", "ASPLOS",
+    "SOSP", "OSDI", "NeurIPS", "ICML", "ACL", "SIGMOD", "VLDB",
+)
+
+SERVICE_ROLES = (
+    "PC", "PC", "PC", "SRC", "AEC", "Workshop Chair", "ERC",
+)
+
+UNIVERSITY_PATTERNS = (
+    "University of {place}",
+    "{place} University",
+    "{place} Institute of Technology",
+    "{place} State University",
+)
+
+PLACES = (
+    "Texas", "Michigan", "Washington", "Wisconsin", "Virginia", "Utah",
+    "Oregon", "Aurora", "Ridgefield", "Lakewood", "Brookhaven", "Fairview",
+    "Crestwood", "Maplewood", "Northfield", "Easton",
+)
+
+TITLE_VERBS = (
+    "Synthesizing", "Verifying", "Learning", "Optimizing", "Typing",
+    "Compiling", "Analyzing", "Inferring", "Scheduling", "Refining",
+)
+TITLE_OBJECTS = (
+    "Programs", "Invariants", "Queries", "Contracts", "Schedulers",
+    "Parsers", "Kernels", "Heaps", "Protocols", "Abstractions",
+)
+TITLE_SOURCES = (
+    "from Examples", "with Neural Guidance", "via Abstract Interpretation",
+    "under Weak Memory", "for the Web", "with Refinement Types",
+    "using Decision Procedures", "at Scale", "by Construction",
+    "through Partial Evaluation",
+)
+
+RESEARCH_AREAS = (
+    "program synthesis", "program analysis", "type systems",
+    "formal verification", "compilers", "machine learning for code",
+    "distributed systems", "software security", "database systems",
+    "probabilistic programming",
+)
+
+COURSE_SUBJECTS = (
+    "Introduction to Computer Science", "Data Structures", "Compilers",
+    "Operating Systems", "Programming Languages", "Software Engineering",
+    "Algorithms", "Computer Architecture", "Machine Learning",
+    "Distributed Systems", "Databases", "Discrete Mathematics",
+)
+
+TEXTBOOK_TOPICS = (
+    "Compilers", "Algorithms", "Operating Systems", "Programming",
+    "Machine Learning", "Databases", "Computer Networks", "Logic",
+)
+
+CLINIC_SERVICES = (
+    "Annual physicals", "Preventive care", "Vaccinations and immunizations",
+    "Lab testing", "Urgent care", "Chronic disease management",
+    "Telehealth visits", "Pediatric checkups", "Womens health",
+    "Sports physicals", "Travel medicine", "Nutrition counseling",
+)
+
+CLINIC_TREATMENTS = (
+    "Diabetes management", "Hypertension treatment", "Asthma care",
+    "Allergy treatment", "Arthritis therapy", "Migraine treatment",
+    "Physical rehabilitation", "Dermatologic procedures",
+    "Minor injury repair", "Thyroid disorders",
+)
+
+INSURANCE_PLANS = (
+    "Aetna", "Blue Cross Blue Shield", "Cigna", "UnitedHealthcare",
+    "Humana", "Kaiser Permanente", "Medicare", "Medicaid", "Anthem",
+    "Oscar Health",
+)
+
+STREET_NAMES = (
+    "Oak", "Maple", "Cedar", "Elm", "Main", "Park", "Lake", "Hill",
+    "River", "Sunset", "Walnut", "Spring",
+)
+STREET_TYPES = ("Street", "Avenue", "Boulevard", "Drive", "Lane", "Road")
+
+TOPIC_PHRASES = (
+    "Language design and implementation", "Program synthesis",
+    "Static and dynamic analysis", "Type systems and verification",
+    "Compilers and runtime systems", "Testing and debugging",
+    "Parallelism and concurrency", "Security and privacy",
+    "Probabilistic programming", "Machine programming",
+)
+
+_GAZ_FIRST = tuple(sorted(gaz.FIRST_NAMES))
+_GAZ_LAST = tuple(sorted(gaz.LAST_NAMES))
+
+
+def person_name(rng: random.Random, unknown_rate: float = 0.25) -> str:
+    """A "First Last" name; with probability ``unknown_rate`` the first
+    name is outside the NER gazetteer (stressing the entity model)."""
+    if rng.random() < unknown_rate:
+        first = rng.choice(EXTRA_FIRST_NAMES).title()
+    else:
+        first = rng.choice(_GAZ_FIRST).title()
+    if rng.random() < unknown_rate / 2:
+        last = rng.choice(EXTRA_LAST_NAMES).title()
+    else:
+        last = rng.choice(_GAZ_LAST).title()
+    return f"{first} {last}"
+
+
+def person_names(rng: random.Random, count: int, **kwargs: float) -> list[str]:
+    """``count`` distinct person names."""
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        name = person_name(rng, **kwargs)
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def university_name(rng: random.Random) -> str:
+    return rng.choice(UNIVERSITY_PATTERNS).format(place=rng.choice(PLACES))
+
+
+def paper_title(rng: random.Random) -> str:
+    return (
+        f"{rng.choice(TITLE_VERBS)} {rng.choice(TITLE_OBJECTS)} "
+        f"{rng.choice(TITLE_SOURCES)}"
+    )
+
+
+def street_address(rng: random.Random) -> str:
+    number = rng.randint(100, 9999)
+    city = rng.choice(tuple(sorted(gaz.CITIES))).title()
+    state = rng.choice(tuple(sorted(gaz.US_STATE_ABBREVS)))
+    return (
+        f"{number} {rng.choice(STREET_NAMES)} {rng.choice(STREET_TYPES)}, "
+        f"{city}, {state}"
+    )
+
+
+def phone_number(rng: random.Random) -> str:
+    return f"({rng.randint(200, 989)}) {rng.randint(200, 989)}-{rng.randint(1000, 9999)}"
+
+
+def email_for(name: str, domain: str = "example.edu") -> str:
+    user = name.lower().replace(" ", ".").replace("'", "")
+    return f"{user}@{domain}"

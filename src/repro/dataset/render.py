@@ -1,0 +1,129 @@
+"""HTML rendering toolkit for the synthetic corpus.
+
+The corpus generators produce *content models* (who the students are,
+what the deadlines say) and render them through this toolkit, which
+supplies the structural heterogeneity the paper's evaluation depends on:
+the same content can appear as a ``<ul>``, a comma-separated paragraph, a
+``<table>``, one-per-line paragraphs, or a definition list, under ``<h2>``
+headers, bold pseudo-headers or ``<dt>`` labels, in shuffled section
+order.  No two layout draws produce the same DOM shape, which is what
+defeats XPath-style wrapper induction on these pages.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import random
+from dataclasses import dataclass, field
+
+LIST_STYLES = ("ul", "comma", "lines", "table", "semicolon")
+HEADER_STYLES = ("h2", "h3", "bold", "dt")
+
+
+def esc(text: str) -> str:
+    return html_escape.escape(text, quote=False)
+
+
+def render_items(items: list[str], style: str) -> str:
+    """Render a list of strings in one of :data:`LIST_STYLES`."""
+    if not items:
+        return ""
+    if style == "ul":
+        body = "".join(f"<li>{esc(i)}</li>" for i in items)
+        return f"<ul>{body}</ul>"
+    if style == "comma":
+        return f"<p>{esc(', '.join(items))}.</p>"
+    if style == "semicolon":
+        return f"<p>{esc('; '.join(items))}.</p>"
+    if style == "lines":
+        return "".join(f"<p>{esc(i)}</p>" for i in items)
+    if style == "table":
+        rows = "".join(f"<tr><td>{esc(i)}</td></tr>" for i in items)
+        return f"<table>{rows}</table>"
+    raise ValueError(f"unknown list style {style!r}")
+
+
+def render_pairs_table(pairs: list[tuple[str, str]]) -> str:
+    """Two-column table (e.g. PC member / affiliation)."""
+    rows = "".join(
+        f"<tr><td>{esc(a)}</td><td>{esc(b)}</td></tr>" for a, b in pairs
+    )
+    return f"<table>{rows}</table>"
+
+
+def render_header(title: str, style: str) -> str:
+    """Render a section header in one of :data:`HEADER_STYLES`."""
+    if style == "h2":
+        return f"<h2>{esc(title)}</h2>"
+    if style == "h3":
+        return f"<h3>{esc(title)}</h3>"
+    if style == "bold":
+        return f"<p><b>{esc(title)}</b></p>"
+    if style == "dt":
+        return f"<dl><dt>{esc(title)}</dt></dl>"
+    raise ValueError(f"unknown header style {style!r}")
+
+
+@dataclass
+class SectionSpec:
+    """One renderable section: a header plus pre-rendered body HTML."""
+
+    title: str
+    body_html: str
+    #: Sections with ``pinned=True`` keep their position when the page
+    #: shuffles section order (used for the intro/h1 block).
+    pinned: bool = False
+
+
+@dataclass
+class PageLayout:
+    """A page-level layout draw shared by all sections of one page."""
+
+    header_style: str
+    list_style: str
+    shuffle_sections: bool
+    rng: random.Random = field(repr=False, default_factory=random.Random)
+
+    @classmethod
+    def draw(cls, rng: random.Random) -> "PageLayout":
+        return cls(
+            header_style=rng.choice(HEADER_STYLES),
+            list_style=rng.choice(LIST_STYLES),
+            shuffle_sections=rng.random() < 0.7,
+            rng=rng,
+        )
+
+    def pick_list_style(self, allowed: tuple[str, ...] = LIST_STYLES) -> str:
+        """Per-section list style: usually the page style, sometimes not."""
+        if self.list_style in allowed and self.rng.random() < 0.6:
+            return self.list_style
+        return self.rng.choice(allowed)
+
+
+def assemble_page(
+    title: str,
+    intro_html: str,
+    sections: list[SectionSpec],
+    layout: PageLayout,
+) -> str:
+    """Assemble a complete HTML document from rendered sections."""
+    ordered = list(sections)
+    if layout.shuffle_sections:
+        movable = [s for s in ordered if not s.pinned]
+        layout.rng.shuffle(movable)
+        iterator = iter(movable)
+        ordered = [s if s.pinned else next(iterator) for s in ordered]
+    parts = [
+        "<html><head><title>", esc(title), "</title></head><body>",
+        f"<h1>{esc(title)}</h1>", intro_html,
+    ]
+    for section in ordered:
+        parts.append(render_header(section.title, layout.header_style))
+        parts.append(section.body_html)
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def pick_title(rng: random.Random, variants: tuple[str, ...]) -> str:
+    """One of several equivalent section names (schema heterogeneity)."""
+    return rng.choice(variants)

@@ -1,0 +1,159 @@
+"""The 25 evaluation tasks (paper Tables 1 and 5, verbatim).
+
+Each task carries the natural-language question and the keyword set the
+paper lists in Table 5, keyed by the paper's task ids (``fac_t1`` …
+``clinic_t5``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DOMAINS = ("faculty", "conference", "class", "clinic")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One evaluation task: a query over a domain of webpages."""
+
+    task_id: str
+    domain: str
+    description: str
+    question: str
+    keywords: tuple[str, ...]
+
+
+TASKS: tuple[Task, ...] = (
+    # --- Faculty -------------------------------------------------------------
+    Task(
+        "fac_t1", "faculty", "Extract current PhD students",
+        "Who are the current PhD students?", ("Current Students", "PhD"),
+    ),
+    Task(
+        "fac_t2", "faculty", "Extract conference publications at PLDI",
+        "What are the conference publications at PLDI?",
+        ("Conference Publications", "PLDI"),
+    ),
+    Task(
+        "fac_t3", "faculty", "Extract courses they have taught",
+        "What courses does this person teach?", ("Courses", "Teaching"),
+    ),
+    Task(
+        "fac_t4", "faculty",
+        "Extract those papers that received a Best Paper Award",
+        "What are the the papers that received the Best Paper Award?",
+        ("Conference Publications", "Best Paper Award"),
+    ),
+    Task(
+        "fac_t5", "faculty", "Extract program committees they have served on",
+        "What program committees or PC has this person served for?",
+        ("Program Committee", "PC"),
+    ),
+    Task(
+        "fac_t6", "faculty", "Extract conference papers they published in 2012",
+        "What conference papers have been published in 2012?",
+        ("Conference Publications", "2012"),
+    ),
+    Task(
+        "fac_t7", "faculty",
+        "Extract co-authors among all papers published at PLDI",
+        "Who are the co-authors among all papers published at PLDI?",
+        ("Conference Publications", "PLDI"),
+    ),
+    Task(
+        "fac_t8", "faculty", "Extract formerly advised students",
+        "Who are the alumni or formerly advised students?",
+        ("Alumni", "Former Students"),
+    ),
+    # --- Conference ------------------------------------------------------------
+    Task(
+        "conf_t1", "conference", "Extract program chairs",
+        "Who are the program chairs or co-chairs?",
+        ("Program Chair", "Program Co-chair", "PC Chair"),
+    ),
+    Task(
+        "conf_t2", "conference", "Extract program committee members",
+        "Who are the program committee (PC) members?",
+        ("Program Committee", "PC"),
+    ),
+    Task(
+        "conf_t3", "conference", "Extract the topics of interest",
+        "What are the topics of interest?", ("Topics",),
+    ),
+    Task(
+        "conf_t4", "conference", "Extract the paper submission deadlines",
+        "When is the paper submission deadline?", ("Paper Submission Deadline",),
+    ),
+    Task(
+        "conf_t5", "conference",
+        "Extract whether the conference is single-blind or double-blind",
+        "Is this conference double-blind or single-blind?",
+        ("Double-blind", "Single-blind"),
+    ),
+    Task(
+        "conf_t6", "conference", "Extract institutions PC members are from",
+        "What institutions are the program committee or PC members from?",
+        ("Program Committee", "PC"),
+    ),
+    # --- Class ---------------------------------------------------------------------
+    Task(
+        "class_t1", "class", "Extract the time of the lectures",
+        "When are the lectures or sections?", ("Section", "Lecture"),
+    ),
+    Task(
+        "class_t2", "class", "Extract the name of instructors",
+        "Who are the instructors?", ("Instructors",),
+    ),
+    Task(
+        "class_t3", "class", "Extract the name of teaching assistants",
+        "Who are the teaching assistants (TAs)?", ("Teaching Assistants", "TAs"),
+    ),
+    Task(
+        "class_t4", "class", "Extract the date of the exams",
+        "When are the midterms or exams?", ("Exam", "Midterm", "Test"),
+    ),
+    Task(
+        "class_t5", "class", "Extract information about textbooks",
+        "What are the textbooks?", ("Textbooks", "Materials", "Required Texts"),
+    ),
+    Task(
+        "class_t6", "class", "Extract information on how grades are assigned",
+        "How are the grades counted in this class?",
+        ("Grades", "Grading", "Rubric"),
+    ),
+    # --- Clinic ------------------------------------------------------------------------
+    Task(
+        "clinic_t1", "clinic", "Extract the doctors or providers",
+        "Who are the doctors or providers?", ("Doctor", "Provider", "Our Team"),
+    ),
+    Task(
+        "clinic_t2", "clinic", "Extract the provided services",
+        "What types of service do they provide?", ("Our Services",),
+    ),
+    Task(
+        "clinic_t3", "clinic", "Extract the types of treatments they specialize in",
+        "What types of treatments do they specialize in?",
+        ("Treatments", "Specialties"),
+    ),
+    Task(
+        "clinic_t4", "clinic", "Extract the accepted insurances",
+        "What insurance plan do they accept?", ("Insurance", "Plans Accepted"),
+    ),
+    Task(
+        "clinic_t5", "clinic", "Extract the locations",
+        "Where are the clinics located?", ("Locations",),
+    ),
+)
+
+TASKS_BY_ID: dict[str, Task] = {task.task_id: task for task in TASKS}
+
+
+def tasks_for_domain(domain: str) -> tuple[Task, ...]:
+    """All tasks of one evaluation domain, in paper order.
+
+    >>> [t.task_id for t in tasks_for_domain('conference')][:2]
+    ['conf_t1', 'conf_t2']
+    """
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}; expected one of {DOMAINS}")
+    return tuple(task for task in TASKS if task.domain == domain)

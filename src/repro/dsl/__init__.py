@@ -1,0 +1,65 @@
+"""The WebQA neurosymbolic DSL (paper Section 4).
+
+- :mod:`repro.dsl.ast` — the grammar of Figure 5 as frozen dataclasses.
+- :mod:`repro.dsl.eval` — the interpreter (:class:`EvalContext`).
+- :mod:`repro.dsl.productions` — ``ApplyProduction`` for bottom-up search.
+- :mod:`repro.dsl.pretty` — paper-notation pretty printer.
+- :mod:`repro.dsl.depth` — size/depth metrics.
+"""
+
+from . import ast
+from .parser import DslSyntaxError, parse_extractor, parse_locator, parse_program
+from .serialize import dumps, load_program, loads, save_program
+from .depth import (
+    extractor_depth,
+    extractor_size,
+    guard_size,
+    locator_depth,
+    locator_size,
+    program_size,
+)
+from .eval import SPLIT_DELIMITERS, EvalContext, run_program
+from .pretty import pretty, pretty_program
+from .productions import (
+    ProductionConfig,
+    default_thresholds,
+    expand_extractor,
+    expand_locator,
+    fine_thresholds,
+    gen_guards,
+)
+from .types import Answer, Keywords, NodeSet, Question, dedupe_ordered
+
+__all__ = [
+    "ast",
+    "DslSyntaxError",
+    "parse_extractor",
+    "parse_locator",
+    "parse_program",
+    "dumps",
+    "loads",
+    "save_program",
+    "load_program",
+    "EvalContext",
+    "run_program",
+    "SPLIT_DELIMITERS",
+    "pretty",
+    "pretty_program",
+    "ProductionConfig",
+    "default_thresholds",
+    "fine_thresholds",
+    "expand_extractor",
+    "expand_locator",
+    "gen_guards",
+    "extractor_depth",
+    "extractor_size",
+    "guard_size",
+    "locator_depth",
+    "locator_size",
+    "program_size",
+    "Answer",
+    "Keywords",
+    "NodeSet",
+    "Question",
+    "dedupe_ordered",
+]

@@ -1,0 +1,276 @@
+"""AST of the WebQA DSL (paper Figure 5).
+
+The grammar, verbatim from the paper::
+
+    Program   p  ::= λQ,K,W. {ψ1 → λx.e1, ..., ψn → λx.en}
+    Guard     ψ  ::= Sat(ν, λz.φ) | IsSingleton(ν)
+    Extractor e  ::= ExtractContent(x) | Substring(e, λz.φ, k)
+                   | Filter(e, λz.φ) | Split(e, c)
+    Locator   ν  ::= GetRoot(W) | GetChildren(ν, λn.φ) | GetDescendants(ν, λn.φ)
+    NodeFilter φn ::= isLeaf(n) | isElem(n) | matchText(n, λz.φ, b)
+                   | ⊤ | φn ∧ φn | φn ∨ φn | ¬φn
+    NlpPred   φ  ::= matchKeyword(z, K, t) | hasAnswer(z, Q) | hasEntity(z, l)
+                   | ⊤ | φ ∧ φ | φ ∨ φ | ¬φ
+
+All nodes are immutable frozen dataclasses with structural equality, so
+they can serve as memoization keys during synthesis.  The question ``Q``
+and keyword set ``K`` are *program inputs*, not AST constants: the AST
+refers to them implicitly and they are supplied at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# NLP predicates φ (over strings z)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NlpPred:
+    """Base class for string predicates."""
+
+
+@dataclass(frozen=True)
+class MatchKeyword(NlpPred):
+    """``matchKeyword(z, K, t)`` — similarity of z to some k ∈ K is ≥ t."""
+
+    threshold: float
+
+
+@dataclass(frozen=True)
+class HasAnswer(NlpPred):
+    """``hasAnswer(z, Q)`` — the QA model finds Q's answer in z."""
+
+
+@dataclass(frozen=True)
+class HasEntity(NlpPred):
+    """``hasEntity(z, l)`` — z contains an entity of type ``label``."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class TruePred(NlpPred):
+    """The ⊤ predicate."""
+
+
+@dataclass(frozen=True)
+class AndPred(NlpPred):
+    left: NlpPred
+    right: NlpPred
+
+
+@dataclass(frozen=True)
+class OrPred(NlpPred):
+    left: NlpPred
+    right: NlpPred
+
+
+@dataclass(frozen=True)
+class NotPred(NlpPred):
+    operand: NlpPred
+
+
+# ---------------------------------------------------------------------------
+# Node filters φ (over tree nodes n)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeFilter:
+    """Base class for tree-node predicates."""
+
+
+@dataclass(frozen=True)
+class IsLeaf(NodeFilter):
+    """``isLeaf(n)`` — n has no children."""
+
+
+@dataclass(frozen=True)
+class IsElem(NodeFilter):
+    """``isElem(n)`` — n is a list item or table row."""
+
+
+@dataclass(frozen=True)
+class MatchText(NodeFilter):
+    """``matchText(n, λz.φ, b)`` — apply φ to n's text.
+
+    ``whole_subtree`` is the paper's boolean ``b``: when true the predicate
+    sees the text of the entire subtree rooted at n, otherwise only n's own
+    text.
+    """
+
+    pred: NlpPred
+    whole_subtree: bool = False
+
+
+@dataclass(frozen=True)
+class TrueFilter(NodeFilter):
+    """The ⊤ node filter."""
+
+
+@dataclass(frozen=True)
+class AndFilter(NodeFilter):
+    left: NodeFilter
+    right: NodeFilter
+
+
+@dataclass(frozen=True)
+class OrFilter(NodeFilter):
+    left: NodeFilter
+    right: NodeFilter
+
+
+@dataclass(frozen=True)
+class NotFilter(NodeFilter):
+    operand: NodeFilter
+
+
+# ---------------------------------------------------------------------------
+# Section locators ν
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Locator:
+    """Base class for section locators."""
+
+
+@dataclass(frozen=True)
+class GetRoot(Locator):
+    """``GetRoot(W)`` — the singleton set {root of W}."""
+
+
+@dataclass(frozen=True)
+class GetChildren(Locator):
+    """``GetChildren(ν, λn.φ)`` — children of ν's nodes satisfying φ."""
+
+    source: Locator
+    node_filter: NodeFilter
+
+
+@dataclass(frozen=True)
+class GetDescendants(Locator):
+    """``GetDescendants(ν, λn.φ)`` — descendants of ν's nodes satisfying φ."""
+
+    source: Locator
+    node_filter: NodeFilter
+
+
+# ---------------------------------------------------------------------------
+# Guards ψ
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Base class for guards; every guard wraps a section locator."""
+
+    locator: Locator
+
+
+@dataclass(frozen=True)
+class Sat(Guard):
+    """``Sat(ν, λz.φ)`` — some located node's text satisfies φ.
+
+    Evaluates to (bool, located nodes); the nodes are bound to the
+    extractor variable x when the guard fires.
+    """
+
+    pred: NlpPred = field(default_factory=TruePred)
+
+
+@dataclass(frozen=True)
+class IsSingleton(Guard):
+    """``IsSingleton(ν)`` — the located node set has exactly one node."""
+
+
+# ---------------------------------------------------------------------------
+# Extractors e
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Extractor:
+    """Base class for extractors (set-of-strings transformers)."""
+
+
+@dataclass(frozen=True)
+class ExtractContent(Extractor):
+    """``ExtractContent(x)`` — the text of each located node."""
+
+
+@dataclass(frozen=True)
+class Substring(Extractor):
+    """``Substring(e, λz.φ, k)`` — top-k substrings of each string by φ."""
+
+    source: Extractor
+    pred: NlpPred
+    k: int = 1
+
+
+@dataclass(frozen=True)
+class Filter(Extractor):
+    """``Filter(e, λz.φ)`` — keep only strings satisfying φ."""
+
+    source: Extractor
+    pred: NlpPred
+
+
+@dataclass(frozen=True)
+class Split(Extractor):
+    """``Split(e, c)`` — split every string on delimiter character c."""
+
+    source: Extractor
+    delimiter: str
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One guarded branch ``ψ → λx.e``."""
+
+    guard: Guard
+    extractor: Extractor
+
+
+@dataclass(frozen=True)
+class Program:
+    """A full WebQA program: an ordered sequence of guarded branches.
+
+    Semantics (paper Section 4): guards are tried in order; the first true
+    guard's extractor runs on the located nodes; if no guard fires the
+    program returns the empty set.
+    """
+
+    branches: tuple[Branch, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.branches, tuple):
+            object.__setattr__(self, "branches", tuple(self.branches))
+
+
+AnyNode = Union[NlpPred, NodeFilter, Locator, Guard, Extractor, Branch, Program]
+
+
+def get_entity(source: Extractor, label: str, k: int = 1) -> Substring:
+    """The paper's ``GetEntity`` syntactic sugar (footnote 3).
+
+    ``GetEntity(e, l)`` ≡ ``Substring(e, λz.hasEntity(z, l), k)``.
+    """
+    return Substring(source, HasEntity(label), k)
+
+
+def get_leaves(source: Locator) -> GetDescendants:
+    """The paper's ``GetLeaves`` syntactic sugar (footnote 2).
+
+    ``GetLeaves(ν)`` ≡ ``GetDescendants(ν, λn.isLeaf(n))``.
+    """
+    return GetDescendants(source, IsLeaf())

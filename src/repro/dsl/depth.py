@@ -1,0 +1,78 @@
+"""Size and depth metrics over DSL terms.
+
+Depth limits bound the synthesis search space (the paper's guard-depth 7
+and extractor-depth 5 hyperparameters, Section 7); AST size is the
+tie-breaking heuristic of the "Shortest" selection baseline (Section 8.3).
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def pred_size(pred: ast.NlpPred) -> int:
+    if isinstance(pred, (ast.AndPred, ast.OrPred)):
+        return 1 + pred_size(pred.left) + pred_size(pred.right)
+    if isinstance(pred, ast.NotPred):
+        return 1 + pred_size(pred.operand)
+    return 1
+
+
+def filter_size(node_filter: ast.NodeFilter) -> int:
+    if isinstance(node_filter, (ast.AndFilter, ast.OrFilter)):
+        return 1 + filter_size(node_filter.left) + filter_size(node_filter.right)
+    if isinstance(node_filter, ast.NotFilter):
+        return 1 + filter_size(node_filter.operand)
+    if isinstance(node_filter, ast.MatchText):
+        return 1 + pred_size(node_filter.pred)
+    return 1
+
+
+def locator_size(locator: ast.Locator) -> int:
+    if isinstance(locator, (ast.GetChildren, ast.GetDescendants)):
+        return 1 + locator_size(locator.source) + filter_size(locator.node_filter)
+    return 1
+
+
+def locator_depth(locator: ast.Locator) -> int:
+    """Chain length of a locator: GetRoot has depth 1.
+
+    >>> locator_depth(ast.GetChildren(ast.GetRoot(), ast.TrueFilter()))
+    2
+    """
+    if isinstance(locator, (ast.GetChildren, ast.GetDescendants)):
+        return 1 + locator_depth(locator.source)
+    return 1
+
+
+def extractor_size(extractor: ast.Extractor) -> int:
+    if isinstance(extractor, ast.Split):
+        return 1 + extractor_size(extractor.source)
+    if isinstance(extractor, ast.Filter):
+        return 1 + extractor_size(extractor.source) + pred_size(extractor.pred)
+    if isinstance(extractor, ast.Substring):
+        return 1 + extractor_size(extractor.source) + pred_size(extractor.pred)
+    return 1
+
+
+def extractor_depth(extractor: ast.Extractor) -> int:
+    """Chain length of an extractor: ExtractContent has depth 1."""
+    if isinstance(extractor, (ast.Split, ast.Filter, ast.Substring)):
+        return 1 + extractor_depth(extractor.source)
+    return 1
+
+
+def guard_size(guard: ast.Guard) -> int:
+    size = 1 + locator_size(guard.locator)
+    if isinstance(guard, ast.Sat):
+        size += pred_size(guard.pred)
+    return size
+
+
+def branch_size(branch: ast.Branch) -> int:
+    return guard_size(branch.guard) + extractor_size(branch.extractor)
+
+
+def program_size(program: ast.Program) -> int:
+    """Total AST size — the "Shortest" baseline's ranking key."""
+    return sum(branch_size(b) for b in program.branches)

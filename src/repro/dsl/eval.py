@@ -1,0 +1,260 @@
+"""Interpreter for the WebQA DSL (denotational semantics of Section 4).
+
+Evaluation is organized around an :class:`EvalContext` that carries the
+program inputs (question Q, keywords K, webpage W), the neural model
+bundle, and per-page memo tables.  Synthesis re-evaluates shared
+subprograms constantly; memoizing locator and extractor denotations is
+what the paper's footnote 6 alludes to and is essential for performance.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..nlp.models import NlpModels
+from ..webtree.node import PageNode, WebPage
+from . import ast
+from .types import Answer, Keywords, NodeSet, Question, dedupe_ordered
+
+#: Delimiters the Split construct may use (the paper's ``c``).
+SPLIT_DELIMITERS = (",", ";", "|", "•", "/")
+
+
+class EvalContext:
+    """Evaluation state for one (question, keywords, webpage) triple."""
+
+    def __init__(
+        self,
+        page: WebPage,
+        question: Question,
+        keywords: Keywords,
+        models: NlpModels,
+    ) -> None:
+        self.page = page
+        self.question = question
+        self.keywords = tuple(keywords)
+        self.models = models
+        self._locator_cache: dict[ast.Locator, NodeSet] = {}
+        self._extractor_cache: dict[tuple[ast.Extractor, NodeSet], Answer] = {}
+        self._pred_cache: dict[tuple[ast.NlpPred, str], bool] = {}
+
+    # -- NLP predicates φ over strings ----------------------------------------
+
+    def eval_pred(self, pred: ast.NlpPred, text: str) -> bool:
+        key = (pred, text)
+        cached = self._pred_cache.get(key)
+        if cached is None:
+            cached = self._eval_pred_uncached(pred, text)
+            self._pred_cache[key] = cached
+        return cached
+
+    def _eval_pred_uncached(self, pred: ast.NlpPred, text: str) -> bool:
+        if isinstance(pred, ast.TruePred):
+            return bool(text.strip())
+        if isinstance(pred, ast.MatchKeyword):
+            return self.models.match_keyword(text, self.keywords, pred.threshold)
+        if isinstance(pred, ast.HasAnswer):
+            return self.models.has_answer(text, self.question)
+        if isinstance(pred, ast.HasEntity):
+            return self.models.has_entity(text, pred.label)
+        if isinstance(pred, ast.AndPred):
+            return self.eval_pred(pred.left, text) and self.eval_pred(pred.right, text)
+        if isinstance(pred, ast.OrPred):
+            return self.eval_pred(pred.left, text) or self.eval_pred(pred.right, text)
+        if isinstance(pred, ast.NotPred):
+            return not self.eval_pred(pred.operand, text)
+        raise TypeError(f"unknown NLP predicate: {pred!r}")
+
+    # -- node filters φ over tree nodes --------------------------------------------
+
+    def eval_filter(self, node_filter: ast.NodeFilter, node: PageNode) -> bool:
+        if isinstance(node_filter, ast.TrueFilter):
+            return True
+        if isinstance(node_filter, ast.IsLeaf):
+            return node.is_leaf()
+        if isinstance(node_filter, ast.IsElem):
+            return node.is_elem()
+        if isinstance(node_filter, ast.MatchText):
+            text = node.subtree_text() if node_filter.whole_subtree else node.text
+            return self.eval_pred(node_filter.pred, text)
+        if isinstance(node_filter, ast.AndFilter):
+            return self.eval_filter(node_filter.left, node) and self.eval_filter(
+                node_filter.right, node
+            )
+        if isinstance(node_filter, ast.OrFilter):
+            return self.eval_filter(node_filter.left, node) or self.eval_filter(
+                node_filter.right, node
+            )
+        if isinstance(node_filter, ast.NotFilter):
+            return not self.eval_filter(node_filter.operand, node)
+        raise TypeError(f"unknown node filter: {node_filter!r}")
+
+    # -- section locators ν ------------------------------------------------------------
+
+    def eval_locator(self, locator: ast.Locator) -> NodeSet:
+        cached = self._locator_cache.get(locator)
+        if cached is None:
+            cached = self._eval_locator_uncached(locator)
+            self._locator_cache[locator] = cached
+        return cached
+
+    def _eval_locator_uncached(self, locator: ast.Locator) -> NodeSet:
+        if isinstance(locator, ast.GetRoot):
+            return (self.page.root,)
+        if isinstance(locator, ast.GetChildren):
+            sources = self.eval_locator(locator.source)
+            found = [
+                child
+                for node in sources
+                for child in node.children
+                if self.eval_filter(locator.node_filter, child)
+            ]
+            return _dedupe_nodes(found)
+        if isinstance(locator, ast.GetDescendants):
+            sources = self.eval_locator(locator.source)
+            found = [
+                descendant
+                for node in sources
+                for descendant in node.descendants()
+                if self.eval_filter(locator.node_filter, descendant)
+            ]
+            return _dedupe_nodes(found)
+        raise TypeError(f"unknown locator: {locator!r}")
+
+    # -- guards ψ -----------------------------------------------------------------------
+
+    def eval_guard(self, guard: ast.Guard) -> tuple[bool, NodeSet]:
+        """Guard denotation: (fired?, located nodes)."""
+        nodes = self.eval_locator(guard.locator)
+        if isinstance(guard, ast.IsSingleton):
+            return len(nodes) == 1, nodes
+        if isinstance(guard, ast.Sat):
+            fired = any(self.eval_pred(guard.pred, node.text) for node in nodes)
+            return fired, nodes
+        raise TypeError(f"unknown guard: {guard!r}")
+
+    # -- extractors e --------------------------------------------------------------------
+
+    def eval_extractor(self, extractor: ast.Extractor, nodes: NodeSet) -> Answer:
+        key = (extractor, nodes)
+        cached = self._extractor_cache.get(key)
+        if cached is None:
+            cached = self._eval_extractor_uncached(extractor, nodes)
+            self._extractor_cache[key] = cached
+        return cached
+
+    def _eval_extractor_uncached(
+        self, extractor: ast.Extractor, nodes: NodeSet
+    ) -> Answer:
+        if isinstance(extractor, ast.ExtractContent):
+            return dedupe_ordered([n.text for n in nodes])
+        if isinstance(extractor, ast.Split):
+            source = self.eval_extractor(extractor.source, nodes)
+            pieces: list[str] = []
+            for item in source:
+                pieces.extend(p.strip() for p in item.split(extractor.delimiter))
+            return dedupe_ordered(pieces)
+        if isinstance(extractor, ast.Filter):
+            source = self.eval_extractor(extractor.source, nodes)
+            return dedupe_ordered(
+                [s for s in source if self.eval_pred(extractor.pred, s)]
+            )
+        if isinstance(extractor, ast.Substring):
+            source = self.eval_extractor(extractor.source, nodes)
+            found: list[str] = []
+            for item in source:
+                found.extend(self.substrings(extractor.pred, item, extractor.k))
+            return dedupe_ordered(found)
+        raise TypeError(f"unknown extractor: {extractor!r}")
+
+    # -- Substring candidate generation -----------------------------------------------
+
+    def substrings(self, pred: ast.NlpPred, text: str, k: int) -> list[str]:
+        """Top-k substrings of ``text`` satisfying ``pred``.
+
+        Atomic predicates have natural span generators (entity spans, QA
+        answer spans, keyword-scored segments); compound predicates pool
+        the candidates of their atoms and keep those on which the full
+        predicate holds.
+        """
+        if isinstance(pred, ast.HasEntity):
+            return self.models.entity_substrings(text, pred.label, k)
+        if isinstance(pred, ast.HasAnswer):
+            return self.models.answer_substrings(text, self.question, k)
+        if isinstance(pred, ast.MatchKeyword):
+            segments = _segments(text)
+            scored = [
+                (self.models.keyword_similarity(seg, self.keywords), seg)
+                for seg in segments
+            ]
+            winners = [seg for score, seg in scored if score >= pred.threshold]
+            winners.sort(
+                key=lambda seg: -self.models.keyword_similarity(seg, self.keywords)
+            )
+            return winners[:k] if k > 0 else winners
+        if isinstance(pred, ast.TruePred):
+            return [text] if text.strip() else []
+        # Compound predicates: union of atomic candidates, filtered.
+        candidates: list[str] = []
+        for atom in _atoms(pred):
+            candidates.extend(self.substrings(atom, text, 0) or _segments(text))
+        kept = [c for c in dedupe_ordered(candidates) if self.eval_pred(pred, c)]
+        return kept[:k] if k > 0 else kept
+
+    # -- programs -------------------------------------------------------------------------
+
+    def eval_branch(self, branch: ast.Branch) -> Answer | None:
+        """Branch result if its guard fires, else ``None``."""
+        fired, nodes = self.eval_guard(branch.guard)
+        if not fired:
+            return None
+        return self.eval_extractor(branch.extractor, nodes)
+
+    def eval_program(self, program: ast.Program) -> Answer:
+        for branch in program.branches:
+            result = self.eval_branch(branch)
+            if result is not None:
+                return result
+        return ()
+
+
+def _dedupe_nodes(nodes: list[PageNode]) -> NodeSet:
+    seen: set[int] = set()
+    unique: list[PageNode] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    return tuple(unique)
+
+
+_SEGMENT_RE = re.compile(r"[,;|•\n]| - |: ")
+
+
+def _segments(text: str) -> list[str]:
+    """Clause-ish segments of a string, used as Substring candidates."""
+    pieces = [p.strip() for p in _SEGMENT_RE.split(text)]
+    pieces = [p for p in pieces if p]
+    if text.strip() and text.strip() not in pieces:
+        pieces.append(text.strip())
+    return pieces
+
+
+def _atoms(pred: ast.NlpPred) -> list[ast.NlpPred]:
+    """Atomic predicates of a compound predicate, left-to-right."""
+    if isinstance(pred, (ast.AndPred, ast.OrPred)):
+        return _atoms(pred.left) + _atoms(pred.right)
+    if isinstance(pred, ast.NotPred):
+        return _atoms(pred.operand)
+    return [pred]
+
+
+def run_program(
+    program: ast.Program,
+    page: WebPage,
+    question: Question,
+    keywords: Keywords,
+    models: NlpModels,
+) -> Answer:
+    """One-shot convenience wrapper: evaluate ``program`` on one page."""
+    return EvalContext(page, question, keywords, models).eval_program(program)

@@ -1,0 +1,271 @@
+"""Parser for the DSL's surface syntax (inverse of :mod:`~repro.dsl.pretty`).
+
+Accepts exactly the notation the pretty-printer emits — the paper's own
+notation from Figure 5 — so programs can be written or edited by hand::
+
+    parse_program(
+        "λQ,K,W. { Sat(GetRoot(W), λz.⊤) → λx.ExtractContent(x) }"
+    )
+
+Round-trip law (property-checked by the test suite)::
+
+    parse_program(pretty_program(p)) == p
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import ast
+
+
+class DslSyntaxError(ValueError):
+    """Raised when the input is not well-formed DSL surface syntax."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      λQ,K,W\.            # program lambda
+    | λ[xzn]\.            # binder lambdas
+    | →                   # branch arrow
+    | [{}();,]            # punctuation
+    | ∧ | ∨ | ¬ | ⊤      # logical symbols
+    | '(?:[^'\\]|\\.)'    # character literal for Split
+    | \d+\.\d+            # float (thresholds)
+    | \d+                 # int (k)
+    | [A-Za-z_][A-Za-z_0-9]*   # identifiers
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    for match in _TOKEN_RE.finditer(text):
+        between = text[position : match.start()]
+        if between.strip():
+            raise DslSyntaxError(f"unexpected input: {between.strip()!r}")
+        tokens.append(match.group())
+        position = match.end()
+    if text[position:].strip():
+        raise DslSyntaxError(f"unexpected trailing input: {text[position:].strip()!r}")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise DslSyntaxError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise DslSyntaxError(f"expected {expected!r}, found {token!r}")
+
+    def done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar ----------------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        self.expect("λQ,K,W.")
+        self.expect("{")
+        branches: list[ast.Branch] = []
+        if self.peek() != "}":
+            branches.append(self.branch())
+            while self.peek() == ";":
+                self.next()
+                branches.append(self.branch())
+        self.expect("}")
+        return ast.Program(tuple(branches))
+
+    def branch(self) -> ast.Branch:
+        guard = self.guard()
+        self.expect("→")
+        self.expect("λx.")
+        return ast.Branch(guard, self.extractor())
+
+    def guard(self) -> ast.Guard:
+        head = self.next()
+        self.expect("(")
+        if head == "IsSingleton":
+            locator = self.locator()
+            self.expect(")")
+            return ast.IsSingleton(locator)
+        if head == "Sat":
+            locator = self.locator()
+            self.expect(",")
+            self.expect("λz.")
+            pred = self.pred()
+            self.expect(")")
+            return ast.Sat(locator, pred)
+        raise DslSyntaxError(f"expected a guard, found {head!r}")
+
+    def locator(self) -> ast.Locator:
+        head = self.next()
+        self.expect("(")
+        if head == "GetRoot":
+            self.expect("W")
+            self.expect(")")
+            return ast.GetRoot()
+        if head in ("GetChildren", "GetDescendants"):
+            source = self.locator()
+            self.expect(",")
+            self.expect("λn.")
+            node_filter = self.node_filter()
+            self.expect(")")
+            cls = ast.GetChildren if head == "GetChildren" else ast.GetDescendants
+            return cls(source, node_filter)
+        raise DslSyntaxError(f"expected a locator, found {head!r}")
+
+    def node_filter(self) -> ast.NodeFilter:
+        token = self.peek()
+        if token == "⊤":
+            self.next()
+            return ast.TrueFilter()
+        if token == "¬":
+            self.next()
+            return ast.NotFilter(self.node_filter())
+        if token == "(":
+            self.next()
+            left = self.node_filter()
+            op = self.next()
+            right = self.node_filter()
+            self.expect(")")
+            if op == "∧":
+                return ast.AndFilter(left, right)
+            if op == "∨":
+                return ast.OrFilter(left, right)
+            raise DslSyntaxError(f"expected ∧ or ∨, found {op!r}")
+        head = self.next()
+        self.expect("(")
+        if head in ("isLeaf", "isElem"):
+            self.expect("n")
+            self.expect(")")
+            return ast.IsLeaf() if head == "isLeaf" else ast.IsElem()
+        if head == "matchText":
+            self.expect("n")
+            self.expect(",")
+            self.expect("λz.")
+            pred = self.pred()
+            self.expect(",")
+            flag = self.next()
+            if flag not in ("true", "false"):
+                raise DslSyntaxError(f"expected true/false, found {flag!r}")
+            self.expect(")")
+            return ast.MatchText(pred, flag == "true")
+        raise DslSyntaxError(f"expected a node filter, found {head!r}")
+
+    def pred(self) -> ast.NlpPred:
+        token = self.peek()
+        if token == "⊤":
+            self.next()
+            return ast.TruePred()
+        if token == "¬":
+            self.next()
+            return ast.NotPred(self.pred())
+        if token == "(":
+            self.next()
+            left = self.pred()
+            op = self.next()
+            right = self.pred()
+            self.expect(")")
+            if op == "∧":
+                return ast.AndPred(left, right)
+            if op == "∨":
+                return ast.OrPred(left, right)
+            raise DslSyntaxError(f"expected ∧ or ∨, found {op!r}")
+        head = self.next()
+        self.expect("(")
+        self.expect("z")
+        self.expect(",")
+        if head == "matchKeyword":
+            self.expect("K")
+            self.expect(",")
+            threshold = self.next()
+            self.expect(")")
+            return ast.MatchKeyword(float(threshold))
+        if head == "hasAnswer":
+            self.expect("Q")
+            self.expect(")")
+            return ast.HasAnswer()
+        if head == "hasEntity":
+            label = self.next()
+            self.expect(")")
+            return ast.HasEntity(label)
+        raise DslSyntaxError(f"expected an NLP predicate, found {head!r}")
+
+    def extractor(self) -> ast.Extractor:
+        head = self.next()
+        self.expect("(")
+        if head == "ExtractContent":
+            self.expect("x")
+            self.expect(")")
+            return ast.ExtractContent()
+        if head == "Split":
+            source = self.extractor()
+            self.expect(",")
+            literal = self.next()
+            if not (literal.startswith("'") and literal.endswith("'")):
+                raise DslSyntaxError(f"expected a delimiter literal, found {literal!r}")
+            self.expect(")")
+            return ast.Split(source, literal[1:-1].replace("\\'", "'"))
+        if head == "Filter":
+            source = self.extractor()
+            self.expect(",")
+            self.expect("λz.")
+            pred = self.pred()
+            self.expect(")")
+            return ast.Filter(source, pred)
+        if head == "Substring":
+            source = self.extractor()
+            self.expect(",")
+            self.expect("λz.")
+            pred = self.pred()
+            self.expect(",")
+            k = int(self.next())
+            self.expect(")")
+            return ast.Substring(source, pred, k)
+        raise DslSyntaxError(f"expected an extractor, found {head!r}")
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse a full program in the paper's surface syntax."""
+    parser = _Parser(_tokenize(text))
+    program = parser.program()
+    if not parser.done():
+        raise DslSyntaxError(f"unexpected trailing tokens: {parser.peek()!r}")
+    return program
+
+
+def parse_extractor(text: str) -> ast.Extractor:
+    """Parse a standalone extractor expression."""
+    parser = _Parser(_tokenize(text))
+    extractor = parser.extractor()
+    if not parser.done():
+        raise DslSyntaxError(f"unexpected trailing tokens: {parser.peek()!r}")
+    return extractor
+
+
+def parse_locator(text: str) -> ast.Locator:
+    """Parse a standalone section-locator expression."""
+    parser = _Parser(_tokenize(text))
+    locator = parser.locator()
+    if not parser.done():
+        raise DslSyntaxError(f"unexpected trailing tokens: {parser.peek()!r}")
+    return locator

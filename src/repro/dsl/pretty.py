@@ -1,0 +1,126 @@
+"""Pretty-printer producing the paper's surface syntax for DSL terms.
+
+The output matches the notation of Figures 5 and the worked examples in
+Section 2, e.g.::
+
+    GetLeaves(GetDescendants(r, λz. matchKeyword(z, K, 0.70)))
+    λx. GetEntity(Filter(Split(ExtractContent(x), ','), λz. matchKeyword(z, K, 0.70)), ORG)
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def pretty_pred(pred: ast.NlpPred) -> str:
+    if isinstance(pred, ast.MatchKeyword):
+        return f"matchKeyword(z, K, {pred.threshold:.2f})"
+    if isinstance(pred, ast.HasAnswer):
+        return "hasAnswer(z, Q)"
+    if isinstance(pred, ast.HasEntity):
+        return f"hasEntity(z, {pred.label})"
+    if isinstance(pred, ast.TruePred):
+        return "⊤"
+    if isinstance(pred, ast.AndPred):
+        return f"({pretty_pred(pred.left)} ∧ {pretty_pred(pred.right)})"
+    if isinstance(pred, ast.OrPred):
+        return f"({pretty_pred(pred.left)} ∨ {pretty_pred(pred.right)})"
+    if isinstance(pred, ast.NotPred):
+        return f"¬{pretty_pred(pred.operand)}"
+    raise TypeError(f"unknown predicate: {pred!r}")
+
+
+def pretty_filter(node_filter: ast.NodeFilter) -> str:
+    if isinstance(node_filter, ast.IsLeaf):
+        return "isLeaf(n)"
+    if isinstance(node_filter, ast.IsElem):
+        return "isElem(n)"
+    if isinstance(node_filter, ast.MatchText):
+        flag = "true" if node_filter.whole_subtree else "false"
+        return f"matchText(n, λz.{pretty_pred(node_filter.pred)}, {flag})"
+    if isinstance(node_filter, ast.TrueFilter):
+        return "⊤"
+    if isinstance(node_filter, ast.AndFilter):
+        return f"({pretty_filter(node_filter.left)} ∧ {pretty_filter(node_filter.right)})"
+    if isinstance(node_filter, ast.OrFilter):
+        return f"({pretty_filter(node_filter.left)} ∨ {pretty_filter(node_filter.right)})"
+    if isinstance(node_filter, ast.NotFilter):
+        return f"¬{pretty_filter(node_filter.operand)}"
+    raise TypeError(f"unknown node filter: {node_filter!r}")
+
+
+def pretty_locator(locator: ast.Locator) -> str:
+    if isinstance(locator, ast.GetRoot):
+        return "GetRoot(W)"
+    if isinstance(locator, ast.GetChildren):
+        return (
+            f"GetChildren({pretty_locator(locator.source)}, "
+            f"λn.{pretty_filter(locator.node_filter)})"
+        )
+    if isinstance(locator, ast.GetDescendants):
+        return (
+            f"GetDescendants({pretty_locator(locator.source)}, "
+            f"λn.{pretty_filter(locator.node_filter)})"
+        )
+    raise TypeError(f"unknown locator: {locator!r}")
+
+
+def pretty_guard(guard: ast.Guard) -> str:
+    if isinstance(guard, ast.Sat):
+        return f"Sat({pretty_locator(guard.locator)}, λz.{pretty_pred(guard.pred)})"
+    if isinstance(guard, ast.IsSingleton):
+        return f"IsSingleton({pretty_locator(guard.locator)})"
+    raise TypeError(f"unknown guard: {guard!r}")
+
+
+def pretty_extractor(extractor: ast.Extractor) -> str:
+    if isinstance(extractor, ast.ExtractContent):
+        return "ExtractContent(x)"
+    if isinstance(extractor, ast.Split):
+        return f"Split({pretty_extractor(extractor.source)}, {extractor.delimiter!r})"
+    if isinstance(extractor, ast.Filter):
+        return (
+            f"Filter({pretty_extractor(extractor.source)}, "
+            f"λz.{pretty_pred(extractor.pred)})"
+        )
+    if isinstance(extractor, ast.Substring):
+        return (
+            f"Substring({pretty_extractor(extractor.source)}, "
+            f"λz.{pretty_pred(extractor.pred)}, {extractor.k})"
+        )
+    raise TypeError(f"unknown extractor: {extractor!r}")
+
+
+def pretty_branch(branch: ast.Branch) -> str:
+    return f"{pretty_guard(branch.guard)} → λx.{pretty_extractor(branch.extractor)}"
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Full program in the paper's guarded-expression notation.
+
+    >>> from repro.dsl import ast
+    >>> p = ast.Program((ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent()),))
+    >>> pretty_program(p)
+    'λQ,K,W. { Sat(GetRoot(W), λz.⊤) → λx.ExtractContent(x) }'
+    """
+    body = "; ".join(pretty_branch(b) for b in program.branches)
+    return f"λQ,K,W. {{ {body} }}"
+
+
+def pretty(node: ast.AnyNode) -> str:
+    """Pretty-print any DSL term by dispatching on its class."""
+    if isinstance(node, ast.Program):
+        return pretty_program(node)
+    if isinstance(node, ast.Branch):
+        return pretty_branch(node)
+    if isinstance(node, ast.Guard):
+        return pretty_guard(node)
+    if isinstance(node, ast.Extractor):
+        return pretty_extractor(node)
+    if isinstance(node, ast.Locator):
+        return pretty_locator(node)
+    if isinstance(node, ast.NodeFilter):
+        return pretty_filter(node)
+    if isinstance(node, ast.NlpPred):
+        return pretty_pred(node)
+    raise TypeError(f"not a DSL term: {node!r}")

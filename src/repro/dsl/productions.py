@@ -1,0 +1,138 @@
+"""Grammar productions for bottom-up enumeration (``ApplyProduction``).
+
+The synthesis algorithms of Section 5 grow programs by applying DSL
+productions to complete subterms (Figure 9 line 8, Figure 10 line 7).
+This module materializes those productions against finite *pools* of
+predicate/filter instantiations described by a :class:`ProductionConfig`:
+
+* keyword thresholds are discretized (paper: step 0.05 over [0, 1]);
+* entity labels range over the NER model's label set;
+* split delimiters range over :data:`~repro.dsl.eval.SPLIT_DELIMITERS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nlp.ner import ENTITY_LABELS
+from . import ast
+from .eval import SPLIT_DELIMITERS
+
+
+def default_thresholds() -> tuple[float, ...]:
+    """The default keyword-similarity threshold grid.
+
+    Coarser than the paper's 0.05 grid to keep full-corpus experiments
+    fast; the fine grid is available via :func:`fine_thresholds`.
+    """
+    return (0.55, 0.70, 0.85)
+
+
+def fine_thresholds(step: float = 0.05) -> tuple[float, ...]:
+    """The paper's threshold grid: multiples of ``step`` in (0, 1)."""
+    count = round(1.0 / step)
+    return tuple(round(i * step, 2) for i in range(1, count))
+
+
+@dataclass(frozen=True)
+class ProductionConfig:
+    """Finite instantiation pools for every grammar parameter."""
+
+    keyword_thresholds: tuple[float, ...] = field(default_factory=default_thresholds)
+    entity_labels: tuple[str, ...] = ENTITY_LABELS
+    delimiters: tuple[str, ...] = SPLIT_DELIMITERS
+    substring_ks: tuple[int, ...] = (1,)
+    #: Include ¬matchKeyword predicates (useful in Filter to drop headers).
+    use_negation: bool = True
+    #: Allow matchText over the whole subtree (the paper's ``b`` flag).
+    use_subtree_text: bool = True
+    #: Include two-atom conjunctions (the grammar's φ ∧ φ, Figure 5) in
+    #: the Filter/Substring pools and conjunctive node filters.  Off by
+    #: default: it grows the pools quadratically.
+    use_conjunction: bool = False
+
+    # -- instantiation pools --------------------------------------------------
+
+    def atomic_preds(self) -> list[ast.NlpPred]:
+        """Atomic NLP predicates available to the enumerator."""
+        preds: list[ast.NlpPred] = [
+            ast.MatchKeyword(t) for t in self.keyword_thresholds
+        ]
+        preds.append(ast.HasAnswer())
+        preds.extend(ast.HasEntity(label) for label in self.entity_labels)
+        return preds
+
+    def filter_preds(self) -> list[ast.NlpPred]:
+        """Predicates usable in Filter/Substring (atoms plus negations)."""
+        preds = self.atomic_preds()
+        if self.use_negation:
+            preds.extend(
+                ast.NotPred(ast.MatchKeyword(t)) for t in self.keyword_thresholds
+            )
+        if self.use_conjunction:
+            # Entity type AND keyword relevance: "a PERSON near keywords".
+            preds.extend(
+                ast.AndPred(ast.HasEntity(label), ast.MatchKeyword(t))
+                for label in self.entity_labels
+                for t in self.keyword_thresholds
+            )
+        return preds
+
+    def node_filters(self) -> list[ast.NodeFilter]:
+        """Node filters available to GetChildren/GetDescendants."""
+        filters: list[ast.NodeFilter] = [
+            ast.TrueFilter(),
+            ast.IsLeaf(),
+            ast.IsElem(),
+        ]
+        flags = (False, True) if self.use_subtree_text else (False,)
+        for pred in self.atomic_preds():
+            for whole_subtree in flags:
+                filters.append(ast.MatchText(pred, whole_subtree))
+        if self.use_conjunction:
+            # Leaf nodes whose text matches a predicate — the combination
+            # the paper's GetLeaves-then-filter idiom expresses.
+            filters.extend(
+                ast.AndFilter(ast.IsLeaf(), ast.MatchText(pred, False))
+                for pred in self.atomic_preds()
+            )
+        return filters
+
+    def guard_preds(self) -> list[ast.NlpPred]:
+        """Predicates usable inside Sat guards (⊤ plus the atoms)."""
+        return [ast.TruePred(), *self.atomic_preds()]
+
+
+def expand_extractor(
+    extractor: ast.Extractor, config: ProductionConfig
+) -> list[ast.Extractor]:
+    """All one-step extensions of a complete extractor (``ApplyProduction``).
+
+    Monotonicity note (Section 5): every returned extractor is built *on
+    top of* ``extractor``, hence its recall on any example set is at most
+    the recall of ``extractor`` — the invariant behind UB pruning.
+    """
+    extensions: list[ast.Extractor] = []
+    extensions.extend(ast.Split(extractor, c) for c in config.delimiters)
+    extensions.extend(ast.Filter(extractor, p) for p in config.filter_preds())
+    for pred in config.filter_preds():
+        if isinstance(pred, ast.NotPred):
+            continue  # negations make poor substring generators
+        extensions.extend(ast.Substring(extractor, pred, k) for k in config.substring_ks)
+    return extensions
+
+
+def expand_locator(locator: ast.Locator, config: ProductionConfig) -> list[ast.Locator]:
+    """All one-step extensions of a complete section locator."""
+    extensions: list[ast.Locator] = []
+    for node_filter in config.node_filters():
+        extensions.append(ast.GetChildren(locator, node_filter))
+        extensions.append(ast.GetDescendants(locator, node_filter))
+    return extensions
+
+
+def gen_guards(locator: ast.Locator, config: ProductionConfig) -> list[ast.Guard]:
+    """All guards over one section locator (``GenGuards``, Figure 10)."""
+    guards: list[ast.Guard] = [ast.IsSingleton(locator)]
+    guards.extend(ast.Sat(locator, pred) for pred in config.guard_preds())
+    return guards

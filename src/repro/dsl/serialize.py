@@ -1,0 +1,195 @@
+"""JSON (de)serialization of DSL programs.
+
+A synthesized extractor is an asset worth keeping: fit once, save the
+program, and re-run it later (or ship it) without re-synthesizing.  The
+format is a plain nested-dict encoding of the AST — stable, readable,
+and diffable::
+
+    {"kind": "Program", "branches": [{"kind": "Branch",
+        "guard": {"kind": "Sat", "locator": {...}, "pred": {...}},
+        "extractor": {"kind": "Filter", ...}}]}
+
+``loads(dumps(p)) == p`` holds for every well-formed term (structural
+equality), which the test suite property-checks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from . import ast
+
+# Leaf node kinds and their constructors/fields, used by both directions.
+_PRED_KINDS = {
+    "MatchKeyword": (ast.MatchKeyword, ("threshold",)),
+    "HasAnswer": (ast.HasAnswer, ()),
+    "HasEntity": (ast.HasEntity, ("label",)),
+    "TruePred": (ast.TruePred, ()),
+}
+_FILTER_KINDS = {
+    "IsLeaf": (ast.IsLeaf, ()),
+    "IsElem": (ast.IsElem, ()),
+    "TrueFilter": (ast.TrueFilter, ()),
+}
+
+
+def node_to_dict(node: ast.AnyNode) -> dict[str, Any]:
+    """Encode any DSL term as a JSON-compatible dictionary."""
+    # -- NLP predicates ---------------------------------------------------
+    if isinstance(node, ast.MatchKeyword):
+        return {"kind": "MatchKeyword", "threshold": node.threshold}
+    if isinstance(node, ast.HasAnswer):
+        return {"kind": "HasAnswer"}
+    if isinstance(node, ast.HasEntity):
+        return {"kind": "HasEntity", "label": node.label}
+    if isinstance(node, ast.TruePred):
+        return {"kind": "TruePred"}
+    if isinstance(node, ast.AndPred):
+        return {"kind": "AndPred", "left": node_to_dict(node.left),
+                "right": node_to_dict(node.right)}
+    if isinstance(node, ast.OrPred):
+        return {"kind": "OrPred", "left": node_to_dict(node.left),
+                "right": node_to_dict(node.right)}
+    if isinstance(node, ast.NotPred):
+        return {"kind": "NotPred", "operand": node_to_dict(node.operand)}
+    # -- node filters -----------------------------------------------------------
+    if isinstance(node, ast.IsLeaf):
+        return {"kind": "IsLeaf"}
+    if isinstance(node, ast.IsElem):
+        return {"kind": "IsElem"}
+    if isinstance(node, ast.TrueFilter):
+        return {"kind": "TrueFilter"}
+    if isinstance(node, ast.MatchText):
+        return {"kind": "MatchText", "pred": node_to_dict(node.pred),
+                "whole_subtree": node.whole_subtree}
+    if isinstance(node, ast.AndFilter):
+        return {"kind": "AndFilter", "left": node_to_dict(node.left),
+                "right": node_to_dict(node.right)}
+    if isinstance(node, ast.OrFilter):
+        return {"kind": "OrFilter", "left": node_to_dict(node.left),
+                "right": node_to_dict(node.right)}
+    if isinstance(node, ast.NotFilter):
+        return {"kind": "NotFilter", "operand": node_to_dict(node.operand)}
+    # -- locators -------------------------------------------------------------------
+    if isinstance(node, ast.GetRoot):
+        return {"kind": "GetRoot"}
+    if isinstance(node, ast.GetChildren):
+        return {"kind": "GetChildren", "source": node_to_dict(node.source),
+                "node_filter": node_to_dict(node.node_filter)}
+    if isinstance(node, ast.GetDescendants):
+        return {"kind": "GetDescendants", "source": node_to_dict(node.source),
+                "node_filter": node_to_dict(node.node_filter)}
+    # -- guards ----------------------------------------------------------------------
+    if isinstance(node, ast.Sat):
+        return {"kind": "Sat", "locator": node_to_dict(node.locator),
+                "pred": node_to_dict(node.pred)}
+    if isinstance(node, ast.IsSingleton):
+        return {"kind": "IsSingleton", "locator": node_to_dict(node.locator)}
+    # -- extractors --------------------------------------------------------------------
+    if isinstance(node, ast.ExtractContent):
+        return {"kind": "ExtractContent"}
+    if isinstance(node, ast.Split):
+        return {"kind": "Split", "source": node_to_dict(node.source),
+                "delimiter": node.delimiter}
+    if isinstance(node, ast.Filter):
+        return {"kind": "Filter", "source": node_to_dict(node.source),
+                "pred": node_to_dict(node.pred)}
+    if isinstance(node, ast.Substring):
+        return {"kind": "Substring", "source": node_to_dict(node.source),
+                "pred": node_to_dict(node.pred), "k": node.k}
+    # -- program shell -----------------------------------------------------------------
+    if isinstance(node, ast.Branch):
+        return {"kind": "Branch", "guard": node_to_dict(node.guard),
+                "extractor": node_to_dict(node.extractor)}
+    if isinstance(node, ast.Program):
+        return {"kind": "Program",
+                "branches": [node_to_dict(b) for b in node.branches]}
+    raise TypeError(f"not a DSL term: {node!r}")
+
+
+def node_from_dict(data: dict[str, Any]) -> ast.AnyNode:
+    """Decode a dictionary produced by :func:`node_to_dict`."""
+    kind = data.get("kind")
+    if kind in _PRED_KINDS:
+        cls, fields = _PRED_KINDS[kind]
+        return cls(**{f: data[f] for f in fields})
+    if kind in _FILTER_KINDS:
+        cls, _ = _FILTER_KINDS[kind]
+        return cls()
+    if kind == "AndPred":
+        return ast.AndPred(node_from_dict(data["left"]), node_from_dict(data["right"]))
+    if kind == "OrPred":
+        return ast.OrPred(node_from_dict(data["left"]), node_from_dict(data["right"]))
+    if kind == "NotPred":
+        return ast.NotPred(node_from_dict(data["operand"]))
+    if kind == "MatchText":
+        return ast.MatchText(node_from_dict(data["pred"]), data["whole_subtree"])
+    if kind == "AndFilter":
+        return ast.AndFilter(
+            node_from_dict(data["left"]), node_from_dict(data["right"])
+        )
+    if kind == "OrFilter":
+        return ast.OrFilter(
+            node_from_dict(data["left"]), node_from_dict(data["right"])
+        )
+    if kind == "NotFilter":
+        return ast.NotFilter(node_from_dict(data["operand"]))
+    if kind == "GetRoot":
+        return ast.GetRoot()
+    if kind == "GetChildren":
+        return ast.GetChildren(
+            node_from_dict(data["source"]), node_from_dict(data["node_filter"])
+        )
+    if kind == "GetDescendants":
+        return ast.GetDescendants(
+            node_from_dict(data["source"]), node_from_dict(data["node_filter"])
+        )
+    if kind == "Sat":
+        return ast.Sat(node_from_dict(data["locator"]), node_from_dict(data["pred"]))
+    if kind == "IsSingleton":
+        return ast.IsSingleton(node_from_dict(data["locator"]))
+    if kind == "ExtractContent":
+        return ast.ExtractContent()
+    if kind == "Split":
+        return ast.Split(node_from_dict(data["source"]), data["delimiter"])
+    if kind == "Filter":
+        return ast.Filter(node_from_dict(data["source"]), node_from_dict(data["pred"]))
+    if kind == "Substring":
+        return ast.Substring(
+            node_from_dict(data["source"]), node_from_dict(data["pred"]), data["k"]
+        )
+    if kind == "Branch":
+        return ast.Branch(
+            node_from_dict(data["guard"]), node_from_dict(data["extractor"])
+        )
+    if kind == "Program":
+        return ast.Program(
+            tuple(node_from_dict(b) for b in data["branches"])
+        )
+    raise ValueError(f"unknown DSL node kind: {kind!r}")
+
+
+def dumps(program: ast.Program, **json_kwargs: Any) -> str:
+    """Serialize a program to a JSON string."""
+    return json.dumps(node_to_dict(program), **json_kwargs)
+
+
+def loads(text: str) -> ast.Program:
+    """Deserialize a program from :func:`dumps` output."""
+    program = node_from_dict(json.loads(text))
+    if not isinstance(program, ast.Program):
+        raise ValueError("JSON does not encode a Program")
+    return program
+
+
+def save_program(program: ast.Program, path: str) -> None:
+    """Write a program to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(program, indent=2))
+
+
+def load_program(path: str) -> ast.Program:
+    """Read a program previously written by :func:`save_program`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

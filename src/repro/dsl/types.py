@@ -1,0 +1,47 @@
+"""Type annotations for DSL symbols (paper Figure 6) and shared aliases.
+
+The paper's type table::
+
+    p :: Question × Keywords × Webpage → Set<String>
+    ψ :: Bool × Set<Node>        e :: Set<String>
+    ν :: Set<Node>               z :: String
+    x :: Set<Node>               n :: Node
+    φ (node filter), φ (NLP predicate) :: Bool
+
+Python-side, a program's output is represented as a *document-ordered
+tuple of distinct strings* (``Answer``): sets in the paper's semantics,
+ordered here only for determinism and readability.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..webtree.node import PageNode
+
+#: A program's output: document-ordered distinct answer strings.
+Answer = Tuple[str, ...]
+
+#: The node set computed by a section locator or bound to the extractor
+#: variable x.
+NodeSet = Tuple[PageNode, ...]
+
+#: Inputs Q and K of a WebQA program.
+Question = str
+Keywords = Tuple[str, ...]
+
+
+def dedupe_ordered(items: list[str]) -> Answer:
+    """Distinct strings in first-occurrence order, blanks dropped.
+
+    >>> dedupe_ordered(["b", "a", "b", ""])
+    ('b', 'a')
+    """
+    seen: set[str] = set()
+    result: list[str] = []
+    for item in items:
+        item = item.strip()
+        if item and item not in seen:
+            seen.add(item)
+            result.append(item)
+    return tuple(result)

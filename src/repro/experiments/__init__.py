@@ -1,0 +1,24 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Run ``python -m repro.experiments.runner all`` for the full sweep; see
+EXPERIMENTS.md for the recorded paper-versus-measured comparison.
+"""
+
+from . import fig12, fig13, fig14, noise, table2, table3, table4, table6
+from .common import ExperimentConfig, dataset_for, evaluate_tool, paper_scale, quick_scale
+
+__all__ = [
+    "fig12",
+    "fig13",
+    "fig14",
+    "noise",
+    "table2",
+    "table3",
+    "table4",
+    "table6",
+    "ExperimentConfig",
+    "dataset_for",
+    "evaluate_tool",
+    "paper_scale",
+    "quick_scale",
+]

@@ -1,0 +1,96 @@
+"""Shared experiment plumbing: run tools on task datasets, collect scores.
+
+Every experiment module builds on :func:`evaluate_tool` /
+:func:`run_comparison`; the ``ExperimentConfig`` controls corpus scale so
+benchmarks can run reduced versions of the paper's full sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines.base import ExtractionTool
+from ..core.results import TaskResult
+from ..dataset.corpus import TaskDataset, load_task_dataset
+from ..dataset.tasks import TASKS, Task
+from ..metrics.scores import score_examples
+
+#: Factory producing a fresh tool per task (tools hold per-task state).
+ToolFactory = Callable[[], ExtractionTool]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Corpus and system scale for one experiment run.
+
+    The defaults are a reduced-but-faithful version of the paper's setup
+    (40 pages, 5 labels, N=1000) sized so the whole suite runs in minutes
+    on a laptop; pass ``paper_scale()`` for the full thing.
+    """
+
+    n_pages: int = 20
+    n_train: int = 4
+    ensemble_size: int = 200
+    seed: int = 0
+    use_label_suggestions: bool = True
+
+
+def paper_scale() -> ExperimentConfig:
+    """The paper's corpus scale (~40 pages, 5 labels, N=1000)."""
+    return ExperimentConfig(n_pages=40, n_train=5, ensemble_size=1000)
+
+
+def quick_scale() -> ExperimentConfig:
+    """Small corpus for smoke tests and CI benchmarks."""
+    return ExperimentConfig(n_pages=10, n_train=3, ensemble_size=50)
+
+
+def dataset_for(task: Task, config: ExperimentConfig) -> TaskDataset:
+    return load_task_dataset(
+        task,
+        n_pages=config.n_pages,
+        n_train=config.n_train,
+        seed=config.seed,
+        use_label_suggestions=config.use_label_suggestions,
+    )
+
+
+def evaluate_tool(
+    tool: ExtractionTool, dataset: TaskDataset
+) -> TaskResult:
+    """Fit ``tool`` on a task and score it on the task's test set."""
+    task = dataset.task
+    start = time.perf_counter()
+    tool.fit(
+        task.question,
+        task.keywords,
+        list(dataset.train),
+        list(dataset.test_pages),
+        dataset.models,
+    )
+    seconds = time.perf_counter() - start
+    predictions = tool.predict_all(list(dataset.test_pages))
+    score = score_examples(zip(predictions, dataset.test_gold))
+    return TaskResult(
+        task_id=task.task_id,
+        domain=task.domain,
+        tool=tool.name,
+        score=score,
+        seconds=seconds,
+    )
+
+
+def run_comparison(
+    tool_factories: dict[str, ToolFactory],
+    config: ExperimentConfig,
+    tasks: tuple[Task, ...] = TASKS,
+) -> list[TaskResult]:
+    """Every tool on every task; the raw material for Tables 2/6, Fig 12."""
+    results: list[TaskResult] = []
+    for task in tasks:
+        dataset = dataset_for(task, config)
+        for _, factory in tool_factories.items():
+            results.append(evaluate_tool(factory(), dataset))
+    return results

@@ -1,0 +1,51 @@
+"""Figure 12: average F1/precision/recall, WebQA vs the three baselines.
+
+Paper result: WebQA leads on all three metrics (avg F1 ≈ 0.70); BERTQA is
+the best baseline but with much lower recall; HYB and EntExtract are far
+behind.
+"""
+
+from __future__ import annotations
+
+from ..baselines import BertQaBaseline, EntExtractBaseline, HybBaseline
+from ..core.results import TaskResult, overall_scores
+from ..core.webqa import WebQA
+from ..metrics.scores import Score
+from .common import ExperimentConfig, ToolFactory, run_comparison
+from .report import format_table, prf_cells
+
+#: Tool lineup of Figure 12, in the paper's order.
+TOOL_ORDER = ("WebQA", "BERTQA", "HYB", "EntExtract")
+
+
+def tool_factories(config: ExperimentConfig) -> dict[str, ToolFactory]:
+    return {
+        "WebQA": lambda: WebQA(ensemble_size=config.ensemble_size, seed=config.seed),
+        "BERTQA": BertQaBaseline,
+        "HYB": HybBaseline,
+        "EntExtract": EntExtractBaseline,
+    }
+
+
+def run(config: ExperimentConfig | None = None) -> list[TaskResult]:
+    """All 25 tasks × 4 tools; returns the raw per-task results."""
+    config = config or ExperimentConfig()
+    return run_comparison(tool_factories(config), config)
+
+
+def summarize(results: list[TaskResult]) -> dict[str, Score]:
+    """Mean P/R/F1 per tool — the bars of Figure 12."""
+    return overall_scores(results)
+
+
+def render(results: list[TaskResult]) -> str:
+    scores = summarize(results)
+    rows = [
+        [tool] + prf_cells(scores[tool])
+        for tool in TOOL_ORDER
+        if tool in scores
+    ]
+    return format_table(
+        ["Tool", "P", "R", "F1"], rows,
+        title="Figure 12: comparison between WebQA and other tools (averages)",
+    )

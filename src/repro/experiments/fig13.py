@@ -1,0 +1,72 @@
+"""Figure 13: input-modality ablation — question vs keywords vs both.
+
+Paper result (Appendix C.1): full WebQA beats both WebQA-NL (question
+only) and WebQA-KW (keywords only) on every domain; the combination of
+modalities is what makes the system accurate.
+"""
+
+from __future__ import annotations
+
+from ..core.ablations import WebQAKwOnly, WebQANlOnly
+from ..core.results import TaskResult, summarize_by_domain
+from ..core.webqa import WebQA
+from ..dataset.tasks import DOMAINS, tasks_for_domain
+from .common import ExperimentConfig, ToolFactory, run_comparison
+from .report import format_series
+
+VARIANT_ORDER = ("WebQA-NL", "WebQA-KW", "WebQA")
+
+
+def tool_factories(config: ExperimentConfig) -> dict[str, ToolFactory]:
+    return {
+        "WebQA-NL": lambda: WebQANlOnly(
+            ensemble_size=config.ensemble_size, seed=config.seed
+        ),
+        "WebQA-KW": lambda: WebQAKwOnly(
+            ensemble_size=config.ensemble_size, seed=config.seed
+        ),
+        "WebQA": lambda: WebQA(ensemble_size=config.ensemble_size, seed=config.seed),
+    }
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    domains: tuple[str, ...] = DOMAINS,
+) -> list[TaskResult]:
+    config = config or ExperimentConfig()
+    results: list[TaskResult] = []
+    for domain in domains:
+        results.extend(
+            run_comparison(tool_factories(config), config, tasks_for_domain(domain))
+        )
+    return results
+
+
+def summarize(results: list[TaskResult]) -> dict[str, list[float]]:
+    """Per-variant series of average F1 across domains (Figure 13 bars)."""
+    summaries = {(s.domain, s.tool): s for s in summarize_by_domain(results)}
+    domains = [d for d in DOMAINS if any(k[0] == d for k in summaries)]
+    return {
+        variant: [
+            summaries[(domain, variant)].score.f1
+            if (domain, variant) in summaries
+            else 0.0
+            for domain in domains
+        ]
+        for variant in VARIANT_ORDER
+    }
+
+
+def render(results: list[TaskResult]) -> str:
+    series = summarize(results)
+    domains = [
+        d for d in DOMAINS if any(r.domain == d for r in results)
+    ]
+    return format_series(
+        "Domain", [d.capitalize() for d in domains], series,
+        title="Figure 13: comparison between WebQA and its modality variants (avg F1)",
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

@@ -1,0 +1,59 @@
+"""Figure 14: F1 versus number of labeled examples (conference tasks).
+
+Paper result (Appendix C.2): F1 generally degrades as training examples
+are removed, but sensitivity is task-dependent — conf_t5 works from a
+single example while conf_t4 drops sharply with even one fewer label.
+"""
+
+from __future__ import annotations
+
+from ..core.webqa import WebQA
+from ..dataset.corpus import load_task_dataset
+from ..dataset.tasks import tasks_for_domain
+from ..metrics.scores import score_examples
+from .common import ExperimentConfig
+from .report import format_series
+
+DEFAULT_EXAMPLE_COUNTS = (1, 2, 3, 4, 5)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    example_counts: tuple[int, ...] = DEFAULT_EXAMPLE_COUNTS,
+) -> dict[str, list[float]]:
+    """Per-task F1 series over the number of labeled examples."""
+    config = config or ExperimentConfig()
+    series: dict[str, list[float]] = {}
+    for task in tasks_for_domain("conference"):
+        f1s: list[float] = []
+        for n_train in example_counts:
+            dataset = load_task_dataset(
+                task,
+                n_pages=config.n_pages,
+                n_train=n_train,
+                seed=config.seed,
+                use_label_suggestions=config.use_label_suggestions,
+            )
+            tool = WebQA(ensemble_size=config.ensemble_size, seed=config.seed)
+            tool.fit(
+                task.question, task.keywords,
+                list(dataset.train), list(dataset.test_pages), dataset.models,
+            )
+            predictions = tool.predict_all(list(dataset.test_pages))
+            f1s.append(score_examples(zip(predictions, dataset.test_gold)).f1)
+        series[task.task_id] = f1s
+    return series
+
+
+def render(
+    series: dict[str, list[float]],
+    example_counts: tuple[int, ...] = DEFAULT_EXAMPLE_COUNTS,
+) -> str:
+    return format_series(
+        "# examples", list(example_counts), series,
+        title="Figure 14: F1 per conference task vs number of labeled examples",
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

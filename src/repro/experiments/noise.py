@@ -1,0 +1,68 @@
+"""Extension experiment: robustness to neural-module error.
+
+Not a paper artifact — this probes the paper's *premise* (Section 2,
+"Key idea #2"): the F1-optimal formulation exists because the neural
+modules err.  We make the error rate a dial (seeded predicate flips via
+:class:`~repro.nlp.noise.NoisyNlpModels`) and measure end-to-end test F1
+as the modules degrade.  The expected shape: graceful decay, not a
+cliff — the synthesizer routes around broken predicates by picking
+different programs, until noise overwhelms every signal.
+"""
+
+from __future__ import annotations
+
+from ..core.webqa import WebQA
+from ..metrics.scores import score_examples
+from ..nlp.noise import NoisyNlpModels
+from .common import ExperimentConfig, dataset_for
+from .report import format_series
+
+DEFAULT_ERROR_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+DEFAULT_TASK_IDS = ("fac_t1", "conf_t2", "clinic_t1")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    task_ids: tuple[str, ...] = DEFAULT_TASK_IDS,
+    error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
+) -> dict[str, list[float]]:
+    """Per-task F1 series over neural-module error rates."""
+    from ..dataset.tasks import TASKS_BY_ID
+
+    config = config or ExperimentConfig()
+    series: dict[str, list[float]] = {}
+    for task_id in task_ids:
+        dataset = dataset_for(TASKS_BY_ID[task_id], config)
+        f1s: list[float] = []
+        for rate in error_rates:
+            models = (
+                dataset.models
+                if rate == 0.0
+                else NoisyNlpModels(dataset.models, error_rate=rate, seed=config.seed)
+            )
+            tool = WebQA(ensemble_size=config.ensemble_size, seed=config.seed)
+            tool.fit(
+                dataset.task.question,
+                dataset.task.keywords,
+                list(dataset.train),
+                list(dataset.test_pages),
+                models,
+            )
+            predictions = tool.predict_all(list(dataset.test_pages))
+            f1s.append(score_examples(zip(predictions, dataset.test_gold)).f1)
+        series[task_id] = f1s
+    return series
+
+
+def render(
+    series: dict[str, list[float]],
+    error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
+) -> str:
+    return format_series(
+        "error rate", list(error_rates), series,
+        title="Extension: end-to-end F1 vs neural-module error rate",
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment outputs.
+
+The harness prints the same rows/series the paper reports; these helpers
+keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from ..metrics.scores import Score
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width table with a separator under the header row."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def prf_cells(score: Score) -> list[str]:
+    return [f"{score.precision:.2f}", f"{score.recall:.2f}", f"{score.f1:.2f}"]
+
+
+def format_series(
+    x_label: str, xs: list, series: dict[str, list[float]], title: str = ""
+) -> str:
+    """A figure rendered as a table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x)] + [f"{series[name][i]:.3f}" for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,97 @@
+"""Command-line experiment runner.
+
+Regenerates every table and figure of the paper's evaluation::
+
+    python -m repro.experiments.runner fig12            # Figure 12
+    python -m repro.experiments.runner table2           # Table 2
+    python -m repro.experiments.runner table3           # Table 3
+    python -m repro.experiments.runner table4           # Table 4
+    python -m repro.experiments.runner table6           # Table 6
+    python -m repro.experiments.runner fig13            # Figure 13
+    python -m repro.experiments.runner fig14            # Figure 14
+    python -m repro.experiments.runner noise            # extension: module-error robustness
+    python -m repro.experiments.runner all              # everything
+
+Scale flags: ``--pages N --train N --ensemble N`` (defaults are a reduced
+corpus; ``--paper-scale`` restores the paper's 40/5/1000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import fig12, fig13, fig14, noise, table2, table3, table4, table6
+from .common import ExperimentConfig, paper_scale
+
+EXPERIMENTS = (
+    "fig12", "table2", "table3", "table4", "table6", "fig13", "fig14",
+    "noise",
+)
+
+
+def _comparison_text(config: ExperimentConfig) -> dict[str, str]:
+    """fig12/table2/table6 share one expensive sweep; run it once."""
+    results = fig12.run(config)
+    return {
+        "fig12": fig12.render(results),
+        "table2": table2.render(results),
+        "table6": table6.render(results),
+    }
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    if name in ("fig12", "table2", "table6"):
+        return _comparison_text(config)[name]
+    if name == "table3":
+        return table3.run_and_render(config)
+    if name == "table4":
+        return table4.run_and_render(config)
+    if name == "fig13":
+        return fig13.run_and_render(config)
+    if name == "fig14":
+        return fig14.run_and_render(config)
+    if name == "noise":
+        return noise.run_and_render(config)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--pages", type=int, default=20, help="pages per domain")
+    parser.add_argument("--train", type=int, default=4, help="labeled pages per task")
+    parser.add_argument("--ensemble", type=int, default=200, help="ensemble size N")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the paper's scale: 40 pages, 5 labels, N=1000",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paper_scale:
+        config = paper_scale()
+    else:
+        config = ExperimentConfig(
+            n_pages=args.pages, n_train=args.train,
+            ensemble_size=args.ensemble, seed=args.seed,
+        )
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if args.experiment == "all":
+        shared = _comparison_text(config)
+    for name in names:
+        start = time.perf_counter()
+        if args.experiment == "all" and name in shared:
+            text = shared[name]
+        else:
+            text = run_experiment(name, config)
+        elapsed = time.perf_counter() - start
+        print(text)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

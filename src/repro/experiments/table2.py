@@ -1,0 +1,39 @@
+"""Table 2: per-domain P/R/F1 for WebQA, BERTQA, HYB and EntExtract.
+
+Paper result (F1): Faculty 0.75 / 0.18 / 0.04 / 0.04; Conference 0.70 /
+0.32 / 0.03 / 0.09; Class 0.68 / 0.31 / 0.04 / 0.05; Clinic 0.66 / 0.04 /
+0.09 / 0.16 — WebQA wins every domain.
+"""
+
+from __future__ import annotations
+
+from ..core.results import DomainSummary, TaskResult, summarize_by_domain
+from ..dataset.tasks import DOMAINS
+from .common import ExperimentConfig
+from .fig12 import TOOL_ORDER, run
+from .report import format_table, prf_cells
+
+
+def summarize(results: list[TaskResult]) -> list[DomainSummary]:
+    return summarize_by_domain(results)
+
+
+def render(results: list[TaskResult]) -> str:
+    summaries = {(s.domain, s.tool): s for s in summarize(results)}
+    headers = ["Domain"]
+    for tool in TOOL_ORDER:
+        headers += [f"{tool} P", f"{tool} R", f"{tool} F1"]
+    rows = []
+    for domain in DOMAINS:
+        row = [domain.capitalize()]
+        for tool in TOOL_ORDER:
+            summary = summaries.get((domain, tool))
+            row += prf_cells(summary.score) if summary else ["-", "-", "-"]
+        rows.append(row)
+    return format_table(
+        headers, rows, title="Table 2: evaluation results per domain"
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

@@ -1,0 +1,112 @@
+"""Table 3: synthesis-engine ablation — pruning and decomposition.
+
+Paper result: average synthesis time 419 s for full WebQA; the NoPrune
+ablation is 3.6× slower and NoDecomp 2.4× slower.  All variants return
+the same optimal programs, so only time is reported.
+
+Our reproduction measures the same three synthesizer variants on a
+representative task slice.  Because the NoPrune search is exponentially
+larger, this experiment runs with a deliberately trimmed production pool
+(fewer thresholds/labels) so the unpruned variant terminates; the
+*relative* speedups are what the table is about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..dsl.productions import ProductionConfig
+from ..metrics.scores import mean
+from ..synthesis.config import SynthesisConfig, no_decomp, no_prune
+from ..synthesis.top import synthesize
+from .common import ExperimentConfig, dataset_for
+from .report import format_table
+
+#: One task per domain keeps the ablation representative yet fast.
+DEFAULT_TASK_IDS = ("fac_t1", "conf_t2", "class_t2", "clinic_t1")
+
+
+def ablation_synthesis_config() -> SynthesisConfig:
+    """Search bounds where pruning/decomposition have room to matter.
+
+    Single-branch programs over the full production pool with the default
+    depths: large enough that the unpruned and undecomposed searches do
+    real extra work, small enough that they still terminate.
+    """
+    return SynthesisConfig(
+        productions=ProductionConfig(),
+        guard_depth=3,
+        extractor_depth=4,
+        max_branches=1,
+    )
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One Table 3 row: a variant's mean time and speedup of full WebQA."""
+
+    technique: str
+    avg_seconds: float
+    speedup_of_webqa: float  # >1 means WebQA is this many times faster
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    task_ids: tuple[str, ...] = DEFAULT_TASK_IDS,
+    synthesis_config: SynthesisConfig | None = None,
+) -> list[AblationRow]:
+    from ..dataset.tasks import TASKS_BY_ID
+
+    config = config or ExperimentConfig()
+    base = synthesis_config or ablation_synthesis_config()
+    variants = {
+        "WebQA": base,
+        "WebQA-NoPrune": no_prune(base),
+        "WebQA-NoDecomp": no_decomp(base),
+    }
+    times: dict[str, list[float]] = {name: [] for name in variants}
+    f1s: dict[str, list[float]] = {name: [] for name in variants}
+    for task_id in task_ids:
+        dataset = dataset_for(TASKS_BY_ID[task_id], config)
+        for name, synth_config in variants.items():
+            start = time.perf_counter()
+            result = synthesize(
+                list(dataset.train),
+                dataset.task.question,
+                dataset.task.keywords,
+                dataset.models,
+                config=synth_config,
+            )
+            times[name].append(time.perf_counter() - start)
+            f1s[name].append(result.f1)
+    # Sanity property from the paper: all variants find the same optimum.
+    for i in range(len(task_ids)):
+        values = {round(f1s[name][i], 6) for name in variants}
+        assert len(values) == 1, f"ablation variants disagree on task {task_ids[i]}"
+    webqa_time = mean(times["WebQA"])
+    rows = [AblationRow("WebQA", webqa_time, 1.0)]
+    for name in ("WebQA-NoPrune", "WebQA-NoDecomp"):
+        avg = mean(times[name])
+        rows.append(AblationRow(name, avg, avg / webqa_time if webqa_time else 0.0))
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    table_rows = [
+        [
+            row.technique,
+            f"{row.avg_seconds:.2f}",
+            "-" if row.technique == "WebQA" else f"{row.speedup_of_webqa:.1f}",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["Technique", "Avg time (s)", "Avg speedup"],
+        table_rows,
+        title="Table 3: ablation study of the synthesis engine",
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

@@ -1,0 +1,33 @@
+"""Table 6: per-task P/R/F1 breakdown for all four tools.
+
+The full 25-row version of Table 2; paper Appendix D.
+"""
+
+from __future__ import annotations
+
+from ..core.results import TaskResult
+from ..dataset.tasks import TASKS
+from .common import ExperimentConfig
+from .fig12 import TOOL_ORDER, run
+from .report import format_table, prf_cells
+
+
+def render(results: list[TaskResult]) -> str:
+    by_key = {(r.task_id, r.tool): r for r in results}
+    headers = ["Task"]
+    for tool in TOOL_ORDER:
+        headers += [f"{tool} P", f"{tool} R", f"{tool} F1"]
+    rows = []
+    for task in TASKS:
+        row = [task.task_id]
+        for tool in TOOL_ORDER:
+            result = by_key.get((task.task_id, tool))
+            row += prf_cells(result.score) if result else ["-", "-", "-"]
+        rows.append(row)
+    return format_table(
+        headers, rows, title="Table 6: evaluation results per task"
+    )
+
+
+def run_and_render(config: ExperimentConfig | None = None) -> str:
+    return render(run(config))

@@ -1,0 +1,34 @@
+"""HTML parsing substrate: a BeautifulSoup-free DOM parser.
+
+Public surface:
+
+- :func:`parse_html` — HTML text to a :class:`Document` tree.
+- :class:`Document`, :class:`Element`, :class:`TextNode`, :class:`Comment`
+  — the DOM node model.
+- :mod:`repro.html.select` — XPath-like structural paths.
+"""
+
+from .dom import Comment, Document, DomNode, Element, TextNode, iter_descendants
+from .parser import VOID_ELEMENTS, parse_html
+from .select import PathStep, element_path, generalize_paths, match_path, tag_path
+from .text import INLINE_ELEMENTS, collapse_whitespace, is_blank, normalize_join
+
+__all__ = [
+    "Comment",
+    "Document",
+    "DomNode",
+    "Element",
+    "TextNode",
+    "iter_descendants",
+    "parse_html",
+    "VOID_ELEMENTS",
+    "PathStep",
+    "element_path",
+    "tag_path",
+    "match_path",
+    "generalize_paths",
+    "collapse_whitespace",
+    "is_blank",
+    "normalize_join",
+    "INLINE_ELEMENTS",
+]

@@ -1,0 +1,183 @@
+"""DOM node model for the HTML parsing substrate.
+
+The paper uses BeautifulSoup4 to parse webpages into a DOM before
+converting them to its header-nesting tree representation (Section 3 /
+Section 7 "Parsing").  BeautifulSoup is not available offline, so this
+module provides the small subset of DOM functionality the rest of the
+system needs: a navigable element tree with tags, attributes, text nodes,
+and a handful of traversal helpers.
+
+Only structure is modelled; no live mutation events, namespaces or CSS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class DomNode:
+    """Base class for all DOM nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional[Element] = None
+
+    def iter_text(self) -> Iterator[str]:
+        """Yield the raw text fragments beneath this node, in order."""
+        raise NotImplementedError
+
+    def text_content(self) -> str:
+        """All text beneath this node, concatenated."""
+        return "".join(self.iter_text())
+
+
+class TextNode(DomNode):
+    """A run of character data."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def iter_text(self) -> Iterator[str]:
+        yield self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TextNode({self.text!r})"
+
+
+class Comment(DomNode):
+    """An HTML comment; retained so round-tripping tools can see it."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def iter_text(self) -> Iterator[str]:
+        return iter(())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comment({self.text!r})"
+
+
+class Element(DomNode):
+    """An HTML element with a tag name, attributes and children."""
+
+    __slots__ = ("tag", "attrs", "children")
+
+    def __init__(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
+        super().__init__()
+        self.tag = tag.lower()
+        self.attrs = dict(attrs or {})
+        self.children: list[DomNode] = []
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, child: DomNode) -> DomNode:
+        """Attach ``child`` as the last child of this element."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- attribute access --------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return attribute ``name`` (case-insensitive) or ``default``."""
+        return self.attrs.get(name.lower(), default)
+
+    @property
+    def classes(self) -> list[str]:
+        """The element's CSS classes, split on whitespace."""
+        return (self.get("class") or "").split()
+
+    @property
+    def id(self) -> Optional[str]:
+        return self.get("id")
+
+    # -- traversal ----------------------------------------------------------
+
+    def iter_text(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child.iter_text()
+
+    def iter_elements(self) -> Iterator["Element"]:
+        """Yield descendant elements in document (pre-) order, self first."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter_elements()
+
+    def child_elements(self) -> list["Element"]:
+        """Direct element children, skipping text and comments."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First descendant element (self included) with the given tag."""
+        tag = tag.lower()
+        for elem in self.iter_elements():
+            if elem.tag == tag:
+                return elem
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All descendant elements (self included) with the given tag."""
+        tag = tag.lower()
+        return [e for e in self.iter_elements() if e.tag == tag]
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestors from the immediate parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Number of ancestor elements above this one."""
+        return sum(1 for _ in self.ancestors())
+
+    def path_from_root(self) -> list[str]:
+        """Tag path from the document root down to this element."""
+        tags = [self.tag]
+        tags.extend(a.tag for a in self.ancestors())
+        return list(reversed(tags))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Element(<{self.tag}> children={len(self.children)})"
+
+
+class Document(Element):
+    """The root of a parsed HTML document.
+
+    A ``Document`` behaves as an element with the pseudo-tag ``#document``
+    so traversal helpers work uniformly from the root.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("#document")
+
+    @property
+    def html(self) -> Optional[Element]:
+        return self.find("html")
+
+    @property
+    def body(self) -> Optional[Element]:
+        return self.find("body")
+
+    @property
+    def title(self) -> str:
+        node = self.find("title")
+        return node.text_content().strip() if node is not None else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(children={len(self.children)})"
+
+
+def iter_descendants(root: Element) -> Iterable[Element]:
+    """Descendant elements of ``root`` excluding ``root`` itself."""
+    it = root.iter_elements()
+    next(it, None)
+    return it

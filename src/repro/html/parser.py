@@ -1,0 +1,138 @@
+"""Tag-soup tolerant HTML parser producing :mod:`repro.html.dom` trees.
+
+Built on the stdlib :class:`html.parser.HTMLParser` tokenizer.  Real-world
+faculty/clinic pages are rarely valid HTML, so the tree builder implements
+the recovery behaviours that matter in practice:
+
+* void elements (``<br>``, ``<img>``, ...) never take children;
+* implicit closing of ``<p>``/``<li>``/``<tr>``/``<td>``-style elements
+  when a sibling opens (``<li>a<li>b`` yields two list items);
+* stray end tags are ignored; unclosed elements are closed at EOF;
+* character references are decoded by the tokenizer (``convert_charrefs``).
+
+The output is a :class:`~repro.html.dom.Document`.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from .dom import Comment, Document, Element, TextNode
+
+#: Elements that cannot have content; an end tag is neither required nor
+#: expected for these.
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+#: Opening one of these tags implicitly closes an open element of a tag in
+#: the mapped set (HTML5 "optional end tag" behaviour, simplified).
+IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "p": frozenset({"p"}),
+    "option": frozenset({"option"}),
+    "thead": frozenset({"tr", "td", "th"}),
+    "tbody": frozenset({"thead", "tr", "td", "th"}),
+    "tfoot": frozenset({"tbody", "tr", "td", "th"}),
+}
+
+#: Content of these elements is dropped entirely; the paper's pipeline
+#: removes scripts/styles before building the tree (Section 7).
+DROPPED_CONTENT = frozenset({"script", "style"})
+
+
+class _TreeBuilder(HTMLParser):
+    """Incremental tree builder fed by the stdlib tokenizer."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.document = Document()
+        self._stack: list[Element] = [self.document]
+        self._drop_depth = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def _top(self) -> Element:
+        return self._stack[-1]
+
+    def _implicitly_close_for(self, tag: str) -> None:
+        closers = IMPLICIT_CLOSERS.get(tag)
+        if not closers:
+            return
+        while len(self._stack) > 1 and self._top.tag in closers:
+            self._stack.pop()
+
+    # -- tokenizer callbacks -------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        tag = tag.lower()
+        if self._drop_depth:
+            if tag in DROPPED_CONTENT:
+                self._drop_depth += 1
+            return
+        if tag in DROPPED_CONTENT:
+            self._drop_depth = 1
+            return
+        self._implicitly_close_for(tag)
+        element = Element(tag, {k.lower(): (v or "") for k, v in attrs})
+        self._top.append(element)
+        if tag not in VOID_ELEMENTS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        tag = tag.lower()
+        if self._drop_depth or tag in DROPPED_CONTENT:
+            return
+        self._implicitly_close_for(tag)
+        self._top.append(Element(tag, {k.lower(): (v or "") for k, v in attrs}))
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if self._drop_depth:
+            if tag in DROPPED_CONTENT:
+                self._drop_depth -= 1
+            return
+        if tag in VOID_ELEMENTS:
+            return
+        # Close up to the matching open element; ignore stray end tags.
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if self._drop_depth or not data:
+            return
+        self._top.append(TextNode(data))
+
+    def handle_comment(self, data: str) -> None:
+        if self._drop_depth:
+            return
+        self._top.append(Comment(data))
+
+
+def parse_html(markup: str) -> Document:
+    """Parse an HTML string into a :class:`Document`.
+
+    The parser never raises on malformed input; it recovers using the
+    rules documented in the module docstring.
+
+    >>> doc = parse_html("<html><body><h1>Hi</h1><p>there</p></body></html>")
+    >>> doc.title
+    ''
+    >>> doc.body.text_content()
+    'Hithere'
+    """
+    builder = _TreeBuilder()
+    builder.feed(markup)
+    builder.close()
+    return builder.document

@@ -1,0 +1,103 @@
+"""Minimal element selection helpers over the DOM substrate.
+
+These are the query primitives the baselines (notably the HYB-style
+wrapper-induction synthesizer) and the webpage-tree builder rely on.  They
+deliberately mirror a small XPath-like fragment: tag paths with optional
+positional indices and class constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .dom import Element
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a structural path: a tag plus an optional child index.
+
+    ``index`` is the 0-based position among same-tag siblings; ``None``
+    means "any position" (like an XPath step without a predicate).
+    """
+
+    tag: str
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.tag
+        return f"{self.tag}[{self.index}]"
+
+
+def element_path(element: Element) -> tuple[PathStep, ...]:
+    """The exact indexed path from the document root to ``element``.
+
+    >>> from repro.html.parser import parse_html
+    >>> doc = parse_html("<ul><li>a</li><li>b</li></ul>")
+    >>> li = doc.find_all("li")[1]
+    >>> [str(s) for s in element_path(li)]
+    ['ul[0]', 'li[1]']
+    """
+    steps: list[PathStep] = []
+    node = element
+    while node.parent is not None:
+        siblings = [c for c in node.parent.child_elements() if c.tag == node.tag]
+        steps.append(PathStep(node.tag, siblings.index(node)))
+        node = node.parent
+    return tuple(reversed(steps))
+
+
+def tag_path(element: Element) -> tuple[str, ...]:
+    """The unindexed tag path from the root to ``element``."""
+    return tuple(step.tag for step in element_path(element))
+
+
+def match_path(root: Element, path: tuple[PathStep, ...]) -> list[Element]:
+    """All elements under ``root`` matching a (possibly unindexed) path.
+
+    A step with ``index=None`` matches every same-tag child; a step with a
+    concrete index matches only the child at that position among same-tag
+    siblings.
+    """
+    frontier = [root]
+    for step in path:
+        next_frontier: list[Element] = []
+        for node in frontier:
+            same_tag = [c for c in node.child_elements() if c.tag == step.tag]
+            if step.index is None:
+                next_frontier.extend(same_tag)
+            elif 0 <= step.index < len(same_tag):
+                next_frontier.append(same_tag[step.index])
+        frontier = next_frontier
+        if not frontier:
+            break
+    return frontier
+
+
+def generalize_paths(paths: list[tuple[PathStep, ...]]) -> Optional[tuple[PathStep, ...]]:
+    """Least general common path covering all ``paths``, or ``None``.
+
+    Two paths generalize only if they have the same length and tags; any
+    step where indices disagree becomes index-free.  This is the core
+    "wrapper induction" generalization used by the HYB baseline.
+
+    >>> a = (PathStep("ul", 0), PathStep("li", 0))
+    >>> b = (PathStep("ul", 0), PathStep("li", 2))
+    >>> [str(s) for s in generalize_paths([a, b])]
+    ['ul[0]', 'li']
+    """
+    if not paths:
+        return None
+    first = paths[0]
+    if any(len(p) != len(first) for p in paths):
+        return None
+    merged: list[PathStep] = []
+    for position, step in enumerate(first):
+        steps_here = [p[position] for p in paths]
+        if any(s.tag != step.tag for s in steps_here):
+            return None
+        indices = {s.index for s in steps_here}
+        merged.append(PathStep(step.tag, step.index if len(indices) == 1 else None))
+    return tuple(merged)

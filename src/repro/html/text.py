@@ -1,0 +1,46 @@
+"""Text normalization utilities for rendered-webpage text.
+
+HTML source interleaves meaningful text with indentation and newlines that
+a browser would collapse.  The webpage-tree builder (Section 3) works on
+*rendered* text, so these helpers reproduce the browser's whitespace
+collapsing plus a few conveniences used across the system.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+#: Inline elements whose text flows together with their surroundings; all
+#: other elements introduce a rendering break.
+INLINE_ELEMENTS = frozenset(
+    {
+        "a", "abbr", "b", "bdi", "bdo", "cite", "code", "data", "dfn",
+        "em", "i", "kbd", "mark", "q", "s", "samp", "small", "span",
+        "strong", "sub", "sup", "time", "u", "var",
+    }
+)
+
+
+def collapse_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends.
+
+    >>> collapse_whitespace("  a\\n\\t b  ")
+    'a b'
+    """
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def is_blank(text: str) -> bool:
+    """True if ``text`` contains no non-whitespace characters."""
+    return not text or text.isspace()
+
+
+def normalize_join(fragments: list[str]) -> str:
+    """Join already-collapsed fragments with single spaces, skipping blanks.
+
+    >>> normalize_join(["Hello", "", "world"])
+    'Hello world'
+    """
+    return " ".join(f for f in fragments if f)

@@ -1,0 +1,16 @@
+"""Interactive labeling: clustering-based page suggestion (Section 7)."""
+
+from .cluster import farthest_point_seeds, k_medoids, pairwise_distances
+from .features import LOCATOR_TEMPLATES, feature_matrix, page_features
+from .suggest import MAX_LABEL_QUERIES, suggest_pages_to_label
+
+__all__ = [
+    "farthest_point_seeds",
+    "k_medoids",
+    "pairwise_distances",
+    "LOCATOR_TEMPLATES",
+    "feature_matrix",
+    "page_features",
+    "MAX_LABEL_QUERIES",
+    "suggest_pages_to_label",
+]

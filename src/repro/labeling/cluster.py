@@ -1,0 +1,60 @@
+"""Deterministic k-medoids clustering for page-labeling suggestions.
+
+A tiny, dependency-light clustering routine: farthest-point seeding
+followed by PAM-style medoid refinement under Euclidean distance.  The
+number of pages per task is ~40, so the O(k·n²) refinement is trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_distances(features: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix between feature rows."""
+    diff = features[:, None, :] - features[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def farthest_point_seeds(distances: np.ndarray, k: int) -> list[int]:
+    """Greedy maximin seeding: start from the most central point, then
+    repeatedly add the point farthest from the chosen set."""
+    n = distances.shape[0]
+    k = min(k, n)
+    first = int(np.argmin(distances.sum(axis=1)))
+    seeds = [first]
+    while len(seeds) < k:
+        remaining = [i for i in range(n) if i not in seeds]
+        gaps = [min(distances[i, s] for s in seeds) for i in remaining]
+        seeds.append(remaining[int(np.argmax(gaps))])
+    return seeds
+
+
+def k_medoids(
+    features: np.ndarray, k: int, max_iterations: int = 20
+) -> tuple[list[int], np.ndarray]:
+    """(medoid indices, assignment array) for ``k`` clusters.
+
+    >>> import numpy as np
+    >>> pts = np.array([[0.0], [0.1], [5.0], [5.1]])
+    >>> medoids, assign = k_medoids(pts, 2)
+    >>> sorted(set(assign[:2])) != sorted(set(assign[2:]))
+    False
+    """
+    distances = pairwise_distances(features)
+    medoids = farthest_point_seeds(distances, k)
+    assignment = np.argmin(distances[:, medoids], axis=1)
+    for _ in range(max_iterations):
+        new_medoids: list[int] = []
+        for cluster in range(len(medoids)):
+            members = np.where(assignment == cluster)[0]
+            if len(members) == 0:
+                new_medoids.append(medoids[cluster])
+                continue
+            within = distances[np.ix_(members, members)].sum(axis=1)
+            new_medoids.append(int(members[int(np.argmin(within))]))
+        new_assignment = np.argmin(distances[:, new_medoids], axis=1)
+        if new_medoids == medoids and np.array_equal(new_assignment, assignment):
+            break
+        medoids, assignment = new_medoids, new_assignment
+    return medoids, assignment

@@ -1,0 +1,84 @@
+"""Page featurization for interactive labeling (paper Section 7).
+
+WebQA suggests which pages the user should label by clustering the test
+set "based on various features, including which section locator
+constructs yield non-empty answers, the type of entities contained in the
+extracted sections, the layout of extracted sections etc.".  This module
+computes exactly that feature vector:
+
+* layout statistics (node/leaf/list/table counts, depth profile);
+* which shallow locator templates locate anything;
+* entity-type histogram over list/table sections;
+* best keyword similarity among section headers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nlp.models import NlpModels
+from ..nlp.ner import ENTITY_LABELS
+from ..webtree.node import NodeType, WebPage
+from ..webtree.paths import list_sections
+
+#: Shallow locator templates probed by the featurizer, named for clarity.
+LOCATOR_TEMPLATES = (
+    "children",  # GetChildren(root, ⊤)
+    "grandchildren",  # GetChildren(GetChildren(root, ⊤), ⊤)
+    "leaves",  # GetDescendants(root, isLeaf)
+    "elements",  # GetDescendants(root, isElem)
+)
+
+
+def page_features(
+    page: WebPage, models: NlpModels, keywords: tuple[str, ...]
+) -> np.ndarray:
+    """Numeric feature vector describing a page's schema.
+
+    The vector layout is: 5 layout stats, 4 locator-template indicators,
+    ``len(ENTITY_LABELS)`` entity fractions, 1 keyword-affinity score.
+    """
+    nodes = page.nodes()
+    leaves = [n for n in nodes if n.is_leaf()]
+    lists = [n for n in nodes if n.node_type is NodeType.LIST]
+    tables = [n for n in nodes if n.node_type is NodeType.TABLE]
+    max_depth = max((n.depth() for n in nodes), default=0)
+
+    layout = [
+        min(len(nodes) / 50.0, 2.0),
+        min(len(leaves) / 30.0, 2.0),
+        min(len(lists) / 5.0, 2.0),
+        min(len(tables) / 3.0, 2.0),
+        min(max_depth / 5.0, 2.0),
+    ]
+
+    root = page.root
+    template_hits = [
+        1.0 if root.children else 0.0,
+        1.0 if any(c.children for c in root.children) else 0.0,
+        1.0 if leaves else 0.0,
+        1.0 if any(n.is_elem() for n in nodes) else 0.0,
+    ]
+
+    sections = list_sections(page)
+    section_text = " ".join(
+        child.text for section in sections for child in section.children
+    )
+    entity_fractions = []
+    for label in ENTITY_LABELS:
+        spans = models.entities(section_text, label) if section_text else []
+        entity_fractions.append(min(len(spans) / 10.0, 1.0))
+
+    headers = [n.text for n in nodes if n.children and n.text]
+    affinity = max(
+        (models.keyword_similarity(h, keywords) for h in headers), default=0.0
+    )
+
+    return np.array(layout + template_hits + entity_fractions + [affinity])
+
+
+def feature_matrix(
+    pages: list[WebPage], models: NlpModels, keywords: tuple[str, ...]
+) -> np.ndarray:
+    """Stacked feature vectors, one row per page."""
+    return np.vstack([page_features(p, models, keywords) for p in pages])

@@ -1,0 +1,45 @@
+"""Label-suggestion policy (paper Section 7 "Interactive labeling").
+
+WebQA limits user effort to at most five labeled pages while covering the
+schema diversity of the test set: pages are clustered on DSL-derived
+features and the user is asked to label one representative (the medoid)
+per cluster.
+"""
+
+from __future__ import annotations
+
+from ..nlp.models import NlpModels
+from ..webtree.node import WebPage
+from .cluster import k_medoids
+from .features import feature_matrix
+
+#: The paper restricts user queries to at most five pages.
+MAX_LABEL_QUERIES = 5
+
+
+def suggest_pages_to_label(
+    pages: list[WebPage],
+    models: NlpModels,
+    keywords: tuple[str, ...],
+    budget: int = MAX_LABEL_QUERIES,
+) -> list[int]:
+    """Indices of the pages the user should label, most diverse first.
+
+    One medoid per feature cluster, at most ``budget`` of them, ordered by
+    cluster size (largest schema group first) so truncating the list still
+    covers the dominant schemas.
+    """
+    if not pages:
+        return []
+    budget = max(1, min(budget, len(pages)))
+    features = feature_matrix(pages, models, keywords)
+    medoids, assignment = k_medoids(features, budget)
+    sized = sorted(
+        ((int((assignment == c).sum()), medoid) for c, medoid in enumerate(medoids)),
+        key=lambda pair: -pair[0],
+    )
+    suggested: list[int] = []
+    for _, medoid in sized:
+        if medoid not in suggested:
+            suggested.append(medoid)
+    return suggested

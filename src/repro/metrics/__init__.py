@@ -1,0 +1,19 @@
+"""Token-level evaluation metrics (paper footnote 1 and Section 8)."""
+
+from .scores import ZERO_SCORE, Score, mean, mean_score, score_examples, stddev, variance
+from .tokens import answer_tokens, overlap, token_f1, token_prf, token_recall
+
+__all__ = [
+    "Score",
+    "ZERO_SCORE",
+    "mean_score",
+    "score_examples",
+    "mean",
+    "variance",
+    "stddev",
+    "answer_tokens",
+    "overlap",
+    "token_f1",
+    "token_prf",
+    "token_recall",
+]

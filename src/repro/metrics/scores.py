@@ -1,0 +1,68 @@
+"""Score containers and aggregation helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .tokens import token_prf
+
+
+@dataclass(frozen=True)
+class Score:
+    """A (precision, recall, F1) triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def of(cls, predicted: Iterable[str], expected: Iterable[str]) -> "Score":
+        return cls(*token_prf(predicted, expected))
+
+    def __add__(self, other: "Score") -> "Score":
+        return Score(
+            self.precision + other.precision,
+            self.recall + other.recall,
+            self.f1 + other.f1,
+        )
+
+    def scaled(self, factor: float) -> "Score":
+        return Score(self.precision * factor, self.recall * factor, self.f1 * factor)
+
+
+ZERO_SCORE = Score(0.0, 0.0, 0.0)
+
+
+def mean_score(scores: Sequence[Score]) -> Score:
+    """Component-wise mean; zero triple for an empty sequence."""
+    if not scores:
+        return ZERO_SCORE
+    total = ZERO_SCORE
+    for score in scores:
+        total = total + score
+    return total.scaled(1.0 / len(scores))
+
+
+def score_examples(
+    pairs: Iterable[tuple[Iterable[str], Iterable[str]]]
+) -> Score:
+    """Macro-average of per-example scores over (predicted, gold) pairs."""
+    return mean_score([Score.of(p, g) for p, g in pairs])
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance; 0 for fewer than two values."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return sum((v - center) ** 2 for v in values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    return math.sqrt(variance(values))

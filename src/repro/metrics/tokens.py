@@ -1,0 +1,76 @@
+"""Token-level precision/recall/F1 (the paper's evaluation metric).
+
+The paper scores an extraction against the gold labels at the granularity
+of word tokens (footnote 1 and the Recall definition in Section 5).  A
+predicted answer set and a gold answer set are each flattened into a
+multiset of lower-cased word tokens; precision, recall and F1 are computed
+on the multiset overlap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+from typing import Iterable
+
+from ..nlp.tokenize import words
+
+
+@lru_cache(maxsize=262144)
+def _string_tokens(text: str) -> tuple[str, ...]:
+    """Cached word tokens of one string; scoring retokenizes the same
+    node texts millions of times during synthesis."""
+    return tuple(words(text))
+
+
+def answer_tokens(answers: Iterable[str]) -> Counter[str]:
+    """Multiset of word tokens across all strings of an answer set.
+
+    >>> sorted(answer_tokens(["Bob Smith", "Ann"]).elements())
+    ['ann', 'bob', 'smith']
+    """
+    tokens: Counter[str] = Counter()
+    for answer in answers:
+        tokens.update(_string_tokens(answer))
+    return tokens
+
+
+def overlap(predicted: Counter[str], expected: Counter[str]) -> int:
+    """Size of the multiset intersection."""
+    return sum((predicted & expected).values())
+
+
+def token_prf(
+    predicted: Iterable[str], expected: Iterable[str]
+) -> tuple[float, float, float]:
+    """(precision, recall, F1) of predicted vs. gold answer strings.
+
+    Conventions at the edges: empty-vs-empty is a perfect match; empty
+    prediction against non-empty gold has recall 0; non-empty prediction
+    against empty gold has precision 0.
+
+    >>> token_prf(["Bob Smith"], ["Bob Smith", "Ann"])
+    (1.0, 0.6666666666666666, 0.8)
+    """
+    pred_tokens = answer_tokens(predicted)
+    gold_tokens = answer_tokens(expected)
+    n_pred = sum(pred_tokens.values())
+    n_gold = sum(gold_tokens.values())
+    if n_pred == 0 and n_gold == 0:
+        return 1.0, 1.0, 1.0
+    hits = overlap(pred_tokens, gold_tokens)
+    precision = hits / n_pred if n_pred else 0.0
+    recall = hits / n_gold if n_gold else 0.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def token_f1(predicted: Iterable[str], expected: Iterable[str]) -> float:
+    """F1 component of :func:`token_prf`."""
+    return token_prf(predicted, expected)[2]
+
+
+def token_recall(predicted: Iterable[str], expected: Iterable[str]) -> float:
+    """Recall component of :func:`token_prf` (drives UB pruning)."""
+    return token_prf(predicted, expected)[1]

@@ -1,0 +1,40 @@
+"""NLP substrate: offline substitutes for the paper's pre-trained models.
+
+- :class:`NlpModels` — facade over the three neural DSL primitives.
+- :class:`KeywordMatcher` — Sentence-BERT substitute (hashed embeddings).
+- :class:`QaModel` — BERT-QA substitute (lexical span scorer).
+- :func:`extract_entities` — spaCy NER substitute (rules + gazetteers).
+"""
+
+from .embeddings import EMBEDDING_DIM, KeywordMatcher, word_vector
+from .lexicon import DEFAULT_LEXICON, Lexicon
+from .models import NlpModels
+from .ner import ENTITY_LABELS, EntitySpan, entity_substrings, extract_entities, has_entity
+from .qa import QaAnswer, QaModel, expected_answer_types, question_content_words
+from .tokenize import ngrams, split_sentences, tokenize, word_set, words
+from .vocab import STOPWORDS, IdfModel
+
+__all__ = [
+    "EMBEDDING_DIM",
+    "KeywordMatcher",
+    "word_vector",
+    "DEFAULT_LEXICON",
+    "Lexicon",
+    "NlpModels",
+    "ENTITY_LABELS",
+    "EntitySpan",
+    "entity_substrings",
+    "extract_entities",
+    "has_entity",
+    "QaAnswer",
+    "QaModel",
+    "expected_answer_types",
+    "question_content_words",
+    "ngrams",
+    "split_sentences",
+    "tokenize",
+    "word_set",
+    "words",
+    "STOPWORDS",
+    "IdfModel",
+]

@@ -1,0 +1,147 @@
+"""Deterministic hashed embeddings and keyword similarity.
+
+This is the substitute for the Sentence-BERT encoder the paper uses for
+``matchKeyword`` (Section 7).  Design:
+
+* every word gets a unit vector that is the sum of hashed character
+  n-gram basis vectors (fastText-style), so morphologically related words
+  ("publication" / "publications") land close together;
+* a phrase embedding is the IDF-weighted mean of its word vectors;
+* similarity is cosine mapped to [0, 1];
+* a synonym lexicon (:mod:`repro.nlp.lexicon`) supplies the world
+  knowledge a pre-trained encoder would have ("PC" ≈ "program
+  committee"), overriding the geometric score for known concept pairs.
+
+Everything is seeded and hash-based: no training, no network, fully
+reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+import numpy as np
+
+from .lexicon import DEFAULT_LEXICON, Lexicon
+from .tokenize import ngrams, words
+from .vocab import IdfModel
+
+#: Embedding dimensionality; small enough to keep synthesis fast, large
+#: enough that unrelated words are near-orthogonal in expectation.
+EMBEDDING_DIM = 96
+
+
+def _hash_to_index(text: str, dim: int = EMBEDDING_DIM) -> tuple[int, float]:
+    """Stable (index, sign) pair for a feature string."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    value = int.from_bytes(digest, "big")
+    return value % dim, 1.0 if (value >> 40) & 1 else -1.0
+
+
+@lru_cache(maxsize=65536)
+def word_vector(word: str) -> np.ndarray:
+    """Unit embedding of a single word from hashed char n-grams."""
+    vector = np.zeros(EMBEDDING_DIM)
+    features = ngrams(word.lower()) + [f"w:{word.lower()}"]
+    for feature in features:
+        index, sign = _hash_to_index(feature)
+        vector[index] += sign
+    norm = float(np.linalg.norm(vector))
+    if norm > 0:
+        vector /= norm
+    vector.setflags(write=False)
+    return vector
+
+
+class KeywordMatcher:
+    """The ``matchKeyword(z, K, t)`` neural module (paper Section 4).
+
+    ``similarity`` returns a score in [0, 1]; ``match_keyword`` thresholds
+    the best score over the keyword set, exactly as the DSL primitive.
+    """
+
+    def __init__(
+        self,
+        idf: IdfModel | None = None,
+        lexicon: Lexicon = DEFAULT_LEXICON,
+    ) -> None:
+        self._idf = idf or IdfModel.empty()
+        self._lexicon = lexicon
+        self._phrase_cache: dict[str, np.ndarray] = {}
+
+    # -- embeddings -----------------------------------------------------------
+
+    def phrase_vector(self, phrase: str) -> np.ndarray:
+        """IDF-weighted mean word embedding of ``phrase`` (unit norm)."""
+        cached = self._phrase_cache.get(phrase)
+        if cached is not None:
+            return cached
+        tokens = words(phrase)
+        vector = np.zeros(EMBEDDING_DIM)
+        for token in tokens:
+            vector += self._idf.idf(token) * word_vector(token)
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        vector.setflags(write=False)
+        if len(self._phrase_cache) < 100000:
+            self._phrase_cache[phrase] = vector
+        return vector
+
+    # -- similarity --------------------------------------------------------------
+
+    def similarity(self, text: str, keyword: str) -> float:
+        """Semantic similarity in [0, 1] between ``text`` and ``keyword``.
+
+        Combines (max over the three):
+        1. lexicon concept identity / substring containment → 0.9+;
+        2. containment of keyword-related words in the text → up to 0.9;
+        3. cosine similarity of hashed embeddings mapped to [0, 1].
+        """
+        text_words = words(text)
+        if not text_words:
+            return 0.0
+        keyword_norm = " ".join(words(keyword))
+        if not keyword_norm:
+            return 0.0
+        text_norm = " ".join(text_words)
+
+        best = 0.0
+        # 1. Exact / lexicon-level matches.
+        if keyword_norm == text_norm:
+            return 1.0
+        if self._lexicon.same_concept(text_norm, keyword_norm):
+            best = 0.95
+        elif f" {keyword_norm} " in f" {text_norm} ":
+            best = max(best, 0.92)
+        else:
+            for synonym in self._lexicon.synonyms(keyword_norm):
+                if synonym and f" {synonym} " in f" {text_norm} ":
+                    best = max(best, 0.88)
+                    break
+        # 2. Word-level containment of related vocabulary.
+        if best < 0.88:
+            related = self._lexicon.related_words(keyword_norm)
+            if related:
+                overlap = sum(1 for w in text_words if w in related)
+                containment = overlap / max(len(set(words(keyword_norm))), 1)
+                best = max(best, min(containment, 1.0) * 0.82)
+        # 3. Geometric similarity of hashed embeddings.
+        cosine = float(
+            np.dot(self.phrase_vector(text_norm), self.phrase_vector(keyword_norm))
+        )
+        best = max(best, (cosine + 1.0) / 2.0 * 0.85)
+        return min(best, 1.0)
+
+    def best_similarity(self, text: str, keywords: tuple[str, ...]) -> float:
+        """Max similarity of ``text`` against any keyword in the set."""
+        if not keywords:
+            return 0.0
+        return max(self.similarity(text, k) for k in keywords)
+
+    def match_keyword(
+        self, text: str, keywords: tuple[str, ...], threshold: float
+    ) -> bool:
+        """The DSL predicate: does any keyword clear ``threshold``?"""
+        return self.best_similarity(text, keywords) >= threshold

@@ -1,0 +1,107 @@
+"""Gazetteers backing the rule-based NER model.
+
+A pre-trained NER system carries lexical knowledge about names, places and
+organizations.  Our spaCy substitute gets the same kind of knowledge from
+these explicit lists.  They are intentionally *incomplete* — roughly 70% of
+the names the synthetic corpus can generate appear here — so the entity
+model is imperfect in the way the paper assumes pre-trained models are
+(Section 2, "Key idea #2").
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = frozenset(
+    """
+    james mary robert patricia john jennifer michael linda david elizabeth
+    william barbara richard susan joseph jessica thomas sarah charles karen
+    christopher lisa daniel nancy matthew betty anthony margaret mark sandra
+    donald ashley steven kimberly paul emily andrew donna joshua michelle
+    kenneth carol kevin amanda brian melissa george deborah timothy stephanie
+    ronald rebecca edward sharon jason laura jeffrey cynthia ryan kathleen
+    jacob amy gary shirley nicholas angela eric anna jonathan ruth stephen
+    brenda larry pamela justin nicole scott katherine brandon samantha
+    benjamin christine samuel emma gregory catherine frank debra alexander
+    rachel raymond carolyn jack janet dennis maria jerry heather tyler diane
+    aaron olivia jose julie henry joyce adam victoria douglas kelly nathan
+    christina peter joan zachary evelyn kyle judith walter andrea ethan
+    hannah jeremy megan harold cheryl keith jacqueline christian martha noah
+    wei ming hao yan juan carlos ana sofia raj priya amit anika omar fatima
+    """.split()
+)
+
+LAST_NAMES = frozenset(
+    """
+    smith johnson williams brown jones garcia miller davis rodriguez
+    martinez hernandez lopez gonzalez wilson anderson thomas taylor moore
+    jackson martin lee perez thompson white harris sanchez clark ramirez
+    lewis robinson walker young allen king wright scott torres nguyen hill
+    flores green adams nelson baker hall rivera campbell mitchell carter
+    roberts gomez phillips evans turner diaz parker cruz edwards collins
+    reyes stewart morris morales murphy cook rogers gutierrez ortiz morgan
+    cooper peterson bailey reed kelly howard ramos kim cox ward richardson
+    watson brooks chavez wood james bennett gray mendoza ruiz hughes price
+    alvarez castillo sanders patel myers long ross foster jimenez powell
+    chen wang liu zhang yang huang zhao wu zhou xu sun ma zhu
+    """.split()
+)
+
+HONORIFICS = frozenset({"dr", "prof", "professor", "mr", "mrs", "ms", "md", "phd"})
+
+#: Suffix words that mark an organization name.
+ORG_SUFFIXES = frozenset(
+    """
+    university college institute school department laboratory lab center
+    centre clinic hospital corporation company inc llc foundation society
+    association group practice
+    """.split()
+)
+
+#: Words that start many organization names ("University of Texas").
+ORG_PREFIXES = frozenset({"university", "institute", "college", "school"})
+
+CITIES = frozenset(
+    """
+    austin seattle boston chicago houston denver atlanta portland dallas
+    phoenix philadelphia pittsburgh baltimore detroit miami minneapolis
+    cleveland sacramento oakland berkeley cambridge princeton stanford
+    madison ithaca evanston pasadena bloomington tucson raleigh durham
+    columbus nashville charlotte tampa orlando omaha tulsa fresno
+    """.split()
+)
+
+US_STATES = frozenset(
+    """
+    alabama alaska arizona arkansas california colorado connecticut delaware
+    florida georgia hawaii idaho illinois indiana iowa kansas kentucky
+    louisiana maine maryland massachusetts michigan minnesota mississippi
+    missouri montana nebraska nevada ohio oklahoma oregon pennsylvania
+    tennessee texas utah vermont virginia washington wisconsin wyoming
+    """.split()
+)
+
+US_STATE_ABBREVS = frozenset(
+    """
+    AL AK AZ AR CA CO CT DE FL GA HI ID IL IN IA KS KY LA ME MD MA MI MN MS
+    MO MT NE NV NH NJ NM NY NC ND OH OK OR PA RI SC SD TN TX UT VT VA WA WV
+    WI WY DC
+    """.split()
+)
+
+MONTHS = (
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+)
+MONTH_ABBREVS = tuple(m[:3] for m in MONTHS)
+
+WEEKDAYS = (
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+    "sunday",
+)
+WEEKDAY_ABBREVS = ("mon", "tue", "tues", "wed", "thu", "thur", "thurs", "fri", "sat", "sun")
+
+STREET_SUFFIXES = frozenset(
+    """
+    street st avenue ave boulevard blvd road rd drive dr lane ln way court
+    ct place pl parkway pkwy suite
+    """.split()
+)

@@ -1,0 +1,125 @@
+"""Synonym and abbreviation lexicon for the keyword-matching model.
+
+Pre-trained sentence encoders know that "advisees" relates to "PhD
+students" and that "PC" abbreviates "program committee".  Our hashed
+embedding substitute captures morphological similarity but not such world
+knowledge, so it is complemented by this lexicon: groups of phrases that a
+pre-trained encoder would embed close together.  The groups cover the
+academic/medical vocabulary of the paper's four evaluation domains plus
+generic web-page section names — they are *domain* knowledge, not
+*task-instance* knowledge (no page content appears here).
+"""
+
+from __future__ import annotations
+
+from .tokenize import words
+
+#: Each inner tuple is one concept; every phrase in a tuple is considered a
+#: near-synonym of every other phrase in the same tuple.
+SYNONYM_GROUPS: tuple[tuple[str, ...], ...] = (
+    # --- academic people -----------------------------------------------------
+    ("phd students", "doctoral students", "graduate students", "advisees",
+     "current students", "phd advisees", "students"),
+    ("alumni", "former students", "past students", "graduated students",
+     "former advisees", "previous students"),
+    ("instructor", "instructors", "lecturer", "professor", "teacher",
+     "taught by", "course staff"),
+    ("teaching assistants", "tas", "ta", "course assistants", "graders"),
+    ("co-authors", "coauthors", "collaborators", "joint work"),
+    # --- academic artifacts ----------------------------------------------------
+    ("publications", "papers", "conference publications", "articles",
+     "selected publications", "recent publications", "research papers"),
+    ("best paper award", "distinguished paper award", "best paper",
+     "award", "awards", "honors"),
+    ("courses", "teaching", "classes", "courses taught", "lectures"),
+    ("lecture", "lectures", "section", "sections", "class meetings",
+     "meeting times", "lecture times", "when", "schedule"),
+    ("exam", "exams", "midterm", "midterms", "final exam", "test", "tests",
+     "quizzes"),
+    ("textbook", "textbooks", "materials", "required texts", "readings",
+     "course materials", "books"),
+    ("grades", "grading", "rubric", "assessment", "grade breakdown",
+     "course grade", "evaluation"),
+    ("topics", "topics of interest", "areas of interest", "scope",
+     "call for papers", "subject areas"),
+    # --- service / committees -----------------------------------------------
+    ("program committee", "pc", "program committees",
+     "technical program committee", "pc member", "pc members",
+     "committee members"),
+    ("program chair", "program chairs", "pc chair", "program co-chair",
+     "co-chairs", "general chair", "chairs", "organizers"),
+    ("service", "professional service", "professional services",
+     "activities", "professional activities", "synergistic activities"),
+    ("paper submission deadline", "submission deadline", "deadline",
+     "deadlines", "important dates", "submissions due", "due date"),
+    ("double-blind", "single-blind", "double blind", "single blind",
+     "review process", "reviewing", "anonymous submissions", "blind"),
+    ("institutions", "affiliations", "universities", "organizations",
+     "affiliation"),
+    # --- clinic -----------------------------------------------------------------
+    ("doctors", "providers", "physicians", "our team", "our doctors",
+     "medical staff", "practitioners", "meet the team", "our providers",
+     "staff"),
+    ("services", "our services", "provided services", "what we offer",
+     "care services", "services offered", "service"),
+    ("treatments", "specialties", "specializations", "we specialize in",
+     "treatment options", "areas of expertise", "procedures"),
+    ("insurance", "insurances", "plans accepted", "accepted insurances",
+     "insurance plans", "we accept", "payment and insurance", "billing"),
+    ("locations", "location", "our offices", "clinics", "addresses",
+     "find us", "visit us", "where"),
+    ("contact", "contact us", "contact information", "get in touch",
+     "reach us", "phone", "email"),
+    # --- generic section names ---------------------------------------------------
+    ("about", "about us", "bio", "biography", "overview", "introduction"),
+    ("news", "recent news", "announcements", "updates"),
+    ("research", "research interests", "interests", "research areas"),
+)
+
+
+def _normalize(phrase: str) -> str:
+    return " ".join(words(phrase))
+
+
+class Lexicon:
+    """Phrase-level synonym lookup with single-word membership helpers."""
+
+    def __init__(self, groups: tuple[tuple[str, ...], ...] = SYNONYM_GROUPS) -> None:
+        self._group_of: dict[str, int] = {}
+        self._groups: list[frozenset[str]] = []
+        for group in groups:
+            normalized = frozenset(_normalize(p) for p in group)
+            index = len(self._groups)
+            self._groups.append(normalized)
+            for phrase in normalized:
+                self._group_of.setdefault(phrase, index)
+
+    def synonyms(self, phrase: str) -> frozenset[str]:
+        """All phrases in the same concept group as ``phrase`` (inclusive).
+
+        >>> Lexicon().synonyms("PC") >= {"pc", "program committee"}
+        True
+        """
+        key = _normalize(phrase)
+        index = self._group_of.get(key)
+        if index is None:
+            return frozenset({key})
+        return self._groups[index]
+
+    def same_concept(self, a: str, b: str) -> bool:
+        """True when two phrases belong to a common synonym group."""
+        key_a, key_b = _normalize(a), _normalize(b)
+        if key_a == key_b:
+            return True
+        index = self._group_of.get(key_a)
+        return index is not None and key_b in self._groups[index]
+
+    def related_words(self, phrase: str) -> frozenset[str]:
+        """Individual content words across all synonyms of ``phrase``."""
+        related: set[str] = set()
+        for synonym in self.synonyms(phrase):
+            related.update(words(synonym))
+        return frozenset(related)
+
+
+DEFAULT_LEXICON = Lexicon()

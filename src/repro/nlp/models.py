@@ -1,0 +1,92 @@
+"""Facade bundling the three neural modules of the DSL (paper Section 4).
+
+Every DSL predicate evaluation goes through one :class:`NlpModels`
+instance, which owns the keyword matcher, the QA model and the entity
+model plus a memoization layer.  Synthesis evaluates the same predicates
+on the same strings millions of times, so this cache is what makes
+enumerative search tractable (the paper similarly memoizes model calls).
+"""
+
+from __future__ import annotations
+
+from .embeddings import KeywordMatcher
+from .lexicon import DEFAULT_LEXICON, Lexicon
+from .ner import entity_substrings, extract_entities, has_entity
+from .qa import QaModel
+from .vocab import IdfModel
+
+
+class NlpModels:
+    """The pre-trained model bundle used by DSL evaluation.
+
+    Parameters
+    ----------
+    idf:
+        Corpus IDF statistics; fit it on the task's webpages for better
+        keyword/QA weighting, or omit for heuristic defaults.
+    lexicon:
+        Synonym lexicon for the keyword matcher.
+    qa_threshold:
+        Acceptance threshold of ``hasAnswer``.
+    """
+
+    def __init__(
+        self,
+        idf: IdfModel | None = None,
+        lexicon: Lexicon = DEFAULT_LEXICON,
+        qa_threshold: float = 0.30,
+    ) -> None:
+        self.idf = idf or IdfModel.empty()
+        self.keywords = KeywordMatcher(self.idf, lexicon)
+        self.qa = QaModel(self.idf, threshold=qa_threshold)
+        self._match_cache: dict[tuple[str, tuple[str, ...]], float] = {}
+        self._entity_cache: dict[tuple[str, str], bool] = {}
+
+    @classmethod
+    def for_corpus(cls, documents: list[str], **kwargs: object) -> "NlpModels":
+        """Build models with IDF statistics fit on ``documents``."""
+        return cls(idf=IdfModel.fit(documents), **kwargs)  # type: ignore[arg-type]
+
+    # -- the three neural primitives ------------------------------------------
+
+    def match_keyword(
+        self, text: str, keywords: tuple[str, ...], threshold: float
+    ) -> bool:
+        """``matchKeyword(z, K, t)``: any keyword similarity ≥ t."""
+        return self.keyword_similarity(text, keywords) >= threshold
+
+    def keyword_similarity(self, text: str, keywords: tuple[str, ...]) -> float:
+        key = (text, keywords)
+        cached = self._match_cache.get(key)
+        if cached is None:
+            cached = self.keywords.best_similarity(text, keywords)
+            if len(self._match_cache) < 500000:
+                self._match_cache[key] = cached
+        return cached
+
+    def has_answer(self, text: str, question: str) -> bool:
+        """``hasAnswer(z, Q)``: the QA model finds an answer in ``text``."""
+        return self.qa.has_answer(text, question)
+
+    def has_entity(self, text: str, label: str) -> bool:
+        """``hasEntity(z, l)``: the NER model finds a ``label`` entity."""
+        key = (text, label)
+        cached = self._entity_cache.get(key)
+        if cached is None:
+            cached = has_entity(text, label)
+            if len(self._entity_cache) < 500000:
+                self._entity_cache[key] = cached
+        return cached
+
+    # -- extraction services used by Substring / GetEntity ---------------------
+
+    def entity_substrings(self, text: str, label: str, k: int = 0) -> list[str]:
+        return entity_substrings(text, label, k)
+
+    def answer_substrings(self, text: str, question: str, k: int = 1) -> list[str]:
+        """Top-k answer spans, used by ``Substring(e, hasAnswer, k)``."""
+        answers = self.qa.top_answers(question, text, k=max(k, 1))
+        return [a.text for a in answers if a.score >= self.qa.threshold]
+
+    def entities(self, text: str, label: str | None = None):
+        return extract_entities(text, label)

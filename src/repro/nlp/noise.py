@@ -1,0 +1,81 @@
+"""Failure injection for the neural modules.
+
+The paper's central premise is that neural modules are *imperfect* and
+the synthesizer must cope (Section 2, "Key idea #2").  This wrapper makes
+that premise tunable: it decorates an :class:`NlpModels` instance and
+flips each predicate's answer with a seeded probability, letting tests
+and ablations measure how gracefully optimal-F1 synthesis degrades as
+the models get worse.
+
+The noise is *deterministic per (input, module)*: the same query always
+fails the same way within a wrapper instance, matching how a fixed
+imperfect model behaves (as opposed to a stochastic one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .models import NlpModels
+
+
+class NoisyNlpModels(NlpModels):
+    """An :class:`NlpModels` whose boolean predicates err at ``error_rate``.
+
+    Only the three boolean neural primitives are corrupted — the span
+    *generators* (entity/answer substrings) stay intact, since the paper
+    attributes module error to classification, not tokenization.
+    """
+
+    def __init__(
+        self, base: NlpModels, error_rate: float = 0.1, seed: int = 0
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        # Share the expensive substructures with the wrapped instance.
+        self.idf = base.idf
+        self.keywords = base.keywords
+        self.qa = base.qa
+        self._match_cache = {}
+        self._entity_cache = {}
+        self._base = base
+        self.error_rate = error_rate
+        self.seed = seed
+
+    def _flip(self, module: str, key: str) -> bool:
+        """Deterministic coin: should this (module, input) pair err?"""
+        digest = hashlib.blake2b(
+            f"{self.seed}:{module}:{key}".encode("utf-8"), digest_size=8
+        ).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        return draw < self.error_rate
+
+    def match_keyword(self, text, keywords, threshold):
+        truth = self._base.match_keyword(text, keywords, threshold)
+        if self._flip("kw", f"{text}|{keywords}|{threshold}"):
+            return not truth
+        return truth
+
+    def has_answer(self, text, question):
+        truth = self._base.has_answer(text, question)
+        if self._flip("qa", f"{text}|{question}"):
+            return not truth
+        return truth
+
+    def has_entity(self, text, label):
+        truth = self._base.has_entity(text, label)
+        if self._flip("ner", f"{text}|{label}"):
+            return not truth
+        return truth
+
+    def keyword_similarity(self, text, keywords):
+        return self._base.keyword_similarity(text, keywords)
+
+    def entity_substrings(self, text, label, k=0):
+        return self._base.entity_substrings(text, label, k)
+
+    def answer_substrings(self, text, question, k=1):
+        return self._base.answer_substrings(text, question, k)
+
+    def entities(self, text, label=None):
+        return self._base.entities(text, label)

@@ -1,0 +1,210 @@
+"""Extractive question answering over raw text.
+
+This is the BERT-QA substitute implementing the DSL's ``hasAnswer(z, Q)``
+predicate and the BERTQA baseline (paper Sections 4, 7 and 8).  Contract
+match: (question, passage) → best answer span with a confidence score.
+
+The model is a lexical span scorer:
+
+1. the question is analysed for its expected answer type (who → PERSON,
+   when → DATE/TIME, where → LOC, how much → MONEY) and its content words;
+2. candidate spans are entity spans of the expected type, plus sentence
+   segments when the type is unconstrained;
+3. each candidate is scored by IDF-weighted overlap between the question's
+   content words and the candidate's surrounding context, with a bonus for
+   answer-type agreement.
+
+Like the pre-trained model it replaces, it is decent on focused passages
+and much weaker when handed an entire heterogeneous webpage as flat text —
+the regime difference the paper's evaluation hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ner import extract_entities
+from .tokenize import split_sentences, words
+from .vocab import STOPWORDS, IdfModel
+
+
+@dataclass(frozen=True)
+class QaAnswer:
+    """An extracted answer span with its confidence in [0, 1]."""
+
+    text: str
+    score: float
+    start: int
+    end: int
+
+
+#: Question-word → acceptable entity labels for the answer span.
+_EXPECTED_TYPES: dict[str, tuple[str, ...]] = {
+    "who": ("PERSON",),
+    "whom": ("PERSON",),
+    "when": ("DATE", "TIME"),
+    "where": ("LOC", "ORG"),
+}
+
+
+def expected_answer_types(question: str) -> tuple[str, ...]:
+    """Entity labels the question's wh-word calls for (may be empty).
+
+    >>> expected_answer_types("Who are the instructors?")
+    ('PERSON',)
+    >>> expected_answer_types("What are the topics?")
+    ()
+    """
+    tokens = words(question)
+    for token in tokens[:3]:
+        if token in _EXPECTED_TYPES:
+            return _EXPECTED_TYPES[token]
+    if "how much" in question.lower() or "cost" in question.lower():
+        return ("MONEY",)
+    return ()
+
+
+def question_content_words(question: str) -> list[str]:
+    """Content words of the question (wh-words and stopwords removed)."""
+    skip = STOPWORDS | set(_EXPECTED_TYPES) | {
+        "what", "how", "do", "does", "did", "done", "person", "list",
+    }
+    return [w for w in words(question) if w not in skip]
+
+
+class QaModel:
+    """Extractive QA with a tunable acceptance threshold."""
+
+    def __init__(self, idf: IdfModel | None = None, threshold: float = 0.30) -> None:
+        self._idf = idf or IdfModel.empty()
+        self.threshold = threshold
+        self._cache: dict[tuple[str, str], QaAnswer | None] = {}
+        self._top_cache: dict[tuple[str, str, int], list[QaAnswer]] = {}
+
+    # -- scoring helpers ------------------------------------------------------
+
+    def _overlap_score(self, content: list[str], context: str) -> float:
+        """IDF-weighted fraction of question content found in ``context``."""
+        if not content:
+            return 0.0
+        context_words = set(words(context))
+        total = sum(self._idf.idf(w) for w in content)
+        if total <= 0:
+            return 0.0
+        hit = sum(self._idf.idf(w) for w in content if w in context_words)
+        return hit / total
+
+    # -- public API ----------------------------------------------------------------
+
+    def answer(self, question: str, passage: str) -> QaAnswer | None:
+        """Best answer span for ``question`` in ``passage``, or ``None``."""
+        key = (question, passage)
+        if key in self._cache:
+            return self._cache[key]
+        result = self._answer_uncached(question, passage)
+        if len(self._cache) < 200000:
+            self._cache[key] = result
+        return result
+
+    def _answer_uncached(self, question: str, passage: str) -> QaAnswer | None:
+        if not passage.strip():
+            return None
+        expected = expected_answer_types(question)
+        content = question_content_words(question)
+        candidates = self._candidates(passage, expected)
+        best: QaAnswer | None = None
+        for text, start, end, type_bonus in candidates:
+            sentence = _enclosing_sentence(passage, start, end)
+            context_score = self._overlap_score(content, sentence)
+            # The span itself repeating question words is weak evidence the
+            # span *is* the answer (it is probably a header), so the span
+            # text contributes less than its context.
+            span_score = self._overlap_score(content, text)
+            score = min(
+                0.25 * type_bonus + 0.65 * context_score + 0.10 * span_score, 1.0
+            )
+            if best is None or score > best.score:
+                best = QaAnswer(text, score, start, end)
+        return best
+
+    def _candidates(
+        self, passage: str, expected: tuple[str, ...]
+    ) -> list[tuple[str, int, int, float]]:
+        candidates: list[tuple[str, int, int, float]] = []
+        if expected:
+            for label in expected:
+                for span in extract_entities(passage, label):
+                    candidates.append((span.text, span.start, span.end, 1.0))
+        # Sentence- and clause-level fallbacks (type bonus 0 when the span
+        # does not carry the expected type).
+        offset = 0
+        for sentence in split_sentences(passage):
+            start = passage.find(sentence, offset)
+            if start < 0:
+                start = offset
+            end = start + len(sentence)
+            offset = end
+            clause = sentence.split(":", 1)[-1].strip() or sentence
+            clause_start = passage.find(clause, start)
+            if clause_start < 0:
+                clause_start, clause = start, sentence
+            bonus = 0.0
+            if expected and extract_entities(clause):
+                found = {s.label for s in extract_entities(clause)}
+                bonus = 0.5 if found & set(expected) else 0.0
+            elif not expected:
+                bonus = 0.4
+            candidates.append((clause, clause_start, clause_start + len(clause), bonus))
+        return candidates
+
+    def has_answer(self, text: str, question: str) -> bool:
+        """The DSL predicate ``hasAnswer(z, Q)``."""
+        found = self.answer(question, text)
+        return found is not None and found.score >= self.threshold
+
+    def top_answers(self, question: str, passage: str, k: int = 3) -> list[QaAnswer]:
+        """Up to ``k`` best non-overlapping answer spans, for baselines."""
+        key = (question, passage, k)
+        cached = self._top_cache.get(key)
+        if cached is not None:
+            return cached
+        answers = self._top_answers_uncached(question, passage, k)
+        if len(self._top_cache) < 200000:
+            self._top_cache[key] = answers
+        return answers
+
+    def _top_answers_uncached(
+        self, question: str, passage: str, k: int
+    ) -> list[QaAnswer]:
+        expected = expected_answer_types(question)
+        content = question_content_words(question)
+        scored: list[QaAnswer] = []
+        for text, start, end, type_bonus in self._candidates(passage, expected):
+            sentence = _enclosing_sentence(passage, start, end)
+            score = min(
+                0.25 * type_bonus
+                + 0.65 * self._overlap_score(content, sentence)
+                + 0.10 * self._overlap_score(content, text),
+                1.0,
+            )
+            scored.append(QaAnswer(text, score, start, end))
+        scored.sort(key=lambda a: -a.score)
+        picked: list[QaAnswer] = []
+        for answer in scored:
+            if len(picked) >= k:
+                break
+            if any(a.start < answer.end and answer.start < a.end for a in picked):
+                continue
+            picked.append(answer)
+        return picked
+
+
+def _enclosing_sentence(passage: str, start: int, end: int) -> str:
+    """The sentence (or line) of ``passage`` containing [start, end)."""
+    left = max(passage.rfind(". ", 0, start), passage.rfind("\n", 0, start))
+    left = left + 1 if left >= 0 else 0
+    right_dot = passage.find(". ", end)
+    right_nl = passage.find("\n", end)
+    rights = [r for r in (right_dot, right_nl) if r >= 0]
+    right = min(rights) + 1 if rights else len(passage)
+    return passage[left:right].strip()

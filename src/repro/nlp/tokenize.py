@@ -1,0 +1,96 @@
+"""Tokenization and sentence segmentation for the NLP substrate.
+
+The paper delegates tokenization/segmentation to spaCy; this module
+provides deterministic, dependency-free equivalents.  Tokens are the unit
+of the paper's F1 metric (Section 5, "Recall(ν, E)" counts tokens), so the
+tokenizer here is shared by the metric code, the embedding model, the NER
+model and the QA model to keep all components consistent.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(
+    r"""
+    \$?\d[\d,./:-]*\d%?     # numbers, dates, times, money, ranges
+    | \d                    # single digits
+    | [A-Za-z]+(?:'[a-z]+)? # words with optional clitic ('s, n't)
+    | [^\sA-Za-z0-9]        # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'(])")
+
+#: Abbreviations that should not terminate a sentence.
+_ABBREVIATIONS = frozenset(
+    {
+        "dr", "prof", "mr", "mrs", "ms", "st", "jr", "sr", "vs", "etc",
+        "dept", "univ", "inc", "vol", "no", "eg", "ie", "al",
+    }
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split text into word/number/punctuation tokens.
+
+    >>> tokenize("PLDI '21 (PC), POPL '20")
+    ["PLDI", "'", '21', '(', 'PC', ')', ',', 'POPL', "'", '20']
+    """
+    return _TOKEN_RE.findall(text)
+
+
+def words(text: str) -> list[str]:
+    """Lower-cased alphanumeric tokens only (no punctuation).
+
+    >>> words("Dr. Jane Doe, M.D.")
+    ['dr', 'jane', 'doe', 'm', 'd']
+    """
+    return [t.lower() for t in tokenize(text) if any(c.isalnum() for c in t)]
+
+
+def word_set(text: str) -> frozenset[str]:
+    """The set of lower-cased word tokens; used by the Hamming loss."""
+    return frozenset(words(text))
+
+
+def split_sentences(text: str) -> list[str]:
+    """Segment text into sentences, respecting common abbreviations.
+
+    >>> split_sentences("I teach CS 101. It meets MWF.")
+    ['I teach CS 101.', 'It meets MWF.']
+    """
+    if not text:
+        return []
+    pieces: list[str] = []
+    start = 0
+    for match in _SENTENCE_BOUNDARY_RE.finditer(text):
+        candidate = text[start : match.start() + 1]
+        last_word = re.findall(r"[A-Za-z]+", candidate[-12:])
+        if last_word and last_word[-1].lower() in _ABBREVIATIONS:
+            continue
+        pieces.append(candidate.strip())
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        pieces.append(tail)
+    return pieces
+
+
+def ngrams(token: str, low: int = 3, high: int = 5) -> list[str]:
+    """Character n-grams of a token with boundary markers.
+
+    These drive the hashed embedding model; boundary markers let prefixes
+    and suffixes carry distinct signal (as in fastText).
+
+    >>> ngrams("cat", 3, 3)
+    ['<ca', 'cat', 'at>']
+    """
+    padded = f"<{token}>"
+    grams: list[str] = []
+    for size in range(low, high + 1):
+        if len(padded) < size:
+            continue
+        grams.extend(padded[i : i + size] for i in range(len(padded) - size + 1))
+    return grams

@@ -1,0 +1,66 @@
+"""Vocabulary statistics: stopwords and an IDF model.
+
+The embedding model weights words by inverse document frequency so that
+content words dominate sentence similarity, mirroring the behaviour of the
+trained sentence encoders the paper uses.  An :class:`IdfModel` can be fit
+on a corpus of strings; absent a fit, smoothed defaults make rare-looking
+words (long, capitalized) weigh more than function words.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from .tokenize import words
+
+STOPWORDS = frozenset(
+    """
+    a an and are as at be been but by for from had has have he her his i if
+    in into is it its may more most not of on or our she so such that the
+    their then there these they this to was we were what when where which
+    who will with you your
+    """.split()
+)
+
+
+class IdfModel:
+    """Inverse document frequency model over word tokens.
+
+    >>> model = IdfModel.fit(["the cat sat", "the dog ran"])
+    >>> model.idf("the") < model.idf("cat")
+    True
+    """
+
+    def __init__(self, doc_freq: dict[str, int], n_docs: int) -> None:
+        self._doc_freq = doc_freq
+        self._n_docs = max(n_docs, 1)
+
+    @classmethod
+    def fit(cls, documents: Iterable[str]) -> "IdfModel":
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for doc in documents:
+            n_docs += 1
+            doc_freq.update(set(words(doc)))
+        return cls(dict(doc_freq), n_docs)
+
+    @classmethod
+    def empty(cls) -> "IdfModel":
+        """A model with no corpus statistics; uses heuristic defaults."""
+        return cls({}, 1)
+
+    def idf(self, word: str) -> float:
+        """Smoothed IDF weight for ``word``; stopwords score near zero."""
+        word = word.lower()
+        if word in STOPWORDS:
+            return 0.05
+        df = self._doc_freq.get(word, 0)
+        if df == 0:
+            # Unseen words: weight by length as a crude rarity proxy.
+            return 1.0 + min(len(word), 10) / 10.0
+        return math.log((1 + self._n_docs) / (1 + df)) + 1.0
+
+    def weight_tokens(self, tokens: list[str]) -> list[float]:
+        return [self.idf(t) for t in tokens]

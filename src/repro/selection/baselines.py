@@ -1,0 +1,42 @@
+"""Program-selection baselines for the Table 4 comparison (Section 8.3).
+
+* **Random** — a uniformly random optimal program.
+* **Shortest** — a uniformly random program among the smallest (by AST
+  size) optimal programs.
+
+Both ignore the unlabeled data; their spread across seeds is what the
+transductive selector's variance reduction is measured against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dsl import ast
+from ..dsl.depth import program_size
+from ..synthesis.top import SynthesisResult
+
+
+def select_random(result: SynthesisResult, seed: int = 0) -> ast.Program:
+    """One optimal program drawn uniformly at random."""
+    if not result.spaces:
+        raise ValueError("synthesis produced no optimal programs")
+    return result.sample(random.Random(seed))
+
+
+def select_shortest(
+    result: SynthesisResult, seed: int = 0, pool_size: int = 2000
+) -> ast.Program:
+    """A random program among the smallest optimal programs.
+
+    Minimality is judged within a bounded enumeration of the space
+    (``pool_size`` programs) — sufficient in practice because branch
+    options are stored smallest-first per guard and cross-product
+    enumeration surfaces small programs early.
+    """
+    if not result.spaces:
+        raise ValueError("synthesis produced no optimal programs")
+    pool = result.enumerate(limit=pool_size)
+    smallest = min(program_size(p) for p in pool)
+    candidates = [p for p in pool if program_size(p) == smallest]
+    return random.Random(seed).choice(candidates)

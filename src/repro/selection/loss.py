@@ -1,0 +1,40 @@
+"""Loss functions for transductive program selection (paper Section 7).
+
+The paper instantiates the selection objective with the Hamming distance
+between the *sets of words* extracted by two programs on the same inputs:
+``L(π; I, O) = Hamming(π(I), O)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..nlp.tokenize import word_set
+
+
+def hamming_word_distance(answer_a: Sequence[str], answer_b: Sequence[str]) -> int:
+    """Symmetric difference size between the word sets of two answers.
+
+    >>> hamming_word_distance(["Bob Smith"], ["Bob Jones"])
+    2
+    >>> hamming_word_distance(["a b"], ["b a"])
+    0
+    """
+    set_a = word_set(" ".join(answer_a))
+    set_b = word_set(" ".join(answer_b))
+    return len(set_a ^ set_b)
+
+
+def output_loss(
+    outputs_a: Sequence[Sequence[str]], outputs_b: Sequence[Sequence[str]]
+) -> int:
+    """Total Hamming word distance across aligned per-page outputs.
+
+    This is ``L(π; I, O_j)`` with I implicit in the alignment: element i
+    of each argument is the output on unlabeled page i.
+    """
+    if len(outputs_a) != len(outputs_b):
+        raise ValueError("output sequences must align page-for-page")
+    return sum(
+        hamming_word_distance(a, b) for a, b in zip(outputs_a, outputs_b)
+    )

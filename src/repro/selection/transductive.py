@@ -1,0 +1,109 @@
+"""Transductive program selection (paper Section 6, Figure 11).
+
+Given the optimal-program space from synthesis and the *unlabeled* test
+pages, the selector:
+
+1. samples an ensemble Π_E of N i.i.d. optimal programs (Eq. 5);
+2. runs every ensemble member on the unlabeled pages, obtaining outputs
+   O_j (Eq. 8) — the ensemble's "soft labels";
+3. returns the member minimizing the summed loss against all other
+   members' outputs (Eq. 11) — the consensus program.
+
+Because programs are deterministic, the expectation over the label
+distribution collapses to the mean loss against the sampled outputs
+(Theorem B.1), which is exactly what is computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import ast
+from ..dsl.eval import EvalContext
+from ..nlp.models import NlpModels
+from ..synthesis.top import SynthesisResult
+from ..webtree.node import WebPage
+from .loss import output_loss
+
+#: Default ensemble size N (paper Section 7: 1000).
+DEFAULT_ENSEMBLE_SIZE = 1000
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """The consensus program plus the evidence used to choose it."""
+
+    program: ast.Program
+    loss: float
+    ensemble_size: int
+    distinct_outputs: int
+
+
+def run_on_pages(
+    program: ast.Program,
+    pages: list[WebPage],
+    question: str,
+    keywords: tuple[str, ...],
+    models: NlpModels,
+    contexts: dict[int, EvalContext] | None = None,
+) -> tuple[tuple[str, ...], ...]:
+    """Evaluate a program on every page; aligned tuple of answers."""
+    outputs: list[tuple[str, ...]] = []
+    for page in pages:
+        if contexts is not None:
+            ctx = contexts.get(id(page))
+            if ctx is None:
+                ctx = EvalContext(page, question, keywords, models)
+                contexts[id(page)] = ctx
+        else:
+            ctx = EvalContext(page, question, keywords, models)
+        outputs.append(ctx.eval_program(program))
+    return tuple(outputs)
+
+
+def select_program(
+    result: SynthesisResult,
+    unlabeled_pages: list[WebPage],
+    models: NlpModels,
+    ensemble_size: int = DEFAULT_ENSEMBLE_SIZE,
+    seed: int = 0,
+) -> SelectionOutcome:
+    """The Select procedure of Figure 11.
+
+    Note the N² pairwise loss of Eq. 11 collapses to comparing *distinct*
+    outputs weighted by multiplicity: many sampled programs are
+    observationally identical on the unlabeled pages, and grouping them
+    makes selection fast without changing the argmin.
+    """
+    if not result.spaces:
+        raise ValueError("synthesis produced no optimal programs to select from")
+    ensemble = result.sample_many(ensemble_size, seed=seed)
+    contexts: dict[int, EvalContext] = {}
+
+    # Group ensemble members by their behaviour on the unlabeled pages.
+    by_output: dict[tuple[tuple[str, ...], ...], list[ast.Program]] = {}
+    for program in ensemble:
+        outputs = run_on_pages(
+            program, unlabeled_pages, result.question, result.keywords,
+            models, contexts,
+        )
+        by_output.setdefault(outputs, []).append(program)
+
+    distinct = list(by_output.items())
+    best_program: ast.Program | None = None
+    best_loss = float("inf")
+    for outputs, programs in distinct:
+        total = 0.0
+        for other_outputs, other_programs in distinct:
+            total += len(other_programs) * output_loss(outputs, other_outputs)
+        mean_loss = total / len(ensemble)
+        if mean_loss < best_loss:
+            best_loss = mean_loss
+            best_program = programs[0]
+    assert best_program is not None
+    return SelectionOutcome(
+        program=best_program,
+        loss=best_loss,
+        ensemble_size=len(ensemble),
+        distinct_outputs=len(distinct),
+    )

@@ -1,0 +1,53 @@
+"""Optimal neurosymbolic synthesis (paper Section 5).
+
+- :func:`synthesize` — all programs with optimal F1 (Figure 7).
+- :func:`synthesize_branch` — per-block guard+extractor search (Figure 8).
+- :func:`synthesize_extractors` — bottom-up extractor search (Figure 9).
+- :func:`iter_guards` — lazy guard enumeration (Figure 10).
+- :class:`SynthesisConfig` and the NoPrune/NoDecomp ablation factories.
+"""
+
+from .branch import BranchSpace, synthesize_branch
+from .config import SynthesisConfig, default_config, no_decomp, no_prune, paper_config
+from .examples import LabeledExample, TaskContexts
+from .extractors import propagate_examples, synthesize_extractors
+from .f1 import (
+    extractor_recall,
+    fbeta,
+    extractor_score,
+    located_content_recall,
+    locator_subtree_recall,
+    upper_bound_from_recall,
+)
+from .guards import guard_classifies, iter_guards
+from .partitions import count_ordered_partitions, ordered_partitions, set_partitions
+from .top import ProgramSpace, SynthesisResult, SynthesisStats, synthesize
+
+__all__ = [
+    "BranchSpace",
+    "synthesize_branch",
+    "SynthesisConfig",
+    "default_config",
+    "paper_config",
+    "no_prune",
+    "no_decomp",
+    "LabeledExample",
+    "TaskContexts",
+    "propagate_examples",
+    "synthesize_extractors",
+    "extractor_recall",
+    "fbeta",
+    "extractor_score",
+    "located_content_recall",
+    "locator_subtree_recall",
+    "upper_bound_from_recall",
+    "guard_classifies",
+    "iter_guards",
+    "count_ordered_partitions",
+    "ordered_partitions",
+    "set_partitions",
+    "ProgramSpace",
+    "SynthesisResult",
+    "SynthesisStats",
+    "synthesize",
+]

@@ -1,0 +1,132 @@
+"""Branch synthesis — ``SynthesizeBranch`` (paper Figure 8).
+
+For one partition block, finds every (guard, extractor) pair such that the
+guard separates the block's pages from later blocks' pages and the
+extractor is F1-optimal on the block.  The result is the paper's mapping
+``R`` from guards to their optimal extractor sets, wrapped in
+:class:`BranchSpace`.
+
+Two of the paper's key engineering ideas live here:
+
+* **Decomposition** — extractors are synthesized against propagated
+  examples, independently of the guard shape; branches whose guards share
+  a section locator share one extractor synthesis via the memo table
+  (footnote 6).  The NoDecomp ablation disables both the memoization and
+  the shared lower bound, re-running a joint search per guard.
+* **Pruning** — a guard is skipped outright when the F1 upper bound from
+  its locator's content recall cannot beat the best branch found so far
+  (Figure 8, line 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl import ast
+from .config import SynthesisConfig
+from .examples import LabeledExample, TaskContexts
+from .extractors import (
+    ExtractorSearchResult,
+    propagate_examples,
+    synthesize_extractors,
+)
+from .f1 import located_content_recall, upper_bound_from_recall
+
+
+@dataclass(frozen=True)
+class BranchSpace:
+    """All optimal branch programs for one partition block.
+
+    ``options`` maps each viable guard to the tuple of extractors that are
+    F1-optimal for it; every (guard, extractor) combination is an optimal
+    branch program with score ``f1``.
+    """
+
+    options: tuple[tuple[ast.Guard, tuple[ast.Extractor, ...]], ...]
+    f1: float
+    guards_tried: int = 0
+    extractors_evaluated: int = 0
+
+    def count(self) -> int:
+        """Number of distinct branch programs represented."""
+        return sum(len(extractors) for _, extractors in self.options)
+
+    def pairs(self) -> list[tuple[ast.Guard, ast.Extractor]]:
+        """All (guard, extractor) branch programs, flattened."""
+        return [
+            (guard, extractor)
+            for guard, extractors in self.options
+            for extractor in extractors
+        ]
+
+
+@dataclass
+class _BranchSearchState:
+    """Mutable accumulator for the Figure 8 loop."""
+
+    opt: float = 0.0
+    options: dict[ast.Guard, tuple[ast.Extractor, ...]] = field(default_factory=dict)
+
+    def update(
+        self, guard: ast.Guard, result: ExtractorSearchResult, tolerance: float
+    ) -> None:
+        if not result.extractors:
+            return
+        if result.f1 > self.opt + tolerance:
+            self.opt = result.f1
+            self.options = {guard: result.extractors}
+        elif abs(result.f1 - self.opt) <= tolerance:
+            self.options[guard] = result.extractors
+
+
+def synthesize_branch(
+    positives: list[LabeledExample],
+    negatives: list[LabeledExample],
+    contexts: TaskContexts,
+    config: SynthesisConfig,
+) -> BranchSpace:
+    """All optimal branch programs separating ``positives`` from ``negatives``."""
+    from .guards import iter_guards, locator_signature  # avoid a cycle
+
+    state = _BranchSearchState()
+    #: footnote 6 — extractor synthesis depends only on the nodes the
+    #: locator finds on the positive pages, so guards whose locators
+    #: behave identically share one search (decomposed mode only).
+    memo: dict[tuple, ExtractorSearchResult] = {}
+    guards_tried = 0
+    extractors_evaluated = 0
+
+    for guard in iter_guards(
+        positives, negatives, contexts, config, lambda: state.opt
+    ):
+        guards_tried += 1
+        locator = guard.locator
+        if config.prune:
+            recall = located_content_recall(locator, positives, contexts)
+            bound = upper_bound_from_recall(recall, config.beta)
+            if bound < state.opt - config.f1_tolerance:
+                continue
+        memo_key = locator_signature(locator, positives, contexts)
+        if config.decompose and memo_key in memo:
+            cached = memo[memo_key]
+            # A cached result is conclusive: either its optimum still ties
+            # or beats the running best, or nothing over this locator can.
+            if cached.extractors and cached.f1 >= state.opt - config.f1_tolerance:
+                state.update(guard, cached, config.f1_tolerance)
+            continue
+        propagated, pages = propagate_examples(locator, positives, contexts)
+        lower_bound = state.opt if config.decompose else 0.0
+        result = synthesize_extractors(
+            propagated, pages, contexts, config, lower_bound
+        )
+        extractors_evaluated += result.evaluated
+        if config.decompose:
+            memo[memo_key] = result
+        state.update(guard, result, config.f1_tolerance)
+
+    return BranchSpace(
+        options=tuple(state.options.items()),
+        f1=state.opt if state.options else 0.0,
+        guards_tried=guards_tried,
+        extractors_evaluated=extractors_evaluated,
+    )

@@ -1,0 +1,72 @@
+"""Synthesis hyperparameters (paper Section 7 "Hyperparameters").
+
+The paper's defaults are guard depth 7 and extractor depth 5 on a 28-core
+Xeon + RTX8000 with memoized BERT calls.  Our substitute models are much
+cheaper but the corpus-scale experiments run on whatever CPU is at hand,
+so :func:`default_config` uses slightly smaller bounds that solve every
+task in the synthetic corpus; :func:`paper_config` restores the paper's
+exact bounds for users who want them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..dsl.productions import ProductionConfig, fine_thresholds
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Bounds and pools controlling the optimal synthesis search."""
+
+    productions: ProductionConfig = field(default_factory=ProductionConfig)
+    #: Maximum section-locator chain length inside guards (paper: 7).
+    guard_depth: int = 3
+    #: Maximum extractor chain length (paper: 5).
+    extractor_depth: int = 4
+    #: Maximum number of branches a synthesized program may have.  The
+    #: paper bounds this implicitly by the number of training examples.
+    max_branches: int = 2
+    #: Enable UB-based pruning (disabled by the NoPrune ablation).
+    prune: bool = True
+    #: Decompose guard synthesis from extractor synthesis (disabled by the
+    #: NoDecomp ablation).
+    decompose: bool = True
+    #: Safety caps so misconfigured runs terminate; generous enough that
+    #: they never bind at the default depths.
+    max_guards_per_branch: int = 4000
+    max_extractor_candidates: int = 200000
+    #: Tolerance when comparing F1 scores for optimality ties.
+    f1_tolerance: float = 1e-9
+    #: β of the F_β optimization objective (1.0 = the paper's F1).
+    #: Recall-monotone UB pruning stays sound for every β; see
+    #: :func:`repro.synthesis.f1.upper_bound_from_recall`.
+    beta: float = 1.0
+
+    def with_productions(self, productions: ProductionConfig) -> "SynthesisConfig":
+        return replace(self, productions=productions)
+
+
+def default_config() -> SynthesisConfig:
+    """The configuration used by the corpus-scale experiments."""
+    return SynthesisConfig()
+
+
+def paper_config() -> SynthesisConfig:
+    """The paper's exact hyperparameters: depths 7/5, 0.05 threshold grid."""
+    return SynthesisConfig(
+        productions=ProductionConfig(keyword_thresholds=fine_thresholds(0.05)),
+        guard_depth=7,
+        extractor_depth=5,
+        max_branches=5,
+    )
+
+
+def no_prune(config: SynthesisConfig) -> SynthesisConfig:
+    """The WebQA-NoPrune ablation of Section 8.2."""
+    return replace(config, prune=False)
+
+
+def no_decomp(config: SynthesisConfig) -> SynthesisConfig:
+    """The WebQA-NoDecomp ablation of Section 8.2."""
+    return replace(config, decompose=False)

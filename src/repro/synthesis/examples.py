@@ -1,0 +1,50 @@
+"""Training examples and per-task evaluation contexts.
+
+A labeled example pairs a webpage with its gold answer strings (the blue
+highlights of Figure 2).  :class:`TaskContexts` owns one memoizing
+:class:`~repro.dsl.eval.EvalContext` per page so every synthesis phase
+shares predicate/locator/extractor caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl.eval import EvalContext
+from ..nlp.models import NlpModels
+from ..webtree.node import WebPage
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    """One training example: a page and its expected answer strings."""
+
+    page: WebPage
+    gold: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.gold, tuple):
+            object.__setattr__(self, "gold", tuple(self.gold))
+
+
+class TaskContexts:
+    """Shared evaluation state for one synthesis task.
+
+    Contexts are keyed by page identity, so the same page object passed
+    through guards, extractor synthesis and selection reuses all caches.
+    """
+
+    def __init__(
+        self, question: str, keywords: tuple[str, ...], models: NlpModels
+    ) -> None:
+        self.question = question
+        self.keywords = tuple(keywords)
+        self.models = models
+        self._contexts: dict[int, EvalContext] = {}
+
+    def ctx(self, page: WebPage) -> EvalContext:
+        context = self._contexts.get(id(page))
+        if context is None:
+            context = EvalContext(page, self.question, self.keywords, self.models)
+            self._contexts[id(page)] = context
+        return context

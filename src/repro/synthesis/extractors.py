@@ -1,0 +1,141 @@
+"""Optimal extractor synthesis — ``SynthesizeExtractors`` (Figure 9).
+
+Bottom-up worklist enumeration seeded with ``ExtractContent``.  Every
+candidate is evaluated once, when generated; its score is carried on the
+worklist.  Two reductions keep the search tractable:
+
+* **UB pruning** (the paper's line 9): an extension whose recall upper
+  bound ``2r/(1+r)`` cannot reach the running optimum is dropped —
+  sound by recall monotonicity (Theorem A.3).
+* **Observational equivalence**: extractors are deduplicated by their
+  output signature on the training examples.  If two extractors agree on
+  every training page, every further extension of them agrees too, so
+  keeping one representative per signature preserves all optimal
+  *behaviours* and the optimal F1.  (The paper instead keeps every
+  syntactic variant; with its smaller pools that is feasible — see
+  DESIGN.md for this deviation.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..dsl import ast
+from ..dsl.depth import extractor_depth
+from ..dsl.productions import expand_extractor
+from ..metrics.scores import Score, mean_score
+from ..webtree.node import WebPage
+from .config import SynthesisConfig
+from .examples import LabeledExample, TaskContexts
+from .f1 import fbeta, upper_bound_from_recall
+
+#: A propagated example: the nodes located by the branch guard on one
+#: training page, paired with that page's gold strings.
+Propagated = tuple[tuple, tuple[str, ...]]
+
+#: An extractor's behaviour on the training pages: its output per page.
+Signature = tuple[tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class ExtractorSearchResult:
+    """All optimal extractors, their shared objective value (F_β; F1 by
+    default), and search statistics."""
+
+    extractors: tuple[ast.Extractor, ...]
+    f1: float
+    evaluated: int
+
+
+def propagate_examples(
+    locator: ast.Locator,
+    positives: list[LabeledExample],
+    contexts: TaskContexts,
+) -> tuple[list[Propagated], list[WebPage]]:
+    """``PropagateExamples`` (Figure 8, line 7).
+
+    Runs the guard's section locator on every positive page and pairs the
+    located nodes with the page's gold labels, producing self-contained
+    input/output examples for extractor synthesis.
+    """
+    propagated: list[Propagated] = []
+    pages: list[WebPage] = []
+    for example in positives:
+        nodes = contexts.ctx(example.page).eval_locator(locator)
+        propagated.append((nodes, example.gold))
+        pages.append(example.page)
+    return propagated, pages
+
+
+class _Evaluator:
+    """Evaluates candidate extractors on the propagated examples."""
+
+    def __init__(
+        self,
+        propagated: list[Propagated],
+        pages: list[WebPage],
+        contexts: TaskContexts,
+    ) -> None:
+        self._propagated = propagated
+        self._pages = pages
+        self._contexts = contexts
+
+    def run(self, extractor: ast.Extractor) -> tuple[Signature, Score]:
+        outputs: list[tuple[str, ...]] = []
+        scores: list[Score] = []
+        for (nodes, gold), page in zip(self._propagated, self._pages):
+            predicted = self._contexts.ctx(page).eval_extractor(extractor, nodes)
+            outputs.append(predicted)
+            scores.append(Score.of(predicted, gold))
+        return tuple(outputs), mean_score(scores)
+
+
+def synthesize_extractors(
+    propagated: list[Propagated],
+    pages: list[WebPage],
+    contexts: TaskContexts,
+    config: SynthesisConfig,
+    opt: float,
+) -> ExtractorSearchResult:
+    """All extractors achieving the best F1 ≥ ``opt`` on the examples.
+
+    Follows Figure 9: ``opt`` seeds the running optimum ``s_o``, so the
+    search never keeps extractors the caller already knows to be
+    sub-optimal, and (with pruning on) never explores extensions whose
+    recall bound cannot reach ``s_o``.
+    """
+    evaluator = _Evaluator(propagated, pages, contexts)
+    optimal: list[ast.Extractor] = []
+    s_o = opt
+
+    seed: ast.Extractor = ast.ExtractContent()
+    seed_signature, seed_score = evaluator.run(seed)
+    worklist: deque[tuple[ast.Extractor, Score]] = deque([(seed, seed_score)])
+    seen: set[Signature] = {seed_signature}
+    evaluated = 1
+
+    while worklist:
+        extractor, score = worklist.popleft()
+        value = fbeta(score.precision, score.recall, config.beta)
+        if value > s_o + config.f1_tolerance:
+            optimal = [extractor]
+            s_o = value
+        elif abs(value - s_o) <= config.f1_tolerance and value > 0:
+            optimal.append(extractor)
+        if extractor_depth(extractor) >= config.extractor_depth:
+            continue
+        for extension in expand_extractor(extractor, config.productions):
+            if evaluated >= config.max_extractor_candidates:
+                break
+            signature, ext_score = evaluator.run(extension)
+            evaluated += 1
+            if signature in seen:
+                continue
+            seen.add(signature)
+            if config.prune:
+                bound = upper_bound_from_recall(ext_score.recall, config.beta)
+                if bound < s_o - config.f1_tolerance:
+                    continue
+            worklist.append((extension, ext_score))
+    return ExtractorSearchResult(tuple(optimal), s_o, evaluated)

@@ -1,0 +1,139 @@
+"""F1 scoring and the recall-monotonicity upper bound (paper Section 5).
+
+The upper bound is Equation 3 of the paper::
+
+    UB(ν, E) = 2 · Recall(ν, E) / (1 + Recall(ν, E))
+
+i.e. the F1 that would be achieved with the observed recall and a perfect
+precision of 1.  Three recall variants back the three pruning sites:
+
+* :func:`extractor_recall` — recall of an extractor's actual output; any
+  extension only shrinks the output token multiset (Theorem A.3), so this
+  bounds all extensions (Figure 9, line 9).
+* :func:`located_content_recall` — recall of ``ExtractContent(ν(W))``
+  for a *fixed* guard; extractors only see located node texts, so this
+  bounds every branch program over that guard (Figure 8, line 6).
+* :func:`locator_subtree_recall` — recall over the *subtree* text of
+  located nodes; ``GetChildren``/``GetDescendants`` only move downward, so
+  this bounds every extension of a locator still being grown
+  (Figure 10, line 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..dsl import ast
+from ..metrics.scores import Score, mean_score
+from ..metrics.tokens import answer_tokens, overlap
+from .examples import LabeledExample, TaskContexts
+
+
+def fbeta(precision: float, recall: float, beta: float = 1.0) -> float:
+    """The F_β measure; β > 1 weighs recall higher, β < 1 precision.
+
+    β = 1 is the paper's F1.  The paper frames optimal synthesis over
+    "some optimization objective" (Section 1); any F_β works because the
+    recall-monotone upper bound below generalizes.
+
+    >>> fbeta(1.0, 0.5)
+    0.6666666666666666
+    >>> fbeta(1.0, 0.5, beta=2.0)
+    0.7142857142857143
+    """
+    if precision + recall == 0:
+        return 0.0
+    beta_sq = beta * beta
+    denominator = beta_sq * precision + recall
+    if denominator == 0:
+        return 0.0
+    return (1 + beta_sq) * precision * recall / denominator
+
+
+def upper_bound_from_recall(recall: float, beta: float = 1.0) -> float:
+    """Equation 3 generalized: best F_β achievable at the given recall.
+
+    Setting precision to its maximum (1.0) gives
+    ``(1+β²)·r / (β² + r)``, which is monotone in r for every β — the
+    property the pruning proofs (Lemma A.2 / Theorem A.3) need.
+
+    >>> upper_bound_from_recall(1.0)
+    1.0
+    >>> upper_bound_from_recall(0.0)
+    0.0
+    >>> upper_bound_from_recall(0.5) == 2 * 0.5 / 1.5
+    True
+    """
+    if recall <= 0.0:
+        return 0.0
+    return fbeta(1.0, recall, beta)
+
+
+def _token_recall(available: Counter[str], gold: Counter[str]) -> float:
+    n_gold = sum(gold.values())
+    if n_gold == 0:
+        return 1.0
+    return overlap(available, gold) / n_gold
+
+
+def extractor_score(
+    extractor: ast.Extractor,
+    propagated: list[tuple[tuple, tuple[str, ...]]],
+    contexts: TaskContexts,
+    pages: list,
+) -> Score:
+    """Mean (P, R, F1) of an extractor over propagated examples.
+
+    ``propagated`` pairs each example's located nodes with its gold
+    strings (the output of ``PropagateExamples``); ``pages`` aligns each
+    pair with its source page so the right eval context is used.
+    """
+    scores = []
+    for (nodes, gold), page in zip(propagated, pages):
+        predicted = contexts.ctx(page).eval_extractor(extractor, nodes)
+        scores.append(Score.of(predicted, gold))
+    return mean_score(scores)
+
+
+def extractor_recall(
+    extractor: ast.Extractor,
+    propagated: list[tuple[tuple, tuple[str, ...]]],
+    contexts: TaskContexts,
+    pages: list,
+) -> float:
+    """Mean recall of the extractor's output (Figure 9 pruning)."""
+    return extractor_score(extractor, propagated, contexts, pages).recall
+
+
+def located_content_recall(
+    locator: ast.Locator, examples: list[LabeledExample], contexts: TaskContexts
+) -> float:
+    """Mean recall of gold tokens within located nodes' own text."""
+    if not examples:
+        return 1.0
+    total = 0.0
+    for example in examples:
+        nodes = contexts.ctx(example.page).eval_locator(locator)
+        available = answer_tokens(n.text for n in nodes)
+        total += _token_recall(available, answer_tokens(example.gold))
+    return total / len(examples)
+
+
+def locator_subtree_recall(
+    locator: ast.Locator, examples: list[LabeledExample], contexts: TaskContexts
+) -> float:
+    """Mean recall of gold tokens within located nodes' subtrees.
+
+    Sound bound for locators still being extended: descendants expose only
+    tokens already inside the current nodes' subtrees.
+    """
+    if not examples:
+        return 1.0
+    total = 0.0
+    for example in examples:
+        nodes = contexts.ctx(example.page).eval_locator(locator)
+        available: Counter[str] = Counter()
+        for node in nodes:
+            available.update(answer_tokens([node.subtree_text()]))
+        total += _token_recall(available, answer_tokens(example.gold))
+    return total / len(examples)

@@ -1,0 +1,112 @@
+"""Lazy guard enumeration — ``GetNextGuard`` (paper Figure 10).
+
+Guards are produced one at a time from a worklist of section locators,
+seeded with ``GetRoot``.  For each dequeued locator, every guard shape
+over it (``GenGuards``) is tested as a classifier between the positive
+and negative example pages; classifiers are yielded immediately.  The
+locator is then expanded with ``GetChildren``/``GetDescendants``
+productions, pruning:
+
+* extensions whose recall upper bound falls below the caller's evolving
+  optimum (the paper's line 8) — laziness means later expansions benefit
+  from the tighter bounds established while extractors were synthesized
+  for earlier guards;
+* extensions observationally equivalent (same located nodes on every
+  training page) to one already enqueued — locator semantics are a
+  function of the located node set, so one representative per behaviour
+  preserves completeness over behaviours (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from ..dsl import ast
+from ..dsl.depth import locator_depth
+from ..dsl.productions import expand_locator, gen_guards
+from .config import SynthesisConfig
+from .examples import LabeledExample, TaskContexts
+from .f1 import locator_subtree_recall, upper_bound_from_recall
+
+#: A locator's behaviour across the training pages: located ids per page.
+LocatorSignature = tuple[tuple[int, ...], ...]
+
+
+def locator_signature(
+    locator: ast.Locator,
+    examples: list[LabeledExample],
+    contexts: TaskContexts,
+) -> LocatorSignature:
+    """Node ids located on every example page, in page order."""
+    signature: list[tuple[int, ...]] = []
+    for example in examples:
+        nodes = contexts.ctx(example.page).eval_locator(locator)
+        signature.append(tuple(n.node_id for n in nodes))
+    return tuple(signature)
+
+
+def guard_classifies(
+    guard: ast.Guard,
+    positives: list[LabeledExample],
+    negatives: list[LabeledExample],
+    contexts: TaskContexts,
+) -> bool:
+    """True iff ``guard`` fires on every positive and no negative page.
+
+    This is the classifier check of Figure 10, line 6.  Negatives are the
+    examples of *later* partition blocks (footnote 5): the guard must pass
+    them along to subsequent branches.
+    """
+    for example in negatives:
+        fired, _ = contexts.ctx(example.page).eval_guard(guard)
+        if fired:
+            return False
+    for example in positives:
+        fired, _ = contexts.ctx(example.page).eval_guard(guard)
+        if not fired:
+            return False
+    return True
+
+
+def iter_guards(
+    positives: list[LabeledExample],
+    negatives: list[LabeledExample],
+    contexts: TaskContexts,
+    config: SynthesisConfig,
+    current_opt: Callable[[], float],
+) -> Iterator[ast.Guard]:
+    """Yield guards classifying positives from negatives, lazily.
+
+    ``current_opt`` is read each time a locator is considered for
+    expansion, so pruning tightens as the caller's best-known F1 improves
+    (the "lazy synthesis of guards" idea in Section 5).
+    """
+    all_examples = positives + negatives
+    root: ast.Locator = ast.GetRoot()
+    worklist: deque[ast.Locator] = deque([root])
+    seen: set[LocatorSignature] = {locator_signature(root, all_examples, contexts)}
+    yielded = 0
+    while worklist:
+        locator = worklist.popleft()
+        for guard in gen_guards(locator, config.productions):
+            if guard_classifies(guard, positives, negatives, contexts):
+                yield guard
+                yielded += 1
+                if yielded >= config.max_guards_per_branch:
+                    return
+        if locator_depth(locator) >= config.guard_depth:
+            continue
+        for extension in expand_locator(locator, config.productions):
+            signature = locator_signature(extension, all_examples, contexts)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            if not any(signature):
+                continue  # locates nothing anywhere: no guard can fire
+            if config.prune:
+                recall = locator_subtree_recall(extension, positives, contexts)
+                bound = upper_bound_from_recall(recall, config.beta)
+                if bound < current_opt() - config.f1_tolerance:
+                    continue
+            worklist.append(extension)

@@ -1,0 +1,75 @@
+"""Ordered partitions of training examples (Figure 7, line 3).
+
+Each partition assigns training examples to program branches: examples in
+block ``i`` must satisfy guard ``ψᵢ`` and falsify the guards of all later
+blocks' examples (property 2 in Section 5).  Branch order matters — the
+program tries guards in sequence — so partitions are *ordered* set
+partitions.  For ``n ≤ 5`` examples the count (the Fubini numbers: 1, 1,
+3, 13, 75, 541) is small enough to enumerate exhaustively, which is the
+paper's footnote 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def set_partitions(items: Sequence[T]) -> Iterator[list[list[T]]]:
+    """All unordered partitions of ``items`` into non-empty blocks.
+
+    >>> sorted(len(p) for p in set_partitions([1, 2, 3]))
+    [1, 2, 2, 2, 3]
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in set_partitions(rest):
+        for index in range(len(partial)):
+            yield partial[:index] + [[first] + partial[index]] + partial[index + 1 :]
+        yield [[first]] + partial
+
+
+def ordered_partitions(
+    items: Sequence[T], max_blocks: int | None = None
+) -> Iterator[list[list[T]]]:
+    """All ordered partitions (every block ordering of every partition).
+
+    Partitions are yielded in non-decreasing block count, so the trivial
+    single-branch partition is explored first — it is both the cheapest to
+    synthesize and the most common optimum, which tightens the pruning
+    bound early for everything that follows.
+
+    >>> sum(1 for _ in ordered_partitions([1, 2, 3]))
+    13
+    >>> sum(1 for _ in ordered_partitions([1, 2, 3, 4]))
+    75
+    """
+    unordered = list(set_partitions(items))
+    unordered.sort(key=len)
+    for partition in unordered:
+        if max_blocks is not None and len(partition) > max_blocks:
+            continue
+        yield from _orderings(partition)
+
+
+def _orderings(blocks: list[list[T]]) -> Iterator[list[list[T]]]:
+    if not blocks:
+        yield []
+        return
+    for index in range(len(blocks)):
+        rest = blocks[:index] + blocks[index + 1 :]
+        for tail in _orderings(rest):
+            yield [blocks[index]] + tail
+
+
+def count_ordered_partitions(n: int, max_blocks: int | None = None) -> int:
+    """Number of ordered partitions of an ``n``-element set.
+
+    >>> [count_ordered_partitions(k) for k in range(5)]
+    [1, 1, 3, 13, 75]
+    """
+    return sum(1 for _ in ordered_partitions(list(range(n)), max_blocks))

@@ -1,0 +1,181 @@
+"""Top-level optimal synthesis — ``Synthesize`` (paper Figure 7).
+
+Enumerates ordered partitions of the training examples, synthesizes
+optimal branch programs for each block, and keeps every partition whose
+combined program F1 ties the global optimum.  The result is a compact
+representation (:class:`SynthesisResult`) of *all* optimal programs —
+typically far too many to materialize — supporting counting, uniform
+sampling (for the transductive ensemble of Section 6) and bounded
+enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..dsl import ast
+from ..nlp.models import NlpModels
+from .branch import BranchSpace, synthesize_branch
+from .config import SynthesisConfig, default_config
+from .examples import LabeledExample, TaskContexts
+from .partitions import ordered_partitions
+
+
+@dataclass(frozen=True)
+class ProgramSpace:
+    """The optimal programs for one partition: a cross product of branches."""
+
+    branch_spaces: tuple[BranchSpace, ...]
+    f1: float
+
+    def count(self) -> int:
+        """Number of distinct programs in this space."""
+        total = 1
+        for branch in self.branch_spaces:
+            total *= branch.count()
+        return total
+
+    def sample(self, rng: random.Random) -> ast.Program:
+        """One program drawn uniformly from the space."""
+        branches = tuple(
+            ast.Branch(*rng.choice(space.pairs())) for space in self.branch_spaces
+        )
+        return ast.Program(branches)
+
+    def enumerate(self, limit: int | None = None) -> list[ast.Program]:
+        """Up to ``limit`` programs, in deterministic cross-product order."""
+        pair_lists = [space.pairs() for space in self.branch_spaces]
+        programs: list[ast.Program] = []
+        for combo in itertools.product(*pair_lists):
+            programs.append(
+                ast.Program(tuple(ast.Branch(g, e) for g, e in combo))
+            )
+            if limit is not None and len(programs) >= limit:
+                break
+        return programs
+
+
+@dataclass(frozen=True)
+class SynthesisStats:
+    """Search-effort counters for the ablation study (Table 3)."""
+
+    elapsed_seconds: float
+    partitions_explored: int
+    guards_tried: int
+    extractors_evaluated: int
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """All optimal programs, as a union of per-partition program spaces."""
+
+    spaces: tuple[ProgramSpace, ...]
+    f1: float
+    stats: SynthesisStats
+    question: str = ""
+    keywords: tuple[str, ...] = field(default_factory=tuple)
+
+    def count(self) -> int:
+        return sum(space.count() for space in self.spaces)
+
+    def sample(self, rng: random.Random) -> ast.Program:
+        """One program uniform over the union of all spaces."""
+        weights = [space.count() for space in self.spaces]
+        (space,) = rng.choices(self.spaces, weights=weights, k=1)
+        return space.sample(rng)
+
+    def sample_many(self, n: int, seed: int = 0) -> list[ast.Program]:
+        """``n`` i.i.d. samples (the ensemble Π_E of Section 6)."""
+        rng = random.Random(seed)
+        return [self.sample(rng) for _ in range(n)]
+
+    def enumerate(self, limit: int | None = None) -> list[ast.Program]:
+        programs: list[ast.Program] = []
+        for space in self.spaces:
+            remaining = None if limit is None else limit - len(programs)
+            if remaining is not None and remaining <= 0:
+                break
+            programs.extend(space.enumerate(remaining))
+        return programs
+
+
+def synthesize(
+    examples: list[LabeledExample],
+    question: str,
+    keywords: tuple[str, ...],
+    models: NlpModels,
+    config: SynthesisConfig | None = None,
+    contexts: TaskContexts | None = None,
+) -> SynthesisResult:
+    """All WebQA programs with optimal F1 on ``examples`` (Theorem 5.1).
+
+    Partitions are explored in increasing block count; within a partition,
+    later blocks see earlier blocks' examples as negatives per footnote 5.
+    A partition contributes a :class:`ProgramSpace` when every block
+    admits at least one branch program; spaces are kept when their
+    combined example-weighted F1 ties the best seen.
+    """
+    config = config or default_config()
+    contexts = contexts or TaskContexts(question, tuple(keywords), models)
+    start = time.perf_counter()
+
+    best_spaces: list[ProgramSpace] = []
+    opt = 0.0
+    partitions_explored = 0
+    guards_tried = 0
+    extractors_evaluated = 0
+    # The same (block, later-examples) pair recurs across many ordered
+    # partitions; branch synthesis depends on nothing else, so memoize it.
+    block_memo: dict[tuple[frozenset[int], frozenset[int]], BranchSpace] = {}
+
+    for partition in ordered_partitions(examples, config.max_branches):
+        partitions_explored += 1
+        branch_spaces: list[BranchSpace] = []
+        feasible = True
+        remaining = list(examples)
+        for block in partition:
+            for example in block:
+                remaining.remove(example)
+            negatives = list(remaining)
+            memo_key = (
+                frozenset(id(e) for e in block),
+                frozenset(id(e) for e in negatives),
+            )
+            space = block_memo.get(memo_key)
+            if space is None:
+                space = synthesize_branch(block, negatives, contexts, config)
+                block_memo[memo_key] = space
+                guards_tried += space.guards_tried
+                extractors_evaluated += space.extractors_evaluated
+            if not space.options:
+                feasible = False
+                break
+            branch_spaces.append(space)
+        if not feasible:
+            continue
+        total = sum(
+            space.f1 * len(block) for space, block in zip(branch_spaces, partition)
+        )
+        combined_f1 = total / len(examples) if examples else 0.0
+        if combined_f1 > opt + config.f1_tolerance:
+            opt = combined_f1
+            best_spaces = [ProgramSpace(tuple(branch_spaces), combined_f1)]
+        elif abs(combined_f1 - opt) <= config.f1_tolerance and combined_f1 > 0:
+            best_spaces.append(ProgramSpace(tuple(branch_spaces), combined_f1))
+
+    stats = SynthesisStats(
+        elapsed_seconds=time.perf_counter() - start,
+        partitions_explored=partitions_explored,
+        guards_tried=guards_tried,
+        extractors_evaluated=extractors_evaluated,
+    )
+    return SynthesisResult(
+        spaces=tuple(best_spaces),
+        f1=opt,
+        stats=stats,
+        question=question,
+        keywords=tuple(keywords),
+    )

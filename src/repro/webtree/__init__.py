@@ -1,0 +1,39 @@
+"""Webpage tree representation (paper Section 3).
+
+Public surface:
+
+- :class:`PageNode`, :class:`WebPage`, :class:`NodeType` — the tree model.
+- :func:`page_from_html` / :func:`build_tree` — construction from HTML.
+- :func:`render_tree` — Figure-4-style debug dump.
+- :mod:`repro.webtree.paths` — structural paths and layout fingerprints.
+"""
+
+from .builder import build_tree, page_from_html
+from .html_out import page_to_html
+from .node import NodeType, PageNode, WebPage
+from .paths import (
+    depth_signature,
+    list_sections,
+    node_path,
+    resolve_path,
+    structural_signature,
+    typed_path,
+)
+from .render import render_tree, tree_stats
+
+__all__ = [
+    "NodeType",
+    "PageNode",
+    "WebPage",
+    "build_tree",
+    "page_from_html",
+    "page_to_html",
+    "render_tree",
+    "tree_stats",
+    "node_path",
+    "typed_path",
+    "resolve_path",
+    "depth_signature",
+    "structural_signature",
+    "list_sections",
+]

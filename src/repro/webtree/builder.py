@@ -1,0 +1,227 @@
+"""DOM → webpage-tree conversion (paper Section 3 and Section 7 "Parsing").
+
+The conversion follows the header hierarchy of the rendered page:
+
+* ``<h1>`` becomes the root; each ``<h(i+1)>`` opens a section nested under
+  the closest open ``<hi>`` section.
+* Label-like blocks (``<dt>``, or a paragraph consisting solely of
+  ``<b>``/``<strong>`` text) act as pseudo-headers one level below all real
+  headers — matching sections such as "PhD students" in Figure 2 that are
+  bold text rather than ``<h*>`` tags.
+* Plain text blocks become leaf children of the innermost open section.
+* ``<ul>``/``<ol>`` items become children of the section node they follow;
+  that node's type is set to ``list`` (Figure 4, nodes 7 and 11).  A list
+  that appears after other content gets an anonymous list node instead.
+* ``<table>`` rows become children of a ``table``-typed node; cell texts
+  within a row are joined with `` | ``.
+"""
+
+from __future__ import annotations
+
+from ..html.dom import Document, Element, TextNode
+from ..html.parser import parse_html
+from ..html.text import INLINE_ELEMENTS, collapse_whitespace
+from .node import NodeType, PageNode, WebPage
+
+_HEADING_LEVEL = {f"h{i}": i for i in range(1, 7)}
+#: Pseudo-heading level assigned to <dt> / bold-paragraph labels.
+_LABEL_LEVEL = 7
+#: Block containers we recurse into without emitting a node.
+_TRANSPARENT = frozenset(
+    {
+        "html", "body", "div", "section", "article", "main", "header",
+        "footer", "aside", "nav", "center", "font", "dl", "dd", "figure",
+        "details", "summary", "fieldset", "form", "blockquote",
+    }
+)
+#: Block elements whose collapsed text becomes a leaf node.
+_TEXT_BLOCKS = frozenset({"p", "pre", "address", "caption", "figcaption"})
+
+
+class _TreeAssembler:
+    """Stateful walker that assembles the webpage tree from a DOM."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self.root = self._make_node("")
+        # Stack of (level, node); root sits at level 0.
+        self._stack: list[tuple[int, PageNode]] = [(0, self.root)]
+
+    # -- node bookkeeping ---------------------------------------------------
+
+    def _make_node(self, text: str, node_type: NodeType = NodeType.NONE) -> PageNode:
+        node = PageNode(self._next_id, text, node_type)
+        self._next_id += 1
+        return node
+
+    @property
+    def _top(self) -> PageNode:
+        return self._stack[-1][1]
+
+    # -- section / content events ----------------------------------------------
+
+    def open_section(self, level: int, text: str) -> None:
+        if not text:
+            return
+        # The first <h1> on a bare page *is* the root (Figure 4, node 0).
+        if level == 1 and not self.root.text and not self.root.children:
+            self.root.text = text
+            self._stack = [(1, self.root)]
+            return
+        while len(self._stack) > 1 and self._stack[-1][0] >= level:
+            self._stack.pop()
+        node = self._make_node(text)
+        self._top.add_child(node)
+        self._stack.append((level, node))
+
+    def add_leaf(self, text: str) -> None:
+        if text:
+            self._top.add_child(self._make_node(text))
+
+    def _structured_target(self, node_type: NodeType) -> PageNode:
+        """The node that should own structured (list/table) children.
+
+        If the innermost section node has no content yet and no structural
+        type, the structure belongs to that header (Figure 4: the
+        "Professional Service" header node has type list).  Otherwise an
+        anonymous structural node is inserted.
+        """
+        target = self._top
+        if target.node_type is NodeType.NONE and not target.children and target.text:
+            target.node_type = node_type
+            return target
+        anon = self._make_node("", node_type)
+        target.add_child(anon)
+        return anon
+
+    def add_list(self, element: Element) -> None:
+        self._attach_list(element, self._structured_target(NodeType.LIST))
+
+    def _attach_list(self, element: Element, target: PageNode) -> None:
+        for item in element.child_elements():
+            if item.tag != "li":
+                continue
+            nested = [c for c in item.child_elements() if c.tag in ("ul", "ol")]
+            own_text = collapse_whitespace(
+                " ".join(_text_excluding(item, frozenset({"ul", "ol"})))
+            )
+            item_node = self._make_node(own_text)
+            target.add_child(item_node)
+            for sub in nested:
+                item_node.node_type = NodeType.LIST
+                self._attach_list(sub, item_node)
+
+    def add_table(self, element: Element) -> None:
+        target = self._structured_target(NodeType.TABLE)
+        for row in element.find_all("tr"):
+            cells = [
+                collapse_whitespace(cell.text_content())
+                for cell in row.child_elements()
+                if cell.tag in ("td", "th")
+            ]
+            row_text = " | ".join(c for c in cells if c)
+            if row_text:
+                target.add_child(self._make_node(row_text))
+
+
+def _text_excluding(element: Element, skip_tags: frozenset[str]) -> list[str]:
+    """Text fragments under ``element`` skipping subtrees in ``skip_tags``."""
+    fragments: list[str] = []
+    for child in element.children:
+        if isinstance(child, TextNode):
+            fragments.append(child.text)
+        elif isinstance(child, Element) and child.tag not in skip_tags:
+            fragments.extend(_text_excluding(child, skip_tags))
+    return fragments
+
+
+def _is_label_paragraph(element: Element) -> bool:
+    """True for a block whose visible text is entirely bold/strong."""
+    bold_text: list[str] = []
+    for child in element.children:
+        if isinstance(child, TextNode):
+            if not child.text.isspace() and child.text.strip():
+                return False
+        elif isinstance(child, Element):
+            if child.tag in ("b", "strong"):
+                bold_text.append(child.text_content())
+            elif child.tag == "br":
+                continue
+            else:
+                return False
+    return bool(collapse_whitespace(" ".join(bold_text)))
+
+
+def _walk(element: Element, assembler: _TreeAssembler) -> None:
+    inline_run: list[str] = []
+
+    def flush_inline() -> None:
+        text = collapse_whitespace(" ".join(inline_run))
+        inline_run.clear()
+        assembler.add_leaf(text)
+
+    for child in element.children:
+        if isinstance(child, TextNode):
+            if child.text.strip():
+                inline_run.append(child.text)
+            continue
+        if not isinstance(child, Element):
+            continue
+        tag = child.tag
+        if tag in INLINE_ELEMENTS:
+            if tag in ("b", "strong") and not inline_run and _is_label_paragraph(element):
+                # Handled at the parent level; fall through to inline text.
+                pass
+            inline_run.append(child.text_content())
+            continue
+        flush_inline()
+        level = _HEADING_LEVEL.get(tag)
+        if level is not None:
+            assembler.open_section(level, collapse_whitespace(child.text_content()))
+        elif tag in ("ul", "ol"):
+            assembler.add_list(child)
+        elif tag == "table":
+            assembler.add_table(child)
+        elif tag == "dt":
+            assembler.open_section(
+                _LABEL_LEVEL, collapse_whitespace(child.text_content())
+            )
+        elif tag in _TEXT_BLOCKS:
+            if _is_label_paragraph(child):
+                assembler.open_section(
+                    _LABEL_LEVEL, collapse_whitespace(child.text_content())
+                )
+            else:
+                assembler.add_leaf(collapse_whitespace(child.text_content()))
+        elif tag in _TRANSPARENT:
+            _walk(child, assembler)
+        elif tag in ("head", "title", "img", "br", "hr", "iframe", "svg"):
+            continue
+        else:
+            # Unknown block container: recurse, treating it as transparent.
+            _walk(child, assembler)
+    flush_inline()
+
+
+def build_tree(document: Document, url: str = "") -> WebPage:
+    """Convert a parsed DOM document into the paper's tree representation."""
+    assembler = _TreeAssembler()
+    body = document.body or document
+    _walk(body, assembler)
+    if not assembler.root.text:
+        assembler.root.text = document.title
+    return WebPage(assembler.root, url=url)
+
+
+def page_from_html(markup: str, url: str = "") -> WebPage:
+    """Parse HTML markup directly into a :class:`WebPage`.
+
+    This is the main entry point used throughout the system:
+
+    >>> page = page_from_html("<h1>Jane</h1><h2>Students</h2><p>Bob</p>")
+    >>> page.root.text
+    'Jane'
+    >>> [c.text for c in page.root.children]
+    ['Students']
+    """
+    return build_tree(parse_html(markup), url=url)

@@ -1,0 +1,107 @@
+"""Render a webpage tree back to minimal, canonical HTML.
+
+The inverse direction of :mod:`~repro.webtree.builder`: a
+:class:`~repro.webtree.node.WebPage` becomes an HTML document whose
+re-parse yields an isomorphic tree (same texts, types and nesting).  Used
+to export in-memory corpora, to snapshot pages in bug reports, and as a
+round-trip oracle in tests.
+
+Sections become ``<h1>``–``<h6>`` by depth (deeper levels fall back to
+bold labels); list/table nodes become ``<ul>``/``<table>``.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+
+from .node import NodeType, PageNode, WebPage
+
+_MAX_HEADING = 6
+
+
+def _esc(text: str) -> str:
+    return html_escape.escape(text, quote=False)
+
+
+def _render_structured(node: PageNode, parts: list[str]) -> None:
+    if node.node_type is NodeType.LIST:
+        parts.append("<ul>")
+        for child in node.children:
+            parts.append(f"<li>{_esc(child.text)}</li>")
+            for grandchild_part in _nested_parts(child):
+                parts.append(grandchild_part)
+        parts.append("</ul>")
+    else:  # TABLE
+        parts.append("<table>")
+        for row in node.children:
+            cells = row.text.split(" | ")
+            parts.append(
+                "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in cells) + "</tr>"
+            )
+        parts.append("</table>")
+
+
+def _nested_parts(item: PageNode) -> list[str]:
+    """Sub-lists of a list item (nested-list support)."""
+    if item.node_type is NodeType.NONE or not item.children:
+        return []
+    parts: list[str] = []
+    _render_structured(item, parts)
+    return parts
+
+
+def _render_section(node: PageNode, depth: int, parts: list[str]) -> None:
+    if node.node_type is not NodeType.NONE:
+        if node.text:
+            parts.append(_heading(node.text, depth))
+        _render_structured(node, parts)
+        return
+    if node.text:
+        parts.append(_heading(node.text, depth))
+    _render_children(node.children, depth + 1, parts)
+
+
+def _render_children(children: list[PageNode], depth: int, parts: list[str]) -> None:
+    """Render sibling nodes, keeping leaves at their own nesting level.
+
+    In header-nesting HTML a plain ``<p>`` always belongs to the most
+    recently opened section.  So a leaf sibling is a ``<p>`` only while no
+    sibling *section* has been opened yet; afterwards it must be emitted
+    as a (childless) heading of the same level, or the re-parse would nest
+    it under the previous sibling.
+    """
+    section_open = False
+    for child in children:
+        if child.node_type is not NodeType.NONE or child.children:
+            _render_section(child, depth, parts)
+            section_open = True
+        elif section_open:
+            parts.append(_heading(child.text, depth))
+        else:
+            parts.append(f"<p>{_esc(child.text)}</p>")
+
+
+def _heading(text: str, depth: int) -> str:
+    level = min(depth + 1, _MAX_HEADING)
+    if depth + 1 > _MAX_HEADING:
+        return f"<p><b>{_esc(text)}</b></p>"
+    return f"<h{level}>{_esc(text)}</h{level}>"
+
+
+def page_to_html(page: WebPage) -> str:
+    """Serialize ``page`` to an HTML document.
+
+    Round-trip guarantee (tested): parsing the output with
+    :func:`~repro.webtree.builder.page_from_html` reproduces the same
+    node texts, node types and parent/child structure.
+    """
+    parts: list[str] = [
+        "<html><head><title>", _esc(page.root.text), "</title></head><body>",
+        f"<h1>{_esc(page.root.text)}</h1>",
+    ]
+    if page.root.node_type is not NodeType.NONE:
+        _render_structured(page.root, parts)
+    else:
+        _render_children(page.root.children, 1, parts)
+    parts.append("</body></html>")
+    return "".join(parts)

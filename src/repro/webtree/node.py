@@ -1,0 +1,142 @@
+"""The paper's webpage tree representation (Definition 3.1).
+
+A webpage is a tree ``(N, E, n0)`` where each node is a triple
+``(id, text, type)`` with ``type ∈ {list, table, none}``.  An edge
+``(n, n')`` means the text of ``n`` is the *header* for the text of
+``n'`` on the rendered page — this is NOT the DOM: it is the nesting
+structure a human reader perceives (Figure 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, Optional
+
+
+class NodeType(enum.Enum):
+    """Structural flavour of a tree node (Definition 3.1)."""
+
+    NONE = "none"
+    LIST = "list"
+    TABLE = "table"
+
+
+class PageNode:
+    """One node of the webpage tree.
+
+    Attributes mirror the paper's ``(id, text, type)`` triple; ``children``
+    and ``parent`` encode the edge relation.
+    """
+
+    __slots__ = ("node_id", "text", "node_type", "children", "parent")
+
+    def __init__(
+        self,
+        node_id: int,
+        text: str,
+        node_type: NodeType = NodeType.NONE,
+    ) -> None:
+        self.node_id = node_id
+        self.text = text
+        self.node_type = node_type
+        self.children: list[PageNode] = []
+        self.parent: Optional[PageNode] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_child(self, child: "PageNode") -> "PageNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- structure queries ------------------------------------------------------
+
+    def is_leaf(self) -> bool:
+        """True when this node has no children (``isLeaf`` in the DSL)."""
+        return not self.children
+
+    def is_elem(self) -> bool:
+        """True when this node is a list/table *element* (``isElem``).
+
+        In the DSL an "element" node is a child of a list or table node —
+        i.e. a list item or a table row.
+        """
+        return self.parent is not None and self.parent.node_type is not NodeType.NONE
+
+    def iter_subtree(self) -> Iterator["PageNode"]:
+        """All nodes of this subtree in pre-order, self first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def descendants(self) -> Iterator["PageNode"]:
+        """Proper descendants of this node in pre-order."""
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def leaves(self) -> list["PageNode"]:
+        """Leaf nodes of this subtree in document order."""
+        return [n for n in self.iter_subtree() if n.is_leaf()]
+
+    def ancestors(self) -> Iterator["PageNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    def child_index(self) -> int:
+        """Position of this node among its siblings (0 for the root)."""
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    # -- text queries ------------------------------------------------------------
+
+    def subtree_text(self, separator: str = " ") -> str:
+        """Text of this node and all descendants, joined in document order.
+
+        This is the ``b = true`` variant of the DSL's ``matchText``.
+        """
+        fragments = [n.text for n in self.iter_subtree() if n.text]
+        return separator.join(fragments)
+
+    def find(self, predicate: Callable[["PageNode"], bool]) -> list["PageNode"]:
+        """All subtree nodes satisfying ``predicate``, in document order."""
+        return [n for n in self.iter_subtree() if predicate(n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.text if len(self.text) <= 32 else self.text[:29] + "..."
+        return f"PageNode({self.node_id}, {self.node_type.value}, {label!r})"
+
+
+class WebPage:
+    """A parsed webpage: the tree plus identity metadata.
+
+    ``url`` is an opaque identifier (the synthetic corpus uses stable fake
+    URLs); ``root`` is node ``n0`` of Definition 3.1.
+    """
+
+    __slots__ = ("url", "root")
+
+    def __init__(self, root: PageNode, url: str = "") -> None:
+        self.root = root
+        self.url = url
+
+    def nodes(self) -> list[PageNode]:
+        """All nodes in document order."""
+        return list(self.root.iter_subtree())
+
+    def node_by_id(self, node_id: int) -> Optional[PageNode]:
+        for node in self.root.iter_subtree():
+            if node.node_id == node_id:
+                return node
+        return None
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.iter_subtree())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WebPage(url={self.url!r}, nodes={self.size()})"

@@ -1,0 +1,73 @@
+"""Structural paths over webpage trees.
+
+These index-based paths are the tree analogue of the XPath steps used by
+wrapper-induction systems.  They power (a) the HYB baseline, which
+generalizes exact paths across training pages, and (b) the page-clustering
+features of the interactive labeling module (paper Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .node import NodeType, PageNode, WebPage
+
+
+def node_path(node: PageNode) -> tuple[int, ...]:
+    """Child-index path from the root down to ``node`` (root = ``()``).
+
+    >>> from repro.webtree.builder import page_from_html
+    >>> page = page_from_html("<h1>A</h1><h2>S</h2><p>x</p><p>y</p>")
+    >>> leaf = page.root.children[0].children[1]
+    >>> node_path(leaf)
+    (0, 1)
+    """
+    indices: list[int] = []
+    current = node
+    while current.parent is not None:
+        indices.append(current.child_index())
+        current = current.parent
+    return tuple(reversed(indices))
+
+
+def typed_path(node: PageNode) -> tuple[str, ...]:
+    """Path of node types from root to ``node`` (inclusive).
+
+    Unlike :func:`node_path` this abstracts away positions, capturing only
+    the list/table/none flavour along the way.
+    """
+    chain = [node.node_type.value]
+    chain.extend(a.node_type.value for a in node.ancestors())
+    return tuple(reversed(chain))
+
+
+def resolve_path(page: WebPage, path: tuple[int, ...]) -> Optional[PageNode]:
+    """Follow a child-index path from the root; ``None`` if out of range."""
+    node = page.root
+    for index in path:
+        if index < 0 or index >= len(node.children):
+            return None
+        node = node.children[index]
+    return node
+
+
+def depth_signature(page: WebPage) -> tuple[int, ...]:
+    """Multiset-as-sorted-tuple of leaf depths; a cheap layout fingerprint."""
+    return tuple(sorted(leaf.depth() for leaf in page.root.leaves()))
+
+
+def structural_signature(page: WebPage) -> tuple[tuple[str, int], ...]:
+    """Counts of node types at each depth, a richer layout fingerprint.
+
+    Used by the labeling module to cluster pages that *look* alike.
+    """
+    counts: dict[tuple[str, int], int] = {}
+    for node in page.nodes():
+        key = (node.node_type.value, node.depth())
+        counts[key] = counts.get(key, 0) + 1
+    return tuple(sorted(counts.items()))
+
+
+def list_sections(page: WebPage) -> list[PageNode]:
+    """All list- or table-typed nodes of the page, in document order."""
+    return [n for n in page.nodes() if n.node_type is not NodeType.NONE]

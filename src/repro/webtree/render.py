@@ -1,0 +1,39 @@
+"""Debug rendering of webpage trees (mirrors the paper's Figure 4)."""
+
+from __future__ import annotations
+
+from .node import PageNode, WebPage
+
+
+def render_tree(page: WebPage, max_text: int = 48) -> str:
+    """An indented, human-readable dump of the tree.
+
+    Each line shows ``id, type: text`` like the node boxes in Figure 4.
+
+    >>> from repro.webtree.builder import page_from_html
+    >>> print(render_tree(page_from_html("<h1>A</h1><p>b</p>")))
+    0, none: A
+      1, none: b
+    """
+    lines: list[str] = []
+
+    def visit(node: PageNode, indent: int) -> None:
+        text = node.text if len(node.text) <= max_text else node.text[: max_text - 3] + "..."
+        lines.append(f"{'  ' * indent}{node.node_id}, {node.node_type.value}: {text}")
+        for child in node.children:
+            visit(child, indent + 1)
+
+    visit(page.root, 0)
+    return "\n".join(lines)
+
+
+def tree_stats(page: WebPage) -> dict[str, int]:
+    """Simple structural statistics used by tests and the labeling module."""
+    nodes = page.nodes()
+    return {
+        "nodes": len(nodes),
+        "leaves": sum(1 for n in nodes if n.is_leaf()),
+        "lists": sum(1 for n in nodes if n.node_type.value == "list"),
+        "tables": sum(1 for n in nodes if n.node_type.value == "table"),
+        "max_depth": max((n.depth() for n in nodes), default=0),
+    }

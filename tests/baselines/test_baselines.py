@@ -1,0 +1,123 @@
+"""Tests for the three comparison baselines (Section 8.1)."""
+
+from repro.baselines import (
+    BertQaBaseline,
+    EntExtractBaseline,
+    HybBaseline,
+    PathProgram,
+    WILDCARD,
+    candidate_groups,
+    flatten_page,
+    generalize,
+)
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample
+from repro.webtree import page_from_html
+
+MODELS = NlpModels()
+
+PAGE_LIST = page_from_html(
+    "<h1>Jane</h1><h2>Students</h2><ul><li>Robert Smith</li><li>Mary Anderson</li></ul>"
+    "<h2>Service</h2><ul><li>PLDI 2021 (PC)</li></ul>",
+    url="l1",
+)
+PAGE_LIST_B = page_from_html(
+    "<h1>John</h1><h2>Students</h2><ul><li>Sarah Brown</li></ul>"
+    "<h2>Service</h2><ul><li>CAV 2020 (PC)</li></ul>",
+    url="l2",
+)
+#: Same content, different layout: students after service, comma format.
+PAGE_SHUFFLED = page_from_html(
+    "<h1>Ann</h1><h2>Service</h2><ul><li>POPL 2020 (PC)</li></ul>"
+    "<h2>Students</h2><p>Mark Young, Laura Hill</p>",
+    url="l3",
+)
+
+
+class TestBertQa:
+    def test_flatten_loses_structure(self):
+        text = flatten_page(PAGE_LIST)
+        assert "Robert Smith" in text and "\n" in text
+
+    def test_single_span_answer(self):
+        tool = BertQaBaseline().fit(
+            "Who are the PhD students?", ("PhD",), [], [], MODELS
+        )
+        answer = tool.predict(PAGE_LIST)
+        assert len(answer) <= 1  # single-span: the documented weakness
+
+    def test_ignores_training_labels(self):
+        question = "Who are the PhD students?"
+        plain = BertQaBaseline().fit(question, (), [], [], MODELS)
+        trained = BertQaBaseline().fit(
+            question, (),
+            [LabeledExample(PAGE_LIST, ("Robert Smith",))], [], MODELS,
+        )
+        assert plain.predict(PAGE_LIST) == trained.predict(PAGE_LIST)
+
+
+class TestHyb:
+    def question(self):
+        return "Who are the students?", ("Students",)
+
+    def test_learns_exact_paths_on_homogeneous_pages(self):
+        q, k = self.question()
+        train = [
+            LabeledExample(PAGE_LIST, ("Robert Smith", "Mary Anderson")),
+            LabeledExample(PAGE_LIST_B, ("Sarah Brown",)),
+        ]
+        tool = HybBaseline().fit(q, k, train, [], MODELS)
+        assert set(tool.predict(PAGE_LIST)) == {"Robert Smith", "Mary Anderson"}
+
+    def test_fails_on_shuffled_layout(self):
+        q, k = self.question()
+        train = [LabeledExample(PAGE_LIST, ("Robert Smith", "Mary Anderson"))]
+        tool = HybBaseline().fit(q, k, train, [], MODELS)
+        predicted = tool.predict(PAGE_SHUFFLED)
+        # The exact path points at the service list on the shuffled page.
+        assert "Mark Young, Laura Hill" not in predicted or "POPL" in " ".join(predicted)
+
+    def test_fails_when_gold_not_node_exact(self):
+        q, k = self.question()
+        # "Mark Young" is a substring of a node, not a whole node.
+        train = [LabeledExample(PAGE_SHUFFLED, ("Mark Young",))]
+        tool = HybBaseline().fit(q, k, train, [], MODELS)
+        assert tool.predict(PAGE_SHUFFLED) == ()
+
+    def test_generalize_merges_indices(self):
+        merged = generalize([(0, 1), (0, 2)])
+        assert merged == PathProgram((0, WILDCARD))
+
+    def test_generalize_length_mismatch(self):
+        assert generalize([(0,), (0, 1)]) is None
+
+    def test_path_program_wildcard_run(self):
+        program = PathProgram((0, WILDCARD))
+        nodes = program.run(PAGE_LIST)
+        assert [n.text for n in nodes] == ["Robert Smith", "Mary Anderson"]
+
+
+class TestEntExtract:
+    def test_zero_shot_finds_a_group(self):
+        tool = EntExtractBaseline().fit(
+            "Who are the students?", (), [], [], MODELS
+        )
+        predicted = tool.predict(PAGE_LIST)
+        assert predicted  # it always returns *some* list
+
+    def test_candidate_groups_found(self):
+        groups = candidate_groups(PAGE_LIST)
+        headers = [h.text for h, _ in groups]
+        assert "Students" in headers
+
+    def test_no_groups_returns_empty(self):
+        lonely = page_from_html("<h1>T</h1><p>only one paragraph</p>")
+        tool = EntExtractBaseline().fit("What is it?", (), [], [], MODELS)
+        assert tool.predict(lonely) == ()
+
+    def test_picks_query_relevant_group(self):
+        tool = EntExtractBaseline().fit(
+            "Who are the students?", (), [], [], MODELS
+        )
+        predicted = tool.predict(PAGE_LIST)
+        assert "Robert Smith" in predicted

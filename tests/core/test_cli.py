@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+JANE = """
+<h1>Jane Doe</h1>
+<h2>Students</h2><p><b>PhD students</b></p>
+<ul><li>Robert Smith</li><li>Mary Anderson</li></ul>
+"""
+JOHN = """
+<h1>John Doe</h1>
+<h2>Current Students</h2>
+<ul><li>Sarah Brown</li><li>Wei Zhang</li></ul>
+"""
+ANN = """
+<h1>Ann Lee</h1>
+<h2>Advisees</h2><p>Mark Young, Laura Hill</p>
+"""
+
+
+@pytest.fixture()
+def pages(tmp_path):
+    (tmp_path / "jane.html").write_text(JANE)
+    (tmp_path / "john.html").write_text(JOHN)
+    unlabeled = tmp_path / "unlabeled"
+    unlabeled.mkdir()
+    (unlabeled / "ann.html").write_text(ANN)
+    return tmp_path
+
+
+class TestCli:
+    def test_fit_extract_show_roundtrip(self, pages, capsys):
+        program_path = str(pages / "program.json")
+        exit_code = main([
+            "fit",
+            "--question", "Who are the current PhD students?",
+            "--keyword", "Current Students", "--keyword", "PhD",
+            "--keyword", "Advisees",
+            "--label", str(pages / "jane.html"), "Robert Smith;Mary Anderson",
+            "--label", str(pages / "john.html"), "Sarah Brown;Wei Zhang",
+            "--unlabeled-dir", str(pages / "unlabeled"),
+            "--ensemble", "50",
+            "--out", program_path,
+        ])
+        assert exit_code == 0
+        fit_output = capsys.readouterr().out
+        assert "training F1: 1.000" in fit_output
+        assert "saved:" in fit_output
+
+        exit_code = main([
+            "extract",
+            "--program", program_path,
+            "--question", "Who are the current PhD students?",
+            "--keyword", "Current Students", "--keyword", "PhD",
+            "--keyword", "Advisees",
+            str(pages / "unlabeled" / "ann.html"),
+        ])
+        assert exit_code == 0
+        extract_output = capsys.readouterr().out
+        assert "Mark Young" in extract_output
+        assert "Laura Hill" in extract_output
+
+        exit_code = main(["show", "--program", program_path])
+        assert exit_code == 0
+        assert "λQ,K,W." in capsys.readouterr().out
+
+    def test_fit_requires_labels(self, pages):
+        with pytest.raises(SystemExit):
+            main([
+                "fit",
+                "--question", "q?",
+                "--out", str(pages / "p.json"),
+            ])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

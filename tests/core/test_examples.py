@@ -1,0 +1,41 @@
+"""Smoke tests keeping the examples/ scripts runnable."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "Jane Doe" in output
+        assert "Mark Young" in output and "Laura Hill" in output
+
+    def test_custom_task(self, capsys):
+        output = run_example("custom_task.py", capsys)
+        assert "Wednesday 1:30 pm - 2:30 pm" in output
+
+    @pytest.mark.slow
+    def test_inspect_programs(self, capsys):
+        output = run_example("inspect_programs.py", capsys)
+        assert "Transductive (consensus) choice" in output
+        assert "test F1" in output
+
+    @pytest.mark.slow
+    def test_pc_committee_scenario(self, capsys):
+        output = run_example("pc_committee_scenario.py", capsys)
+        assert "Test score over" in output
+
+    @pytest.mark.slow
+    def test_clinic_directory(self, capsys):
+        output = run_example("clinic_directory.py", capsys)
+        assert "Clinic directory" in output
+        assert "clinic_t5" in output

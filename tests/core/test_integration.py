@@ -1,0 +1,46 @@
+"""Cross-module integration tests: disk corpus → fit → save → reload → predict."""
+
+import pytest
+
+from repro.core import WebQA
+from repro.dataset.io import export_corpus, import_corpus
+from repro.dsl import load_program, run_program, save_program
+from repro.metrics import score_examples
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample
+
+
+@pytest.mark.slow
+class TestDiskRoundTripPipeline:
+    def test_full_pipeline_via_files(self, tmp_path):
+        # 1. Materialize a corpus on disk and read it back.
+        export_corpus("clinic", str(tmp_path), n_pages=10, seed=2)
+        corpus = import_corpus(str(tmp_path / "clinic"))
+        assert len(corpus) == 10
+
+        # 2. Fit on the first three pages, test on the rest.
+        task_id = "clinic_t1"
+        question = "Who are the doctors or providers?"
+        keywords = ("Doctor", "Provider", "Our Team")
+        models = NlpModels.for_corpus([cp.page.root.subtree_text() for cp in corpus])
+        train = [
+            LabeledExample(cp.page, cp.gold[task_id]) for cp in corpus[:3]
+        ]
+        test = corpus[3:]
+        tool = WebQA(ensemble_size=60)
+        tool.fit(question, keywords, train, [cp.page for cp in test], models)
+        assert tool.report.train_f1 > 0.8
+
+        # 3. Persist the program and evaluate the *reloaded* copy.
+        path = tmp_path / "doctors.json"
+        save_program(tool.program, str(path))
+        reloaded = load_program(str(path))
+        assert reloaded == tool.program
+        predictions = [
+            run_program(reloaded, cp.page, question, keywords, models)
+            for cp in test
+        ]
+        score = score_examples(
+            zip(predictions, [cp.gold[task_id] for cp in test])
+        )
+        assert score.f1 > 0.6

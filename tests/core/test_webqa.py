@@ -1,0 +1,143 @@
+"""Tests for the end-to-end WebQA facade and its ablations."""
+
+import pytest
+
+from repro.core import (
+    WebQA,
+    WebQAKwOnly,
+    WebQANlOnly,
+    WebQANoDecomp,
+    WebQANoPrune,
+    webqa_random_selection,
+    webqa_shortest_selection,
+)
+from repro.synthesis import LabeledExample
+from repro.nlp import NlpModels
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+MODELS = NlpModels()
+
+
+def train():
+    return [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+
+
+def fitted(tool):
+    return tool.fit(QUESTION, KEYWORDS, train(), [PAGE_C], MODELS)
+
+
+class TestWebQA:
+    def test_fit_predict_roundtrip(self):
+        tool = fitted(WebQA(config=small_config(), ensemble_size=50))
+        assert tool.predict(PAGE_A) == GOLD_A
+        assert tool.predict(PAGE_B) == GOLD_B
+
+    def test_report_populated(self):
+        tool = fitted(WebQA(config=small_config(), ensemble_size=50))
+        report = tool.report
+        assert report.train_f1 == 1.0
+        assert report.optimal_count >= 1
+        assert report.selection is not None
+        assert "Sat(" in report.program_text() or "IsSingleton(" in report.program_text()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            WebQA().predict(PAGE_A)
+
+    def test_invalid_selection_strategy(self):
+        with pytest.raises(ValueError):
+            WebQA(selection="psychic")
+
+    def test_explain_mentions_question(self):
+        tool = fitted(WebQA(config=small_config(), ensemble_size=20))
+        assert QUESTION in tool.explain()
+        assert "selected:" in tool.explain()
+
+    def test_unfitted_explain(self):
+        assert WebQA().explain() == "<unfitted WebQA>"
+
+    def test_impossible_task_degrades_to_empty_program(self):
+        tool = WebQA(config=small_config(), ensemble_size=10)
+        tool.fit(
+            QUESTION, KEYWORDS,
+            [LabeledExample(PAGE_A, ("zzzz unfindable",))], [], MODELS,
+        )
+        assert tool.predict(PAGE_A) == ()
+
+    def test_predict_all(self):
+        tool = fitted(WebQA(config=small_config(), ensemble_size=20))
+        outputs = tool.predict_all([PAGE_A, PAGE_B])
+        assert outputs == [GOLD_A, GOLD_B]
+
+
+class TestSelectionStrategies:
+    def test_random_and_shortest_factories(self):
+        random_tool = webqa_random_selection(config=small_config())
+        shortest_tool = webqa_shortest_selection(config=small_config())
+        assert random_tool.name == "WebQA-Random"
+        assert shortest_tool.name == "WebQA-Shortest"
+        fitted(random_tool)
+        fitted(shortest_tool)
+        assert random_tool.report.selection is None
+        assert shortest_tool.report.selection is None
+        # All strategies pick training-optimal programs.
+        assert random_tool.predict(PAGE_A) == GOLD_A or random_tool.report.train_f1 == 1.0
+
+
+class TestAblations:
+    def test_noprune_same_programs(self):
+        full = fitted(WebQA(config=small_config(), ensemble_size=20))
+        ablated = fitted(WebQANoPrune(config=small_config(), ensemble_size=20))
+        assert abs(full.report.train_f1 - ablated.report.train_f1) < 1e-9
+
+    def test_nodecomp_same_programs(self):
+        full = fitted(WebQA(config=small_config(), ensemble_size=20))
+        ablated = fitted(WebQANoDecomp(config=small_config(), ensemble_size=20))
+        assert abs(full.report.train_f1 - ablated.report.train_f1) < 1e-9
+
+    def test_nl_only_drops_keywords(self):
+        tool = fitted(WebQANlOnly(config=small_config(), ensemble_size=20))
+        assert tool._keywords == ()
+
+    def test_kw_only_drops_question(self):
+        tool = fitted(WebQAKwOnly(config=small_config(), ensemble_size=20))
+        assert tool._question == ""
+        # Keywords alone still solve the clean student-extraction task.
+        assert tool.report.train_f1 > 0.5
+
+    def test_ablation_names(self):
+        assert WebQANoPrune().name == "WebQA-NoPrune"
+        assert WebQANoDecomp().name == "WebQA-NoDecomp"
+        assert WebQANlOnly().name == "WebQA-NL"
+        assert WebQAKwOnly().name == "WebQA-KW"
+
+
+class TestRefit:
+    def test_refitting_clears_stale_contexts(self):
+        tool = WebQA(config=small_config(), ensemble_size=20)
+        fitted(tool)
+        first = tool.predict(PAGE_A)
+        assert first == GOLD_A
+        # Refit the same instance on a different task over the same page:
+        # predictions must reflect the new question/keywords, not cached
+        # evaluation state from the first fit.
+        tool.fit(
+            "Which program committees has this researcher served on?",
+            ("PC", "Program Committee", "Service"),
+            [LabeledExample(PAGE_A, ("PLDI 2021", "CAV 2020"))],
+            [],
+            MODELS,
+        )
+        second = tool.predict(PAGE_A)
+        assert second != first
+        assert any("PLDI" in s or "CAV" in s for s in second)

@@ -1,0 +1,56 @@
+"""End-to-end WebQA with a non-default F_β objective."""
+
+from dataclasses import replace
+
+from repro.core import WebQA
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+MODELS = NlpModels()
+
+
+class TestWebQAWithBeta:
+    def test_f2_pipeline_runs(self):
+        config = replace(small_config(), beta=2.0)
+        tool = WebQA(config=config, ensemble_size=30)
+        tool.fit(
+            QUESTION, KEYWORDS,
+            [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+            [PAGE_C], MODELS,
+        )
+        # A clean task is perfect under any β.
+        assert tool.report.train_f1 == 1.0
+        assert tool.predict(PAGE_A) == GOLD_A
+
+    def test_recall_weighting_changes_partial_task(self):
+        # Gold covers only part of a list: β=4 makes full-recall programs
+        # optimal, so the selected program's *recall* on the gold should
+        # be at least that of the F1-optimal choice.
+        from repro.metrics import token_prf
+
+        train = [LabeledExample(PAGE_A, ("Robert Smith",))]
+
+        def fit(beta: float):
+            tool = WebQA(
+                config=replace(small_config(max_branches=1), beta=beta),
+                ensemble_size=30,
+            )
+            tool.fit(QUESTION, KEYWORDS, train, [], MODELS)
+            return tool
+
+        f1_tool = fit(1.0)
+        f4_tool = fit(4.0)
+        _, recall_f1, _ = token_prf(f1_tool.predict(PAGE_A), ("Robert Smith",))
+        _, recall_f4, _ = token_prf(f4_tool.predict(PAGE_A), ("Robert Smith",))
+        assert recall_f4 >= recall_f1

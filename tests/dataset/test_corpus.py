@@ -1,0 +1,141 @@
+"""Tests for the synthetic corpus generators."""
+
+from repro.dataset import (
+    DOMAINS,
+    TASKS_BY_ID,
+    build_domain_corpus,
+    generate_page,
+    load_task_dataset,
+    tasks_for_domain,
+)
+from repro.metrics import answer_tokens
+from repro.webtree import structural_signature
+
+
+class TestDeterminism:
+    def test_same_seed_same_page(self):
+        a = generate_page("faculty", 7)
+        b = generate_page("faculty", 7)
+        assert a.html == b.html
+        assert a.gold == b.gold
+
+    def test_different_seeds_differ(self):
+        a = generate_page("faculty", 1)
+        b = generate_page("faculty", 2)
+        assert a.html != b.html
+
+
+class TestGoldAlignment:
+    def test_gold_tokens_present_on_page(self):
+        # Every gold token must be recoverable from the rendered page —
+        # otherwise no extractor could reach recall 1 even in principle.
+        for domain in DOMAINS:
+            for cp in build_domain_corpus(domain, n_pages=6):
+                page_tokens = answer_tokens([cp.page.root.subtree_text()])
+                for task in tasks_for_domain(domain):
+                    gold_tokens = answer_tokens(cp.gold[task.task_id])
+                    missing = gold_tokens - page_tokens
+                    assert not missing, (
+                        f"{domain}/{task.task_id}: gold tokens {missing} "
+                        "not on the page"
+                    )
+
+    def test_every_task_has_gold_entry(self):
+        for domain in DOMAINS:
+            cp = generate_page(domain, 0)
+            for task in tasks_for_domain(domain):
+                assert task.task_id in cp.gold
+
+    def test_gold_mostly_nonempty(self):
+        # The evaluation is meaningless if most pages have empty answers.
+        for domain in DOMAINS:
+            corpus = build_domain_corpus(domain, n_pages=12)
+            for task in tasks_for_domain(domain):
+                nonempty = sum(1 for cp in corpus if cp.gold[task.task_id])
+                assert nonempty >= 4, f"{task.task_id}: too many empty golds"
+
+
+class TestHeterogeneity:
+    def test_structural_diversity(self):
+        corpus = build_domain_corpus("faculty", n_pages=10)
+        signatures = {structural_signature(cp.page) for cp in corpus}
+        # Heterogeneous layouts: most pages have distinct structure.
+        assert len(signatures) >= 6
+
+    def test_section_title_diversity(self):
+        corpus = build_domain_corpus("clinic", n_pages=12)
+        headers = set()
+        for cp in corpus:
+            headers.update(n.text for n in cp.page.nodes() if n.children)
+        # Doctor sections appear under several different names.
+        doctor_names = {
+            h for h in headers
+            if h in ("Our Doctors", "Our Team", "Providers", "Meet the Team",
+                     "Our Providers", "Medical Staff")
+        }
+        assert len(doctor_names) >= 2
+
+
+class TestTaskDataset:
+    def test_split_shapes(self):
+        ds = load_task_dataset(TASKS_BY_ID["clinic_t1"], n_pages=10, n_train=3)
+        assert len(ds.train) <= 3
+        assert len(ds.test_pages) == 10 - len(ds.train)
+        assert len(ds.test_gold) == len(ds.test_pages)
+
+    def test_train_pages_disjoint_from_test(self):
+        ds = load_task_dataset(TASKS_BY_ID["class_t2"], n_pages=8, n_train=3)
+        train_urls = {e.page.url for e in ds.train}
+        test_urls = {p.url for p in ds.test_pages}
+        assert not train_urls & test_urls
+
+    def test_without_suggestions_takes_first_pages(self):
+        ds = load_task_dataset(
+            TASKS_BY_ID["conf_t1"], n_pages=6, n_train=2,
+            use_label_suggestions=False,
+        )
+        assert [e.page.url for e in ds.train] == [
+            "https://example.org/conference/0",
+            "https://example.org/conference/1",
+        ]
+
+    def test_all_pages_helper(self):
+        ds = load_task_dataset(TASKS_BY_ID["fac_t3"], n_pages=6, n_train=2)
+        assert len(ds.all_pages()) == 6
+
+
+class TestNestedStudentSections:
+    def find_nested_page(self):
+        from repro.dataset import generate_page
+
+        for seed in range(60):
+            cp = generate_page("faculty", seed)
+            if "Undergraduate" in cp.html:
+                return cp
+        raise AssertionError("no nested-students page in 60 seeds")
+
+    def test_nested_pages_exist(self):
+        cp = self.find_nested_page()
+        assert cp.gold["fac_t1"]
+
+    def test_undergrads_not_in_gold(self):
+        # The whole point of the nested schema: the undergraduate list is
+        # adjacent to the PhD list but excluded from the fac_t1 answer.
+        from repro.metrics import answer_tokens
+        from repro.nlp.tokenize import words
+
+        cp = self.find_nested_page()
+        page_text = cp.page.root.subtree_text()
+        gold_tokens = answer_tokens(cp.gold["fac_t1"])
+        assert set(words(page_text)) > set(gold_tokens)
+
+    def test_nested_structure_parses_as_sublists(self):
+        from repro.webtree import NodeType
+
+        cp = self.find_nested_page()
+        labels = [
+            n for n in cp.page.nodes()
+            if n.node_type is NodeType.LIST and "students" in n.text.lower()
+        ]
+        # Both the PhD and undergraduate labels own their sub-lists.
+        assert len(labels) >= 2

@@ -1,0 +1,36 @@
+"""Tests for corpus export/import."""
+
+import json
+import os
+
+from repro.dataset.corpus import build_domain_corpus
+from repro.dataset.io import export_corpus, import_corpus
+
+
+class TestCorpusIo:
+    def test_export_writes_pages_and_labels(self, tmp_path):
+        paths = export_corpus("clinic", str(tmp_path), n_pages=4)
+        assert len(paths) == 4
+        assert all(os.path.exists(p) for p in paths)
+        labels_path = tmp_path / "clinic" / "labels.json"
+        labels = json.loads(labels_path.read_text())
+        assert "clinic_t1" in labels
+        assert len(labels["clinic_t1"]) == 4
+
+    def test_roundtrip_preserves_gold(self, tmp_path):
+        export_corpus("class", str(tmp_path), n_pages=3, seed=1)
+        imported = import_corpus(str(tmp_path / "class"))
+        original = build_domain_corpus("class", n_pages=3, seed=1)
+        assert len(imported) == 3
+        for imported_page, original_page in zip(imported, original):
+            assert imported_page.gold == original_page.gold
+            assert imported_page.html == original_page.html
+
+    def test_roundtrip_preserves_tree_structure(self, tmp_path):
+        from repro.webtree import render_tree
+
+        export_corpus("faculty", str(tmp_path), n_pages=2, seed=4)
+        imported = import_corpus(str(tmp_path / "faculty"))
+        original = build_domain_corpus("faculty", n_pages=2, seed=4)
+        for imported_page, original_page in zip(imported, original):
+            assert render_tree(imported_page.page) == render_tree(original_page.page)

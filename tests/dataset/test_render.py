@@ -1,0 +1,121 @@
+"""Tests for the HTML rendering toolkit behind the corpus generators."""
+
+import random
+
+import pytest
+
+from repro.dataset.render import (
+    HEADER_STYLES,
+    LIST_STYLES,
+    PageLayout,
+    SectionSpec,
+    assemble_page,
+    pick_title,
+    render_header,
+    render_items,
+    render_pairs_table,
+)
+from repro.webtree import page_from_html
+
+
+class TestRenderItems:
+    ITEMS = ["alpha one", "beta two", "gamma three"]
+
+    @pytest.mark.parametrize("style", LIST_STYLES)
+    def test_every_style_contains_all_items(self, style):
+        html = render_items(self.ITEMS, style)
+        for item in self.ITEMS:
+            assert item in html
+
+    def test_ul_structure(self):
+        assert render_items(["x"], "ul") == "<ul><li>x</li></ul>"
+
+    def test_comma_structure(self):
+        assert render_items(["a", "b"], "comma") == "<p>a, b.</p>"
+
+    def test_table_structure(self):
+        html = render_items(["a"], "table")
+        assert html.startswith("<table>") and "<td>a</td>" in html
+
+    def test_empty_items(self):
+        assert render_items([], "ul") == ""
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError):
+            render_items(["x"], "mosaic")
+
+    def test_escaping(self):
+        assert "&lt;b&gt;" in render_items(["<b>"], "ul")
+
+
+class TestRenderHeader:
+    @pytest.mark.parametrize("style", HEADER_STYLES)
+    def test_every_style_contains_title(self, style):
+        assert "Services" in render_header("Services", style)
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError):
+            render_header("T", "marquee")
+
+
+class TestAssemblePage:
+    def sections(self):
+        return [
+            SectionSpec("First", "<p>one</p>"),
+            SectionSpec("Second", "<p>two</p>"),
+            SectionSpec("Third", "<p>three</p>"),
+        ]
+
+    def test_page_parses_into_tree(self):
+        layout = PageLayout("h2", "ul", shuffle_sections=False, rng=random.Random(0))
+        html = assemble_page("Title", "<p>intro</p>", self.sections(), layout)
+        page = page_from_html(html)
+        assert page.root.text == "Title"
+        section_names = [c.text for c in page.root.children if c.children]
+        assert section_names == ["First", "Second", "Third"]
+
+    def test_shuffle_changes_order_somewhere(self):
+        orders = set()
+        for seed in range(8):
+            layout = PageLayout("h2", "ul", shuffle_sections=True,
+                                rng=random.Random(seed))
+            html = assemble_page("T", "", self.sections(), layout)
+            page = page_from_html(html)
+            orders.add(tuple(c.text for c in page.root.children if c.children))
+        assert len(orders) > 1
+
+    def test_pinned_sections_stay_put(self):
+        sections = self.sections()
+        sections[0] = SectionSpec("First", "<p>one</p>", pinned=True)
+        for seed in range(6):
+            layout = PageLayout("h2", "ul", shuffle_sections=True,
+                                rng=random.Random(seed))
+            html = assemble_page("T", "", list(sections), layout)
+            page = page_from_html(html)
+            names = [c.text for c in page.root.children if c.children]
+            assert names[0] == "First"
+
+    def test_render_pairs_table(self):
+        html = render_pairs_table([("Alice", "MIT"), ("Bob", "CMU")])
+        page = page_from_html(f"<h1>T</h1><h2>PC</h2>{html}")
+        table = page.root.children[0]
+        assert [r.text for r in table.children] == ["Alice | MIT", "Bob | CMU"]
+
+
+class TestLayoutDraw:
+    def test_draw_is_seed_deterministic(self):
+        a = PageLayout.draw(random.Random(5))
+        b = PageLayout.draw(random.Random(5))
+        assert (a.header_style, a.list_style, a.shuffle_sections) == (
+            b.header_style, b.list_style, b.shuffle_sections,
+        )
+
+    def test_pick_list_style_respects_allowed(self):
+        layout = PageLayout.draw(random.Random(1))
+        for _ in range(20):
+            assert layout.pick_list_style(("ul", "lines")) in ("ul", "lines")
+
+    def test_pick_title_from_variants(self):
+        rng = random.Random(0)
+        variants = ("A", "B", "C")
+        assert pick_title(rng, variants) in variants

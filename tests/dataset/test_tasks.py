@@ -1,0 +1,37 @@
+"""Tests for the 25 task definitions (paper Tables 1 and 5)."""
+
+import pytest
+
+from repro.dataset import DOMAINS, TASKS, TASKS_BY_ID, tasks_for_domain
+
+
+class TestTaskInventory:
+    def test_twenty_five_tasks(self):
+        assert len(TASKS) == 25
+
+    def test_domain_counts_match_paper(self):
+        # Table 1: 8 faculty, 6 conference, 6 class, 5 clinic.
+        expected = {"faculty": 8, "conference": 6, "class": 6, "clinic": 5}
+        for domain, count in expected.items():
+            assert len(tasks_for_domain(domain)) == count
+
+    def test_ids_unique_and_indexed(self):
+        assert len(TASKS_BY_ID) == 25
+        for task in TASKS:
+            assert TASKS_BY_ID[task.task_id] is task
+
+    def test_every_task_has_question_and_keywords(self):
+        for task in TASKS:
+            assert task.question.endswith("?")
+            assert task.keywords
+            assert task.domain in DOMAINS
+
+    def test_paper_table5_spot_checks(self):
+        assert TASKS_BY_ID["fac_t1"].question == "Who are the current PhD students?"
+        assert TASKS_BY_ID["conf_t5"].keywords == ("Double-blind", "Single-blind")
+        assert TASKS_BY_ID["class_t3"].keywords == ("Teaching Assistants", "TAs")
+        assert TASKS_BY_ID["clinic_t5"].question == "Where are the clinics located?"
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError):
+            tasks_for_domain("astronomy")

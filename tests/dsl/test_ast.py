@@ -1,0 +1,48 @@
+"""Tests for DSL AST construction and structural equality."""
+
+from repro.dsl import ast
+
+
+class TestStructuralEquality:
+    def test_predicates_hashable_and_equal(self):
+        assert ast.MatchKeyword(0.7) == ast.MatchKeyword(0.7)
+        assert hash(ast.MatchKeyword(0.7)) == hash(ast.MatchKeyword(0.7))
+        assert ast.MatchKeyword(0.7) != ast.MatchKeyword(0.8)
+
+    def test_locators_equal(self):
+        a = ast.GetChildren(ast.GetRoot(), ast.IsLeaf())
+        b = ast.GetChildren(ast.GetRoot(), ast.IsLeaf())
+        assert a == b
+        assert {a: 1}[b] == 1
+
+    def test_extractors_nested_equality(self):
+        a = ast.Split(ast.ExtractContent(), ",")
+        b = ast.Split(ast.ExtractContent(), ",")
+        assert a == b
+        assert ast.Split(ast.ExtractContent(), ";") != a
+
+    def test_program_branches_coerced_to_tuple(self):
+        branch = ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent())
+        program = ast.Program([branch])
+        assert isinstance(program.branches, tuple)
+
+    def test_guard_default_pred_is_true(self):
+        assert ast.Sat(ast.GetRoot()).pred == ast.TruePred()
+
+
+class TestSyntacticSugar:
+    def test_get_entity_desugars_to_substring(self):
+        sugar = ast.get_entity(ast.ExtractContent(), "ORG", k=2)
+        assert isinstance(sugar, ast.Substring)
+        assert sugar.pred == ast.HasEntity("ORG")
+        assert sugar.k == 2
+
+    def test_get_leaves_desugars_to_descendants(self):
+        sugar = ast.get_leaves(ast.GetRoot())
+        assert isinstance(sugar, ast.GetDescendants)
+        assert sugar.node_filter == ast.IsLeaf()
+
+    def test_compound_predicates(self):
+        pred = ast.AndPred(ast.HasAnswer(), ast.NotPred(ast.HasEntity("ORG")))
+        assert pred.left == ast.HasAnswer()
+        assert pred.right.operand == ast.HasEntity("ORG")

@@ -1,0 +1,205 @@
+"""Tests for the DSL interpreter (denotational semantics of Section 4)."""
+
+import pytest
+
+from repro.dsl import EvalContext, ast, run_program
+from repro.nlp import NlpModels
+from repro.webtree import page_from_html
+
+MODELS = NlpModels()
+
+FIGURE2_HTML = """
+<h1>Jane Doe</h1><p>university | janedoe at university.edu</p>
+<h2>Students</h2><p><b>PhD students</b></p>
+<ul><li>Robert Smith</li><li>Mary Anderson</li></ul>
+<h2>Activities</h2><p><b>Professional Services</b></p>
+<ul><li>Current: PLDI 2021 (PC)</li><li>Past: CAV 2020 (PC), PLDI 2020 (SRC)</li></ul>
+"""
+
+PAGE = page_from_html(FIGURE2_HTML)
+QUESTION = "Which program committees has this researcher served on?"
+KEYWORDS = ("PC", "Program Committee", "Service")
+
+
+def ctx(page=PAGE, question=QUESTION, keywords=KEYWORDS) -> EvalContext:
+    return EvalContext(page, question, keywords, MODELS)
+
+
+class TestLocators:
+    def test_get_root(self):
+        nodes = ctx().eval_locator(ast.GetRoot())
+        assert [n.text for n in nodes] == ["Jane Doe"]
+
+    def test_get_children_true_filter(self):
+        nodes = ctx().eval_locator(ast.GetChildren(ast.GetRoot(), ast.TrueFilter()))
+        assert [n.text for n in nodes][-2:] == ["Students", "Activities"]
+
+    def test_get_descendants_leaves(self):
+        nodes = ctx().eval_locator(ast.get_leaves(ast.GetRoot()))
+        assert all(n.is_leaf() for n in nodes)
+        texts = [n.text for n in nodes]
+        assert "Robert Smith" in texts
+
+    def test_match_keyword_locates_service_section(self):
+        # The paper's code snippet (1): GetDescendants with matchKeyword
+        # matches the Professional Services node.
+        locator = ast.GetDescendants(
+            ast.GetRoot(), ast.MatchText(ast.MatchKeyword(0.85), False)
+        )
+        nodes = ctx().eval_locator(locator)
+        assert any("Professional Services" == n.text for n in nodes)
+
+    def test_subtree_matchtext(self):
+        locator = ast.GetChildren(
+            ast.GetRoot(), ast.MatchText(ast.MatchKeyword(0.85), True)
+        )
+        nodes = ctx().eval_locator(locator)
+        assert any(n.text == "Activities" for n in nodes)
+
+    def test_is_elem_filter(self):
+        locator = ast.GetDescendants(ast.GetRoot(), ast.IsElem())
+        nodes = ctx().eval_locator(locator)
+        assert {n.text for n in nodes} >= {"Robert Smith", "Mary Anderson"}
+
+    def test_locator_memoized(self):
+        context = ctx()
+        first = context.eval_locator(ast.GetRoot())
+        second = context.eval_locator(ast.GetRoot())
+        assert first is second
+
+
+class TestGuards:
+    def test_sat_true(self):
+        fired, nodes = ctx().eval_guard(
+            ast.Sat(ast.GetChildren(ast.GetRoot(), ast.TrueFilter()), ast.TruePred())
+        )
+        assert fired and nodes
+
+    def test_sat_false_on_unmatched_pred(self):
+        fired, _ = ctx(keywords=("completely unrelated zebra topic",)).eval_guard(
+            ast.Sat(ast.GetRoot(), ast.MatchKeyword(0.99))
+        )
+        assert not fired
+
+    def test_is_singleton(self):
+        fired, _ = ctx().eval_guard(ast.IsSingleton(ast.GetRoot()))
+        assert fired
+        fired, _ = ctx().eval_guard(
+            ast.IsSingleton(ast.GetChildren(ast.GetRoot(), ast.TrueFilter()))
+        )
+        assert not fired  # root has several children
+
+
+class TestExtractors:
+    def locate_service_leaves(self):
+        locator = ast.GetDescendants(
+            ast.GetDescendants(
+                ast.GetRoot(), ast.MatchText(ast.MatchKeyword(0.85), False)
+            ),
+            ast.IsLeaf(),
+        )
+        return ctx().eval_locator(locator)
+
+    def test_extract_content(self):
+        nodes = self.locate_service_leaves()
+        result = ctx().eval_extractor(ast.ExtractContent(), nodes)
+        assert "Current: PLDI 2021 (PC)" in result
+
+    def test_split_on_comma(self):
+        nodes = self.locate_service_leaves()
+        result = ctx().eval_extractor(
+            ast.Split(ast.ExtractContent(), ","), nodes
+        )
+        assert "PLDI 2020 (SRC)" in result
+
+    def test_filter_by_keyword(self):
+        # The paper's code snippet (2): split on comma, keep PC entries.
+        nodes = self.locate_service_leaves()
+        extractor = ast.Filter(
+            ast.Split(ast.ExtractContent(), ","), ast.MatchKeyword(0.85)
+        )
+        result = ctx().eval_extractor(extractor, nodes)
+        assert all("PC" in r or "Service" in r for r in result)
+
+    def test_substring_entity(self):
+        page = page_from_html("<h1>T</h1><p>Contact Robert Smith for details</p>")
+        context = ctx(page=page)
+        nodes = context.eval_locator(ast.get_leaves(ast.GetRoot()))
+        result = context.eval_extractor(
+            ast.get_entity(ast.ExtractContent(), "PERSON"), nodes
+        )
+        assert result == ("Robert Smith",)
+
+    def test_empty_nodes_give_empty_answer(self):
+        assert ctx().eval_extractor(ast.ExtractContent(), ()) == ()
+
+    def test_split_drops_blanks_and_dedupes(self):
+        page = page_from_html("<h1>T</h1><p>a,,a, b</p>")
+        context = ctx(page=page)
+        nodes = context.eval_locator(ast.get_leaves(ast.GetRoot()))
+        result = context.eval_extractor(ast.Split(ast.ExtractContent(), ","), nodes)
+        assert result == ("a", "b")
+
+
+class TestPrograms:
+    def test_first_true_guard_wins(self):
+        program = ast.Program(
+            (
+                ast.Branch(
+                    ast.Sat(ast.GetRoot(), ast.MatchKeyword(2.0)),  # never fires
+                    ast.ExtractContent(),
+                ),
+                ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent()),
+            )
+        )
+        assert run_program(program, PAGE, QUESTION, KEYWORDS, MODELS) == ("Jane Doe",)
+
+    def test_no_guard_fires_returns_empty(self):
+        program = ast.Program(
+            (ast.Branch(ast.Sat(ast.GetRoot(), ast.MatchKeyword(2.0)), ast.ExtractContent()),)
+        )
+        assert run_program(program, PAGE, QUESTION, KEYWORDS, MODELS) == ()
+
+    def test_empty_program_returns_empty(self):
+        assert run_program(ast.Program(()), PAGE, QUESTION, KEYWORDS, MODELS) == ()
+
+    def test_paper_end_to_end_extraction(self):
+        # Snippets (1)+(2) of Section 2 assembled into one branch.
+        locator = ast.GetDescendants(
+            ast.GetDescendants(
+                ast.GetRoot(), ast.MatchText(ast.MatchKeyword(0.85), False)
+            ),
+            ast.IsLeaf(),
+        )
+        extractor = ast.Filter(
+            ast.Split(ast.ExtractContent(), ","), ast.MatchKeyword(0.85)
+        )
+        program = ast.Program(
+            (ast.Branch(ast.Sat(locator, ast.TruePred()), extractor),)
+        )
+        result = run_program(program, PAGE, QUESTION, KEYWORDS, MODELS)
+        assert any("PLDI 2021" in r for r in result)
+        assert any("CAV 2020" in r for r in result)
+
+
+class TestCompoundPredicates:
+    def test_and_or_not(self):
+        context = ctx()
+        text = "Robert Smith"
+        assert context.eval_pred(
+            ast.AndPred(ast.HasEntity("PERSON"), ast.TruePred()), text
+        )
+        assert context.eval_pred(
+            ast.OrPred(ast.HasEntity("ORG"), ast.HasEntity("PERSON")), text
+        )
+        assert not context.eval_pred(ast.NotPred(ast.HasEntity("PERSON")), text)
+
+    def test_true_pred_false_on_blank(self):
+        assert not ctx().eval_pred(ast.TruePred(), "   ")
+
+    def test_unknown_pred_raises(self):
+        class Rogue(ast.NlpPred):
+            pass
+
+        with pytest.raises(TypeError):
+            ctx().eval_pred(Rogue(), "x")

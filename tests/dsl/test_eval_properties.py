@@ -1,0 +1,144 @@
+"""Semantic laws of the DSL, property-checked on generated pages.
+
+These invariants follow from the denotational semantics of Section 4 and
+are what the synthesis algorithms implicitly rely on:
+
+* ``GetChildren(ν, φ) ⊆ GetDescendants(ν, φ)``;
+* node filters obey boolean algebra (∧ = intersection, ∨ = union,
+  ¬ = complement) pointwise over located nodes;
+* located nodes are always distinct and in document order;
+* ``Filter(e, ⊤)`` ≡ ``e`` for non-blank outputs, and
+  ``Filter(Filter(e, φ), φ)`` ≡ ``Filter(e, φ)`` (idempotence).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import DOMAINS, generate_page
+from repro.dsl import EvalContext, ast
+from repro.nlp import NlpModels
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+PAGES = [generate_page(domain, seed).page for domain in DOMAINS for seed in (0, 5)]
+
+pages = st.sampled_from(PAGES)
+atomic_filters = st.one_of(
+    st.just(ast.TrueFilter()),
+    st.just(ast.IsLeaf()),
+    st.just(ast.IsElem()),
+    st.builds(
+        ast.MatchText,
+        st.one_of(
+            st.builds(ast.MatchKeyword, st.sampled_from((0.55, 0.7, 0.85))),
+            st.builds(ast.HasEntity, st.sampled_from(("PERSON", "DATE", "ORG"))),
+        ),
+        st.booleans(),
+    ),
+)
+base_locators = st.one_of(
+    st.just(ast.GetRoot()),
+    st.builds(ast.GetChildren, st.just(ast.GetRoot()), atomic_filters),
+    st.builds(ast.GetDescendants, st.just(ast.GetRoot()), atomic_filters),
+)
+
+
+def ctx(page) -> EvalContext:
+    return EvalContext(page, QUESTION, KEYWORDS, MODELS)
+
+
+class TestLocatorLaws:
+    @given(pages, base_locators, atomic_filters)
+    @settings(max_examples=30, deadline=None)
+    def test_children_subset_of_descendants(self, page, source, node_filter):
+        context = ctx(page)
+        children = context.eval_locator(ast.GetChildren(source, node_filter))
+        descendants = context.eval_locator(ast.GetDescendants(source, node_filter))
+        descendant_ids = {n.node_id for n in descendants}
+        assert all(n.node_id in descendant_ids for n in children)
+
+    @given(pages, base_locators)
+    @settings(max_examples=30, deadline=None)
+    def test_located_nodes_distinct_and_ordered(self, page, locator):
+        nodes = ctx(page).eval_locator(locator)
+        ids = [n.node_id for n in nodes]
+        assert len(set(ids)) == len(ids)
+
+    @given(pages, base_locators, atomic_filters, atomic_filters)
+    @settings(max_examples=30, deadline=None)
+    def test_and_filter_is_intersection(self, page, source, f1, f2):
+        context = ctx(page)
+        both = context.eval_locator(ast.GetDescendants(source, ast.AndFilter(f1, f2)))
+        first = context.eval_locator(ast.GetDescendants(source, f1))
+        second = context.eval_locator(ast.GetDescendants(source, f2))
+        expected = {n.node_id for n in first} & {n.node_id for n in second}
+        assert {n.node_id for n in both} == expected
+
+    @given(pages, base_locators, atomic_filters, atomic_filters)
+    @settings(max_examples=30, deadline=None)
+    def test_or_filter_is_union(self, page, source, f1, f2):
+        context = ctx(page)
+        either = context.eval_locator(ast.GetDescendants(source, ast.OrFilter(f1, f2)))
+        first = context.eval_locator(ast.GetDescendants(source, f1))
+        second = context.eval_locator(ast.GetDescendants(source, f2))
+        expected = {n.node_id for n in first} | {n.node_id for n in second}
+        assert {n.node_id for n in either} == expected
+
+    @given(pages, atomic_filters)
+    @settings(max_examples=30, deadline=None)
+    def test_not_filter_is_complement(self, page, node_filter):
+        context = ctx(page)
+        matched = context.eval_locator(ast.GetDescendants(ast.GetRoot(), node_filter))
+        unmatched = context.eval_locator(
+            ast.GetDescendants(ast.GetRoot(), ast.NotFilter(node_filter))
+        )
+        everything = context.eval_locator(
+            ast.GetDescendants(ast.GetRoot(), ast.TrueFilter())
+        )
+        assert {n.node_id for n in matched} | {n.node_id for n in unmatched} == {
+            n.node_id for n in everything
+        }
+        assert not ({n.node_id for n in matched} & {n.node_id for n in unmatched})
+
+
+class TestExtractorLaws:
+    @given(pages, base_locators)
+    @settings(max_examples=30, deadline=None)
+    def test_filter_true_is_identity(self, page, locator):
+        context = ctx(page)
+        nodes = context.eval_locator(locator)
+        plain = context.eval_extractor(ast.ExtractContent(), nodes)
+        filtered = context.eval_extractor(
+            ast.Filter(ast.ExtractContent(), ast.TruePred()), nodes
+        )
+        assert filtered == plain
+
+    @given(pages, base_locators, st.sampled_from((",", ";", "|")))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_idempotent(self, page, locator, delimiter):
+        context = ctx(page)
+        nodes = context.eval_locator(locator)
+        pred = ast.HasEntity("PERSON")
+        once = context.eval_extractor(
+            ast.Filter(ast.Split(ast.ExtractContent(), delimiter), pred), nodes
+        )
+        twice = context.eval_extractor(
+            ast.Filter(
+                ast.Filter(ast.Split(ast.ExtractContent(), delimiter), pred), pred
+            ),
+            nodes,
+        )
+        assert once == twice
+
+    @given(pages, base_locators, st.sampled_from((",", ";")))
+    @settings(max_examples=30, deadline=None)
+    def test_split_output_contains_no_delimiter_free_loss(self, page, locator, d):
+        # Splitting never invents text: every output piece occurs in some
+        # input string.
+        context = ctx(page)
+        nodes = context.eval_locator(locator)
+        source = context.eval_extractor(ast.ExtractContent(), nodes)
+        split = context.eval_extractor(ast.Split(ast.ExtractContent(), d), nodes)
+        assert all(any(piece in s for s in source) for piece in split)

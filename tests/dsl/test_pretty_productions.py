@@ -1,0 +1,185 @@
+"""Tests for pretty-printing, productions and depth metrics."""
+
+from repro.dsl import (
+    ProductionConfig,
+    ast,
+    default_thresholds,
+    expand_extractor,
+    expand_locator,
+    extractor_depth,
+    extractor_size,
+    fine_thresholds,
+    gen_guards,
+    locator_depth,
+    locator_size,
+    pretty,
+    pretty_program,
+    program_size,
+)
+
+
+class TestPretty:
+    def test_predicates(self):
+        assert pretty(ast.MatchKeyword(0.7)) == "matchKeyword(z, K, 0.70)"
+        assert pretty(ast.HasAnswer()) == "hasAnswer(z, Q)"
+        assert pretty(ast.HasEntity("ORG")) == "hasEntity(z, ORG)"
+
+    def test_compound_predicate(self):
+        text = pretty(ast.AndPred(ast.HasAnswer(), ast.NotPred(ast.TruePred())))
+        assert text == "(hasAnswer(z, Q) ∧ ¬⊤)"
+
+    def test_locator_nesting(self):
+        locator = ast.GetDescendants(ast.GetRoot(), ast.IsLeaf())
+        assert pretty(locator) == "GetDescendants(GetRoot(W), λn.isLeaf(n))"
+
+    def test_match_text_flag(self):
+        assert "true" in pretty(ast.MatchText(ast.HasAnswer(), True))
+        assert "false" in pretty(ast.MatchText(ast.HasAnswer(), False))
+
+    def test_extractor_chain(self):
+        extractor = ast.Filter(
+            ast.Split(ast.ExtractContent(), ","), ast.HasEntity("ORG")
+        )
+        assert pretty(extractor) == (
+            "Filter(Split(ExtractContent(x), ','), λz.hasEntity(z, ORG))"
+        )
+
+    def test_program_form(self):
+        program = ast.Program(
+            (ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent()),)
+        )
+        assert pretty_program(program).startswith("λQ,K,W. {")
+
+    def test_guard_forms(self):
+        assert pretty(ast.IsSingleton(ast.GetRoot())) == "IsSingleton(GetRoot(W))"
+        assert pretty(ast.Sat(ast.GetRoot(), ast.HasAnswer())).startswith("Sat(")
+
+
+class TestThresholdGrids:
+    def test_fine_grid_is_papers(self):
+        grid = fine_thresholds(0.05)
+        assert len(grid) == 19
+        assert grid[0] == 0.05 and grid[-1] == 0.95
+
+    def test_default_grid_subset_of_unit_interval(self):
+        assert all(0 < t < 1 for t in default_thresholds())
+
+
+class TestProductions:
+    config = ProductionConfig()
+
+    def test_extractor_expansions_extend_source(self):
+        base = ast.ExtractContent()
+        for extension in expand_extractor(base, self.config):
+            assert getattr(extension, "source") == base
+
+    def test_extractor_expansion_kinds(self):
+        kinds = {type(e) for e in expand_extractor(ast.ExtractContent(), self.config)}
+        assert kinds == {ast.Split, ast.Filter, ast.Substring}
+
+    def test_locator_expansion_kinds(self):
+        kinds = {type(l) for l in expand_locator(ast.GetRoot(), self.config)}
+        assert kinds == {ast.GetChildren, ast.GetDescendants}
+
+    def test_gen_guards_contains_singleton_and_sat(self):
+        guards = gen_guards(ast.GetRoot(), self.config)
+        assert any(isinstance(g, ast.IsSingleton) for g in guards)
+        assert any(
+            isinstance(g, ast.Sat) and g.pred == ast.TruePred() for g in guards
+        )
+
+    def test_negation_toggle(self):
+        without = ProductionConfig(use_negation=False)
+        has_neg = any(
+            isinstance(p, ast.NotPred) for p in self.config.filter_preds()
+        )
+        no_neg = any(
+            isinstance(p, ast.NotPred) for p in without.filter_preds()
+        )
+        assert has_neg and not no_neg
+
+    def test_subtree_toggle(self):
+        without = ProductionConfig(use_subtree_text=False)
+        assert not any(
+            isinstance(f, ast.MatchText) and f.whole_subtree
+            for f in without.node_filters()
+        )
+
+
+class TestDepthAndSize:
+    def test_extractor_depth_counts_chain(self):
+        e = ast.Split(ast.Filter(ast.ExtractContent(), ast.HasAnswer()), ",")
+        assert extractor_depth(e) == 3
+        assert extractor_depth(ast.ExtractContent()) == 1
+
+    def test_locator_depth(self):
+        l = ast.GetChildren(ast.GetChildren(ast.GetRoot(), ast.IsLeaf()), ast.IsElem())
+        assert locator_depth(l) == 3
+
+    def test_sizes_monotone_in_structure(self):
+        small = ast.ExtractContent()
+        big = ast.Filter(small, ast.AndPred(ast.HasAnswer(), ast.HasEntity("ORG")))
+        assert extractor_size(big) > extractor_size(small)
+        assert locator_size(ast.GetRoot()) == 1
+
+    def test_program_size_sums_branches(self):
+        branch = ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent())
+        one = ast.Program((branch,))
+        two = ast.Program((branch, branch))
+        assert program_size(two) == 2 * program_size(one)
+
+
+class TestConjunctionPools:
+    def test_conjunction_toggle_adds_and_preds(self):
+        from repro.dsl import ast as dsl_ast
+
+        plain = ProductionConfig(use_conjunction=False)
+        conj = ProductionConfig(use_conjunction=True)
+        assert not any(
+            isinstance(p, dsl_ast.AndPred) for p in plain.filter_preds()
+        )
+        and_preds = [p for p in conj.filter_preds() if isinstance(p, dsl_ast.AndPred)]
+        assert and_preds
+        # Every conjunction pairs an entity test with a keyword test.
+        assert all(
+            isinstance(p.left, dsl_ast.HasEntity)
+            and isinstance(p.right, dsl_ast.MatchKeyword)
+            for p in and_preds
+        )
+
+    def test_conjunction_toggle_adds_and_filters(self):
+        from repro.dsl import ast as dsl_ast
+
+        conj = ProductionConfig(use_conjunction=True)
+        and_filters = [
+            f for f in conj.node_filters() if isinstance(f, dsl_ast.AndFilter)
+        ]
+        assert and_filters
+        assert all(isinstance(f.left, dsl_ast.IsLeaf) for f in and_filters)
+
+    def test_conjunctive_search_still_finds_optimum(self):
+        from dataclasses import replace
+
+        from repro.nlp import NlpModels
+        from repro.synthesis import LabeledExample, synthesize
+        from tests.synthesis.conftest import (
+            GOLD_A, KEYWORDS, PAGE_A, QUESTION, small_config,
+        )
+
+        config = small_config()
+        conj_config = replace(
+            config,
+            productions=ProductionConfig(
+                keyword_thresholds=(0.7,),
+                entity_labels=("PERSON",),
+                use_negation=False,
+                use_subtree_text=False,
+                use_conjunction=True,
+            ),
+        )
+        models = NlpModels()
+        examples = [LabeledExample(PAGE_A, GOLD_A)]
+        plain = synthesize(examples, QUESTION, KEYWORDS, models, config)
+        conj = synthesize(examples, QUESTION, KEYWORDS, models, conj_config)
+        # Conjunctions enlarge the space; the optimum cannot get worse.
+        assert conj.f1 >= plain.f1 - 1e-9

@@ -1,0 +1,157 @@
+"""Round-trip tests for DSL serialization and the surface-syntax parser.
+
+Two independent encodings of the same AST — JSON (`serialize`) and the
+paper's notation (`pretty` + `parser`) — each round-trip structurally.
+Hypothesis generates random well-formed terms to check both laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import (
+    DslSyntaxError,
+    ast,
+    dumps,
+    loads,
+    parse_extractor,
+    parse_locator,
+    parse_program,
+    pretty_program,
+)
+from repro.dsl.pretty import pretty_extractor, pretty_locator
+from repro.dsl.serialize import node_from_dict, node_to_dict
+
+# --- hypothesis strategies over the DSL grammar -----------------------------
+
+atomic_preds = st.one_of(
+    st.builds(ast.MatchKeyword, st.sampled_from((0.3, 0.55, 0.7, 0.85))),
+    st.just(ast.HasAnswer()),
+    st.builds(ast.HasEntity, st.sampled_from(("PERSON", "ORG", "DATE", "TIME"))),
+    st.just(ast.TruePred()),
+)
+preds = st.recursive(
+    atomic_preds,
+    lambda children: st.one_of(
+        st.builds(ast.AndPred, children, children),
+        st.builds(ast.OrPred, children, children),
+        st.builds(ast.NotPred, children),
+    ),
+    max_leaves=4,
+)
+node_filters = st.recursive(
+    st.one_of(
+        st.just(ast.IsLeaf()),
+        st.just(ast.IsElem()),
+        st.just(ast.TrueFilter()),
+        st.builds(ast.MatchText, preds, st.booleans()),
+    ),
+    lambda children: st.one_of(
+        st.builds(ast.AndFilter, children, children),
+        st.builds(ast.OrFilter, children, children),
+        st.builds(ast.NotFilter, children),
+    ),
+    max_leaves=3,
+)
+locators = st.recursive(
+    st.just(ast.GetRoot()),
+    lambda children: st.one_of(
+        st.builds(ast.GetChildren, children, node_filters),
+        st.builds(ast.GetDescendants, children, node_filters),
+    ),
+    max_leaves=3,
+)
+guards = st.one_of(
+    st.builds(ast.Sat, locators, preds),
+    st.builds(ast.IsSingleton, locators),
+)
+extractors = st.recursive(
+    st.just(ast.ExtractContent()),
+    lambda children: st.one_of(
+        st.builds(ast.Split, children, st.sampled_from((",", ";", "|", "/"))),
+        st.builds(ast.Filter, children, preds),
+        st.builds(ast.Substring, children, preds, st.sampled_from((1, 2, 3))),
+    ),
+    max_leaves=3,
+)
+programs = st.builds(
+    ast.Program,
+    st.lists(st.builds(ast.Branch, guards, extractors), min_size=0, max_size=3).map(
+        tuple
+    ),
+)
+
+
+class TestJsonRoundTrip:
+    @given(programs)
+    @settings(max_examples=100, deadline=None)
+    def test_program_roundtrip(self, program):
+        assert loads(dumps(program)) == program
+
+    @given(st.one_of(preds, node_filters, locators, guards, extractors))
+    @settings(max_examples=100, deadline=None)
+    def test_any_node_roundtrip(self, node):
+        assert node_from_dict(node_to_dict(node)) == node
+
+    def test_indented_output_parses(self, tmp_path):
+        from repro.dsl import load_program, save_program
+
+        program = ast.Program(
+            (ast.Branch(ast.Sat(ast.GetRoot()), ast.ExtractContent()),)
+        )
+        path = tmp_path / "p.json"
+        save_program(program, str(path))
+        assert load_program(str(path)) == program
+
+    def test_loads_rejects_non_program(self):
+        with pytest.raises(ValueError):
+            loads('{"kind": "GetRoot"}')
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            node_from_dict({"kind": "Teleport"})
+
+
+class TestSurfaceSyntaxRoundTrip:
+    @given(programs)
+    @settings(max_examples=100, deadline=None)
+    def test_program_roundtrip(self, program):
+        assert parse_program(pretty_program(program)) == program
+
+    @given(extractors)
+    @settings(max_examples=60, deadline=None)
+    def test_extractor_roundtrip(self, extractor):
+        assert parse_extractor(pretty_extractor(extractor)) == extractor
+
+    @given(locators)
+    @settings(max_examples=60, deadline=None)
+    def test_locator_roundtrip(self, locator):
+        assert parse_locator(pretty_locator(locator)) == locator
+
+    def test_paper_example_parses(self):
+        # The Section 2 snippet, in the paper's own notation.
+        text = (
+            "λQ,K,W. { Sat(GetDescendants(GetRoot(W), "
+            "λn.matchText(n, λz.matchKeyword(z, K, 0.70), false)), λz.⊤) "
+            "→ λx.Substring(Filter(Split(ExtractContent(x), ','), "
+            "λz.matchKeyword(z, K, 0.70)), λz.hasEntity(z, ORG), 1) }"
+        )
+        program = parse_program(text)
+        assert len(program.branches) == 1
+        extractor = program.branches[0].extractor
+        assert isinstance(extractor, ast.Substring)
+        assert extractor.pred == ast.HasEntity("ORG")
+
+    def test_syntax_errors(self):
+        for bad in (
+            "",
+            "λQ,K,W. {",
+            "λQ,K,W. { Sat(GetRoot(W), λz.⊤) }",  # missing arrow/extractor
+            "λQ,K,W. { Sat(GetRoot(W), λz.⊤) → λx.Fly(x) }",
+            "λQ,K,W. { } trailing",
+        ):
+            with pytest.raises(DslSyntaxError):
+                parse_program(bad)
+
+    def test_empty_program(self):
+        assert parse_program("λQ,K,W. { }") == ast.Program(())

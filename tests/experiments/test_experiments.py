@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (reduced-scale smoke runs)."""
+
+import pytest
+
+from repro.core.results import TaskResult, overall_scores, summarize_by_domain
+from repro.dataset import TASKS_BY_ID, tasks_for_domain
+from repro.experiments import (
+    ExperimentConfig,
+    dataset_for,
+    evaluate_tool,
+    fig12,
+    fig13,
+    fig14,
+    paper_scale,
+    quick_scale,
+    table2,
+    table3,
+    table4,
+    table6,
+)
+from repro.experiments.report import format_series, format_table
+from repro.metrics import Score
+
+TINY = ExperimentConfig(n_pages=8, n_train=2, ensemble_size=30)
+
+
+class TestCommon:
+    def test_scales(self):
+        assert paper_scale().n_pages == 40
+        assert paper_scale().ensemble_size == 1000
+        assert quick_scale().n_pages < paper_scale().n_pages
+
+    def test_dataset_for(self):
+        ds = dataset_for(TASKS_BY_ID["clinic_t1"], TINY)
+        assert len(ds.test_pages) == 8 - len(ds.train)
+
+    def test_evaluate_tool_returns_result(self):
+        from repro.baselines import BertQaBaseline
+
+        ds = dataset_for(TASKS_BY_ID["clinic_t1"], TINY)
+        result = evaluate_tool(BertQaBaseline(), ds)
+        assert result.tool == "BERTQA"
+        assert 0.0 <= result.score.f1 <= 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"s": [0.5, 1.0]})
+        assert "0.500" in text and "1.000" in text
+
+
+class TestResultAggregation:
+    def make(self, tool, domain, f1):
+        return TaskResult("t", domain, tool, Score(f1, f1, f1))
+
+    def test_overall_scores(self):
+        results = [self.make("A", "faculty", 1.0), self.make("A", "clinic", 0.0)]
+        assert overall_scores(results)["A"].f1 == 0.5
+
+    def test_summarize_by_domain(self):
+        results = [
+            self.make("A", "faculty", 1.0),
+            self.make("A", "faculty", 0.5),
+            self.make("B", "faculty", 0.2),
+        ]
+        summaries = summarize_by_domain(results)
+        by_key = {(s.domain, s.tool): s for s in summaries}
+        assert by_key[("faculty", "A")].score.f1 == 0.75
+        assert by_key[("faculty", "A")].n_tasks == 2
+
+
+class TestExperimentSmoke:
+    """One-domain, tiny-corpus runs of every experiment module."""
+
+    def test_fig12_and_tables_on_clinic(self):
+        from repro.experiments.common import run_comparison
+
+        results = run_comparison(
+            fig12.tool_factories(TINY), TINY, tasks_for_domain("clinic")
+        )
+        assert len(results) == 5 * 4  # 5 clinic tasks × 4 tools
+        scores = fig12.summarize(results)
+        assert set(scores) == set(fig12.TOOL_ORDER)
+        # WebQA wins overall — the paper's headline claim.
+        assert scores["WebQA"].f1 > max(
+            scores["BERTQA"].f1, scores["HYB"].f1, scores["EntExtract"].f1
+        )
+        rendered = table2.render(results) + table6.render(results) + fig12.render(results)
+        assert "WebQA" in rendered and "clinic_t1" in rendered
+
+    def test_table3_rows(self):
+        rows = table3.run(TINY, task_ids=("clinic_t1",))
+        assert [r.technique for r in rows] == [
+            "WebQA", "WebQA-NoPrune", "WebQA-NoDecomp"
+        ]
+        assert all(r.avg_seconds > 0 for r in rows)
+        assert "Table 3" in table3.render(rows)
+
+    def test_table4_rows(self):
+        rows = table4.run(TINY, task_ids=("clinic_t1",), runs=4)
+        assert [r.technique for r in rows] == ["Random", "Shortest"]
+        assert "Table 4" in table4.render(rows)
+
+    def test_fig13_on_one_domain(self):
+        results = fig13.run(TINY, domains=("clinic",))
+        series = fig13.summarize(results)
+        assert set(series) == set(fig13.VARIANT_ORDER)
+        # Full WebQA at least matches each single-modality variant.
+        assert series["WebQA"][0] >= series["WebQA-NL"][0] - 0.15
+        assert "Figure 13" in fig13.render(results)
+
+    @pytest.mark.slow
+    def test_fig14_series(self):
+        series = fig14.run(TINY, example_counts=(1, 2))
+        assert set(series) == {t.task_id for t in tasks_for_domain("conference")}
+        assert all(len(v) == 2 for v in series.values())
+        assert "Figure 14" in fig14.render(series, (1, 2))
+
+
+class TestNoiseExtension:
+    def test_noise_series_shape(self):
+        from repro.experiments import noise
+
+        series = noise.run(TINY, task_ids=("clinic_t1",), error_rates=(0.0, 0.3))
+        assert set(series) == {"clinic_t1"}
+        clean, noisy = series["clinic_t1"]
+        assert 0.0 <= noisy <= 1.0
+        assert clean > 0.4
+        assert "error rate" in noise.render(series, (0.0, 0.3))

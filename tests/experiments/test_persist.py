@@ -1,0 +1,59 @@
+"""Tests for experiment-result persistence."""
+
+from repro.core.results import TaskResult
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.persist import (
+    results_from_json,
+    results_to_json,
+    rows_to_json,
+    series_from_json,
+    series_to_json,
+)
+from repro.experiments.table3 import AblationRow
+from repro.metrics import Score
+
+CONFIG = ExperimentConfig(n_pages=8, n_train=2, ensemble_size=30)
+
+
+class TestResultsRoundTrip:
+    def make_results(self):
+        return [
+            TaskResult("fac_t1", "faculty", "WebQA", Score(0.7, 0.8, 0.75), 1.5),
+            TaskResult("fac_t1", "faculty", "HYB", Score(0.1, 0.1, 0.1), 0.01),
+        ]
+
+    def test_roundtrip(self):
+        text = results_to_json("fig12", self.make_results(), CONFIG, "2026-06-12")
+        experiment, results = results_from_json(text)
+        assert experiment == "fig12"
+        assert results == self.make_results()
+
+    def test_config_embedded(self):
+        import json
+
+        payload = json.loads(results_to_json("fig12", [], CONFIG))
+        assert payload["config"]["n_pages"] == 8
+        assert payload["config"]["ensemble_size"] == 30
+
+
+class TestSeriesRoundTrip:
+    def test_roundtrip(self):
+        series = {"conf_t1": [0.5, 0.7], "conf_t2": [0.9, 0.95]}
+        text = series_to_json("fig14", [1, 2], series, CONFIG)
+        experiment, xs, back = series_from_json(text)
+        assert experiment == "fig14"
+        assert xs == [1, 2]
+        assert back == series
+
+
+class TestRowsSerialization:
+    def test_table3_rows(self):
+        import json
+
+        rows = [
+            AblationRow("WebQA", 1.0, 1.0),
+            AblationRow("WebQA-NoPrune", 3.6, 3.6),
+        ]
+        payload = json.loads(rows_to_json("table3", rows, CONFIG))
+        assert payload["rows"][1]["technique"] == "WebQA-NoPrune"
+        assert payload["rows"][1]["speedup_of_webqa"] == 3.6

@@ -1,0 +1,46 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentConfig
+
+
+class TestRunnerCli:
+    def test_table3_via_main(self, capsys):
+        exit_code = runner.main(
+            ["table3", "--pages", "6", "--train", "2", "--ensemble", "20"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+        assert "WebQA-NoPrune" in output
+        assert "finished in" in output
+
+    def test_noise_via_main(self, capsys):
+        exit_code = runner.main(
+            ["noise", "--pages", "6", "--train", "2", "--ensemble", "20"]
+        )
+        assert exit_code == 0
+        assert "error rate" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig99"])
+
+    def test_run_experiment_direct(self):
+        config = ExperimentConfig(n_pages=6, n_train=2, ensemble_size=20)
+        text = runner.run_experiment("table4", config)
+        assert "Table 4" in text
+        with pytest.raises(ValueError):
+            runner.run_experiment("fig99", config)
+
+    def test_all_experiments_have_handlers(self):
+        config = ExperimentConfig(n_pages=4, n_train=1, ensemble_size=5)
+        for name in runner.EXPERIMENTS:
+            # Every registered experiment must dispatch without raising a
+            # "unknown experiment" error (we don't run the slow ones here).
+            if name in ("table3", "table4", "fig13", "fig14", "noise"):
+                continue
+            text = runner.run_experiment(name, config)
+            assert isinstance(text, str) and text

@@ -1,0 +1,148 @@
+"""Tests for the HTML parser substrate."""
+
+from repro.html import Document, Element, TextNode, parse_html
+
+
+class TestBasicParsing:
+    def test_returns_document(self):
+        assert isinstance(parse_html("<p>hi</p>"), Document)
+
+    def test_simple_structure(self):
+        doc = parse_html("<html><body><p>hello</p></body></html>")
+        p = doc.find("p")
+        assert p is not None
+        assert p.text_content() == "hello"
+
+    def test_nested_elements(self):
+        doc = parse_html("<div><span>a</span><span>b</span></div>")
+        div = doc.find("div")
+        assert [c.tag for c in div.child_elements()] == ["span", "span"]
+
+    def test_attributes_lowercased(self):
+        doc = parse_html('<div ID="main" Class="a b">x</div>')
+        div = doc.find("div")
+        assert div.id == "main"
+        assert div.classes == ["a", "b"]
+
+    def test_attribute_without_value(self):
+        doc = parse_html("<input disabled>")
+        assert doc.find("input").get("disabled") == ""
+
+    def test_text_content_concatenates(self):
+        doc = parse_html("<p>a<b>b</b>c</p>")
+        assert doc.find("p").text_content() == "abc"
+
+    def test_entities_decoded(self):
+        doc = parse_html("<p>a &amp; b &lt;c&gt;</p>")
+        assert doc.find("p").text_content() == "a & b <c>"
+
+    def test_title_property(self):
+        doc = parse_html("<html><head><title> T </title></head><body></body></html>")
+        assert doc.title == "T"
+
+    def test_comment_preserved_without_text(self):
+        doc = parse_html("<p><!-- note -->x</p>")
+        assert doc.find("p").text_content() == "x"
+
+
+class TestVoidElements:
+    def test_br_takes_no_children(self):
+        doc = parse_html("<p>a<br>b</p>")
+        p = doc.find("p")
+        assert p.text_content() == "ab"
+        br = p.find("br")
+        assert br.children == []
+
+    def test_img_self_closes(self):
+        doc = parse_html('<div><img src="x.png">text</div>')
+        assert doc.find("div").text_content() == "text"
+
+    def test_explicit_self_closing_tag(self):
+        doc = parse_html("<div><hr/>after</div>")
+        assert doc.find("hr") is not None
+        assert doc.find("div").text_content() == "after"
+
+    def test_stray_void_end_tag_ignored(self):
+        doc = parse_html("<p>a</br>b</p>")
+        assert doc.find("p").text_content() == "ab"
+
+
+class TestTagSoupRecovery:
+    def test_unclosed_li_siblings(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        items = doc.find_all("li")
+        assert [i.text_content() for i in items] == ["a", "b", "c"]
+
+    def test_unclosed_p_siblings(self):
+        doc = parse_html("<p>one<p>two")
+        assert [p.text_content() for p in doc.find_all("p")] == ["one", "two"]
+
+    def test_unclosed_td_cells(self):
+        doc = parse_html("<table><tr><td>a<td>b</tr></table>")
+        assert [c.text_content() for c in doc.find_all("td")] == ["a", "b"]
+
+    def test_stray_end_tag_ignored(self):
+        doc = parse_html("<div>a</span>b</div>")
+        assert doc.find("div").text_content() == "ab"
+
+    def test_unclosed_elements_closed_at_eof(self):
+        doc = parse_html("<div><p>dangling")
+        assert doc.find("p").text_content() == "dangling"
+
+    def test_script_content_dropped(self):
+        doc = parse_html("<body><script>var x = '<p>no</p>';</script><p>yes</p></body>")
+        assert doc.body.text_content() == "yes"
+        assert doc.find_all("p")[0].text_content() == "yes"
+
+    def test_style_content_dropped(self):
+        doc = parse_html("<style>p { color: red }</style><p>shown</p>")
+        assert doc.text_content() == "shown"
+
+    def test_nested_same_tag_close(self):
+        doc = parse_html("<div>a<div>b</div>c</div>")
+        outer = doc.find("div")
+        assert outer.text_content() == "abc"
+
+
+class TestTraversal:
+    def test_find_all_document_order(self):
+        doc = parse_html("<div><p>1</p><section><p>2</p></section><p>3</p></div>")
+        assert [p.text_content() for p in doc.find_all("p")] == ["1", "2", "3"]
+
+    def test_ancestors(self):
+        doc = parse_html("<div><section><p>x</p></section></div>")
+        p = doc.find("p")
+        assert [a.tag for a in p.ancestors()][:2] == ["section", "div"]
+
+    def test_path_from_root(self):
+        doc = parse_html("<html><body><div><p>x</p></div></body></html>")
+        p = doc.find("p")
+        assert p.path_from_root()[-3:] == ["body", "div", "p"]
+
+    def test_iter_elements_includes_self(self):
+        doc = parse_html("<div></div>")
+        div = doc.find("div")
+        assert list(div.iter_elements()) == [div]
+
+    def test_child_elements_skips_text(self):
+        doc = parse_html("<div>text<span>a</span>more</div>")
+        div = doc.find("div")
+        assert len(div.child_elements()) == 1
+        assert isinstance(div.children[0], TextNode)
+
+    def test_depth(self):
+        doc = parse_html("<html><body><p>x</p></body></html>")
+        assert doc.find("p").depth() == 3  # document > html > body > p
+
+
+class TestElementModel:
+    def test_append_sets_parent(self):
+        parent = Element("div")
+        child = Element("p")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_get_case_insensitive(self):
+        e = Element("a", {"href": "/x"})
+        assert e.get("HREF") == "/x"
+        assert e.get("missing", "d") == "d"

@@ -1,0 +1,65 @@
+"""Robustness: the HTML→tree pipeline never crashes on arbitrary input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import parse_html
+from repro.webtree import page_from_html
+
+# Text biased toward markup-looking content.
+markupish = st.text(
+    alphabet=st.sampled_from(list("<>/=\"' abcdefghijklmnop123&;!-")),
+    max_size=200,
+)
+
+
+class TestParserRobustness:
+    @given(markupish)
+    @settings(max_examples=150, deadline=None)
+    def test_parse_never_raises(self, text):
+        doc = parse_html(text)
+        assert doc is not None
+        # Traversal over the result is also safe.
+        for element in doc.iter_elements():
+            element.text_content()
+
+    @given(markupish)
+    @settings(max_examples=150, deadline=None)
+    def test_tree_build_never_raises(self, text):
+        page = page_from_html(text)
+        assert page.size() >= 1
+        ids = [n.node_id for n in page.nodes()]
+        assert len(set(ids)) == len(ids)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_unicode_never_raises(self, text):
+        page = page_from_html(text)
+        assert page.root is not None
+
+
+class TestDegenerateDocuments:
+    def test_empty_document(self):
+        page = page_from_html("")
+        assert page.root.text == ""
+        assert page.root.is_leaf()
+
+    def test_only_comments(self):
+        page = page_from_html("<!-- a --><!-- b -->")
+        assert page.root.is_leaf()
+
+    def test_deeply_nested_divs(self):
+        html = "<div>" * 200 + "deep" + "</div>" * 200
+        page = page_from_html(html)
+        assert "deep" in page.root.subtree_text()
+
+    def test_huge_flat_list(self):
+        html = "<h1>T</h1><ul>" + "".join(
+            f"<li>item {i}</li>" for i in range(500)
+        ) + "</ul>"
+        page = page_from_html(html)
+        assert page.size() >= 501
+
+    def test_mismatched_everything(self):
+        page = page_from_html("</div><p>a</span><b>b</p></em>c")
+        assert "a" in page.root.subtree_text()

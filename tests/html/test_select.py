@@ -1,0 +1,73 @@
+"""Tests for structural path selection over the DOM."""
+
+from repro.html import (
+    PathStep,
+    element_path,
+    generalize_paths,
+    match_path,
+    parse_html,
+    tag_path,
+)
+
+
+class TestElementPath:
+    def test_indexed_path(self):
+        doc = parse_html("<ul><li>a</li><li>b</li></ul>")
+        second = doc.find_all("li")[1]
+        assert element_path(second) == (PathStep("ul", 0), PathStep("li", 1))
+
+    def test_roundtrip_through_match(self):
+        doc = parse_html("<div><p>a</p><p>b</p><span>c</span></div>")
+        for element in doc.iter_elements():
+            if element.tag == "#document":
+                continue
+            found = match_path(doc, element_path(element))
+            assert found == [element]
+
+    def test_tag_path(self):
+        doc = parse_html("<div><p>x</p></div>")
+        assert tag_path(doc.find("p")) == ("div", "p")
+
+    def test_str_form(self):
+        assert str(PathStep("li", 2)) == "li[2]"
+        assert str(PathStep("li")) == "li"
+
+
+class TestMatchPath:
+    def test_wildcard_index_matches_all(self):
+        doc = parse_html("<ul><li>a</li><li>b</li></ul>")
+        found = match_path(doc, (PathStep("ul", 0), PathStep("li", None)))
+        assert [e.text_content() for e in found] == ["a", "b"]
+
+    def test_out_of_range_index(self):
+        doc = parse_html("<ul><li>a</li></ul>")
+        assert match_path(doc, (PathStep("ul", 0), PathStep("li", 5))) == []
+
+    def test_wrong_tag(self):
+        doc = parse_html("<ul><li>a</li></ul>")
+        assert match_path(doc, (PathStep("ol", 0),)) == []
+
+
+class TestGeneralizePaths:
+    def test_identical_paths_stay_indexed(self):
+        a = (PathStep("ul", 0), PathStep("li", 1))
+        assert generalize_paths([a, a]) == a
+
+    def test_differing_index_becomes_wildcard(self):
+        a = (PathStep("ul", 0), PathStep("li", 0))
+        b = (PathStep("ul", 0), PathStep("li", 3))
+        merged = generalize_paths([a, b])
+        assert merged == (PathStep("ul", 0), PathStep("li", None))
+
+    def test_different_lengths_fail(self):
+        a = (PathStep("ul", 0),)
+        b = (PathStep("ul", 0), PathStep("li", 0))
+        assert generalize_paths([a, b]) is None
+
+    def test_different_tags_fail(self):
+        a = (PathStep("ul", 0),)
+        b = (PathStep("ol", 0),)
+        assert generalize_paths([a, b]) is None
+
+    def test_empty_input(self):
+        assert generalize_paths([]) is None

@@ -1,0 +1,43 @@
+"""Tests for text normalization helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import collapse_whitespace, is_blank, normalize_join
+
+
+class TestCollapseWhitespace:
+    def test_basic(self):
+        assert collapse_whitespace("  a\n\t b  ") == "a b"
+
+    def test_idempotent(self):
+        once = collapse_whitespace(" x   y ")
+        assert collapse_whitespace(once) == once
+
+    def test_empty(self):
+        assert collapse_whitespace("") == ""
+        assert collapse_whitespace("   \n ") == ""
+
+    @given(st.text(max_size=80))
+    def test_no_double_spaces(self, text):
+        result = collapse_whitespace(text)
+        assert "  " not in result
+        assert result == result.strip()
+
+    @given(st.text(max_size=80))
+    def test_preserves_nonspace_characters(self, text):
+        result = collapse_whitespace(text)
+        assert [c for c in result if not c.isspace()] == [
+            c for c in text if not c.isspace()
+        ]
+
+
+class TestHelpers:
+    def test_is_blank(self):
+        assert is_blank("")
+        assert is_blank(" \t\n")
+        assert not is_blank(" x ")
+
+    def test_normalize_join_skips_blanks(self):
+        assert normalize_join(["a", "", "b"]) == "a b"
+        assert normalize_join([]) == ""

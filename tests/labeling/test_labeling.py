@@ -1,0 +1,83 @@
+"""Tests for clustering-based label suggestion (Section 7)."""
+
+import numpy as np
+
+from repro.dataset import build_domain_corpus
+from repro.labeling import (
+    MAX_LABEL_QUERIES,
+    farthest_point_seeds,
+    feature_matrix,
+    k_medoids,
+    page_features,
+    pairwise_distances,
+    suggest_pages_to_label,
+)
+from repro.nlp import NlpModels
+
+MODELS = NlpModels()
+
+
+class TestClustering:
+    def two_blobs(self):
+        return np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0]])
+
+    def test_pairwise_distances_symmetric(self):
+        d = pairwise_distances(self.two_blobs())
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_farthest_point_spreads(self):
+        d = pairwise_distances(self.two_blobs())
+        seeds = farthest_point_seeds(d, 2)
+        # One seed per blob.
+        assert (seeds[0] < 3) != (seeds[1] < 3)
+
+    def test_k_medoids_separates_blobs(self):
+        medoids, assignment = k_medoids(self.two_blobs(), 2)
+        assert len(medoids) == 2
+        assert len(set(assignment[:3])) == 1
+        assert len(set(assignment[3:])) == 1
+        assert assignment[0] != assignment[3]
+
+    def test_k_larger_than_n(self):
+        points = np.array([[0.0], [1.0]])
+        medoids, _ = k_medoids(points, 5)
+        assert len(medoids) == 2
+
+
+class TestFeatures:
+    def test_feature_vector_shape_consistent(self):
+        pages = [cp.page for cp in build_domain_corpus("faculty", n_pages=3)]
+        keywords = ("PhD", "students")
+        lengths = {len(page_features(p, MODELS, keywords)) for p in pages}
+        assert len(lengths) == 1
+
+    def test_feature_matrix_rows(self):
+        pages = [cp.page for cp in build_domain_corpus("clinic", n_pages=4)]
+        matrix = feature_matrix(pages, MODELS, ("doctors",))
+        assert matrix.shape[0] == 4
+
+
+class TestSuggest:
+    def test_budget_respected(self):
+        pages = [cp.page for cp in build_domain_corpus("conference", n_pages=8)]
+        suggested = suggest_pages_to_label(pages, MODELS, ("PC",), budget=3)
+        assert 1 <= len(suggested) <= 3
+        assert len(set(suggested)) == len(suggested)
+        assert all(0 <= i < len(pages) for i in suggested)
+
+    def test_default_budget_is_papers_five(self):
+        assert MAX_LABEL_QUERIES == 5
+
+    def test_empty_pages(self):
+        assert suggest_pages_to_label([], MODELS, ("x",)) == []
+
+    def test_single_page(self):
+        pages = [cp.page for cp in build_domain_corpus("class", n_pages=1)]
+        assert suggest_pages_to_label(pages, MODELS, ("exam",), budget=5) == [0]
+
+    def test_deterministic(self):
+        pages = [cp.page for cp in build_domain_corpus("faculty", n_pages=10)]
+        a = suggest_pages_to_label(pages, MODELS, ("PhD",), budget=4)
+        b = suggest_pages_to_label(pages, MODELS, ("PhD",), budget=4)
+        assert a == b

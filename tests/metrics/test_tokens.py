@@ -1,0 +1,108 @@
+"""Tests for the token-level F1 metric, including hypothesis properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Score,
+    answer_tokens,
+    mean,
+    mean_score,
+    overlap,
+    score_examples,
+    stddev,
+    token_f1,
+    token_prf,
+    token_recall,
+    variance,
+)
+
+answers = st.lists(st.text(alphabet="abcde ", max_size=12), max_size=5)
+
+
+class TestTokenPrf:
+    def test_exact_match(self):
+        assert token_prf(["Bob Smith"], ["Bob Smith"]) == (1.0, 1.0, 1.0)
+
+    def test_empty_vs_empty_is_perfect(self):
+        assert token_prf([], []) == (1.0, 1.0, 1.0)
+
+    def test_empty_prediction(self):
+        p, r, f1 = token_prf([], ["gold"])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_spurious_prediction(self):
+        p, r, f1 = token_prf(["noise"], [])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_partial_overlap(self):
+        p, r, f1 = token_prf(["Bob Smith"], ["Bob Smith", "Ann"])
+        assert p == 1.0
+        assert abs(r - 2 / 3) < 1e-9
+        assert abs(f1 - 0.8) < 1e-9
+
+    def test_case_insensitive(self):
+        assert token_f1(["BOB"], ["bob"]) == 1.0
+
+    def test_multiset_semantics(self):
+        # Predicting a token twice when gold has it once costs precision.
+        p, _, _ = token_prf(["a a"], ["a"])
+        assert p == 0.5
+
+    def test_punctuation_ignored(self):
+        assert token_f1(["smith,"], ["smith"]) == 1.0
+
+    def test_recall_component(self):
+        assert token_recall(["a"], ["a b"]) == 0.5
+
+
+class TestAggregation:
+    def test_mean_score(self):
+        s = mean_score([Score(1, 1, 1), Score(0, 0, 0)])
+        assert (s.precision, s.recall, s.f1) == (0.5, 0.5, 0.5)
+
+    def test_mean_score_empty(self):
+        assert mean_score([]).f1 == 0.0
+
+    def test_score_examples(self):
+        s = score_examples([(["a"], ["a"]), ([], ["b"])])
+        assert s.f1 == 0.5
+
+    def test_variance_and_stddev(self):
+        assert variance([1.0, 1.0]) == 0.0
+        assert variance([0.0, 2.0]) == 1.0
+        assert stddev([0.0, 2.0]) == 1.0
+        assert variance([5.0]) == 0.0
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([1.0, 3.0]) == 2.0
+
+
+class TestMetricProperties:
+    @given(answers, answers)
+    def test_prf_in_range(self, predicted, gold):
+        p, r, f1 = token_prf(predicted, gold)
+        assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f1 <= 1.0
+
+    @given(answers)
+    def test_self_match_perfect(self, xs):
+        assert token_prf(xs, xs) == (1.0, 1.0, 1.0)
+
+    @given(answers, answers)
+    def test_symmetry_swaps_p_and_r(self, a, b):
+        p1, r1, _ = token_prf(a, b)
+        p2, r2, _ = token_prf(b, a)
+        assert abs(p1 - r2) < 1e-12 and abs(r1 - p2) < 1e-12
+
+    @given(answers, answers)
+    def test_f1_is_harmonic_mean(self, a, b):
+        p, r, f1 = token_prf(a, b)
+        if p + r > 0:
+            assert abs(f1 - 2 * p * r / (p + r)) < 1e-12
+
+    @given(answers, answers)
+    def test_overlap_bounded(self, a, b):
+        inter = overlap(answer_tokens(a), answer_tokens(b))
+        assert inter <= sum(answer_tokens(a).values())
+        assert inter <= sum(answer_tokens(b).values())

@@ -1,0 +1,86 @@
+"""Tests for the hashed-embedding keyword matcher."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import EMBEDDING_DIM, KeywordMatcher, word_vector
+from repro.nlp.vocab import IdfModel
+
+
+class TestWordVectors:
+    def test_unit_norm(self):
+        assert abs(np.linalg.norm(word_vector("students")) - 1.0) < 1e-9
+
+    def test_deterministic(self):
+        assert np.array_equal(word_vector("alpha"), word_vector("alpha"))
+
+    def test_dimension(self):
+        assert word_vector("x").shape == (EMBEDDING_DIM,)
+
+    def test_morphological_similarity(self):
+        a, b = word_vector("publication"), word_vector("publications")
+        unrelated = word_vector("zebra")
+        assert float(a @ b) > float(a @ unrelated)
+
+
+class TestSimilarity:
+    def setup_method(self):
+        self.matcher = KeywordMatcher()
+
+    def test_identical_is_one(self):
+        assert self.matcher.similarity("PhD Students", "phd students") == 1.0
+
+    def test_lexicon_synonyms_high(self):
+        # The paper's motivating keyword set: "PC", "Program Committee",
+        # "Service" — the service section must match via the last keyword.
+        assert self.matcher.best_similarity(
+            "Professional Services", ("PC", "Program Committee", "Service")
+        ) >= 0.85
+        assert self.matcher.similarity("Advisees", "PhD Students") >= 0.85
+
+    def test_substring_containment_high(self):
+        assert self.matcher.similarity("List of current PhD students", "PhD students") >= 0.85
+
+    def test_unrelated_low(self):
+        related = self.matcher.similarity("Program Committee", "PC")
+        unrelated = self.matcher.similarity("Recent Publications", "PC")
+        assert related > unrelated
+
+    def test_empty_text(self):
+        assert self.matcher.similarity("", "keyword") == 0.0
+        assert self.matcher.similarity("text", "") == 0.0
+
+    def test_best_similarity_over_keywords(self):
+        best = self.matcher.best_similarity(
+            "Teaching Assistants", ("Instructors", "TAs")
+        )
+        assert best >= 0.85
+
+    def test_best_similarity_empty_keywords(self):
+        assert self.matcher.best_similarity("anything", ()) == 0.0
+
+    def test_match_keyword_threshold(self):
+        assert self.matcher.match_keyword("Our Services", ("Our Services",), 0.99)
+        assert not self.matcher.match_keyword("Zebra Habitat", ("Our Services",), 0.99)
+
+    def test_idf_weighting_changes_embedding(self):
+        plain = KeywordMatcher()
+        weighted = KeywordMatcher(IdfModel.fit(["the cat", "the dog", "the bird"]))
+        assert plain.similarity("the cat", "cat") > 0
+        assert weighted.similarity("the cat", "cat") > 0
+
+
+class TestSimilarityProperties:
+    matcher = KeywordMatcher()
+
+    @given(st.text(max_size=60), st.text(max_size=30))
+    def test_range(self, text, keyword):
+        score = self.matcher.similarity(text, keyword)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_self_similarity_maximal(self, text):
+        from repro.nlp.tokenize import words
+        if words(text):
+            assert self.matcher.similarity(text, text) == 1.0

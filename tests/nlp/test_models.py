@@ -1,0 +1,79 @@
+"""Tests for the NlpModels facade, lexicon and vocab."""
+
+from repro.nlp import DEFAULT_LEXICON, IdfModel, Lexicon, NlpModels
+from repro.nlp.vocab import STOPWORDS
+
+
+class TestLexicon:
+    def test_synonyms_include_self(self):
+        assert "pc" in DEFAULT_LEXICON.synonyms("PC")
+
+    def test_synonyms_symmetric(self):
+        assert DEFAULT_LEXICON.same_concept("PC", "program committee")
+        assert DEFAULT_LEXICON.same_concept("program committee", "PC")
+
+    def test_unknown_phrase_is_singleton(self):
+        assert DEFAULT_LEXICON.synonyms("xylophone repair") == {"xylophone repair"}
+
+    def test_related_words(self):
+        related = DEFAULT_LEXICON.related_words("TAs")
+        assert "teaching" in related and "assistants" in related
+
+    def test_custom_groups(self):
+        lexicon = Lexicon((("alpha", "beta"),))
+        assert lexicon.same_concept("alpha", "beta")
+        assert not lexicon.same_concept("alpha", "gamma")
+
+
+class TestIdfModel:
+    def test_stopwords_near_zero(self):
+        model = IdfModel.empty()
+        assert model.idf("the") < 0.1
+        assert all(IdfModel.empty().idf(w) < 0.1 for w in list(STOPWORDS)[:5])
+
+    def test_rare_words_weigh_more(self):
+        model = IdfModel.fit(["common word here", "common word there", "rare"])
+        assert model.idf("rare") > model.idf("common")
+
+    def test_unseen_word_weighted_by_length(self):
+        model = IdfModel.fit(["a b c"])
+        assert model.idf("extraordinarily") > model.idf("b")
+
+    def test_weight_tokens(self):
+        model = IdfModel.empty()
+        weights = model.weight_tokens(["the", "student"])
+        assert len(weights) == 2
+        assert weights[1] > weights[0]
+
+
+class TestNlpModels:
+    def setup_method(self):
+        self.models = NlpModels()
+
+    def test_match_keyword(self):
+        assert self.models.match_keyword("Our Services", ("Our Services",), 0.9)
+        assert not self.models.match_keyword("zebra", ("Our Services",), 0.9)
+
+    def test_keyword_similarity_cached(self):
+        first = self.models.keyword_similarity("text", ("kw",))
+        second = self.models.keyword_similarity("text", ("kw",))
+        assert first == second
+
+    def test_has_entity_delegates(self):
+        assert self.models.has_entity("Robert Smith", "PERSON")
+
+    def test_has_answer_delegates(self):
+        assert self.models.has_answer(
+            "PhD students: Robert Smith", "Who are the PhD students?"
+        )
+
+    def test_entity_substrings(self):
+        found = self.models.entity_substrings("Robert Smith, Mary Anderson", "PERSON")
+        assert found == ["Robert Smith", "Mary Anderson"]
+
+    def test_answer_substrings_empty_question(self):
+        assert self.models.answer_substrings("some text", "", k=1) == []
+
+    def test_for_corpus_builds_idf(self):
+        models = NlpModels.for_corpus(["doc one text", "doc two text"])
+        assert models.idf.idf("text") < models.idf.idf("unseen_rare_word")

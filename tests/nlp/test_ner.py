@@ -1,0 +1,123 @@
+"""Tests for the rule-and-gazetteer NER model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import ENTITY_LABELS, entity_substrings, extract_entities, has_entity
+
+
+def labels_of(text, label=None):
+    return [(s.text, s.label) for s in extract_entities(text, label)]
+
+
+class TestPerson:
+    def test_known_name(self):
+        assert ("Robert Smith", "PERSON") in labels_of("Robert Smith", "PERSON")
+
+    def test_honorific_name(self):
+        found = labels_of("Dr. Anouk Vantassel visited", "PERSON")
+        assert any("Anouk" in t for t, _ in found)
+
+    def test_initial_pattern(self):
+        assert labels_of("J. Doe wrote it", "PERSON")
+
+    def test_lowercase_not_person(self):
+        assert not labels_of("robert smith", "PERSON")
+
+    def test_unknown_pair_missed(self):
+        # Both words absent from gazetteers and no initials: the imperfect
+        # model misses it (the paper's premise that neural modules err).
+        assert not labels_of("Zyxxo Qwerlop", "PERSON")
+
+    def test_university_not_person(self):
+        found = labels_of("University of Texas", "PERSON")
+        assert not found
+
+    def test_multiple_people(self):
+        found = labels_of("Mary Anderson and Robert Smith", "PERSON")
+        assert len(found) == 2
+
+
+class TestOrg:
+    def test_university_of_pattern(self):
+        found = labels_of("the University of Texas at Austin", "ORG")
+        assert found
+        assert all(t.startswith("University of Texas") for t, _ in found)
+
+    def test_suffix_pattern(self):
+        assert any(
+            "Clinic" in t for t, _ in labels_of("Lakewood Family Clinic", "ORG")
+        )
+
+    def test_conference_acronym_not_org(self):
+        # The paper's motivating failure: conference names unrecognized.
+        assert not labels_of("PLDI 2021 (PC)", "ORG")
+
+    def test_plain_words_not_org(self):
+        assert not labels_of("we provide care", "ORG")
+
+
+class TestDateTime:
+    def test_full_date(self):
+        assert ("November 16, 2020", "DATE") in labels_of(
+            "Deadline: November 16, 2020", "DATE"
+        )
+
+    def test_year_only(self):
+        assert ("2012", "DATE") in labels_of("published in 2012", "DATE")
+
+    def test_slash_date(self):
+        assert labels_of("on 11/16/2020", "DATE")
+
+    def test_time_range(self):
+        found = labels_of("MWF 10:00 am - 10:50 am", "TIME")
+        assert found
+
+    def test_simple_time(self):
+        assert labels_of("at 3 pm", "TIME")
+
+
+class TestOther:
+    def test_money(self):
+        assert ("$1,200", "MONEY") in labels_of("costs $1,200 total", "MONEY")
+
+    def test_loc_city(self):
+        assert ("Austin", "LOC") in labels_of("held in Austin.", "LOC")
+
+    def test_loc_address(self):
+        found = labels_of("4217 Maple Street, Austin, TX", "LOC")
+        assert any("Maple Street" in t for t, _ in found)
+
+    def test_cardinal_excludes_dates(self):
+        found = labels_of("3 exams in 2020", "CARDINAL")
+        assert ("3", "CARDINAL") in found
+        assert ("2020", "CARDINAL") not in found
+
+    def test_has_entity(self):
+        assert has_entity("Robert Smith", "PERSON")
+        assert not has_entity("nothing here", "PERSON")
+
+    def test_entity_substrings_topk(self):
+        text = "Mary Anderson, Robert Smith, James Brown"
+        assert len(entity_substrings(text, "PERSON", k=2)) == 2
+        assert len(entity_substrings(text, "PERSON")) == 3
+
+
+class TestSpanInvariants:
+    @given(st.text(max_size=150))
+    def test_never_raises_and_spans_align(self, text):
+        for span in extract_entities(text):
+            assert span.label in ENTITY_LABELS
+            assert text[span.start : span.end] == span.text
+
+    @given(st.text(max_size=150))
+    def test_spans_sorted(self, text):
+        spans = extract_entities(text)
+        starts = [s.start for s in spans]
+        assert starts == sorted(starts)
+
+    @given(st.text(max_size=100), st.sampled_from(ENTITY_LABELS))
+    def test_label_filter_consistent(self, text, label):
+        filtered = extract_entities(text, label)
+        assert all(s.label == label for s in filtered)
+        assert has_entity(text, label) == bool(filtered)

@@ -1,0 +1,80 @@
+"""Tests for the failure-injection wrapper around the neural modules."""
+
+import pytest
+
+from repro.nlp import NlpModels
+from repro.nlp.noise import NoisyNlpModels
+
+BASE = NlpModels()
+
+
+class TestNoiseWrapper:
+    def test_zero_noise_is_transparent(self):
+        noisy = NoisyNlpModels(BASE, error_rate=0.0)
+        assert noisy.has_entity("Robert Smith", "PERSON") == BASE.has_entity(
+            "Robert Smith", "PERSON"
+        )
+        assert noisy.match_keyword("Our Services", ("Our Services",), 0.9)
+
+    def test_full_noise_inverts(self):
+        noisy = NoisyNlpModels(BASE, error_rate=1.0)
+        assert noisy.has_entity("Robert Smith", "PERSON") != BASE.has_entity(
+            "Robert Smith", "PERSON"
+        )
+
+    def test_deterministic_per_input(self):
+        noisy = NoisyNlpModels(BASE, error_rate=0.5, seed=3)
+        first = [noisy.has_entity(f"Person {i}", "PERSON") for i in range(20)]
+        second = [noisy.has_entity(f"Person {i}", "PERSON") for i in range(20)]
+        assert first == second
+
+    def test_seeds_differ(self):
+        inputs = [f"text number {i} with Robert Smith" for i in range(40)]
+        a = [NoisyNlpModels(BASE, 0.5, seed=1).has_entity(t, "PERSON") for t in inputs]
+        b = [NoisyNlpModels(BASE, 0.5, seed=2).has_entity(t, "PERSON") for t in inputs]
+        assert a != b
+
+    def test_error_rate_roughly_respected(self):
+        noisy = NoisyNlpModels(BASE, error_rate=0.3, seed=0)
+        inputs = [f"sample input {i}" for i in range(300)]
+        flips = sum(
+            1
+            for t in inputs
+            if noisy.has_entity(t, "PERSON") != BASE.has_entity(t, "PERSON")
+        )
+        assert 0.15 < flips / len(inputs) < 0.45
+
+    def test_span_generators_unaffected(self):
+        noisy = NoisyNlpModels(BASE, error_rate=1.0)
+        text = "Robert Smith, Mary Anderson"
+        assert noisy.entity_substrings(text, "PERSON") == BASE.entity_substrings(
+            text, "PERSON"
+        )
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyNlpModels(BASE, error_rate=1.5)
+
+
+class TestSynthesisUnderNoise:
+    """Failure injection: optimal synthesis degrades gracefully."""
+
+    def _fit_f1(self, models) -> float:
+        from repro.synthesis import LabeledExample, synthesize
+        from tests.synthesis.conftest import (
+            GOLD_A, GOLD_B, KEYWORDS, PAGE_A, PAGE_B, QUESTION, small_config,
+        )
+
+        examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        return synthesize(examples, QUESTION, KEYWORDS, models, small_config()).f1
+
+    def test_mild_noise_still_synthesizes(self):
+        noisy = NoisyNlpModels(NlpModels(), error_rate=0.05, seed=1)
+        f1 = self._fit_f1(noisy)
+        # The search optimizes F1 *under the noisy models*; some program
+        # with substantial training F1 must still exist.
+        assert f1 > 0.5
+
+    def test_noise_monotonically_available(self):
+        clean = self._fit_f1(NlpModels())
+        assert clean == 1.0

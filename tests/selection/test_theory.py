@@ -1,0 +1,84 @@
+"""Empirical checks of the Section 6 / Appendix B derivation.
+
+The implementation evaluates the transductive objective by grouping
+ensemble members with identical outputs (a multiplicity-weighted sum).
+Theorem B.1 says this equals the naive expectation over the label
+distribution — i.e. the plain mean of pairwise losses over the sampled
+ensemble.  These tests verify the algebra on real synthesized ensembles.
+"""
+
+from repro.nlp import NlpModels
+from repro.selection import output_loss, select_program
+from repro.selection.transductive import run_on_pages
+from repro.synthesis import LabeledExample, synthesize
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+MODELS = NlpModels()
+
+
+def synthesis_result():
+    examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+    return synthesize(examples, QUESTION, KEYWORDS, MODELS, small_config())
+
+
+class TestTheoremB1:
+    def test_grouped_loss_equals_naive_mean(self):
+        result = synthesis_result()
+        pages = [PAGE_C]
+        ensemble_size = 40
+        outcome = select_program(
+            result, pages, MODELS, ensemble_size=ensemble_size, seed=5
+        )
+        # Naive Eq. 10: mean over the ensemble of L(π*; I, O_j).
+        ensemble = result.sample_many(ensemble_size, seed=5)
+        chosen_outputs = run_on_pages(
+            outcome.program, pages, QUESTION, KEYWORDS, MODELS
+        )
+        naive = sum(
+            output_loss(
+                chosen_outputs,
+                run_on_pages(member, pages, QUESTION, KEYWORDS, MODELS),
+            )
+            for member in ensemble
+        ) / ensemble_size
+        assert abs(naive - outcome.loss) < 1e-9
+
+    def test_chosen_program_minimizes_objective(self):
+        result = synthesis_result()
+        pages = [PAGE_C]
+        ensemble_size = 30
+        outcome = select_program(
+            result, pages, MODELS, ensemble_size=ensemble_size, seed=2
+        )
+        ensemble = result.sample_many(ensemble_size, seed=2)
+        member_outputs = [
+            run_on_pages(m, pages, QUESTION, KEYWORDS, MODELS) for m in ensemble
+        ]
+
+        def objective(outputs) -> float:
+            return sum(output_loss(outputs, o) for o in member_outputs) / len(
+                member_outputs
+            )
+
+        best = min(objective(o) for o in member_outputs)
+        assert abs(objective(
+            run_on_pages(outcome.program, pages, QUESTION, KEYWORDS, MODELS)
+        ) - best) < 1e-9
+
+    def test_degenerate_ensemble_loss_zero(self):
+        # If every sampled program behaves identically on the unlabeled
+        # pages, the consensus loss is exactly zero.
+        result = synthesis_result()
+        outcome = select_program(result, [], MODELS, ensemble_size=10, seed=0)
+        assert outcome.loss == 0.0
+        assert outcome.distinct_outputs == 1

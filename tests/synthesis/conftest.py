@@ -1,0 +1,85 @@
+"""Shared fixtures for synthesis tests: a tiny two-page task."""
+
+import pytest
+
+from repro.dsl.productions import ProductionConfig
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample, SynthesisConfig, TaskContexts
+from repro.webtree import page_from_html
+
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+PAGE_A = page_from_html(
+    """
+    <h1>Jane Doe</h1><p>university | janedoe at university.edu</p>
+    <h2>Students</h2><p><b>PhD students</b></p>
+    <ul><li>Robert Smith</li><li>Mary Anderson</li></ul>
+    <h2>Service</h2>
+    <ul><li>PLDI 2021 (PC)</li><li>CAV 2020 (PC)</li></ul>
+    """,
+    url="a",
+)
+PAGE_B = page_from_html(
+    """
+    <h1>John Doe</h1>
+    <h2>Research</h2><p>My research is in programming languages.</p>
+    <h2>Current Students</h2>
+    <ul><li>Sarah Brown</li><li>Wei Zhang</li></ul>
+    <h2>Teaching</h2><p>CS 101: Intro. Fall 2020.</p>
+    """,
+    url="b",
+)
+PAGE_C = page_from_html(
+    """
+    <h1>Ann Lee</h1>
+    <h2>News</h2><p>Two papers accepted.</p>
+    <h2>Advisees</h2><p>Mark Young, Laura Hill</p>
+    """,
+    url="c",
+)
+
+GOLD_A = ("Robert Smith", "Mary Anderson")
+GOLD_B = ("Sarah Brown", "Wei Zhang")
+GOLD_C = ("Mark Young", "Laura Hill")
+
+
+@pytest.fixture(scope="session")
+def models() -> NlpModels:
+    return NlpModels()
+
+
+@pytest.fixture(scope="session")
+def contexts(models) -> TaskContexts:
+    return TaskContexts(QUESTION, KEYWORDS, models)
+
+
+@pytest.fixture()
+def examples() -> list[LabeledExample]:
+    return [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+
+
+@pytest.fixture()
+def three_examples() -> list[LabeledExample]:
+    return [
+        LabeledExample(PAGE_A, GOLD_A),
+        LabeledExample(PAGE_B, GOLD_B),
+        LabeledExample(PAGE_C, GOLD_C),
+    ]
+
+
+def small_config(**overrides) -> SynthesisConfig:
+    """A compact search space for fast, exhaustive-checkable tests."""
+    defaults = dict(
+        productions=ProductionConfig(
+            keyword_thresholds=(0.7,),
+            entity_labels=("PERSON", "ORG", "DATE"),
+            use_negation=False,
+            use_subtree_text=False,
+        ),
+        guard_depth=3,
+        extractor_depth=3,
+        max_branches=2,
+    )
+    defaults.update(overrides)
+    return SynthesisConfig(**defaults)

@@ -1,0 +1,74 @@
+"""Tests for branch synthesis (Figure 8)."""
+
+from repro.dsl import ast
+from repro.synthesis import LabeledExample, synthesize_branch
+from repro.synthesis.branch import BranchSpace
+
+from tests.synthesis.conftest import GOLD_A, GOLD_B, PAGE_A, PAGE_B, small_config
+
+
+class TestSynthesizeBranch:
+    def test_perfect_branch_single_example(self, contexts):
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, small_config())
+        assert space.f1 == 1.0
+        assert space.count() >= 1
+
+    def test_all_pairs_classify_and_score(self, contexts):
+        from repro.metrics import score_examples
+        from repro.synthesis import guard_classifies
+
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        neg = []
+        space = synthesize_branch(pos, neg, contexts, small_config())
+        for guard, extractor in space.pairs()[:20]:
+            assert guard_classifies(guard, pos, neg, contexts)
+            ctx = contexts.ctx(PAGE_A)
+            _, nodes = ctx.eval_guard(guard)
+            predicted = ctx.eval_extractor(extractor, nodes)
+            assert abs(score_examples([(predicted, GOLD_A)]).f1 - space.f1) < 1e-9
+
+    def test_two_example_branch(self, contexts):
+        pos = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        space = synthesize_branch(pos, [], contexts, small_config())
+        assert space.f1 == 1.0
+
+    def test_counters_populated(self, contexts):
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, small_config())
+        assert space.guards_tried > 0
+        assert space.extractors_evaluated > 0
+
+    def test_decomposed_equals_joint_f1(self, contexts):
+        pos = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        decomposed = synthesize_branch(pos, [], contexts, small_config())
+        joint = synthesize_branch(
+            pos, [], contexts, small_config(decompose=False)
+        )
+        # The NoDecomp ablation must find the same optimum (Table 3 note).
+        assert abs(decomposed.f1 - joint.f1) < 1e-9
+
+    def test_pruned_equals_unpruned_f1(self, contexts):
+        pos = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        pruned = synthesize_branch(pos, [], contexts, small_config())
+        unpruned = synthesize_branch(
+            pos, [], contexts, small_config(prune=False)
+        )
+        assert abs(pruned.f1 - unpruned.f1) < 1e-9
+
+    def test_empty_space_when_nothing_matches(self, contexts):
+        pos = [LabeledExample(PAGE_A, ("zzzz unfindable",))]
+        space = synthesize_branch(pos, [], contexts, small_config())
+        assert space.count() == 0
+        assert space.f1 == 0.0
+
+
+class TestBranchSpace:
+    def test_count_and_pairs(self):
+        guard = ast.Sat(ast.GetRoot())
+        space = BranchSpace(
+            options=((guard, (ast.ExtractContent(), ast.Split(ast.ExtractContent(), ","))),),
+            f1=1.0,
+        )
+        assert space.count() == 2
+        assert len(space.pairs()) == 2

@@ -1,0 +1,88 @@
+"""Tests for optimal extractor synthesis (Figure 9)."""
+
+from repro.dsl import ast
+from repro.synthesis import LabeledExample
+from repro.synthesis.extractors import propagate_examples, synthesize_extractors
+
+from tests.synthesis.conftest import GOLD_A, GOLD_B, PAGE_A, PAGE_B, small_config
+
+
+def propagated_for(contexts, pairs, locator=None):
+    locator = locator or ast.get_leaves(ast.GetRoot())
+    examples = [LabeledExample(p, g) for p, g in pairs]
+    return propagate_examples(locator, examples, contexts)
+
+
+class TestSynthesizeExtractors:
+    def test_finds_perfect_extractor_on_clean_task(self, contexts):
+        # Locate the student list items directly; ExtractContent is optimal.
+        locator = ast.GetDescendants(ast.GetRoot(), ast.IsElem())
+        propagated, pages = propagated_for(
+            contexts, [(PAGE_A, GOLD_A + ("PLDI 2021 (PC)", "CAV 2020 (PC)"))],
+            locator,
+        )
+        result = synthesize_extractors(
+            propagated, pages, contexts, small_config(), 0.0
+        )
+        assert result.f1 == 1.0
+        assert ast.ExtractContent() in result.extractors
+
+    def test_filter_needed_for_person_subset(self, contexts):
+        # Same located nodes, but gold is only the people: the optimum
+        # must involve filtering, and must reach F1 1.0.
+        locator = ast.GetDescendants(ast.GetRoot(), ast.IsElem())
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)], locator)
+        result = synthesize_extractors(
+            propagated, pages, contexts, small_config(), 0.0
+        )
+        assert result.f1 == 1.0
+        assert ast.ExtractContent() not in result.extractors
+
+    def test_lower_bound_filters_results(self, contexts):
+        locator = ast.GetRoot()  # root text has no gold tokens
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)], locator)
+        result = synthesize_extractors(
+            propagated, pages, contexts, small_config(), opt=0.99
+        )
+        assert result.extractors == ()
+        assert result.f1 == 0.99  # unchanged lower bound
+
+    def test_all_results_share_f1(self, contexts):
+        from repro.synthesis.f1 import extractor_score
+
+        propagated, pages = propagated_for(
+            contexts, [(PAGE_A, GOLD_A), (PAGE_B, GOLD_B)]
+        )
+        config = small_config()
+        result = synthesize_extractors(propagated, pages, contexts, config, 0.0)
+        for extractor in result.extractors:
+            score = extractor_score(extractor, propagated, contexts, pages)
+            assert abs(score.f1 - result.f1) <= config.f1_tolerance
+
+    def test_depth_limit_respected(self, contexts):
+        from repro.dsl import extractor_depth
+
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        config = small_config(extractor_depth=2)
+        result = synthesize_extractors(propagated, pages, contexts, config, 0.0)
+        assert all(extractor_depth(e) <= 2 for e in result.extractors)
+
+    def test_noprune_matches_pruned_optimum(self, contexts):
+        propagated, pages = propagated_for(
+            contexts, [(PAGE_A, GOLD_A), (PAGE_B, GOLD_B)]
+        )
+        pruned = synthesize_extractors(
+            propagated, pages, contexts, small_config(), 0.0
+        )
+        unpruned = synthesize_extractors(
+            propagated, pages, contexts, small_config(prune=False), 0.0
+        )
+        # Theorem A.3: pruning never loses the optimum.
+        assert abs(pruned.f1 - unpruned.f1) < 1e-9
+        assert pruned.evaluated <= unpruned.evaluated
+
+    def test_candidate_cap_terminates_search(self, contexts):
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        config = small_config(max_extractor_candidates=10)
+        result = synthesize_extractors(propagated, pages, contexts, config, 0.0)
+        assert result.evaluated <= 11

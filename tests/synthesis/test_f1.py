@@ -1,0 +1,83 @@
+"""Tests for F1 scoring and the recall-monotonicity upper bound."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsl import ast
+from repro.synthesis import (
+    LabeledExample,
+    located_content_recall,
+    locator_subtree_recall,
+    upper_bound_from_recall,
+)
+from repro.synthesis.extractors import propagate_examples
+
+from tests.synthesis.conftest import GOLD_A, PAGE_A
+
+
+class TestUpperBound:
+    def test_endpoints(self):
+        assert upper_bound_from_recall(0.0) == 0.0
+        assert upper_bound_from_recall(1.0) == 1.0
+
+    def test_equation3_value(self):
+        # UB(r) = 2r/(1+r); r=0.5 → 2/3.
+        assert abs(upper_bound_from_recall(0.5) - 2 / 3) < 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_and_bounded(self, r):
+        ub = upper_bound_from_recall(r)
+        assert 0.0 <= ub <= 1.0
+        assert ub >= r  # F1 at precision 1 is at least the recall
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_ub_dominates_f1_at_any_precision(self, r, p):
+        # Lemma A.2: UB(r) ≥ F1(p, r) for every precision p.
+        f1 = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+        assert upper_bound_from_recall(r) >= f1 - 1e-12
+
+
+class TestRecallVariants:
+    def test_root_subtree_recall_is_one(self, contexts):
+        examples = [LabeledExample(PAGE_A, GOLD_A)]
+        assert locator_subtree_recall(ast.GetRoot(), examples, contexts) == 1.0
+
+    def test_root_content_recall_is_zero(self, contexts):
+        # The root's own text ("Jane Doe") contains no gold tokens.
+        examples = [LabeledExample(PAGE_A, GOLD_A)]
+        assert located_content_recall(ast.GetRoot(), examples, contexts) == 0.0
+
+    def test_leaves_content_recall_full(self, contexts):
+        examples = [LabeledExample(PAGE_A, GOLD_A)]
+        leaves = ast.get_leaves(ast.GetRoot())
+        assert located_content_recall(leaves, examples, contexts) == 1.0
+
+    def test_empty_gold_recall_one(self, contexts):
+        examples = [LabeledExample(PAGE_A, ())]
+        assert located_content_recall(ast.GetRoot(), examples, contexts) == 1.0
+
+    def test_empty_examples(self, contexts):
+        assert locator_subtree_recall(ast.GetRoot(), [], contexts) == 1.0
+
+    def test_descendant_recall_never_exceeds_subtree_recall(self, contexts):
+        # The soundness fact behind locator pruning: extending a locator
+        # cannot expose tokens outside the current subtrees.
+        examples = [LabeledExample(PAGE_A, GOLD_A)]
+        parent = ast.GetChildren(ast.GetRoot(), ast.TrueFilter())
+        child = ast.GetChildren(parent, ast.TrueFilter())
+        assert locator_subtree_recall(child, examples, contexts) <= (
+            locator_subtree_recall(parent, examples, contexts) + 1e-12
+        )
+
+
+class TestPropagateExamples:
+    def test_shapes_align(self, contexts, examples):
+        locator = ast.get_leaves(ast.GetRoot())
+        propagated, pages = propagate_examples(locator, examples, contexts)
+        assert len(propagated) == len(pages) == len(examples)
+        for (nodes, gold), example in zip(propagated, examples):
+            assert gold == example.gold
+            assert all(n.is_leaf() for n in nodes)

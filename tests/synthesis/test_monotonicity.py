@@ -1,0 +1,84 @@
+"""Property tests for the DSL's recall monotonicity (Theorem A.3).
+
+The entire pruning strategy of Section 5 rests on one invariant: applying
+any extractor production can only *shrink* the output token multiset on a
+fixed node set.  These hypothesis tests check the invariant on randomly
+grown extractors over randomly selected page node sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import EvalContext, ast
+from repro.dsl.productions import ProductionConfig, expand_extractor
+from repro.metrics import answer_tokens
+from repro.nlp import NlpModels
+from repro.synthesis import upper_bound_from_recall
+
+from tests.synthesis.conftest import KEYWORDS, PAGE_A, PAGE_B, QUESTION
+
+MODELS = NlpModels()
+CONFIG = ProductionConfig(
+    keyword_thresholds=(0.7,),
+    entity_labels=("PERSON", "ORG", "DATE"),
+)
+
+_extension_choice = st.integers(min_value=0, max_value=10**9)
+
+
+@st.composite
+def grown_extractors(draw):
+    """An extractor built by 1-3 random production applications."""
+    extractor: ast.Extractor = ast.ExtractContent()
+    chain = [extractor]
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        options = expand_extractor(extractor, CONFIG)
+        extractor = options[draw(_extension_choice) % len(options)]
+        chain.append(extractor)
+    return chain
+
+
+@st.composite
+def node_sets(draw):
+    page = draw(st.sampled_from([PAGE_A, PAGE_B]))
+    nodes = page.nodes()
+    picked = draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=4, unique_by=id)
+    )
+    return page, tuple(picked)
+
+
+class TestRecallMonotonicity:
+    @given(grown_extractors(), node_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_output_tokens_shrink_along_chain(self, chain, page_nodes):
+        page, nodes = page_nodes
+        ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS)
+        previous = None
+        for extractor in chain:
+            tokens = answer_tokens(ctx.eval_extractor(extractor, nodes))
+            if previous is not None:
+                # Multiset inclusion: every token of the extension's output
+                # already occurs (at least as often) in its source's output.
+                assert not tokens - previous, (
+                    f"extension produced new tokens: {tokens - previous}"
+                )
+            previous = tokens
+
+    @given(grown_extractors(), node_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_ub_of_source_bounds_extension_f1(self, chain, page_nodes):
+        # The pruning rule itself: UB(e) computed from e's recall bounds
+        # the F1 of every extension e' against any gold set drawn from
+        # e's own output (worst case for the bound).
+        page, nodes = page_nodes
+        ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS)
+        source, final = chain[0], chain[-1]
+        gold = ctx.eval_extractor(source, nodes)
+        if not gold:
+            return
+        from repro.metrics import token_prf
+
+        _, source_recall, _ = token_prf(ctx.eval_extractor(source, nodes), gold)
+        _, _, final_f1 = token_prf(ctx.eval_extractor(final, nodes), gold)
+        assert upper_bound_from_recall(source_recall) >= final_f1 - 1e-9

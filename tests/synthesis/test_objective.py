@@ -1,0 +1,78 @@
+"""Tests for the generalized F_β optimization objective."""
+
+from dataclasses import replace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.synthesis import LabeledExample, fbeta, synthesize, upper_bound_from_recall
+
+from tests.synthesis.conftest import KEYWORDS, PAGE_A, QUESTION, small_config
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+betas = st.sampled_from((0.25, 0.5, 1.0, 2.0, 4.0))
+
+
+class TestFbeta:
+    def test_beta_one_is_f1(self):
+        assert fbeta(1.0, 0.5) == 2 * 1.0 * 0.5 / 1.5
+
+    def test_beta_two_weighs_recall(self):
+        high_recall = fbeta(0.5, 1.0, beta=2.0)
+        high_precision = fbeta(1.0, 0.5, beta=2.0)
+        assert high_recall > high_precision
+
+    def test_beta_half_weighs_precision(self):
+        high_recall = fbeta(0.5, 1.0, beta=0.5)
+        high_precision = fbeta(1.0, 0.5, beta=0.5)
+        assert high_precision > high_recall
+
+    def test_zero_edge(self):
+        assert fbeta(0.0, 0.0) == 0.0
+        assert fbeta(0.0, 1.0) == 0.0
+
+    @given(unit, unit, betas)
+    def test_range(self, p, r, beta):
+        assert 0.0 <= fbeta(p, r, beta) <= 1.0
+
+    @given(unit, betas)
+    def test_perfect_scores(self, r, beta):
+        assert fbeta(1.0, 1.0, beta) == 1.0
+        assert fbeta(1.0, r, beta) <= 1.0
+
+
+class TestGeneralizedUpperBound:
+    @given(unit, unit, betas)
+    def test_ub_dominates_fbeta_at_any_precision(self, p, r, beta):
+        # Lemma A.2 generalized: the precision-1 bound dominates.
+        assert upper_bound_from_recall(r, beta) >= fbeta(p, r, beta) - 1e-12
+
+    @given(unit, unit, betas)
+    def test_ub_monotone_in_recall(self, r1, r2, beta):
+        low, high = sorted((r1, r2))
+        assert upper_bound_from_recall(low, beta) <= (
+            upper_bound_from_recall(high, beta) + 1e-12
+        )
+
+
+class TestSynthesisWithBeta:
+    def test_recall_weighted_objective_prefers_recall(self, models):
+        # Gold asks for one of two list items.  Under F1 the best answer
+        # keeps precision high; under F4 (recall-dominant) returning the
+        # whole list scores better, so the optimum value must be at least
+        # the F4 of the full-recall answer.
+        examples = [LabeledExample(PAGE_A, ("Robert Smith",))]
+        f1_result = synthesize(
+            examples, QUESTION, KEYWORDS, models, small_config(max_branches=1)
+        )
+        f4_config = replace(small_config(max_branches=1), beta=4.0)
+        f4_result = synthesize(examples, QUESTION, KEYWORDS, models, f4_config)
+        assert f4_result.f1 >= f1_result.f1  # recall-weighted scores higher
+        assert f4_result.spaces
+
+    def test_beta_one_unchanged(self, models, examples):
+        default = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        explicit = synthesize(
+            examples, QUESTION, KEYWORDS, models, replace(small_config(), beta=1.0)
+        )
+        assert abs(default.f1 - explicit.f1) < 1e-12

@@ -1,0 +1,121 @@
+"""Theorem 5.1 cross-check: the synthesizer equals brute-force search.
+
+A brute-force enumerator explores every single-branch program in a small
+bounded DSL space and records the best training F1; the optimized
+synthesizer (pruning + decomposition + lazy guards) must report exactly
+the same optimum, and every program it returns must attain it.
+"""
+
+import itertools
+
+from repro.dsl import ast
+from repro.dsl.depth import extractor_depth, locator_depth
+from repro.dsl.productions import (
+    ProductionConfig,
+    expand_extractor,
+    expand_locator,
+    gen_guards,
+)
+from repro.metrics import score_examples
+from repro.synthesis import LabeledExample, synthesize
+
+from tests.synthesis.conftest import GOLD_A, GOLD_B, PAGE_A, PAGE_B, QUESTION, KEYWORDS, small_config
+
+TINY = ProductionConfig(
+    keyword_thresholds=(0.7,),
+    entity_labels=("PERSON",),
+    delimiters=(",",),
+    use_negation=False,
+    use_subtree_text=False,
+)
+GUARD_DEPTH = 2
+EXTRACTOR_DEPTH = 2
+
+
+def all_locators() -> list[ast.Locator]:
+    frontier: list[ast.Locator] = [ast.GetRoot()]
+    everything = list(frontier)
+    while frontier:
+        locator = frontier.pop()
+        if locator_depth(locator) >= GUARD_DEPTH:
+            continue
+        for extension in expand_locator(locator, TINY):
+            everything.append(extension)
+            frontier.append(extension)
+    return everything
+
+
+def all_extractors() -> list[ast.Extractor]:
+    frontier: list[ast.Extractor] = [ast.ExtractContent()]
+    everything = list(frontier)
+    while frontier:
+        extractor = frontier.pop()
+        if extractor_depth(extractor) >= EXTRACTOR_DEPTH:
+            continue
+        for extension in expand_extractor(extractor, TINY):
+            everything.append(extension)
+            frontier.append(extension)
+    return everything
+
+
+def brute_force_best_f1(examples, contexts) -> float:
+    best = 0.0
+    guards = [
+        guard for locator in all_locators() for guard in gen_guards(locator, TINY)
+    ]
+    extractors = all_extractors()
+    for guard, extractor in itertools.product(guards, extractors):
+        # Single-branch program semantics: answer only when the guard
+        # fires; otherwise the empty answer.
+        pairs = []
+        for example in examples:
+            ctx = contexts.ctx(example.page)
+            fired, nodes = ctx.eval_guard(guard)
+            predicted = ctx.eval_extractor(extractor, nodes) if fired else ()
+            pairs.append((predicted, example.gold))
+        best = max(best, score_examples(pairs).f1)
+    return best
+
+
+class TestOptimalityAgainstBruteForce:
+    def test_same_optimum_single_branch(self, models, contexts):
+        examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        expected = brute_force_best_f1(examples, contexts)
+        config = small_config(
+            productions=TINY,
+            guard_depth=GUARD_DEPTH,
+            extractor_depth=EXTRACTOR_DEPTH,
+            max_branches=1,
+        )
+        result = synthesize(examples, QUESTION, KEYWORDS, models, config, contexts)
+        assert abs(result.f1 - expected) < 1e-9
+
+    def test_optimum_with_harder_gold(self, models, contexts):
+        # Gold asks for only one of the two students: no program can be
+        # perfect, so the optimum is strictly between 0 and 1 — exactly
+        # the regime where optimal (rather than exact) synthesis matters.
+        examples = [LabeledExample(PAGE_A, ("Robert Smith",))]
+        expected = brute_force_best_f1(examples, contexts)
+        config = small_config(
+            productions=TINY,
+            guard_depth=GUARD_DEPTH,
+            extractor_depth=EXTRACTOR_DEPTH,
+            max_branches=1,
+        )
+        result = synthesize(
+            examples, QUESTION, KEYWORDS, models, config, contexts
+        )
+        assert abs(result.f1 - expected) < 1e-9
+        assert 0.0 < result.f1 <= 1.0
+
+    def test_multi_branch_at_least_single_branch(self, models, contexts):
+        examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        single = synthesize(
+            examples, QUESTION, KEYWORDS, models,
+            small_config(productions=TINY, max_branches=1), contexts,
+        )
+        multi = synthesize(
+            examples, QUESTION, KEYWORDS, models,
+            small_config(productions=TINY, max_branches=2), contexts,
+        )
+        assert multi.f1 >= single.f1 - 1e-9

@@ -1,0 +1,51 @@
+"""Tests for ordered example partitions (Figure 7 line 3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.synthesis import count_ordered_partitions, ordered_partitions, set_partitions
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        # |partitions of n| = Bell(n): 1, 1, 2, 5, 15, 52.
+        for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert sum(1 for _ in set_partitions(list(range(n)))) == bell
+
+    def test_blocks_cover_exactly(self):
+        for partition in set_partitions([1, 2, 3]):
+            flat = [x for block in partition for x in block]
+            assert sorted(flat) == [1, 2, 3]
+
+    def test_blocks_nonempty(self):
+        for partition in set_partitions([1, 2, 3, 4]):
+            assert all(block for block in partition)
+
+
+class TestOrderedPartitions:
+    def test_fubini_numbers(self):
+        # |ordered partitions of n| = Fubini(n): 1, 1, 3, 13, 75, 541.
+        for n, fubini in [(0, 1), (1, 1), (2, 3), (3, 13), (4, 75)]:
+            assert count_ordered_partitions(n) == fubini
+
+    def test_max_blocks_restriction(self):
+        # n=3 with ≤2 blocks: 1 (single) + 2·S(3,2)=6 orderings → 7.
+        assert count_ordered_partitions(3, max_blocks=2) == 7
+
+    def test_single_block_first(self):
+        first = next(iter(ordered_partitions([1, 2, 3])))
+        assert first == [[1, 2, 3]]
+
+    def test_all_distinct(self):
+        seen = set()
+        for partition in ordered_partitions([1, 2, 3, 4]):
+            key = tuple(tuple(block) for block in partition)
+            assert key not in seen
+            seen.add(key)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=4, unique=True))
+    def test_every_ordering_covers_all(self, items):
+        for partition in ordered_partitions(items, max_blocks=3):
+            flat = [x for block in partition for x in block]
+            assert sorted(flat) == sorted(items)
+            assert all(block for block in partition)

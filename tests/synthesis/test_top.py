@@ -1,0 +1,117 @@
+"""Tests for top-level synthesis (Figure 7) and the ProgramSpace model."""
+
+import random
+
+from repro.dsl import ast, run_program
+from repro.synthesis import LabeledExample, synthesize
+from repro.synthesis.top import ProgramSpace
+from repro.synthesis.branch import BranchSpace
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    GOLD_C,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+
+class TestSynthesize:
+    def test_perfect_program_on_two_pages(self, models, examples):
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        assert result.f1 == 1.0
+        assert result.count() >= 1
+        program = result.sample(random.Random(0))
+        assert run_program(program, PAGE_A, QUESTION, KEYWORDS, models) == GOLD_A
+        assert run_program(program, PAGE_B, QUESTION, KEYWORDS, models) == GOLD_B
+
+    def test_some_optimal_programs_generalize(self, models, examples):
+        # Not every optimal program generalizes (that is why Section 6
+        # exists), but the optimal space must *contain* programs that
+        # recover the held-out page's students.
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        rng = random.Random(1)
+        hits = 0
+        for _ in range(25):
+            program = result.sample(rng)
+            predicted = run_program(program, PAGE_C, QUESTION, KEYWORDS, models)
+            if any("Mark Young" in p or "Laura Hill" in p for p in predicted):
+                hits += 1
+        assert hits > 0
+
+    def test_transductive_choice_generalizes(self, models, examples):
+        from repro.selection import select_program
+
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        outcome = select_program(result, [PAGE_C], models, ensemble_size=100)
+        predicted = run_program(outcome.program, PAGE_C, QUESTION, KEYWORDS, models)
+        assert any("Mark Young" in p or "Laura Hill" in p for p in predicted)
+
+    def test_three_examples(self, models, three_examples):
+        result = synthesize(three_examples, QUESTION, KEYWORDS, models, small_config())
+        assert result.f1 > 0.6
+
+    def test_all_sampled_programs_optimal_on_training(self, models, examples):
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        from repro.metrics import score_examples
+
+        for program in result.sample_many(10, seed=3):
+            pairs = [
+                (run_program(program, e.page, QUESTION, KEYWORDS, models), e.gold)
+                for e in examples
+            ]
+            assert abs(score_examples(pairs).f1 - result.f1) < 1e-9
+
+    def test_stats_populated(self, models, examples):
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        stats = result.stats
+        assert stats.partitions_explored >= 1
+        assert stats.guards_tried > 0
+        assert stats.extractors_evaluated > 0
+        assert stats.elapsed_seconds > 0
+
+    def test_single_branch_when_max_branches_one(self, models, examples):
+        config = small_config(max_branches=1)
+        result = synthesize(examples, QUESTION, KEYWORDS, models, config)
+        for space in result.spaces:
+            assert len(space.branch_spaces) == 1
+
+    def test_empty_result_on_impossible_task(self, models):
+        # Gold tokens that appear nowhere on the page: F1 is 0 for every
+        # program, so no optimal (positive-F1) program space exists.
+        examples = [LabeledExample(PAGE_A, ("xyzzy quux",))]
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        assert result.spaces == ()
+        assert result.f1 == 0.0
+
+    def test_enumerate_respects_limit(self, models, examples):
+        result = synthesize(examples, QUESTION, KEYWORDS, models, small_config())
+        programs = result.enumerate(limit=7)
+        assert len(programs) == min(7, result.count())
+        assert all(isinstance(p, ast.Program) for p in programs)
+
+
+class TestProgramSpace:
+    def make_space(self) -> ProgramSpace:
+        guard = ast.Sat(ast.GetRoot())
+        extractors = (ast.ExtractContent(), ast.Split(ast.ExtractContent(), ","))
+        branch = BranchSpace(options=((guard, extractors),), f1=1.0)
+        return ProgramSpace(branch_spaces=(branch, branch), f1=1.0)
+
+    def test_count_is_product(self):
+        assert self.make_space().count() == 4
+
+    def test_enumerate_all(self):
+        programs = self.make_space().enumerate()
+        assert len(programs) == 4
+        assert len(set(programs)) == 4
+
+    def test_sample_in_space(self):
+        space = self.make_space()
+        everything = set(space.enumerate())
+        rng = random.Random(0)
+        assert all(space.sample(rng) in everything for _ in range(10))

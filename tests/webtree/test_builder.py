@@ -1,0 +1,150 @@
+"""Tests for DOM → webpage-tree conversion (paper Section 3)."""
+
+from repro.webtree import NodeType, page_from_html, render_tree, tree_stats
+
+
+class TestHeaderNesting:
+    def test_h1_becomes_root(self):
+        page = page_from_html("<h1>Jane Doe</h1><p>bio</p>")
+        assert page.root.text == "Jane Doe"
+        assert [c.text for c in page.root.children] == ["bio"]
+
+    def test_h2_nested_under_h1(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><p>c</p>")
+        section = page.root.children[0]
+        assert section.text == "B"
+        assert [c.text for c in section.children] == ["c"]
+
+    def test_sibling_h2_sections(self):
+        page = page_from_html("<h1>A</h1><h2>S1</h2><p>x</p><h2>S2</h2><p>y</p>")
+        assert [c.text for c in page.root.children] == ["S1", "S2"]
+
+    def test_h3_closes_on_next_h2(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>S1</h2><h3>Sub</h3><p>x</p><h2>S2</h2><p>y</p>"
+        )
+        s1, s2 = page.root.children
+        assert s1.children[0].text == "Sub"
+        assert s2.children[0].text == "y"
+
+    def test_skipping_header_levels(self):
+        page = page_from_html("<h1>A</h1><h4>Deep</h4><p>x</p>")
+        assert page.root.children[0].text == "Deep"
+
+    def test_no_h1_uses_title(self):
+        page = page_from_html(
+            "<html><head><title>T</title></head><body><p>x</p></body></html>"
+        )
+        assert page.root.text == "T"
+
+    def test_content_before_h1_keeps_synthetic_root(self):
+        page = page_from_html("<p>preamble</p><h1>Name</h1>")
+        texts = [n.text for n in page.nodes()]
+        assert "preamble" in texts and "Name" in texts
+
+
+class TestLabels:
+    def test_bold_paragraph_is_pseudo_header(self):
+        page = page_from_html(
+            "<h2>Students</h2><p><b>PhD students</b></p><ul><li>A B</li></ul>"
+        )
+        students = page.root.children[0]
+        label = students.children[0]
+        assert label.text == "PhD students"
+        assert label.node_type is NodeType.LIST
+        assert [c.text for c in label.children] == ["A B"]
+
+    def test_dt_is_pseudo_header(self):
+        page = page_from_html("<dl><dt>Contact</dt></dl><p>x@y.z</p>")
+        contact = next(n for n in page.nodes() if n.text == "Contact")
+        assert [c.text for c in contact.children] == ["x@y.z"]
+
+    def test_mixed_bold_and_text_paragraph_is_leaf(self):
+        page = page_from_html("<h1>A</h1><p><b>Email:</b> a@b.c</p>")
+        leaf = page.root.children[0]
+        assert leaf.is_leaf()
+        assert "a@b.c" in leaf.text
+
+
+class TestLists:
+    def test_list_after_header_types_the_header(self):
+        page = page_from_html("<h1>A</h1><h2>Items</h2><ul><li>x</li><li>y</li></ul>")
+        items = page.root.children[0]
+        assert items.node_type is NodeType.LIST
+        assert [c.text for c in items.children] == ["x", "y"]
+
+    def test_list_after_content_gets_anonymous_node(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>S</h2><p>intro</p><ul><li>x</li></ul>"
+        )
+        section = page.root.children[0]
+        assert section.node_type is NodeType.NONE
+        anon = section.children[1]
+        assert anon.node_type is NodeType.LIST
+        assert anon.text == ""
+        assert anon.children[0].text == "x"
+
+    def test_ordered_list(self):
+        page = page_from_html("<h1>A</h1><h2>Steps</h2><ol><li>one</li></ol>")
+        assert page.root.children[0].node_type is NodeType.LIST
+
+    def test_nested_list(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>L</h2><ul><li>outer<ul><li>inner</li></ul></li></ul>"
+        )
+        outer = page.root.children[0].children[0]
+        assert outer.text == "outer"
+        assert outer.node_type is NodeType.LIST
+        assert outer.children[0].text == "inner"
+
+    def test_list_items_are_elements(self):
+        page = page_from_html("<h1>A</h1><h2>L</h2><ul><li>x</li></ul>")
+        item = page.root.children[0].children[0]
+        assert item.is_elem()
+        assert not page.root.is_elem()
+
+
+class TestTables:
+    def test_table_rows_become_children(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>T</h2>"
+            "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>"
+        )
+        table = page.root.children[0]
+        assert table.node_type is NodeType.TABLE
+        assert [r.text for r in table.children] == ["a | b", "c"]
+
+    def test_th_cells_included(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>T</h2><table><tr><th>H1</th><th>H2</th></tr></table>"
+        )
+        assert page.root.children[0].children[0].text == "H1 | H2"
+
+
+class TestTextHandling:
+    def test_whitespace_collapsed(self):
+        page = page_from_html("<h1>A</h1><p>  two\n   words </p>")
+        assert page.root.children[0].text == "two words"
+
+    def test_inline_elements_flow_together(self):
+        page = page_from_html("<h1>A</h1><p>see <a href='#'>link</a> here</p>")
+        assert page.root.children[0].text == "see link here"
+
+    def test_node_ids_are_document_order(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><p>c</p><h2>D</h2>")
+        ids = [n.node_id for n in page.nodes()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestRenderAndStats:
+    def test_render_tree_shape(self):
+        page = page_from_html("<h1>A</h1><p>b</p>")
+        assert render_tree(page) == "0, none: A\n  1, none: b"
+
+    def test_tree_stats(self):
+        page = page_from_html("<h1>A</h1><h2>L</h2><ul><li>x</li><li>y</li></ul>")
+        stats = tree_stats(page)
+        assert stats["lists"] == 1
+        assert stats["leaves"] == 2
+        assert stats["max_depth"] == 2

@@ -1,0 +1,47 @@
+"""Round-trip tests for webpage-tree → HTML serialization."""
+
+import pytest
+
+from repro.dataset import DOMAINS, generate_page
+from repro.webtree import page_from_html, render_tree
+from repro.webtree.html_out import page_to_html
+
+
+def tree_shape(page):
+    """(text, type, children) recursive shape, ignoring node ids."""
+
+    def shape(node):
+        return (node.text, node.node_type.value, tuple(shape(c) for c in node.children))
+
+    return shape(page.root)
+
+
+class TestRoundTrip:
+    def test_simple_page(self):
+        page = page_from_html("<h1>A</h1><h2>S</h2><p>text here</p>")
+        back = page_from_html(page_to_html(page))
+        assert tree_shape(back) == tree_shape(page)
+
+    def test_list_section(self):
+        page = page_from_html("<h1>A</h1><h2>Items</h2><ul><li>x</li><li>y</li></ul>")
+        back = page_from_html(page_to_html(page))
+        assert tree_shape(back) == tree_shape(page)
+
+    def test_table_section(self):
+        page = page_from_html(
+            "<h1>A</h1><h2>T</h2><table><tr><td>a</td><td>b</td></tr></table>"
+        )
+        back = page_from_html(page_to_html(page))
+        assert tree_shape(back) == tree_shape(page)
+
+    def test_escaping(self):
+        page = page_from_html("<h1>A</h1><p>x &amp; y &lt;z&gt;</p>")
+        back = page_from_html(page_to_html(page))
+        assert tree_shape(back) == tree_shape(page)
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_generated_corpus_roundtrips(self, domain, seed):
+        page = generate_page(domain, seed).page
+        back = page_from_html(page_to_html(page))
+        assert render_tree(back) == render_tree(page)

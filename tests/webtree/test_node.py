@@ -1,0 +1,71 @@
+"""Tests for the PageNode/WebPage tree model."""
+
+from repro.webtree import NodeType, PageNode, WebPage, page_from_html
+
+
+def chain(*texts: str) -> WebPage:
+    """A degenerate tree: each node the only child of the previous."""
+    root = PageNode(0, texts[0])
+    current = root
+    for i, text in enumerate(texts[1:], start=1):
+        current = current.add_child(PageNode(i, text))
+    return WebPage(root, url="chain")
+
+
+class TestStructure:
+    def test_add_child_sets_parent(self):
+        root = PageNode(0, "r")
+        child = root.add_child(PageNode(1, "c"))
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_is_leaf(self):
+        page = chain("a", "b")
+        assert not page.root.is_leaf()
+        assert page.root.children[0].is_leaf()
+
+    def test_iter_subtree_preorder(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><p>c</p><h2>D</h2>")
+        assert [n.text for n in page.root.iter_subtree()] == ["A", "B", "c", "D"]
+
+    def test_descendants_excludes_self(self):
+        page = chain("a", "b", "c")
+        assert [n.text for n in page.root.descendants()] == ["b", "c"]
+
+    def test_leaves(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><p>x</p><h2>C</h2><p>y</p>")
+        assert [n.text for n in page.root.leaves()] == ["x", "y"]
+
+    def test_depth_and_ancestors(self):
+        page = chain("a", "b", "c")
+        leaf = page.root.children[0].children[0]
+        assert leaf.depth() == 2
+        assert [a.text for a in leaf.ancestors()] == ["b", "a"]
+
+    def test_child_index(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><h2>C</h2>")
+        assert page.root.child_index() == 0
+        assert page.root.children[1].child_index() == 1
+
+    def test_subtree_text(self):
+        page = chain("a", "b", "c")
+        assert page.root.subtree_text() == "a b c"
+
+    def test_find(self):
+        page = page_from_html("<h1>A</h1><h2>B</h2><p>xyz</p>")
+        found = page.root.find(lambda n: "y" in n.text)
+        assert [n.text for n in found] == ["xyz"]
+
+
+class TestWebPage:
+    def test_node_by_id(self):
+        page = page_from_html("<h1>A</h1><p>b</p>")
+        assert page.node_by_id(1).text == "b"
+        assert page.node_by_id(99) is None
+
+    def test_size(self):
+        page = page_from_html("<h1>A</h1><p>b</p><p>c</p>")
+        assert page.size() == 3
+
+    def test_node_type_default(self):
+        assert PageNode(0, "x").node_type is NodeType.NONE

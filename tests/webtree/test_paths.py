@@ -1,0 +1,54 @@
+"""Tests for structural paths over webpage trees."""
+
+from repro.webtree import (
+    depth_signature,
+    list_sections,
+    node_path,
+    page_from_html,
+    resolve_path,
+    structural_signature,
+    typed_path,
+)
+
+PAGE = page_from_html(
+    "<h1>A</h1><h2>S1</h2><p>x</p><p>y</p>"
+    "<h2>Items</h2><ul><li>i1</li><li>i2</li></ul>"
+)
+
+
+class TestNodePath:
+    def test_root_is_empty(self):
+        assert node_path(PAGE.root) == ()
+
+    def test_leaf_path(self):
+        leaf = PAGE.root.children[0].children[1]
+        assert node_path(leaf) == (0, 1)
+
+    def test_roundtrip_all_nodes(self):
+        for node in PAGE.nodes():
+            assert resolve_path(PAGE, node_path(node)) is node
+
+    def test_resolve_out_of_range(self):
+        assert resolve_path(PAGE, (9,)) is None
+        assert resolve_path(PAGE, (0, 0, 0, 0)) is None
+
+
+class TestSignatures:
+    def test_typed_path(self):
+        item = PAGE.root.children[1].children[0]
+        assert typed_path(item) == ("none", "list", "none")
+
+    def test_depth_signature_sorted(self):
+        signature = depth_signature(PAGE)
+        assert list(signature) == sorted(signature)
+
+    def test_structural_signature_stable(self):
+        assert structural_signature(PAGE) == structural_signature(PAGE)
+
+    def test_structural_signature_differs_across_layouts(self):
+        other = page_from_html("<h1>A</h1><p>only text</p>")
+        assert structural_signature(PAGE) != structural_signature(other)
+
+    def test_list_sections(self):
+        sections = list_sections(PAGE)
+        assert [s.text for s in sections] == ["Items"]
