@@ -1,0 +1,110 @@
+"""Persist micro-benchmark medians as a repo-root JSON artifact.
+
+Runs ``benchmarks/test_bench_synthesis_micro.py`` under pytest-benchmark
+and distills the results into ``BENCH_synthesis_micro.json`` at the repo
+root: one entry per micro-benchmark (median/mean/stddev seconds, round
+count) plus derived indexed-vs-reference speedup ratios.  Committing the
+artifact tracks the perf trajectory across PRs the same way
+EXPERIMENTS-style JSON artifacts track accuracy.
+
+Usage::
+
+    python benchmarks/persist.py            # full run, writes the artifact
+    python benchmarks/persist.py --output somewhere.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "test_bench_synthesis_micro.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_synthesis_micro.json"
+
+#: (fast, slow) benchmark pairs whose ratio is reported as a speedup.
+SPEEDUP_PAIRS = (
+    ("test_bench_eval_locator", "test_bench_eval_locator_reference"),
+    ("test_bench_eval_locator_cold", "test_bench_eval_locator_reference"),
+    ("test_bench_full_synthesis", "test_bench_full_synthesis_reference"),
+    ("test_bench_full_synthesis_cold", "test_bench_full_synthesis_reference"),
+)
+
+
+def run_benchmarks(raw_json: Path) -> None:
+    """Run the micro-benchmark suite, writing pytest-benchmark JSON."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        f"--benchmark-json={raw_json}",
+    ]
+    src = str(REPO_ROOT / "src")
+    inherited = os.environ.get("PYTHONPATH")
+    env = {
+        **os.environ,
+        "PYTHONPATH": f"{src}{os.pathsep}{inherited}" if inherited else src,
+    }
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
+
+
+def summarize(raw: dict) -> dict:
+    """Distill pytest-benchmark JSON into the committed artifact shape."""
+    timings = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        timings[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    speedups = {}
+    for fast, slow in SPEEDUP_PAIRS:
+        if fast in timings and slow in timings and timings[fast]["median_s"] > 0:
+            speedups[f"{slow}/{fast}"] = round(
+                timings[slow]["median_s"] / timings[fast]["median_s"], 2
+            )
+    return {
+        "suite": "synthesis_micro",
+        "datetime": raw.get("datetime", ""),
+        "machine_info": {
+            key: raw.get("machine_info", {}).get(key)
+            for key in ("node", "processor", "python_version")
+        },
+        "benchmarks": timings,
+        "median_speedups": speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the summarized artifact",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "raw.json"
+        run_benchmarks(raw_json)
+        raw = json.loads(raw_json.read_text())
+    artifact = summarize(raw)
+    args.output.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for name, ratio in artifact["median_speedups"].items():
+        print(f"  {name}: {ratio}x")
+
+
+if __name__ == "__main__":
+    main()

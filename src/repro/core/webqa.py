@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 from ..baselines.base import ExtractionTool
 from ..dsl import ast
-from ..dsl.eval import EvalContext
 from ..dsl.pretty import pretty_program
 from ..nlp.models import NlpModels
 from ..selection.baselines import select_random, select_shortest
@@ -82,8 +81,7 @@ class WebQA(ExtractionTool):
         self.report: FitReport | None = None
         self._question = ""
         self._keywords: tuple[str, ...] = ()
-        self._models: NlpModels | None = None
-        self._contexts: dict[int, EvalContext] = {}
+        self._contexts: TaskContexts | None = None
 
     # -- ExtractionTool interface ------------------------------------------------
 
@@ -97,11 +95,13 @@ class WebQA(ExtractionTool):
     ) -> "WebQA":
         self._question = question
         self._keywords = tuple(keywords)
-        self._models = models
-        # Per-page prediction contexts are bound to (question, keywords,
-        # models); refitting invalidates them.
-        self._contexts.clear()
-        contexts = TaskContexts(question, self._keywords, models)
+        # One TaskContexts serves synthesis, selection and prediction:
+        # it is bound to (question, keywords, models), so refitting
+        # replaces it wholesale.
+        contexts = TaskContexts(
+            question, self._keywords, models, engine=self.config.engine
+        )
+        self._contexts = contexts
         synthesis = synthesize(
             list(train), question, self._keywords, models,
             config=self.config, contexts=contexts,
@@ -117,6 +117,7 @@ class WebQA(ExtractionTool):
             selection = select_program(
                 synthesis, list(unlabeled), models,
                 ensemble_size=self.ensemble_size, seed=self.seed,
+                engine=self.config.engine,
             )
             program = selection.program
         elif self.selection_strategy == "random":
@@ -127,13 +128,9 @@ class WebQA(ExtractionTool):
         return self
 
     def predict(self, page: WebPage) -> tuple[str, ...]:
-        if self.report is None or self._models is None:
+        if self.report is None or self._contexts is None:
             raise RuntimeError("fit must be called before predict")
-        ctx = self._contexts.get(id(page))
-        if ctx is None:
-            ctx = EvalContext(page, self._question, self._keywords, self._models)
-            self._contexts[id(page)] = ctx
-        return ctx.eval_program(self.report.program)
+        return self._contexts.ctx(page).eval_program(self.report.program)
 
     # -- conveniences ----------------------------------------------------------------
 

@@ -18,7 +18,16 @@ from .depth import (
     locator_size,
     program_size,
 )
-from .eval import SPLIT_DELIMITERS, EvalContext, run_program
+from .eval import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    SPLIT_DELIMITERS,
+    EvalContext,
+    IndexedEvalContext,
+    ReferenceEvalContext,
+    resolve_engine,
+    run_program,
+)
 from .pretty import pretty, pretty_program
 from .productions import (
     ProductionConfig,
@@ -41,6 +50,11 @@ __all__ = [
     "save_program",
     "load_program",
     "EvalContext",
+    "IndexedEvalContext",
+    "ReferenceEvalContext",
+    "resolve_engine",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "run_program",
     "SPLIT_DELIMITERS",
     "pretty",

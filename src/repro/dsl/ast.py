@@ -16,11 +16,23 @@ All nodes are immutable frozen dataclasses with structural equality, so
 they can serve as memoization keys during synthesis.  The question ``Q``
 and keyword set ``K`` are *program inputs*, not AST constants: the AST
 refers to them implicitly and they are supplied at evaluation time.
+
+Synthesis hammers these terms as dictionary keys (locator caches,
+footnote-6 memo tables, observational-equivalence sets), so two
+additions keep that cheap:
+
+* every term's structural hash is computed once and cached on the
+  instance (:func:`_cached_hash` installed as ``__hash__`` below);
+* :func:`intern` hash-conses terms to a canonical instance, making
+  repeat dictionary probes identity comparisons, and :func:`term_key`
+  names each distinct structure with a small integer usable in
+  composite memo keys.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools as _itertools
+from dataclasses import dataclass, field, fields
 from typing import Union
 
 # ---------------------------------------------------------------------------
@@ -258,6 +270,87 @@ class Program:
 
 
 AnyNode = Union[NlpPred, NodeFilter, Locator, Guard, Extractor, Branch, Program]
+
+
+# ---------------------------------------------------------------------------
+# Structural-hash caching and interning
+# ---------------------------------------------------------------------------
+
+
+def _cached_hash(self) -> int:
+    """Structural hash, computed once per instance.
+
+    Frozen dataclasses recompute their (recursive) hash on every lookup;
+    caching it in the instance ``__dict__`` makes deep terms O(1) keys
+    after first use.  Nested terms use their own cached hashes, so even
+    the first hash of a new term touches each subterm once overall.
+    """
+    cached = self.__dict__.get("_hash")
+    if cached is None:
+        values = tuple(getattr(self, f.name) for f in fields(self))
+        cached = hash((type(self), values))
+        object.__setattr__(self, "_hash", cached)
+    return cached
+
+
+_AST_CLASSES = (
+    MatchKeyword, HasAnswer, HasEntity, TruePred, AndPred, OrPred, NotPred,
+    IsLeaf, IsElem, MatchText, TrueFilter, AndFilter, OrFilter, NotFilter,
+    GetRoot, GetChildren, GetDescendants,
+    Sat, IsSingleton,
+    ExtractContent, Substring, Filter, Split,
+    Branch, Program,
+)
+
+for _cls in _AST_CLASSES:
+    _cls.__hash__ = _cached_hash  # type: ignore[assignment]
+
+
+_intern_table: dict[AnyNode, AnyNode] = {}
+#: Intern-table bound: hash-consing is an identity optimization, so the
+#: table may be dropped wholesale once it grows past the working set of
+#: any realistic synthesis run (terms stay valid, later probes just
+#: re-canonicalize).
+_INTERN_LIMIT = 1 << 20
+_term_counter = _itertools.count()
+
+
+def intern(term: AnyNode) -> AnyNode:
+    """The canonical instance structurally equal to ``term``.
+
+    The grammar productions intern everything they emit, so all equal
+    terms flowing through synthesis are the *same* object and dictionary
+    probes short-circuit on identity before any deep comparison.
+    """
+    canonical = _intern_table.get(term)
+    if canonical is None:
+        if len(_intern_table) >= _INTERN_LIMIT:
+            _intern_table.clear()
+        _intern_table[term] = term
+        canonical = term
+    return canonical
+
+
+def term_key(term: AnyNode) -> int:
+    """A small integer naming ``term``'s structure.
+
+    Keys are cached on the instances themselves (like the structural
+    hash), assigned from a monotone counter via the canonical interned
+    instance.  Distinct structures never share a key; a structure seen
+    again after the intern table was dropped gets a fresh key, which
+    only costs a memo miss, never a false hit.
+    """
+    key = term.__dict__.get("_term_key")
+    if key is not None:
+        return key
+    canonical = intern(term)
+    key = canonical.__dict__.get("_term_key")
+    if key is None:
+        key = next(_term_counter)
+        object.__setattr__(canonical, "_term_key", key)
+    if canonical is not term:
+        object.__setattr__(term, "_term_key", key)
+    return key
 
 
 def get_entity(source: Extractor, label: str, k: int = 1) -> Substring:

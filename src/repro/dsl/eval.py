@@ -2,9 +2,29 @@
 
 Evaluation is organized around an :class:`EvalContext` that carries the
 program inputs (question Q, keywords K, webpage W), the neural model
-bundle, and per-page memo tables.  Synthesis re-evaluates shared
-subprograms constantly; memoizing locator and extractor denotations is
-what the paper's footnote 6 alludes to and is essential for performance.
+bundle, and memo tables.  Synthesis re-evaluates shared subprograms
+constantly; memoizing locator and extractor denotations is what the
+paper's footnote 6 alludes to and is essential for performance.
+
+Two interchangeable engines implement the semantics (see DESIGN.md):
+
+* ``"reference"`` (:class:`ReferenceEvalContext`) — the direct
+  object-graph interpreter: locators walk ``PageNode`` generators and
+  filters dispatch per node.  Simple, and the oracle the indexed engine
+  is differentially tested against.
+* ``"indexed"`` (:class:`IndexedEvalContext`, the default) — evaluates
+  over the page's Euler-tour index (:mod:`repro.webtree.index`).  Node
+  sets are rank bitsets: ``GetDescendants`` is a two-shift range mask,
+  compound filters are bitwise algebra, and atomic ``matchText`` filters
+  keep lazily grown per-page match bitsets.  All memo tables are hoisted
+  to page scope, so every context over the same (page, Q, K, models)
+  quadruple shares one set of caches.
+
+``EvalContext(page, q, k, models)`` transparently constructs the default
+engine; pass ``engine="reference"`` (or set
+``SynthesisConfig.engine``) to select the other.  Both engines return
+*document-ordered* distinct node tuples, so their results are
+bit-for-bit comparable.
 """
 
 from __future__ import annotations
@@ -12,6 +32,7 @@ from __future__ import annotations
 import re
 
 from ..nlp.models import NlpModels
+from ..webtree.index import PageIndex, iter_ranks
 from ..webtree.node import PageNode, WebPage
 from . import ast
 from .types import Answer, Keywords, NodeSet, Question, dedupe_ordered
@@ -19,9 +40,43 @@ from .types import Answer, Keywords, NodeSet, Question, dedupe_ordered
 #: Delimiters the Split construct may use (the paper's ``c``).
 SPLIT_DELIMITERS = (",", ";", "|", "•", "/")
 
+#: Engine used when none is requested explicitly.
+DEFAULT_ENGINE = "indexed"
+
+#: The selectable evaluation engines.
+ENGINES = ("indexed", "reference")
+
+
+def resolve_engine(engine: str | None) -> type["EvalContext"]:
+    """The context class implementing ``engine`` (None → the default)."""
+    name = engine or DEFAULT_ENGINE
+    if name == "indexed":
+        return IndexedEvalContext
+    if name == "reference":
+        return ReferenceEvalContext
+    raise ValueError(f"unknown eval engine {engine!r}; expected one of {ENGINES}")
+
 
 class EvalContext:
-    """Evaluation state for one (question, keywords, webpage) triple."""
+    """Evaluation state for one (question, keywords, webpage) triple.
+
+    Instantiating :class:`EvalContext` directly dispatches to the engine
+    named by ``engine`` (default :data:`DEFAULT_ENGINE`); the shared
+    denotations (NLP predicates, guards, extractors, programs) live here
+    and only the locator/filter machinery differs per engine.
+    """
+
+    def __new__(
+        cls,
+        page: WebPage,
+        question: Question,
+        keywords: Keywords,
+        models: NlpModels,
+        engine: str | None = None,
+    ) -> "EvalContext":
+        if cls is EvalContext:
+            cls = resolve_engine(engine)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -29,6 +84,7 @@ class EvalContext:
         question: Question,
         keywords: Keywords,
         models: NlpModels,
+        engine: str | None = None,
     ) -> None:
         self.page = page
         self.question = question
@@ -37,6 +93,9 @@ class EvalContext:
         self._locator_cache: dict[ast.Locator, NodeSet] = {}
         self._extractor_cache: dict[tuple[ast.Extractor, NodeSet], Answer] = {}
         self._pred_cache: dict[tuple[ast.NlpPred, str], bool] = {}
+
+    #: Engine name, for introspection and config round-trips.
+    engine_name = "abstract"
 
     # -- NLP predicates φ over strings ----------------------------------------
 
@@ -65,7 +124,7 @@ class EvalContext:
             return not self.eval_pred(pred.operand, text)
         raise TypeError(f"unknown NLP predicate: {pred!r}")
 
-    # -- node filters φ over tree nodes --------------------------------------------
+    # -- node filters φ over tree nodes ---------------------------------------
 
     def eval_filter(self, node_filter: ast.NodeFilter, node: PageNode) -> bool:
         if isinstance(node_filter, ast.TrueFilter):
@@ -89,7 +148,7 @@ class EvalContext:
             return not self.eval_filter(node_filter.operand, node)
         raise TypeError(f"unknown node filter: {node_filter!r}")
 
-    # -- section locators ν ------------------------------------------------------------
+    # -- section locators ν ----------------------------------------------------
 
     def eval_locator(self, locator: ast.Locator) -> NodeSet:
         cached = self._locator_cache.get(locator)
@@ -99,29 +158,9 @@ class EvalContext:
         return cached
 
     def _eval_locator_uncached(self, locator: ast.Locator) -> NodeSet:
-        if isinstance(locator, ast.GetRoot):
-            return (self.page.root,)
-        if isinstance(locator, ast.GetChildren):
-            sources = self.eval_locator(locator.source)
-            found = [
-                child
-                for node in sources
-                for child in node.children
-                if self.eval_filter(locator.node_filter, child)
-            ]
-            return _dedupe_nodes(found)
-        if isinstance(locator, ast.GetDescendants):
-            sources = self.eval_locator(locator.source)
-            found = [
-                descendant
-                for node in sources
-                for descendant in node.descendants()
-                if self.eval_filter(locator.node_filter, descendant)
-            ]
-            return _dedupe_nodes(found)
-        raise TypeError(f"unknown locator: {locator!r}")
+        raise NotImplementedError  # engine-specific
 
-    # -- guards ψ -----------------------------------------------------------------------
+    # -- guards ψ --------------------------------------------------------------
 
     def eval_guard(self, guard: ast.Guard) -> tuple[bool, NodeSet]:
         """Guard denotation: (fired?, located nodes)."""
@@ -133,7 +172,7 @@ class EvalContext:
             return fired, nodes
         raise TypeError(f"unknown guard: {guard!r}")
 
-    # -- extractors e --------------------------------------------------------------------
+    # -- extractors e ----------------------------------------------------------
 
     def eval_extractor(self, extractor: ast.Extractor, nodes: NodeSet) -> Answer:
         key = (extractor, nodes)
@@ -167,7 +206,7 @@ class EvalContext:
             return dedupe_ordered(found)
         raise TypeError(f"unknown extractor: {extractor!r}")
 
-    # -- Substring candidate generation -----------------------------------------------
+    # -- Substring candidate generation ----------------------------------------
 
     def substrings(self, pred: ast.NlpPred, text: str, k: int) -> list[str]:
         """Top-k substrings of ``text`` satisfying ``pred``.
@@ -201,7 +240,7 @@ class EvalContext:
         kept = [c for c in dedupe_ordered(candidates) if self.eval_pred(pred, c)]
         return kept[:k] if k > 0 else kept
 
-    # -- programs -------------------------------------------------------------------------
+    # -- programs --------------------------------------------------------------
 
     def eval_branch(self, branch: ast.Branch) -> Answer | None:
         """Branch result if its guard fires, else ``None``."""
@@ -218,14 +257,188 @@ class EvalContext:
         return ()
 
 
-def _dedupe_nodes(nodes: list[PageNode]) -> NodeSet:
-    seen: set[int] = set()
-    unique: list[PageNode] = []
-    for node in nodes:
-        if id(node) not in seen:
-            seen.add(id(node))
-            unique.append(node)
-    return tuple(unique)
+class ReferenceEvalContext(EvalContext):
+    """The direct object-graph interpreter.
+
+    This is the seed interpreter with one deliberate change: located
+    node sets are normalized to document (pre-order) order via
+    :meth:`_ordered_nodes`, where the seed kept first-occurrence
+    traversal order (the two differ only when a locator's source set
+    contains both an ancestor and its descendant).  Both engines share
+    the normalization, making their outputs bit-for-bit comparable; the
+    differential tests in ``tests/dsl/test_engine_equivalence.py`` hold
+    the indexed engine to this implementation's outputs.
+    """
+
+    engine_name = "reference"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._ranks: dict[int, int] | None = None
+
+    def _eval_locator_uncached(self, locator: ast.Locator) -> NodeSet:
+        if isinstance(locator, ast.GetRoot):
+            return (self.page.root,)
+        if isinstance(locator, ast.GetChildren):
+            sources = self.eval_locator(locator.source)
+            found = [
+                child
+                for node in sources
+                for child in node.children
+                if self.eval_filter(locator.node_filter, child)
+            ]
+            return self._ordered_nodes(found)
+        if isinstance(locator, ast.GetDescendants):
+            sources = self.eval_locator(locator.source)
+            found = [
+                descendant
+                for node in sources
+                for descendant in node.descendants()
+                if self.eval_filter(locator.node_filter, descendant)
+            ]
+            return self._ordered_nodes(found)
+        raise TypeError(f"unknown locator: {locator!r}")
+
+    def _ordered_nodes(self, nodes: list[PageNode]) -> NodeSet:
+        """Distinct nodes in document (pre-order) order.
+
+        Overlapping sources can surface a node's descendants before its
+        later siblings, so first-occurrence order is not document order;
+        both engines normalize to pre-order rank.
+        """
+        unique = {id(node): node for node in nodes}
+        if self._ranks is None or any(key not in self._ranks for key in unique):
+            self._ranks = {
+                id(node): rank
+                for rank, node in enumerate(self.page.root.iter_subtree())
+            }
+        ranks = self._ranks
+        return tuple(
+            sorted(unique.values(), key=lambda node: ranks[id(node)])
+        )
+
+
+class IndexedEvalContext(EvalContext):
+    """Bitset semantics over the page's Euler-tour index.
+
+    A locator denotes a rank bitset; ``GetChildren``/``GetDescendants``
+    are mask unions over precomputed child masks / tour ranges, and node
+    filters are evaluated set-at-a-time.  Atomic ``matchText`` filters
+    grow a per-page match bitset lazily: each node's predicate is
+    evaluated at most once per (page, Q, K, models) — across *all*
+    contexts, since the memo tables live on the index.
+    """
+
+    engine_name = "indexed"
+
+    def __init__(
+        self,
+        page: WebPage,
+        question: Question,
+        keywords: Keywords,
+        models: NlpModels,
+        engine: str | None = None,
+    ) -> None:
+        super().__init__(page, question, keywords, models)
+        self._index: PageIndex = page.index()
+        shared = self._index.shared_cache(self.question, self.keywords, models)
+        # Hoist every memo table to page scope: a fresh context over an
+        # already-analyzed page starts warm.
+        self._pred_cache = shared.pred_cache
+        self._locator_cache = shared.locator_cache
+        self._extractor_cache = shared.extractor_cache
+        self._mask_cache = shared.locator_masks
+        self._filter_bitsets = shared.filter_bitsets
+
+    # -- locators as bitsets ---------------------------------------------------
+
+    def _eval_locator_uncached(self, locator: ast.Locator) -> NodeSet:
+        return self._index.nodes_of_mask(self.locator_mask(locator))
+
+    def locator_mask(self, locator: ast.Locator) -> int:
+        """The rank bitset denoted by ``locator`` (memoized)."""
+        cached = self._mask_cache.get(locator)
+        if cached is None:
+            cached = self._locator_mask_uncached(locator)
+            self._mask_cache[locator] = cached
+        return cached
+
+    def _locator_mask_uncached(self, locator: ast.Locator) -> int:
+        index = self._index
+        if isinstance(locator, ast.GetRoot):
+            return 1  # the root has rank 0
+        if isinstance(locator, ast.GetChildren):
+            candidates = 0
+            children_mask = index.children_mask
+            for rank in iter_ranks(self.locator_mask(locator.source)):
+                candidates |= children_mask[rank]
+            return self.filter_mask(locator.node_filter, candidates)
+        if isinstance(locator, ast.GetDescendants):
+            candidates = 0
+            for rank in iter_ranks(self.locator_mask(locator.source)):
+                candidates |= index.descendants_mask(rank)
+            return self.filter_mask(locator.node_filter, candidates)
+        raise TypeError(f"unknown locator: {locator!r}")
+
+    # -- filters as bitsets ----------------------------------------------------
+
+    def filter_mask(self, node_filter: ast.NodeFilter, candidates: int) -> int:
+        """Subset of ``candidates`` satisfying ``node_filter``."""
+        index = self._index
+        if isinstance(node_filter, ast.TrueFilter):
+            return candidates
+        if isinstance(node_filter, ast.IsLeaf):
+            return candidates & index.leaf_mask
+        if isinstance(node_filter, ast.IsElem):
+            return candidates & index.elem_mask
+        if isinstance(node_filter, ast.MatchText):
+            return self._match_text_mask(node_filter, candidates)
+        if isinstance(node_filter, ast.AndFilter):
+            kept = self.filter_mask(node_filter.left, candidates)
+            return self.filter_mask(node_filter.right, kept)
+        if isinstance(node_filter, ast.OrFilter):
+            kept = self.filter_mask(node_filter.left, candidates)
+            rest = candidates & ~kept
+            return kept | self.filter_mask(node_filter.right, rest)
+        if isinstance(node_filter, ast.NotFilter):
+            return candidates & ~self.filter_mask(node_filter.operand, candidates)
+        raise TypeError(f"unknown node filter: {node_filter!r}")
+
+    def _match_text_mask(self, node_filter: ast.MatchText, candidates: int) -> int:
+        """Lazily grown match bitset for one atomic ``matchText`` filter.
+
+        ``state`` is ``[evaluated_mask, true_mask]``: which ranks have
+        been decided, and which of those matched.  Only candidates not
+        yet decided hit the NLP predicate.
+        """
+        key = (node_filter.pred, node_filter.whole_subtree)
+        state = self._filter_bitsets.get(key)
+        if state is None:
+            state = [0, 0]
+            self._filter_bitsets[key] = state
+        pending = candidates & ~state[0]
+        if pending:
+            index = self._index
+            pred = node_filter.pred
+            whole = node_filter.whole_subtree
+            texts = index.texts
+            matched = 0
+            for rank in iter_ranks(pending):
+                text = index.subtree_text(rank) if whole else texts[rank]
+                if self.eval_pred(pred, text):
+                    matched |= 1 << rank
+            state[0] |= pending
+            state[1] |= matched
+        return candidates & state[1]
+
+    # -- single-node filter queries reuse the bitsets --------------------------
+
+    def eval_filter(self, node_filter: ast.NodeFilter, node: PageNode) -> bool:
+        try:
+            rank = self._index.rank(node)
+        except KeyError:  # foreign node: fall back to the direct semantics
+            return super().eval_filter(node_filter, node)
+        return bool(self.filter_mask(node_filter, 1 << rank))
 
 
 _SEGMENT_RE = re.compile(r"[,;|•\n]| - |: ")
@@ -255,6 +468,7 @@ def run_program(
     question: Question,
     keywords: Keywords,
     models: NlpModels,
+    engine: str | None = None,
 ) -> Answer:
     """One-shot convenience wrapper: evaluate ``program`` on one page."""
-    return EvalContext(page, question, keywords, models).eval_program(program)
+    return EvalContext(page, question, keywords, models, engine).eval_program(program)

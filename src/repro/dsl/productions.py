@@ -13,6 +13,7 @@ predicate/filter instantiations described by a :class:`ProductionConfig`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..nlp.ner import ENTITY_LABELS
 from . import ast
@@ -103,6 +104,26 @@ class ProductionConfig:
         return [ast.TruePred(), *self.atomic_preds()]
 
 
+# The pools are pure functions of the (frozen, hashable) config but the
+# enumerators re-request them for every expanded term; cache them once,
+# interned so every produced term is canonical (see repro.dsl.ast).
+
+
+@lru_cache(maxsize=None)
+def _filter_pred_pool(config: ProductionConfig) -> tuple[ast.NlpPred, ...]:
+    return tuple(ast.intern(p) for p in config.filter_preds())
+
+
+@lru_cache(maxsize=None)
+def _node_filter_pool(config: ProductionConfig) -> tuple[ast.NodeFilter, ...]:
+    return tuple(ast.intern(f) for f in config.node_filters())
+
+
+@lru_cache(maxsize=None)
+def _guard_pred_pool(config: ProductionConfig) -> tuple[ast.NlpPred, ...]:
+    return tuple(ast.intern(p) for p in config.guard_preds())
+
+
 def expand_extractor(
     extractor: ast.Extractor, config: ProductionConfig
 ) -> list[ast.Extractor]:
@@ -112,27 +133,32 @@ def expand_extractor(
     top of* ``extractor``, hence its recall on any example set is at most
     the recall of ``extractor`` — the invariant behind UB pruning.
     """
+    preds = _filter_pred_pool(config)
     extensions: list[ast.Extractor] = []
-    extensions.extend(ast.Split(extractor, c) for c in config.delimiters)
-    extensions.extend(ast.Filter(extractor, p) for p in config.filter_preds())
-    for pred in config.filter_preds():
+    extensions.extend(ast.intern(ast.Split(extractor, c)) for c in config.delimiters)
+    extensions.extend(ast.intern(ast.Filter(extractor, p)) for p in preds)
+    for pred in preds:
         if isinstance(pred, ast.NotPred):
             continue  # negations make poor substring generators
-        extensions.extend(ast.Substring(extractor, pred, k) for k in config.substring_ks)
+        extensions.extend(
+            ast.intern(ast.Substring(extractor, pred, k)) for k in config.substring_ks
+        )
     return extensions
 
 
 def expand_locator(locator: ast.Locator, config: ProductionConfig) -> list[ast.Locator]:
     """All one-step extensions of a complete section locator."""
     extensions: list[ast.Locator] = []
-    for node_filter in config.node_filters():
-        extensions.append(ast.GetChildren(locator, node_filter))
-        extensions.append(ast.GetDescendants(locator, node_filter))
+    for node_filter in _node_filter_pool(config):
+        extensions.append(ast.intern(ast.GetChildren(locator, node_filter)))
+        extensions.append(ast.intern(ast.GetDescendants(locator, node_filter)))
     return extensions
 
 
 def gen_guards(locator: ast.Locator, config: ProductionConfig) -> list[ast.Guard]:
     """All guards over one section locator (``GenGuards``, Figure 10)."""
-    guards: list[ast.Guard] = [ast.IsSingleton(locator)]
-    guards.extend(ast.Sat(locator, pred) for pred in config.guard_preds())
+    guards: list[ast.Guard] = [ast.intern(ast.IsSingleton(locator))]
+    guards.extend(
+        ast.intern(ast.Sat(locator, pred)) for pred in _guard_pred_pool(config)
+    )
     return guards

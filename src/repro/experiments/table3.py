@@ -68,8 +68,14 @@ def run(
     times: dict[str, list[float]] = {name: [] for name in variants}
     f1s: dict[str, list[float]] = {name: [] for name in variants}
     for task_id in task_ids:
-        dataset = dataset_for(TASKS_BY_ID[task_id], config)
         for name, synth_config in variants.items():
+            # Rebuild the (seeded, deterministic) dataset per variant.
+            # The corpus pages themselves are lru-cached, but each
+            # rebuild constructs a fresh NlpModels bundle, and the
+            # page-scoped eval caches key on the models' identity — so
+            # each variant is timed cold instead of riding the memo
+            # tables the previous variant populated.
+            dataset = dataset_for(TASKS_BY_ID[task_id], config)
             start = time.perf_counter()
             result = synthesize(
                 list(dataset.train),

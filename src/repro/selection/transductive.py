@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dsl import ast
-from ..dsl.eval import EvalContext
 from ..nlp.models import NlpModels
+from ..synthesis.examples import TaskContexts
 from ..synthesis.top import SynthesisResult
 from ..webtree.node import WebPage
 from .loss import output_loss
@@ -45,20 +45,27 @@ def run_on_pages(
     question: str,
     keywords: tuple[str, ...],
     models: NlpModels,
-    contexts: dict[int, EvalContext] | None = None,
+    contexts: TaskContexts | None = None,
+    engine: str | None = None,
 ) -> tuple[tuple[str, ...], ...]:
-    """Evaluate a program on every page; aligned tuple of answers."""
-    outputs: list[tuple[str, ...]] = []
-    for page in pages:
-        if contexts is not None:
-            ctx = contexts.get(id(page))
-            if ctx is None:
-                ctx = EvalContext(page, question, keywords, models)
-                contexts[id(page)] = ctx
-        else:
-            ctx = EvalContext(page, question, keywords, models)
-        outputs.append(ctx.eval_program(program))
-    return tuple(outputs)
+    """Evaluate a program on every page; aligned tuple of answers.
+
+    Pass a :class:`TaskContexts` to share per-page evaluation state
+    across calls (and to pin the evaluation engine); otherwise a fresh
+    one is created from ``engine``.
+    """
+    if contexts is None:
+        contexts = TaskContexts(question, tuple(keywords), models, engine=engine)
+    elif (contexts.question, contexts.keywords, contexts.models) != (
+        question,
+        tuple(keywords),
+        models,
+    ):
+        raise ValueError(
+            "contexts was built for a different (question, keywords, models) "
+            "triple than the one passed to run_on_pages"
+        )
+    return tuple(contexts.ctx(page).eval_program(program) for page in pages)
 
 
 def select_program(
@@ -67,6 +74,7 @@ def select_program(
     models: NlpModels,
     ensemble_size: int = DEFAULT_ENSEMBLE_SIZE,
     seed: int = 0,
+    engine: str | None = None,
 ) -> SelectionOutcome:
     """The Select procedure of Figure 11.
 
@@ -78,7 +86,9 @@ def select_program(
     if not result.spaces:
         raise ValueError("synthesis produced no optimal programs to select from")
     ensemble = result.sample_many(ensemble_size, seed=seed)
-    contexts: dict[int, EvalContext] = {}
+    contexts = TaskContexts(
+        result.question, tuple(result.keywords), models, engine=engine
+    )
 
     # Group ensemble members by their behaviour on the unlabeled pages.
     by_output: dict[tuple[tuple[str, ...], ...], list[ast.Program]] = {}

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..dsl.eval import DEFAULT_ENGINE
 from ..dsl.productions import ProductionConfig, fine_thresholds
 
 
@@ -42,6 +43,12 @@ class SynthesisConfig:
     #: Recall-monotone UB pruning stays sound for every β; see
     #: :func:`repro.synthesis.f1.upper_bound_from_recall`.
     beta: float = 1.0
+    #: DSL evaluation engine: "indexed" (Euler-tour bitset evaluation,
+    #: the default) or "reference" (the direct object-graph
+    #: interpreter).  Both implement identical semantics — see DESIGN.md
+    #: and the differential tests — so this switch exists for A/B
+    #: benchmarking and as a fallback oracle.
+    engine: str = DEFAULT_ENGINE
 
     def with_productions(self, productions: ProductionConfig) -> "SynthesisConfig":
         return replace(self, productions=productions)

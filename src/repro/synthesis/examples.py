@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dsl.eval import EvalContext
+from ..dsl import ast
+from ..dsl.eval import DEFAULT_ENGINE, EvalContext, resolve_engine
 from ..nlp.models import NlpModels
 from ..webtree.node import WebPage
 
@@ -35,16 +36,51 @@ class TaskContexts:
     """
 
     def __init__(
-        self, question: str, keywords: tuple[str, ...], models: NlpModels
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        models: NlpModels,
+        engine: str | None = None,
     ) -> None:
         self.question = question
         self.keywords = tuple(keywords)
         self.models = models
+        self.engine = engine or DEFAULT_ENGINE
+        resolve_engine(self.engine)  # fail fast on typos
         self._contexts: dict[int, EvalContext] = {}
+        self._signatures: dict[tuple, tuple[tuple[int, ...], ...]] = {}
 
     def ctx(self, page: WebPage) -> EvalContext:
         context = self._contexts.get(id(page))
         if context is None:
-            context = EvalContext(page, self.question, self.keywords, self.models)
+            context = EvalContext(
+                page, self.question, self.keywords, self.models, self.engine
+            )
             self._contexts[id(page)] = context
         return context
+
+    def locator_signature(
+        self, locator: ast.Locator, examples: list
+    ) -> tuple[tuple[int, ...], ...]:
+        """Node ids located by ``locator`` on each example page, memoized.
+
+        Guard enumeration and the footnote-6 extractor memo both key on
+        this behaviour tuple; with interned locators (cached hashes) and
+        this memo, repeat requests are one dictionary probe instead of a
+        per-page re-evaluation.
+        """
+        key = (
+            ast.term_key(locator),
+            tuple(id(example.page) for example in examples),
+        )
+        signature = self._signatures.get(key)
+        if signature is None:
+            signature = tuple(
+                tuple(
+                    node.node_id
+                    for node in self.ctx(example.page).eval_locator(locator)
+                )
+                for example in examples
+            )
+            self._signatures[key] = signature
+        return signature

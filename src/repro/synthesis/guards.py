@@ -38,12 +38,13 @@ def locator_signature(
     examples: list[LabeledExample],
     contexts: TaskContexts,
 ) -> LocatorSignature:
-    """Node ids located on every example page, in page order."""
-    signature: list[tuple[int, ...]] = []
-    for example in examples:
-        nodes = contexts.ctx(example.page).eval_locator(locator)
-        signature.append(tuple(n.node_id for n in nodes))
-    return tuple(signature)
+    """Node ids located on every example page, in page order.
+
+    Delegates to the :class:`TaskContexts` memo, so enumerating the same
+    locator behaviour again (or reusing it as the footnote-6 memo key in
+    branch synthesis) costs one tuple lookup.
+    """
+    return contexts.locator_signature(locator, examples)
 
 
 def guard_classifies(

@@ -119,7 +119,9 @@ def synthesize(
     combined example-weighted F1 ties the best seen.
     """
     config = config or default_config()
-    contexts = contexts or TaskContexts(question, tuple(keywords), models)
+    contexts = contexts or TaskContexts(
+        question, tuple(keywords), models, engine=config.engine
+    )
     start = time.perf_counter()
 
     best_spaces: list[ProgramSpace] = []

@@ -6,10 +6,13 @@ Public surface:
 - :func:`page_from_html` / :func:`build_tree` — construction from HTML.
 - :func:`render_tree` — Figure-4-style debug dump.
 - :mod:`repro.webtree.paths` — structural paths and layout fingerprints.
+- :class:`PageIndex` / :func:`page_index` — the Euler-tour evaluation
+  index behind the indexed DSL engine (see DESIGN.md).
 """
 
 from .builder import build_tree, page_from_html
 from .html_out import page_to_html
+from .index import PageIndex, iter_ranks, page_index
 from .node import NodeType, PageNode, WebPage
 from .paths import (
     depth_signature,
@@ -24,7 +27,10 @@ from .render import render_tree, tree_stats
 __all__ = [
     "NodeType",
     "PageNode",
+    "PageIndex",
     "WebPage",
+    "page_index",
+    "iter_ranks",
     "build_tree",
     "page_from_html",
     "page_to_html",

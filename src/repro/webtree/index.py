@@ -1,0 +1,228 @@
+"""Per-page evaluation index: Euler-tour flattening + bitset node sets.
+
+The synthesis loop (Figures 7–10) evaluates thousands of locators and
+filters against the *same* webpage trees.  The object-graph interpreter
+pays for that with Python generator traversals and repeated
+``subtree_text`` joins on every query.  This module flattens a
+:class:`~repro.webtree.node.WebPage` once into parallel arrays indexed
+by **pre-order rank**:
+
+* ``nodes[r]``   — the node with pre-order rank ``r`` (rank = Euler-tour
+  entry time, so ranks are document order);
+* ``exit[r]``    — the highest rank inside ``r``'s subtree, making the
+  proper descendants of ``r`` the contiguous range ``r+1 .. exit[r]``;
+* ``parent[r]`` / ``depth[r]`` — structural context in O(1);
+* ``texts[r]`` / ``subtree_text(r)`` — node text and the lazily cached
+  whole-subtree text (the ``b = true`` variant of ``matchText``).
+
+Node *sets* are arbitrary-precision integers used as bitsets over ranks:
+bit ``r`` set means "rank r is in the set".  Set algebra (``&``, ``|``,
+``~`` within the page universe) replaces per-node predicate dispatch,
+and ``descendants_mask`` is a two-shift range mask instead of a tree
+walk.  :class:`~repro.dsl.eval.IndexedEvalContext` builds its whole
+locator/filter semantics on these operations.
+
+The index is built lazily by :meth:`WebPage.index` and cached on the
+page.  It assumes the tree is frozen; callers that mutate a page after
+indexing must call :meth:`WebPage.invalidate_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .node import NodeType, PageNode, WebPage
+
+
+def iter_ranks(mask: int) -> Iterator[int]:
+    """Set bit positions of ``mask`` in increasing (document) order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class _SharedEvalCache:
+    """Memo tables shared by every eval context over one
+    (page, question, keywords, models) quadruple.
+
+    Hanging these off the index (rather than the context) means a fresh
+    :class:`~repro.dsl.eval.EvalContext` for an already-analyzed page
+    starts warm — the paper's footnote-6 memoization hoisted to page
+    scope.  Keys are semantic inputs only, so sharing is sound for the
+    pure model bundle.
+    """
+
+    __slots__ = (
+        "pred_cache",
+        "locator_cache",
+        "locator_masks",
+        "filter_bitsets",
+        "extractor_cache",
+    )
+
+    def __init__(self) -> None:
+        #: (pred, text) -> bool
+        self.pred_cache: dict = {}
+        #: locator -> document-ordered tuple of PageNode
+        self.locator_cache: dict = {}
+        #: locator -> rank bitset
+        self.locator_masks: dict = {}
+        #: (pred, whole_subtree) -> [evaluated_mask, true_mask]
+        self.filter_bitsets: dict = {}
+        #: (extractor, nodes) -> Answer
+        self.extractor_cache: dict = {}
+
+
+class PageIndex:
+    """One-shot pre-order flattening of a webpage tree."""
+
+    __slots__ = (
+        "page",
+        "nodes",
+        "exit",
+        "parent",
+        "depth",
+        "texts",
+        "leaf_mask",
+        "elem_mask",
+        "all_mask",
+        "children_ranks",
+        "children_mask",
+        "_rank_by_node",
+        "_id_map",
+        "_subtree_texts",
+        "_shared_caches",
+    )
+
+    def __init__(self, page: WebPage) -> None:
+        self.page = page
+        nodes: list[PageNode] = []
+        parent: list[int] = []
+        depth: list[int] = []
+        children_ranks: list[list[int]] = []
+        # Iterative pre-order walk; children are pushed reversed so they
+        # pop left-to-right, keeping ranks in document order.
+        stack: list[tuple[PageNode, int, int]] = [(page.root, -1, 0)]
+        while stack:
+            node, parent_rank, node_depth = stack.pop()
+            rank = len(nodes)
+            nodes.append(node)
+            parent.append(parent_rank)
+            depth.append(node_depth)
+            children_ranks.append([])
+            if parent_rank >= 0:
+                children_ranks[parent_rank].append(rank)
+            for child in reversed(node.children):
+                stack.append((child, rank, node_depth + 1))
+
+        size = len(nodes)
+        # exit[r] = highest rank in r's subtree.  In reverse rank order a
+        # node's last child (its highest-ranked child) is already done.
+        exit_: list[int] = [0] * size
+        for rank in range(size - 1, -1, -1):
+            ranks = children_ranks[rank]
+            exit_[rank] = exit_[ranks[-1]] if ranks else rank
+
+        leaf_mask = 0
+        elem_mask = 0
+        children_mask: list[int] = [0] * size
+        for rank, node in enumerate(nodes):
+            if not node.children:
+                leaf_mask |= 1 << rank
+            parent_rank = parent[rank]
+            if parent_rank >= 0:
+                children_mask[parent_rank] |= 1 << rank
+                if nodes[parent_rank].node_type is not NodeType.NONE:
+                    elem_mask |= 1 << rank
+
+        self.nodes = nodes
+        self.exit = exit_
+        self.parent = parent
+        self.depth = depth
+        self.texts = [node.text for node in nodes]
+        self.leaf_mask = leaf_mask
+        self.elem_mask = elem_mask
+        self.all_mask = (1 << size) - 1
+        self.children_ranks = children_ranks
+        self.children_mask = children_mask
+        self._rank_by_node = {id(node): rank for rank, node in enumerate(nodes)}
+        id_map: dict[int, PageNode] = {}
+        for node in nodes:  # first occurrence wins, matching the old scan
+            id_map.setdefault(node.node_id, node)
+        self._id_map = id_map
+        self._subtree_texts: list[Optional[str]] = [None] * size
+        self._shared_caches: dict = {}
+
+    # -- structure queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def rank(self, node: PageNode) -> int:
+        """Pre-order rank of ``node``; KeyError for foreign nodes."""
+        return self._rank_by_node[id(node)]
+
+    def node_by_id(self, node_id: int) -> Optional[PageNode]:
+        """O(1) replacement for the old pre-order id scan."""
+        return self._id_map.get(node_id)
+
+    def descendants_mask(self, rank: int) -> int:
+        """Bitset of the proper descendants of ``rank``: the contiguous
+        Euler-tour range ``rank+1 .. exit[rank]``."""
+        return (1 << (self.exit[rank] + 1)) - (1 << (rank + 1))
+
+    def subtree_mask(self, rank: int) -> int:
+        """Bitset of ``rank`` plus its descendants."""
+        return (1 << (self.exit[rank] + 1)) - (1 << rank)
+
+    def nodes_of_mask(self, mask: int) -> tuple[PageNode, ...]:
+        """The nodes of a bitset, in document order."""
+        nodes = self.nodes
+        return tuple(nodes[rank] for rank in iter_ranks(mask))
+
+    # -- text queries ----------------------------------------------------------
+
+    def subtree_text(self, rank: int) -> str:
+        """Cached ``subtree_text`` of the node at ``rank``."""
+        cached = self._subtree_texts[rank]
+        if cached is None:
+            fragments = self.texts[rank : self.exit[rank] + 1]
+            cached = " ".join(t for t in fragments if t)
+            self._subtree_texts[rank] = cached
+        return cached
+
+    # -- shared evaluation caches ----------------------------------------------
+
+    #: Retained (question, keywords, models) cache entries per page.
+    #: Pages can outlive many model bundles (the corpus generators are
+    #: lru-cached for the whole process), so without a bound the per-page
+    #: tables grow monotonically; LRU eviction keeps the working set.
+    MAX_SHARED_CACHES = 8
+
+    def shared_cache(
+        self, question: str, keywords: tuple[str, ...], models: object
+    ) -> _SharedEvalCache:
+        """The memo tables for one (question, keywords, models) triple.
+
+        ``models`` participates by identity; the cache holds a strong
+        reference so a dead model bundle's id can never alias a live one.
+        """
+        key = (question, keywords, models)
+        caches = self._shared_caches
+        cache = caches.get(key)
+        if cache is None:
+            cache = _SharedEvalCache()
+            caches[key] = cache
+            while len(caches) > self.MAX_SHARED_CACHES:
+                caches.pop(next(iter(caches)))
+        else:
+            # Refresh recency (dicts preserve insertion order).
+            caches.pop(key)
+            caches[key] = cache
+        return cache
+
+
+def page_index(page: WebPage) -> PageIndex:
+    """The cached :class:`PageIndex` of ``page`` (built on first use)."""
+    return page.index()

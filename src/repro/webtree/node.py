@@ -28,7 +28,7 @@ class PageNode:
     and ``parent`` encode the edge relation.
     """
 
-    __slots__ = ("node_id", "text", "node_type", "children", "parent")
+    __slots__ = ("node_id", "text", "node_type", "children", "parent", "sibling_pos")
 
     def __init__(
         self,
@@ -41,11 +41,13 @@ class PageNode:
         self.node_type = node_type
         self.children: list[PageNode] = []
         self.parent: Optional[PageNode] = None
+        self.sibling_pos = 0
 
     # -- construction ---------------------------------------------------------
 
     def add_child(self, child: "PageNode") -> "PageNode":
         child.parent = self
+        child.sibling_pos = len(self.children)
         self.children.append(child)
         return child
 
@@ -88,10 +90,12 @@ class PageNode:
         return sum(1 for _ in self.ancestors())
 
     def child_index(self) -> int:
-        """Position of this node among its siblings (0 for the root)."""
-        if self.parent is None:
-            return 0
-        return self.parent.children.index(self)
+        """Position of this node among its siblings (0 for the root).
+
+        O(1): the position is recorded by :meth:`add_child` instead of
+        being rediscovered with a linear ``list.index`` scan.
+        """
+        return self.sibling_pos
 
     # -- text queries ------------------------------------------------------------
 
@@ -119,21 +123,42 @@ class WebPage:
     URLs); ``root`` is node ``n0`` of Definition 3.1.
     """
 
-    __slots__ = ("url", "root")
+    __slots__ = ("url", "root", "_index")
 
     def __init__(self, root: PageNode, url: str = "") -> None:
         self.root = root
         self.url = url
+        self._index = None
+
+    def index(self):
+        """The page's cached evaluation index (see :mod:`repro.webtree.index`).
+
+        Built lazily on first use; the tree must not be mutated afterwards
+        without calling :meth:`invalidate_index`.
+        """
+        if self._index is None:
+            from .index import PageIndex
+
+            self._index = PageIndex(self)
+        return self._index
+
+    def invalidate_index(self) -> None:
+        """Drop the cached index (and id map) after a tree mutation."""
+        self._index = None
 
     def nodes(self) -> list[PageNode]:
         """All nodes in document order."""
         return list(self.root.iter_subtree())
 
     def node_by_id(self, node_id: int) -> Optional[PageNode]:
-        for node in self.root.iter_subtree():
-            if node.node_id == node_id:
-                return node
-        return None
+        """The node carrying ``node_id`` (first in pre-order), or ``None``.
+
+        O(1) via the index's cached id→node map.  Like every index-backed
+        query, the answer reflects the tree as of the last
+        :meth:`index` build — call :meth:`invalidate_index` after
+        mutating the tree.
+        """
+        return self.index().node_by_id(node_id)
 
     def size(self) -> int:
         return sum(1 for _ in self.root.iter_subtree())

@@ -1,0 +1,221 @@
+"""Differential tests: indexed vs reference engines must agree exactly.
+
+The indexed engine (Euler-tour bitsets, page-scoped memo tables) is a
+pure performance rewrite of the reference interpreter; these tests hold
+it to bit-for-bit output equality — locators, guards, extractors and
+whole programs — over both hypothesis-generated random trees and the
+seeded synthetic corpus pages.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.dsl import EvalContext, ast, run_program
+from repro.dsl.eval import resolve_engine
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample, TaskContexts, synthesize
+from repro.synthesis.config import SynthesisConfig
+from repro.dsl.productions import ProductionConfig
+from repro.webtree import NodeType, PageNode, WebPage
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+CORPUS_PAGES = [
+    generate_page(domain, seed).page
+    for domain in ("faculty", "clinic")
+    for seed in (3, 11)
+]
+
+#: Texts chosen to exercise entities, keywords, delimiters and blanks.
+TEXT_POOL = (
+    "",
+    "PhD students",
+    "Current Students",
+    "Robert Smith",
+    "Mary Anderson, John Doe",
+    "Current: PLDI 2021 (PC)",
+    "Office hours; by appointment",
+    "a,b",
+    "contact at university.edu",
+)
+
+texts = st.sampled_from(TEXT_POOL)
+node_types = st.sampled_from((NodeType.NONE, NodeType.LIST, NodeType.TABLE))
+
+
+@st.composite
+def random_pages(draw):
+    """A small random WebPage with pre-order node ids."""
+    spec = draw(
+        st.recursive(
+            texts,
+            lambda kids: st.tuples(texts, st.lists(kids, min_size=1, max_size=3)),
+            max_leaves=10,
+        )
+    )
+
+    def build(node_spec) -> PageNode:
+        if isinstance(node_spec, str):
+            return PageNode(0, node_spec, draw(node_types))
+        text, children = node_spec
+        node = PageNode(0, text, draw(node_types))
+        for child_spec in children:
+            node.add_child(build(child_spec))
+        return node
+
+    root = build(spec)
+    for node_id, node in enumerate(root.iter_subtree()):
+        node.node_id = node_id
+    return WebPage(root)
+
+
+pages = st.one_of(random_pages(), st.sampled_from(CORPUS_PAGES))
+
+atomic_preds = st.one_of(
+    st.just(ast.TruePred()),
+    st.builds(ast.MatchKeyword, st.sampled_from((0.55, 0.7, 0.85))),
+    st.just(ast.HasAnswer()),
+    st.builds(ast.HasEntity, st.sampled_from(("PERSON", "DATE", "ORG"))),
+)
+preds = st.recursive(
+    atomic_preds,
+    lambda inner: st.one_of(
+        st.builds(ast.AndPred, inner, inner),
+        st.builds(ast.OrPred, inner, inner),
+        st.builds(ast.NotPred, inner),
+    ),
+    max_leaves=3,
+)
+node_filters = st.recursive(
+    st.one_of(
+        st.just(ast.TrueFilter()),
+        st.just(ast.IsLeaf()),
+        st.just(ast.IsElem()),
+        st.builds(ast.MatchText, atomic_preds, st.booleans()),
+    ),
+    lambda inner: st.one_of(
+        st.builds(ast.AndFilter, inner, inner),
+        st.builds(ast.OrFilter, inner, inner),
+        st.builds(ast.NotFilter, inner),
+    ),
+    max_leaves=3,
+)
+locators = st.recursive(
+    st.just(ast.GetRoot()),
+    lambda inner: st.one_of(
+        st.builds(ast.GetChildren, inner, node_filters),
+        st.builds(ast.GetDescendants, inner, node_filters),
+    ),
+    max_leaves=4,
+)
+guards = st.one_of(
+    st.builds(ast.IsSingleton, locators),
+    st.builds(ast.Sat, locators, atomic_preds),
+)
+extractors = st.recursive(
+    st.just(ast.ExtractContent()),
+    lambda inner: st.one_of(
+        st.builds(ast.Split, inner, st.sampled_from((",", ";", "|"))),
+        st.builds(ast.Filter, inner, preds),
+        st.builds(ast.Substring, inner, atomic_preds, st.sampled_from((1, 2))),
+    ),
+    max_leaves=3,
+)
+programs = st.builds(
+    ast.Program,
+    st.lists(st.builds(ast.Branch, guards, extractors), min_size=1, max_size=2).map(
+        tuple
+    ),
+)
+
+
+def both_engines(page):
+    reference = EvalContext(page, QUESTION, KEYWORDS, MODELS, engine="reference")
+    indexed = EvalContext(page, QUESTION, KEYWORDS, MODELS, engine="indexed")
+    return reference, indexed
+
+
+def located_ids(context, locator):
+    return tuple(node.node_id for node in context.eval_locator(locator))
+
+
+class TestDifferential:
+    @given(pages, locators)
+    @settings(max_examples=40, deadline=None)
+    def test_locators_agree(self, page, locator):
+        reference, indexed = both_engines(page)
+        assert located_ids(reference, locator) == located_ids(indexed, locator)
+
+    @given(pages, guards)
+    @settings(max_examples=40, deadline=None)
+    def test_guards_agree(self, page, guard):
+        reference, indexed = both_engines(page)
+        fired_ref, nodes_ref = reference.eval_guard(guard)
+        fired_idx, nodes_idx = indexed.eval_guard(guard)
+        assert fired_ref == fired_idx
+        assert tuple(n.node_id for n in nodes_ref) == tuple(
+            n.node_id for n in nodes_idx
+        )
+
+    @given(pages, locators, extractors)
+    @settings(max_examples=30, deadline=None)
+    def test_extractors_agree(self, page, locator, extractor):
+        reference, indexed = both_engines(page)
+        answer_ref = reference.eval_extractor(
+            extractor, reference.eval_locator(locator)
+        )
+        answer_idx = indexed.eval_extractor(extractor, indexed.eval_locator(locator))
+        assert answer_ref == answer_idx
+
+    @given(pages, programs)
+    @settings(max_examples=30, deadline=None)
+    def test_programs_agree(self, page, program):
+        assert run_program(
+            program, page, QUESTION, KEYWORDS, MODELS, engine="reference"
+        ) == run_program(program, page, QUESTION, KEYWORDS, MODELS, engine="indexed")
+
+
+SMALL = SynthesisConfig(
+    productions=ProductionConfig(
+        keyword_thresholds=(0.7,),
+        entity_labels=("PERSON", "ORG", "DATE"),
+        use_negation=False,
+        use_subtree_text=False,
+    ),
+    guard_depth=2,
+    extractor_depth=2,
+    max_branches=1,
+)
+
+
+class TestSynthesisAcrossEngines:
+    @pytest.mark.parametrize("engine", ("reference", "indexed"))
+    def test_engine_is_honored(self, engine):
+        contexts = TaskContexts(QUESTION, KEYWORDS, MODELS, engine=engine)
+        page = CORPUS_PAGES[0]
+        assert contexts.ctx(page).engine_name == engine
+
+    def test_synthesis_results_identical(self):
+        sample = generate_page("faculty", 11)
+        examples = [LabeledExample(sample.page, sample.gold["fac_t1"])]
+        results = {}
+        for engine in ("reference", "indexed"):
+            from dataclasses import replace
+
+            config = replace(SMALL, engine=engine)
+            result = synthesize(examples, QUESTION, KEYWORDS, MODELS, config)
+            results[engine] = result
+        assert results["reference"].f1 == pytest.approx(results["indexed"].f1)
+        assert results["reference"].count() == results["indexed"].count()
+        # The spaces enumerate the same concrete optimal programs.
+        assert results["reference"].enumerate(50) == results["indexed"].enumerate(50)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+        with pytest.raises(ValueError):
+            TaskContexts(QUESTION, KEYWORDS, MODELS, engine="turbo")

@@ -1,0 +1,126 @@
+"""Tests for the Euler-tour page index (repro.webtree.index)."""
+
+from repro.webtree import NodeType, PageIndex, PageNode, WebPage, page_from_html
+from repro.webtree.index import iter_ranks, page_index
+
+FIGURE2_HTML = """
+<h1>Jane Doe</h1><p>university | janedoe at university.edu</p>
+<h2>Students</h2><p><b>PhD students</b></p>
+<ul><li>Robert Smith</li><li>Mary Anderson</li></ul>
+<h2>Activities</h2><p><b>Professional Services</b></p>
+<ul><li>Current: PLDI 2021 (PC)</li><li>Past: CAV 2020 (PC), PLDI 2020 (SRC)</li></ul>
+"""
+
+
+def build_page():
+    return page_from_html(FIGURE2_HTML)
+
+
+class TestFlattening:
+    def test_preorder_matches_iter_subtree(self):
+        page = build_page()
+        index = page_index(page)
+        assert list(index.nodes) == list(page.root.iter_subtree())
+
+    def test_index_is_cached_on_page(self):
+        page = build_page()
+        assert page.index() is page.index()
+        page.invalidate_index()
+        rebuilt = page.index()
+        assert isinstance(rebuilt, PageIndex)
+
+    def test_parent_and_depth_arrays(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            if node.parent is None:
+                assert index.parent[rank] == -1
+                assert index.depth[rank] == 0
+            else:
+                assert index.nodes[index.parent[rank]] is node.parent
+                assert index.depth[rank] == node.depth()
+
+    def test_exit_bounds_subtree(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            subtree = list(node.iter_subtree())
+            assert index.exit[rank] == rank + len(subtree) - 1
+            ranks = [index.rank(n) for n in subtree]
+            assert ranks == list(range(rank, index.exit[rank] + 1))
+
+
+class TestMasks:
+    def test_descendants_mask_matches_descendants(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            expected = [index.rank(n) for n in node.descendants()]
+            assert list(iter_ranks(index.descendants_mask(rank))) == expected
+
+    def test_children_mask_matches_children(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            expected = [index.rank(child) for child in node.children]
+            assert list(iter_ranks(index.children_mask[rank])) == expected
+
+    def test_leaf_and_elem_masks(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            assert bool(index.leaf_mask & (1 << rank)) == node.is_leaf()
+            assert bool(index.elem_mask & (1 << rank)) == node.is_elem()
+
+    def test_nodes_of_mask_document_order(self):
+        page = build_page()
+        index = page_index(page)
+        assert index.nodes_of_mask(index.all_mask) == tuple(page.root.iter_subtree())
+        assert index.nodes_of_mask(0) == ()
+
+
+class TestTextCaches:
+    def test_subtree_text_matches_node(self):
+        page = build_page()
+        index = page_index(page)
+        for rank, node in enumerate(index.nodes):
+            assert index.subtree_text(rank) == node.subtree_text()
+            # Second call hits the cache and must agree.
+            assert index.subtree_text(rank) == node.subtree_text()
+
+
+class TestNodeById:
+    def test_node_by_id_round_trip(self):
+        page = build_page()
+        for node in page.nodes():
+            assert page.node_by_id(node.node_id) is node
+        assert page.node_by_id(10**9) is None
+
+    def test_duplicate_ids_resolve_to_first_preorder(self):
+        root = PageNode(0, "root")
+        first = root.add_child(PageNode(7, "first"))
+        root.add_child(PageNode(7, "second"))
+        page = WebPage(root)
+        assert page.node_by_id(7) is first
+
+    def test_invalidate_after_mutation(self):
+        page = build_page()
+        assert page.node_by_id(12345) is None
+        page.root.add_child(PageNode(12345, "late arrival"))
+        page.invalidate_index()
+        found = page.node_by_id(12345)
+        assert found is not None and found.text == "late arrival"
+
+
+class TestChildIndex:
+    def test_child_index_matches_position(self):
+        page = build_page()
+        for node in page.nodes():
+            for position, child in enumerate(node.children):
+                assert child.child_index() == position
+        assert page.root.child_index() == 0
+
+    def test_child_index_set_at_add_time(self):
+        root = PageNode(0, "r", NodeType.LIST)
+        children = [root.add_child(PageNode(i, f"c{i}")) for i in range(1, 5)]
+        assert [c.child_index() for c in children] == [0, 1, 2, 3]
