@@ -33,6 +33,11 @@ SPEEDUP_PAIRS = (
     ("test_bench_eval_locator_cold", "test_bench_eval_locator_reference"),
     ("test_bench_full_synthesis", "test_bench_full_synthesis_reference"),
     ("test_bench_full_synthesis_cold", "test_bench_full_synthesis_reference"),
+    # Session reuse: warm refit (add one example to a fitted session) and
+    # no-change re-synthesis, both against a fresh full synthesis of the
+    # same final example set.
+    ("test_bench_session_refit_warm", "test_bench_session_refit_fresh"),
+    ("test_bench_session_resynthesize", "test_bench_session_refit_fresh"),
 )
 
 

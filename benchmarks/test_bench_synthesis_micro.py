@@ -18,6 +18,7 @@ from repro.html import parse_html
 from repro.nlp import NlpModels
 from repro.synthesis import (
     LabeledExample,
+    SynthesisSession,
     TaskContexts,
     synthesize,
     synthesize_branch,
@@ -33,6 +34,11 @@ KEYWORDS = ("Current Students", "PhD")
 PAGE_HTML = generate_page("faculty", 11).html
 PAGE = generate_page("faculty", 11).page
 GOLD = generate_page("faculty", 11).gold["fac_t1"]
+# Seed 16 chosen so the two-branch partitions stay feasible against the
+# seed-11 page: the warm-refit benchmark then actually exercises block
+# reuse (blocks_reused > 0), not just cache misses.
+PAGE2 = generate_page("faculty", 16).page
+GOLD2 = generate_page("faculty", 16).gold["fac_t1"]
 
 SMALL = SynthesisConfig(
     productions=ProductionConfig(
@@ -186,6 +192,71 @@ def test_bench_full_synthesis_reference(benchmark):
 
     def run():
         return synthesize(examples, QUESTION, KEYWORDS, MODELS, SMALL_REFERENCE)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert result.f1 > 0
+
+
+# -- incremental sessions: warm refit vs fresh synthesis ---------------------
+#
+# The interactive loop of the paper: fit on k examples, label one more,
+# synthesize again.  A session reuses every branch-synthesis block whose
+# (block, negatives) content did not change; the fresh baseline re-solves
+# all of them.  Page-scoped eval caches are pre-warmed in every variant,
+# so the measured delta is the session layer's own win, not engine memo
+# warmup.
+
+REFIT_CONFIG = replace(SMALL, max_branches=2)
+BASE_EXAMPLE = LabeledExample(PAGE, GOLD)
+NEW_EXAMPLE = LabeledExample(PAGE2, GOLD2)
+
+
+def _prewarm_refit_pages():
+    synthesize([BASE_EXAMPLE, NEW_EXAMPLE], QUESTION, KEYWORDS, MODELS, REFIT_CONFIG)
+
+
+def test_bench_session_refit_warm(benchmark):
+    _prewarm_refit_pages()
+
+    def setup():
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=REFIT_CONFIG,
+            examples=[BASE_EXAMPLE],
+        )
+        session.synthesize()
+        return (session,), {}
+
+    def run(session):
+        session.add_example(NEW_EXAMPLE)
+        return session.synthesize()
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert result.f1 > 0
+    assert result.stats.blocks_reused > 0
+
+
+def test_bench_session_resynthesize(benchmark):
+    _prewarm_refit_pages()
+    session = SynthesisSession(
+        QUESTION, KEYWORDS, MODELS, config=REFIT_CONFIG,
+        examples=[BASE_EXAMPLE, NEW_EXAMPLE],
+    )
+    session.synthesize()
+
+    def run():
+        return session.synthesize()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert result.f1 > 0
+    assert result.stats.blocks_synthesized == 0
+
+
+def test_bench_session_refit_fresh(benchmark):
+    _prewarm_refit_pages()
+    examples = [BASE_EXAMPLE, NEW_EXAMPLE]
+
+    def run():
+        return synthesize(examples, QUESTION, KEYWORDS, MODELS, REFIT_CONFIG)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
     assert result.f1 > 0

@@ -23,7 +23,9 @@ paper-versus-measured record.
 
 from .core.webqa import WebQA
 from .nlp.models import NlpModels
+from .runtime import TaskRunner
 from .synthesis.examples import LabeledExample
+from .synthesis.session import SynthesisSession
 from .synthesis.top import synthesize
 from .webtree.builder import page_from_html
 
@@ -33,6 +35,8 @@ __all__ = [
     "WebQA",
     "NlpModels",
     "LabeledExample",
+    "SynthesisSession",
+    "TaskRunner",
     "synthesize",
     "page_from_html",
     "__version__",

@@ -10,6 +10,14 @@ Fit a program from labeled HTML files and save it::
         --unlabeled-dir pages/ \
         --out program.json
 
+Label one more page and refit incrementally (requires ``--session`` at
+fit time; only branch-synthesis blocks whose example content changed are
+re-solved)::
+
+    python -m repro.cli refit --session session.pkl \
+        --label extra.html "Alice Chen" \
+        --out program.json
+
 Run a saved program on more pages::
 
     python -m repro.cli extract --program program.json \
@@ -17,7 +25,11 @@ Run a saved program on more pages::
         --keyword "Current Students" --keyword "PhD" \
         pages/*.html
 
-Answers are printed one page per line as tab-separated values.
+Answers are printed one page per line as tab-separated values.  Both
+``fit`` and ``extract`` accept ``--jobs N`` to spread page work across a
+worker-thread pool (useful once evaluation overlaps I/O or GIL-free
+model backends; pure-Python evaluation is GIL-bound); outputs are
+identical for any jobs count.
 """
 
 from __future__ import annotations
@@ -31,7 +43,9 @@ from .dsl.eval import run_program
 from .dsl.pretty import pretty_program
 from .dsl.serialize import load_program, save_program
 from .nlp.models import NlpModels
+from .runtime import TaskRunner, warm_pages
 from .synthesis.examples import LabeledExample
+from .synthesis.session import SynthesisSession
 from .webtree.builder import page_from_html
 from .webtree.node import WebPage
 
@@ -43,6 +57,19 @@ def _load_page(path: str) -> WebPage:
 
 def _split_labels(raw: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in raw.split(";") if part.strip())
+
+
+def _warm_parallel(pages: list[WebPage], jobs: int) -> None:
+    """Pre-build page evaluation indexes, fanning across ``jobs`` threads."""
+    runner = TaskRunner(jobs=jobs)
+    runner.map(lambda page: warm_pages([page]), pages)
+
+
+def _report_fit(tool: WebQA, out: str) -> None:
+    print(f"training F1: {tool.report.train_f1:.3f}")
+    print(f"optimal programs: {tool.report.optimal_count}")
+    print(f"saved: {out}")
+    print(pretty_program(tool.program))
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
@@ -58,13 +85,41 @@ def cmd_fit(args: argparse.Namespace) -> int:
         [e.page.root.subtree_text() for e in train]
         + [p.root.subtree_text() for p in unlabeled]
     )
+    _warm_parallel([e.page for e in train] + unlabeled, args.jobs)
     tool = WebQA(ensemble_size=args.ensemble)
     tool.fit(args.question, tuple(args.keyword), train, unlabeled, models)
     save_program(tool.program, args.out)
-    print(f"training F1: {tool.report.train_f1:.3f}")
-    print(f"optimal programs: {tool.report.optimal_count}")
-    print(f"saved: {args.out}")
-    print(pretty_program(tool.program))
+    if args.session:
+        tool.session.save(args.session)
+        print(f"session saved: {args.session}")
+    _report_fit(tool, args.out)
+    return 0
+
+
+def cmd_refit(args: argparse.Namespace) -> int:
+    session = SynthesisSession.load(args.session)
+    new_examples = [
+        LabeledExample(_load_page(path), _split_labels(labels))
+        for path, labels in args.label
+    ]
+    session.add_examples(new_examples)
+    unlabeled: list[WebPage] = []
+    if args.unlabeled_dir:
+        for path in sorted(glob.glob(f"{args.unlabeled_dir}/*.html")):
+            unlabeled.append(_load_page(path))
+    # The session pins the model bundle from the original fit: cached
+    # branch spaces were computed under it and stay sound only with it.
+    tool = WebQA(config=session.config, ensemble_size=args.ensemble)
+    tool.fit_session(session, unlabeled)
+    save_program(tool.program, args.out)
+    session.save(args.session)
+    stats = tool.report.synthesis.stats
+    print(
+        f"refit: {stats.blocks_synthesized} blocks synthesized, "
+        f"{stats.blocks_reused} reused from session"
+    )
+    print(f"session saved: {args.session}")
+    _report_fit(tool, args.out)
     return 0
 
 
@@ -72,10 +127,13 @@ def cmd_extract(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pages = [_load_page(path) for path in args.pages]
     models = NlpModels.for_corpus([p.root.subtree_text() for p in pages])
-    for page in pages:
-        answers = run_program(
-            program, page, args.question, tuple(args.keyword), models
-        )
+
+    def extract_one(page: WebPage) -> tuple[str, ...]:
+        return run_program(program, page, args.question, tuple(args.keyword), models)
+
+    # Page order (and hence output order) is preserved for any --jobs.
+    runner = TaskRunner(jobs=args.jobs)
+    for page, answers in zip(pages, runner.map(extract_one, pages)):
         print(f"{page.url}\t" + "\t".join(answers))
     return 0
 
@@ -104,12 +162,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory of unlabeled .html pages for selection")
     fit.add_argument("--ensemble", type=int, default=300)
     fit.add_argument("--out", required=True, help="output program JSON path")
+    fit.add_argument("--session", default=None,
+                     help="also save the synthesis session here, enabling "
+                     "incremental `refit` later")
+    fit.add_argument("--jobs", type=int, default=1,
+                     help="worker threads for page preparation")
     fit.set_defaults(func=cmd_fit)
+
+    refit = sub.add_parser(
+        "refit", help="extend a saved session with new labels and re-synthesize"
+    )
+    refit.add_argument("--session", required=True,
+                       help="session file written by `fit --session`; "
+                       "updated in place")
+    refit.add_argument(
+        "--label", nargs=2, action="append", metavar=("HTML", "ANSWERS"),
+        required=True,
+        help="an additional labeled page: path and ';'-separated gold answers",
+    )
+    refit.add_argument("--unlabeled-dir", default=None,
+                       help="directory of unlabeled .html pages for selection")
+    refit.add_argument("--ensemble", type=int, default=300)
+    refit.add_argument("--out", required=True, help="output program JSON path")
+    refit.set_defaults(func=cmd_refit)
 
     extract = sub.add_parser("extract", help="run a saved extractor on pages")
     extract.add_argument("--program", required=True)
     extract.add_argument("--question", required=True)
     extract.add_argument("--keyword", action="append", default=[])
+    extract.add_argument("--jobs", type=int, default=1,
+                         help="worker threads for extraction (order preserved)")
     extract.add_argument("pages", nargs="+", help=".html files to extract from")
     extract.set_defaults(func=cmd_extract)
 

@@ -18,7 +18,8 @@ from ..selection.baselines import select_random, select_shortest
 from ..selection.transductive import SelectionOutcome, select_program
 from ..synthesis.config import SynthesisConfig, default_config
 from ..synthesis.examples import LabeledExample, TaskContexts
-from ..synthesis.top import SynthesisResult, synthesize
+from ..synthesis.session import SynthesisSession
+from ..synthesis.top import SynthesisResult
 from ..webtree.node import WebPage
 
 #: How the final program is chosen from the optimal set.
@@ -82,6 +83,9 @@ class WebQA(ExtractionTool):
         self._question = ""
         self._keywords: tuple[str, ...] = ()
         self._contexts: TaskContexts | None = None
+        self._session: SynthesisSession | None = None
+        self._unlabeled: list[WebPage] = []
+        self._models: NlpModels | None = None
 
     # -- ExtractionTool interface ------------------------------------------------
 
@@ -93,19 +97,54 @@ class WebQA(ExtractionTool):
         unlabeled: list[WebPage],
         models: NlpModels,
     ) -> "WebQA":
-        self._question = question
-        self._keywords = tuple(keywords)
-        # One TaskContexts serves synthesis, selection and prediction:
-        # it is bound to (question, keywords, models), so refitting
-        # replaces it wholesale.
-        contexts = TaskContexts(
-            question, self._keywords, models, engine=self.config.engine
+        # The session is bound to (question, keywords, models), so a new
+        # fit replaces it wholesale — but the instance *keeps* it, so
+        # refit() can extend the labeled set without re-synthesizing
+        # blocks whose content did not change.
+        session = SynthesisSession(
+            question, tuple(keywords), models,
+            config=self.config, examples=list(train),
         )
-        self._contexts = contexts
-        synthesis = synthesize(
-            list(train), question, self._keywords, models,
-            config=self.config, contexts=contexts,
-        )
+        return self.fit_session(session, unlabeled)
+
+    def fit_session(
+        self, session: SynthesisSession, unlabeled: list[WebPage]
+    ) -> "WebQA":
+        """Fit from an existing session (e.g. one loaded from disk).
+
+        The session's config/engine take precedence over this instance's
+        ``config`` for evaluation, keeping cached branch spaces sound.
+        """
+        self._session = session
+        self._question = session.question
+        self._keywords = session.keywords
+        self._contexts = session.contexts
+        self._models = session.models
+        self._unlabeled = list(unlabeled)
+        return self._synthesize_and_select()
+
+    def refit(
+        self,
+        new_examples: list[LabeledExample],
+        unlabeled: list[WebPage] | None = None,
+    ) -> "WebQA":
+        """Extend the fitted session with more labels and re-select.
+
+        The interactive loop of the paper: label one more page, press
+        synthesize.  Only branch-synthesis blocks whose (block,
+        negatives) content changed are re-solved; everything else comes
+        from the session's fingerprint-keyed cache.
+        """
+        if self._session is None:
+            raise RuntimeError("fit must be called before refit")
+        self._session.add_examples(new_examples)
+        if unlabeled is not None:
+            self._unlabeled = list(unlabeled)
+        return self._synthesize_and_select()
+
+    def _synthesize_and_select(self) -> "WebQA":
+        assert self._session is not None and self._models is not None
+        synthesis = self._session.synthesize()
         if not synthesis.spaces:
             # No program scored above zero (possible under the modality
             # ablations): degrade to the empty program, which answers ∅.
@@ -115,9 +154,9 @@ class WebQA(ExtractionTool):
         selection: SelectionOutcome | None = None
         if self.selection_strategy == "transductive":
             selection = select_program(
-                synthesis, list(unlabeled), models,
+                synthesis, list(self._unlabeled), self._models,
                 ensemble_size=self.ensemble_size, seed=self.seed,
-                engine=self.config.engine,
+                engine=self._session.config.engine,
             )
             program = selection.program
         elif self.selection_strategy == "random":
@@ -133,6 +172,13 @@ class WebQA(ExtractionTool):
         return self._contexts.ctx(page).eval_program(self.report.program)
 
     # -- conveniences ----------------------------------------------------------------
+
+    @property
+    def session(self) -> SynthesisSession:
+        """The live synthesis session (for inspection, refits, saving)."""
+        if self._session is None:
+            raise RuntimeError("fit must be called first")
+        return self._session
 
     @property
     def program(self) -> ast.Program:

@@ -7,6 +7,8 @@ behind.
 
 from __future__ import annotations
 
+from functools import partial
+
 from ..baselines import BertQaBaseline, EntExtractBaseline, HybBaseline
 from ..core.results import TaskResult, overall_scores
 from ..core.webqa import WebQA
@@ -19,8 +21,10 @@ TOOL_ORDER = ("WebQA", "BERTQA", "HYB", "EntExtract")
 
 
 def tool_factories(config: ExperimentConfig) -> dict[str, ToolFactory]:
+    # partial, not lambda: factories must survive pickling into process
+    # pool workers (see repro.runtime).
     return {
-        "WebQA": lambda: WebQA(ensemble_size=config.ensemble_size, seed=config.seed),
+        "WebQA": partial(WebQA, ensemble_size=config.ensemble_size, seed=config.seed),
         "BERTQA": BertQaBaseline,
         "HYB": HybBaseline,
         "EntExtract": EntExtractBaseline,

@@ -7,6 +7,8 @@ modalities is what makes the system accurate.
 
 from __future__ import annotations
 
+from functools import partial
+
 from ..core.ablations import WebQAKwOnly, WebQANlOnly
 from ..core.results import TaskResult, summarize_by_domain
 from ..core.webqa import WebQA
@@ -18,14 +20,16 @@ VARIANT_ORDER = ("WebQA-NL", "WebQA-KW", "WebQA")
 
 
 def tool_factories(config: ExperimentConfig) -> dict[str, ToolFactory]:
+    # partial, not lambda: factories must survive pickling into process
+    # pool workers (see repro.runtime).
     return {
-        "WebQA-NL": lambda: WebQANlOnly(
-            ensemble_size=config.ensemble_size, seed=config.seed
+        "WebQA-NL": partial(
+            WebQANlOnly, ensemble_size=config.ensemble_size, seed=config.seed
         ),
-        "WebQA-KW": lambda: WebQAKwOnly(
-            ensemble_size=config.ensemble_size, seed=config.seed
+        "WebQA-KW": partial(
+            WebQAKwOnly, ensemble_size=config.ensemble_size, seed=config.seed
         ),
-        "WebQA": lambda: WebQA(ensemble_size=config.ensemble_size, seed=config.seed),
+        "WebQA": partial(WebQA, ensemble_size=config.ensemble_size, seed=config.seed),
     }
 
 

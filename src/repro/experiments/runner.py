@@ -13,7 +13,10 @@ Regenerates every table and figure of the paper's evaluation::
     python -m repro.experiments.runner all              # everything
 
 Scale flags: ``--pages N --train N --ensemble N`` (defaults are a reduced
-corpus; ``--paper-scale`` restores the paper's 40/5/1000).
+corpus; ``--paper-scale`` restores the paper's 40/5/1000 and composes
+with explicit ``--seed``/``--ensemble`` overrides).  Runtime flags:
+``--jobs N`` fans independent tasks across N workers (``--backend
+thread|process``); results are identical for any jobs count.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from . import fig12, fig13, fig14, noise, table2, table3, table4, table6
 from .common import ExperimentConfig, paper_scale
@@ -57,26 +61,69 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
-    parser.add_argument("--pages", type=int, default=20, help="pages per domain")
-    parser.add_argument("--train", type=int, default=4, help="labeled pages per task")
-    parser.add_argument("--ensemble", type=int, default=200, help="ensemble size N")
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="pages per domain (default: 20, or 40 under --paper-scale)",
+    )
+    parser.add_argument(
+        "--train", type=int, default=None,
+        help="labeled pages per task (default: 4, or 5 under --paper-scale)",
+    )
+    parser.add_argument(
+        "--ensemble", type=int, default=None,
+        help="ensemble size N (default: 200, or 1000 under --paper-scale)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--paper-scale", action="store_true",
-        help="use the paper's scale: 40 pages, 5 labels, N=1000",
+        help="default to the paper's scale (40 pages, 5 labels, N=1000); "
+        "any explicit scale/seed/jobs flag still applies on top",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel task workers (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker pool backend for --jobs > 1",
+    )
+    return parser
 
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Resolve CLI flags into an :class:`ExperimentConfig`.
+
+    ``--paper-scale`` only moves the *defaults* to the paper's numbers;
+    every explicitly given flag (``--pages``, ``--train``, ``--seed``,
+    ``--ensemble``, ``--jobs``) composes with it instead of being
+    silently discarded.
+    """
     if args.paper_scale:
-        config = paper_scale()
-    else:
-        config = ExperimentConfig(
-            n_pages=args.pages, n_train=args.train,
-            ensemble_size=args.ensemble, seed=args.seed,
+        base = paper_scale(
+            seed=args.seed, jobs=args.jobs, backend=args.backend
         )
+    else:
+        base = ExperimentConfig(
+            seed=args.seed, jobs=args.jobs, backend=args.backend
+        )
+    overrides = {
+        name: value
+        for name, value in (
+            ("n_pages", args.pages),
+            ("n_train", args.train),
+            ("ensemble_size", args.ensemble),
+        )
+        if value is not None
+    }
+    return replace(base, **overrides) if overrides else base
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     if args.experiment == "all":

@@ -1,0 +1,14 @@
+"""Parallel task runtime: fan extraction tasks across worker pools.
+
+- :class:`TaskRunner` — deterministic-ordering map over a thread or
+  process pool (``jobs`` selectable, ``jobs=1`` runs inline).
+- :func:`warm_pages` — per-worker page-index warmup.
+
+This package is the orchestration seam above single-task synthesis: the
+experiment sweeps (``repro.experiments.common.run_comparison``), the CLI
+(``--jobs``) and any future serving layer all schedule work through it.
+"""
+
+from .runner import BACKENDS, TaskRunner, warm_pages
+
+__all__ = ["TaskRunner", "warm_pages", "BACKENDS"]

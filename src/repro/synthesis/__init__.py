@@ -1,6 +1,8 @@
 """Optimal neurosymbolic synthesis (paper Section 5).
 
 - :func:`synthesize` — all programs with optimal F1 (Figure 7).
+- :class:`SynthesisSession` — incremental/budgeted driver of the same
+  search, persisting solved blocks across refits (``session.py``).
 - :func:`synthesize_branch` — per-block guard+extractor search (Figure 8).
 - :func:`synthesize_extractors` — bottom-up extractor search (Figure 9).
 - :func:`iter_guards` — lazy guard enumeration (Figure 10).
@@ -21,6 +23,7 @@ from .f1 import (
 )
 from .guards import guard_classifies, iter_guards
 from .partitions import count_ordered_partitions, ordered_partitions, set_partitions
+from .session import SynthesisSession, block_negatives, enumerate_partitions
 from .top import ProgramSpace, SynthesisResult, SynthesisStats, synthesize
 
 __all__ = [
@@ -49,5 +52,8 @@ __all__ = [
     "ProgramSpace",
     "SynthesisResult",
     "SynthesisStats",
+    "SynthesisSession",
+    "enumerate_partitions",
+    "block_negatives",
     "synthesize",
 ]

@@ -43,6 +43,14 @@ class SynthesisConfig:
     #: Recall-monotone UB pruning stays sound for every β; see
     #: :func:`repro.synthesis.f1.upper_bound_from_recall`.
     beta: float = 1.0
+    #: Anytime-search budgets (see ``repro/synthesis/session.py``): a
+    #: wall-clock deadline for one ``synthesize`` call and a cap on the
+    #: number of ordered partitions explored.  ``None`` means unbounded
+    #: (the paper's exhaustive search).  When a budget binds, synthesis
+    #: returns the best spaces found so far with ``stats.completed``
+    #: False instead of raising.
+    deadline_seconds: float | None = None
+    max_partitions: int | None = None
     #: DSL evaluation engine: "indexed" (Euler-tour bitset evaluation,
     #: the default) or "reference" (the direct object-graph
     #: interpreter).  Both implement identical semantics — see DESIGN.md

@@ -8,6 +8,7 @@ shares predicate/locator/extractor caches.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from ..dsl import ast
@@ -26,6 +27,28 @@ class LabeledExample:
     def __post_init__(self) -> None:
         if not isinstance(self.gold, tuple):
             object.__setattr__(self, "gold", tuple(self.gold))
+
+    def fingerprint(self) -> str:
+        """Stable content digest of (page, gold).
+
+        Two examples fingerprint equal iff their page content and gold
+        answers are identical, regardless of object identity — the key
+        property that lets :class:`~repro.synthesis.session.SynthesisSession`
+        reuse branch spaces across refits and process boundaries, where
+        ``id()``-based keys are meaningless.
+
+        Recomputed on every call (only the page-level digest is cached,
+        and that cache is dropped by ``WebPage.invalidate_index``), so a
+        documented mutate-then-invalidate on the page is reflected here
+        too instead of serving a stale digest.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.page.content_fingerprint().encode("utf-8"))
+        for answer in self.gold:
+            encoded = answer.encode("utf-8")
+            hasher.update(f"\x1e{len(encoded)}\x1f".encode("utf-8"))
+            hasher.update(encoded)
+        return hasher.hexdigest()
 
 
 class TaskContexts:
@@ -58,6 +81,26 @@ class TaskContexts:
             )
             self._contexts[id(page)] = context
         return context
+
+    def retain_pages(self, pages: list) -> None:
+        """Evict per-page state for every page not in ``pages``.
+
+        Long-lived sessions accumulate an :class:`EvalContext` (plus
+        memo tables) per page ever evaluated; callers that know their
+        working set (e.g. a pruned synthesis session) can bound that
+        growth.  Evicted pages are rebuilt lazily if seen again.
+        """
+        keep = {id(page) for page in pages}
+        self._contexts = {
+            page_id: context
+            for page_id, context in self._contexts.items()
+            if page_id in keep
+        }
+        self._signatures = {
+            key: signature
+            for key, signature in self._signatures.items()
+            if all(page_id in keep for page_id in key[1])
+        }
 
     def locator_signature(
         self, locator: ast.Locator, examples: list

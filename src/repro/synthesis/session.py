@@ -1,0 +1,330 @@
+"""Incremental synthesis sessions.
+
+The paper's tool is interactive: a user labels a few pages, synthesizes,
+inspects the result, labels one more page, and synthesizes again.  The
+single-shot :func:`~repro.synthesis.top.synthesize` function rebuilt
+every branch space from scratch on each call; this module decomposes
+that monolithic loop (Figure 7) into three explicit stages driven by a
+:class:`SynthesisSession` that persists work across refits:
+
+1. **Partition enumeration** — ordered partitions of the example
+   *indices* (``enumerate_partitions``), so block complements are index
+   arithmetic instead of O(n²) deep-equality removals;
+2. **Block branch-synthesis** — each distinct ``(block, negatives)``
+   pair is synthesized once (:func:`~repro.synthesis.branch.synthesize_branch`)
+   and cached under **content fingerprints**
+   (:meth:`LabeledExample.fingerprint`), so adding or removing one
+   labeled example only re-synthesizes blocks whose (block, negatives)
+   example sets actually changed;
+3. **Space assembly** — per-partition combination of branch spaces into
+   :class:`~repro.synthesis.top.ProgramSpace` objects, keeping F1 ties.
+
+Because fingerprints are content digests (not ``id()``), the block cache
+survives example-list rebuilding, pickling (:meth:`SynthesisSession.save` /
+:meth:`SynthesisSession.load`) and process boundaries.
+
+Sessions also support **budgeted / anytime** search: with
+``SynthesisConfig.deadline_seconds`` or ``max_partitions`` set, a
+``synthesize`` call stops at the budget and returns the best spaces
+found so far, flagged ``stats.completed = False``.
+
+Exactness: a warm refit returns *bit-identical* optimal spaces to a
+fresh full synthesis.  Blocks and negatives are always materialized in
+ascending example-index order — the same order the Figure 7 loop
+produced — and branch synthesis is deterministic in its semantic inputs
+(the evaluation memo tables only change *when* work happens, never its
+result), so a cached :class:`~repro.synthesis.branch.BranchSpace` equals
+the one a fresh search would rebuild.  The differential hypothesis tests
+in ``tests/synthesis/test_session.py`` hold this property pinned.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Iterable, Iterator, Sequence
+
+from ..nlp.models import NlpModels
+from .branch import BranchSpace, synthesize_branch
+from .config import SynthesisConfig, default_config
+from .examples import LabeledExample, TaskContexts
+from .partitions import ordered_partitions
+from .top import ProgramSpace, SynthesisResult, SynthesisStats
+
+#: Cache key of one branch-synthesis problem: the content fingerprints
+#: of the block's examples and of its negatives, each in example-index
+#: order (tuples, not frozensets: duplicate examples must keep their
+#: multiplicity for example-weighted F1).
+BlockKey = tuple[tuple[str, ...], tuple[str, ...]]
+
+_SAVE_FORMAT_VERSION = 1
+
+
+def enumerate_partitions(
+    n_examples: int, max_branches: int | None
+) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """Stage 1: ordered partitions of ``range(n_examples)``, as index tuples.
+
+    Blocks preserve ascending index order (a property of
+    :func:`~repro.synthesis.partitions.ordered_partitions`), which the
+    block cache relies on for stable keys.
+    """
+    for partition in ordered_partitions(list(range(n_examples)), max_branches):
+        yield tuple(tuple(block) for block in partition)
+
+
+def block_negatives(
+    partition: Sequence[tuple[int, ...]], block_index: int
+) -> tuple[int, ...]:
+    """Indices a block must reject: every example in a *later* block.
+
+    Matches footnote 5 of the paper (earlier blocks' pages have already
+    been claimed by earlier branches).  Computed by index arithmetic —
+    the old implementation removed examples from a list via deep
+    dataclass ``__eq__``, an O(n²) scan over page trees.
+    """
+    negatives: list[int] = []
+    for later in partition[block_index + 1 :]:
+        negatives.extend(later)
+    negatives.sort()
+    return tuple(negatives)
+
+
+class SynthesisSession:
+    """Incremental, budgeted driver of the Figure 7 synthesis search.
+
+    A session owns the task inputs (question, keywords, model bundle,
+    config), the shared per-page evaluation state (:class:`TaskContexts`)
+    and a fingerprint-keyed cache of solved branch-synthesis blocks.
+    Examples can be added (or removed) between :meth:`synthesize` calls;
+    only blocks whose (block, negatives) content actually changed are
+    re-synthesized.
+
+    The classic one-shot API is preserved:
+    :func:`repro.synthesis.top.synthesize` is now a thin wrapper that
+    builds a throwaway session.
+    """
+
+    def __init__(
+        self,
+        question: str,
+        keywords: tuple[str, ...],
+        models: NlpModels,
+        config: SynthesisConfig | None = None,
+        examples: Iterable[LabeledExample] = (),
+        contexts: TaskContexts | None = None,
+    ) -> None:
+        self.question = question
+        self.keywords = tuple(keywords)
+        self.models = models
+        self.config = config or default_config()
+        self.contexts = contexts or TaskContexts(
+            question, self.keywords, models, engine=self.config.engine
+        )
+        self._examples: list[LabeledExample] = list(examples)
+        self._block_cache: dict[BlockKey, BranchSpace] = {}
+        #: Keys probed by the most recent synthesize() — None when the
+        #: example list has changed since (so prune() knows the probe
+        #: set is stale and must not evict against it).
+        self._probed: set[BlockKey] | None = None
+        self.last_result: SynthesisResult | None = None
+
+    # -- example management ----------------------------------------------------
+
+    @property
+    def examples(self) -> tuple[LabeledExample, ...]:
+        return tuple(self._examples)
+
+    def add_example(self, example: LabeledExample) -> None:
+        self._examples.append(example)
+        self._probed = None
+
+    def add_examples(self, examples: Iterable[LabeledExample]) -> None:
+        self._examples.extend(examples)
+        self._probed = None
+
+    def remove_example(self, index: int) -> LabeledExample:
+        """Drop one labeled example; cached blocks not involving it survive."""
+        removed = self._examples.pop(index)
+        self._probed = None
+        return removed
+
+    def cached_blocks(self) -> int:
+        """Number of solved branch-synthesis problems currently cached."""
+        return len(self._block_cache)
+
+    def prune(self) -> int:
+        """Evict cache state the current example set can no longer reach.
+
+        Long labeling sessions otherwise grow monotonically: every
+        (block, negatives) key ever solved stays cached even after the
+        examples that produced it are gone.  Pruning keeps only the
+        keys probed by the most recent complete :meth:`synthesize` of
+        the current example set (a no-op if examples changed since, or
+        if a budget cut that run short — the probe set would be
+        incomplete) and drops per-page evaluation contexts for pages no
+        longer among the examples.  Returns the number of block-cache
+        entries evicted.
+        """
+        evicted = 0
+        if self._probed is not None and (
+            self.last_result is None or self.last_result.stats.completed
+        ):
+            stale = [key for key in self._block_cache if key not in self._probed]
+            for key in stale:
+                del self._block_cache[key]
+            evicted = len(stale)
+        self.contexts.retain_pages([example.page for example in self._examples])
+        return evicted
+
+    # -- the staged search -------------------------------------------------------
+
+    def synthesize(self) -> SynthesisResult:
+        """Run (or re-run) the optimal search over the current examples.
+
+        Warm calls reuse every block whose (block, negatives) content
+        fingerprints were solved before; with budgets configured, stops
+        early with ``stats.completed = False``.
+        """
+        config = self.config
+        examples = self._examples
+        start = time.perf_counter()
+        deadline = (
+            start + config.deadline_seconds
+            if config.deadline_seconds is not None
+            else None
+        )
+        fingerprints = [example.fingerprint() for example in examples]
+
+        best_spaces: list[ProgramSpace] = []
+        opt = 0.0
+        partitions_explored = 0
+        guards_tried = 0
+        extractors_evaluated = 0
+        blocks_synthesized = 0
+        blocks_reused = 0
+        completed = True
+        probed: set[BlockKey] = set()
+        # Keys solved before this call: distinguishes true cross-refit
+        # session reuse from a key simply recurring across the ordered
+        # partitions of this same run.
+        preexisting = set(self._block_cache)
+
+        for partition in enumerate_partitions(len(examples), config.max_branches):
+            if (
+                config.max_partitions is not None
+                and partitions_explored >= config.max_partitions
+            ) or (deadline is not None and time.perf_counter() > deadline):
+                completed = False
+                break
+            partitions_explored += 1
+            branch_spaces: list[BranchSpace] = []
+            feasible = True
+            for block_index, block in enumerate(partition):
+                if deadline is not None and time.perf_counter() > deadline:
+                    completed = False
+                    feasible = False
+                    break
+                negatives = block_negatives(partition, block_index)
+                key: BlockKey = (
+                    tuple(fingerprints[i] for i in block),
+                    tuple(fingerprints[i] for i in negatives),
+                )
+                probed.add(key)
+                space = self._block_cache.get(key)
+                if space is None:
+                    space = synthesize_branch(
+                        [examples[i] for i in block],
+                        [examples[i] for i in negatives],
+                        self.contexts,
+                        config,
+                    )
+                    self._block_cache[key] = space
+                    blocks_synthesized += 1
+                    guards_tried += space.guards_tried
+                    extractors_evaluated += space.extractors_evaluated
+                elif key in preexisting:
+                    blocks_reused += 1
+                if not space.options:
+                    feasible = False
+                    break
+                branch_spaces.append(space)
+            if not completed and not feasible:
+                break
+            if not feasible:
+                continue
+            total = sum(
+                space.f1 * len(block)
+                for space, block in zip(branch_spaces, partition)
+            )
+            combined_f1 = total / len(examples) if examples else 0.0
+            if combined_f1 > opt + config.f1_tolerance:
+                opt = combined_f1
+                best_spaces = [ProgramSpace(tuple(branch_spaces), combined_f1)]
+            elif abs(combined_f1 - opt) <= config.f1_tolerance and combined_f1 > 0:
+                best_spaces.append(ProgramSpace(tuple(branch_spaces), combined_f1))
+
+        self._probed = probed
+        stats = SynthesisStats(
+            elapsed_seconds=time.perf_counter() - start,
+            partitions_explored=partitions_explored,
+            guards_tried=guards_tried,
+            extractors_evaluated=extractors_evaluated,
+            completed=completed,
+            blocks_synthesized=blocks_synthesized,
+            blocks_reused=blocks_reused,
+        )
+        self.last_result = SynthesisResult(
+            spaces=tuple(best_spaces),
+            f1=opt,
+            stats=stats,
+            question=self.question,
+            keywords=self.keywords,
+        )
+        return self.last_result
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Pickle the session's durable state (examples, models, block cache).
+
+        The per-page evaluation contexts are *not* saved — they are
+        derived caches, rebuilt lazily on load.  The model bundle *is*
+        saved: cached branch spaces were computed under it, and reusing
+        them under different models would be unsound.  The block cache
+        is pruned first (see :meth:`prune`), so repeatedly refitting
+        and re-saving a session does not grow the file monotonically.
+        """
+        self.prune()
+        state = {
+            "version": _SAVE_FORMAT_VERSION,
+            "question": self.question,
+            "keywords": self.keywords,
+            "config": self.config,
+            "models": self.models,
+            "examples": self._examples,
+            "block_cache": self._block_cache,
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "SynthesisSession":
+        """Rebuild a session saved with :meth:`save`; contexts start cold."""
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+        version = state.get("version")
+        if version != _SAVE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported session format {version!r} in {path!r} "
+                f"(expected {_SAVE_FORMAT_VERSION})"
+            )
+        session = cls(
+            state["question"],
+            state["keywords"],
+            state["models"],
+            config=state["config"],
+            examples=state["examples"],
+        )
+        session._block_cache = dict(state["block_cache"])
+        return session

@@ -13,15 +13,13 @@ from __future__ import annotations
 
 import itertools
 import random
-import time
 from dataclasses import dataclass, field
 
 from ..dsl import ast
 from ..nlp.models import NlpModels
-from .branch import BranchSpace, synthesize_branch
-from .config import SynthesisConfig, default_config
+from .branch import BranchSpace
+from .config import SynthesisConfig
 from .examples import LabeledExample, TaskContexts
-from .partitions import ordered_partitions
 
 
 @dataclass(frozen=True)
@@ -66,6 +64,17 @@ class SynthesisStats:
     partitions_explored: int
     guards_tried: int
     extractors_evaluated: int
+    #: False when a budget (``SynthesisConfig.deadline_seconds`` /
+    #: ``max_partitions``) cut the search short; the result is then the
+    #: best-so-far anytime answer, not the proven optimum.
+    completed: bool = True
+    #: Branch-synthesis calls actually executed in this run versus block
+    #: results served from the session cache *solved by an earlier
+    #: call* — the incremental-refit savings, directly observable.
+    #: (Keys recurring across partitions within one run count as
+    #: neither: they were solved and memoized by this same call.)
+    blocks_synthesized: int = 0
+    blocks_reused: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,67 +126,20 @@ def synthesize(
     A partition contributes a :class:`ProgramSpace` when every block
     admits at least one branch program; spaces are kept when their
     combined example-weighted F1 ties the best seen.
+
+    This is the classic one-shot entry point, now a thin wrapper over a
+    throwaway :class:`~repro.synthesis.session.SynthesisSession`; keep
+    the session instead when you expect to refit (interactive labeling,
+    the ``repro.cli refit`` path) so solved blocks carry over.
     """
-    config = config or default_config()
-    contexts = contexts or TaskContexts(
-        question, tuple(keywords), models, engine=config.engine
-    )
-    start = time.perf_counter()
+    from .session import SynthesisSession  # local import: session builds on top
 
-    best_spaces: list[ProgramSpace] = []
-    opt = 0.0
-    partitions_explored = 0
-    guards_tried = 0
-    extractors_evaluated = 0
-    # The same (block, later-examples) pair recurs across many ordered
-    # partitions; branch synthesis depends on nothing else, so memoize it.
-    block_memo: dict[tuple[frozenset[int], frozenset[int]], BranchSpace] = {}
-
-    for partition in ordered_partitions(examples, config.max_branches):
-        partitions_explored += 1
-        branch_spaces: list[BranchSpace] = []
-        feasible = True
-        remaining = list(examples)
-        for block in partition:
-            for example in block:
-                remaining.remove(example)
-            negatives = list(remaining)
-            memo_key = (
-                frozenset(id(e) for e in block),
-                frozenset(id(e) for e in negatives),
-            )
-            space = block_memo.get(memo_key)
-            if space is None:
-                space = synthesize_branch(block, negatives, contexts, config)
-                block_memo[memo_key] = space
-                guards_tried += space.guards_tried
-                extractors_evaluated += space.extractors_evaluated
-            if not space.options:
-                feasible = False
-                break
-            branch_spaces.append(space)
-        if not feasible:
-            continue
-        total = sum(
-            space.f1 * len(block) for space, block in zip(branch_spaces, partition)
-        )
-        combined_f1 = total / len(examples) if examples else 0.0
-        if combined_f1 > opt + config.f1_tolerance:
-            opt = combined_f1
-            best_spaces = [ProgramSpace(tuple(branch_spaces), combined_f1)]
-        elif abs(combined_f1 - opt) <= config.f1_tolerance and combined_f1 > 0:
-            best_spaces.append(ProgramSpace(tuple(branch_spaces), combined_f1))
-
-    stats = SynthesisStats(
-        elapsed_seconds=time.perf_counter() - start,
-        partitions_explored=partitions_explored,
-        guards_tried=guards_tried,
-        extractors_evaluated=extractors_evaluated,
+    session = SynthesisSession(
+        question,
+        tuple(keywords),
+        models,
+        config=config,
+        examples=examples,
+        contexts=contexts,
     )
-    return SynthesisResult(
-        spaces=tuple(best_spaces),
-        f1=opt,
-        stats=stats,
-        question=question,
-        keywords=tuple(keywords),
-    )
+    return session.synthesize()

@@ -10,6 +10,7 @@ structure a human reader perceives (Figure 4 of the paper).
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Callable, Iterator, Optional
 
 
@@ -123,12 +124,26 @@ class WebPage:
     URLs); ``root`` is node ``n0`` of Definition 3.1.
     """
 
-    __slots__ = ("url", "root", "_index")
+    __slots__ = ("url", "root", "_index", "_fingerprint")
 
     def __init__(self, root: PageNode, url: str = "") -> None:
         self.root = root
         self.url = url
         self._index = None
+        self._fingerprint: Optional[str] = None
+
+    def __getstate__(self) -> dict:
+        # Derived state (the evaluation index and its memo tables) holds
+        # references to model bundles and caches; it is cheap to rebuild
+        # and must not ride along when pages cross process or disk
+        # boundaries (runtime process pools, saved synthesis sessions).
+        return {"url": self.url, "root": self.root}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self.url = state["url"]
+        self._index = None
+        self._fingerprint = None
 
     def index(self):
         """The page's cached evaluation index (see :mod:`repro.webtree.index`).
@@ -145,6 +160,38 @@ class WebPage:
     def invalidate_index(self) -> None:
         """Drop the cached index (and id map) after a tree mutation."""
         self._index = None
+        self._fingerprint = None
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of the page's full content.
+
+        Covers the url and every node's ``(id, text, type)`` triple plus
+        the tree shape, so two pages fingerprint equal iff they are
+        content-identical — unlike ``id()``, the digest survives
+        re-parsing, pickling and process boundaries.  Synthesis sessions
+        key their block caches on it (see
+        :mod:`repro.synthesis.session`).  Cached until
+        :meth:`invalidate_index`.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            url = self.url.encode("utf-8")
+            hasher.update(f"{len(url)}\x1f".encode("utf-8"))
+            hasher.update(url)
+            for node in self.root.iter_subtree():
+                # Variable-length fields (url above, text here) are
+                # length-prefixed so content containing the separator
+                # bytes cannot forge a record boundary — the encoding
+                # stays injective for arbitrary content.
+                text = node.text.encode("utf-8")
+                record = (
+                    f"\x1e{node.node_id}\x1f{node.node_type.value}"
+                    f"\x1f{len(node.children)}\x1f{len(text)}\x1f"
+                )
+                hasher.update(record.encode("utf-8"))
+                hasher.update(text)
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def nodes(self) -> list[PageNode]:
         """All nodes in document order."""

@@ -66,6 +66,45 @@ class TestCli:
         assert exit_code == 0
         assert "λQ,K,W." in capsys.readouterr().out
 
+    def test_fit_session_refit_roundtrip(self, pages, capsys):
+        program_path = str(pages / "program.json")
+        session_path = str(pages / "session.pkl")
+        exit_code = main([
+            "fit",
+            "--question", "Who are the current PhD students?",
+            "--keyword", "Current Students", "--keyword", "PhD",
+            "--label", str(pages / "jane.html"), "Robert Smith;Mary Anderson",
+            "--ensemble", "20",
+            "--jobs", "2",
+            "--out", program_path,
+            "--session", session_path,
+        ])
+        assert exit_code == 0
+        assert "session saved:" in capsys.readouterr().out
+
+        exit_code = main([
+            "refit",
+            "--session", session_path,
+            "--label", str(pages / "john.html"), "Sarah Brown;Wei Zhang",
+            "--unlabeled-dir", str(pages / "unlabeled"),
+            "--ensemble", "20",
+            "--out", program_path,
+        ])
+        assert exit_code == 0
+        refit_output = capsys.readouterr().out
+        assert "reused from session" in refit_output
+        assert "training F1: 1.000" in refit_output
+
+        exit_code = main([
+            "extract",
+            "--program", program_path,
+            "--question", "Who are the current PhD students?",
+            "--keyword", "Current Students", "--keyword", "PhD",
+            "--jobs", "2",
+            str(pages / "unlabeled" / "ann.html"),
+        ])
+        assert exit_code == 0
+
     def test_fit_requires_labels(self, pages):
         with pytest.raises(SystemExit):
             main([

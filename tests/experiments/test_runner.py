@@ -35,6 +35,48 @@ class TestRunnerCli:
         with pytest.raises(ValueError):
             runner.run_experiment("fig99", config)
 
+    def test_paper_scale_composes_with_explicit_flags(self):
+        args = runner.build_parser().parse_args(
+            ["fig12", "--paper-scale", "--seed", "7", "--ensemble", "33",
+             "--jobs", "3"]
+        )
+        config = runner.config_from_args(args)
+        assert (config.n_pages, config.n_train) == (40, 5)
+        assert config.seed == 7
+        assert config.ensemble_size == 33
+        assert config.jobs == 3
+
+    def test_paper_scale_composes_with_corpus_flags(self):
+        args = runner.build_parser().parse_args(
+            ["fig12", "--paper-scale", "--pages", "10", "--train", "3"]
+        )
+        config = runner.config_from_args(args)
+        assert (config.n_pages, config.n_train) == (10, 3)
+        assert config.ensemble_size == 1000
+
+    def test_paper_scale_defaults_when_flags_omitted(self):
+        args = runner.build_parser().parse_args(["fig12", "--paper-scale"])
+        config = runner.config_from_args(args)
+        assert config.ensemble_size == 1000
+        assert config.seed == 0
+        assert config.jobs == 1
+
+    def test_default_scale_resolves_ensemble(self):
+        args = runner.build_parser().parse_args(["fig12"])
+        config = runner.config_from_args(args)
+        assert config.ensemble_size == 200
+        assert config.backend == "thread"
+
+    def test_fig12_via_main_with_jobs(self, capsys):
+        exit_code = runner.main(
+            ["fig12", "--pages", "4", "--train", "2", "--ensemble", "10",
+             "--jobs", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 12" in output
+        assert "finished in" in output
+
     def test_all_experiments_have_handlers(self):
         config = ExperimentConfig(n_pages=4, n_train=1, ensemble_size=5)
         for name in runner.EXPERIMENTS:

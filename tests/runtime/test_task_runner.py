@@ -1,0 +1,80 @@
+"""Tests for the parallel task runtime.
+
+The load-bearing property: a sweep run with ``jobs=4`` is identical to
+the same sweep with ``jobs=1`` — same results, same order.
+"""
+
+import operator
+
+import pytest
+
+from repro.dataset.tasks import TASKS
+from repro.experiments import fig12
+from repro.experiments.common import ExperimentConfig, run_comparison
+from repro.runtime import BACKENDS, TaskRunner, warm_pages
+from tests.synthesis.conftest import PAGE_A
+
+
+def _strip_timing(results):
+    return [(r.task_id, r.domain, r.tool, r.score) for r in results]
+
+
+class TestTaskRunner:
+    def test_inline_map(self):
+        assert TaskRunner(jobs=1).map(operator.neg, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_thread_map_preserves_order(self):
+        runner = TaskRunner(jobs=4)
+        items = list(range(50))
+        assert runner.map(operator.neg, items) == [-i for i in items]
+
+    def test_process_map_preserves_order(self):
+        runner = TaskRunner(jobs=2, backend="process")
+        assert runner.map(operator.neg, [3, 1, 2]) == [-3, -1, -2]
+
+    def test_exceptions_propagate(self):
+        def boom(item):
+            raise RuntimeError(f"worker {item} failed")
+
+        with pytest.raises(RuntimeError, match="worker"):
+            TaskRunner(jobs=2).map(boom, [0, 1])
+        with pytest.raises(RuntimeError, match="worker"):
+            TaskRunner(jobs=1).map(boom, [0])
+
+    def test_initializer_runs_inline_too(self):
+        seen = []
+        runner = TaskRunner(jobs=1, initializer=seen.append, initargs=("ready",))
+        runner.map(operator.neg, [1])
+        assert seen == ["ready"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TaskRunner(jobs=0)
+        with pytest.raises(ValueError):
+            TaskRunner(backend="fiber")
+        assert set(BACKENDS) == {"thread", "process"}
+
+    def test_warm_pages_builds_indexes(self):
+        PAGE_A.invalidate_index()
+        assert warm_pages([PAGE_A]) == 1
+        assert PAGE_A._index is not None
+
+
+class TestSweepDeterminism:
+    def sweep(self, jobs: int, backend: str = "thread"):
+        config = ExperimentConfig(
+            n_pages=4, n_train=2, ensemble_size=10, jobs=jobs, backend=backend
+        )
+        return run_comparison(
+            fig12.tool_factories(config), config, tasks=TASKS[:2]
+        )
+
+    def test_jobs_1_and_4_identical(self):
+        serial = self.sweep(jobs=1)
+        parallel = self.sweep(jobs=4)
+        assert _strip_timing(serial) == _strip_timing(parallel)
+
+    def test_process_backend_matches_serial(self):
+        serial = self.sweep(jobs=1)
+        spawned = self.sweep(jobs=2, backend="process")
+        assert _strip_timing(serial) == _strip_timing(spawned)

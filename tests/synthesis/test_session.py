@@ -1,0 +1,286 @@
+"""Tests for incremental synthesis sessions.
+
+The load-bearing property: a warm refit (fit, then add one example)
+returns *bit-identical* optimal program spaces to a fresh full
+synthesis, while re-synthesizing only blocks whose (block, negatives)
+content changed.  Pinned both by direct cases and a hypothesis
+differential over example subsets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import NlpModels
+from repro.synthesis import (
+    LabeledExample,
+    SynthesisSession,
+    block_negatives,
+    enumerate_partitions,
+    synthesize,
+)
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    GOLD_C,
+    KEYWORDS,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    QUESTION,
+    small_config,
+)
+
+MODELS = NlpModels()
+
+#: Pool of distinct example atoms the differential test draws from.
+EXAMPLE_POOL = (
+    LabeledExample(PAGE_A, GOLD_A),
+    LabeledExample(PAGE_B, GOLD_B),
+    LabeledExample(PAGE_C, GOLD_C),
+    LabeledExample(PAGE_A, ("Robert Smith",)),
+)
+
+
+def fresh_result(examples, config):
+    return synthesize(list(examples), QUESTION, KEYWORDS, MODELS, config)
+
+
+class TestStages:
+    def test_enumerate_partitions_counts(self):
+        # Fubini numbers: 13 ordered partitions of a 3-set.
+        assert sum(1 for _ in enumerate_partitions(3, None)) == 13
+        assert sum(1 for _ in enumerate_partitions(3, 1)) == 1
+
+    def test_blocks_preserve_index_order(self):
+        for partition in enumerate_partitions(4, None):
+            for block in partition:
+                assert list(block) == sorted(block)
+
+    def test_block_negatives_are_later_blocks(self):
+        partition = ((1, 3), (0,), (2,))
+        assert block_negatives(partition, 0) == (0, 2)
+        assert block_negatives(partition, 1) == (2,)
+        assert block_negatives(partition, 2) == ()
+
+
+class TestIncrementalRefit:
+    def test_refit_matches_fresh_synthesis(self):
+        config = small_config()
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        )
+        session.synthesize()
+        session.add_example(LabeledExample(PAGE_B, GOLD_B))
+        warm = session.synthesize()
+        fresh = fresh_result(
+            [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+            config,
+        )
+        assert warm.f1 == fresh.f1
+        assert warm.spaces == fresh.spaces
+
+    def test_refit_reuses_unchanged_blocks(self):
+        config = small_config()
+        examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config, examples=list(examples)
+        )
+        first = session.synthesize()
+        assert first.stats.blocks_reused == 0
+        session.add_example(LabeledExample(PAGE_C, GOLD_C))
+        second = session.synthesize()
+        # Blocks not involving the new example come from the cache...
+        assert second.stats.blocks_reused > 0
+        # ...and strictly fewer blocks are synthesized than a cold run does.
+        cold = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=list(session.examples),
+        ).synthesize()
+        assert (
+            second.stats.blocks_synthesized < cold.stats.blocks_synthesized
+        )
+
+    def test_resynthesize_without_changes_is_pure_reuse(self):
+        config = small_config()
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+        )
+        first = session.synthesize()
+        again = session.synthesize()
+        assert again.stats.blocks_synthesized == 0
+        assert again.stats.blocks_reused > 0
+        assert again.spaces == first.spaces
+
+    def test_remove_example_matches_fresh(self):
+        config = small_config()
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+        )
+        session.synthesize()
+        removed = session.remove_example(1)
+        assert removed.gold == GOLD_B
+        warm = session.synthesize()
+        fresh = fresh_result([LabeledExample(PAGE_A, GOLD_A)], config)
+        assert warm.spaces == fresh.spaces
+        assert warm.stats.blocks_synthesized == 0  # solved during the 2-example run
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_differential_session_vs_fresh(self, data):
+        config = small_config()
+        indices = data.draw(
+            st.lists(
+                st.sampled_from(range(len(EXAMPLE_POOL))),
+                unique=True, min_size=2, max_size=3,
+            ),
+            label="example indices",
+        )
+        examples = [EXAMPLE_POOL[i] for i in indices]
+        split = data.draw(
+            st.integers(min_value=1, max_value=len(examples) - 1), label="split"
+        )
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config, examples=examples[:split]
+        )
+        session.synthesize()
+        session.add_examples(examples[split:])
+        warm = session.synthesize()
+        fresh = fresh_result(examples, config)
+        assert warm.f1 == fresh.f1
+        assert warm.spaces == fresh.spaces
+
+
+class TestBudgets:
+    def test_max_partitions_budget(self):
+        config = small_config(max_partitions=1)
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+        )
+        result = session.synthesize()
+        assert result.stats.partitions_explored == 1
+        assert not result.stats.completed
+        # Anytime semantics: the single-branch partition is explored
+        # first, so the budgeted result still contains its optimum.
+        assert result.f1 > 0
+
+    def test_zero_deadline_returns_incomplete(self):
+        config = small_config(deadline_seconds=0.0)
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        )
+        result = session.synthesize()
+        assert not result.stats.completed
+        assert result.spaces == ()
+
+    def test_unbudgeted_run_is_complete(self):
+        result = fresh_result([LabeledExample(PAGE_A, GOLD_A)], small_config())
+        assert result.stats.completed
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_preserves_cache(self, tmp_path):
+        config = small_config()
+        path = str(tmp_path / "session.pkl")
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        )
+        before = session.synthesize()
+        session.save(path)
+
+        loaded = SynthesisSession.load(path)
+        assert loaded.question == QUESTION
+        assert loaded.keywords == KEYWORDS
+        assert loaded.cached_blocks() == session.cached_blocks()
+        # Re-synthesis after a round trip is pure cache reuse and yields
+        # the same spaces (pages were re-pickled, fingerprints survive).
+        replay = loaded.synthesize()
+        assert replay.stats.blocks_synthesized == 0
+        assert replay.f1 == before.f1
+        assert len(replay.spaces) == len(before.spaces)
+
+    def test_prune_evicts_unreachable_blocks(self):
+        config = small_config()
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+        )
+        session.synthesize()
+        two_example_blocks = session.cached_blocks()
+        session.remove_example(1)
+        # Probe set is stale after the removal: prune must not evict yet.
+        assert session.prune() == 0
+        assert session.cached_blocks() == two_example_blocks
+        session.synthesize()
+        evicted = session.prune()
+        assert evicted > 0
+        assert session.cached_blocks() == two_example_blocks - evicted
+        # The pruned session still answers the 1-example task warm.
+        assert session.synthesize().stats.blocks_synthesized == 0
+
+    def test_save_prunes_unreachable_blocks(self, tmp_path):
+        config = small_config()
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+        )
+        session.synthesize()
+        session.remove_example(1)
+        session.synthesize()
+        session.save(str(tmp_path / "session.pkl"))
+        loaded = SynthesisSession.load(str(tmp_path / "session.pkl"))
+        assert loaded.cached_blocks() == session.cached_blocks()
+        assert loaded.synthesize().stats.blocks_synthesized == 0
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(pickle.dumps({"version": 999}))
+        with pytest.raises(ValueError):
+            SynthesisSession.load(str(path))
+
+
+class TestFingerprints:
+    def test_content_identical_examples_share_fingerprints(self):
+        from repro.webtree import page_from_html
+
+        html = "<h1>X</h1><ul><li>A</li></ul>"
+        first = LabeledExample(page_from_html(html, url="u"), ("A",))
+        second = LabeledExample(page_from_html(html, url="u"), ("A",))
+        assert first.page is not second.page
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_sensitive_to_gold_and_content(self):
+        base = LabeledExample(PAGE_A, GOLD_A)
+        assert base.fingerprint() != LabeledExample(PAGE_A, ("other",)).fingerprint()
+        assert base.fingerprint() != LabeledExample(PAGE_B, GOLD_A).fingerprint()
+
+    def test_fingerprint_reflects_page_mutation(self):
+        from repro.webtree import page_from_html
+        from repro.webtree.node import PageNode
+
+        page = page_from_html("<h1>X</h1><ul><li>A</li></ul>", url="m")
+        example = LabeledExample(page, ("A",))
+        before = example.fingerprint()
+        page.root.add_child(PageNode(999, "new leaf"))
+        page.invalidate_index()
+        assert example.fingerprint() != before
+
+    def test_separator_bytes_in_text_do_not_collide(self):
+        from repro.webtree.node import PageNode, WebPage
+
+        # One node whose text embeds a forged record boundary vs two real
+        # nodes: the length-prefixed encoding must keep them distinct.
+        forged = WebPage(PageNode(0, "A\x1e1\x1fnone\x1f0\x1f1\x1fB"), url="u")
+        root = PageNode(0, "A")
+        root.add_child(PageNode(1, "B"))
+        real = WebPage(root, url="u")
+        assert forged.content_fingerprint() != real.content_fingerprint()
