@@ -1,0 +1,111 @@
+"""Benchmark-regression gate for CI.
+
+Compares a freshly measured micro-benchmark artifact (the output of
+``benchmarks/persist.py``) against the committed baseline
+``BENCH_synthesis_micro.json`` and fails when a guarded benchmark's
+median regresses by more than the allowed ratio.
+
+Only benchmarks listed in :data:`GUARDED` gate the build: they are the
+headline perf invariants of the synthesis engine (branch synthesis and
+the cold indexed locator path).  Other entries drift with machine noise
+and are tracked, not gated.  Cross-machine absolute times are noisy, so
+the threshold is deliberately loose (25%) and guards *relative
+catastrophes* (an accidentally disabled cache, a quadratic loop), not
+small scheduling jitter.
+
+Usage::
+
+    python benchmarks/persist.py --output fresh.json
+    python benchmarks/check_regression.py fresh.json          # vs committed baseline
+    python benchmarks/check_regression.py fresh.json --baseline other.json
+    python benchmarks/check_regression.py fresh.json --max-regression 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_synthesis_micro.json"
+
+#: Benchmarks whose median gates CI.
+GUARDED = (
+    "test_bench_branch_synthesis",
+    "test_bench_eval_locator_cold",
+)
+
+#: A guarded median may grow at most this factor over the baseline.
+DEFAULT_MAX_REGRESSION = 1.25
+
+
+def check(
+    fresh: dict, baseline: dict, max_regression: float
+) -> list[tuple[str, float, float, float]]:
+    """Regressions beyond the threshold: (name, base_s, fresh_s, ratio)."""
+    failures = []
+    fresh_benchmarks = fresh.get("benchmarks", {})
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name in GUARDED:
+        base_entry = base_benchmarks.get(name)
+        fresh_entry = fresh_benchmarks.get(name)
+        if base_entry is None:
+            print(f"  {name}: no committed baseline — skipped")
+            continue
+        if fresh_entry is None:
+            # A guarded benchmark that silently vanished is itself a
+            # regression: fail loudly instead of green-lighting.
+            failures.append((name, base_entry["median_s"], float("nan"), float("nan")))
+            continue
+        base_median = base_entry["median_s"]
+        fresh_median = fresh_entry["median_s"]
+        ratio = fresh_median / base_median if base_median > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_regression else "ok"
+        print(
+            f"  {name}: baseline {base_median * 1000:.3f}ms → "
+            f"fresh {fresh_median * 1000:.3f}ms ({ratio:.2f}x) {verdict}"
+        )
+        if ratio > max_regression:
+            failures.append((name, base_median, fresh_median, ratio))
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=Path, help="freshly measured artifact JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline artifact (default: repo BENCH_synthesis_micro.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="maximum allowed fresh/baseline median ratio (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    print(
+        f"benchmark regression gate (threshold {args.max_regression:.2f}x, "
+        f"baseline {args.baseline}):"
+    )
+    failures = check(fresh, baseline, args.max_regression)
+    if failures:
+        for name, base_median, fresh_median, ratio in failures:
+            print(
+                f"REGRESSION: {name} median {base_median:.6f}s → "
+                f"{fresh_median:.6f}s ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

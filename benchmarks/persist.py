@@ -38,6 +38,14 @@ SPEEDUP_PAIRS = (
     # same final example set.
     ("test_bench_session_refit_warm", "test_bench_session_refit_fresh"),
     ("test_bench_session_resynthesize", "test_bench_session_refit_fresh"),
+    # Vectorized planes: batched keyword scoring of a whole page vs the
+    # per-text scalar loop, both from cold matcher caches.
+    (
+        "test_bench_keyword_similarity_batch_cold",
+        "test_bench_keyword_similarity_scalar_cold",
+    ),
+    # Serving: thread fan-out vs sequential compiled predict.
+    ("test_bench_predict_batch", "test_bench_predict"),
 )
 
 

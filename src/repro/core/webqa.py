@@ -12,8 +12,10 @@ from dataclasses import dataclass
 
 from ..baselines.base import ExtractionTool
 from ..dsl import ast
+from ..dsl.compile import CompiledProgram, compile_program
 from ..dsl.pretty import pretty_program
 from ..nlp.models import NlpModels
+from ..runtime.runner import TaskRunner
 from ..selection.baselines import select_random, select_shortest
 from ..selection.transductive import SelectionOutcome, select_program
 from ..synthesis.config import SynthesisConfig, default_config
@@ -86,6 +88,7 @@ class WebQA(ExtractionTool):
         self._session: SynthesisSession | None = None
         self._unlabeled: list[WebPage] = []
         self._models: NlpModels | None = None
+        self._compiled: CompiledProgram | None = None
 
     # -- ExtractionTool interface ------------------------------------------------
 
@@ -150,6 +153,7 @@ class WebQA(ExtractionTool):
             # ablations): degrade to the empty program, which answers ∅.
             empty = ast.Program(())
             self.report = FitReport(synthesis=synthesis, program=empty, selection=None)
+            self._compiled = compile_program(empty)
             return self
         selection: SelectionOutcome | None = None
         if self.selection_strategy == "transductive":
@@ -164,12 +168,38 @@ class WebQA(ExtractionTool):
         else:
             program = select_shortest(synthesis, seed=self.seed)
         self.report = FitReport(synthesis=synthesis, program=program, selection=selection)
+        self._compiled = compile_program(program)
         return self
 
     def predict(self, page: WebPage) -> tuple[str, ...]:
-        if self.report is None or self._contexts is None:
+        if self.report is None or self._contexts is None or self._compiled is None:
             raise RuntimeError("fit must be called before predict")
-        return self._contexts.ctx(page).eval_program(self.report.program)
+        # The compiled plan shares the task's per-page eval state (and
+        # hence every memo table); its output is bit-identical to
+        # interpreting ``self.report.program``.  ``serving_ctx`` keeps
+        # the tool from retaining every page it ever answered.
+        return self._compiled.run(self._contexts.serving_ctx(page))
+
+    def predict_batch(
+        self,
+        pages: list[WebPage],
+        jobs: int = 1,
+        backend: str = "thread",
+    ) -> list[tuple[str, ...]]:
+        """``predict`` over many pages, optionally fanned across a pool.
+
+        Results come back in page order for any ``jobs`` count (the
+        :class:`~repro.runtime.runner.TaskRunner` determinism guarantee),
+        and each entry is bit-identical to a sequential ``predict`` call
+        — pinned by ``tests/core/test_predict_batch.py``.  The default
+        ``"thread"`` backend shares this instance's compiled plan and
+        page caches; ``"process"`` requires the tool to be picklable and
+        re-derives caches worker-side.
+        """
+        if self.report is None or self._compiled is None:
+            raise RuntimeError("fit must be called before predict_batch")
+        runner = TaskRunner(jobs=jobs, backend=backend)
+        return runner.map(self.predict, list(pages))
 
     # -- conveniences ----------------------------------------------------------------
 

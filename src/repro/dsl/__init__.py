@@ -8,6 +8,7 @@
 """
 
 from . import ast
+from .compile import CompiledProgram, compile_program
 from .parser import DslSyntaxError, parse_extractor, parse_locator, parse_program
 from .serialize import dumps, load_program, loads, save_program
 from .depth import (
@@ -41,6 +42,8 @@ from .types import Answer, Keywords, NodeSet, Question, dedupe_ordered
 
 __all__ = [
     "ast",
+    "CompiledProgram",
+    "compile_program",
     "DslSyntaxError",
     "parse_extractor",
     "parse_locator",

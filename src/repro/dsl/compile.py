@@ -1,0 +1,121 @@
+"""Compiled serving plans for synthesized programs.
+
+Synthesis produces one :class:`~repro.dsl.ast.Program` that is then
+served over many pages (``WebQA.predict`` / ``predict_batch``, the
+experiment sweeps, any production deployment).  The tree-walking
+interpreter re-dispatches on AST node types for every page; this module
+**compiles** a program once into a flat plan of branch steps that runs
+directly against the indexed engine's precomputed masks:
+
+* every branch is flattened to ``(locator, guard test, extractor)`` with
+  all terms interned, so per-page memo probes short-circuit on object
+  identity;
+* on the indexed engine, guard tests are bitset arithmetic over the
+  page's cached locator masks — ``IsSingleton`` is a two-op popcount
+  check (``mask & (mask - 1)``), and ``Sat(ν, φ)`` reuses the
+  ``matchText`` filter machinery (including the batched
+  ``matchKeyword`` text planes), so a whole guard often evaluates
+  without touching a single Python-level node object;
+* located nodes are materialized only for the one branch that fires.
+
+The compiled plan is semantically identical to
+:meth:`EvalContext.eval_program` — same first-firing-branch rule, same
+memo tables, bit-for-bit equal outputs (pinned by the differential
+tests in ``tests/dsl/test_compile.py``).  Contexts from the reference
+engine fall back to the interpreter per branch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from . import ast
+from .eval import EvalContext, IndexedEvalContext
+from .types import Answer
+
+
+class CompiledBranch:
+    """One flattened branch: locator + guard test + extractor."""
+
+    __slots__ = ("branch", "locator", "extractor", "is_singleton", "sat_filter")
+
+    def __init__(self, branch: ast.Branch) -> None:
+        guard = ast.intern(branch.guard)
+        self.branch = ast.Branch(guard, ast.intern(branch.extractor))
+        self.locator = ast.intern(guard.locator)
+        self.extractor = self.branch.extractor
+        self.is_singleton = isinstance(guard, ast.IsSingleton)
+        if isinstance(guard, ast.Sat):
+            # ``Sat(ν, φ)`` fires iff some located node's own text
+            # satisfies φ — exactly a ``matchText(φ, b=false)`` filter
+            # kept non-empty, so the compiled test reuses the filter
+            # bitset machinery (and its per-page caches).
+            self.sat_filter: ast.MatchText | None = ast.intern(
+                ast.MatchText(guard.pred, False)
+            )
+        elif self.is_singleton:
+            self.sat_filter = None
+        else:
+            raise TypeError(f"unknown guard: {guard!r}")
+
+
+class CompiledProgram:
+    """A program compiled to a flat serving plan.
+
+    ``run(ctx)`` evaluates against an existing
+    :class:`~repro.dsl.eval.EvalContext` (sharing all its memo tables);
+    ``run_on_page`` is the one-shot convenience mirror of
+    :func:`~repro.dsl.eval.run_program`.
+    """
+
+    __slots__ = ("program", "steps")
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.steps: tuple[CompiledBranch, ...] = tuple(
+            CompiledBranch(branch) for branch in program.branches
+        )
+
+    def run(self, ctx: EvalContext) -> Answer:
+        """Evaluate the plan on one page context.
+
+        First branch whose guard fires wins, like
+        :meth:`EvalContext.eval_program`; ``()`` when none fires.
+        """
+        if isinstance(ctx, IndexedEvalContext):
+            for step in self.steps:
+                mask = ctx.locator_mask(step.locator)
+                if step.is_singleton:
+                    fired = mask != 0 and mask & (mask - 1) == 0
+                else:
+                    fired = (
+                        mask != 0
+                        and ctx.filter_mask(step.sat_filter, mask) != 0
+                    )
+                if fired:
+                    return ctx.eval_extractor(
+                        step.extractor, ctx.eval_locator(step.locator)
+                    )
+            return ()
+        for step in self.steps:  # reference engine: interpreter semantics
+            result = ctx.eval_branch(step.branch)
+            if result is not None:
+                return result
+        return ()
+
+    def run_on_page(
+        self,
+        page,
+        question: str,
+        keywords: Sequence[str],
+        models,
+        engine: str | None = None,
+    ) -> Answer:
+        """One-shot evaluation on a page (builds/reuses a context)."""
+        ctx = EvalContext(page, question, tuple(keywords), models, engine)
+        return self.run(ctx)
+
+
+def compile_program(program: ast.Program) -> CompiledProgram:
+    """Compile ``program`` into a flat serving plan."""
+    return CompiledProgram(program)

@@ -30,6 +30,7 @@ bit-for-bit comparable.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from ..nlp.models import NlpModels
 from ..webtree.index import PageIndex, iter_ranks
@@ -222,14 +223,16 @@ class EvalContext:
             return self.models.answer_substrings(text, self.question, k)
         if isinstance(pred, ast.MatchKeyword):
             segments = _segments(text)
+            scores = self.models.keyword_similarity_batch(segments, self.keywords)
             scored = [
-                (self.models.keyword_similarity(seg, self.keywords), seg)
-                for seg in segments
+                (score, seg)
+                for score, seg in zip(scores, segments)
+                if score >= pred.threshold
             ]
-            winners = [seg for score, seg in scored if score >= pred.threshold]
-            winners.sort(
-                key=lambda seg: -self.models.keyword_similarity(seg, self.keywords)
-            )
+            # Stable sort on the already-computed scores: ties keep
+            # segment order, exactly as the old re-scoring sort did.
+            scored.sort(key=lambda pair: -pair[0])
+            winners = [seg for _, seg in scored]
             return winners[:k] if k > 0 else winners
         if isinstance(pred, ast.TruePred):
             return [text] if text.strip() else []
@@ -410,6 +413,16 @@ class IndexedEvalContext(EvalContext):
         ``state`` is ``[evaluated_mask, true_mask]``: which ranks have
         been decided, and which of those matched.  Only candidates not
         yet decided hit the NLP predicate.
+
+        Atomic ``matchKeyword`` predicates take the page's
+        :class:`~repro.webtree.index.TextPlane` instead: the whole page
+        is scored in one batched call (reused across thresholds) and the
+        filter decides *every* rank at once — later thresholds and
+        candidate sets are pure bitwise algebra.  The plane is only
+        consulted for model bundles that declare
+        ``batch_keyword_planes`` (the batched scores are then
+        bit-identical to per-node evaluation; noisy bundles fall back to
+        the scalar loop).
         """
         key = (node_filter.pred, node_filter.whole_subtree)
         state = self._filter_bitsets.get(key)
@@ -421,14 +434,26 @@ class IndexedEvalContext(EvalContext):
             index = self._index
             pred = node_filter.pred
             whole = node_filter.whole_subtree
-            texts = index.texts
-            matched = 0
-            for rank in iter_ranks(pending):
-                text = index.subtree_text(rank) if whole else texts[rank]
-                if self.eval_pred(pred, text):
-                    matched |= 1 << rank
-            state[0] |= pending
-            state[1] |= matched
+            if isinstance(pred, ast.MatchKeyword) and getattr(
+                self.models, "batch_keyword_planes", False
+            ):
+                plane = index.text_plane(self.models)
+                matched = plane.match_mask(self.keywords, pred.threshold, whole)
+                # Publish the result before the evaluated mask: a
+                # concurrent thread sharing this page-scoped state must
+                # never observe ranks marked decided with no match bits
+                # yet (it would return a wrong empty mask).
+                state[1] = matched
+                state[0] = index.all_mask
+            else:
+                texts = index.texts
+                matched = 0
+                for rank in iter_ranks(pending):
+                    text = index.subtree_text(rank) if whole else texts[rank]
+                    if self.eval_pred(pred, text):
+                        matched |= 1 << rank
+                state[1] |= matched  # results first — see plane path above
+                state[0] |= pending
         return candidates & state[1]
 
     # -- single-node filter queries reuse the bitsets --------------------------
@@ -444,8 +469,14 @@ class IndexedEvalContext(EvalContext):
 _SEGMENT_RE = re.compile(r"[,;|•\n]| - |: ")
 
 
+@lru_cache(maxsize=131072)
 def _segments(text: str) -> list[str]:
-    """Clause-ish segments of a string, used as Substring candidates."""
+    """Clause-ish segments of a string, used as Substring candidates.
+
+    Memoized: ``Substring`` candidate generation re-segments the same
+    node texts for every predicate/threshold.  Callers treat the result
+    as read-only.
+    """
     pieces = [p.strip() for p in _SEGMENT_RE.split(text)]
     pieces = [p for p in pieces if p]
     if text.strip() and text.strip() not in pieces:

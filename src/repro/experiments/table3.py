@@ -20,7 +20,7 @@ from ..dsl.productions import ProductionConfig
 from ..metrics.scores import mean
 from ..synthesis.config import SynthesisConfig, no_decomp, no_prune
 from ..synthesis.top import synthesize
-from .common import ExperimentConfig, dataset_for
+from .common import ExperimentConfig, clear_process_caches, dataset_for
 from .report import format_table
 
 #: One task per domain keeps the ablation representative yet fast.
@@ -74,8 +74,11 @@ def run(
             # rebuild constructs a fresh NlpModels bundle, and the
             # page-scoped eval caches key on the models' identity — so
             # each variant is timed cold instead of riding the memo
-            # tables the previous variant populated.
+            # tables the previous variant populated.  The process-wide
+            # pure-function caches (NER spans, token-F1, segments) are
+            # cleared explicitly for the same reason.
             dataset = dataset_for(TASKS_BY_ID[task_id], config)
+            clear_process_caches()
             start = time.perf_counter()
             result = synthesize(
                 list(dataset.train),

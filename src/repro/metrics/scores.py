@@ -39,6 +39,10 @@ def mean_score(scores: Sequence[Score]) -> Score:
     """Component-wise mean; zero triple for an empty sequence."""
     if not scores:
         return ZERO_SCORE
+    if len(scores) == 1:
+        # Bit-identical to the general path (0.0 + x == x and
+        # x * 1.0 == x for the non-negative finite components).
+        return scores[0]
     total = ZERO_SCORE
     for score in scores:
         total = total + score

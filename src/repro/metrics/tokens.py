@@ -49,9 +49,21 @@ def token_prf(
     prediction against non-empty gold has recall 0; non-empty prediction
     against empty gold has precision 0.
 
+    Memoized on the (predicted, expected) string tuples: extractor
+    synthesis scores the same candidate outputs against the same gold
+    sets across partitions, blocks and refits, and the multiset
+    arithmetic dominates once evaluation itself is cached.
+
     >>> token_prf(["Bob Smith"], ["Bob Smith", "Ann"])
     (1.0, 0.6666666666666666, 0.8)
     """
+    return _token_prf_cached(tuple(predicted), tuple(expected))
+
+
+@lru_cache(maxsize=262144)
+def _token_prf_cached(
+    predicted: tuple[str, ...], expected: tuple[str, ...]
+) -> tuple[float, float, float]:
     pred_tokens = answer_tokens(predicted)
     gold_tokens = answer_tokens(expected)
     n_pred = sum(pred_tokens.values())

@@ -14,12 +14,26 @@ This is the substitute for the Sentence-BERT encoder the paper uses for
 
 Everything is seeded and hash-based: no training, no network, fully
 reproducible across runs and machines.
+
+The module exposes a **batched plane** alongside the scalar API:
+:func:`word_matrix` / :meth:`KeywordMatcher.phrase_matrix` hash-embed
+many texts into one ``(n, EMBEDDING_DIM)`` ndarray (feature scatter and
+row normalization vectorized), and :meth:`KeywordMatcher.similarity_batch`
+scores every text against a keyword set with a single cosine matmul plus
+vectorized lexicon overrides.  The scalar entry points delegate to the
+batch kernels with one-row inputs, so batch and scalar results are
+bit-for-bit identical by construction (pinned by the differential tests
+in ``tests/nlp/test_embeddings_batch.py``).  All reductions deliberately
+use ``np.einsum`` rather than BLAS matmul: BLAS gemm may pick different
+micro-kernels (and hence different summation orders) for different
+operand shapes, which would break the one-row ≡ many-row equality in the
+last ulp.
 """
 
 from __future__ import annotations
 
 import hashlib
-from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -31,6 +45,13 @@ from .vocab import IdfModel
 #: enough that unrelated words are near-orthogonal in expectation.
 EMBEDDING_DIM = 96
 
+#: Process-wide word-vector cache (was an ``lru_cache``; a plain dict
+#: lets :func:`word_matrix` gather cached rows and batch-compute only the
+#: missing ones).  Dropped wholesale past the bound — vectors are cheap
+#: to rebuild and exact, so eviction can never change a result.
+_WORD_CACHE: dict[str, np.ndarray] = {}
+_WORD_CACHE_LIMIT = 65536
+
 
 def _hash_to_index(text: str, dim: int = EMBEDDING_DIM) -> tuple[int, float]:
     """Stable (index, sign) pair for a feature string."""
@@ -39,19 +60,166 @@ def _hash_to_index(text: str, dim: int = EMBEDDING_DIM) -> tuple[int, float]:
     return value % dim, 1.0 if (value >> 40) & 1 else -1.0
 
 
-@lru_cache(maxsize=65536)
+def _row_norms(matrix: np.ndarray) -> np.ndarray:
+    """Euclidean norm of every row.
+
+    One einsum kernel shared by every normalization in this module: the
+    per-row reduction is shape-independent, keeping one-row and many-row
+    computations bit-identical (see the module docstring).
+    """
+    return np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+
+
+def word_matrix(word_list: Sequence[str]) -> np.ndarray:
+    """Unit embeddings of many words as one ``(n, EMBEDDING_DIM)`` array.
+
+    Rows already in the process-wide cache are reused; the remaining
+    words are embedded together — all hashed features scattered into one
+    matrix with a single ``np.add.at`` and normalized in one vectorized
+    pass.  Duplicate words are resolved through a unique-row gather, so
+    a batch with heavy repetition (every phrase of a page) stacks each
+    distinct word once.  Feature sums are small integers (exact in
+    float64), so the batch rows are bit-identical to the old per-word
+    accumulation.
+    """
+    unique: dict[str, int] = {}
+    rows: list[np.ndarray | None] = []
+    missing: list[tuple[int, str]] = []
+    inverse: list[int] = []
+    for word in word_list:
+        row_id = unique.get(word)
+        if row_id is None:
+            row_id = len(rows)
+            unique[word] = row_id
+            cached = _WORD_CACHE.get(word)
+            rows.append(cached)
+            if cached is None:
+                missing.append((row_id, word))
+        inverse.append(row_id)
+    if missing:
+        fresh = np.zeros((len(missing), EMBEDDING_DIM))
+        row_ids: list[int] = []
+        feature_ids: list[int] = []
+        signs: list[float] = []
+        for fresh_id, (_, word) in enumerate(missing):
+            lowered = word.lower()
+            for feature in ngrams(lowered) + [f"w:{lowered}"]:
+                index, sign = _hash_to_index(feature)
+                row_ids.append(fresh_id)
+                feature_ids.append(index)
+                signs.append(sign)
+        np.add.at(fresh, (row_ids, feature_ids), signs)
+        norms = _row_norms(fresh)
+        nonzero = norms > 0
+        fresh[nonzero] /= norms[nonzero, None]
+        if len(_WORD_CACHE) + len(missing) > _WORD_CACHE_LIMIT:
+            _WORD_CACHE.clear()
+        fresh.setflags(write=False)  # cached rows are frozen views
+        for fresh_id, (row_id, word) in enumerate(missing):
+            vector = fresh[fresh_id]
+            _WORD_CACHE[word] = vector
+            rows[row_id] = vector
+        if len(missing) == len(word_list):
+            return fresh  # every word new and distinct: already in order
+    if not rows:
+        return np.zeros((0, EMBEDDING_DIM))
+    base = np.stack(rows)
+    if len(inverse) == len(rows):
+        return base
+    return base[np.asarray(inverse, dtype=np.intp)]
+
+
 def word_vector(word: str) -> np.ndarray:
     """Unit embedding of a single word from hashed char n-grams."""
-    vector = np.zeros(EMBEDDING_DIM)
-    features = ngrams(word.lower()) + [f"w:{word.lower()}"]
-    for feature in features:
-        index, sign = _hash_to_index(feature)
-        vector[index] += sign
-    norm = float(np.linalg.norm(vector))
-    if norm > 0:
-        vector /= norm
-    vector.setflags(write=False)
-    return vector
+    cached = _WORD_CACHE.get(word)
+    if cached is not None:
+        return cached
+    matrix = word_matrix([word])
+    # Fall back to the returned row rather than re-probing the cache: a
+    # concurrent batch may clear the (bounded) global cache in between.
+    return _WORD_CACHE.get(word, matrix[0])
+
+
+def phrase_matrix(
+    phrases: Sequence[str], idf: IdfModel | None = None
+) -> np.ndarray:
+    """IDF-weighted mean word embeddings of many phrases, row per phrase.
+
+    Uncached convenience wrapper over the same batch kernel
+    :class:`KeywordMatcher` uses; pass the matcher's own
+    :meth:`KeywordMatcher.phrase_matrix` when you hold one, to share its
+    phrase cache.
+    """
+    return _phrase_rows(phrases, idf or IdfModel.empty())
+
+
+def _phrase_rows(
+    phrases: Sequence[str],
+    idf: IdfModel,
+    token_lists: Sequence[list[str]] | None = None,
+) -> np.ndarray:
+    """The batch phrase-embedding kernel (no caching).
+
+    Token contributions are scattered with ``np.add.at`` in phrase-major
+    token order — the exact accumulation order of the old scalar loop —
+    so rows match the historical per-phrase computation bit for bit.
+    Callers that already tokenized the phrases pass ``token_lists``
+    (tokenization is idempotent on normalized phrases, so the result is
+    identical either way).
+    """
+    if token_lists is None:
+        token_lists = [words(phrase) for phrase in phrases]
+    out = np.zeros((len(phrases), EMBEDDING_DIM))
+    # Flatten phrase-major; empty phrases keep their zero row (the
+    # scalar empty case) and are excluded from the segment layout.
+    segment_rows = [row for row, tokens in enumerate(token_lists) if tokens]
+    if segment_rows:
+        flat_tokens = [token for tokens in token_lists for token in tokens]
+        lengths = [len(token_lists[row]) for row in segment_rows]
+        unique_tokens = list(dict.fromkeys(flat_tokens))
+        token_ids = {token: i for i, token in enumerate(unique_tokens)}
+        idf_of = idf.idf
+        weights = np.array([idf_of(token) for token in unique_tokens])
+        # One embedding row per *distinct* token, IDF-scaled once at the
+        # unique level, then a C-level gather back to flat
+        # (phrase-major) order.
+        scaled = weights[:, None] * word_matrix(unique_tokens)
+        flat_ids = np.fromiter(
+            (token_ids[token] for token in flat_tokens),
+            dtype=np.intp,
+            count=len(flat_tokens),
+        )
+        contributions = scaled[flat_ids]
+        segment_starts = np.concatenate(
+            ([0], np.cumsum(lengths[:-1], dtype=np.intp))
+        )
+        # Each phrase is one contiguous segment; ``add.reduceat`` folds
+        # a segment's rows top-down — the same left-to-right
+        # accumulation order for any batch shape, keeping one-row and
+        # many-row calls bit-identical.
+        sums = np.add.reduceat(contributions, segment_starts, axis=0)
+        out[segment_rows] = sums
+        norms = _row_norms(out)
+        nonzero = norms > 0
+        out[nonzero] /= norms[nonzero, None]
+    return out
+
+
+class _KeywordInfo:
+    """Precomputed lexical context of one keyword, reused across texts."""
+
+    __slots__ = ("norm", "padded", "synonyms", "related", "denominator")
+
+    def __init__(self, keyword: str, lexicon: Lexicon) -> None:
+        keyword_words = words(keyword)
+        self.norm = " ".join(keyword_words)
+        self.padded = f" {self.norm} "
+        # Tuple-ized once so scalar and batch paths iterate the same
+        # synonym sequence (frozenset iteration order is not stable
+        # across equal-but-distinct sets).
+        self.synonyms = tuple(lexicon.synonyms(self.norm)) if self.norm else ()
+        self.related = lexicon.related_words(self.norm) if self.norm else frozenset()
+        self.denominator = max(len(set(words(self.norm))), 1)
 
 
 class KeywordMatcher:
@@ -59,6 +227,9 @@ class KeywordMatcher:
 
     ``similarity`` returns a score in [0, 1]; ``match_keyword`` thresholds
     the best score over the keyword set, exactly as the DSL primitive.
+    ``similarity_batch`` scores many texts at once — one cosine matmul
+    over the phrase planes plus vectorized lexicon overrides — and is the
+    kernel the scalar entry points delegate to.
     """
 
     def __init__(
@@ -69,27 +240,220 @@ class KeywordMatcher:
         self._idf = idf or IdfModel.empty()
         self._lexicon = lexicon
         self._phrase_cache: dict[str, np.ndarray] = {}
+        self._words_cache: dict[str, list[str]] = {}
+        self._keyword_cache: dict[str, _KeywordInfo] = {}
+
+    # -- memoized tokenization --------------------------------------------------
+
+    def _words(self, text: str) -> list[str]:
+        """``words(text)``, memoized per matcher.
+
+        ``best_similarity`` used to re-tokenize the text once per keyword
+        in its set; the memo makes repeat tokenization a dict probe.
+        """
+        tokens = self._words_cache.get(text)
+        if tokens is None:
+            tokens = words(text)
+            if len(self._words_cache) < 100000:
+                self._words_cache[text] = tokens
+        return tokens
+
+    def _keyword_info(self, keyword: str) -> _KeywordInfo:
+        info = self._keyword_cache.get(keyword)
+        if info is None:
+            info = _KeywordInfo(keyword, self._lexicon)
+            self._keyword_cache[keyword] = info
+        return info
 
     # -- embeddings -----------------------------------------------------------
+
+    def phrase_matrix(
+        self,
+        phrases: Sequence[str],
+        token_lists: Sequence[list[str]] | None = None,
+    ) -> np.ndarray:
+        """Phrase embeddings as one ``(n, EMBEDDING_DIM)`` array, cached.
+
+        Rows for phrases seen before come from the matcher's phrase
+        cache; the rest are embedded in one batch kernel call and cached.
+        ``token_lists`` (aligned with ``phrases``) skips re-tokenization
+        when the caller already holds the word tokens.
+        """
+        cache = self._phrase_cache
+        rows: list[np.ndarray | None] = []
+        missing_phrases: list[str] = []
+        missing_tokens: list[list[str]] | None = (
+            [] if token_lists is not None else None
+        )
+        missing_ids: dict[str, int] = {}
+        missing_positions: list[tuple[int, int]] = []
+        for position, phrase in enumerate(phrases):
+            cached = cache.get(phrase)
+            rows.append(cached)
+            if cached is None:
+                fresh_id = missing_ids.get(phrase)
+                if fresh_id is None:
+                    fresh_id = len(missing_phrases)
+                    missing_ids[phrase] = fresh_id
+                    missing_phrases.append(phrase)
+                    if missing_tokens is not None:
+                        missing_tokens.append(token_lists[position])
+                missing_positions.append((position, fresh_id))
+        if missing_phrases:
+            fresh = _phrase_rows(missing_phrases, self._idf, missing_tokens)
+            fresh.setflags(write=False)  # cached rows are frozen views
+            if len(cache) + len(missing_phrases) <= 100000:
+                for phrase, fresh_id in missing_ids.items():
+                    cache[phrase] = fresh[fresh_id]
+            for position, fresh_id in missing_positions:
+                rows[position] = fresh[fresh_id]
+            if len(missing_phrases) == len(phrases):
+                return fresh  # every phrase new and distinct: already in order
+        if not rows:
+            return np.zeros((0, EMBEDDING_DIM))
+        return np.stack(rows)
 
     def phrase_vector(self, phrase: str) -> np.ndarray:
         """IDF-weighted mean word embedding of ``phrase`` (unit norm)."""
         cached = self._phrase_cache.get(phrase)
         if cached is not None:
             return cached
-        tokens = words(phrase)
-        vector = np.zeros(EMBEDDING_DIM)
-        for token in tokens:
-            vector += self._idf.idf(token) * word_vector(token)
-        norm = float(np.linalg.norm(vector))
-        if norm > 0:
-            vector /= norm
+        matrix = self.phrase_matrix([phrase])
+        cached = self._phrase_cache.get(phrase)
+        if cached is not None:
+            return cached
+        vector = matrix[0].copy()  # cache full: still return a frozen row
         vector.setflags(write=False)
-        if len(self._phrase_cache) < 100000:
-            self._phrase_cache[phrase] = vector
         return vector
 
     # -- similarity --------------------------------------------------------------
+
+    def _lexical_score(
+        self,
+        text_norm: str,
+        padded_text: str,
+        text_words: list[str],
+        info: _KeywordInfo,
+    ) -> float:
+        """Lexicon/containment component of the similarity score.
+
+        Combines (max over): concept identity 0.95+, phrase containment
+        0.92, synonym containment 0.88, related-word containment up to
+        0.82.  Returns exactly 1.0 only on a normalized exact match.
+
+        The hot batch kernel (:meth:`similarity_batch`) inlines this
+        exact logic; this method is the readable single-pair form, kept
+        for direct use and tests.
+        """
+        if info.norm == text_norm:
+            return 1.0
+        best = 0.0
+        if self._lexicon.same_concept_normalized(text_norm, info.norm):
+            best = 0.95
+        elif info.padded in padded_text:
+            best = max(best, 0.92)
+        else:
+            for synonym in info.synonyms:
+                if synonym and f" {synonym} " in padded_text:
+                    best = max(best, 0.88)
+                    break
+        if best < 0.88 and info.related:
+            related = info.related
+            overlap = sum(1 for w in text_words if w in related)
+            containment = overlap / info.denominator
+            best = max(best, min(containment, 1.0) * 0.82)
+        return best
+
+    def similarity_batch(
+        self, texts: Sequence[str], keywords: tuple[str, ...]
+    ) -> np.ndarray:
+        """Best similarity of each text against the keyword set, batched.
+
+        Entry ``i`` equals ``best_similarity(texts[i], keywords)`` bit
+        for bit (the scalar path delegates here).  The geometric
+        component is one cosine matmul between the text plane and the
+        keyword plane; texts decided lexically (exact 1.0 match) or
+        empty after tokenization skip embedding entirely.
+        """
+        if len(texts) == 0 or not keywords:
+            return np.zeros(len(texts))
+        infos = [self._keyword_info(k) for k in keywords]
+        infos = [info for info in infos if info.norm]
+        if not infos:
+            return np.zeros(len(texts))
+        # Score each *distinct* text once; repeats (ubiquitous in page
+        # planes — empty cells, repeated section labels) are resolved by
+        # a final gather.
+        representative: dict[str, int] = {}
+        rep_ids: list[int] = []
+        distinct_texts: list[str] = []
+        for text in texts:
+            rep_id = representative.get(text)
+            if rep_id is None:
+                rep_id = len(distinct_texts)
+                representative[text] = rep_id
+                distinct_texts.append(text)
+            rep_ids.append(rep_id)
+        n = len(distinct_texts)
+        scores = np.zeros(n)
+        text_norms: list[str] = [""] * n
+        token_lists: list[list[str]] = [[]] * n
+        pending: list[int] = []
+        same_concept = self._lexicon.same_concept_normalized
+        for i, text in enumerate(distinct_texts):
+            text_words = self._words(text)
+            if not text_words:
+                continue  # stays 0.0, like the scalar empty-text case
+            text_norm = " ".join(text_words)
+            text_norms[i] = text_norm
+            token_lists[i] = text_words
+            padded_text = f" {text_norm} "
+            best = 0.0
+            exact = False
+            for info in infos:
+                # Inlined _lexical_score (the single-pair form above) —
+                # the per-pair call overhead dominates at plane scale.
+                if info.norm == text_norm:
+                    exact = True
+                    best = 1.0
+                    break
+                value = 0.0
+                if same_concept(text_norm, info.norm):
+                    value = 0.95
+                elif info.padded in padded_text:
+                    value = 0.92
+                else:
+                    for synonym in info.synonyms:
+                        if synonym and f" {synonym} " in padded_text:
+                            value = 0.88
+                            break
+                if value < 0.88:
+                    related = info.related
+                    if related:
+                        overlap = sum(map(related.__contains__, text_words))
+                        contained = min(overlap / info.denominator, 1.0) * 0.82
+                        if contained > value:
+                            value = contained
+                if value > best:
+                    best = value
+            scores[i] = best
+            if not exact:
+                pending.append(i)
+        if pending:
+            text_plane = self.phrase_matrix(
+                [text_norms[i] for i in pending],
+                [token_lists[i] for i in pending],
+            )
+            keyword_plane = self.phrase_matrix([info.norm for info in infos])
+            cosine = np.einsum("ik,jk->ij", text_plane, keyword_plane)
+            geometric = (cosine + 1.0) / 2.0 * 0.85
+            best_geometric = geometric.max(axis=1)
+            scores[pending] = np.minimum(
+                np.maximum(scores[pending], best_geometric), 1.0
+            )
+        if n == len(texts):
+            return scores
+        return scores[np.asarray(rep_ids, dtype=np.intp)]
 
     def similarity(self, text: str, keyword: str) -> float:
         """Semantic similarity in [0, 1] between ``text`` and ``keyword``.
@@ -99,46 +463,18 @@ class KeywordMatcher:
         2. containment of keyword-related words in the text → up to 0.9;
         3. cosine similarity of hashed embeddings mapped to [0, 1].
         """
-        text_words = words(text)
-        if not text_words:
-            return 0.0
-        keyword_norm = " ".join(words(keyword))
-        if not keyword_norm:
-            return 0.0
-        text_norm = " ".join(text_words)
-
-        best = 0.0
-        # 1. Exact / lexicon-level matches.
-        if keyword_norm == text_norm:
-            return 1.0
-        if self._lexicon.same_concept(text_norm, keyword_norm):
-            best = 0.95
-        elif f" {keyword_norm} " in f" {text_norm} ":
-            best = max(best, 0.92)
-        else:
-            for synonym in self._lexicon.synonyms(keyword_norm):
-                if synonym and f" {synonym} " in f" {text_norm} ":
-                    best = max(best, 0.88)
-                    break
-        # 2. Word-level containment of related vocabulary.
-        if best < 0.88:
-            related = self._lexicon.related_words(keyword_norm)
-            if related:
-                overlap = sum(1 for w in text_words if w in related)
-                containment = overlap / max(len(set(words(keyword_norm))), 1)
-                best = max(best, min(containment, 1.0) * 0.82)
-        # 3. Geometric similarity of hashed embeddings.
-        cosine = float(
-            np.dot(self.phrase_vector(text_norm), self.phrase_vector(keyword_norm))
-        )
-        best = max(best, (cosine + 1.0) / 2.0 * 0.85)
-        return min(best, 1.0)
+        return float(self.similarity_batch([text], (keyword,))[0])
 
     def best_similarity(self, text: str, keywords: tuple[str, ...]) -> float:
-        """Max similarity of ``text`` against any keyword in the set."""
+        """Max similarity of ``text`` against any keyword in the set.
+
+        Short-circuits on an exact 1.0 match (inside the batch kernel's
+        keyword loop) — no further keywords are scored and the geometric
+        matmul is skipped for that text.
+        """
         if not keywords:
             return 0.0
-        return max(self.similarity(text, k) for k in keywords)
+        return float(self.similarity_batch([text], tuple(keywords))[0])
 
     def match_keyword(
         self, text: str, keywords: tuple[str, ...], threshold: float

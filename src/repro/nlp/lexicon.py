@@ -108,11 +108,19 @@ class Lexicon:
 
     def same_concept(self, a: str, b: str) -> bool:
         """True when two phrases belong to a common synonym group."""
-        key_a, key_b = _normalize(a), _normalize(b)
-        if key_a == key_b:
+        return self.same_concept_normalized(_normalize(a), _normalize(b))
+
+    def same_concept_normalized(self, a: str, b: str) -> bool:
+        """:meth:`same_concept` for phrases already in normalized form.
+
+        The keyword matcher's batch kernel holds normalized text on both
+        sides of every comparison; skipping the re-tokenization here
+        keeps the per-pair lexicon probe allocation-free.
+        """
+        if a == b:
             return True
-        index = self._group_of.get(key_a)
-        return index is not None and key_b in self._groups[index]
+        index = self._group_of.get(a)
+        return index is not None and b in self._groups[index]
 
     def related_words(self, phrase: str) -> frozenset[str]:
         """Individual content words across all synonyms of ``phrase``."""

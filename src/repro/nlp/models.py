@@ -9,6 +9,10 @@ enumerative search tractable (the paper similarly memoizes model calls).
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from .embeddings import KeywordMatcher
 from .lexicon import DEFAULT_LEXICON, Lexicon
 from .ner import entity_substrings, extract_entities, has_entity
@@ -30,6 +34,14 @@ class NlpModels:
         Acceptance threshold of ``hasAnswer``.
     """
 
+    #: True when ``match_keyword`` is a pure threshold over
+    #: ``keyword_similarity`` — the property the page-level score planes
+    #: (:meth:`repro.webtree.index.PageIndex.text_plane`) rely on to
+    #: evaluate ``matchKeyword`` filters in bulk.  Subclasses that
+    #: perturb the boolean predicate (e.g. noise injection) must set it
+    #: False so evaluation falls back to per-call semantics.
+    batch_keyword_planes = True
+
     def __init__(
         self,
         idf: IdfModel | None = None,
@@ -41,6 +53,7 @@ class NlpModels:
         self.qa = QaModel(self.idf, threshold=qa_threshold)
         self._match_cache: dict[tuple[str, tuple[str, ...]], float] = {}
         self._entity_cache: dict[tuple[str, str], bool] = {}
+        self._answer_substr_cache: dict[tuple[str, str, int], tuple[str, ...]] = {}
 
     @classmethod
     def for_corpus(cls, documents: list[str], **kwargs: object) -> "NlpModels":
@@ -64,6 +77,48 @@ class NlpModels:
                 self._match_cache[key] = cached
         return cached
 
+    def keyword_similarity_batch(
+        self, texts: Sequence[str], keywords: tuple[str, ...]
+    ) -> np.ndarray:
+        """``keyword_similarity`` over many texts in one call.
+
+        Texts already in the memo are gathered; the rest are scored with
+        one :meth:`KeywordMatcher.similarity_batch` matmul and folded
+        back into the memo, so batch and scalar queries stay consistent
+        (and bit-identical — the scalar path delegates to the same batch
+        kernel).
+        """
+        keywords = tuple(keywords)
+        scores = np.empty(len(texts))
+        missing_texts: list[str] = []
+        missing_positions: list[int] = []
+        cache = self._match_cache
+        for position, text in enumerate(texts):
+            cached = cache.get((text, keywords))
+            if cached is None:
+                missing_texts.append(text)
+                missing_positions.append(position)
+            else:
+                scores[position] = cached
+        if missing_texts:
+            fresh = self.keywords.similarity_batch(missing_texts, keywords)
+            scores[missing_positions] = fresh
+            if len(cache) < 500000:
+                for text, value in zip(missing_texts, fresh):
+                    cache[(text, keywords)] = float(value)
+        return scores
+
+    def match_keyword_batch(
+        self, texts: Sequence[str], keywords: tuple[str, ...], threshold: float
+    ) -> np.ndarray:
+        """``match_keyword`` over many texts: one boolean vector.
+
+        The default implementation thresholds the batched similarity
+        scores; subclasses with impure predicates must override it (see
+        :class:`repro.nlp.noise.NoisyNlpModels`).
+        """
+        return self.keyword_similarity_batch(texts, keywords) >= threshold
+
     def has_answer(self, text: str, question: str) -> bool:
         """``hasAnswer(z, Q)``: the QA model finds an answer in ``text``."""
         return self.qa.has_answer(text, question)
@@ -81,12 +136,23 @@ class NlpModels:
     # -- extraction services used by Substring / GetEntity ---------------------
 
     def entity_substrings(self, text: str, label: str, k: int = 0) -> list[str]:
+        # No memo layer here: the expensive part (span extraction) is
+        # already lru-cached process-wide in repro.nlp.ner, and the
+        # remaining list-comp is trivial.
         return entity_substrings(text, label, k)
 
     def answer_substrings(self, text: str, question: str, k: int = 1) -> list[str]:
         """Top-k answer spans, used by ``Substring(e, hasAnswer, k)``."""
-        answers = self.qa.top_answers(question, text, k=max(k, 1))
-        return [a.text for a in answers if a.score >= self.qa.threshold]
+        key = (text, question, k)
+        cached = self._answer_substr_cache.get(key)
+        if cached is None:
+            answers = self.qa.top_answers(question, text, k=max(k, 1))
+            cached = tuple(
+                a.text for a in answers if a.score >= self.qa.threshold
+            )
+            if len(self._answer_substr_cache) < 500000:
+                self._answer_substr_cache[key] = cached
+        return list(cached)
 
     def entities(self, text: str, label: str | None = None):
         return extract_entities(text, label)

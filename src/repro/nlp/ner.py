@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from . import gazetteers as gaz
 
@@ -232,9 +233,22 @@ def _dedupe(spans: list[EntitySpan]) -> list[EntitySpan]:
 def extract_entities(text: str, label: str | None = None) -> list[EntitySpan]:
     """All entity spans in ``text``; optionally filtered to one ``label``.
 
+    Memoized per (text, label): synthesis evaluates ``hasEntity`` and
+    ``GetEntity`` over the same node texts thousands of times, and the
+    rule cascade below is by far the most expensive pure function in the
+    NLP substrate.  The cache stores immutable tuples; callers get a
+    fresh list.
+
     >>> [s.label for s in extract_entities("Dr. Mary Chen, Austin Clinic")]
     ['PERSON', 'ORG', 'LOC']
     """
+    return list(_extract_entities_cached(text, label))
+
+
+@lru_cache(maxsize=262144)
+def _extract_entities_cached(
+    text: str, label: str | None
+) -> tuple[EntitySpan, ...]:
     spans: list[EntitySpan] = []
     if label in (None, "PERSON"):
         spans.extend(_find_person_spans(text))
@@ -264,7 +278,7 @@ def extract_entities(text: str, label: str | None = None) -> list[EntitySpan]:
                 spans.append(EntitySpan(m.group(), "CARDINAL", m.start(), m.end()))
     spans = _dedupe(spans)
     spans.sort(key=lambda s: (s.start, s.end))
-    return spans
+    return tuple(spans)
 
 
 def has_entity(text: str, label: str) -> bool:

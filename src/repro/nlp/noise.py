@@ -50,11 +50,24 @@ class NoisyNlpModels(NlpModels):
         draw = int.from_bytes(digest, "big") / float(1 << 64)
         return draw < self.error_rate
 
+    #: The boolean predicates are perturbed, so page-level score planes
+    #: (which threshold raw similarities in bulk) would silently bypass
+    #: the injected errors; force per-call evaluation instead.
+    batch_keyword_planes = False
+
     def match_keyword(self, text, keywords, threshold):
         truth = self._base.match_keyword(text, keywords, threshold)
         if self._flip("kw", f"{text}|{keywords}|{threshold}"):
             return not truth
         return truth
+
+    def match_keyword_batch(self, texts, keywords, threshold):
+        import numpy as np
+
+        return np.array(
+            [self.match_keyword(text, keywords, threshold) for text in texts],
+            dtype=bool,
+        )
 
     def has_answer(self, text, question):
         truth = self._base.has_answer(text, question)

@@ -4,6 +4,20 @@ A labeled example pairs a webpage with its gold answer strings (the blue
 highlights of Figure 2).  :class:`TaskContexts` owns one memoizing
 :class:`~repro.dsl.eval.EvalContext` per page so every synthesis phase
 shares predicate/locator/extractor caches.
+
+:class:`TaskContexts` is also the home of the **cross-page batch
+engine**: ``eval_locator_batch`` / ``classify_guard_batch`` /
+``signature_batch`` / ``eval_extractor_batch`` evaluate one synthesis
+candidate over *all* training pages in a single call.  Per page the work
+is the indexed engine's vectorized bitset evaluation (including the
+batched ``matchKeyword`` text planes); across pages the batch entry
+points add early exit (a guard that fires on any negative page stops
+immediately), shared memo probes, and a token-F1 score memo — so the
+enumeration loops in :mod:`repro.synthesis.guards` /
+:mod:`repro.synthesis.extractors` make one call per candidate instead
+of one per (candidate, page).  Every batch result is bit-identical to
+the page-at-a-time loop it replaces (pinned by
+``tests/synthesis/test_batch_engine.py``).
 """
 
 from __future__ import annotations
@@ -11,8 +25,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from collections import Counter
+
 from ..dsl import ast
 from ..dsl.eval import DEFAULT_ENGINE, EvalContext, resolve_engine
+from ..metrics.scores import Score, mean_score
+from ..metrics.tokens import answer_tokens, overlap
 from ..nlp.models import NlpModels
 from ..webtree.node import WebPage
 
@@ -72,6 +90,23 @@ class TaskContexts:
         resolve_engine(self.engine)  # fail fast on typos
         self._contexts: dict[int, EvalContext] = {}
         self._signatures: dict[tuple, tuple[tuple[int, ...], ...]] = {}
+        self._scores: dict[tuple[tuple[str, ...], tuple[str, ...]], Score] = {}
+        self._recalls: dict[tuple, float] = {}
+
+    def __getstate__(self) -> dict:
+        # Derived caches do not survive pickling: EvalContexts are not
+        # picklable (and would drag every page along), and the
+        # signature/recall memos key on id(page), which is meaningless
+        # in another process.  Rebuilt lazily on first use — exactly how
+        # a fresh TaskContexts starts.  This is what lets a fitted
+        # WebQA cross process boundaries (predict_batch's "process"
+        # backend).
+        state = self.__dict__.copy()
+        state["_contexts"] = {}
+        state["_signatures"] = {}
+        state["_scores"] = {}
+        state["_recalls"] = {}
+        return state
 
     def ctx(self, page: WebPage) -> EvalContext:
         context = self._contexts.get(id(page))
@@ -80,6 +115,24 @@ class TaskContexts:
                 page, self.question, self.keywords, self.models, self.engine
             )
             self._contexts[id(page)] = context
+        return context
+
+    def serving_ctx(self, page: WebPage) -> EvalContext:
+        """A context for ``page`` that does not retain it.
+
+        :meth:`ctx` pins every page (plus its index and memo tables)
+        for the life of the task — right for the bounded training set,
+        an unbounded leak for a serving process streaming fresh pages.
+        Known pages get their cached context; unknown pages get an
+        ephemeral one, which is still warm for repeats because the
+        per-page memo tables live on the page's own index and share the
+        page's lifetime, not the task's.
+        """
+        context = self._contexts.get(id(page))
+        if context is None:
+            return EvalContext(
+                page, self.question, self.keywords, self.models, self.engine
+            )
         return context
 
     def retain_pages(self, pages: list) -> None:
@@ -100,6 +153,11 @@ class TaskContexts:
             key: signature
             for key, signature in self._signatures.items()
             if all(page_id in keep for page_id in key[1])
+        }
+        self._recalls = {
+            key: value
+            for key, value in self._recalls.items()
+            if key[2] in keep
         }
 
     def locator_signature(
@@ -127,3 +185,108 @@ class TaskContexts:
             )
             self._signatures[key] = signature
         return signature
+
+    # -- the cross-page batch engine -------------------------------------------
+
+    #: Alias for :meth:`locator_signature`, named for the batch API family.
+    signature_batch = locator_signature
+
+    def eval_locator_batch(
+        self, locator: ast.Locator, pages: list
+    ) -> tuple[tuple, ...]:
+        """``eval_locator`` over every page, in page order.
+
+        One call per candidate locator: per page the indexed engine
+        resolves a memoized bitset; across pages the loop shares the
+        interned locator's identity for all memo probes.
+        """
+        return tuple(self.ctx(page).eval_locator(locator) for page in pages)
+
+    def classify_guard_batch(
+        self, guard: ast.Guard, positives: list, negatives: list
+    ) -> bool:
+        """True iff ``guard`` fires on every positive and no negative page.
+
+        Vectorized early exit: negative pages are tried first (cheapest
+        refutation — one firing negative kills the guard), and the first
+        counterexample in either direction stops the sweep.
+        """
+        for example in negatives:
+            fired, _ = self.ctx(example.page).eval_guard(guard)
+            if fired:
+                return False
+        for example in positives:
+            fired, _ = self.ctx(example.page).eval_guard(guard)
+            if not fired:
+                return False
+        return True
+
+    def score_of(self, predicted: tuple[str, ...], gold: tuple[str, ...]) -> Score:
+        """Token-level :class:`Score` of one prediction, memoized.
+
+        Extractor candidates collide on output constantly (observational
+        equivalence is the norm, not the exception), so the task keeps
+        one P/R/F1 per distinct (predicted, gold) pair.
+        """
+        key = (predicted, gold)
+        score = self._scores.get(key)
+        if score is None:
+            score = Score.of(predicted, gold)
+            if len(self._scores) < 500000:
+                self._scores[key] = score
+        return score
+
+    def content_recall_batch(
+        self, locator: ast.Locator, examples: list, subtree: bool = False
+    ) -> float:
+        """Mean recall of gold tokens inside the located nodes, batched.
+
+        Backs the two locator-level pruning bounds of
+        :mod:`repro.synthesis.f1` (own-text recall for Figure 8 line 6,
+        subtree recall for Figure 10 line 8).  Memoized per (locator
+        behaviour, page, gold): ``GenGuards`` emits several guards over
+        the same section locator, and each used to recount the token
+        multisets from scratch.
+        """
+        if not examples:
+            return 1.0
+        locator_key = ast.term_key(locator)
+        total = 0.0
+        for example in examples:
+            key = (locator_key, subtree, id(example.page), example.gold)
+            value = self._recalls.get(key)
+            if value is None:
+                nodes = self.ctx(example.page).eval_locator(locator)
+                if subtree:
+                    available: Counter[str] = Counter()
+                    for node in nodes:
+                        available.update(answer_tokens([node.subtree_text()]))
+                else:
+                    available = answer_tokens(n.text for n in nodes)
+                gold = answer_tokens(example.gold)
+                n_gold = sum(gold.values())
+                if n_gold == 0:
+                    value = 1.0
+                else:
+                    value = overlap(available, gold) / n_gold
+                self._recalls[key] = value
+            total += value
+        return total / len(examples)
+
+    def eval_extractor_batch(
+        self, extractor: ast.Extractor, propagated: list, pages: list
+    ) -> tuple[tuple[tuple[str, ...], ...], Score]:
+        """Evaluate one extractor candidate over all propagated examples.
+
+        Returns the per-page output signature (the observational-
+        equivalence key of Figure 9) and the mean token score, with both
+        the per-page evaluation and the scoring served from memo tables
+        when the candidate repeats behaviour already seen.
+        """
+        outputs: list[tuple[str, ...]] = []
+        scores: list[Score] = []
+        for (nodes, gold), page in zip(propagated, pages):
+            predicted = self.ctx(page).eval_extractor(extractor, nodes)
+            outputs.append(predicted)
+            scores.append(self.score_of(predicted, gold))
+        return tuple(outputs), mean_score(scores)

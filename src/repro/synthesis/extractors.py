@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from ..dsl import ast
 from ..dsl.depth import extractor_depth
 from ..dsl.productions import expand_extractor
-from ..metrics.scores import Score, mean_score
+from ..metrics.scores import Score
 from ..webtree.node import WebPage
 from .config import SynthesisConfig
 from .examples import LabeledExample, TaskContexts
@@ -59,17 +59,22 @@ def propagate_examples(
     located nodes with the page's gold labels, producing self-contained
     input/output examples for extractor synthesis.
     """
-    propagated: list[Propagated] = []
-    pages: list[WebPage] = []
-    for example in positives:
-        nodes = contexts.ctx(example.page).eval_locator(locator)
-        propagated.append((nodes, example.gold))
-        pages.append(example.page)
+    pages = [example.page for example in positives]
+    located = contexts.eval_locator_batch(locator, pages)
+    propagated: list[Propagated] = [
+        (nodes, example.gold) for nodes, example in zip(located, positives)
+    ]
     return propagated, pages
 
 
 class _Evaluator:
-    """Evaluates candidate extractors on the propagated examples."""
+    """Evaluates candidate extractors on the propagated examples.
+
+    A thin adapter over the cross-page batch engine
+    (:meth:`TaskContexts.eval_extractor_batch`): one call evaluates the
+    candidate on every training page and scores it through the task's
+    token-F1 memo.
+    """
 
     def __init__(
         self,
@@ -82,13 +87,9 @@ class _Evaluator:
         self._contexts = contexts
 
     def run(self, extractor: ast.Extractor) -> tuple[Signature, Score]:
-        outputs: list[tuple[str, ...]] = []
-        scores: list[Score] = []
-        for (nodes, gold), page in zip(self._propagated, self._pages):
-            predicted = self._contexts.ctx(page).eval_extractor(extractor, nodes)
-            outputs.append(predicted)
-            scores.append(Score.of(predicted, gold))
-        return tuple(outputs), mean_score(scores)
+        return self._contexts.eval_extractor_batch(
+            extractor, self._propagated, self._pages
+        )
 
 
 def synthesize_extractors(
@@ -115,6 +116,8 @@ def synthesize_extractors(
     seen: set[Signature] = {seed_signature}
     evaluated = 1
 
+    budget_exhausted = False
+
     while worklist:
         extractor, score = worklist.popleft()
         value = fbeta(score.precision, score.recall, config.beta)
@@ -123,10 +126,16 @@ def synthesize_extractors(
             s_o = value
         elif abs(value - s_o) <= config.f1_tolerance and value > 0:
             optimal.append(extractor)
-        if extractor_depth(extractor) >= config.extractor_depth:
+        # Once the evaluation budget is spent the search is over: the
+        # remaining pops only settle already-evaluated candidates into
+        # the optimal set — no extension generator is even constructed
+        # (the old code re-entered the loop below and re-checked the
+        # budget once per pop per production).
+        if budget_exhausted or extractor_depth(extractor) >= config.extractor_depth:
             continue
         for extension in expand_extractor(extractor, config.productions):
             if evaluated >= config.max_extractor_candidates:
+                budget_exhausted = True
                 break
             signature, ext_score = evaluator.run(extension)
             evaluated += 1

@@ -21,11 +21,8 @@ precision of 1.  Three recall variants back the three pruning sites:
 
 from __future__ import annotations
 
-from collections import Counter
-
 from ..dsl import ast
 from ..metrics.scores import Score, mean_score
-from ..metrics.tokens import answer_tokens, overlap
 from .examples import LabeledExample, TaskContexts
 
 
@@ -69,13 +66,6 @@ def upper_bound_from_recall(recall: float, beta: float = 1.0) -> float:
     return fbeta(1.0, recall, beta)
 
 
-def _token_recall(available: Counter[str], gold: Counter[str]) -> float:
-    n_gold = sum(gold.values())
-    if n_gold == 0:
-        return 1.0
-    return overlap(available, gold) / n_gold
-
-
 def extractor_score(
     extractor: ast.Extractor,
     propagated: list[tuple[tuple, tuple[str, ...]]],
@@ -108,15 +98,12 @@ def extractor_recall(
 def located_content_recall(
     locator: ast.Locator, examples: list[LabeledExample], contexts: TaskContexts
 ) -> float:
-    """Mean recall of gold tokens within located nodes' own text."""
-    if not examples:
-        return 1.0
-    total = 0.0
-    for example in examples:
-        nodes = contexts.ctx(example.page).eval_locator(locator)
-        available = answer_tokens(n.text for n in nodes)
-        total += _token_recall(available, answer_tokens(example.gold))
-    return total / len(examples)
+    """Mean recall of gold tokens within located nodes' own text.
+
+    Delegates to the memoized cross-page batch engine
+    (:meth:`TaskContexts.content_recall_batch`).
+    """
+    return contexts.content_recall_batch(locator, examples, subtree=False)
 
 
 def locator_subtree_recall(
@@ -125,15 +112,7 @@ def locator_subtree_recall(
     """Mean recall of gold tokens within located nodes' subtrees.
 
     Sound bound for locators still being extended: descendants expose only
-    tokens already inside the current nodes' subtrees.
+    tokens already inside the current nodes' subtrees.  Delegates to the
+    memoized cross-page batch engine.
     """
-    if not examples:
-        return 1.0
-    total = 0.0
-    for example in examples:
-        nodes = contexts.ctx(example.page).eval_locator(locator)
-        available: Counter[str] = Counter()
-        for node in nodes:
-            available.update(answer_tokens([node.subtree_text()]))
-        total += _token_recall(available, answer_tokens(example.gold))
-    return total / len(examples)
+    return contexts.content_recall_batch(locator, examples, subtree=True)

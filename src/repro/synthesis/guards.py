@@ -44,7 +44,7 @@ def locator_signature(
     locator behaviour again (or reusing it as the footnote-6 memo key in
     branch synthesis) costs one tuple lookup.
     """
-    return contexts.locator_signature(locator, examples)
+    return contexts.signature_batch(locator, examples)
 
 
 def guard_classifies(
@@ -57,17 +57,11 @@ def guard_classifies(
 
     This is the classifier check of Figure 10, line 6.  Negatives are the
     examples of *later* partition blocks (footnote 5): the guard must pass
-    them along to subsequent branches.
+    them along to subsequent branches.  Delegates to the cross-page batch
+    engine (:meth:`TaskContexts.classify_guard_batch`), which tries the
+    negatives first and stops at the first counterexample.
     """
-    for example in negatives:
-        fired, _ = contexts.ctx(example.page).eval_guard(guard)
-        if fired:
-            return False
-    for example in positives:
-        fired, _ = contexts.ctx(example.page).eval_guard(guard)
-        if not fired:
-            return False
-    return True
+    return contexts.classify_guard_batch(guard, positives, negatives)
 
 
 def iter_guards(

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from .node import NodeType, PageNode, WebPage
 
 
@@ -40,6 +42,81 @@ def iter_ranks(mask: int) -> Iterator[int]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+def mask_of_flags(flags: np.ndarray) -> int:
+    """Rank bitset from a boolean vector (``flags[r]`` → bit ``r``)."""
+    if len(flags) == 0:
+        return 0
+    packed = np.packbits(np.asarray(flags, dtype=bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+class TextPlane:
+    """Batched ``matchKeyword`` scores over every node text of one page.
+
+    The plane asks the model bundle to score *all* node texts against a
+    keyword set in one :meth:`~repro.nlp.models.NlpModels.keyword_similarity_batch`
+    call (one embedding matmul per new ``(keywords, whole_subtree)``
+    pair), caches the score vector, and derives threshold bitsets from
+    it — so every further ``matchKeyword(K, t)`` filter over the page is
+    one vector comparison, and repeats are one dict probe.
+
+    Soundness: the plane only exists for model bundles whose
+    ``match_keyword`` is a pure threshold over ``keyword_similarity``
+    (``models.batch_keyword_planes``); the batched scores are
+    bit-identical to the scalar path by construction, so the derived
+    masks equal per-node evaluation exactly (pinned by the differential
+    engine tests).
+    """
+
+    __slots__ = ("_index", "_models", "_scores", "_masks")
+
+    def __init__(self, index: "PageIndex", models: object) -> None:
+        self._index = index
+        self._models = models
+        self._scores: dict[tuple[tuple[str, ...], bool], np.ndarray] = {}
+        self._masks: dict[tuple[tuple[str, ...], float, bool], int] = {}
+
+    def scores(
+        self, keywords: tuple[str, ...], whole_subtree: bool
+    ) -> np.ndarray:
+        """Similarity of every node's text (rank order) to ``keywords``."""
+        key = (keywords, whole_subtree)
+        cached = self._scores.get(key)
+        if cached is None:
+            index = self._index
+            if whole_subtree:
+                texts = [index.subtree_text(rank) for rank in range(len(index))]
+            else:
+                texts = index.texts
+            cached = self._models.keyword_similarity_batch(texts, keywords)
+            cached.setflags(write=False)
+            self._scores[key] = cached
+        return cached
+
+    def match_mask(
+        self, keywords: tuple[str, ...], threshold: float, whole_subtree: bool
+    ) -> int:
+        """Bitset of ranks whose text matches ``matchKeyword(K, t)``.
+
+        Thresholds the cached score vector directly rather than calling
+        ``models.match_keyword_batch`` so one scoring pass serves every
+        threshold — equivalent exactly when ``match_keyword`` is a pure
+        threshold over ``keyword_similarity``, which is what the
+        ``batch_keyword_planes`` gate (checked by the eval layer before
+        using a plane) asserts.  Impure bundles keep a correct public
+        ``match_keyword_batch`` via their own override, but never reach
+        this fast path.
+        """
+        key = (keywords, threshold, whole_subtree)
+        cached = self._masks.get(key)
+        if cached is None:
+            cached = mask_of_flags(
+                self.scores(keywords, whole_subtree) >= threshold
+            )
+            self._masks[key] = cached
+        return cached
 
 
 class _SharedEvalCache:
@@ -93,6 +170,7 @@ class PageIndex:
         "_id_map",
         "_subtree_texts",
         "_shared_caches",
+        "_text_planes",
     )
 
     def __init__(self, page: WebPage) -> None:
@@ -153,6 +231,7 @@ class PageIndex:
         self._id_map = id_map
         self._subtree_texts: list[Optional[str]] = [None] * size
         self._shared_caches: dict = {}
+        self._text_planes: dict = {}
 
     # -- structure queries -----------------------------------------------------
 
@@ -221,6 +300,26 @@ class PageIndex:
             caches.pop(key)
             caches[key] = cache
         return cache
+
+    def text_plane(self, models: object) -> TextPlane:
+        """The page's :class:`TextPlane` for one model bundle.
+
+        Keyed by bundle identity (held strongly, like
+        :meth:`shared_cache`) and LRU-bounded the same way; score
+        vectors inside the plane are keyed by keyword set, so one plane
+        serves every question/threshold over the page.
+        """
+        planes = self._text_planes
+        plane = planes.get(id(models))
+        if plane is None:
+            plane = TextPlane(self, models)
+            planes[id(models)] = plane
+            while len(planes) > self.MAX_SHARED_CACHES:
+                planes.pop(next(iter(planes)))
+        else:
+            plane_entry = planes.pop(id(models))
+            planes[id(models)] = plane_entry
+        return plane
 
 
 def page_index(page: WebPage) -> PageIndex:

@@ -1,0 +1,113 @@
+"""Differential tests: `WebQA.predict_batch` ≡ sequential `predict`.
+
+Also pins that the compiled serving plan behind `predict` matches the
+plain interpreter on the selected program, and the edge conventions:
+empty page lists, pages with empty/whitespace node texts, and thread
+fan-out determinism.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample
+from repro.synthesis.config import SynthesisConfig
+from repro.dsl.productions import ProductionConfig
+from repro.core.webqa import WebQA
+from repro.webtree import NodeType, PageNode, WebPage
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+SMALL = SynthesisConfig(
+    productions=ProductionConfig(
+        keyword_thresholds=(0.7,),
+        entity_labels=("PERSON", "ORG", "DATE"),
+        use_negation=False,
+        use_subtree_text=False,
+    ),
+    guard_depth=3,
+    extractor_depth=3,
+    max_branches=1,
+)
+
+TRAIN = generate_page("faculty", 11)
+TEST_PAGES = [generate_page("faculty", seed).page for seed in (3, 16, 21, 29)]
+
+
+@pytest.fixture(scope="module")
+def tool() -> WebQA:
+    return WebQA(config=SMALL, selection="shortest").fit(
+        QUESTION,
+        KEYWORDS,
+        [LabeledExample(TRAIN.page, TRAIN.gold["fac_t1"])],
+        TEST_PAGES[:2],
+        MODELS,
+    )
+
+
+#: Texts exercising blanks, whitespace and unicode on synthetic pages.
+EDGE_TEXTS = st.sampled_from(
+    ("", " ", "\t", "Current Students", "Ann Lee", "naïve café", "学生, PhD")
+)
+
+
+@st.composite
+def edge_pages(draw):
+    root = PageNode(0, draw(EDGE_TEXTS))
+    section = root.add_child(PageNode(1, draw(EDGE_TEXTS), NodeType.LIST))
+    for node_id in (2, 3):
+        section.add_child(PageNode(node_id, draw(EDGE_TEXTS)))
+    return WebPage(root, url="edge://case")
+
+
+class TestPredictBatch:
+    def test_matches_sequential_predict(self, tool):
+        sequential = [tool.predict(page) for page in TEST_PAGES]
+        assert tool.predict_batch(TEST_PAGES) == sequential
+
+    def test_jobs_fanout_is_deterministic(self, tool):
+        sequential = [tool.predict(page) for page in TEST_PAGES]
+        assert tool.predict_batch(TEST_PAGES, jobs=4) == sequential
+
+    def test_empty_page_list(self, tool):
+        assert tool.predict_batch([]) == []
+        assert tool.predict_batch([], jobs=3) == []
+
+    @given(st.lists(edge_pages(), max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_edge_pages_match_sequential(self, tool, pages):
+        assert tool.predict_batch(pages) == [tool.predict(p) for p in pages]
+
+    def test_compiled_predict_matches_interpreter(self, tool):
+        program = tool.report.program
+        for page in TEST_PAGES:
+            interpreted = tool.session.contexts.ctx(page).eval_program(program)
+            assert tool.predict(page) == interpreted
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            WebQA(config=SMALL).predict_batch([TEST_PAGES[0]])
+
+    def test_process_backend_matches_sequential(self, tool):
+        sequential = [tool.predict(page) for page in TEST_PAGES]
+        assert tool.predict_batch(TEST_PAGES, jobs=2, backend="process") == sequential
+
+    def test_serving_does_not_retain_fresh_pages(self, tool):
+        # predict on a page the task has never seen must not pin it in
+        # the task's per-page context table (unbounded growth in a
+        # serving loop); known pages keep their cached context.
+        import copy
+
+        contexts = tool.session.contexts
+        before = set(contexts._contexts)
+        fresh = copy.deepcopy(TEST_PAGES[0])
+        expected = tool.session.contexts.ctx(TEST_PAGES[0]).eval_program(
+            tool.report.program
+        )
+        assert tool.predict(fresh) == expected
+        assert id(fresh) not in contexts._contexts
+        assert set(contexts._contexts) >= before

@@ -1,0 +1,100 @@
+"""Differential tests: compiled serving plans ≡ the interpreter.
+
+`compile_program` flattens a program into mask-based guard tests on the
+indexed engine (and an interpreter fallback on the reference engine);
+these tests hold `CompiledProgram.run` to bit-for-bit output equality
+with `EvalContext.eval_program` over random trees, random programs and
+corpus pages, on both engines.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.dsl import EvalContext, ast, compile_program
+from repro.nlp import NlpModels
+
+from test_engine_equivalence import (
+    CORPUS_PAGES,
+    KEYWORDS,
+    MODELS,
+    QUESTION,
+    pages,
+    programs,
+)
+
+ENGINES = ("indexed", "reference")
+
+
+class TestCompiledEquivalence:
+    @given(pages, programs)
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_matches_interpreter(self, page, program):
+        compiled = compile_program(program)
+        for engine in ENGINES:
+            ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS, engine=engine)
+            assert compiled.run(ctx) == ctx.eval_program(program)
+
+    @given(pages, programs)
+    @settings(max_examples=20, deadline=None)
+    def test_run_on_page_matches_interpreter(self, page, program):
+        compiled = compile_program(program)
+        answer = compiled.run_on_page(page, QUESTION, KEYWORDS, MODELS)
+        ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS)
+        assert answer == ctx.eval_program(program)
+
+    def test_empty_program_answers_empty(self):
+        compiled = compile_program(ast.Program(()))
+        ctx = EvalContext(CORPUS_PAGES[0], QUESTION, KEYWORDS, MODELS)
+        assert compiled.run(ctx) == ()
+
+    def test_shared_caches_after_interpreter_warmup(self):
+        # Running the interpreter first must not perturb the compiled
+        # result (they share the page-scoped memo tables).
+        program = ast.Program(
+            (
+                ast.Branch(
+                    ast.Sat(
+                        ast.GetDescendants(ast.GetRoot(), ast.IsLeaf()),
+                        ast.MatchKeyword(0.7),
+                    ),
+                    ast.ExtractContent(),
+                ),
+            )
+        )
+        page = generate_page("faculty", 11).page
+        ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS)
+        expected = ctx.eval_program(program)
+        assert compile_program(program).run(ctx) == expected
+
+    def test_singleton_guard_popcount_path(self):
+        program = ast.Program(
+            (
+                ast.Branch(ast.IsSingleton(ast.GetRoot()), ast.ExtractContent()),
+            )
+        )
+        page = generate_page("clinic", 3).page
+        ctx = EvalContext(page, QUESTION, KEYWORDS, MODELS)
+        assert compile_program(program).run(ctx) == ctx.eval_program(program)
+
+    def test_noisy_models_fall_back_consistently(self):
+        from repro.nlp.noise import NoisyNlpModels
+
+        noisy = NoisyNlpModels(NlpModels(), error_rate=0.3, seed=5)
+        program = ast.Program(
+            (
+                ast.Branch(
+                    ast.Sat(
+                        ast.GetDescendants(ast.GetRoot(), ast.TrueFilter()),
+                        ast.MatchKeyword(0.7),
+                    ),
+                    ast.ExtractContent(),
+                ),
+            )
+        )
+        for page in CORPUS_PAGES:
+            for engine in ENGINES:
+                ctx = EvalContext(page, QUESTION, KEYWORDS, noisy, engine=engine)
+                assert compile_program(program).run(ctx) == ctx.eval_program(
+                    program
+                )

@@ -1,0 +1,214 @@
+"""Differential tests: batched embedding/similarity ≡ scalar, bit for bit.
+
+The batch kernels (`word_matrix`, `phrase_matrix`,
+`KeywordMatcher.similarity_batch`) are the source of truth the scalar
+entry points delegate to, so equality here is partly by construction —
+what these tests actually pin is (a) that many-row batches agree with
+the one-row calls the scalar path makes (the einsum kernels must be
+shape-independent), and (b) the edge conventions: empty keyword sets,
+empty/whitespace/unicode texts, duplicate inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import IdfModel, KeywordMatcher, word_vector
+from repro.nlp.embeddings import phrase_matrix, word_matrix
+
+#: Texts spanning the edge cases the batch kernels must preserve:
+#: blanks, pure whitespace, punctuation-only, unicode (including
+#: combining characters and non-Latin scripts), and lexicon hits.
+TEXT_POOL = (
+    "",
+    " ",
+    "\t\n",
+    "—…·",
+    "PhD students",
+    "phd  STUDENTS",
+    "Current Students",
+    "Robert Smith",
+    "Mary Anderson, John Doe",
+    "Professional Service and Activities",
+    "naïve café ☕",
+    "étudiants en doctorat",
+    "学生",
+    "a,b",
+    "x" * 300,
+)
+
+KEYWORD_POOL = (
+    "",
+    " ",
+    "PhD",
+    "Current Students",
+    "PC",
+    "publications",
+    "café",
+    "学生",
+)
+
+texts = st.sampled_from(TEXT_POOL)
+keywords = st.lists(st.sampled_from(KEYWORD_POOL), max_size=4).map(tuple)
+free_text = st.text(max_size=24)
+
+
+class TestWordMatrix:
+    def test_rows_match_word_vector(self):
+        words = ["students", "Students", "zebra", "naïve", "", "学生"]
+        matrix = word_matrix(words)
+        assert matrix.shape == (len(words), word_vector("x").shape[0])
+        for row, word in zip(matrix, words):
+            assert np.array_equal(row, word_vector(word))
+
+    def test_duplicates_share_rows(self):
+        matrix = word_matrix(["cat", "cat", "dog", "cat"])
+        assert np.array_equal(matrix[0], matrix[1])
+        assert np.array_equal(matrix[0], matrix[3])
+
+    def test_empty_batch(self):
+        assert word_matrix([]).shape[0] == 0
+
+    @given(st.lists(free_text, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_equals_scalar_hypothesis(self, words):
+        matrix = word_matrix(words)
+        for row, word in zip(matrix, words):
+            assert np.array_equal(row, word_vector(word))
+
+
+class TestPhraseMatrix:
+    def setup_method(self):
+        self.matcher = KeywordMatcher()
+
+    def test_rows_match_phrase_vector(self):
+        phrases = ["phd students", "", "  ", "robert smith", "naïve café"]
+        matrix = self.matcher.phrase_matrix(phrases)
+        for row, phrase in zip(matrix, phrases):
+            assert np.array_equal(row, self.matcher.phrase_vector(phrase))
+
+    def test_module_level_matches_matcher_with_same_idf(self):
+        idf = IdfModel.fit(["the cat sat", "the dog ran"])
+        matcher = KeywordMatcher(idf)
+        phrases = ["the cat", "dog days", ""]
+        assert np.array_equal(
+            phrase_matrix(phrases, idf), matcher.phrase_matrix(phrases)
+        )
+
+    @given(st.lists(free_text, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_equals_scalar_hypothesis(self, phrases):
+        matrix = self.matcher.phrase_matrix(phrases)
+        for row, phrase in zip(matrix, phrases):
+            assert np.array_equal(row, self.matcher.phrase_vector(phrase))
+
+
+class TestSimilarityBatch:
+    def setup_method(self):
+        self.matcher = KeywordMatcher()
+
+    @given(st.lists(texts, max_size=6), keywords)
+    @settings(max_examples=120, deadline=None)
+    def test_batch_equals_best_similarity(self, batch_texts, keyword_set):
+        batch = self.matcher.similarity_batch(batch_texts, keyword_set)
+        scalar = [
+            self.matcher.best_similarity(text, keyword_set)
+            for text in batch_texts
+        ]
+        assert batch.shape == (len(batch_texts),)
+        assert np.array_equal(batch, np.array(scalar))
+
+    @given(st.lists(free_text, max_size=5), st.lists(free_text, max_size=3).map(tuple))
+    @settings(max_examples=80, deadline=None)
+    def test_batch_equals_best_similarity_free_text(self, batch_texts, keyword_set):
+        batch = self.matcher.similarity_batch(batch_texts, keyword_set)
+        scalar = [
+            self.matcher.best_similarity(text, keyword_set)
+            for text in batch_texts
+        ]
+        assert np.array_equal(batch, np.array(scalar))
+
+    @given(texts, st.sampled_from(KEYWORD_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_similarity_matches_batch(self, text, keyword):
+        assert self.matcher.similarity(text, keyword) == float(
+            self.matcher.similarity_batch([text], (keyword,))[0]
+        )
+
+    def test_empty_keywords(self):
+        batch = self.matcher.similarity_batch(["anything", ""], ())
+        assert np.array_equal(batch, np.zeros(2))
+        assert self.matcher.best_similarity("anything", ()) == 0.0
+
+    def test_blank_keywords_only(self):
+        batch = self.matcher.similarity_batch(["anything"], ("", "  \t"))
+        assert np.array_equal(batch, np.zeros(1))
+
+    def test_empty_batch(self):
+        assert self.matcher.similarity_batch([], ("PhD",)).shape == (0,)
+
+    def test_exact_match_short_circuits_to_one(self):
+        batch = self.matcher.similarity_batch(
+            ["PhD Students", "pc"], ("phd students", "PC")
+        )
+        assert batch[0] == 1.0
+        assert batch[1] == 1.0
+
+    def test_fitted_idf_matches_scalar(self):
+        idf = IdfModel.fit(["current phd students", "program committee pc"])
+        matcher = KeywordMatcher(idf)
+        keyword_set = ("Current Students", "PC")
+        batch = matcher.similarity_batch(list(TEXT_POOL), keyword_set)
+        scalar = [matcher.best_similarity(t, keyword_set) for t in TEXT_POOL]
+        assert np.array_equal(batch, np.array(scalar))
+
+    def test_values_stay_in_unit_interval(self):
+        batch = self.matcher.similarity_batch(
+            list(TEXT_POOL), ("PhD", "Current Students")
+        )
+        assert np.all(batch >= 0.0)
+        assert np.all(batch <= 1.0)
+
+
+class TestModelsBatchConsistency:
+    def test_keyword_similarity_batch_fills_and_reads_cache(self):
+        from repro.nlp import NlpModels
+
+        models = NlpModels()
+        keyword_set = ("PhD", "PC")
+        batch_texts = ["PhD Students", "Program Committee", "zebra"]
+        # Warm one entry through the scalar path first.
+        scalar_first = models.keyword_similarity("zebra", keyword_set)
+        batch = models.keyword_similarity_batch(batch_texts, keyword_set)
+        assert batch[2] == scalar_first
+        for text, value in zip(batch_texts, batch):
+            assert models.keyword_similarity(text, keyword_set) == value
+
+    def test_match_keyword_batch_thresholds_scores(self):
+        from repro.nlp import NlpModels
+
+        models = NlpModels()
+        keyword_set = ("Our Services",)
+        batch_texts = ["Our Services", "Zebra Habitat"]
+        flags = models.match_keyword_batch(batch_texts, keyword_set, 0.9)
+        assert list(flags) == [
+            models.match_keyword(t, keyword_set, 0.9) for t in batch_texts
+        ]
+
+    def test_noisy_models_keep_flips_in_batch(self):
+        from repro.nlp import NlpModels
+        from repro.nlp.noise import NoisyNlpModels
+
+        noisy = NoisyNlpModels(NlpModels(), error_rate=0.5, seed=7)
+        assert not noisy.batch_keyword_planes
+        keyword_set = ("Our Services",)
+        batch_texts = ["Our Services", "Zebra Habitat", "Insurance"]
+        flags = noisy.match_keyword_batch(batch_texts, keyword_set, 0.9)
+        assert list(flags) == [
+            noisy.match_keyword(t, keyword_set, 0.9) for t in batch_texts
+        ]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

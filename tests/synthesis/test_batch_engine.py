@@ -1,0 +1,166 @@
+"""Differential tests: the cross-page batch engine ≡ page-at-a-time loops.
+
+`TaskContexts.eval_locator_batch` / `classify_guard_batch` /
+`signature_batch` / `eval_extractor_batch` / `content_recall_batch` are
+the batched entry points the synthesis loops now call; each must be
+bit-identical to the per-page loop it replaced (on fresh contexts, so
+memo state cannot mask a divergence).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.metrics.scores import Score, mean_score
+from repro.nlp import NlpModels
+from repro.synthesis import LabeledExample, TaskContexts
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "dsl"))
+from test_engine_equivalence import extractors, guards, locators  # noqa: E402
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+EXAMPLES = [
+    LabeledExample(cp.page, cp.gold["fac_t1"])
+    for cp in (generate_page("faculty", seed) for seed in (3, 11, 16))
+]
+PAGES = [example.page for example in EXAMPLES]
+
+
+def fresh_contexts() -> TaskContexts:
+    return TaskContexts(QUESTION, KEYWORDS, MODELS)
+
+
+class TestLocatorBatch:
+    @given(locators)
+    @settings(max_examples=40, deadline=None)
+    def test_eval_locator_batch_matches_loop(self, locator):
+        batch = fresh_contexts().eval_locator_batch(locator, PAGES)
+        loop_contexts = fresh_contexts()
+        loop = tuple(
+            loop_contexts.ctx(page).eval_locator(locator) for page in PAGES
+        )
+        assert tuple(
+            tuple(n.node_id for n in nodes) for nodes in batch
+        ) == tuple(tuple(n.node_id for n in nodes) for nodes in loop)
+
+    @given(locators)
+    @settings(max_examples=40, deadline=None)
+    def test_signature_batch_matches_loop(self, locator):
+        contexts = fresh_contexts()
+        signature = contexts.signature_batch(locator, EXAMPLES)
+        expected = tuple(
+            tuple(
+                node.node_id
+                for node in fresh_contexts().ctx(example.page).eval_locator(locator)
+            )
+            for example in EXAMPLES
+        )
+        assert signature == expected
+        # Memoized: the repeat probe returns the identical tuple.
+        assert contexts.signature_batch(locator, EXAMPLES) is signature
+
+    def test_empty_pages(self):
+        contexts = fresh_contexts()
+        from repro.dsl import ast
+
+        assert contexts.eval_locator_batch(ast.GetRoot(), []) == ()
+        assert contexts.signature_batch(ast.GetRoot(), []) == ()
+
+
+class TestGuardBatch:
+    @given(guards, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_classify_matches_loop(self, guard, split):
+        positives, negatives = EXAMPLES[:split], EXAMPLES[split:]
+        batch = fresh_contexts().classify_guard_batch(guard, positives, negatives)
+        loop_contexts = fresh_contexts()
+        expected = True
+        for example in negatives:
+            fired, _ = loop_contexts.ctx(example.page).eval_guard(guard)
+            if fired:
+                expected = False
+                break
+        if expected:
+            for example in positives:
+                fired, _ = loop_contexts.ctx(example.page).eval_guard(guard)
+                if not fired:
+                    expected = False
+                    break
+        assert batch == expected
+
+    def test_no_examples_classifies_trivially(self):
+        from repro.dsl import ast
+
+        guard = ast.Sat(ast.GetRoot())
+        assert fresh_contexts().classify_guard_batch(guard, [], [])
+
+
+class TestExtractorBatch:
+    @given(locators, extractors)
+    @settings(max_examples=30, deadline=None)
+    def test_eval_extractor_batch_matches_loop(self, locator, extractor):
+        contexts = fresh_contexts()
+        located = contexts.eval_locator_batch(locator, PAGES)
+        propagated = [
+            (nodes, example.gold) for nodes, example in zip(located, EXAMPLES)
+        ]
+        signature, score = contexts.eval_extractor_batch(
+            extractor, propagated, PAGES
+        )
+        loop_contexts = fresh_contexts()
+        outputs = []
+        scores = []
+        for (nodes, gold), page in zip(propagated, PAGES):
+            predicted = loop_contexts.ctx(page).eval_extractor(extractor, nodes)
+            outputs.append(predicted)
+            scores.append(Score.of(predicted, gold))
+        assert signature == tuple(outputs)
+        assert score == mean_score(scores)
+
+    def test_empty_propagated(self):
+        from repro.dsl import ast
+
+        signature, score = fresh_contexts().eval_extractor_batch(
+            ast.ExtractContent(), [], []
+        )
+        assert signature == ()
+        assert score == mean_score([])
+
+
+class TestRecallBatch:
+    @given(locators, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_content_recall_matches_direct_computation(self, locator, subtree):
+        from collections import Counter
+
+        from repro.metrics.tokens import answer_tokens, overlap
+
+        contexts = fresh_contexts()
+        batch = contexts.content_recall_batch(locator, EXAMPLES, subtree=subtree)
+        loop_contexts = fresh_contexts()
+        total = 0.0
+        for example in EXAMPLES:
+            nodes = loop_contexts.ctx(example.page).eval_locator(locator)
+            if subtree:
+                available: Counter = Counter()
+                for node in nodes:
+                    available.update(answer_tokens([node.subtree_text()]))
+            else:
+                available = answer_tokens(n.text for n in nodes)
+            gold = answer_tokens(example.gold)
+            n_gold = sum(gold.values())
+            total += 1.0 if n_gold == 0 else overlap(available, gold) / n_gold
+        assert batch == total / len(EXAMPLES)
+        # Memo hit returns the same value.
+        assert contexts.content_recall_batch(locator, EXAMPLES, subtree=subtree) == batch
+
+    def test_no_examples_is_perfect_recall(self):
+        from repro.dsl import ast
+
+        assert fresh_contexts().content_recall_batch(ast.GetRoot(), []) == 1.0

@@ -86,3 +86,19 @@ class TestSynthesizeExtractors:
         config = small_config(max_extractor_candidates=10)
         result = synthesize_extractors(propagated, pages, contexts, config, 0.0)
         assert result.evaluated <= 11
+
+    def test_candidate_cap_still_settles_evaluated_candidates(self, contexts):
+        # The budget stops *expansion*, not bookkeeping: everything
+        # already evaluated onto the worklist when the cap binds still
+        # competes for the optimum, so a capped run can never report a
+        # worse F1 than the seed extractor alone.
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        seed_only = synthesize_extractors(
+            propagated, pages, contexts, small_config(max_extractor_candidates=1), 0.0
+        )
+        capped = synthesize_extractors(
+            propagated, pages, contexts, small_config(max_extractor_candidates=5), 0.0
+        )
+        assert seed_only.evaluated == 1
+        assert seed_only.extractors  # ExtractContent settles in the drain
+        assert capped.f1 >= seed_only.f1
