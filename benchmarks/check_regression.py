@@ -6,9 +6,10 @@ Compares a freshly measured micro-benchmark artifact (the output of
 median regresses by more than the allowed ratio.
 
 Only benchmarks listed in :data:`GUARDED` gate the build: they are the
-headline perf invariants of the synthesis engine (branch synthesis and
-the cold indexed locator path).  Other entries drift with machine noise
-and are tracked, not gated.  Cross-machine absolute times are noisy, so
+headline perf invariants of the synthesis engine (branch synthesis, the
+cold indexed locator path) and of the serving stack (the QAService warm
+batch path).  Other entries drift with machine noise and are tracked,
+not gated.  Cross-machine absolute times are noisy, so
 the threshold is deliberately loose (25%) and guards *relative
 catastrophes* (an accidentally disabled cache, a quadratic loop), not
 small scheduling jitter.
@@ -35,6 +36,10 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_synthesis_micro.json"
 GUARDED = (
     "test_bench_branch_synthesis",
     "test_bench_eval_locator_cold",
+    # The serving stack's steady state: QAService micro-batched dispatch
+    # over an artifact-loaded tool.  Guards the service tax (routing,
+    # batching, stats) staying a thin layer over predict_batch.
+    "test_bench_serve_warm_batch",
 )
 
 #: A guarded median may grow at most this factor over the baseline.

@@ -356,3 +356,104 @@ def test_bench_predict_batch(benchmark):
     )
     assert len(answers) == len(_SERVE_PAGES)
     assert answers == [tool.predict(page) for page in _SERVE_PAGES]
+
+
+# -- artifact store + QAService: the production serving stack -----------------
+#
+# artifact_load is the deployment-critical path (a worker process picking
+# up a program); serve_cold is the full ingest pipeline on raw HTML with
+# an empty page cache; serve_warm_batch is the steady state — warm cache,
+# micro-batched dispatch — whose overhead over bare predict_batch (same
+# pages, same jobs) is the service tax and must stay under 10%
+# (tracked as a median_speedups pair and gated in CI).
+
+_SERVE_HTML = [
+    (generate_page("faculty", seed).html, f"https://bench/{seed}")
+    for seed in range(40, 52)
+]
+
+
+_SERVE_ARTIFACT_PATH = None
+
+
+def _serving_artifact_path():
+    global _SERVE_ARTIFACT_PATH
+    if _SERVE_ARTIFACT_PATH is None:
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".artifact.json")
+        import os
+
+        os.close(handle)
+        _serving_tool().export_artifact(path)
+        _SERVE_ARTIFACT_PATH = path
+    return _SERVE_ARTIFACT_PATH
+
+
+def test_bench_artifact_load(benchmark):
+    from repro.core.webqa import WebQA
+
+    path = _serving_artifact_path()
+
+    def run():
+        return WebQA.from_artifact(path)
+
+    tool = benchmark(run)
+    assert tool.program == _serving_tool().program
+
+
+def test_bench_serve_cold(benchmark):
+    from repro.serving.service import QAService
+
+    artifact = _serving_tool().export_artifact()
+    services = []
+
+    def setup():
+        service = QAService(jobs=2, max_batch=len(_SERVE_HTML))
+        service.register("bench", artifact)
+        services.append(service)
+        return (service,), {}
+
+    def run(service):
+        return service.ask_many(
+            [("bench", html, url) for html, url in _SERVE_HTML]
+        )
+
+    try:
+        answers = benchmark.pedantic(
+            run, setup=setup, rounds=3, iterations=1, warmup_rounds=1
+        )
+    finally:
+        for service in services:
+            service.close()
+    assert len(answers) == len(_SERVE_HTML)
+
+
+def test_bench_serve_warm_batch(benchmark):
+    from repro.serving.service import QAService, ServingRequest
+
+    tool = _serving_tool()
+    service = QAService(jobs=2, max_batch=len(_SERVE_PAGES))
+    service.register("bench", tool.export_artifact())
+    # Same fresh-page regime as test_bench_predict_batch (its overhead
+    # baseline): pages handed to the service directly, cache warm in the
+    # sense that ingest is a no-op — the measured delta is routing,
+    # batching and stats bookkeeping.
+    def setup():
+        (pages,), _ = _fresh_serve_pages()
+        return ([ServingRequest(route="bench", page=page) for page in pages],), {}
+
+    def run(requests):
+        return service.ask_many(requests)
+
+    # More rounds than the neighbouring 3-round benches: this median is
+    # a CI merge gate (check_regression GUARDED), and a 3-sample median
+    # of a ~1ms operation is one scheduler hiccup away from a false
+    # failure on a shared runner.
+    try:
+        answers = benchmark.pedantic(
+            run, setup=setup, rounds=15, iterations=1, warmup_rounds=2
+        )
+    finally:
+        service.close()
+    assert answers == [tool.predict(page) for page in _SERVE_PAGES]

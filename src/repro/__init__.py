@@ -21,18 +21,24 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+from .core.artifact import ProgramArtifact
+from .core.errors import NotFittedError
 from .core.webqa import WebQA
 from .nlp.models import NlpModels
 from .runtime import TaskRunner
+from .serving import QAService
 from .synthesis.examples import LabeledExample
 from .synthesis.session import SynthesisSession
 from .synthesis.top import synthesize
 from .webtree.builder import page_from_html
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "WebQA",
+    "ProgramArtifact",
+    "NotFittedError",
+    "QAService",
     "NlpModels",
     "LabeledExample",
     "SynthesisSession",

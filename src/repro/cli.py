@@ -25,6 +25,18 @@ Run a saved program on more pages::
         --keyword "Current Students" --keyword "PhD" \
         pages/*.html
 
+Package a fitted session as a self-contained, versioned **program
+artifact** (program + model bundle + fingerprint + fit stats), inspect
+one, or benchmark the serving path over it::
+
+    python -m repro.cli export --session session.pkl --out students.artifact.json
+    python -m repro.cli inspect --artifact students.artifact.json
+    python -m repro.cli serve-bench --artifact students.artifact.json \
+        --rounds 3 --jobs 2 pages/*.html
+
+Artifacts load without any synthesis (``fit`` also accepts
+``--artifact PATH`` to export directly after fitting).
+
 Answers are printed one page per line as tab-separated values.  Both
 ``fit`` and ``extract`` accept ``--jobs N`` to spread page work across a
 worker-thread pool (useful once evaluation overlaps I/O or GIL-free
@@ -38,21 +50,30 @@ import argparse
 import glob
 import sys
 
+import time
+
+from .core.artifact import ProgramArtifact
 from .core.webqa import WebQA
 from .dsl.eval import run_program
 from .dsl.pretty import pretty_program
 from .dsl.serialize import load_program, save_program
 from .nlp.models import NlpModels
 from .runtime import TaskRunner, warm_pages
+from .serving.ingest import ingest_html
+from .serving.service import QAService, ServingRequest
 from .synthesis.examples import LabeledExample
 from .synthesis.session import SynthesisSession
 from .webtree.builder import page_from_html
 from .webtree.node import WebPage
 
 
-def _load_page(path: str) -> WebPage:
+def _read_text(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
-        return page_from_html(handle.read(), url=path)
+        return handle.read()
+
+
+def _load_page(path: str) -> WebPage:
+    return page_from_html(_read_text(path), url=path)
 
 
 def _split_labels(raw: str) -> tuple[str, ...]:
@@ -92,6 +113,9 @@ def cmd_fit(args: argparse.Namespace) -> int:
     if args.session:
         tool.session.save(args.session)
         print(f"session saved: {args.session}")
+    if args.artifact:
+        tool.export_artifact(args.artifact)
+        print(f"artifact saved: {args.artifact}")
     _report_fit(tool, args.out)
     return 0
 
@@ -143,6 +167,87 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_export(args: argparse.Namespace) -> int:
+    """Fit from a saved session (no new labels) and write an artifact."""
+    session = SynthesisSession.load(args.session)
+    unlabeled: list[WebPage] = []
+    if args.unlabeled_dir:
+        for path in sorted(glob.glob(f"{args.unlabeled_dir}/*.html")):
+            unlabeled.append(_load_page(path))
+    tool = WebQA(config=session.config, ensemble_size=args.ensemble)
+    tool.fit_session(session, unlabeled)
+    artifact = tool.export_artifact(args.out)
+    print(f"artifact saved: {args.out}")
+    print(f"model fingerprint: {artifact.model_fingerprint}")
+    print(pretty_program(tool.program))
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    artifact = ProgramArtifact.load(args.artifact)
+    print(artifact.describe())
+    print(pretty_program(artifact.program))
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Serve HTML files through a QAService and report per-stage stats.
+
+    Round 1 is the cold pass (parse + index paid); later rounds replay
+    the same requests against the warm page cache.  A direct
+    ``predict_batch`` pass over the ingested pages is timed as the
+    no-service baseline, so the service-layer overhead is printed
+    explicitly.
+    """
+    htmls = [(path, _read_text(path)) for path in args.pages]
+    requests = [
+        ServingRequest(route="bench", html=html, url=path)
+        for path, html in htmls
+    ]
+    with QAService(jobs=args.jobs, max_batch=args.max_batch) as service:
+        tool = service.register("bench", args.artifact)
+
+        round_seconds: list[float] = []
+        answers: list[tuple[str, ...]] = []
+        for _ in range(max(args.rounds, 1)):
+            start = time.perf_counter()
+            answers = service.ask_many(requests)
+            round_seconds.append(time.perf_counter() - start)
+
+        # Baseline: the same pages, straight through predict_batch.
+        # They are warm in the service cache, so re-ingesting resolves
+        # to the identical page objects the service answered from.
+        pages = [
+            ingest_html(html, url=path, cache=service.cache)
+            for path, html in htmls
+        ]
+        start = time.perf_counter()
+        direct = tool.predict_batch(pages, jobs=args.jobs)
+        direct_seconds = time.perf_counter() - start
+
+    assert direct == answers, "service answers diverged from direct predict"
+    n = len(requests)
+    print(f"pages: {n}   rounds: {len(round_seconds)}")
+    print(
+        f"serve cold: {round_seconds[0]:.4f}s "
+        f"({n / round_seconds[0]:.1f} pages/s)"
+    )
+    if len(round_seconds) > 1:
+        warm = min(round_seconds[1:])
+        print(f"serve warm: {warm:.4f}s ({n / warm:.1f} pages/s)")
+        overhead = (warm - direct_seconds) / direct_seconds if direct_seconds else 0
+        print(
+            f"direct predict_batch: {direct_seconds:.4f}s "
+            f"({n / direct_seconds:.1f} pages/s; service overhead "
+            f"{overhead * 100:+.1f}%)"
+        )
+    for key, value in service.stats.as_dict().items():
+        print(f"  {key}: {value}")
+    for key, value in service.cache.stats.as_dict().items():
+        print(f"  page_cache.{key}: {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
@@ -165,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--session", default=None,
                      help="also save the synthesis session here, enabling "
                      "incremental `refit` later")
+    fit.add_argument("--artifact", default=None,
+                     help="also export a self-contained program artifact here")
     fit.add_argument("--jobs", type=int, default=1,
                      help="worker threads for page preparation")
     fit.set_defaults(func=cmd_fit)
@@ -198,6 +305,39 @@ def build_parser() -> argparse.ArgumentParser:
     show = sub.add_parser("show", help="pretty-print a saved program")
     show.add_argument("--program", required=True)
     show.set_defaults(func=cmd_show)
+
+    export = sub.add_parser(
+        "export",
+        help="package a saved session's learned program as an artifact",
+    )
+    export.add_argument("--session", required=True,
+                        help="session file written by `fit --session`")
+    export.add_argument("--unlabeled-dir", default=None,
+                        help="directory of unlabeled .html pages for selection")
+    export.add_argument("--ensemble", type=int, default=300)
+    export.add_argument("--out", required=True,
+                        help="output artifact JSON path")
+    export.set_defaults(func=cmd_export)
+
+    inspect = sub.add_parser(
+        "inspect", help="describe a program artifact (schema, stats, program)"
+    )
+    inspect.add_argument("--artifact", required=True)
+    inspect.set_defaults(func=cmd_inspect)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving pipeline over an artifact",
+    )
+    serve_bench.add_argument("--artifact", required=True)
+    serve_bench.add_argument("--rounds", type=int, default=3,
+                             help="serving passes (first is cold, rest warm)")
+    serve_bench.add_argument("--jobs", type=int, default=1,
+                             help="worker threads per micro-batch")
+    serve_bench.add_argument("--max-batch", type=int, default=32,
+                             help="micro-batch size cap")
+    serve_bench.add_argument("pages", nargs="+", help=".html files to serve")
+    serve_bench.set_defaults(func=cmd_serve_bench)
     return parser
 
 

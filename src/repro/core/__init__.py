@@ -1,5 +1,7 @@
-"""End-to-end WebQA system and its ablated variants."""
+"""End-to-end WebQA system, its ablated variants, and program artifacts."""
 
+from .artifact import ARTIFACT_SCHEMA_VERSION, ProgramArtifact
+from .errors import NotFittedError
 from .ablations import (
     WebQAKwOnly,
     WebQANlOnly,
@@ -14,6 +16,9 @@ from .webqa import SELECTION_STRATEGIES, FitReport, WebQA
 __all__ = [
     "WebQA",
     "FitReport",
+    "ProgramArtifact",
+    "ARTIFACT_SCHEMA_VERSION",
+    "NotFittedError",
     "SELECTION_STRATEGIES",
     "WebQAKwOnly",
     "WebQANlOnly",

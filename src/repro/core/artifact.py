@@ -1,0 +1,199 @@
+"""Program artifacts: the versioned on-disk form of a fitted extractor.
+
+Synthesis is expensive and interactive; serving is cheap and constant.
+The paper's Figure 7 synthesizer *emits* a program — this module makes
+that program a first-class asset: a :class:`ProgramArtifact` is a
+self-contained JSON document holding everything a serving process needs
+to answer the task, and nothing it does not:
+
+* the selected :class:`~repro.dsl.ast.Program` (the learned artifact),
+* the task inputs it closes over (question ``Q``, keywords ``K``),
+* the **model bundle** (embedded state + content fingerprint, so a
+  loaded artifact predicts bit-identically to the fitted tool and any
+  cache keyed on the fingerprint invalidates exactly when the models
+  change),
+* compiled-plan metadata (engine, per-branch guard shapes) for
+  inspection and capacity planning,
+* fit-report statistics (training F1, optimal-set size, selection
+  evidence, search counters) and optional task metadata.
+
+What it deliberately does *not* hold: training pages, synthesis caches,
+ensembles — the session (:mod:`repro.synthesis.session`) remains the
+home of refittable state.  ``WebQA.from_artifact`` therefore never
+synthesizes: loading is parse + compile, pinned by the zero-synthesis
+counter assertions in ``tests/core/test_artifact.py``.
+
+The format is versioned (:data:`ARTIFACT_SCHEMA_VERSION`); loaders
+reject unknown versions loudly instead of misreading them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dsl import ast
+from ..dsl.depth import extractor_size, locator_size
+from ..dsl.serialize import program_from_dict, program_to_dict
+from ..nlp.models import NlpModels
+from ..persist import read_artifact, tagged_payload, write_artifact
+
+#: Version of the on-disk schema; bump on any incompatible change.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Value of the ``kind`` header field identifying this artifact family.
+ARTIFACT_KIND = "webqa-program-artifact"
+
+
+def compiled_plan_meta(program: ast.Program, engine: str) -> dict[str, Any]:
+    """Inspection metadata for the serving plan a program compiles to.
+
+    Mirrors :class:`~repro.dsl.compile.CompiledProgram` step for step —
+    guard discipline and term sizes per branch — without shipping the
+    plan itself (plans hold interned live objects and are rebuilt in one
+    pass at load).
+    """
+    steps = []
+    for branch in program.branches:
+        guard = branch.guard
+        steps.append(
+            {
+                "guard": type(guard).__name__,
+                "locator_size": locator_size(guard.locator),
+                "extractor_size": extractor_size(branch.extractor),
+            }
+        )
+    return {"engine": engine, "branches": len(steps), "steps": steps}
+
+
+@dataclass(frozen=True)
+class ProgramArtifact:
+    """One exported extractor: program + models + provenance, versioned.
+
+    Construct via :meth:`WebQA.export_artifact
+    <repro.core.webqa.WebQA.export_artifact>`; consume via
+    :meth:`WebQA.from_artifact <repro.core.webqa.WebQA.from_artifact>`
+    or :class:`~repro.serving.service.QAService` routing keys.
+    """
+
+    question: str
+    keywords: tuple[str, ...]
+    program: ast.Program
+    models: NlpModels
+    model_fingerprint: str
+    engine: str
+    fit_stats: dict[str, Any] = field(default_factory=dict)
+    task_meta: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+
+    def compiled_meta(self) -> dict[str, Any]:
+        """Shape of the serving plan this artifact compiles to."""
+        return compiled_plan_meta(self.program, self.engine)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The artifact as a JSON-compatible payload dictionary."""
+        return tagged_payload(
+            "kind",
+            ARTIFACT_KIND,
+            config={"engine": self.engine},
+            timestamp=str(self.task_meta.get("timestamp", "")),
+            schema_version=self.schema_version,
+            task={
+                "question": self.question,
+                "keywords": list(self.keywords),
+                **{
+                    key: value
+                    for key, value in self.task_meta.items()
+                    if key != "timestamp"
+                },
+            },
+            program=program_to_dict(self.program),
+            compiled=self.compiled_meta(),
+            models={
+                "fingerprint": self.model_fingerprint,
+                "state": self.models.state_dict(),
+            },
+            fit_report=dict(self.fit_stats),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ProgramArtifact":
+        """Decode and validate a payload built by :meth:`to_payload`.
+
+        Checks the artifact kind, the schema version, and that the
+        recorded model fingerprint matches the embedded model state —
+        a mismatch means the file was hand-edited or corrupted, and
+        serving it would silently change predictions.
+        """
+        kind = payload.get("kind")
+        if kind != ARTIFACT_KIND:
+            raise ValueError(f"not a program artifact (kind={kind!r})")
+        version = payload.get("schema_version")
+        if version != ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported artifact schema version {version!r} "
+                f"(this build reads version {ARTIFACT_SCHEMA_VERSION})"
+            )
+        task = payload["task"]
+        models = NlpModels.from_state_dict(payload["models"]["state"])
+        recorded = payload["models"]["fingerprint"]
+        actual = models.fingerprint()
+        if recorded != actual:
+            raise ValueError(
+                f"model-bundle fingerprint mismatch: artifact records "
+                f"{recorded[:12]}…, embedded state hashes to {actual[:12]}… "
+                f"— refusing to serve a tampered or corrupted artifact"
+            )
+        task_meta = {
+            key: value
+            for key, value in task.items()
+            if key not in ("question", "keywords")
+        }
+        timestamp = payload.get("timestamp", "")
+        if timestamp:
+            task_meta["timestamp"] = timestamp
+        return cls(
+            question=task["question"],
+            keywords=tuple(task["keywords"]),
+            program=program_from_dict(payload["program"]),
+            models=models,
+            model_fingerprint=recorded,
+            engine=payload["config"]["engine"],
+            fit_stats=dict(payload.get("fit_report", {})),
+            task_meta=task_meta,
+            schema_version=version,
+        )
+
+    # -- file round-trip ---------------------------------------------------------
+
+    def save(self, path: str) -> "ProgramArtifact":
+        """Write the artifact to ``path`` as indented JSON; returns self."""
+        write_artifact(path, self.to_payload())
+        return self
+
+    @classmethod
+    def load(cls, path: str) -> "ProgramArtifact":
+        """Read an artifact previously written by :meth:`save`."""
+        return cls.from_payload(read_artifact(path))
+
+    def describe(self) -> str:
+        """Human-readable inspection summary (the ``inspect`` CLI body)."""
+        compiled = self.compiled_meta()
+        lines = [
+            f"schema version: {self.schema_version}",
+            f"question: {self.question}",
+            f"keywords: {', '.join(self.keywords)}",
+            f"engine: {self.engine} ({compiled['branches']} compiled branches)",
+            f"model fingerprint: {self.model_fingerprint}",
+        ]
+        for key in ("task_id", "domain", "description", "timestamp"):
+            if self.task_meta.get(key):
+                lines.append(f"{key}: {self.task_meta[key]}")
+        for key, value in sorted(self.fit_stats.items()):
+            if isinstance(value, float):
+                lines.append(f"{key}: {value:.3f}")
+            elif not isinstance(value, (dict, list)):
+                lines.append(f"{key}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Exception types of the core WebQA API.
+
+Kept in their own module so the serving layer (``repro.serving``) and
+the tool (``repro.core.webqa``) can share them without an import cycle.
+"""
+
+from __future__ import annotations
+
+
+class NotFittedError(RuntimeError):
+    """An operation needing a learned program was called on an unfitted tool.
+
+    Subclasses :class:`RuntimeError` so callers that guarded the old
+    behaviour (``raise RuntimeError("fit must be called ...")``) keep
+    working unchanged.
+    """
+
+    def __init__(self, operation: str = "this operation") -> None:
+        super().__init__(
+            f"{operation} requires a learned program: call fit() (or "
+            f"refit()/fit_session()) to synthesize one, or load a saved "
+            f"artifact with WebQA.from_artifact()"
+        )
+        self.operation = operation

@@ -23,6 +23,8 @@ from ..synthesis.examples import LabeledExample, TaskContexts
 from ..synthesis.session import SynthesisSession
 from ..synthesis.top import SynthesisResult
 from ..webtree.node import WebPage
+from .artifact import ProgramArtifact
+from .errors import NotFittedError
 
 #: How the final program is chosen from the optimal set.
 SELECTION_STRATEGIES = ("transductive", "random", "shortest")
@@ -89,6 +91,12 @@ class WebQA(ExtractionTool):
         self._unlabeled: list[WebPage] = []
         self._models: NlpModels | None = None
         self._compiled: CompiledProgram | None = None
+        #: The learned program, set by fit() *or* from_artifact(); the
+        #: serving predicate is "is there a program", not "was fit run".
+        self._program: ast.Program | None = None
+        #: Artifact this tool was loaded from, when it was (for stats
+        #: and re-export without refitting).
+        self.artifact: ProgramArtifact | None = None
 
     # -- ExtractionTool interface ------------------------------------------------
 
@@ -139,7 +147,7 @@ class WebQA(ExtractionTool):
         from the session's fingerprint-keyed cache.
         """
         if self._session is None:
-            raise RuntimeError("fit must be called before refit")
+            raise NotFittedError("refit")
         self._session.add_examples(new_examples)
         if unlabeled is not None:
             self._unlabeled = list(unlabeled)
@@ -153,6 +161,7 @@ class WebQA(ExtractionTool):
             # ablations): degrade to the empty program, which answers ∅.
             empty = ast.Program(())
             self.report = FitReport(synthesis=synthesis, program=empty, selection=None)
+            self._program = empty
             self._compiled = compile_program(empty)
             return self
         selection: SelectionOutcome | None = None
@@ -168,12 +177,13 @@ class WebQA(ExtractionTool):
         else:
             program = select_shortest(synthesis, seed=self.seed)
         self.report = FitReport(synthesis=synthesis, program=program, selection=selection)
+        self._program = program
         self._compiled = compile_program(program)
         return self
 
     def predict(self, page: WebPage) -> tuple[str, ...]:
-        if self.report is None or self._contexts is None or self._compiled is None:
-            raise RuntimeError("fit must be called before predict")
+        if self._contexts is None or self._compiled is None:
+            raise NotFittedError("predict")
         # The compiled plan shares the task's per-page eval state (and
         # hence every memo table); its output is bit-identical to
         # interpreting ``self.report.program``.  ``serving_ctx`` keeps
@@ -185,6 +195,7 @@ class WebQA(ExtractionTool):
         pages: list[WebPage],
         jobs: int = 1,
         backend: str = "thread",
+        runner: TaskRunner | None = None,
     ) -> list[tuple[str, ...]]:
         """``predict`` over many pages, optionally fanned across a pool.
 
@@ -194,12 +205,98 @@ class WebQA(ExtractionTool):
         — pinned by ``tests/core/test_predict_batch.py``.  The default
         ``"thread"`` backend shares this instance's compiled plan and
         page caches; ``"process"`` requires the tool to be picklable and
-        re-derives caches worker-side.
+        re-derives caches worker-side.  Callers dispatching many small
+        batches (the serving service) pass a persistent ``runner`` so
+        pool construction is not paid per batch; ``jobs``/``backend``
+        are ignored when one is given.
         """
-        if self.report is None or self._compiled is None:
-            raise RuntimeError("fit must be called before predict_batch")
-        runner = TaskRunner(jobs=jobs, backend=backend)
+        if self._contexts is None or self._compiled is None:
+            raise NotFittedError("predict_batch")
+        if runner is None:
+            runner = TaskRunner(jobs=jobs, backend=backend)
         return runner.map(self.predict, list(pages))
+
+    # -- artifact round-trip -----------------------------------------------------
+
+    def export_artifact(
+        self, path: str | None = None, task_meta: dict | None = None
+    ) -> ProgramArtifact:
+        """Package the learned program as a :class:`ProgramArtifact`.
+
+        The artifact is self-contained (program + embedded model state +
+        fingerprint + fit statistics); ``path`` additionally writes it to
+        disk.  :meth:`from_artifact` round-trips it into a serving-only
+        tool whose predictions are bit-identical to this one's.
+        """
+        if self._program is None or self._contexts is None or self._models is None:
+            raise NotFittedError("export_artifact")
+        fit_stats: dict = {"selection_strategy": self.selection_strategy}
+        if self.report is not None:
+            stats = self.report.synthesis.stats
+            fit_stats.update(
+                train_f1=self.report.train_f1,
+                optimal_programs=self.report.optimal_count,
+                partitions_explored=stats.partitions_explored,
+                guards_tried=stats.guards_tried,
+                extractors_evaluated=stats.extractors_evaluated,
+                blocks_synthesized=stats.blocks_synthesized,
+                blocks_reused=stats.blocks_reused,
+            )
+            if self.report.selection is not None:
+                fit_stats["selection"] = {
+                    "loss": self.report.selection.loss,
+                    "ensemble_size": self.report.selection.ensemble_size,
+                    "distinct_outputs": self.report.selection.distinct_outputs,
+                }
+        elif self.artifact is not None:
+            # Re-export of a loaded artifact: carry the original stats.
+            fit_stats = dict(self.artifact.fit_stats)
+        if task_meta is None and self.artifact is not None:
+            # Provenance survives re-export: a loaded tool keeps its
+            # original task metadata unless the caller replaces it.
+            task_meta = self.artifact.task_meta
+        artifact = ProgramArtifact(
+            question=self._question,
+            keywords=self._keywords,
+            program=self._program,
+            models=self._models,
+            model_fingerprint=self._models.fingerprint(),
+            engine=self._contexts.engine,
+            fit_stats=fit_stats,
+            task_meta=dict(task_meta or {}),
+        )
+        if path is not None:
+            artifact.save(path)
+        return artifact
+
+    @classmethod
+    def from_artifact(cls, source: "str | ProgramArtifact") -> "WebQA":
+        """A serving-only tool rebuilt from an artifact (path or object).
+
+        Loading performs **no synthesis** — only JSON decode, model-state
+        reconstruction and plan compilation (guarded by the
+        :func:`~repro.synthesis.session.synthesis_call_count` counter in
+        the tests).  The tool predicts bit-identically to the one that
+        exported the artifact; ``fit``-family operations (``refit``,
+        ``session``) raise because no synthesis session travels with it.
+        """
+        artifact = (
+            ProgramArtifact.load(source) if isinstance(source, str) else source
+        )
+        tool = cls()
+        tool._question = artifact.question
+        tool._keywords = artifact.keywords
+        tool._models = artifact.models
+        tool._contexts = TaskContexts(
+            artifact.question,
+            artifact.keywords,
+            artifact.models,
+            engine=artifact.engine,
+        )
+        tool._program = artifact.program
+        tool._compiled = compile_program(artifact.program)
+        tool.artifact = artifact
+        return tool
 
     # -- conveniences ----------------------------------------------------------------
 
@@ -207,17 +304,25 @@ class WebQA(ExtractionTool):
     def session(self) -> SynthesisSession:
         """The live synthesis session (for inspection, refits, saving)."""
         if self._session is None:
-            raise RuntimeError("fit must be called first")
+            raise NotFittedError("session")
         return self._session
 
     @property
     def program(self) -> ast.Program:
-        if self.report is None:
-            raise RuntimeError("fit must be called first")
-        return self.report.program
+        if self._program is None:
+            raise NotFittedError("program")
+        return self._program
 
     def explain(self) -> str:
         """Human-readable description of the learned program."""
+        if self._program is not None and self.report is None:
+            lines = [
+                f"question: {self._question}",
+                f"keywords: {', '.join(self._keywords)}",
+                "loaded from artifact (no synthesis session)",
+                f"selected: {pretty_program(self._program)}",
+            ]
+            return "\n".join(lines)
         if self.report is None:
             return "<unfitted WebQA>"
         lines = [

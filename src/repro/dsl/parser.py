@@ -33,7 +33,7 @@ _TOKEN_RE = re.compile(
     | '(?:[^'\\]|\\.)'    # character literal for Split
     | \d+\.\d+            # float (thresholds)
     | \d+                 # int (k)
-    | [A-Za-z_][A-Za-z_0-9]*   # identifiers
+    | [^\W\d]\w*          # identifiers (unicode letters, e.g. entity labels)
     """,
     re.VERBOSE,
 )

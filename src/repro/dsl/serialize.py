@@ -170,6 +170,27 @@ def node_from_dict(data: dict[str, Any]) -> ast.AnyNode:
     raise ValueError(f"unknown DSL node kind: {kind!r}")
 
 
+def program_to_dict(program: ast.Program) -> dict[str, Any]:
+    """Encode a full program; entry point used by embedding formats.
+
+    Same encoding as :func:`node_to_dict`, but statically typed to
+    programs so containers (e.g. the program artifacts of
+    :mod:`repro.core.artifact`) can embed the dictionary in a larger
+    JSON document without re-validating the node kind.
+    """
+    if not isinstance(program, ast.Program):
+        raise TypeError(f"expected a Program, got {program!r}")
+    return node_to_dict(program)
+
+
+def program_from_dict(data: dict[str, Any]) -> ast.Program:
+    """Decode a dictionary produced by :func:`program_to_dict`."""
+    program = node_from_dict(data)
+    if not isinstance(program, ast.Program):
+        raise ValueError("dictionary does not encode a Program")
+    return program
+
+
 def dumps(program: ast.Program, **json_kwargs: Any) -> str:
     """Serialize a program to a JSON string."""
     return json.dumps(node_to_dict(program), **json_kwargs)
@@ -177,10 +198,7 @@ def dumps(program: ast.Program, **json_kwargs: Any) -> str:
 
 def loads(text: str) -> ast.Program:
     """Deserialize a program from :func:`dumps` output."""
-    program = node_from_dict(json.loads(text))
-    if not isinstance(program, ast.Program):
-        raise ValueError("JSON does not encode a Program")
-    return program
+    return program_from_dict(json.loads(text))
 
 
 def save_program(program: ast.Program, path: str) -> None:

@@ -5,6 +5,11 @@ re-render tables, compare runs across code changes, and archive the
 numbers EXPERIMENTS.md quotes.  Artifacts are plain JSON with a small
 metadata header (experiment name, corpus scale, timestamp supplied by
 the caller).
+
+The generic artifact plumbing (canonical text form, header shape, file
+IO) lives in :mod:`repro.persist`, shared with ``benchmarks/persist.py``
+and the program-artifact layer; this module only contributes the
+experiment-specific row encodings.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Any
 
 from ..core.results import TaskResult
 from ..metrics.scores import Score
+from ..persist import artifact_text, tagged_payload
 from .common import ExperimentConfig
 
 
@@ -35,11 +41,12 @@ def results_to_json(
     timestamp: str = "",
 ) -> str:
     """Serialize comparison-style results (fig12/table2/table6)."""
-    payload = {
-        "experiment": experiment,
-        "config": _config_dict(config),
-        "timestamp": timestamp,
-        "results": [
+    payload = tagged_payload(
+        "experiment",
+        experiment,
+        config=_config_dict(config),
+        timestamp=timestamp,
+        results=[
             {
                 "task_id": r.task_id,
                 "domain": r.domain,
@@ -51,8 +58,8 @@ def results_to_json(
             }
             for r in results
         ],
-    }
-    return json.dumps(payload, indent=2)
+    )
+    return artifact_text(payload)
 
 
 def results_from_json(text: str) -> tuple[str, list[TaskResult]]:
@@ -79,15 +86,15 @@ def series_to_json(
     timestamp: str = "",
 ) -> str:
     """Serialize figure-style results (fig13/fig14/noise series)."""
-    return json.dumps(
-        {
-            "experiment": experiment,
-            "config": _config_dict(config),
-            "timestamp": timestamp,
-            "xs": list(xs),
-            "series": {name: list(values) for name, values in series.items()},
-        },
-        indent=2,
+    return artifact_text(
+        tagged_payload(
+            "experiment",
+            experiment,
+            config=_config_dict(config),
+            timestamp=timestamp,
+            xs=list(xs),
+            series={name: list(values) for name, values in series.items()},
+        )
     )
 
 
@@ -101,12 +108,12 @@ def rows_to_json(
     experiment: str, rows: list[Any], config: ExperimentConfig, timestamp: str = ""
 ) -> str:
     """Serialize dataclass-row results (table3/table4 ablation rows)."""
-    return json.dumps(
-        {
-            "experiment": experiment,
-            "config": _config_dict(config),
-            "timestamp": timestamp,
-            "rows": [asdict(row) for row in rows],
-        },
-        indent=2,
+    return artifact_text(
+        tagged_payload(
+            "experiment",
+            experiment,
+            config=_config_dict(config),
+            timestamp=timestamp,
+            rows=[asdict(row) for row in rows],
+        )
     )

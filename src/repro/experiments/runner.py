@@ -10,6 +10,7 @@ Regenerates every table and figure of the paper's evaluation::
     python -m repro.experiments.runner fig13            # Figure 13
     python -m repro.experiments.runner fig14            # Figure 14
     python -m repro.experiments.runner noise            # extension: module-error robustness
+    python -m repro.experiments.runner serving          # extension: QAService throughput
     python -m repro.experiments.runner all              # everything
 
 Scale flags: ``--pages N --train N --ensemble N`` (defaults are a reduced
@@ -26,12 +27,12 @@ import sys
 import time
 from dataclasses import replace
 
-from . import fig12, fig13, fig14, noise, table2, table3, table4, table6
+from . import fig12, fig13, fig14, noise, serving, table2, table3, table4, table6
 from .common import ExperimentConfig, paper_scale
 
 EXPERIMENTS = (
     "fig12", "table2", "table3", "table4", "table6", "fig13", "fig14",
-    "noise",
+    "noise", "serving",
 )
 
 
@@ -58,6 +59,8 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
         return fig14.run_and_render(config)
     if name == "noise":
         return noise.run_and_render(config)
+    if name == "serving":
+        return serving.run_and_render(config)
     raise ValueError(f"unknown experiment {name!r}")
 
 

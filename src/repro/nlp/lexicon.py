@@ -94,6 +94,17 @@ class Lexicon:
             for phrase in normalized:
                 self._group_of.setdefault(phrase, index)
 
+    def groups(self) -> tuple[tuple[str, ...], ...]:
+        """The concept groups as sorted, normalized phrase tuples.
+
+        Group *order* is preserved (a phrase in several groups resolves
+        to the first, and reconstruction must keep that); phrases within
+        a group are sorted so the output is deterministic — the program-
+        artifact layer serializes and fingerprints lexicons through this.
+        ``Lexicon(lex.groups())`` behaves identically to ``lex``.
+        """
+        return tuple(tuple(sorted(group)) for group in self._groups)
+
     def synonyms(self, phrase: str) -> frozenset[str]:
         """All phrases in the same concept group as ``phrase`` (inclusive).
 

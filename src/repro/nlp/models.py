@@ -9,6 +9,8 @@ enumerative search tractable (the paper similarly memoizes model calls).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Sequence
 
 import numpy as np
@@ -49,6 +51,7 @@ class NlpModels:
         qa_threshold: float = 0.30,
     ) -> None:
         self.idf = idf or IdfModel.empty()
+        self.lexicon = lexicon
         self.keywords = KeywordMatcher(self.idf, lexicon)
         self.qa = QaModel(self.idf, threshold=qa_threshold)
         self._match_cache: dict[tuple[str, tuple[str, ...]], float] = {}
@@ -59,6 +62,60 @@ class NlpModels:
     def for_corpus(cls, documents: list[str], **kwargs: object) -> "NlpModels":
         """Build models with IDF statistics fit on ``documents``."""
         return cls(idf=IdfModel.fit(documents), **kwargs)  # type: ignore[arg-type]
+
+    # -- persistence & identity -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything that determines this bundle's predictions, as JSON.
+
+        Inverse of :meth:`from_state_dict`; the basis of
+        :meth:`fingerprint` and of the self-contained program artifacts
+        (``repro.core.artifact``).  Only plain :class:`NlpModels` bundles
+        are serializable — subclasses with extra behaviour (e.g.
+        :class:`~repro.nlp.noise.NoisyNlpModels`) must override both
+        directions or refuse, because silently dropping their state would
+        break the artifact round-trip guarantee.
+        """
+        if type(self) is not NlpModels:
+            raise TypeError(
+                f"{type(self).__name__} does not support state_dict(); "
+                f"only plain NlpModels bundles can be exported to artifacts"
+            )
+        return {
+            "class": "NlpModels",
+            "qa_threshold": self.qa.threshold,
+            "idf": self.idf.to_dict(),
+            "lexicon_groups": [list(group) for group in self.lexicon.groups()],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "NlpModels":
+        """Rebuild a bundle from :meth:`state_dict` output."""
+        if state.get("class") != "NlpModels":
+            raise ValueError(
+                f"unsupported model-bundle class {state.get('class')!r}"
+            )
+        return cls(
+            idf=IdfModel.from_dict(state["idf"]),
+            lexicon=Lexicon(
+                tuple(tuple(group) for group in state["lexicon_groups"])
+            ),
+            qa_threshold=float(state["qa_threshold"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the bundle's prediction-relevant state.
+
+        Two bundles fingerprint equal iff they produce identical
+        predictions on every input (same IDF statistics, lexicon and
+        thresholds).  The artifact layer records it at export and
+        re-checks it at load, so caches keyed on it invalidate exactly
+        when the models change.
+        """
+        canonical = json.dumps(
+            self.state_dict(), sort_keys=True, ensure_ascii=False
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- the three neural primitives ------------------------------------------
 

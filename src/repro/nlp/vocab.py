@@ -51,6 +51,23 @@ class IdfModel:
         """A model with no corpus statistics; uses heuristic defaults."""
         return cls({}, 1)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible state; inverse of :meth:`from_dict`.
+
+        Used by the program-artifact layer (``repro.core.artifact``) to
+        embed the fitted IDF statistics in a saved extractor, so loading
+        the artifact reproduces keyword/QA weighting exactly.
+        """
+        return {"doc_freq": dict(self._doc_freq), "n_docs": self._n_docs}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "IdfModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls(
+            {str(word): int(count) for word, count in state["doc_freq"].items()},
+            int(state["n_docs"]),
+        )
+
     def idf(self, word: str) -> float:
         """Smoothed IDF weight for ``word``; stopwords score near zero."""
         word = word.lower()

@@ -27,6 +27,7 @@ semantics, used as the determinism baseline.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -68,6 +69,15 @@ class TaskRunner:
     initializer / initargs:
         Forwarded to the executor: runs once per worker before any item,
         for per-worker warmup (e.g. priming model caches).
+    persistent:
+        With the default ``False``, every :meth:`map` call builds and
+        tears down its own pool — fine for the sweeps, where one map
+        call covers the whole workload.  With ``True`` the runner keeps
+        one long-lived pool across calls (built lazily, shut down by
+        :meth:`close` or the context-manager exit) — what a serving
+        process dispatching many small micro-batches needs, since pool
+        construction would otherwise dominate per-batch cost (process
+        pools re-spawn workers; thread pools re-spawn threads).
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class TaskRunner:
         backend: str = "thread",
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        persistent: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -85,6 +96,25 @@ class TaskRunner:
         self.backend = backend
         self.initializer = initializer
         self.initargs = initargs
+        self.persistent = persistent
+        self._pool: Executor | None = None
+        # Guards lazy pool creation: a persistent runner is shared by
+        # concurrent callers (the serving service), and an unsynchronized
+        # double-build would leak the losing executor's live workers.
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one was ever built."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TaskRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _executor(self) -> Executor:
         if self.backend == "process":
@@ -116,11 +146,23 @@ class TaskRunner:
             if self.initializer is not None:
                 self.initializer(*self.initargs)
             return [fn(item) for item in items]
+        if self.persistent:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = self._executor()
+                pool = self._pool
+            return self._map_on(pool, fn, items)
         with self._executor() as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            try:
-                return [future.result() for future in futures]
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+            return self._map_on(pool, fn, items)
+
+    @staticmethod
+    def _map_on(
+        pool: Executor, fn: Callable[[ItemT], ResultT], items: list[ItemT]
+    ) -> list[ResultT]:
+        futures = [pool.submit(fn, item) for item in items]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

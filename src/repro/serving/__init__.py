@@ -1,0 +1,32 @@
+"""Production serving: ingest raw HTML, route to artifacts, batch, predict.
+
+The serving subsystem inverts the training-time object graph.  During
+synthesis a :class:`~repro.core.webqa.WebQA` *owns* its pages, models
+and caches; in serving, the long-lived state is the other way round —
+a :class:`QAService` owns the page cache and the routing table, and the
+registered tools are stateless, loadable
+:class:`~repro.core.artifact.ProgramArtifact` values.
+
+* :mod:`repro.serving.ingest` — raw HTML → parse → webtree →
+  :class:`~repro.webtree.index.PageIndex`, behind a fingerprint-keyed
+  bounded :class:`PageCache` so repeated pages skip parse+index.
+* :mod:`repro.serving.service` — :class:`QAService`: many artifacts
+  under routing keys, request coalescing into micro-batches dispatched
+  over the :class:`~repro.runtime.TaskRunner`, per-stage latency and
+  throughput statistics.
+* :mod:`repro.serving.smoke` — the two-process CI smoke (export in one
+  run, load + serve in a fresh process).
+"""
+
+from .ingest import IngestStats, PageCache, ingest_html, page_fingerprint
+from .service import QAService, ServiceStats, ServingRequest
+
+__all__ = [
+    "IngestStats",
+    "PageCache",
+    "ingest_html",
+    "page_fingerprint",
+    "QAService",
+    "ServiceStats",
+    "ServingRequest",
+]

@@ -1,0 +1,167 @@
+"""The serving ingestion pipeline: raw HTML → indexed webpage tree.
+
+A serving process sees the same pages over and over — crawler recrawls,
+retries, many questions against one page.  Parsing and index
+construction dominate per-request cost (see the ``serve_cold`` vs
+``serve_warm_batch`` entries of ``BENCH_synthesis_micro.json``), so the
+pipeline is fronted by a **fingerprint-keyed bounded LRU cache**: the
+key is a content digest of the raw HTML bytes (plus the url namespace),
+so a repeated page skips parse *and* index entirely and lands on the
+page object whose per-page memo tables are already warm.
+
+The cache deliberately keys on *raw input bytes*, not parsed content:
+hashing the input is pure arithmetic, needs no parse, and two byte-
+identical documents always parse identically (the parser is
+deterministic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..webtree.builder import page_from_html
+from ..webtree.node import WebPage
+
+
+def page_fingerprint(html: str, url: str = "") -> str:
+    """Content digest of one raw page: the :class:`PageCache` key."""
+    hasher = hashlib.sha256()
+    encoded_url = url.encode("utf-8")
+    hasher.update(f"{len(encoded_url)}\x1f".encode("utf-8"))
+    hasher.update(encoded_url)
+    hasher.update(html.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass
+class IngestStats:
+    """Counters and per-stage timings for one ingestion pipeline.
+
+    Hit/miss/eviction counters are mutated under the owning
+    :class:`PageCache`'s lock; :meth:`record` serializes the remaining
+    fields so concurrent ingest threads never lose increments.
+    """
+
+    pages_ingested: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    parse_seconds: float = 0.0
+    index_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, parse_seconds: float = 0.0, index_seconds: float = 0.0) -> None:
+        """Count one ingested page (plus its stage timings), atomically."""
+        with self._lock:
+            self.pages_ingested += 1
+            self.parse_seconds += parse_seconds
+            self.index_seconds += index_seconds
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "pages_ingested": self.pages_ingested,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
+            "parse_seconds": self.parse_seconds,
+            "index_seconds": self.index_seconds,
+        }
+
+
+@dataclass
+class PageCache:
+    """Bounded LRU of ingested pages, keyed by raw-content fingerprint.
+
+    Eviction is strict LRU on *access* order (hits refresh recency), and
+    the bound is on page count — the serving knob operators reason about.
+    ``capacity=0`` disables caching without branching at call sites.
+
+    Thread-safe: a long-lived service handles concurrent requests, and
+    ``move_to_end``/``popitem`` on a shared ``OrderedDict`` are not
+    atomic — every access takes the cache lock (the critical sections
+    are dictionary operations, never parse or predict work).
+    """
+
+    capacity: int = 256
+    stats: IngestStats = field(default_factory=IngestStats)
+    _pages: "OrderedDict[str, WebPage]" = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    def get(self, fingerprint: str) -> WebPage | None:
+        with self._lock:
+            page = self._pages.get(fingerprint)
+            if page is None:
+                self.stats.cache_misses += 1
+                return None
+            self._pages.move_to_end(fingerprint)
+            self.stats.cache_hits += 1
+            return page
+
+    def put(self, fingerprint: str, page: WebPage) -> None:
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            if fingerprint in self._pages:
+                self._pages.move_to_end(fingerprint)
+                self._pages[fingerprint] = page
+                return
+            while len(self._pages) >= self.capacity:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+            self._pages[fingerprint] = page
+
+    def clear(self) -> None:
+        with self._lock:
+            self._pages.clear()
+
+
+def ingest_html(
+    html: str,
+    url: str = "",
+    cache: PageCache | None = None,
+    stats: IngestStats | None = None,
+) -> WebPage:
+    """Raw HTML → parsed, indexed :class:`WebPage`, through the cache.
+
+    The returned page's evaluation index is built eagerly: serving
+    latency is paid here, in the ingest stage, not inside the first
+    locator evaluation of the predict stage — which keeps the per-stage
+    timings honest and lets a cache hit skip *all* of it.
+    """
+    if stats is None:
+        # NB: explicit None-check — PageCache has __len__, so an *empty*
+        # cache is falsy and a bare `if cache` would misroute the stats.
+        stats = cache.stats if cache is not None else IngestStats()
+    if cache is not None and cache.capacity <= 0:
+        # A disabled cache must be genuinely free: no sha256 over the
+        # full HTML, no lock round-trips, no forever-0% hit-rate noise.
+        cache = None
+    fingerprint = ""
+    if cache is not None:
+        fingerprint = page_fingerprint(html, url)
+        cached = cache.get(fingerprint)
+        if cached is not None:
+            stats.record()
+            return cached
+    start = time.perf_counter()
+    page = page_from_html(html, url=url)
+    parsed = time.perf_counter()
+    page.index()
+    indexed = time.perf_counter()
+    stats.record(parse_seconds=parsed - start, index_seconds=indexed - parsed)
+    if cache is not None:
+        cache.put(fingerprint, page)
+    return page

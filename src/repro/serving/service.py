@@ -1,0 +1,294 @@
+"""QAService: route questions to program artifacts, micro-batch, predict.
+
+The production front of the reproduction (ROADMAP north star): a
+long-lived process that answers extraction requests for *many* tasks at
+once.  One :class:`QAService` owns
+
+* a **routing table** — routing key (task id, attribute name, anything)
+  → a serving-only :class:`~repro.core.webqa.WebQA` loaded from a
+  :class:`~repro.core.artifact.ProgramArtifact`;
+* the **ingestion pipeline** — one shared
+  :class:`~repro.serving.ingest.PageCache`, so every route benefits from
+  every other route's parsed pages;
+* the **dispatch loop** — incoming requests are coalesced per route into
+  micro-batches of at most ``max_batch`` pages and dispatched through
+  ``WebQA.predict_batch`` over a :class:`~repro.runtime.TaskRunner`
+  pool;
+* **per-stage statistics** — ingest/predict latency, batch counts and
+  sizes, cache hit rates, per-route request counters.
+
+Semantics are deliberately boring: answers come back in request order
+and are bit-identical to calling ``tool.predict`` sequentially per page
+(pinned by the differential tests in ``tests/serving/test_service.py``);
+the batching exists for throughput, never for approximation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.artifact import ProgramArtifact
+from ..core.errors import NotFittedError
+from ..core.webqa import WebQA
+from ..runtime.runner import TaskRunner
+from ..webtree.node import WebPage
+from .ingest import PageCache, ingest_html
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One unit of incoming work: a routing key plus a page.
+
+    Exactly one of ``html`` / ``page`` is set: raw HTML goes through the
+    ingestion pipeline (and its cache); an already-parsed
+    :class:`WebPage` skips it, for callers that manage pages themselves.
+    """
+
+    route: str
+    html: str | None = None
+    page: WebPage | None = None
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.html is None) == (self.page is None):
+            raise ValueError("exactly one of html/page must be provided")
+
+
+@dataclass
+class ServiceStats:
+    """Counters and stage timings for one :class:`QAService`.
+
+    Mutations go through the record methods, which serialize concurrent
+    callers (one service instance legitimately serves many threads).
+    """
+
+    requests: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    ingest_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    requests_by_route: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_requests(
+        self,
+        count: int,
+        by_route: dict[str, int],
+        ingest_seconds: float,
+        predict_seconds: float,
+    ) -> None:
+        """Fold one ``ask_many`` call's counters in atomically."""
+        with self._lock:
+            self.requests += count
+            self.ingest_seconds += ingest_seconds
+            self.predict_seconds += predict_seconds
+            for route, route_count in by_route.items():
+                self.requests_by_route[route] = (
+                    self.requests_by_route.get(route, 0) + route_count
+                )
+
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def throughput(self) -> float:
+        """End-to-end answered pages per second (ingest + predict)."""
+        elapsed = self.ingest_seconds + self.predict_seconds
+        return self.requests / elapsed if elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size(), 2),
+            "max_batch_size": self.max_batch_size,
+            "ingest_seconds": self.ingest_seconds,
+            "predict_seconds": self.predict_seconds,
+            "throughput_pages_per_s": round(self.throughput(), 2),
+            "requests_by_route": dict(self.requests_by_route),
+        }
+
+
+class QAService:
+    """Serve many program artifacts behind routing keys.
+
+    Parameters
+    ----------
+    jobs / backend:
+        Worker pool each micro-batch is dispatched over
+        (:class:`~repro.runtime.TaskRunner` semantics; ``jobs=1`` runs
+        inline).
+    max_batch:
+        Micro-batch size cap.  Larger batches amortize dispatch
+        overhead; the cap bounds per-batch latency.
+    page_cache_size:
+        Capacity of the shared ingest :class:`PageCache` (0 disables).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "thread",
+        max_batch: int = 32,
+        page_cache_size: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.jobs = jobs
+        self.backend = backend
+        self.max_batch = max_batch
+        self.cache = PageCache(capacity=page_cache_size)
+        self.stats = ServiceStats()
+        self._routes: dict[str, WebQA] = {}
+        # One long-lived pool for every micro-batch: a service dispatches
+        # many small batches, and per-batch pool construction (worker
+        # spawn, tool re-pickling on the process backend) would dominate.
+        self._runner = TaskRunner(jobs=jobs, backend=backend, persistent=True)
+
+    def close(self) -> None:
+        """Shut down the service's worker pool (idempotent)."""
+        self._runner.close()
+
+    def __enter__(self) -> "QAService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- routing table -----------------------------------------------------------
+
+    def register(
+        self, route: str, source: "WebQA | ProgramArtifact | str"
+    ) -> WebQA:
+        """Bind ``route`` to an artifact (object or path) or a fitted tool.
+
+        Artifacts are loaded through :meth:`WebQA.from_artifact` (no
+        synthesis); an already-constructed tool must be serving-capable,
+        otherwise :class:`NotFittedError` surfaces immediately at
+        registration instead of on the first request.
+        """
+        if isinstance(source, WebQA):
+            tool = source
+            if tool._compiled is None or tool._contexts is None:
+                raise NotFittedError(f"registering route {route!r}")
+        else:
+            tool = WebQA.from_artifact(source)
+        self._routes[route] = tool
+        self.stats.requests_by_route.setdefault(route, 0)
+        return tool
+
+    def unregister(self, route: str) -> None:
+        del self._routes[route]
+
+    def routes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._routes))
+
+    def tool(self, route: str) -> WebQA:
+        tool = self._routes.get(route)
+        if tool is None:
+            raise KeyError(
+                f"unknown route {route!r}; registered: {self.routes()}"
+            )
+        return tool
+
+    # -- the serving path --------------------------------------------------------
+
+    def _ingest_request(self, request: ServingRequest) -> WebPage:
+        if request.page is not None:
+            return request.page
+        return ingest_html(request.html or "", request.url, cache=self.cache)
+
+    def ask(
+        self,
+        route: str,
+        html: str | None = None,
+        page: WebPage | None = None,
+        url: str = "",
+    ) -> tuple[str, ...]:
+        """Answer one request synchronously (a micro-batch of one)."""
+        (answer,) = self.ask_many(
+            [ServingRequest(route=route, html=html, page=page, url=url)]
+        )
+        return answer
+
+    def ask_many(
+        self, requests: "list[ServingRequest | tuple]"
+    ) -> list[tuple[str, ...]]:
+        """Answer a bulk of requests; results align with ``requests``.
+
+        The dispatch pipeline: (1) **ingest** every raw-HTML request
+        through the shared page cache; (2) **route** — group request
+        indices by routing key, preserving arrival order within each
+        route; (3) **batch** — chunk each route's run into micro-batches
+        of at most ``max_batch``; (4) **predict** — each batch goes
+        through the route tool's ``predict_batch`` over the service's
+        worker pool.  Answers are scattered back to request order.
+
+        Tuples ``(route, html)`` / ``(route, html, url)`` are accepted as
+        a convenience and normalized to :class:`ServingRequest`.
+        """
+        normalized = [
+            request
+            if isinstance(request, ServingRequest)
+            else ServingRequest(
+                route=request[0],
+                html=request[1],
+                url=request[2] if len(request) > 2 else "",
+            )
+            for request in requests
+        ]
+        # Stage 1: ingest (cache-aware, timed).  On the thread backend
+        # the cold parse+index work fans over the same pool predict
+        # uses (the cache and its stats are lock-protected; concurrent
+        # misses on identical bytes at worst parse twice, last put
+        # wins).  Parsing is GIL-bound pure Python, so the win today is
+        # overlap with any I/O-releasing work, but the structure is
+        # ready for free-threaded builds.  Process workers cannot
+        # populate the parent's cache, so that backend stays sequential.
+        start = time.perf_counter()
+        needs_ingest = any(request.page is None for request in normalized)
+        if needs_ingest and self.jobs > 1 and self.backend == "thread":
+            pages = self._runner.map(self._ingest_request, normalized)
+        else:
+            # All requests carry pre-parsed pages (or the pool cannot
+            # help): plain passthrough, no per-request dispatch tax.
+            pages = [self._ingest_request(request) for request in normalized]
+        ingest_seconds = time.perf_counter() - start
+
+        # Stage 2: route.
+        by_route: dict[str, list[int]] = {}
+        for position, request in enumerate(normalized):
+            by_route.setdefault(request.route, []).append(position)
+
+        # Stages 3+4: micro-batch and predict, per route, over the
+        # service's persistent worker pool.
+        answers: list[tuple[str, ...] | None] = [None] * len(normalized)
+        start = time.perf_counter()
+        for route, positions in by_route.items():
+            tool = self.tool(route)
+            for offset in range(0, len(positions), self.max_batch):
+                batch = positions[offset : offset + self.max_batch]
+                results = tool.predict_batch(
+                    [pages[i] for i in batch], runner=self._runner
+                )
+                # Counted only after the dispatch succeeds, so a failing
+                # batch cannot permanently skew the batches/requests
+                # ratio of a long-lived service.
+                self.stats.record_batch(len(batch))
+                for position, answer in zip(batch, results):
+                    answers[position] = answer
+        self.stats.record_requests(
+            count=len(normalized),
+            by_route={route: len(p) for route, p in by_route.items()},
+            ingest_seconds=ingest_seconds,
+            predict_seconds=time.perf_counter() - start,
+        )
+        # Every position was filled (unknown routes raise before predict);
+        # the fallback only satisfies the type checker.
+        return [answer if answer is not None else () for answer in answers]

@@ -1,0 +1,164 @@
+"""Two-process artifact/serving smoke check (the CI `artifact-serving` job).
+
+Phase 1 (``export``) fits one small task per domain, exports each
+program artifact, renders the task's test pages back to HTML files and
+records the fitted tools' expected answers.  Phase 2 (``serve``) runs in
+a **fresh process**: it loads the artifacts, registers them on a
+:class:`~repro.serving.QAService`, serves the HTML through the full
+ingest → route → batch → predict pipeline, and fails unless
+
+* every answer is bit-identical to the fitted tool's recorded answer,
+* zero synthesis searches ran in the serving process
+  (:func:`~repro.synthesis.session.synthesis_call_count`).
+
+Usage::
+
+    python -m repro.serving.smoke export --dir smoke-out
+    python -m repro.serving.smoke serve  --dir smoke-out   # fresh process
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..core.webqa import WebQA
+from ..dataset.corpus import load_task_dataset
+from ..dataset.tasks import TASKS_BY_ID
+from ..persist import read_artifact, write_artifact
+from .ingest import ingest_html
+from .service import QAService, ServingRequest
+from ..synthesis.session import synthesis_call_count
+from ..webtree.html_out import page_to_html
+
+#: One quick task per domain: enough to exercise routing across
+#: heterogeneous programs while staying CI-cheap.
+SMOKE_TASKS = ("fac_t1", "conf_t1", "class_t2", "clinic_t5")
+
+MANIFEST = "manifest.json"
+
+
+def run_export(out_dir: Path, n_pages: int, n_train: int) -> int:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"tasks": []}
+    for task_id in SMOKE_TASKS:
+        task = TASKS_BY_ID[task_id]
+        dataset = load_task_dataset(task, n_pages=n_pages, n_train=n_train, seed=0)
+        tool = WebQA(ensemble_size=50).fit(
+            task.question,
+            task.keywords,
+            list(dataset.train),
+            list(dataset.test_pages),
+            dataset.models,
+        )
+        artifact_path = out_dir / f"{task_id}.artifact.json"
+        tool.export_artifact(
+            str(artifact_path),
+            task_meta={"task_id": task.task_id, "domain": task.domain},
+        )
+        entry = {"task_id": task_id, "artifact": artifact_path.name, "pages": []}
+        for position, page in enumerate(dataset.test_pages):
+            html_path = out_dir / f"{task_id}.page{position}.html"
+            html_path.write_text(page_to_html(page), encoding="utf-8")
+            # Expected answers come from re-ingesting the rendered HTML
+            # through the *fitted* tool, so the serve phase compares the
+            # loaded artifact against the synthesizing tool on byte-
+            # identical inputs (rendering is canonical but the re-parsed
+            # tree is only isomorphic to the generator's original).
+            reparsed = ingest_html(
+                html_path.read_text(encoding="utf-8"), url=page.url
+            )
+            entry["pages"].append(
+                {
+                    "html": html_path.name,
+                    "url": page.url,
+                    "expected": list(tool.predict(reparsed)),
+                }
+            )
+        manifest["tasks"].append(entry)
+        print(f"exported {task_id}: {len(entry['pages'])} pages")
+    write_artifact(str(out_dir / MANIFEST), manifest)
+    print(f"export complete: {out_dir / MANIFEST}")
+    return 0
+
+
+def run_serve(out_dir: Path, jobs: int, max_batch: int) -> int:
+    calls_before = synthesis_call_count()
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    requests: list[ServingRequest] = []
+    expected: list[tuple[str, ...]] = []
+    with QAService(jobs=jobs, max_batch=max_batch) as service:
+        for entry in manifest["tasks"]:
+            service.register(entry["task_id"], str(out_dir / entry["artifact"]))
+            for page_entry in entry["pages"]:
+                html = (out_dir / page_entry["html"]).read_text(encoding="utf-8")
+                requests.append(
+                    ServingRequest(
+                        route=entry["task_id"], html=html, url=page_entry["url"]
+                    )
+                )
+                expected.append(tuple(page_entry["expected"]))
+        # Serve twice: the second pass must hit the page cache.
+        answers = service.ask_many(requests)
+        answers_again = service.ask_many(requests)
+
+    failures = 0
+    for request, got, want in zip(requests, answers, expected):
+        if tuple(got) != want:
+            failures += 1
+            print(
+                f"MISMATCH route={request.route} url={request.url}: "
+                f"got {got!r}, expected {want!r}",
+                file=sys.stderr,
+            )
+    if answers_again != answers:
+        failures += 1
+        print("MISMATCH: warm-cache pass differs from cold pass", file=sys.stderr)
+    if service.cache.stats.cache_hits < len(requests):
+        failures += 1
+        print(
+            f"PAGE CACHE INEFFECTIVE: {service.cache.stats.cache_hits} hits "
+            f"over {2 * len(requests)} requests",
+            file=sys.stderr,
+        )
+    synthesis_calls = synthesis_call_count() - calls_before
+    if synthesis_calls != 0:
+        failures += 1
+        print(
+            f"SYNTHESIS IN SERVING PATH: {synthesis_calls} synthesize() calls "
+            f"during load+serve (must be 0)",
+            file=sys.stderr,
+        )
+    print(json.dumps(service.stats.as_dict(), indent=2))
+    print(json.dumps({"page_cache": service.cache.stats.as_dict()}, indent=2))
+    if failures:
+        print(f"serving smoke FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"serving smoke OK: {len(requests)} requests x2 passes, "
+        f"{len(manifest['tasks'])} routes, 0 synthesis calls"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="phase", required=True)
+    export = sub.add_parser("export", help="fit tasks and write artifacts+pages")
+    export.add_argument("--dir", type=Path, required=True)
+    export.add_argument("--pages", type=int, default=8)
+    export.add_argument("--train", type=int, default=3)
+    serve = sub.add_parser("serve", help="load artifacts and serve in-process")
+    serve.add_argument("--dir", type=Path, required=True)
+    serve.add_argument("--jobs", type=int, default=2)
+    serve.add_argument("--max-batch", type=int, default=8)
+    args = parser.parse_args(argv)
+    if args.phase == "export":
+        return run_export(args.dir, args.pages, args.train)
+    return run_serve(args.dir, args.jobs, args.max_batch)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,12 @@ from .f1 import (
 )
 from .guards import guard_classifies, iter_guards
 from .partitions import count_ordered_partitions, ordered_partitions, set_partitions
-from .session import SynthesisSession, block_negatives, enumerate_partitions
+from .session import (
+    SynthesisSession,
+    block_negatives,
+    enumerate_partitions,
+    synthesis_call_count,
+)
 from .top import ProgramSpace, SynthesisResult, SynthesisStats, synthesize
 
 __all__ = [
@@ -53,6 +58,7 @@ __all__ = [
     "SynthesisResult",
     "SynthesisStats",
     "SynthesisSession",
+    "synthesis_call_count",
     "enumerate_partitions",
     "block_negatives",
     "synthesize",

@@ -59,6 +59,17 @@ BlockKey = tuple[tuple[str, ...], tuple[str, ...]]
 
 _SAVE_FORMAT_VERSION = 1
 
+#: Process-wide count of synthesis searches actually executed.  The
+#: artifact/serving layer asserts this stays flat across
+#: ``WebQA.from_artifact`` + ``predict`` — loading a saved program must
+#: never trigger synthesis (see ``tests/core/test_artifact.py``).
+_synthesize_calls = 0
+
+
+def synthesis_call_count() -> int:
+    """Number of :meth:`SynthesisSession.synthesize` runs in this process."""
+    return _synthesize_calls
+
 
 def enumerate_partitions(
     n_examples: int, max_branches: int | None
@@ -186,6 +197,8 @@ class SynthesisSession:
         fingerprints were solved before; with budgets configured, stops
         early with ``stats.completed = False``.
         """
+        global _synthesize_calls
+        _synthesize_calls += 1
         config = self.config
         examples = self._examples
         start = time.perf_counter()

@@ -1,0 +1,197 @@
+"""Program-artifact round-trip: export → load → bit-identical serving.
+
+The acceptance contract of the artifact layer: for every dataset task,
+``WebQA.from_artifact(WebQA.export_artifact(path))`` predicts exactly
+like the fitted tool on every test page, loading performs zero synthesis
+(observed via the process-wide synthesis counter), and tampered or
+version-skewed artifacts are rejected loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.core.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    ProgramArtifact,
+    compiled_plan_meta,
+)
+from repro.core.errors import NotFittedError
+from repro.core.webqa import WebQA
+from repro.dataset.corpus import load_task_dataset
+from repro.dataset.tasks import TASKS
+from repro.nlp.models import NlpModels
+from repro.nlp.noise import NoisyNlpModels
+from repro.synthesis.session import synthesis_call_count
+
+#: Tasks covering every domain, kept small enough for the tier-1 suite.
+ROUNDTRIP_TASKS = ("fac_t1", "conf_t3", "class_t2", "clinic_t5")
+
+SCALE = dict(n_pages=6, n_train=3, seed=0)
+
+
+def _fit_tool(task):
+    dataset = load_task_dataset(task, **SCALE)
+    tool = WebQA(ensemble_size=40).fit(
+        task.question,
+        task.keywords,
+        list(dataset.train),
+        list(dataset.test_pages),
+        dataset.models,
+    )
+    return tool, dataset
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "task", [t for t in TASKS if t.task_id in ROUNDTRIP_TASKS],
+        ids=lambda t: t.task_id,
+    )
+    def test_bit_identical_predictions_zero_synthesis(self, task, tmp_path):
+        tool, dataset = _fit_tool(task)
+        path = str(tmp_path / "artifact.json")
+        artifact = tool.export_artifact(path, task_meta={"task_id": task.task_id})
+        calls_before = synthesis_call_count()
+        loaded = WebQA.from_artifact(path)
+        pages = [e.page for e in dataset.train] + list(dataset.test_pages)
+        assert [loaded.predict(p) for p in pages] == [
+            tool.predict(p) for p in pages
+        ]
+        assert synthesis_call_count() == calls_before, (
+            "loading/serving an artifact must never synthesize"
+        )
+        assert loaded.program == tool.program
+        assert artifact.model_fingerprint == dataset.models.fingerprint()
+
+    def test_all_dataset_tasks_roundtrip(self, tmp_path):
+        # The acceptance sweep: every task of the paper's evaluation set
+        # exports, reloads and predicts bit-identically — at the
+        # smallest corpus scale and with the cheap selection strategy,
+        # so the whole sweep stays tier-1-affordable.
+        calls_before = synthesis_call_count()
+        loads_done = 0
+        for task in TASKS:
+            dataset = load_task_dataset(task, n_pages=4, n_train=2, seed=0)
+            tool = WebQA(ensemble_size=10, selection="shortest").fit(
+                task.question,
+                task.keywords,
+                list(dataset.train),
+                list(dataset.test_pages),
+                dataset.models,
+            )
+            calls_after_fit = synthesis_call_count()
+            path = str(tmp_path / f"{task.task_id}.json")
+            tool.export_artifact(path)
+            loaded = WebQA.from_artifact(path)
+            loads_done += 1
+            for page in dataset.test_pages:
+                assert loaded.predict(page) == tool.predict(page), task.task_id
+            assert synthesis_call_count() == calls_after_fit, task.task_id
+        assert loads_done == len(TASKS)
+        assert synthesis_call_count() > calls_before  # fits did synthesize
+
+    def test_object_roundtrip_without_disk(self):
+        tool, dataset = _fit_tool(TASKS[0])
+        loaded = WebQA.from_artifact(tool.export_artifact())
+        page = dataset.test_pages[0]
+        assert loaded.predict(page) == tool.predict(page)
+
+    def test_payload_roundtrip_is_exact(self, tmp_path):
+        tool, _ = _fit_tool(TASKS[0])
+        path = str(tmp_path / "artifact.json")
+        artifact = tool.export_artifact(path, task_meta={"task_id": "fac_t1"})
+        reloaded = ProgramArtifact.load(path)
+        assert reloaded.to_payload() == artifact.to_payload()
+        assert reloaded.question == artifact.question
+        assert reloaded.keywords == artifact.keywords
+        assert reloaded.engine == artifact.engine
+        assert reloaded.fit_stats == artifact.fit_stats
+
+    def test_loaded_tool_reexports_identically(self, tmp_path):
+        # Including provenance: a loaded tool re-exports the original
+        # task metadata (task_id, domain, ...) unless explicitly replaced.
+        tool, _ = _fit_tool(TASKS[0])
+        first = str(tmp_path / "first.json")
+        second = str(tmp_path / "second.json")
+        tool.export_artifact(
+            first, task_meta={"task_id": "fac_t1", "domain": "faculty"}
+        )
+        WebQA.from_artifact(first).export_artifact(second)
+        with open(first) as a, open(second) as b:
+            assert json.load(a) == json.load(b)
+
+
+class TestValidation:
+    def _payload(self, tmp_path):
+        tool, _ = _fit_tool(TASKS[0])
+        path = str(tmp_path / "artifact.json")
+        tool.export_artifact(path)
+        with open(path) as handle:
+            return json.load(handle)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        payload = self._payload(tmp_path)
+        payload["kind"] = "not-an-artifact"
+        with pytest.raises(ValueError, match="kind"):
+            ProgramArtifact.from_payload(payload)
+
+    def test_rejects_unknown_schema_version(self, tmp_path):
+        payload = self._payload(tmp_path)
+        payload["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            ProgramArtifact.from_payload(payload)
+
+    def test_rejects_fingerprint_mismatch(self, tmp_path):
+        payload = self._payload(tmp_path)
+        payload["models"]["state"]["qa_threshold"] = 0.99
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            ProgramArtifact.from_payload(payload)
+
+    def test_export_unfitted_raises(self):
+        with pytest.raises(NotFittedError, match="from_artifact"):
+            WebQA().export_artifact()
+
+    def test_noisy_models_refuse_export(self):
+        task = TASKS[0]
+        dataset = load_task_dataset(task, **SCALE)
+        noisy = NoisyNlpModels(dataset.models, error_rate=0.2, seed=1)
+        tool = WebQA(ensemble_size=10).fit(
+            task.question,
+            task.keywords,
+            list(dataset.train),
+            [],
+            noisy,
+        )
+        with pytest.raises(TypeError, match="NoisyNlpModels"):
+            tool.export_artifact()
+
+
+class TestModelStateDict:
+    def test_fingerprint_tracks_state(self):
+        base = NlpModels()
+        assert base.fingerprint() == NlpModels().fingerprint()
+        assert base.fingerprint() != NlpModels(qa_threshold=0.5).fingerprint()
+        fitted = NlpModels.for_corpus(["some corpus text", "more documents"])
+        assert fitted.fingerprint() != base.fingerprint()
+
+    def test_state_dict_roundtrip_preserves_behaviour(self):
+        models = NlpModels.for_corpus(["the cat sat on the mat", "PhD students"])
+        rebuilt = NlpModels.from_state_dict(models.state_dict())
+        assert rebuilt.fingerprint() == models.fingerprint()
+        for text in ("Current PhD Students", "the cat", "Ω unicode"):
+            assert rebuilt.keyword_similarity(
+                text, ("Current Students", "PhD")
+            ) == models.keyword_similarity(text, ("Current Students", "PhD"))
+            assert rebuilt.has_entity(text, "PERSON") == models.has_entity(
+                text, "PERSON"
+            )
+
+
+def test_compiled_plan_meta_shape():
+    tool, _ = _fit_tool(TASKS[0])
+    meta = compiled_plan_meta(tool.program, "indexed")
+    assert meta["engine"] == "indexed"
+    assert meta["branches"] == len(tool.program.branches)
+    for step in meta["steps"]:
+        assert step["guard"] in ("Sat", "IsSingleton")
+        assert step["locator_size"] >= 1

@@ -105,6 +105,57 @@ class TestCli:
         ])
         assert exit_code == 0
 
+    def test_artifact_export_inspect_serve_bench(self, pages, capsys):
+        program_path = str(pages / "program.json")
+        session_path = str(pages / "session.pkl")
+        artifact_path = str(pages / "students.artifact.json")
+        exit_code = main([
+            "fit",
+            "--question", "Who are the current PhD students?",
+            "--keyword", "Current Students", "--keyword", "PhD",
+            "--keyword", "Advisees",
+            "--label", str(pages / "jane.html"), "Robert Smith;Mary Anderson",
+            "--label", str(pages / "john.html"), "Sarah Brown;Wei Zhang",
+            "--unlabeled-dir", str(pages / "unlabeled"),
+            "--ensemble", "50",
+            "--out", program_path,
+            "--session", session_path,
+            "--artifact", artifact_path,
+        ])
+        assert exit_code == 0
+        assert "artifact saved:" in capsys.readouterr().out
+
+        exit_code = main(["inspect", "--artifact", artifact_path])
+        assert exit_code == 0
+        inspect_output = capsys.readouterr().out
+        assert "schema version: 1" in inspect_output
+        assert "model fingerprint:" in inspect_output
+        assert "λQ,K,W." in inspect_output
+
+        # export from the saved session must produce the same artifact
+        # payload modulo selection re-run (same program, same models).
+        artifact2_path = str(pages / "again.artifact.json")
+        exit_code = main([
+            "export", "--session", session_path,
+            "--unlabeled-dir", str(pages / "unlabeled"),
+            "--ensemble", "50", "--out", artifact2_path,
+        ])
+        assert exit_code == 0
+        assert "model fingerprint:" in capsys.readouterr().out
+
+        exit_code = main([
+            "serve-bench", "--artifact", artifact_path,
+            "--rounds", "2", "--jobs", "2",
+            str(pages / "unlabeled" / "ann.html"),
+            str(pages / "jane.html"),
+        ])
+        assert exit_code == 0
+        bench_output = capsys.readouterr().out
+        assert "serve cold:" in bench_output
+        assert "serve warm:" in bench_output
+        assert "direct predict_batch:" in bench_output
+        assert "page_cache.cache_hits" in bench_output
+
     def test_fit_requires_labels(self, pages):
         with pytest.raises(SystemExit):
             main([

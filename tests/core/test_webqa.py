@@ -54,6 +54,27 @@ class TestWebQA:
         with pytest.raises(RuntimeError):
             WebQA().predict(PAGE_A)
 
+    def test_unfitted_operations_raise_not_fitted(self):
+        # Every learned-program entry point fails with the dedicated
+        # error (a RuntimeError subclass, so old handlers still catch),
+        # whose message points at both remedies: fit and from_artifact.
+        from repro.core.errors import NotFittedError
+
+        tool = WebQA()
+        for operation in (
+            lambda: tool.predict(PAGE_A),
+            lambda: tool.predict_batch([PAGE_A]),
+            lambda: tool.program,
+            lambda: tool.session,
+            lambda: tool.refit([]),
+            lambda: tool.export_artifact(),
+        ):
+            with pytest.raises(NotFittedError) as caught:
+                operation()
+            message = str(caught.value)
+            assert "fit" in message
+            assert "from_artifact" in message
+
     def test_invalid_selection_strategy(self):
         with pytest.raises(ValueError):
             WebQA(selection="psychic")

@@ -23,11 +23,32 @@ from repro.dsl.pretty import pretty_extractor, pretty_locator
 from repro.dsl.serialize import node_from_dict, node_to_dict
 
 # --- hypothesis strategies over the DSL grammar -----------------------------
+#
+# Every production is reachable, and the leaf payloads are drawn wide on
+# purpose: any 2-decimal threshold (the pretty-printer's `%.2f` is exact
+# there), every Split delimiter including the unicode bullet, and entity
+# labels over unicode letters — the paper's notation is itself unicode
+# (λ ⊤ ∧ ∨ ¬ → •), so the round-trip laws must hold beyond ASCII.
+
+#: Unicode-identifier alphabet for HasEntity labels: Latin, Greek, CJK,
+#: digits and underscore (labels must stay single identifier tokens for
+#: the surface syntax; JSON handles arbitrary strings regardless).
+_LABEL_ALPHABET = "ABCZ_ΔΛΩαβγλ日付時間0123456789"
+
+entity_labels = st.one_of(
+    st.sampled_from(("PERSON", "ORG", "DATE", "TIME", "LOC", "MONEY", "CARDINAL")),
+    st.text(alphabet=_LABEL_ALPHABET, min_size=1, max_size=8).filter(
+        lambda label: not label[0].isdigit()
+    ),
+)
+
+#: Any threshold with exactly two decimals survives `f"{t:.2f}"`.
+thresholds = st.integers(min_value=0, max_value=99).map(lambda i: i / 100)
 
 atomic_preds = st.one_of(
-    st.builds(ast.MatchKeyword, st.sampled_from((0.3, 0.55, 0.7, 0.85))),
+    st.builds(ast.MatchKeyword, thresholds),
     st.just(ast.HasAnswer()),
-    st.builds(ast.HasEntity, st.sampled_from(("PERSON", "ORG", "DATE", "TIME"))),
+    st.builds(ast.HasEntity, entity_labels),
     st.just(ast.TruePred()),
 )
 preds = st.recursive(
@@ -68,9 +89,10 @@ guards = st.one_of(
 extractors = st.recursive(
     st.just(ast.ExtractContent()),
     lambda children: st.one_of(
-        st.builds(ast.Split, children, st.sampled_from((",", ";", "|", "/"))),
+        # All of SPLIT_DELIMITERS, including the unicode bullet.
+        st.builds(ast.Split, children, st.sampled_from((",", ";", "|", "•", "/"))),
         st.builds(ast.Filter, children, preds),
-        st.builds(ast.Substring, children, preds, st.sampled_from((1, 2, 3))),
+        st.builds(ast.Substring, children, preds, st.sampled_from((1, 2, 3, 5))),
     ),
     max_leaves=3,
 )
@@ -155,3 +177,15 @@ class TestSurfaceSyntaxRoundTrip:
 
     def test_empty_program(self):
         assert parse_program("λQ,K,W. { }") == ast.Program(())
+
+    def test_unicode_entity_label_and_bullet_delimiter(self):
+        # The explicit witnesses for the property above: a non-ASCII
+        # entity label and the '•' Split delimiter survive both codecs.
+        program = ast.Program((
+            ast.Branch(
+                ast.Sat(ast.GetRoot(), ast.HasEntity("日付Δ3")),
+                ast.Split(ast.ExtractContent(), "•"),
+            ),
+        ))
+        assert parse_program(pretty_program(program)) == program
+        assert loads(dumps(program)) == program

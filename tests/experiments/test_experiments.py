@@ -123,6 +123,24 @@ class TestExperimentSmoke:
         assert "Figure 14" in fig14.render(series, (1, 2))
 
 
+class TestServingExtension:
+    def test_serving_rows_and_render(self):
+        from repro.experiments import serving
+
+        # One task keeps the smoke cheap; _measure_task itself asserts
+        # the differential contract (service ≡ predict_batch ≡ cold ≡
+        # warm), so reaching the row at all is the correctness signal.
+        row = serving._measure_task("clinic_t5", TINY, repeats=2)
+        assert row.pages == TINY.n_pages - TINY.n_train
+        assert row.direct_pps > 0
+        assert row.serve_cold_pps > 0
+        assert row.serve_warm_pps > 0
+        assert row.cache_hit_rate > 0
+        rendered = serving.render([row])
+        assert "clinic_t5" in rendered
+        assert "overhead" in rendered
+
+
 class TestNoiseExtension:
     def test_noise_series_shape(self):
         from repro.experiments import noise

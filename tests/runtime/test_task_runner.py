@@ -32,6 +32,24 @@ class TestTaskRunner:
         runner = TaskRunner(jobs=2, backend="process")
         assert runner.map(operator.neg, [3, 1, 2]) == [-3, -1, -2]
 
+    def test_persistent_pool_reused_across_maps(self):
+        with TaskRunner(jobs=2, persistent=True) as runner:
+            assert runner.map(operator.neg, [1, 2, 3]) == [-1, -2, -3]
+            pool = runner._pool
+            assert pool is not None
+            assert runner.map(operator.neg, [4, 5]) == [-4, -5]
+            assert runner._pool is pool  # same executor, not rebuilt
+        assert runner._pool is None  # context exit shut it down
+        runner.close()  # idempotent
+
+    def test_persistent_pool_results_match_serial(self):
+        runner = TaskRunner(jobs=3, persistent=True)
+        try:
+            items = list(range(40))
+            assert runner.map(operator.neg, items) == [-i for i in items]
+        finally:
+            runner.close()
+
     def test_exceptions_propagate(self):
         def boom(item):
             raise RuntimeError(f"worker {item} failed")

@@ -1,0 +1,88 @@
+"""Ingestion pipeline: HTML → indexed page, through the bounded cache."""
+
+from repro.serving.ingest import IngestStats, PageCache, ingest_html, page_fingerprint
+
+HTML_A = "<h1>Jane</h1><h2>Students</h2><ul><li>Bob</li></ul>"
+HTML_B = "<h1>John</h1><p>Hello</p>"
+
+
+class TestFingerprint:
+    def test_content_and_url_sensitive(self):
+        assert page_fingerprint(HTML_A) == page_fingerprint(HTML_A)
+        assert page_fingerprint(HTML_A) != page_fingerprint(HTML_B)
+        assert page_fingerprint(HTML_A, "u1") != page_fingerprint(HTML_A, "u2")
+
+    def test_length_prefix_prevents_boundary_forgery(self):
+        # url+html concatenations that read the same must not collide.
+        assert page_fingerprint("bhtml", "urla") != page_fingerprint(
+            "html", "urlab"
+        )
+
+
+class TestIngest:
+    def test_parses_and_prebuilds_index(self):
+        page = ingest_html(HTML_A, url="https://x/a")
+        assert page.url == "https://x/a"
+        assert page._index is not None  # index built in the ingest stage
+        assert "Jane" in page.root.subtree_text()
+
+    def test_repeat_page_is_cache_hit_same_object(self):
+        cache = PageCache(capacity=4)
+        first = ingest_html(HTML_A, url="u", cache=cache)
+        second = ingest_html(HTML_A, url="u", cache=cache)
+        assert second is first
+        assert cache.stats.cache_hits == 1
+        assert cache.stats.cache_misses == 1
+        assert cache.stats.pages_ingested == 2
+
+    def test_lru_eviction_order_and_bound(self):
+        cache = PageCache(capacity=2)
+        ingest_html(HTML_A, url="a", cache=cache)
+        ingest_html(HTML_B, url="b", cache=cache)
+        ingest_html(HTML_A, url="a", cache=cache)  # refresh A's recency
+        ingest_html("<h1>C</h1>", url="c", cache=cache)  # evicts B, not A
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(page_fingerprint(HTML_A, "a")) is not None
+        assert cache.get(page_fingerprint(HTML_B, "b")) is None
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PageCache(capacity=0)
+        first = ingest_html(HTML_A, url="u", cache=cache)
+        second = ingest_html(HTML_A, url="u", cache=cache)
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_concurrent_ingest_is_safe_and_counts_exactly(self):
+        # Hammer one shared cache from many threads: no lost updates on
+        # the counters and no OrderedDict corruption under eviction.
+        import threading
+
+        cache = PageCache(capacity=3)
+        htmls = [(f"<h1>p{i}</h1>", f"u{i}") for i in range(6)]
+        per_thread, n_threads = 30, 8
+
+        def worker():
+            for i in range(per_thread):
+                html, url = htmls[i % len(htmls)]
+                page = ingest_html(html, url=url, cache=cache)
+                assert page.url == url
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats
+        assert stats.pages_ingested == per_thread * n_threads
+        assert stats.cache_hits + stats.cache_misses == per_thread * n_threads
+        assert len(cache) <= 3
+
+    def test_stage_timings_accumulate(self):
+        stats = IngestStats()
+        ingest_html(HTML_A, stats=stats)
+        assert stats.parse_seconds > 0
+        assert stats.index_seconds > 0
+        assert stats.pages_ingested == 1
+        assert 0.0 <= stats.hit_rate() <= 1.0
+        assert set(stats.as_dict()) >= {"pages_ingested", "hit_rate"}

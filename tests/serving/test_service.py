@@ -1,0 +1,165 @@
+"""QAService: routing, micro-batching, and the differential contract.
+
+The load-bearing property is the last class: for any request mix,
+jobs count and batch cap, ``ask_many`` must equal per-page sequential
+``predict`` on the same tools — batching is throughput, never semantics.
+"""
+
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.core.webqa import WebQA
+from repro.dataset.corpus import load_task_dataset
+from repro.dataset.tasks import TASKS_BY_ID
+from repro.serving.ingest import ingest_html
+from repro.serving.service import QAService, ServingRequest
+from repro.webtree.html_out import page_to_html
+
+SCALE = dict(n_pages=6, n_train=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Two fitted tools + their datasets (distinct domains → routes)."""
+    tools = {}
+    for task_id in ("fac_t1", "clinic_t5"):
+        task = TASKS_BY_ID[task_id]
+        dataset = load_task_dataset(task, **SCALE)
+        tool = WebQA(ensemble_size=40).fit(
+            task.question,
+            task.keywords,
+            list(dataset.train),
+            list(dataset.test_pages),
+            dataset.models,
+        )
+        tools[task_id] = (tool, dataset)
+    return tools
+
+
+def _requests_for(fitted, as_html):
+    requests, expected = [], []
+    for task_id, (tool, dataset) in fitted.items():
+        for page in dataset.test_pages:
+            if as_html:
+                html = page_to_html(page)
+                requests.append(
+                    ServingRequest(route=task_id, html=html, url=page.url)
+                )
+                expected.append(tool.predict(ingest_html(html, url=page.url)))
+            else:
+                requests.append(ServingRequest(route=task_id, page=page))
+                expected.append(tool.predict(page))
+    return requests, expected
+
+
+class TestRegistration:
+    def test_register_artifact_object_path_and_tool(self, fitted, tmp_path):
+        tool, dataset = fitted["fac_t1"]
+        path = str(tmp_path / "a.json")
+        artifact = tool.export_artifact(path)
+        service = QAService()
+        service.register("by-object", artifact)
+        service.register("by-path", path)
+        service.register("by-tool", tool)
+        page = dataset.test_pages[0]
+        want = tool.predict(page)
+        for route in ("by-object", "by-path", "by-tool"):
+            assert service.ask(route, page=page) == want
+        assert service.routes() == ("by-object", "by-path", "by-tool")
+
+    def test_register_unfitted_tool_raises(self):
+        with pytest.raises(NotFittedError):
+            QAService().register("r", WebQA())
+
+    def test_unknown_route_raises(self, fitted):
+        service = QAService()
+        _, dataset = fitted["fac_t1"]
+        with pytest.raises(KeyError, match="unknown route"):
+            service.ask("nope", page=dataset.test_pages[0])
+
+    def test_request_needs_exactly_one_of_html_page(self):
+        with pytest.raises(ValueError):
+            ServingRequest(route="r")
+        with pytest.raises(ValueError):
+            ServingRequest(route="r", html="<h1>x</h1>", page=object())  # type: ignore[arg-type]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("jobs,max_batch", [(1, 32), (1, 2), (3, 2), (3, 1)])
+    def test_ask_many_equals_sequential_predict(self, fitted, jobs, max_batch):
+        with QAService(jobs=jobs, max_batch=max_batch) as service:
+            for task_id, (tool, _) in fitted.items():
+                service.register(task_id, tool.export_artifact())
+            requests, expected = _requests_for(fitted, as_html=False)
+            # Interleave routes to force the scatter/gather path.
+            order = sorted(range(len(requests)), key=lambda i: i % 3)
+            answers = service.ask_many([requests[i] for i in order])
+            assert answers == [expected[i] for i in order]
+
+    def test_concurrent_callers_share_one_service(self, fitted):
+        # Many request threads against one service: the persistent pool
+        # initializes exactly once, the cache stays coherent, and every
+        # caller gets the right answers.
+        import threading
+
+        with QAService(jobs=2, max_batch=4) as service:
+            for task_id, (tool, _) in fitted.items():
+                service.register(task_id, tool.export_artifact())
+            requests, expected = _requests_for(fitted, as_html=True)
+            failures: list[str] = []
+
+            def caller():
+                for _ in range(3):
+                    if service.ask_many(requests) != expected:
+                        failures.append("diverged")
+
+            threads = [threading.Thread(target=caller) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            assert service.stats.requests == 6 * 3 * len(requests)
+
+    def test_html_requests_match_page_requests(self, fitted):
+        service = QAService(max_batch=4)
+        for task_id, (tool, _) in fitted.items():
+            service.register(task_id, tool.export_artifact())
+        requests, expected = _requests_for(fitted, as_html=True)
+        assert service.ask_many(requests) == expected
+        # And again, warm: answered from the page cache, same results.
+        hits_before = service.cache.stats.cache_hits
+        assert service.ask_many(requests) == expected
+        assert service.cache.stats.cache_hits >= hits_before + len(requests)
+
+    def test_tuple_requests_accepted(self, fitted):
+        tool, dataset = fitted["fac_t1"]
+        service = QAService()
+        service.register("fac_t1", tool.export_artifact())
+        html = page_to_html(dataset.test_pages[0])
+        (answer,) = service.ask_many([("fac_t1", html)])
+        assert answer == tool.predict(ingest_html(html))
+
+
+class TestStats:
+    def test_per_stage_stats_and_batching(self, fitted):
+        service = QAService(max_batch=2)
+        for task_id, (tool, _) in fitted.items():
+            service.register(task_id, tool.export_artifact())
+        requests, _ = _requests_for(fitted, as_html=True)
+        service.ask_many(requests)
+        stats = service.stats
+        assert stats.requests == len(requests)
+        # max_batch=2 over 3 pages/route → two batches per route.
+        assert stats.batches == 4
+        assert stats.max_batch_size == 2
+        assert 0 < stats.mean_batch_size() <= 2
+        assert stats.ingest_seconds > 0
+        assert stats.predict_seconds > 0
+        assert stats.throughput() > 0
+        summary = stats.as_dict()
+        assert summary["requests_by_route"] == {"fac_t1": 3, "clinic_t5": 3}
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            QAService(max_batch=0)
