@@ -3,16 +3,10 @@
 Compares a freshly measured micro-benchmark artifact (the output of
 ``benchmarks/persist.py``) against the committed baseline
 ``BENCH_synthesis_micro.json`` and fails when a guarded benchmark's
-median regresses by more than the allowed ratio.
-
-Only benchmarks listed in :data:`GUARDED` gate the build: they are the
-headline perf invariants of the synthesis engine (branch synthesis, the
-cold indexed locator path) and of the serving stack (the QAService warm
-batch path).  Other entries drift with machine noise and are tracked,
-not gated.  Cross-machine absolute times are noisy, so
-the threshold is deliberately loose (25%) and guards *relative
-catastrophes* (an accidentally disabled cache, a quadratic loop), not
-small scheduling jitter.
+median regresses by more than the allowed ratio.  The guarded set,
+threshold and comparison logic live in :mod:`repro.benchtool` (shared
+with the ``repro bench`` CLI subcommand, which also measures and prints
+the full delta table in one step — the CI job uses it).
 
 Usage::
 
@@ -32,18 +26,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_synthesis_micro.json"
 
-#: Benchmarks whose median gates CI.
-GUARDED = (
-    "test_bench_branch_synthesis",
-    "test_bench_eval_locator_cold",
-    # The serving stack's steady state: QAService micro-batched dispatch
-    # over an artifact-loaded tool.  Guards the service tax (routing,
-    # batching, stats) staying a thin layer over predict_batch.
-    "test_bench_serve_warm_batch",
-)
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: A guarded median may grow at most this factor over the baseline.
-DEFAULT_MAX_REGRESSION = 1.25
+from repro import benchtool  # noqa: E402
+
+#: Re-exported: the guarded set and default threshold are defined once
+#: in repro.benchtool.
+GUARDED = benchtool.GUARDED
+DEFAULT_MAX_REGRESSION = benchtool.DEFAULT_MAX_REGRESSION
 
 
 def check(
@@ -51,29 +41,29 @@ def check(
 ) -> list[tuple[str, float, float, float]]:
     """Regressions beyond the threshold: (name, base_s, fresh_s, ratio)."""
     failures = []
-    fresh_benchmarks = fresh.get("benchmarks", {})
-    base_benchmarks = baseline.get("benchmarks", {})
-    for name in GUARDED:
-        base_entry = base_benchmarks.get(name)
-        fresh_entry = fresh_benchmarks.get(name)
-        if base_entry is None:
-            print(f"  {name}: no committed baseline — skipped")
+    for row in benchtool.compare(fresh, baseline):
+        if not row.guarded:
             continue
-        if fresh_entry is None:
+        if row.base_median_s is None:
+            print(f"  {row.name}: no committed baseline — skipped")
+            continue
+        if row.fresh_median_s is None:
             # A guarded benchmark that silently vanished is itself a
             # regression: fail loudly instead of green-lighting.
-            failures.append((name, base_entry["median_s"], float("nan"), float("nan")))
+            failures.append(
+                (row.name, row.base_median_s, float("nan"), float("nan"))
+            )
             continue
-        base_median = base_entry["median_s"]
-        fresh_median = fresh_entry["median_s"]
-        ratio = fresh_median / base_median if base_median > 0 else float("inf")
-        verdict = "FAIL" if ratio > max_regression else "ok"
+        ratio = row.ratio
+        verdict = "FAIL" if row.fails(max_regression) else "ok"
         print(
-            f"  {name}: baseline {base_median * 1000:.3f}ms → "
-            f"fresh {fresh_median * 1000:.3f}ms ({ratio:.2f}x) {verdict}"
+            f"  {row.name}: baseline {row.base_median_s * 1000:.3f}ms → "
+            f"fresh {row.fresh_median_s * 1000:.3f}ms ({ratio:.2f}x) {verdict}"
         )
-        if ratio > max_regression:
-            failures.append((name, base_median, fresh_median, ratio))
+        if row.fails(max_regression):
+            failures.append(
+                (row.name, row.base_median_s, row.fresh_median_s, ratio)
+            )
     return failures
 
 
@@ -90,7 +80,8 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression",
         type=float,
         default=DEFAULT_MAX_REGRESSION,
-        help="maximum allowed fresh/baseline median ratio (default 1.25)",
+        help=f"maximum allowed fresh/baseline median ratio "
+        f"(default {DEFAULT_MAX_REGRESSION})",
     )
     args = parser.parse_args(argv)
     fresh = json.loads(args.fresh.read_text())

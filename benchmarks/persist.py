@@ -3,9 +3,13 @@
 Runs ``benchmarks/test_bench_synthesis_micro.py`` under pytest-benchmark
 and distills the results into ``BENCH_synthesis_micro.json`` at the repo
 root: one entry per micro-benchmark (median/mean/stddev seconds, round
-count) plus derived indexed-vs-reference speedup ratios.  Committing the
-artifact tracks the perf trajectory across PRs the same way
-EXPERIMENTS-style JSON artifacts track accuracy.
+count) plus derived speedup ratios.  Committing the artifact tracks the
+perf trajectory across PRs the same way EXPERIMENTS-style JSON artifacts
+track accuracy.
+
+The measurement/summary machinery lives in :mod:`repro.benchtool`
+(shared with ``check_regression.py`` and the ``repro bench`` CLI
+subcommand); this script is the thin writer kept for muscle memory.
 
 Usage::
 
@@ -16,102 +20,21 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "test_bench_synthesis_micro.py"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_synthesis_micro.json"
 
-# The generic artifact helpers are shared with repro.experiments.persist
-# and repro.core.artifact (see src/repro/persist.py); this script runs
-# from the repo root, so put src on the path before importing them.
+# This script runs from the repo root; put src on the path before
+# importing the shared tooling.
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.persist import tagged_payload, write_artifact  # noqa: E402
+from repro import benchtool  # noqa: E402
 
-#: (fast, slow) benchmark pairs whose ratio is reported as a speedup.
-SPEEDUP_PAIRS = (
-    ("test_bench_eval_locator", "test_bench_eval_locator_reference"),
-    ("test_bench_eval_locator_cold", "test_bench_eval_locator_reference"),
-    ("test_bench_full_synthesis", "test_bench_full_synthesis_reference"),
-    ("test_bench_full_synthesis_cold", "test_bench_full_synthesis_reference"),
-    # Session reuse: warm refit (add one example to a fitted session) and
-    # no-change re-synthesis, both against a fresh full synthesis of the
-    # same final example set.
-    ("test_bench_session_refit_warm", "test_bench_session_refit_fresh"),
-    ("test_bench_session_resynthesize", "test_bench_session_refit_fresh"),
-    # Vectorized planes: batched keyword scoring of a whole page vs the
-    # per-text scalar loop, both from cold matcher caches.
-    (
-        "test_bench_keyword_similarity_batch_cold",
-        "test_bench_keyword_similarity_scalar_cold",
-    ),
-    # Serving: thread fan-out vs sequential compiled predict.
-    ("test_bench_predict_batch", "test_bench_predict"),
-    # Artifact serving: the QAService warm batch path vs bare
-    # predict_batch on the same pages — the *service tax* ratio, which
-    # must stay within 10% of 1.0 (in practice it lands above 1.0: the
-    # service's persistent pool beats predict_batch's per-call pool
-    # construction) — and the warm cache vs cold-ingest win.
-    ("test_bench_serve_warm_batch", "test_bench_predict_batch"),
-    ("test_bench_serve_warm_batch", "test_bench_serve_cold"),
-)
-
-
-def run_benchmarks(raw_json: Path) -> None:
-    """Run the micro-benchmark suite, writing pytest-benchmark JSON."""
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        str(BENCH_FILE),
-        "-q",
-        f"--benchmark-json={raw_json}",
-    ]
-    src = str(REPO_ROOT / "src")
-    inherited = os.environ.get("PYTHONPATH")
-    env = {
-        **os.environ,
-        "PYTHONPATH": f"{src}{os.pathsep}{inherited}" if inherited else src,
-    }
-    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
-    if result.returncode != 0:
-        raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
-
-
-def summarize(raw: dict) -> dict:
-    """Distill pytest-benchmark JSON into the committed artifact shape."""
-    timings = {}
-    for bench in raw.get("benchmarks", []):
-        stats = bench["stats"]
-        timings[bench["name"]] = {
-            "median_s": stats["median"],
-            "mean_s": stats["mean"],
-            "stddev_s": stats["stddev"],
-            "rounds": stats["rounds"],
-        }
-    speedups = {}
-    for fast, slow in SPEEDUP_PAIRS:
-        if fast in timings and slow in timings and timings[fast]["median_s"] > 0:
-            speedups[f"{slow}/{fast}"] = round(
-                timings[slow]["median_s"] / timings[fast]["median_s"], 2
-            )
-    return tagged_payload(
-        "suite",
-        "synthesis_micro",
-        config={
-            key: raw.get("machine_info", {}).get(key)
-            for key in ("node", "processor", "python_version")
-        },
-        timestamp=raw.get("datetime", ""),
-        benchmarks=timings,
-        median_speedups=speedups,
-    )
+#: Re-exported for compatibility with older tooling imports.
+SPEEDUP_PAIRS = benchtool.SPEEDUP_PAIRS
+summarize = benchtool.summarize
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -123,12 +46,7 @@ def main(argv: list[str] | None = None) -> None:
         help="where to write the summarized artifact",
     )
     args = parser.parse_args(argv)
-    with tempfile.TemporaryDirectory() as tmp:
-        raw_json = Path(tmp) / "raw.json"
-        run_benchmarks(raw_json)
-        raw = json.loads(raw_json.read_text())
-    artifact = summarize(raw)
-    write_artifact(str(args.output), artifact, sort_keys=True)
+    artifact = benchtool.measure(output=args.output, repo_root=REPO_ROOT)
     print(f"wrote {args.output}")
     for name, ratio in artifact["median_speedups"].items():
         print(f"  {name}: {ratio}x")

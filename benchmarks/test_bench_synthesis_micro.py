@@ -24,7 +24,7 @@ from repro.synthesis import (
     synthesize_branch,
 )
 from repro.synthesis.config import SynthesisConfig
-from repro.dsl.productions import ProductionConfig
+from repro.dsl.productions import ProductionConfig, fine_thresholds
 from repro.webtree import build_tree
 
 MODELS = NlpModels()
@@ -195,6 +195,55 @@ def test_bench_branch_synthesis(benchmark):
 
     space = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=0)
     assert space.f1 > 0
+
+
+def test_bench_branch_synthesis_sequential(benchmark):
+    # The per-candidate scalar schedule (frontier=False): the oracle the
+    # frontier engine is differentially pinned against, timed so the
+    # artifact tracks the frontier win as a median ratio.
+    config = replace(SMALL, frontier=False)
+
+    def run():
+        PAGE.invalidate_index()
+        contexts = TaskContexts(QUESTION, KEYWORDS, MODELS)
+        return synthesize_branch(
+            [LabeledExample(PAGE, GOLD)], [], contexts, config
+        )
+
+    space = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=0)
+    assert space.f1 > 0
+
+
+# -- frontier guard sweep: one GenGuards family, fine threshold grid ----------
+#
+# The workload the classify_guard_frontier kernel exists for: the paper's
+# 0.05-step matchKeyword threshold grid makes GenGuards emit a ~25-guard
+# family over one locator; the frontier classifies the whole family with
+# one locator evaluation and one scoring pass per page.  Page caches are
+# dropped per round (cold, like branch synthesis); MODELS keeps its memos.
+
+_SWEEP_PRODUCTIONS = ProductionConfig(
+    keyword_thresholds=fine_thresholds(0.05),
+    entity_labels=("PERSON", "ORG", "DATE"),
+)
+_SWEEP_LOCATOR = ast.GetDescendants(ast.GetRoot(), ast.IsLeaf())
+
+
+def test_bench_frontier_guard_sweep(benchmark):
+    from repro.dsl.productions import gen_guards
+
+    family = list(gen_guards(_SWEEP_LOCATOR, _SWEEP_PRODUCTIONS))
+    positives = [LabeledExample(PAGE, GOLD)]
+    negatives = [LabeledExample(PAGE2, GOLD2)]
+
+    def run():
+        PAGE.invalidate_index()
+        PAGE2.invalidate_index()
+        contexts = TaskContexts(QUESTION, KEYWORDS, MODELS)
+        return contexts.classify_guard_frontier(family, positives, negatives)
+
+    verdicts = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    assert len(verdicts) == len(family)
 
 
 def test_bench_full_synthesis(benchmark):

@@ -1,0 +1,289 @@
+"""Shared benchmark-artifact tooling.
+
+One home for the machinery three entry points share:
+
+* ``benchmarks/persist.py`` — measure the micro suite and write the
+  committed ``BENCH_synthesis_micro.json`` artifact;
+* ``benchmarks/check_regression.py`` — the CI regression gate over the
+  :data:`GUARDED` medians;
+* ``python -m repro.cli bench`` — measure (or load) a fresh artifact,
+  print a per-benchmark delta table against a baseline, and exit
+  non-zero when a guarded benchmark regressed (what the CI
+  ``bench-regression`` job runs, and the local one-liner for checking a
+  perf change before pushing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .persist import tagged_payload, write_artifact
+
+#: Benchmarks whose median gates CI.  They are the headline perf
+#: invariants: branch synthesis and the frontier guard sweep (the
+#: synthesis engine), cold indexed locator evaluation (the eval engine),
+#: whole-pipeline synthesis warm + cold (the full Figure 7 stack), and
+#: the QAService warm batch path (the serving stack).
+GUARDED = (
+    "test_bench_branch_synthesis",
+    "test_bench_frontier_guard_sweep",
+    "test_bench_eval_locator_cold",
+    "test_bench_full_synthesis",
+    "test_bench_full_synthesis_cold",
+    "test_bench_serve_warm_batch",
+)
+
+#: A guarded median may grow at most this factor over the baseline.
+#: Cross-machine absolute times are noisy, so the threshold is
+#: deliberately loose and guards *relative catastrophes* (a disabled
+#: cache, a quadratic loop), not scheduling jitter.
+DEFAULT_MAX_REGRESSION = 1.25
+
+#: (fast, slow) benchmark pairs whose ratio is reported as a speedup.
+SPEEDUP_PAIRS = (
+    ("test_bench_eval_locator", "test_bench_eval_locator_reference"),
+    ("test_bench_eval_locator_cold", "test_bench_eval_locator_reference"),
+    ("test_bench_full_synthesis", "test_bench_full_synthesis_reference"),
+    ("test_bench_full_synthesis_cold", "test_bench_full_synthesis_reference"),
+    # Session reuse: warm refit (add one example to a fitted session) and
+    # no-change re-synthesis, both against a fresh full synthesis of the
+    # same final example set.
+    ("test_bench_session_refit_warm", "test_bench_session_refit_fresh"),
+    ("test_bench_session_resynthesize", "test_bench_session_refit_fresh"),
+    # Vectorized planes: batched keyword scoring of a whole page vs the
+    # per-text scalar loop, both from cold matcher caches.
+    (
+        "test_bench_keyword_similarity_batch_cold",
+        "test_bench_keyword_similarity_scalar_cold",
+    ),
+    # Frontier search: whole-family evaluation vs the per-candidate
+    # scalar schedule (same results by construction).
+    ("test_bench_branch_synthesis", "test_bench_branch_synthesis_sequential"),
+    # Serving: thread fan-out vs sequential compiled predict.
+    ("test_bench_predict_batch", "test_bench_predict"),
+    # Artifact serving: the QAService warm batch path vs bare
+    # predict_batch on the same pages — the *service tax* ratio — and
+    # the warm cache vs cold-ingest win.
+    ("test_bench_serve_warm_batch", "test_bench_predict_batch"),
+    ("test_bench_serve_warm_batch", "test_bench_serve_cold"),
+)
+
+#: Path fragments that locate the micro-benchmark suite from a repo root.
+MICRO_BENCH = Path("benchmarks") / "test_bench_synthesis_micro.py"
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Walk up from ``start`` (default cwd) to the repo root.
+
+    The root is recognized by the presence of the micro-benchmark file;
+    raises ``FileNotFoundError`` when no ancestor qualifies (the bench
+    tooling only makes sense inside a source checkout).
+    """
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / MICRO_BENCH).is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no repo root with {MICRO_BENCH} above {current}; "
+        "run from inside the repository"
+    )
+
+
+def _pytest_env(repo_root: Path) -> dict:
+    src = str(repo_root / "src")
+    inherited = os.environ.get("PYTHONPATH")
+    return {
+        **os.environ,
+        "PYTHONPATH": f"{src}{os.pathsep}{inherited}" if inherited else src,
+    }
+
+
+def run_benchmarks(raw_json: Path, repo_root: Path | None = None) -> None:
+    """Run the micro-benchmark suite, writing pytest-benchmark JSON."""
+    repo_root = repo_root or find_repo_root()
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(repo_root / MICRO_BENCH),
+        "-q",
+        f"--benchmark-json={raw_json}",
+    ]
+    result = subprocess.run(command, cwd=repo_root, env=_pytest_env(repo_root))
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
+
+
+def run_smoke(repo_root: Path | None = None) -> int:
+    """One-round smoke run of the non-micro benchmark files.
+
+    The CI ``benchmarks`` job's sanity pass: every experiment-scale
+    benchmark must still execute, with warmup off and a single round so
+    the job stays fast.  Returns the pytest exit code.
+    """
+    repo_root = repo_root or find_repo_root()
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(repo_root / "benchmarks"),
+        "-q",
+        f"--ignore={repo_root / MICRO_BENCH}",
+        "--benchmark-warmup=off",
+        "--benchmark-min-rounds=1",
+    ]
+    return subprocess.run(
+        command, cwd=repo_root, env=_pytest_env(repo_root)
+    ).returncode
+
+
+def summarize(raw: dict) -> dict:
+    """Distill pytest-benchmark JSON into the committed artifact shape."""
+    timings = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        timings[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    speedups = {}
+    for fast, slow in SPEEDUP_PAIRS:
+        if fast in timings and slow in timings and timings[fast]["median_s"] > 0:
+            speedups[f"{slow}/{fast}"] = round(
+                timings[slow]["median_s"] / timings[fast]["median_s"], 2
+            )
+    return tagged_payload(
+        "suite",
+        "synthesis_micro",
+        config={
+            key: raw.get("machine_info", {}).get(key)
+            for key in ("node", "processor", "python_version")
+        },
+        timestamp=raw.get("datetime", ""),
+        benchmarks=timings,
+        median_speedups=speedups,
+    )
+
+
+def measure(
+    output: Path | None = None, repo_root: Path | None = None
+) -> dict:
+    """Run the micro suite and return (and optionally write) the artifact."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "raw.json"
+        run_benchmarks(raw_json, repo_root)
+        raw = json.loads(raw_json.read_text())
+    artifact = summarize(raw)
+    if output is not None:
+        write_artifact(str(output), artifact, sort_keys=True)
+    return artifact
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One benchmark's baseline-vs-fresh comparison."""
+
+    name: str
+    base_median_s: float | None
+    fresh_median_s: float | None
+    guarded: bool
+
+    @property
+    def ratio(self) -> float | None:
+        if self.base_median_s is None or self.fresh_median_s is None:
+            return None
+        if self.base_median_s <= 0:
+            # A zero/negative baseline median can't be divided by; treat
+            # any measurable fresh time as an infinite regression so the
+            # gate fails loudly instead of passing on corrupt data.
+            return float("inf") if self.fresh_median_s > 0 else 1.0
+        return self.fresh_median_s / self.base_median_s
+
+    def verdict(self, max_regression: float) -> str:
+        if self.base_median_s is None:
+            return "new"
+        if self.fresh_median_s is None:
+            return "MISSING" if self.guarded else "missing"
+        if not self.guarded:
+            return ""
+        ratio = self.ratio
+        return "FAIL" if ratio is not None and ratio > max_regression else "ok"
+
+    def fails(self, max_regression: float) -> bool:
+        """True when this row blocks the gate (guarded rows only)."""
+        if not self.guarded:
+            return False
+        if self.base_median_s is None:
+            return False  # no committed baseline yet: tracked, not gated
+        if self.fresh_median_s is None:
+            return True  # a guarded benchmark that vanished is a failure
+        ratio = self.ratio
+        return ratio is not None and ratio > max_regression
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    guarded: Sequence[str] = GUARDED,
+) -> list[CompareRow]:
+    """Per-benchmark comparison rows over the union of both artifacts."""
+    fresh_benchmarks = fresh.get("benchmarks", {})
+    base_benchmarks = baseline.get("benchmarks", {})
+    names = list(
+        dict.fromkeys([*base_benchmarks.keys(), *fresh_benchmarks.keys()])
+    )
+    guarded_set = set(guarded)
+    rows = []
+    for name in sorted(names):
+        base_entry = base_benchmarks.get(name)
+        fresh_entry = fresh_benchmarks.get(name)
+        rows.append(
+            CompareRow(
+                name=name,
+                base_median_s=(
+                    base_entry["median_s"] if base_entry is not None else None
+                ),
+                fresh_median_s=(
+                    fresh_entry["median_s"] if fresh_entry is not None else None
+                ),
+                guarded=name in guarded_set,
+            )
+        )
+    return rows
+
+
+def format_compare(
+    rows: Sequence[CompareRow], max_regression: float = DEFAULT_MAX_REGRESSION
+) -> str:
+    """The human-readable delta table of ``compare`` rows."""
+
+    def ms(value: float | None) -> str:
+        return f"{value * 1000:10.3f}" if value is not None else "         —"
+
+    lines = [
+        f"{'benchmark':44s} {'base ms':>10s} {'fresh ms':>10s} "
+        f"{'ratio':>7s}  gate"
+    ]
+    for row in rows:
+        ratio = row.ratio
+        ratio_text = f"{ratio:7.2f}" if ratio is not None else "      —"
+        marker = "*" if row.guarded else " "
+        lines.append(
+            f"{row.name:44s} {ms(row.base_median_s)} "
+            f"{ms(row.fresh_median_s)} {ratio_text}  "
+            f"{marker}{row.verdict(max_regression)}"
+        )
+    lines.append(
+        f"(* guarded: median may grow at most {max_regression:.2f}x "
+        "over the baseline)"
+    )
+    return "\n".join(lines)

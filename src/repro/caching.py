@@ -1,0 +1,61 @@
+"""Small shared caching primitives.
+
+The bounded keyed LRU below used to exist as three hand-rolled
+dict-as-LRU copies (``PageIndex.shared_cache``, ``PageIndex.text_plane``
+and the synthesis string-memo tables), each needing its own lock and
+eviction loop; one implementation keeps the locking and recency
+semantics in a single place.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, TypeVar
+
+ValueT = TypeVar("ValueT")
+
+
+class BoundedLru:
+    """A thread-safe, bounded, insertion-ordered LRU table.
+
+    ``get_or_create`` returns the cached value for ``key`` (refreshing
+    its recency), or builds one with ``factory`` and evicts the oldest
+    entries past ``limit``.  An optional ``validate`` predicate rejects
+    stale entries (e.g. an ``id()``-keyed entry whose referent was
+    replaced) and rebuilds them.
+    """
+
+    __slots__ = ("_table", "_limit", "_lock")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._table: dict = {}
+        self._limit = limit
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get_or_create(
+        self,
+        key,
+        factory: Callable[[], ValueT],
+        validate: Callable[[ValueT], bool] | None = None,
+    ) -> ValueT:
+        with self._lock:
+            value = self._table.get(key)
+            if value is not None and (validate is None or validate(value)):
+                # Refresh recency (dicts preserve insertion order).
+                self._table.pop(key)
+                self._table[key] = value
+                return value
+            value = factory()
+            self._table[key] = value
+            while len(self._table) > self._limit:
+                self._table.pop(next(iter(self._table)))
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()

@@ -42,6 +42,12 @@ Answers are printed one page per line as tab-separated values.  Both
 worker-thread pool (useful once evaluation overlaps I/O or GIL-free
 model backends; pure-Python evaluation is GIL-bound); outputs are
 identical for any jobs count.
+
+Benchmark tooling: measure the micro suite, print a per-benchmark delta
+table against the committed baseline, and gate the guarded medians (the
+CI bench-regression job in one command)::
+
+    python -m repro.cli bench --compare BENCH_synthesis_micro.json
 """
 
 from __future__ import annotations
@@ -248,6 +254,62 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the micro-benchmark suite and/or gate it against a baseline.
+
+    ``repro bench --compare BENCH_synthesis_micro.json`` is the CI
+    bench-regression job in one command: measure fresh medians, print
+    the per-benchmark delta table (guarded rows marked ``*``), and exit
+    non-zero when a guarded median regressed beyond the threshold.
+    ``--fresh`` skips measuring and compares an existing artifact;
+    ``--smoke`` runs the non-micro benchmark files once (the sanity pass
+    of the CI ``benchmarks`` job) instead.
+    """
+    import json as json_module
+
+    from . import benchtool
+
+    if args.smoke:
+        return benchtool.run_smoke()
+    # Read the baseline before measuring: --output may legitimately
+    # point at the baseline file (regenerating the committed artifact).
+    baseline = (
+        json_module.loads(args.compare.read_text())
+        if args.compare is not None
+        else None
+    )
+    if args.fresh is not None:
+        fresh = json_module.loads(args.fresh.read_text())
+        print(f"loaded fresh artifact: {args.fresh}")
+    else:
+        fresh = benchtool.measure(output=args.output)
+        if args.output is not None:
+            print(f"wrote {args.output}")
+        for name, ratio in fresh.get("median_speedups", {}).items():
+            print(f"  {name}: {ratio}x")
+    if baseline is None:
+        return 0
+    rows = benchtool.compare(fresh, baseline)
+    print(f"delta vs baseline {args.compare}:")
+    print(benchtool.format_compare(rows, args.max_regression))
+    failures = [row for row in rows if row.fails(args.max_regression)]
+    if failures:
+        for row in failures:
+            ratio = row.ratio
+            print(
+                f"REGRESSION: {row.name} "
+                + (
+                    f"({ratio:.2f}x over baseline)"
+                    if ratio is not None
+                    else "(guarded benchmark missing from fresh run)"
+                ),
+                file=sys.stderr,
+            )
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
@@ -338,6 +400,39 @@ def build_parser() -> argparse.ArgumentParser:
                              help="micro-batch size cap")
     serve_bench.add_argument("pages", nargs="+", help=".html files to serve")
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    from pathlib import Path
+
+    from .benchtool import DEFAULT_MAX_REGRESSION
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the micro-benchmark suite and gate it vs a baseline",
+    )
+    bench.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="baseline artifact to print a delta table against "
+        "(e.g. BENCH_synthesis_micro.json); guarded regressions exit 1",
+    )
+    bench.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the freshly measured artifact here",
+    )
+    bench.add_argument(
+        "--fresh", type=Path, default=None,
+        help="use this existing artifact instead of measuring",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help=f"maximum allowed fresh/baseline median ratio for guarded "
+        f"benchmarks (default {DEFAULT_MAX_REGRESSION})",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="run the non-micro benchmark files once (CI sanity pass) "
+        "and exit",
+    )
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

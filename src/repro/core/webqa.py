@@ -239,6 +239,7 @@ class WebQA(ExtractionTool):
                 partitions_explored=stats.partitions_explored,
                 guards_tried=stats.guards_tried,
                 extractors_evaluated=stats.extractors_evaluated,
+                extractor_dedup_hits=stats.extractor_dedup_hits,
                 blocks_synthesized=stats.blocks_synthesized,
                 blocks_reused=stats.blocks_reused,
             )

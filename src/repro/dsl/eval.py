@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
+from typing import Sequence
 
 from ..nlp.models import NlpModels
 from ..webtree.index import PageIndex, iter_ranks
@@ -92,8 +93,17 @@ class EvalContext:
         self.keywords = tuple(keywords)
         self.models = models
         self._locator_cache: dict[ast.Locator, NodeSet] = {}
-        self._extractor_cache: dict[tuple[ast.Extractor, NodeSet], Answer] = {}
+        #: Two-level memo: node set -> {extractor -> answer}.  The outer
+        #: probe hashes the (potentially long) node tuple once per call
+        #: site; inner probes hash only the extractor, whose structural
+        #: hash is cached — the layout the frontier kernels rely on to
+        #: probe whole sibling families cheaply.
+        self._extractor_cache: dict[NodeSet, dict[ast.Extractor, Answer]] = {}
         self._pred_cache: dict[tuple[ast.NlpPred, str], bool] = {}
+        #: locator -> best keyword similarity over located texts (the
+        #: Sat/matchKeyword guard sweep; page-scoped on the indexed
+        #: engine, per-context here).
+        self._kw_guard_best: dict[ast.Locator, float] = {}
 
     #: Engine name, for introspection and config round-trips.
     engine_name = "abstract"
@@ -161,6 +171,29 @@ class EvalContext:
     def _eval_locator_uncached(self, locator: ast.Locator) -> NodeSet:
         raise NotImplementedError  # engine-specific
 
+    def signature_key(self, locator: ast.Locator):
+        """This page's behaviour key for ``locator``.
+
+        Two locators get equal keys iff they locate the same node set on
+        this page.  The reference engine uses the document-ordered
+        node-id tuple; the indexed engine overrides this with the rank
+        bitset it computes anyway, skipping node materialization.  Keys
+        are opaque to callers (dedup/memo identity only) and
+        representation is uniform per engine, so dedup decisions are
+        identical across engines.
+        """
+        return tuple(node.node_id for node in self.eval_locator(locator))
+
+    def locator_frontier_keys(
+        self, parent: ast.Locator, extensions: Sequence[ast.Locator]
+    ) -> list:
+        """:meth:`signature_key` for every one-step extension of ``parent``.
+
+        The indexed engine overrides this to materialize the shared
+        parent candidate set once for the whole sibling filter family.
+        """
+        return [self.signature_key(extension) for extension in extensions]
+
     # -- guards ψ --------------------------------------------------------------
 
     def eval_guard(self, guard: ast.Guard) -> tuple[bool, NodeSet]:
@@ -173,14 +206,85 @@ class EvalContext:
             return fired, nodes
         raise TypeError(f"unknown guard: {guard!r}")
 
+    def eval_guards_fired(self, guards: Sequence[ast.Guard]) -> list[bool]:
+        """Whether each guard fires on this page, frontier-batched.
+
+        Bit-identical to ``[self.eval_guard(g)[0] for g in guards]``.
+        Sibling ``Sat``/``matchKeyword`` guards over one locator (the
+        ``GenGuards`` threshold family) collapse to a single
+        threshold-sweep over the located node texts
+        (:meth:`~repro.nlp.models.NlpModels.match_keyword_thresholds`);
+        noise-aware bundles override that kernel, so the collapse is
+        safe for every model bundle, not just the pure one.
+        """
+        results: list[bool] = [False] * len(guards)
+        sweeps: dict[ast.Locator, list[tuple[int, float]]] = {}
+        nodes_of: dict[ast.Locator, NodeSet] = {}
+        for i, guard in enumerate(guards):
+            locator = guard.locator
+            nodes = nodes_of.get(locator)
+            if nodes is None:
+                nodes = nodes_of[locator] = self.eval_locator(locator)
+            if isinstance(guard, ast.IsSingleton):
+                results[i] = len(nodes) == 1
+            elif isinstance(guard, ast.Sat):
+                pred = guard.pred
+                if isinstance(pred, ast.MatchKeyword) and nodes:
+                    sweeps.setdefault(locator, []).append(
+                        (i, pred.threshold)
+                    )
+                else:
+                    results[i] = any(
+                        self.eval_pred(pred, node.text) for node in nodes
+                    )
+            else:
+                raise TypeError(f"unknown guard: {guard!r}")
+        if sweeps:
+            pure = getattr(self.models, "batch_keyword_planes", False)
+            for locator, members in sweeps.items():
+                if pure:
+                    # any(sim >= t) == (max sim >= t): one scoring pass
+                    # and one float compare per threshold.  Valid only
+                    # when match_keyword is a pure threshold over the
+                    # similarity (the plane gate).
+                    best = self._kw_guard_best.get(locator)
+                    if best is None:
+                        best = float(
+                            self.models.keyword_similarity_batch(
+                                [node.text for node in nodes_of[locator]],
+                                self.keywords,
+                            ).max()
+                        )
+                        self._kw_guard_best[locator] = best
+                    for i, threshold in members:
+                        results[i] = best >= threshold
+                else:
+                    table = self.models.match_keyword_thresholds(
+                        [node.text for node in nodes_of[locator]],
+                        self.keywords,
+                        [threshold for _, threshold in members],
+                    )
+                    fired = table.any(axis=0)
+                    for (i, _), value in zip(members, fired):
+                        results[i] = bool(value)
+        return results
+
     # -- extractors e ----------------------------------------------------------
 
+    def extractor_memo(self, nodes: NodeSet) -> dict:
+        """The per-node-set extractor memo table (created on demand)."""
+        memo = self._extractor_cache.get(nodes)
+        if memo is None:
+            memo = {}
+            self._extractor_cache[nodes] = memo
+        return memo
+
     def eval_extractor(self, extractor: ast.Extractor, nodes: NodeSet) -> Answer:
-        key = (extractor, nodes)
-        cached = self._extractor_cache.get(key)
+        memo = self.extractor_memo(nodes)
+        cached = memo.get(extractor)
         if cached is None:
             cached = self._eval_extractor_uncached(extractor, nodes)
-            self._extractor_cache[key] = cached
+            memo[extractor] = cached
         return cached
 
     def _eval_extractor_uncached(
@@ -352,6 +456,7 @@ class IndexedEvalContext(EvalContext):
         self._extractor_cache = shared.extractor_cache
         self._mask_cache = shared.locator_masks
         self._filter_bitsets = shared.filter_bitsets
+        self._kw_guard_best = shared.kw_guard_best
 
     # -- locators as bitsets ---------------------------------------------------
 
@@ -382,6 +487,97 @@ class IndexedEvalContext(EvalContext):
                 candidates |= index.descendants_mask(rank)
             return self.filter_mask(locator.node_filter, candidates)
         raise TypeError(f"unknown locator: {locator!r}")
+
+    def signature_key(self, locator: ast.Locator) -> int:
+        """The rank bitset *is* the behaviour key on this engine.
+
+        Ranks and node ids are in bijection on one page, so mask
+        equality is node-set equality — the same dedup decisions as the
+        reference engine's id tuples, with no node materialization.
+        """
+        return self.locator_mask(locator)
+
+    def locator_frontier_keys(
+        self, parent: ast.Locator, extensions: Sequence[ast.Locator]
+    ) -> list[int]:
+        """Sibling locator extensions over one shared candidate set.
+
+        ``expand_locator`` emits ``GetChildren``/``GetDescendants`` of
+        the same parent under every node filter; the scalar path
+        re-unions the parent's child/descendant masks once *per filter*.
+        Here each candidate union is built once per production kind and
+        every family filter reduces it — with the ``matchText`` /
+        ``matchKeyword`` plane masks for the whole threshold family
+        prefilled in one broadcast (:meth:`TextPlane.match_masks`).
+        Every mask written to the memo tables is bit-identical to the
+        scalar path's; node tuples are *not* materialized here — pruned
+        or duplicate extensions never pay for one.
+        """
+        results: list[int] = [0] * len(extensions)
+        pending: list[int] = []
+        for i, extension in enumerate(extensions):
+            cached = self._mask_cache.get(extension)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+        if not pending:
+            return results
+        self._prefill_match_planes(
+            [
+                extensions[i].node_filter
+                for i in pending
+                if isinstance(
+                    extensions[i], (ast.GetChildren, ast.GetDescendants)
+                )
+            ]
+        )
+        index = self._index
+        candidate_masks: dict[type, int] = {}
+        for i in pending:
+            extension = extensions[i]
+            kind = type(extension)
+            if (
+                kind not in (ast.GetChildren, ast.GetDescendants)
+                or extension.source != parent
+            ):
+                results[i] = self.locator_mask(extension)
+                continue
+            candidates = candidate_masks.get(kind)
+            if candidates is None:
+                candidates = 0
+                if kind is ast.GetChildren:
+                    children_mask = index.children_mask
+                    for rank in iter_ranks(self.locator_mask(parent)):
+                        candidates |= children_mask[rank]
+                else:
+                    for rank in iter_ranks(self.locator_mask(parent)):
+                        candidates |= index.descendants_mask(rank)
+                candidate_masks[kind] = candidates
+            mask = self.filter_mask(extension.node_filter, candidates)
+            self._mask_cache[extension] = mask
+            results[i] = mask
+        return results
+
+    def _prefill_match_planes(
+        self, filters: Sequence[ast.NodeFilter]
+    ) -> None:
+        """Warm the plane masks a ``matchText`` filter family will need."""
+        if not getattr(self.models, "batch_keyword_planes", False):
+            return
+        wanted: dict[bool, list[float]] = {}
+        for node_filter in filters:
+            if isinstance(node_filter, ast.MatchText) and isinstance(
+                node_filter.pred, ast.MatchKeyword
+            ):
+                wanted.setdefault(node_filter.whole_subtree, []).append(
+                    node_filter.pred.threshold
+                )
+        if not wanted:
+            return
+        plane = self._index.text_plane(self.models)
+        for whole_subtree, thresholds in wanted.items():
+            plane.match_masks(self.keywords, thresholds, whole_subtree)
 
     # -- filters as bitsets ----------------------------------------------------
 
@@ -442,7 +638,9 @@ class IndexedEvalContext(EvalContext):
                 # Publish the result before the evaluated mask: a
                 # concurrent thread sharing this page-scoped state must
                 # never observe ranks marked decided with no match bits
-                # yet (it would return a wrong empty mask).
+                # yet (it would return a wrong empty mask).  Whole-plane
+                # assignments are idempotent (every thread computes the
+                # same full masks), so no lock is needed on this path.
                 state[1] = matched
                 state[0] = index.all_mask
             else:
@@ -452,8 +650,15 @@ class IndexedEvalContext(EvalContext):
                     text = index.subtree_text(rank) if whole else texts[rank]
                     if self.eval_pred(pred, text):
                         matched |= 1 << rank
-                state[1] |= matched  # results first — see plane path above
-                state[0] |= pending
+                # The |= merges are read-modify-write on page-shared
+                # state: two block-synthesis worker threads merging
+                # disjoint pending sets would otherwise lose updates
+                # (and worse, mark ranks decided with their match bits
+                # dropped).  Serialize the merge; the computed bits are
+                # deterministic, so double-computation is harmless.
+                with index._cache_lock:
+                    state[1] |= matched  # results first — see plane path
+                    state[0] |= pending
         return candidates & state[1]
 
     # -- single-node filter queries reuse the bitsets --------------------------

@@ -124,9 +124,18 @@ def _guard_pred_pool(config: ProductionConfig) -> tuple[ast.NlpPred, ...]:
     return tuple(ast.intern(p) for p in config.guard_preds())
 
 
+# The three expansion functions below are lru-cached on the (interned,
+# cached-hash) parent term and the frozen config: the frontier search
+# re-expands the same parents constantly — across branch blocks, refits
+# and benchmark rounds — and re-interning a whole sibling family costs a
+# structural hash per candidate.  Families are returned as tuples so the
+# cached value is immutable.
+
+
+@lru_cache(maxsize=131072)
 def expand_extractor(
     extractor: ast.Extractor, config: ProductionConfig
-) -> list[ast.Extractor]:
+) -> tuple[ast.Extractor, ...]:
     """All one-step extensions of a complete extractor (``ApplyProduction``).
 
     Monotonicity note (Section 5): every returned extractor is built *on
@@ -143,22 +152,28 @@ def expand_extractor(
         extensions.extend(
             ast.intern(ast.Substring(extractor, pred, k)) for k in config.substring_ks
         )
-    return extensions
+    return tuple(extensions)
 
 
-def expand_locator(locator: ast.Locator, config: ProductionConfig) -> list[ast.Locator]:
+@lru_cache(maxsize=131072)
+def expand_locator(
+    locator: ast.Locator, config: ProductionConfig
+) -> tuple[ast.Locator, ...]:
     """All one-step extensions of a complete section locator."""
     extensions: list[ast.Locator] = []
     for node_filter in _node_filter_pool(config):
         extensions.append(ast.intern(ast.GetChildren(locator, node_filter)))
         extensions.append(ast.intern(ast.GetDescendants(locator, node_filter)))
-    return extensions
+    return tuple(extensions)
 
 
-def gen_guards(locator: ast.Locator, config: ProductionConfig) -> list[ast.Guard]:
+@lru_cache(maxsize=131072)
+def gen_guards(
+    locator: ast.Locator, config: ProductionConfig
+) -> tuple[ast.Guard, ...]:
     """All guards over one section locator (``GenGuards``, Figure 10)."""
     guards: list[ast.Guard] = [ast.intern(ast.IsSingleton(locator))]
     guards.extend(
         ast.intern(ast.Sat(locator, pred)) for pred in _guard_pred_pool(config)
     )
-    return guards
+    return tuple(guards)

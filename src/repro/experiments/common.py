@@ -91,13 +91,19 @@ def clear_process_caches() -> None:
     never affected — the caches memoize pure functions.
     """
     from ..dsl.eval import _segments
+    from ..dsl.productions import expand_extractor, expand_locator, gen_guards
     from ..metrics.tokens import _string_tokens, _token_prf_cached
     from ..nlp.ner import _extract_entities_cached
+    from ..synthesis.examples import _string_memo_cache
 
     _extract_entities_cached.cache_clear()
     _token_prf_cached.cache_clear()
     _string_tokens.cache_clear()
     _segments.cache_clear()
+    expand_extractor.cache_clear()
+    expand_locator.cache_clear()
+    gen_guards.cache_clear()
+    _string_memo_cache.clear()
 
 
 def evaluate_tool(

@@ -176,6 +176,29 @@ class NlpModels:
         """
         return self.keyword_similarity_batch(texts, keywords) >= threshold
 
+    def match_keyword_thresholds(
+        self,
+        texts: Sequence[str],
+        keywords: tuple[str, ...],
+        thresholds: Sequence[float],
+    ) -> np.ndarray:
+        """The threshold-sweep kernel: ``match_keyword`` for a whole grid.
+
+        Returns a ``(len(texts), len(thresholds))`` boolean table where
+        entry ``(i, j)`` equals ``match_keyword(texts[i], keywords,
+        thresholds[j])``.  One scoring pass serves every threshold — the
+        frontier-batched synthesis loops use this to collapse sibling
+        ``matchKeyword`` candidates that differ only in threshold into a
+        single score-vector lookup plus a broadcast compare.  Subclasses
+        with impure boolean predicates must override it (see
+        :class:`repro.nlp.noise.NoisyNlpModels`), keeping the table
+        cell-identical to per-call ``match_keyword``.
+        """
+        if len(texts) == 0 or len(thresholds) == 0:
+            return np.zeros((len(texts), len(thresholds)), dtype=bool)
+        scores = self.keyword_similarity_batch(texts, tuple(keywords))
+        return scores[:, None] >= np.asarray(thresholds, dtype=float)[None, :]
+
     def has_answer(self, text: str, question: str) -> bool:
         """``hasAnswer(z, Q)``: the QA model finds an answer in ``text``."""
         return self.qa.has_answer(text, question)

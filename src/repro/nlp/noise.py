@@ -69,6 +69,18 @@ class NoisyNlpModels(NlpModels):
             dtype=bool,
         )
 
+    def match_keyword_thresholds(self, texts, keywords, thresholds):
+        # The noisy flip depends on the threshold, so the sweep cannot be
+        # a broadcast compare over shared scores; evaluate cell by cell
+        # (each cell identical to the scalar predicate by construction).
+        import numpy as np
+
+        table = np.zeros((len(texts), len(thresholds)), dtype=bool)
+        for i, text in enumerate(texts):
+            for j, threshold in enumerate(thresholds):
+                table[i, j] = self.match_keyword(text, keywords, threshold)
+        return table
+
     def has_answer(self, text, question):
         truth = self._base.has_answer(text, question)
         if self._flip("qa", f"{text}|{question}"):

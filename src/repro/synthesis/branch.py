@@ -46,6 +46,10 @@ class BranchSpace:
     f1: float
     guards_tried: int = 0
     extractors_evaluated: int = 0
+    #: Extractor candidates discarded as observationally equivalent to an
+    #: earlier one (they never consume the candidate budget — see
+    #: :class:`~repro.synthesis.extractors.ExtractorSearchResult`).
+    extractor_dedup_hits: int = 0
 
     def count(self) -> int:
         """Number of distinct branch programs represented."""
@@ -95,18 +99,31 @@ def synthesize_branch(
     memo: dict[tuple, ExtractorSearchResult] = {}
     guards_tried = 0
     extractors_evaluated = 0
+    extractor_dedup_hits = 0
+
+    # GenGuards yields whole families over one locator back to back, so
+    # the locator-level prune bound and the footnote-6 memo key repeat
+    # for consecutive guards; a one-entry cache skips the re-probes.
+    last_locator = None
+    last_bound = 0.0
+    last_memo_key: tuple | None = None
 
     for guard in iter_guards(
         positives, negatives, contexts, config, lambda: state.opt
     ):
         guards_tried += 1
         locator = guard.locator
-        if config.prune:
-            recall = located_content_recall(locator, positives, contexts)
-            bound = upper_bound_from_recall(recall, config.beta)
-            if bound < state.opt - config.f1_tolerance:
-                continue
-        memo_key = locator_signature(locator, positives, contexts)
+        if locator is not last_locator:
+            last_locator = locator
+            last_memo_key = None
+            if config.prune:
+                recall = located_content_recall(locator, positives, contexts)
+                last_bound = upper_bound_from_recall(recall, config.beta)
+        if config.prune and last_bound < state.opt - config.f1_tolerance:
+            continue
+        if last_memo_key is None:
+            last_memo_key = locator_signature(locator, positives, contexts)
+        memo_key = last_memo_key
         if config.decompose and memo_key in memo:
             cached = memo[memo_key]
             # A cached result is conclusive: either its optimum still ties
@@ -120,6 +137,7 @@ def synthesize_branch(
             propagated, pages, contexts, config, lower_bound
         )
         extractors_evaluated += result.evaluated
+        extractor_dedup_hits += result.dedup_hits
         if config.decompose:
             memo[memo_key] = result
         state.update(guard, result, config.f1_tolerance)
@@ -129,4 +147,5 @@ def synthesize_branch(
         f1=state.opt if state.options else 0.0,
         guards_tried=guards_tried,
         extractors_evaluated=extractors_evaluated,
+        extractor_dedup_hits=extractor_dedup_hits,
     )

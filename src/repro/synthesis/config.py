@@ -57,6 +57,24 @@ class SynthesisConfig:
     #: and the differential tests — so this switch exists for A/B
     #: benchmarking and as a fallback oracle.
     engine: str = DEFAULT_ENGINE
+    #: Evaluate whole expansion frontiers per call (the batched kernels
+    #: of ``TaskContexts``; the default) instead of one candidate at a
+    #: time.  Results are bit-identical either way — the scalar mode is
+    #: the differential oracle pinned by
+    #: ``tests/synthesis/test_frontier.py`` — so this switch exists for
+    #: A/B benchmarking and fallback, like ``engine``.
+    frontier: bool = True
+    #: Worker count for block-parallel branch synthesis: independent
+    #: (block, negatives) problems of the partition stream are solved
+    #: concurrently on a persistent :class:`~repro.runtime.TaskRunner`
+    #: pool and merged in deterministic order.  ``1`` (the default)
+    #: keeps the inline sequential loop.
+    jobs: int = 1
+    #: Pool backend for ``jobs > 1``: "thread" shares the session's
+    #: evaluation caches (cheap; the memo tables are idempotent under
+    #: concurrent writes), "process" sidesteps the GIL at the cost of
+    #: pickling examples/models per block and starting cold per worker.
+    runner_backend: str = "thread"
 
     def with_productions(self, productions: ProductionConfig) -> "SynthesisConfig":
         return replace(self, productions=productions)

@@ -18,6 +18,17 @@ enumeration loops in :mod:`repro.synthesis.guards` /
 of one per (candidate, page).  Every batch result is bit-identical to
 the page-at-a-time loop it replaces (pinned by
 ``tests/synthesis/test_batch_engine.py``).
+
+On top of the per-candidate batch engine sits the **frontier engine**:
+``eval_extractor_frontier`` / ``classify_guard_frontier`` /
+``signature_frontier`` evaluate a whole expansion family per call —
+sibling ``matchKeyword`` threshold variants collapse to one scoring
+pass plus broadcast compares, siblings share one parent-output (or
+parent-candidate-mask) materialization, and equal threshold patterns
+are deduplicated before any output is built.  Results are bit-identical
+to a loop over the single-candidate entry points (pinned by
+``tests/synthesis/test_frontier.py``; see DESIGN.md
+"Frontier-vectorized search").
 """
 
 from __future__ import annotations
@@ -25,12 +36,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from collections import Counter
-
+from ..caching import BoundedLru
 from ..dsl import ast
-from ..dsl.eval import DEFAULT_ENGINE, EvalContext, resolve_engine
+from ..dsl.eval import DEFAULT_ENGINE, EvalContext, _segments, resolve_engine
+from ..dsl.types import dedupe_ordered
 from ..metrics.scores import Score, mean_score
-from ..metrics.tokens import answer_tokens, overlap
+from ..metrics.tokens import _string_tokens, answer_tokens
 from ..nlp.models import NlpModels
 from ..webtree.node import WebPage
 
@@ -69,6 +80,61 @@ class LabeledExample:
         return hasher.hexdigest()
 
 
+class _StringMemoTables:
+    """String-level memo tables shared by every :class:`TaskContexts`
+    over one (question, keywords, models) triple.
+
+    Split pieces, Substring winners, predicate verdicts, keyword-ranked
+    segments, gold-token layouts/hit vectors and token-F1 scores are
+    pure functions of strings and the task inputs — never of a page or
+    of object identities — so they are hoisted to process scope (the
+    same reasoning that keeps the model bundle's own memos process-wide).
+    A fresh ``TaskContexts`` over an already-seen task starts warm: the
+    serving/refit steady state, and the regime the cold-synthesis
+    benchmarks deliberately measure ("models keep their memos").
+    """
+
+    __slots__ = (
+        "split",
+        "substring",
+        "pred",
+        "kw_ranked",
+        "gold_layout",
+        "gold_hits",
+        "scores",
+        "models",
+    )
+
+    def __init__(self, models: NlpModels) -> None:
+        self.split: dict = {}
+        self.substring: dict = {}
+        self.pred: dict = {}
+        self.kw_ranked: dict = {}
+        self.gold_layout: dict = {}
+        self.gold_hits: dict = {}
+        self.scores: dict = {}
+        #: Strong reference: the cache key uses ``id(models)``, which is
+        #: only meaningful while the bundle is alive.
+        self.models = models
+
+
+#: Retained (question, keywords, models) string-memo tables.
+_STRING_MEMO_LIMIT = 8
+_string_memo_cache = BoundedLru(_STRING_MEMO_LIMIT)
+
+
+def _shared_string_memos(
+    question: str, keywords: tuple[str, ...], models: NlpModels
+) -> _StringMemoTables:
+    return _string_memo_cache.get_or_create(
+        (question, keywords, id(models)),
+        lambda: _StringMemoTables(models),
+        # The key uses id(models): a stale hit after id reuse must
+        # rebuild (the table pins its own bundle, so live ids are safe).
+        validate=lambda tables: tables.models is models,
+    )
+
+
 class TaskContexts:
     """Shared evaluation state for one synthesis task.
 
@@ -89,9 +155,35 @@ class TaskContexts:
         self.engine = engine or DEFAULT_ENGINE
         resolve_engine(self.engine)  # fail fast on typos
         self._contexts: dict[int, EvalContext] = {}
-        self._signatures: dict[tuple, tuple[tuple[int, ...], ...]] = {}
-        self._scores: dict[tuple[tuple[str, ...], tuple[str, ...]], Score] = {}
+        #: pages-key -> {locator -> per-page behaviour signature}
+        #: (two-level so the page-id tuple is hashed once per batch).
+        self._signatures: dict[tuple, dict] = {}
         self._recalls: dict[tuple, float] = {}
+        # String-level memos for the frontier engine, shared process-wide
+        # per (question, keywords, models) — see _StringMemoTables.  All
+        # are two-level (production parameter -> string -> value): the
+        # outer probe hashes the term once per candidate, inner probes
+        # only the string, whose hash CPython caches.  Values are
+        # exactly what the scalar evaluation path computes (bit-identity
+        # pinned by the frontier differential tests).
+        self._attach_string_memos()
+
+    def _attach_string_memos(self) -> None:
+        tables = _shared_string_memos(self.question, self.keywords, self.models)
+        #: delimiter -> {string -> (stripped pieces, identity flag)}
+        self._split_memo = tables.split
+        #: (pred, k) -> {string -> winner tuple}
+        self._substring_memo = tables.substring
+        #: pred -> {string -> verdict}
+        self._pred_memo = tables.pred
+        #: string -> rank-sorted (score, segment) list
+        self._kw_ranked_memo = tables.kw_ranked
+        #: gold -> (token -> slot, gold count per slot, total)
+        self._gold_token_memo = tables.gold_layout
+        #: (text, gold) -> per-slot hit counts
+        self._gold_hits_memo = tables.gold_hits
+        #: gold -> {predicted -> Score} (two-level, hot key hashed alone).
+        self._scores = tables.scores
 
     def __getstate__(self) -> dict:
         # Derived caches do not survive pickling: EvalContexts are not
@@ -104,9 +196,24 @@ class TaskContexts:
         state = self.__dict__.copy()
         state["_contexts"] = {}
         state["_signatures"] = {}
-        state["_scores"] = {}
         state["_recalls"] = {}
+        # The string-level memos are process-shared derived caches; the
+        # receiving process re-attaches its own tables on first use.
+        for name in (
+            "_split_memo",
+            "_substring_memo",
+            "_pred_memo",
+            "_kw_ranked_memo",
+            "_gold_token_memo",
+            "_gold_hits_memo",
+            "_scores",
+        ):
+            state.pop(name, None)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._attach_string_memos()
 
     def ctx(self, page: WebPage) -> EvalContext:
         context = self._contexts.get(id(page))
@@ -150,9 +257,9 @@ class TaskContexts:
             if page_id in keep
         }
         self._signatures = {
-            key: signature
-            for key, signature in self._signatures.items()
-            if all(page_id in keep for page_id in key[1])
+            pages_key: table
+            for pages_key, table in self._signatures.items()
+            if all(page_id in keep for page_id in pages_key)
         }
         self._recalls = {
             key: value
@@ -162,28 +269,28 @@ class TaskContexts:
 
     def locator_signature(
         self, locator: ast.Locator, examples: list
-    ) -> tuple[tuple[int, ...], ...]:
-        """Node ids located by ``locator`` on each example page, memoized.
+    ) -> tuple:
+        """Behaviour key of ``locator`` on each example page, memoized.
 
-        Guard enumeration and the footnote-6 extractor memo both key on
-        this behaviour tuple; with interned locators (cached hashes) and
-        this memo, repeat requests are one dictionary probe instead of a
-        per-page re-evaluation.
+        One opaque key per page (:meth:`~repro.dsl.eval.EvalContext.signature_key`:
+        the rank bitset on the indexed engine, the node-id tuple on the
+        reference engine — equal keys iff equal located node sets either
+        way).  Guard enumeration and the footnote-6 extractor memo both
+        key on this behaviour tuple; with interned locators (cached
+        hashes) and this memo, repeat requests are one dictionary probe
+        instead of a per-page re-evaluation.
         """
-        key = (
-            ast.term_key(locator),
-            tuple(id(example.page) for example in examples),
-        )
-        signature = self._signatures.get(key)
+        pages_key = tuple(id(example.page) for example in examples)
+        table = self._signatures.get(pages_key)
+        if table is None:
+            table = self._signatures[pages_key] = {}
+        signature = table.get(locator)
         if signature is None:
             signature = tuple(
-                tuple(
-                    node.node_id
-                    for node in self.ctx(example.page).eval_locator(locator)
-                )
+                self.ctx(example.page).signature_key(locator)
                 for example in examples
             )
-            self._signatures[key] = signature
+            table[locator] = signature
         return signature
 
     # -- the cross-page batch engine -------------------------------------------
@@ -226,15 +333,61 @@ class TaskContexts:
 
         Extractor candidates collide on output constantly (observational
         equivalence is the norm, not the exception), so the task keeps
-        one P/R/F1 per distinct (predicted, gold) pair.
+        one P/R/F1 per distinct (predicted, gold) pair — two-level, so
+        only the prediction is hashed on the hot probe.
         """
-        key = (predicted, gold)
-        score = self._scores.get(key)
+        table = self._scores.get(gold)
+        if table is None:
+            table = self._scores[gold] = {}
+        score = table.get(predicted)
         if score is None:
             score = Score.of(predicted, gold)
-            if len(self._scores) < 500000:
-                self._scores[key] = score
+            if len(table) < 500000:
+                table[predicted] = score
         return score
+
+    def _gold_layout(
+        self, gold: tuple[str, ...]
+    ) -> tuple[dict[str, int], tuple[int, ...], int]:
+        """Per-gold token layout: (token -> slot, gold count per slot, total).
+
+        Recall only needs the multiset overlap with the (small) gold
+        token set, so every text is reduced to a vector of per-gold-token
+        counts — the texts' other tokens never touch a ``Counter``.
+        """
+        cached = self._gold_token_memo.get(gold)
+        if cached is None:
+            counts = answer_tokens(gold)
+            slots = {token: i for i, token in enumerate(counts)}
+            cached = (
+                slots,
+                tuple(counts[token] for token in slots),
+                sum(counts.values()),
+            )
+            self._gold_token_memo[gold] = cached
+        return cached
+
+    def _gold_hits(
+        self, text: str, gold: tuple[str, ...], slots: dict[str, int]
+    ) -> tuple[int, ...]:
+        """Occurrences of each gold token slot in ``text``, memoized.
+
+        Node (and subtree) texts recur across the many locators a search
+        evaluates, so the per-text count vector is computed once per
+        (text, gold) for the whole task.
+        """
+        key = (text, gold)
+        cached = self._gold_hits_memo.get(key)
+        if cached is None:
+            counts = [0] * len(slots)
+            for token in _string_tokens(text):
+                slot = slots.get(token)
+                if slot is not None:
+                    counts[slot] += 1
+            cached = tuple(counts)
+            if len(self._gold_hits_memo) < 500000:
+                self._gold_hits_memo[key] = cached
+        return cached
 
     def content_recall_batch(
         self, locator: ast.Locator, examples: list, subtree: bool = False
@@ -246,29 +399,35 @@ class TaskContexts:
         subtree recall for Figure 10 line 8).  Memoized per (locator
         behaviour, page, gold): ``GenGuards`` emits several guards over
         the same section locator, and each used to recount the token
-        multisets from scratch.
+        multisets from scratch.  The overlap itself is computed on
+        gold-slot count vectors (:meth:`_gold_hits`), exactly equal to
+        the multiset-intersection definition.
         """
         if not examples:
             return 1.0
-        locator_key = ast.term_key(locator)
         total = 0.0
         for example in examples:
-            key = (locator_key, subtree, id(example.page), example.gold)
+            key = (locator, subtree, id(example.page), example.gold)
             value = self._recalls.get(key)
             if value is None:
-                nodes = self.ctx(example.page).eval_locator(locator)
-                if subtree:
-                    available: Counter[str] = Counter()
-                    for node in nodes:
-                        available.update(answer_tokens([node.subtree_text()]))
-                else:
-                    available = answer_tokens(n.text for n in nodes)
-                gold = answer_tokens(example.gold)
-                n_gold = sum(gold.values())
+                gold = example.gold
+                slots, gold_counts, n_gold = self._gold_layout(gold)
                 if n_gold == 0:
                     value = 1.0
                 else:
-                    value = overlap(available, gold) / n_gold
+                    nodes = self.ctx(example.page).eval_locator(locator)
+                    totals = [0] * len(gold_counts)
+                    for node in nodes:
+                        text = node.subtree_text() if subtree else node.text
+                        hits = self._gold_hits(text, gold, slots)
+                        for slot, count in enumerate(hits):
+                            if count:
+                                totals[slot] += count
+                    hit = sum(
+                        count if count < bound else bound
+                        for count, bound in zip(totals, gold_counts)
+                    )
+                    value = hit / n_gold
                 self._recalls[key] = value
             total += value
         return total / len(examples)
@@ -290,3 +449,407 @@ class TaskContexts:
             outputs.append(predicted)
             scores.append(self.score_of(predicted, gold))
         return tuple(outputs), mean_score(scores)
+
+    # -- the frontier engine: whole expansion families per call ----------------
+
+    def eval_extractor_frontier(
+        self, candidates: list, propagated: list, pages: list
+    ) -> list[tuple[tuple[tuple[str, ...], ...], Score]]:
+        """:meth:`eval_extractor_batch` for a whole expansion frontier.
+
+        Bit-identical to calling the single-candidate entry point per
+        candidate (pinned by ``tests/synthesis/test_frontier.py``), but
+        structured to exploit what expansion families share:
+
+        * sibling ``Filter``/``matchKeyword`` candidates over one source
+          collapse to one similarity lookup per distinct source string
+          plus a broadcast compare over all thresholds
+          (:meth:`~repro.nlp.models.NlpModels.match_keyword_thresholds`,
+          so noise-aware bundles stay exact);
+        * sibling ``Substring``/``matchKeyword`` candidates share one
+          segmentation + scoring + ranking pass per distinct string;
+        * thresholds whose pass/fail pattern over the family's strings
+          coincides are *deduplicated before any output is materialized
+          or scored* — equal patterns provably yield equal signatures;
+        * every distinct signature is scored once (``mean_score`` over
+          the token-F1 memo), however many siblings share it.
+
+        Everything else (``Split``, entity/answer predicates, compound
+        sources) takes the page-major scalar path through the shared
+        per-page memo tables.
+        """
+        n = len(candidates)
+        outputs: list[list | None] = [None] * n
+        contexts = [self.ctx(page) for page in pages]
+        node_sets = [nodes for nodes, _gold in propagated]
+        page_memos = [
+            ctx.extractor_memo(nodes)
+            for ctx, nodes in zip(contexts, node_sets)
+        ]
+        kw_filters: dict[tuple, list[tuple[int, float]]] = {}
+        kw_substrings: dict[tuple, list[tuple[int, float]]] = {}
+        generic: list[int] = []
+        #: Per-source materialized outputs, shared by every sibling.
+        family_sources: dict[ast.Extractor, list[tuple[str, ...]]] = {}
+
+        def sources_of(term: ast.Extractor) -> list[tuple[str, ...]]:
+            cached = family_sources.get(term)
+            if cached is None:
+                cached = [
+                    ctx.eval_extractor(term, nodes)
+                    for ctx, nodes in zip(contexts, node_sets)
+                ]
+                family_sources[term] = cached
+            return cached
+
+        for i, candidate in enumerate(candidates):
+            # Warm fast path first: a candidate fully present in the
+            # per-page memos (steady-state re-synthesis) skips grouping
+            # and materialization entirely.
+            cached_pages = [memo.get(candidate) for memo in page_memos]
+            if None not in cached_pages:
+                outputs[i] = cached_pages
+                continue
+            if isinstance(candidate, ast.Filter):
+                pred = candidate.pred
+                negated = isinstance(pred, ast.NotPred)
+                atom = pred.operand if negated else pred
+                if isinstance(atom, ast.MatchKeyword):
+                    kw_filters.setdefault(
+                        (candidate.source, negated), []
+                    ).append((i, atom.threshold))
+                    continue
+            elif isinstance(candidate, ast.Substring) and isinstance(
+                candidate.pred, ast.MatchKeyword
+            ):
+                kw_substrings.setdefault(
+                    (candidate.source, candidate.k), []
+                ).append((i, candidate.pred.threshold))
+                continue
+            generic.append(i)
+        for i in generic:
+            candidate = candidates[i]
+            if isinstance(candidate, ast.Split):
+                per_page = self._split_candidate(
+                    candidate, sources_of(candidate.source)
+                )
+            elif isinstance(candidate, ast.Filter):
+                per_page = self._filter_candidate(
+                    candidate, sources_of(candidate.source), contexts[0]
+                    if contexts else None,
+                )
+            elif isinstance(candidate, ast.Substring):
+                per_page = self._substring_candidate(
+                    candidate, sources_of(candidate.source), contexts[0]
+                    if contexts else None,
+                )
+            else:
+                per_page = [
+                    ctx.eval_extractor(candidate, nodes)
+                    for ctx, nodes in zip(contexts, node_sets)
+                ]
+            for memo, predicted in zip(page_memos, per_page):
+                memo.setdefault(candidate, predicted)
+            outputs[i] = per_page
+        for (source, negated), members in kw_filters.items():
+            self._kw_filter_family(
+                source, negated, members, candidates, sources_of(source),
+                page_memos, outputs,
+            )
+        for (source, k), members in kw_substrings.items():
+            self._kw_substring_family(
+                source, k, members, candidates, sources_of(source),
+                page_memos, outputs,
+            )
+        golds = [gold for _nodes, gold in propagated]
+        results: list[tuple[tuple, Score]] = []
+        score_of = self.score_of
+        for i in range(n):
+            per_page = outputs[i]
+            if per_page is None:
+                results.append(((), mean_score([])))
+                continue
+            # Per-page scoring goes through the token-F1 memo, so
+            # duplicate behaviours (the norm) resolve to dict probes.
+            results.append(
+                (
+                    tuple(per_page),
+                    mean_score(
+                        [
+                            score_of(predicted, gold)
+                            for predicted, gold in zip(per_page, golds)
+                        ]
+                    ),
+                )
+            )
+        return results
+
+    def _split_candidate(
+        self, candidate: ast.Split, sources: list
+    ) -> list[tuple[str, ...]]:
+        """Per-page outputs of one ``Split`` candidate, split-memoized."""
+        delimiter = candidate.delimiter
+        memo = self._split_memo.get(delimiter)
+        if memo is None:
+            memo = self._split_memo[delimiter] = {}
+        per_page: list[tuple[str, ...]] = []
+        for items in sources:
+            pieces: list[str] = []
+            unchanged = True
+            for item in items:
+                entry = memo.get(item)
+                if entry is None:
+                    parts = tuple(p.strip() for p in item.split(delimiter))
+                    entry = (parts, parts == (item,))
+                    if len(memo) < 500000:
+                        memo[item] = entry
+                parts, same = entry
+                if unchanged and not same:
+                    unchanged = False
+                pieces.extend(parts)
+            # Extractor outputs are canonical (stripped, distinct,
+            # non-blank), so a split that never fires reproduces its
+            # source exactly — skip re-deduplication.  Fired splits
+            # dedupe at C level: the pieces are already stripped, so
+            # dedupe_ordered reduces to drop-blanks + first-occurrence.
+            per_page.append(
+                items
+                if unchanged
+                else tuple(dict.fromkeys(p for p in pieces if p))
+            )
+        return per_page
+
+    def _filter_candidate(
+        self, candidate: ast.Filter, sources: list, ctx
+    ) -> list[tuple[str, ...]]:
+        """Per-page outputs of one generic ``Filter`` candidate.
+
+        Predicate verdicts over strings are page-independent, so they
+        are resolved through the task-level predicate memo (computed via
+        any page's eval context on a miss).
+        """
+        pred = candidate.pred
+        memo = self._pred_memo.get(pred)
+        if memo is None:
+            memo = self._pred_memo[pred] = {}
+        per_page: list[tuple[str, ...]] = []
+        for items in sources:
+            kept: list[str] = []
+            for item in items:
+                value = memo.get(item)
+                if value is None:
+                    value = ctx.eval_pred(pred, item)
+                    if len(memo) < 500000:
+                        memo[item] = value
+                if value:
+                    kept.append(item)
+            # A filtered canonical source is already deduped and
+            # stripped: dedupe_ordered(kept) == tuple(kept).
+            per_page.append(items if len(kept) == len(items) else tuple(kept))
+        return per_page
+
+    def _substring_candidate(
+        self, candidate: ast.Substring, sources: list, ctx
+    ) -> list[tuple[str, ...]]:
+        """Per-page outputs of one generic ``Substring`` candidate.
+
+        Winner spans per (predicate, string, k) are page-independent and
+        memoized task-wide; misses run the scalar span generator.
+        """
+        pred = candidate.pred
+        k = candidate.k
+        memo = self._substring_memo.get((pred, k))
+        if memo is None:
+            memo = self._substring_memo[(pred, k)] = {}
+        per_page: list[tuple[str, ...]] = []
+        for items in sources:
+            found: list[str] = []
+            for item in items:
+                winners = memo.get(item)
+                if winners is None:
+                    winners = tuple(ctx.substrings(pred, item, k))
+                    if len(memo) < 500000:
+                        memo[item] = winners
+                found.extend(winners)
+            per_page.append(dedupe_ordered(found))
+        return per_page
+
+    def _kw_filter_family(
+        self, source, negated, members, candidates, sources,
+        page_memos, outputs,
+    ) -> None:
+        """One ``Filter(source, [¬]matchKeyword(t))`` threshold family."""
+        distinct = list(
+            dict.fromkeys(item for items in sources for item in items)
+        )
+        thresholds = [threshold for _pos, threshold in members]
+        table = self.models.match_keyword_thresholds(
+            distinct, self.keywords, thresholds
+        )
+        row_of = {item: row for row, item in enumerate(distinct)}
+        buckets: dict[bytes, list] = {}
+        for column, (i, _threshold) in enumerate(members):
+            passes = table[:, column]
+            key = passes.tobytes()
+            per_page = buckets.get(key)
+            if per_page is None:
+                per_page = []
+                for items in sources:
+                    if negated:
+                        kept = [s for s in items if not passes[row_of[s]]]
+                    else:
+                        kept = [s for s in items if passes[row_of[s]]]
+                    # Canonical source: filtering preserves canonicity.
+                    per_page.append(
+                        items if len(kept) == len(items) else tuple(kept)
+                    )
+                buckets[key] = per_page
+            candidate = candidates[i]
+            for memo, predicted in zip(page_memos, per_page):
+                memo.setdefault(candidate, predicted)
+            outputs[i] = per_page
+
+    def _kw_ranked(self, item: str) -> list[tuple[float, str]]:
+        """Keyword-scored segments of one string, rank-sorted, memoized.
+
+        The backing store of every ``Substring``/``matchKeyword``
+        candidate: one segmentation + one batched scoring pass + one
+        stable sort per distinct string serves every threshold, ``k``
+        and page.  Similarity *scores* are never perturbed by noise
+        injection (only the boolean predicates are), so no model gate is
+        needed.
+        """
+        ranked = self._kw_ranked_memo.get(item)
+        if ranked is None:
+            segments = _segments(item)
+            scores = self.models.keyword_similarity_batch(
+                segments, self.keywords
+            )
+            ranked = sorted(zip(scores, segments), key=lambda pair: -pair[0])
+            if len(self._kw_ranked_memo) < 500000:
+                self._kw_ranked_memo[item] = ranked
+        return ranked
+
+    def _kw_substring_family(
+        self, source, k, members, candidates, sources,
+        page_memos, outputs,
+    ) -> None:
+        """One ``Substring(source, matchKeyword(t), k)`` threshold family.
+
+        Every threshold filters the pre-sorted ranked-segment list of
+        each source string (:meth:`_kw_ranked`); filtering commutes with
+        a stable sort on the score key, so this equals the scalar
+        filter-then-sort exactly.  Winner tuples land in the same
+        two-level substring memo the generic path uses.
+        """
+        for i, threshold in members:
+            candidate = candidates[i]
+            memo = self._substring_memo.get((candidate.pred, k))
+            if memo is None:
+                memo = self._substring_memo[(candidate.pred, k)] = {}
+            per_page = []
+            for items in sources:
+                found: list[str] = []
+                for item in items:
+                    winners = memo.get(item)
+                    if winners is None:
+                        selected = [
+                            segment
+                            for score, segment in self._kw_ranked(item)
+                            if score >= threshold
+                        ]
+                        winners = tuple(
+                            selected[:k] if k > 0 else selected
+                        )
+                        if len(memo) < 500000:
+                            memo[item] = winners
+                    found.extend(winners)
+                # Keyword winners are _segments output: stripped and
+                # non-blank, so dedupe is pure first-occurrence.
+                per_page.append(tuple(dict.fromkeys(found)))
+            for page_memo, predicted in zip(page_memos, per_page):
+                page_memo.setdefault(candidate, predicted)
+            outputs[i] = per_page
+
+    def classify_guard_frontier(
+        self, guards: list, positives: list, negatives: list
+    ) -> list[bool]:
+        """:meth:`classify_guard_batch` for a whole ``GenGuards`` family.
+
+        Bit-identical to the per-guard loop; page-major with the same
+        refutation order (negatives first) and per-guard early exit —
+        once a guard is refuted on some page, later pages never evaluate
+        it.  Per page, the family collapses through
+        :meth:`EvalContext.eval_guards_fired`: one locator evaluation
+        plus a single threshold sweep for all ``Sat``/``matchKeyword``
+        siblings.
+        """
+        verdicts = [True] * len(guards)
+        remaining = list(range(len(guards)))
+        for example in negatives:
+            if not remaining:
+                break
+            fired = self.ctx(example.page).eval_guards_fired(
+                [guards[i] for i in remaining]
+            )
+            keep = []
+            for i, value in zip(remaining, fired):
+                if value:
+                    verdicts[i] = False
+                else:
+                    keep.append(i)
+            remaining = keep
+        for example in positives:
+            if not remaining:
+                break
+            fired = self.ctx(example.page).eval_guards_fired(
+                [guards[i] for i in remaining]
+            )
+            keep = []
+            for i, value in zip(remaining, fired):
+                if value:
+                    keep.append(i)
+                else:
+                    verdicts[i] = False
+            remaining = keep
+        return verdicts
+
+    def signature_frontier(
+        self, parent: ast.Locator, extensions: list, examples: list
+    ) -> list:
+        """:meth:`signature_batch` for every one-step extension of a locator.
+
+        Identical keys to the per-extension probe; misses are evaluated
+        page-major through
+        :meth:`~repro.dsl.eval.EvalContext.locator_frontier_keys`, which
+        materializes the shared parent candidate set once per page for
+        the whole sibling filter family (mask algebra over the plane
+        bitsets on the indexed engine — no node tuples are built for
+        extensions that end up pruned or deduplicated).  Results land in
+        the same signature memo ``signature_batch`` probes, so the
+        footnote-6 extractor memo key is a dict hit by the time branch
+        synthesis asks for it.
+        """
+        pages_key = tuple(id(example.page) for example in examples)
+        table = self._signatures.get(pages_key)
+        if table is None:
+            table = self._signatures[pages_key] = {}
+        signatures: list = [None] * len(extensions)
+        missing: list[int] = []
+        for j, extension in enumerate(extensions):
+            cached = table.get(extension)
+            if cached is not None:
+                signatures[j] = cached
+            else:
+                missing.append(j)
+        if missing:
+            pending = [extensions[j] for j in missing]
+            per_page = [
+                self.ctx(example.page).locator_frontier_keys(parent, pending)
+                for example in examples
+            ]
+            for position, j in enumerate(missing):
+                signature = tuple(rows[position] for rows in per_page)
+                table[extensions[j]] = signature
+                signatures[j] = signature
+        return signatures

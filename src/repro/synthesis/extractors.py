@@ -1,8 +1,18 @@
 """Optimal extractor synthesis — ``SynthesizeExtractors`` (Figure 9).
 
-Bottom-up worklist enumeration seeded with ``ExtractContent``.  Every
-candidate is evaluated once, when generated; its score is carried on the
-worklist.  Two reductions keep the search tractable:
+Bottom-up enumeration seeded with ``ExtractContent``, run as a
+**level-synchronous frontier loop**: the worklist is processed one
+breadth-first level at a time, and the whole level's expansion frontier
+is evaluated in a single call to
+:meth:`~repro.synthesis.examples.TaskContexts.eval_extractor_frontier`
+before the level is replayed candidate by candidate.  The replay applies
+exactly the sequential schedule — settle the parent, then vet its
+extensions in production order — so options, scores and counters are
+bit-identical to evaluating candidates one at a time
+(``SynthesisConfig.frontier = False`` keeps that scalar mode as the
+differential oracle; see ``tests/synthesis/test_frontier.py``).
+
+Three reductions keep the search tractable:
 
 * **UB pruning** (the paper's line 9): an extension whose recall upper
   bound ``2r/(1+r)`` cannot reach the running optimum is dropped —
@@ -14,11 +24,15 @@ worklist.  Two reductions keep the search tractable:
   *behaviours* and the optimal F1.  (The paper instead keeps every
   syntactic variant; with its smaller pools that is feasible — see
   DESIGN.md for this deviation.)
+* **Dedup-before-budget**: duplicate-signature candidates are counted as
+  ``dedup_hits`` and no longer consume the ``max_extractor_candidates``
+  budget — only novel behaviours do.  (Inside the frontier kernel,
+  sibling thresholds with identical pass/fail patterns are deduplicated
+  before their outputs are even materialized.)
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 from ..dsl import ast
@@ -41,11 +55,19 @@ Signature = tuple[tuple[str, ...], ...]
 @dataclass(frozen=True)
 class ExtractorSearchResult:
     """All optimal extractors, their shared objective value (F_β; F1 by
-    default), and search statistics."""
+    default), and search statistics.
+
+    ``evaluated`` counts candidates with a *novel* output signature (the
+    ones that consume the ``max_extractor_candidates`` budget);
+    ``dedup_hits`` counts candidates discarded as observationally
+    equivalent to an earlier one.  Their sum is the number of candidates
+    the enumeration generated.
+    """
 
     extractors: tuple[ast.Extractor, ...]
     f1: float
     evaluated: int
+    dedup_hits: int = 0
 
 
 def propagate_examples(
@@ -67,31 +89,6 @@ def propagate_examples(
     return propagated, pages
 
 
-class _Evaluator:
-    """Evaluates candidate extractors on the propagated examples.
-
-    A thin adapter over the cross-page batch engine
-    (:meth:`TaskContexts.eval_extractor_batch`): one call evaluates the
-    candidate on every training page and scores it through the task's
-    token-F1 memo.
-    """
-
-    def __init__(
-        self,
-        propagated: list[Propagated],
-        pages: list[WebPage],
-        contexts: TaskContexts,
-    ) -> None:
-        self._propagated = propagated
-        self._pages = pages
-        self._contexts = contexts
-
-    def run(self, extractor: ast.Extractor) -> tuple[Signature, Score]:
-        return self._contexts.eval_extractor_batch(
-            extractor, self._propagated, self._pages
-        )
-
-
 def synthesize_extractors(
     propagated: list[Propagated],
     pages: list[WebPage],
@@ -106,45 +103,117 @@ def synthesize_extractors(
     sub-optimal, and (with pruning on) never explores extensions whose
     recall bound cannot reach ``s_o``.
     """
-    evaluator = _Evaluator(propagated, pages, contexts)
     optimal: list[ast.Extractor] = []
     s_o = opt
 
     seed: ast.Extractor = ast.ExtractContent()
-    seed_signature, seed_score = evaluator.run(seed)
-    worklist: deque[tuple[ast.Extractor, Score]] = deque([(seed, seed_score)])
+    seed_signature, seed_score = contexts.eval_extractor_batch(
+        seed, propagated, pages
+    )
+    level: list[tuple[ast.Extractor, Score]] = [(seed, seed_score)]
     seen: set[Signature] = {seed_signature}
     evaluated = 1
-
+    dedup_hits = 0
     budget_exhausted = False
 
-    while worklist:
-        extractor, score = worklist.popleft()
-        value = fbeta(score.precision, score.recall, config.beta)
-        if value > s_o + config.f1_tolerance:
-            optimal = [extractor]
-            s_o = value
-        elif abs(value - s_o) <= config.f1_tolerance and value > 0:
-            optimal.append(extractor)
-        # Once the evaluation budget is spent the search is over: the
-        # remaining pops only settle already-evaluated candidates into
-        # the optimal set — no extension generator is even constructed
-        # (the old code re-entered the loop below and re-checked the
-        # budget once per pop per production).
-        if budget_exhausted or extractor_depth(extractor) >= config.extractor_depth:
-            continue
-        for extension in expand_extractor(extractor, config.productions):
-            if evaluated >= config.max_extractor_candidates:
-                budget_exhausted = True
-                break
-            signature, ext_score = evaluator.run(extension)
-            evaluated += 1
-            if signature in seen:
-                continue
-            seen.add(signature)
-            if config.prune:
-                bound = upper_bound_from_recall(ext_score.recall, config.beta)
-                if bound < s_o - config.f1_tolerance:
+    def evaluate_family(
+        family: tuple[ast.Extractor, ...]
+    ) -> list[tuple[Signature, Score]]:
+        if config.frontier:
+            return contexts.eval_extractor_frontier(
+                list(family), propagated, pages
+            )
+        return [
+            contexts.eval_extractor_batch(candidate, propagated, pages)
+            for candidate in family
+        ]
+
+    while level:
+        # Evaluate the level's expansion frontier up front (the results
+        # do not depend on the running optimum), then replay the
+        # sequential schedule against the precomputed results.  The
+        # eager frontier is capped at the remaining candidate budget so
+        # a small ``max_extractor_candidates`` still bounds the eager
+        # work (overshoot is at most one family).  Families past the cap
+        # are evaluated on demand during the replay — that work is not
+        # waste: duplicates only reveal themselves by evaluation, and
+        # they must keep flowing until a *novel* candidate overflows the
+        # budget (an exactly-sufficient budget reproduces the unbounded
+        # search, pinned by the budget-accounting tests).  Only once
+        # ``budget_exhausted`` flips does expansion stop entirely: the
+        # remaining levels just settle already-evaluated candidates.
+        spans: dict[int, tuple[int, int, tuple[ast.Extractor, ...]]] = {}
+        frontier_results: list[tuple[Signature, Score]] = []
+        if not budget_exhausted:
+            frontier: list[ast.Extractor] = []
+            remaining_budget = config.max_extractor_candidates - evaluated
+            for position, (extractor, score) in enumerate(level):
+                if len(frontier) >= remaining_budget:
+                    break
+                if extractor_depth(extractor) >= config.extractor_depth:
                     continue
-            worklist.append((extension, ext_score))
-    return ExtractorSearchResult(tuple(optimal), s_o, evaluated)
+                # Lazy bound tightening (Section 5): the optimum has
+                # typically risen since this parent was enqueued, and
+                # every extension's recall is at most the parent's
+                # (Theorem A.3) — when the parent's bound can no longer
+                # reach it, the whole sibling family is pruned without
+                # being materialized.  The replay below re-checks with
+                # the live optimum (which only grows, so this skip is
+                # always a subset of the replay's), keeping the schedule
+                # deterministic.
+                if config.prune and (
+                    upper_bound_from_recall(score.recall, config.beta)
+                    < s_o - config.f1_tolerance
+                ):
+                    continue
+                family = expand_extractor(extractor, config.productions)
+                spans[position] = (len(frontier), len(frontier) + len(family), family)
+                frontier.extend(family)
+            if frontier:
+                frontier_results = evaluate_family(tuple(frontier))
+        next_level: list[tuple[ast.Extractor, Score]] = []
+        for position, (extractor, score) in enumerate(level):
+            value = fbeta(score.precision, score.recall, config.beta)
+            if value > s_o + config.f1_tolerance:
+                optimal = [extractor]
+                s_o = value
+            elif abs(value - s_o) <= config.f1_tolerance and value > 0:
+                optimal.append(extractor)
+            if budget_exhausted:
+                continue
+            if extractor_depth(extractor) >= config.extractor_depth:
+                continue
+            if config.prune and (
+                upper_bound_from_recall(score.recall, config.beta)
+                < s_o - config.f1_tolerance
+            ):
+                continue
+            span = spans.get(position)
+            if span is not None:
+                start, end, family = span
+                results = frontier_results[start:end]
+            else:
+                # Past the eager budget cap: evaluate on demand.
+                family = expand_extractor(extractor, config.productions)
+                results = evaluate_family(family)
+            for extension, (signature, ext_score) in zip(family, results):
+                # Add-then-size-check dedup: one tuple hash per
+                # candidate instead of a membership probe plus an add.
+                # (A signature left behind by the budget break below is
+                # unobservable: the remaining levels only settle.)
+                known = len(seen)
+                seen.add(signature)
+                if len(seen) == known:
+                    dedup_hits += 1
+                    continue
+                if evaluated >= config.max_extractor_candidates:
+                    budget_exhausted = True
+                    break
+                evaluated += 1
+                if config.prune:
+                    bound = upper_bound_from_recall(ext_score.recall, config.beta)
+                    if bound < s_o - config.f1_tolerance:
+                        continue
+                next_level.append((extension, ext_score))
+        level = next_level
+    return ExtractorSearchResult(tuple(optimal), s_o, evaluated, dedup_hits)

@@ -3,9 +3,18 @@
 Guards are produced one at a time from a worklist of section locators,
 seeded with ``GetRoot``.  For each dequeued locator, every guard shape
 over it (``GenGuards``) is tested as a classifier between the positive
-and negative example pages; classifiers are yielded immediately.  The
-locator is then expanded with ``GetChildren``/``GetDescendants``
-productions, pruning:
+and negative example pages; classifiers are yielded immediately.  Both
+the classification of a ``GenGuards`` family and the signatures of a
+locator's expansion family are evaluated **frontier-at-a-time**
+(:meth:`~repro.synthesis.examples.TaskContexts.classify_guard_frontier`
+/ :meth:`~repro.synthesis.examples.TaskContexts.signature_frontier`) —
+sibling ``Sat``/``matchKeyword`` guards collapse to one threshold sweep
+per page and sibling filters share one parent-candidate materialization
+— with ``SynthesisConfig.frontier = False`` keeping the per-candidate
+scalar mode as the differential oracle.  Verdicts and signatures do not
+depend on the caller's evolving optimum, so the yield/pruning schedule
+is exactly the sequential one.  The locator is then expanded with
+``GetChildren``/``GetDescendants`` productions, pruning:
 
 * extensions whose recall upper bound falls below the caller's evolving
   optimum (the paper's line 8) — laziness means later expansions benefit
@@ -29,8 +38,10 @@ from .config import SynthesisConfig
 from .examples import LabeledExample, TaskContexts
 from .f1 import locator_subtree_recall, upper_bound_from_recall
 
-#: A locator's behaviour across the training pages: located ids per page.
-LocatorSignature = tuple[tuple[int, ...], ...]
+#: A locator's behaviour across the training pages: one opaque key per
+#: page (rank bitset on the indexed engine, node-id tuple on the
+#: reference engine); equal keys iff equal located node sets.
+LocatorSignature = tuple
 
 
 def locator_signature(
@@ -38,7 +49,7 @@ def locator_signature(
     examples: list[LabeledExample],
     contexts: TaskContexts,
 ) -> LocatorSignature:
-    """Node ids located on every example page, in page order.
+    """Behaviour key of ``locator`` on every example page, in page order.
 
     Delegates to the :class:`TaskContexts` memo, so enumerating the same
     locator behaviour again (or reusing it as the footnote-6 memo key in
@@ -84,16 +95,35 @@ def iter_guards(
     yielded = 0
     while worklist:
         locator = worklist.popleft()
-        for guard in gen_guards(locator, config.productions):
-            if guard_classifies(guard, positives, negatives, contexts):
+        family = gen_guards(locator, config.productions)
+        if config.frontier:
+            verdicts = contexts.classify_guard_frontier(
+                list(family), positives, negatives
+            )
+        else:
+            verdicts = [
+                guard_classifies(guard, positives, negatives, contexts)
+                for guard in family
+            ]
+        for guard, classifies in zip(family, verdicts):
+            if classifies:
                 yield guard
                 yielded += 1
                 if yielded >= config.max_guards_per_branch:
                     return
         if locator_depth(locator) >= config.guard_depth:
             continue
-        for extension in expand_locator(locator, config.productions):
-            signature = locator_signature(extension, all_examples, contexts)
+        extensions = expand_locator(locator, config.productions)
+        if config.frontier:
+            signatures = contexts.signature_frontier(
+                locator, list(extensions), all_examples
+            )
+        else:
+            signatures = [
+                locator_signature(extension, all_examples, contexts)
+                for extension in extensions
+            ]
+        for extension, signature in zip(extensions, signatures):
             if signature in seen:
                 continue
             seen.add(signature)

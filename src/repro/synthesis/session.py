@@ -45,6 +45,7 @@ import time
 from typing import Iterable, Iterator, Sequence
 
 from ..nlp.models import NlpModels
+from ..runtime import TaskRunner
 from .branch import BranchSpace, synthesize_branch
 from .config import SynthesisConfig, default_config
 from .examples import LabeledExample, TaskContexts
@@ -82,6 +83,21 @@ def enumerate_partitions(
     """
     for partition in ordered_partitions(list(range(n_examples)), max_branches):
         yield tuple(tuple(block) for block in partition)
+
+
+def _solve_block_remote(
+    payload: tuple,
+) -> BranchSpace:
+    """Process-pool worker: solve one branch-synthesis block from scratch.
+
+    Items must be self-contained for pickling, so the evaluation
+    contexts are rebuilt worker-side (every worker starts cold; the
+    speedup has to come from genuine multi-core parallelism, which is
+    exactly what the process backend is for).
+    """
+    question, keywords, models, config, block, negatives = payload
+    contexts = TaskContexts(question, keywords, models, engine=config.engine)
+    return synthesize_branch(block, negatives, contexts, config)
 
 
 def block_negatives(
@@ -138,7 +154,37 @@ class SynthesisSession:
         #: example list has changed since (so prune() knows the probe
         #: set is stale and must not evict against it).
         self._probed: set[BlockKey] | None = None
+        #: Persistent worker pool for block-parallel synthesis
+        #: (``config.jobs > 1``), built lazily, shut down by
+        #: :meth:`close`.
+        self._runner: TaskRunner | None = None
         self.last_result: SynthesisResult | None = None
+
+    # -- worker pool -------------------------------------------------------------
+
+    def _block_runner(self) -> TaskRunner | None:
+        """The persistent block-synthesis pool, or None when ``jobs == 1``."""
+        if self.config.jobs <= 1:
+            return None
+        if self._runner is None:
+            self._runner = TaskRunner(
+                jobs=self.config.jobs,
+                backend=self.config.runner_backend,
+                persistent=True,
+            )
+        return self._runner
+
+    def close(self) -> None:
+        """Shut down the block-synthesis worker pool, if one was built."""
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
+
+    def __enter__(self) -> "SynthesisSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- example management ----------------------------------------------------
 
@@ -190,12 +236,89 @@ class SynthesisSession:
 
     # -- the staged search -------------------------------------------------------
 
+    def _prefetch_blocks(
+        self,
+        partitions: Sequence[tuple[tuple[int, ...], ...]],
+        fingerprints: list[str],
+        examples: list[LabeledExample],
+        runner: TaskRunner,
+        prefetched: set[BlockKey],
+    ) -> None:
+        """Solve a partition round's uncached blocks on the worker pool.
+
+        Distinct (block, negatives) problems are collected in
+        first-occurrence order — the order a sequential run would solve
+        them — dispatched concurrently, and merged into the block cache
+        in that same order, so the cache (and hence every downstream
+        decision) is deterministic in the job count.  Thread workers
+        share the session's evaluation contexts (whose memo tables are
+        idempotent under concurrent writes); process workers rebuild
+        contexts from the pickled task payload.
+        """
+        wanted: list[BlockKey] = []
+        wanted_keys: set[BlockKey] = set()
+        problems: list[tuple[list[LabeledExample], list[LabeledExample]]] = []
+        for partition in partitions:
+            for block_index, block in enumerate(partition):
+                negatives = block_negatives(partition, block_index)
+                key: BlockKey = (
+                    tuple(fingerprints[i] for i in block),
+                    tuple(fingerprints[i] for i in negatives),
+                )
+                if key in self._block_cache or key in wanted_keys:
+                    continue
+                wanted.append(key)
+                wanted_keys.add(key)
+                problems.append(
+                    (
+                        [examples[i] for i in block],
+                        [examples[i] for i in negatives],
+                    )
+                )
+        if not wanted:
+            return
+        if runner.backend == "process":
+            payloads = [
+                (
+                    self.question,
+                    self.keywords,
+                    self.models,
+                    self.config,
+                    block,
+                    negatives,
+                )
+                for block, negatives in problems
+            ]
+            spaces = runner.map(_solve_block_remote, payloads)
+        else:
+            contexts = self.contexts
+            config = self.config
+            spaces = runner.map(
+                lambda problem: synthesize_branch(
+                    problem[0], problem[1], contexts, config
+                ),
+                problems,
+            )
+        for key, space in zip(wanted, spaces):
+            self._block_cache[key] = space
+            prefetched.add(key)
+
     def synthesize(self) -> SynthesisResult:
         """Run (or re-run) the optimal search over the current examples.
 
         Warm calls reuse every block whose (block, negatives) content
         fingerprints were solved before; with budgets configured, stops
         early with ``stats.completed = False``.
+
+        With ``config.jobs > 1`` the partition stream is consumed in
+        lookahead rounds: the round's distinct uncached (block,
+        negatives) problems are solved concurrently on the persistent
+        worker pool and merged into the block cache in first-occurrence
+        order, then the partitions are replayed sequentially against the
+        cache — so spaces and F1 are identical to ``jobs = 1`` (pinned
+        by ``tests/synthesis/test_session.py``).  Counters match too on
+        un-budgeted runs; a binding deadline is only observed at block
+        granularity, so anytime cut points may differ across job counts.
         """
         global _synthesize_calls
         _synthesize_calls += 1
@@ -214,6 +337,7 @@ class SynthesisSession:
         partitions_explored = 0
         guards_tried = 0
         extractors_evaluated = 0
+        extractor_dedup_hits = 0
         blocks_synthesized = 0
         blocks_reused = 0
         completed = True
@@ -222,60 +346,117 @@ class SynthesisSession:
         # session reuse from a key simply recurring across the ordered
         # partitions of this same run.
         preexisting = set(self._block_cache)
+        #: Keys solved by a parallel prefetch round in this call but not
+        #: yet reached by the sequential replay; the first replay
+        #: encounter books them as synthesized (matching where a
+        #: ``jobs=1`` run would have paid for them).
+        prefetched: set[BlockKey] = set()
 
-        for partition in enumerate_partitions(len(examples), config.max_branches):
-            if (
-                config.max_partitions is not None
-                and partitions_explored >= config.max_partitions
-            ) or (deadline is not None and time.perf_counter() > deadline):
-                completed = False
-                break
-            partitions_explored += 1
-            branch_spaces: list[BranchSpace] = []
-            feasible = True
-            for block_index, block in enumerate(partition):
-                if deadline is not None and time.perf_counter() > deadline:
-                    completed = False
-                    feasible = False
+        runner = self._block_runner()
+        lookahead = 1 if runner is None else max(config.jobs * 2, 4)
+        partition_stream = enumerate_partitions(
+            len(examples), config.max_branches
+        )
+        stream_done = False
+        stop = False
+        while not stop and not stream_done:
+            batch: list[tuple[tuple[int, ...], ...]] = []
+            while len(batch) < lookahead:
+                try:
+                    batch.append(next(partition_stream))
+                except StopIteration:
+                    stream_done = True
                     break
-                negatives = block_negatives(partition, block_index)
-                key: BlockKey = (
-                    tuple(fingerprints[i] for i in block),
-                    tuple(fingerprints[i] for i in negatives),
-                )
-                probed.add(key)
-                space = self._block_cache.get(key)
-                if space is None:
-                    space = synthesize_branch(
-                        [examples[i] for i in block],
-                        [examples[i] for i in negatives],
-                        self.contexts,
-                        config,
+            if not batch:
+                break
+            if runner is not None:
+                prefetch_limit = len(batch)
+                if config.max_partitions is not None:
+                    prefetch_limit = min(
+                        prefetch_limit,
+                        max(config.max_partitions - partitions_explored, 0),
                     )
-                    self._block_cache[key] = space
-                    blocks_synthesized += 1
-                    guards_tried += space.guards_tried
-                    extractors_evaluated += space.extractors_evaluated
-                elif key in preexisting:
-                    blocks_reused += 1
-                if not space.options:
-                    feasible = False
+                if prefetch_limit and (
+                    deadline is None or time.perf_counter() <= deadline
+                ):
+                    self._prefetch_blocks(
+                        batch[:prefetch_limit],
+                        fingerprints,
+                        examples,
+                        runner,
+                        prefetched,
+                    )
+            for partition in batch:
+                if (
+                    config.max_partitions is not None
+                    and partitions_explored >= config.max_partitions
+                ) or (deadline is not None and time.perf_counter() > deadline):
+                    completed = False
+                    stop = True
                     break
-                branch_spaces.append(space)
-            if not completed and not feasible:
-                break
-            if not feasible:
-                continue
-            total = sum(
-                space.f1 * len(block)
-                for space, block in zip(branch_spaces, partition)
-            )
-            combined_f1 = total / len(examples) if examples else 0.0
-            if combined_f1 > opt + config.f1_tolerance:
-                opt = combined_f1
-                best_spaces = [ProgramSpace(tuple(branch_spaces), combined_f1)]
-            elif abs(combined_f1 - opt) <= config.f1_tolerance and combined_f1 > 0:
-                best_spaces.append(ProgramSpace(tuple(branch_spaces), combined_f1))
+                partitions_explored += 1
+                branch_spaces: list[BranchSpace] = []
+                feasible = True
+                for block_index, block in enumerate(partition):
+                    if deadline is not None and time.perf_counter() > deadline:
+                        completed = False
+                        feasible = False
+                        break
+                    negatives = block_negatives(partition, block_index)
+                    key: BlockKey = (
+                        tuple(fingerprints[i] for i in block),
+                        tuple(fingerprints[i] for i in negatives),
+                    )
+                    probed.add(key)
+                    space = self._block_cache.get(key)
+                    if space is None:
+                        space = synthesize_branch(
+                            [examples[i] for i in block],
+                            [examples[i] for i in negatives],
+                            self.contexts,
+                            config,
+                        )
+                        self._block_cache[key] = space
+                        blocks_synthesized += 1
+                        guards_tried += space.guards_tried
+                        extractors_evaluated += space.extractors_evaluated
+                        extractor_dedup_hits += space.extractor_dedup_hits
+                    elif key in prefetched:
+                        # Solved concurrently this call: book it where the
+                        # sequential run would have synthesized it.
+                        prefetched.discard(key)
+                        blocks_synthesized += 1
+                        guards_tried += space.guards_tried
+                        extractors_evaluated += space.extractors_evaluated
+                        extractor_dedup_hits += space.extractor_dedup_hits
+                    elif key in preexisting:
+                        blocks_reused += 1
+                    if not space.options:
+                        feasible = False
+                        break
+                    branch_spaces.append(space)
+                if not completed and not feasible:
+                    stop = True
+                    break
+                if not feasible:
+                    continue
+                total = sum(
+                    space.f1 * len(block)
+                    for space, block in zip(branch_spaces, partition)
+                )
+                combined_f1 = total / len(examples) if examples else 0.0
+                if combined_f1 > opt + config.f1_tolerance:
+                    opt = combined_f1
+                    best_spaces = [
+                        ProgramSpace(tuple(branch_spaces), combined_f1)
+                    ]
+                elif (
+                    abs(combined_f1 - opt) <= config.f1_tolerance
+                    and combined_f1 > 0
+                ):
+                    best_spaces.append(
+                        ProgramSpace(tuple(branch_spaces), combined_f1)
+                    )
 
         self._probed = probed
         stats = SynthesisStats(
@@ -283,6 +464,7 @@ class SynthesisSession:
             partitions_explored=partitions_explored,
             guards_tried=guards_tried,
             extractors_evaluated=extractors_evaluated,
+            extractor_dedup_hits=extractor_dedup_hits,
             completed=completed,
             blocks_synthesized=blocks_synthesized,
             blocks_reused=blocks_reused,

@@ -64,6 +64,12 @@ class SynthesisStats:
     partitions_explored: int
     guards_tried: int
     extractors_evaluated: int
+    #: Extractor candidates discarded by observational-equivalence dedup
+    #: across the blocks synthesized in this run.  Reported separately
+    #: from ``extractors_evaluated`` because duplicates no longer burn
+    #: the ``max_extractor_candidates`` budget — only novel behaviours
+    #: do.
+    extractor_dedup_hits: int = 0
     #: False when a budget (``SynthesisConfig.deadline_seconds`` /
     #: ``max_partitions``) cut the search short; the result is then the
     #: best-so-far anytime answer, not the proven optimum.

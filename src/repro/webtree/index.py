@@ -29,10 +29,12 @@ indexing must call :meth:`WebPage.invalidate_index`.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import threading
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from ..caching import BoundedLru
 from .node import NodeType, PageNode, WebPage
 
 
@@ -118,6 +120,35 @@ class TextPlane:
             self._masks[key] = cached
         return cached
 
+    def match_masks(
+        self,
+        keywords: tuple[str, ...],
+        thresholds: Sequence[float],
+        whole_subtree: bool,
+    ) -> tuple[int, ...]:
+        """:meth:`match_mask` for a whole threshold grid, one broadcast.
+
+        The frontier synthesis loops expand sibling ``matchText``
+        filters that differ only in threshold; this sweeps the cached
+        score vector against all of them in a single vectorized compare
+        (each row identical to the per-threshold mask, which stays the
+        cache of record).
+        """
+        missing = [
+            t for t in dict.fromkeys(thresholds)
+            if (keywords, t, whole_subtree) not in self._masks
+        ]
+        if missing:
+            scores = self.scores(keywords, whole_subtree)
+            table = scores[None, :] >= np.asarray(missing, dtype=float)[:, None]
+            for threshold, flags in zip(missing, table):
+                self._masks[(keywords, threshold, whole_subtree)] = (
+                    mask_of_flags(flags)
+                )
+        return tuple(
+            self._masks[(keywords, t, whole_subtree)] for t in thresholds
+        )
+
 
 class _SharedEvalCache:
     """Memo tables shared by every eval context over one
@@ -136,6 +167,7 @@ class _SharedEvalCache:
         "locator_masks",
         "filter_bitsets",
         "extractor_cache",
+        "kw_guard_best",
     )
 
     def __init__(self) -> None:
@@ -147,8 +179,11 @@ class _SharedEvalCache:
         self.locator_masks: dict = {}
         #: (pred, whole_subtree) -> [evaluated_mask, true_mask]
         self.filter_bitsets: dict = {}
-        #: (extractor, nodes) -> Answer
+        #: nodes -> {extractor -> Answer} (two-level, see EvalContext)
         self.extractor_cache: dict = {}
+        #: locator -> best keyword similarity over its located texts
+        #: (pure bundles only; backs the Sat/matchKeyword guard sweep)
+        self.kw_guard_best: dict = {}
 
 
 class PageIndex:
@@ -171,6 +206,7 @@ class PageIndex:
         "_subtree_texts",
         "_shared_caches",
         "_text_planes",
+        "_cache_lock",
     )
 
     def __init__(self, page: WebPage) -> None:
@@ -230,8 +266,14 @@ class PageIndex:
             id_map.setdefault(node.node_id, node)
         self._id_map = id_map
         self._subtree_texts: list[Optional[str]] = [None] * size
-        self._shared_caches: dict = {}
-        self._text_planes: dict = {}
+        self._shared_caches = BoundedLru(self.MAX_SHARED_CACHES)
+        self._text_planes = BoundedLru(self.MAX_SHARED_CACHES)
+        # Serializes the read-modify-write merges into the shared
+        # filter bitsets: parallel block synthesis (SynthesisConfig.jobs
+        # > 1, thread backend) evaluates filters for the same page from
+        # several workers, and `state |= bits` is a lost-update race
+        # without it (the LRU tables above carry their own locks).
+        self._cache_lock = threading.Lock()
 
     # -- structure queries -----------------------------------------------------
 
@@ -287,19 +329,9 @@ class PageIndex:
         ``models`` participates by identity; the cache holds a strong
         reference so a dead model bundle's id can never alias a live one.
         """
-        key = (question, keywords, models)
-        caches = self._shared_caches
-        cache = caches.get(key)
-        if cache is None:
-            cache = _SharedEvalCache()
-            caches[key] = cache
-            while len(caches) > self.MAX_SHARED_CACHES:
-                caches.pop(next(iter(caches)))
-        else:
-            # Refresh recency (dicts preserve insertion order).
-            caches.pop(key)
-            caches[key] = cache
-        return cache
+        return self._shared_caches.get_or_create(
+            (question, keywords, models), _SharedEvalCache
+        )
 
     def text_plane(self, models: object) -> TextPlane:
         """The page's :class:`TextPlane` for one model bundle.
@@ -309,17 +341,14 @@ class PageIndex:
         vectors inside the plane are keyed by keyword set, so one plane
         serves every question/threshold over the page.
         """
-        planes = self._text_planes
-        plane = planes.get(id(models))
-        if plane is None:
-            plane = TextPlane(self, models)
-            planes[id(models)] = plane
-            while len(planes) > self.MAX_SHARED_CACHES:
-                planes.pop(next(iter(planes)))
-        else:
-            plane_entry = planes.pop(id(models))
-            planes[id(models)] = plane_entry
-        return plane
+        return self._text_planes.get_or_create(
+            id(models),
+            lambda: TextPlane(self, models),
+            # Guard against id() reuse after the original bundle died:
+            # the plane pins its models, so a live entry's id is stable,
+            # but a stale id hit must rebuild.
+            validate=lambda plane: plane._models is models,
+        )
 
 
 def page_index(page: WebPage) -> PageIndex:

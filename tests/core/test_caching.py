@@ -1,0 +1,64 @@
+"""Tests for the shared bounded-LRU primitive."""
+
+import threading
+
+import pytest
+
+from repro.caching import BoundedLru
+
+
+class TestBoundedLru:
+    def test_get_or_create_caches(self):
+        lru = BoundedLru(4)
+        built = []
+
+        def factory():
+            built.append(object())
+            return built[-1]
+
+        first = lru.get_or_create("a", factory)
+        assert lru.get_or_create("a", factory) is first
+        assert len(built) == 1
+
+    def test_eviction_is_lru_ordered(self):
+        lru = BoundedLru(2)
+        lru.get_or_create("a", lambda: "A")
+        lru.get_or_create("b", lambda: "B")
+        lru.get_or_create("a", lambda: "A2")  # refresh "a"
+        lru.get_or_create("c", lambda: "C")  # evicts "b", the oldest
+        assert lru.get_or_create("a", lambda: "rebuilt-a") == "A"
+        assert lru.get_or_create("b", lambda: "rebuilt-b") == "rebuilt-b"
+
+    def test_validate_rejects_stale_entries(self):
+        lru = BoundedLru(4)
+        lru.get_or_create("k", lambda: "stale")
+        fresh = lru.get_or_create(
+            "k", lambda: "fresh", validate=lambda value: value == "fresh"
+        )
+        assert fresh == "fresh"
+        assert lru.get_or_create("k", lambda: "again") == "fresh"
+
+    def test_clear_and_len(self):
+        lru = BoundedLru(4)
+        lru.get_or_create("a", lambda: 1)
+        assert len(lru) == 1
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            BoundedLru(0)
+
+    def test_concurrent_access_returns_one_value(self):
+        lru = BoundedLru(4)
+        results = []
+
+        def worker():
+            results.append(lru.get_or_create("shared", object))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, results))) == 1

@@ -54,14 +54,30 @@ class TestLocatorBatch:
     def test_signature_batch_matches_loop(self, locator):
         contexts = fresh_contexts()
         signature = contexts.signature_batch(locator, EXAMPLES)
+        # The signature is one opaque behaviour key per page
+        # (EvalContext.signature_key), equal iff the located node sets
+        # are equal — pinned here against the per-page scalar probe.
         expected = tuple(
+            fresh_contexts().ctx(example.page).signature_key(locator)
+            for example in EXAMPLES
+        )
+        assert signature == expected
+        # Behaviour keys are node-set identity: they must distinguish
+        # exactly what the located node-id tuples distinguish.
+        located_ids = tuple(
             tuple(
                 node.node_id
                 for node in fresh_contexts().ctx(example.page).eval_locator(locator)
             )
             for example in EXAMPLES
         )
-        assert signature == expected
+        root_signature = contexts.signature_batch(
+            __import__("repro.dsl", fromlist=["ast"]).ast.GetRoot(), EXAMPLES
+        )
+        root_ids = tuple(
+            (example.page.root.node_id,) for example in EXAMPLES
+        )
+        assert (signature == root_signature) == (located_ids == root_ids)
         # Memoized: the repeat probe returns the identical tuple.
         assert contexts.signature_batch(locator, EXAMPLES) is signature
 

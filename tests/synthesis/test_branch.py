@@ -72,3 +72,196 @@ class TestBranchSpace:
         )
         assert space.count() == 2
         assert len(space.pairs()) == 2
+
+
+class TestBranchSearchStateUpdate:
+    """Tolerance edges of the Figure 8 accumulator."""
+
+    @staticmethod
+    def _result(f1, extractors=(ast.ExtractContent(),)):
+        from repro.synthesis.extractors import ExtractorSearchResult
+
+        return ExtractorSearchResult(tuple(extractors), f1, evaluated=1)
+
+    @staticmethod
+    def _state(opt=0.5):
+        from repro.synthesis.branch import _BranchSearchState
+
+        guard = ast.Sat(ast.GetRoot())
+        state = _BranchSearchState()
+        state.opt = opt
+        state.options = {guard: (ast.ExtractContent(),)}
+        return state, guard
+
+    def test_strictly_better_replaces(self):
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.8), tolerance=1e-9)
+        assert state.opt == 0.8
+        assert list(state.options) == [new_guard]
+
+    def test_exact_tie_accumulates(self):
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.5), tolerance=1e-9)
+        assert state.opt == 0.5
+        assert set(state.options) == {old_guard, new_guard}
+
+    def test_within_tolerance_above_is_tie_not_improvement(self):
+        # f1 = opt + tolerance exactly: not "> opt + tol", so it ties.
+        # Dyadic values keep the float arithmetic exact at the boundary.
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.625), tolerance=0.125)
+        assert state.opt == 0.5
+        assert set(state.options) == {old_guard, new_guard}
+
+    def test_within_tolerance_below_is_tie(self):
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.375), tolerance=0.125)
+        assert state.opt == 0.5
+        assert set(state.options) == {old_guard, new_guard}
+
+    def test_below_tolerance_ignored(self):
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.25), tolerance=0.125)
+        assert state.opt == 0.5
+        assert list(state.options) == [old_guard]
+
+    def test_empty_result_is_noop_even_when_better(self):
+        state, old_guard = self._state(opt=0.5)
+        new_guard = ast.IsSingleton(ast.GetRoot())
+        state.update(new_guard, self._result(0.9, extractors=()), tolerance=1e-9)
+        assert state.opt == 0.5
+        assert list(state.options) == [old_guard]
+
+    def test_same_guard_updated_in_place(self):
+        state, old_guard = self._state(opt=0.5)
+        replacement = (ast.Split(ast.ExtractContent(), ","),)
+        state.update(old_guard, self._result(0.5, replacement), tolerance=1e-9)
+        assert state.options[old_guard] == replacement
+
+
+class TestFootnote6Memo:
+    """The "conclusive cached result" path of synthesize_branch.
+
+    Guards whose locators share a behaviour signature share one
+    extractor search; the cached result is conclusive — re-probing must
+    never re-search, and the cached optimum decides membership against
+    the *current* running optimum.
+    """
+
+    #: Locates every leaf (ExtractContent is imperfect: extra texts).
+    LOC_LO = ast.GetDescendants(ast.GetRoot(), ast.IsLeaf())
+    #: Behaviourally identical twin of LOC_LO with a different term.
+    LOC_LO_TWIN = ast.GetDescendants(
+        ast.GetRoot(), ast.OrFilter(ast.IsLeaf(), ast.IsLeaf())
+    )
+    #: Locates exactly the PERSON nodes (ExtractContent is perfect).
+    LOC_HI = ast.GetDescendants(
+        ast.GetRoot(), ast.MatchText(ast.HasEntity("PERSON"), False)
+    )
+    #: Behaviourally identical twin of LOC_HI.
+    LOC_HI_TWIN = ast.GetDescendants(
+        ast.GetRoot(),
+        ast.OrFilter(
+            ast.MatchText(ast.HasEntity("PERSON"), False),
+            ast.MatchText(ast.HasEntity("PERSON"), False),
+        ),
+    )
+    #: Locates the root's children — empty own texts, zero recall.
+    LOC_EMPTY = ast.GetChildren(ast.GetRoot(), ast.TrueFilter())
+    LOC_EMPTY_TWIN = ast.GetChildren(
+        ast.GetRoot(), ast.OrFilter(ast.TrueFilter(), ast.IsLeaf())
+    )
+
+    @staticmethod
+    def _inject_guards(monkeypatch, guards):
+        import repro.synthesis.guards as guards_module
+
+        def fake_iter_guards(positives, negatives, contexts, config, opt):
+            yield from guards
+
+        monkeypatch.setattr(guards_module, "iter_guards", fake_iter_guards)
+
+    @staticmethod
+    def _search_cost(contexts, locator, config, opt=0.0):
+        from repro.synthesis.extractors import (
+            propagate_examples,
+            synthesize_extractors,
+        )
+
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        propagated, pages = propagate_examples(locator, pos, contexts)
+        return synthesize_extractors(propagated, pages, contexts, config, opt)
+
+    def test_cached_below_running_opt_is_skipped(self, contexts, monkeypatch):
+        # Order: low-f1 locator (cached), then the perfect locator
+        # raising the optimum, then the low locator's behavioural twin:
+        # the memo probe finds a conclusive sub-optimal result and the
+        # guard is dropped with no new search.
+        config = small_config(extractor_depth=1)
+        lo = self._search_cost(contexts, self.LOC_LO, config)
+        hi = self._search_cost(contexts, self.LOC_HI, config)
+        assert 0.0 < lo.f1 < 1.0 and lo.extractors  # scenario sanity
+        assert hi.f1 == 1.0
+        g_lo = ast.Sat(self.LOC_LO)
+        g_hi = ast.Sat(self.LOC_HI)
+        g_lo_twin = ast.Sat(self.LOC_LO_TWIN)
+        self._inject_guards(monkeypatch, [g_lo, g_hi, g_lo_twin])
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, config)
+        assert space.guards_tried == 3
+        assert dict(space.options) == {g_hi: hi.extractors}
+        # Two searches ran, the twin re-used the memo.
+        assert space.extractors_evaluated == lo.evaluated + hi.evaluated
+
+    def test_cached_at_running_opt_ties(self, contexts, monkeypatch):
+        config = small_config(extractor_depth=1)
+        hi = self._search_cost(contexts, self.LOC_HI, config)
+        g_hi = ast.Sat(self.LOC_HI)
+        g_hi_twin = ast.Sat(self.LOC_HI_TWIN)
+        self._inject_guards(monkeypatch, [g_hi, g_hi_twin])
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, config)
+        # The twin's memo hit ties the optimum: both guards kept, with
+        # the same extractor set, at one search's cost.
+        assert dict(space.options) == {
+            g_hi: hi.extractors,
+            g_hi_twin: hi.extractors,
+        }
+        assert space.extractors_evaluated == hi.evaluated
+
+    def test_cached_empty_result_is_conclusive(self, contexts, monkeypatch):
+        # prune=False so the zero-recall locator reaches the memo probe
+        # instead of being bound-pruned first.
+        config = small_config(extractor_depth=1, prune=False)
+        hi = self._search_cost(contexts, self.LOC_HI, config)
+        empty = self._search_cost(
+            contexts, self.LOC_EMPTY, config, opt=hi.f1
+        )
+        assert not empty.extractors  # scenario sanity: conclusive empty
+        g_hi = ast.Sat(self.LOC_HI)
+        g_empty = ast.Sat(self.LOC_EMPTY)
+        g_empty_twin = ast.Sat(self.LOC_EMPTY_TWIN)
+        self._inject_guards(monkeypatch, [g_hi, g_empty, g_empty_twin])
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, config)
+        assert dict(space.options) == {g_hi: hi.extractors}
+        # The empty cached result was not re-searched for the twin.
+        assert space.extractors_evaluated == hi.evaluated + empty.evaluated
+
+    def test_nodecomp_disables_memo_sharing(self, contexts, monkeypatch):
+        config = small_config(extractor_depth=1, decompose=False)
+        hi = self._search_cost(contexts, self.LOC_HI, config)
+        g_hi = ast.Sat(self.LOC_HI)
+        g_hi_twin = ast.Sat(self.LOC_HI_TWIN)
+        self._inject_guards(monkeypatch, [g_hi, g_hi_twin])
+        pos = [LabeledExample(PAGE_A, GOLD_A)]
+        space = synthesize_branch(pos, [], contexts, config)
+        # Without decomposition both guards pay a full search (and the
+        # lower bound is not shared, so each starts from 0).
+        assert space.extractors_evaluated == 2 * hi.evaluated
+        assert set(dict(space.options)) == {g_hi, g_hi_twin}

@@ -102,3 +102,66 @@ class TestSynthesizeExtractors:
         assert seed_only.evaluated == 1
         assert seed_only.extractors  # ExtractContent settles in the drain
         assert capped.f1 >= seed_only.f1
+
+
+class TestBudgetAndDedupAccounting:
+    def test_duplicates_counted_separately(self, contexts):
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        result = synthesize_extractors(
+            propagated, pages, contexts, small_config(), 0.0
+        )
+        # The compact grammar collides constantly: dedup hits exist and
+        # are reported alongside (not inside) the evaluation count.
+        assert result.dedup_hits > 0
+        assert result.evaluated > 0
+
+    def test_duplicates_do_not_burn_budget(self, contexts):
+        # evaluated counts novel behaviours only, so it can never exceed
+        # the cap (+ the seed never exceeds it either).
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        unbounded = synthesize_extractors(
+            propagated, pages, contexts, small_config(), 0.0
+        )
+        budget = unbounded.evaluated  # exactly enough for every novel one
+        capped = synthesize_extractors(
+            propagated, pages, contexts,
+            small_config(max_extractor_candidates=budget), 0.0,
+        )
+        # Duplicate-signature candidates no longer consume the budget:
+        # a cap equal to the novel count reproduces the full search.
+        assert capped.evaluated == unbounded.evaluated
+        assert capped.dedup_hits == unbounded.dedup_hits
+        assert capped.extractors == unbounded.extractors
+        assert capped.f1 == unbounded.f1
+
+    def test_budget_binds_on_novel_candidates(self, contexts):
+        propagated, pages = propagated_for(contexts, [(PAGE_A, GOLD_A)])
+        capped = synthesize_extractors(
+            propagated, pages, contexts,
+            small_config(max_extractor_candidates=3), 0.0,
+        )
+        assert capped.evaluated <= 3
+
+    def test_branch_space_aggregates_dedup_hits(self, contexts):
+        from repro.synthesis import LabeledExample, synthesize_branch
+
+        space = synthesize_branch(
+            [LabeledExample(PAGE_A, GOLD_A)], [], contexts, small_config()
+        )
+        assert space.extractor_dedup_hits > 0
+
+    def test_session_stats_report_dedup_hits(self):
+        from repro.nlp import NlpModels
+        from repro.synthesis import LabeledExample, synthesize
+
+        from tests.synthesis.conftest import KEYWORDS, QUESTION
+
+        result = synthesize(
+            [LabeledExample(PAGE_A, GOLD_A)],
+            QUESTION,
+            KEYWORDS,
+            NlpModels(),
+            small_config(),
+        )
+        assert result.stats.extractor_dedup_hits > 0
+        assert result.stats.extractors_evaluated > 0

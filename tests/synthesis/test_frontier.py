@@ -1,0 +1,384 @@
+"""Differential tests: frontier-batched synthesis ≡ sequential search.
+
+The frontier engine (``SynthesisConfig.frontier = True``, the default)
+evaluates whole expansion families per call — threshold sweeps, shared
+source materialization, dedup-before-scoring.  Every observable result
+must be bit-identical to the per-candidate scalar mode
+(``frontier = False``), which shares the same schedule and serves as the
+oracle:
+
+* kernel level — ``eval_extractor_frontier`` / ``classify_guard_frontier``
+  / ``signature_frontier`` against their single-candidate counterparts
+  (hypothesis-generated candidate families);
+* search level — ``synthesize_extractors`` / ``iter_guards`` /
+  ``synthesize_branch`` / ``synthesize`` across configs, the noisy model
+  bundle, the reference engine, and all 25 dataset tasks.
+"""
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.dataset.tasks import TASKS
+from repro.dsl import ast
+from repro.dsl.productions import ProductionConfig, expand_extractor, gen_guards
+from repro.nlp import NlpModels
+from repro.nlp.noise import NoisyNlpModels
+from repro.synthesis import (
+    LabeledExample,
+    TaskContexts,
+    synthesize,
+    synthesize_branch,
+)
+from repro.synthesis.extractors import propagate_examples, synthesize_extractors
+from repro.synthesis.guards import iter_guards
+
+from tests.synthesis.conftest import (
+    GOLD_A,
+    GOLD_B,
+    GOLD_C,
+    PAGE_A,
+    PAGE_B,
+    PAGE_C,
+    small_config,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "dsl"))
+from test_engine_equivalence import extractors, guards, locators  # noqa: E402
+
+MODELS = NlpModels()
+QUESTION = "Who are the current PhD students?"
+KEYWORDS = ("Current Students", "PhD")
+
+EXAMPLES = [
+    LabeledExample(PAGE_A, GOLD_A),
+    LabeledExample(PAGE_B, GOLD_B),
+    LabeledExample(PAGE_C, GOLD_C),
+]
+PAGES = [example.page for example in EXAMPLES]
+
+#: A multi-threshold pool so the threshold-sweep kernels actually sweep.
+SWEEP_PRODUCTIONS = ProductionConfig(
+    keyword_thresholds=(0.55, 0.7, 0.85),
+    entity_labels=("PERSON", "ORG"),
+    use_negation=True,
+    use_subtree_text=True,
+)
+
+
+def fresh_contexts(models=MODELS, engine=None) -> TaskContexts:
+    return TaskContexts(QUESTION, KEYWORDS, models, engine=engine)
+
+
+# ---------------------------------------------------------------------------
+# Kernel level
+# ---------------------------------------------------------------------------
+
+
+class TestExtractorFrontierKernel:
+    @given(locators, extractors)
+    @settings(max_examples=30, deadline=None)
+    def test_family_matches_per_candidate_batch(self, locator, extractor):
+        """A real expansion family evaluates exactly like the scalar loop."""
+        contexts = fresh_contexts()
+        propagated, pages = propagate_examples(locator, EXAMPLES, contexts)
+        family = list(expand_extractor(extractor, SWEEP_PRODUCTIONS))
+        frontier = contexts.eval_extractor_frontier(family, propagated, pages)
+        oracle_contexts = fresh_contexts()
+        for candidate, got in zip(family, frontier):
+            expected = oracle_contexts.eval_extractor_batch(
+                candidate, propagated, pages
+            )
+            assert got == expected
+
+    @given(locators, st.lists(extractors, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_candidate_list(self, locator, candidates):
+        """The kernel contract holds for any candidate list, not just
+        production families (mixed sources, duplicates included)."""
+        contexts = fresh_contexts()
+        propagated, pages = propagate_examples(locator, EXAMPLES, contexts)
+        frontier = contexts.eval_extractor_frontier(
+            candidates, propagated, pages
+        )
+        oracle_contexts = fresh_contexts()
+        for candidate, got in zip(candidates, frontier):
+            assert got == oracle_contexts.eval_extractor_batch(
+                candidate, propagated, pages
+            )
+
+    def test_empty_inputs(self):
+        contexts = fresh_contexts()
+        assert contexts.eval_extractor_frontier([], [], []) == []
+        family = list(
+            expand_extractor(ast.ExtractContent(), SWEEP_PRODUCTIONS)
+        )
+        results = contexts.eval_extractor_frontier(family, [], [])
+        for signature, score in results:
+            assert signature == ()
+            assert score.f1 == 0.0
+
+    @given(locators, extractors)
+    @settings(max_examples=15, deadline=None)
+    def test_noisy_models_family(self, locator, extractor):
+        """Noise-injected predicates flow through the threshold kernels."""
+        noisy = NoisyNlpModels(MODELS, error_rate=0.3, seed=7)
+        contexts = fresh_contexts(noisy)
+        propagated, pages = propagate_examples(locator, EXAMPLES, contexts)
+        family = list(expand_extractor(extractor, SWEEP_PRODUCTIONS))
+        frontier = contexts.eval_extractor_frontier(family, propagated, pages)
+        oracle_contexts = fresh_contexts(noisy)
+        for candidate, got in zip(family, frontier):
+            assert got == oracle_contexts.eval_extractor_batch(
+                candidate, propagated, pages
+            )
+
+
+class TestGuardFrontierKernel:
+    @given(locators)
+    @settings(max_examples=30, deadline=None)
+    def test_gen_guards_family_matches_loop(self, locator):
+        family = list(gen_guards(locator, SWEEP_PRODUCTIONS))
+        for split in (0, 1, 3):
+            positives, negatives = EXAMPLES[:split], EXAMPLES[split:]
+            frontier = fresh_contexts().classify_guard_frontier(
+                family, positives, negatives
+            )
+            oracle_contexts = fresh_contexts()
+            expected = [
+                oracle_contexts.classify_guard_batch(
+                    guard, positives, negatives
+                )
+                for guard in family
+            ]
+            assert frontier == expected
+
+    @given(st.lists(guards, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_guard_list(self, family):
+        frontier = fresh_contexts().classify_guard_frontier(
+            family, EXAMPLES[:1], EXAMPLES[1:]
+        )
+        oracle_contexts = fresh_contexts()
+        assert frontier == [
+            oracle_contexts.classify_guard_batch(
+                guard, EXAMPLES[:1], EXAMPLES[1:]
+            )
+            for guard in family
+        ]
+
+    @given(locators)
+    @settings(max_examples=15, deadline=None)
+    def test_noisy_models_guard_family(self, locator):
+        noisy = NoisyNlpModels(MODELS, error_rate=0.3, seed=3)
+        family = list(gen_guards(locator, SWEEP_PRODUCTIONS))
+        frontier = fresh_contexts(noisy).classify_guard_frontier(
+            family, EXAMPLES[:2], EXAMPLES[2:]
+        )
+        oracle_contexts = fresh_contexts(noisy)
+        assert frontier == [
+            oracle_contexts.classify_guard_batch(
+                guard, EXAMPLES[:2], EXAMPLES[2:]
+            )
+            for guard in family
+        ]
+
+
+class TestSignatureFrontier:
+    @given(locators)
+    @settings(max_examples=30, deadline=None)
+    def test_extension_family_matches_signature_batch(self, locator):
+        from repro.dsl.productions import expand_locator
+
+        extensions = list(expand_locator(locator, SWEEP_PRODUCTIONS))
+        contexts = fresh_contexts()
+        frontier = contexts.signature_frontier(locator, extensions, EXAMPLES)
+        oracle_contexts = fresh_contexts()
+        expected = [
+            oracle_contexts.signature_batch(extension, EXAMPLES)
+            for extension in extensions
+        ]
+        assert frontier == expected
+        # The shared memo was populated: scalar probes on the same
+        # contexts return the identical objects.
+        for extension, signature in zip(extensions, frontier):
+            assert contexts.signature_batch(extension, EXAMPLES) is signature
+
+    @given(locators)
+    @settings(max_examples=20, deadline=None)
+    def test_reference_engine_fallback(self, locator):
+        from repro.dsl.productions import expand_locator
+
+        extensions = list(expand_locator(locator, SWEEP_PRODUCTIONS))
+        frontier = fresh_contexts(engine="reference").signature_frontier(
+            locator, extensions, EXAMPLES
+        )
+        oracle_contexts = fresh_contexts(engine="reference")
+        assert frontier == [
+            oracle_contexts.signature_batch(extension, EXAMPLES)
+            for extension in extensions
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Search level: frontier ≡ sequential on every observable
+# ---------------------------------------------------------------------------
+
+
+def branch_observables(space):
+    return (space.options, space.f1, space.guards_tried,
+            space.extractors_evaluated, space.extractor_dedup_hits)
+
+
+SEARCH_CONFIGS = [
+    small_config(),
+    small_config(productions=SWEEP_PRODUCTIONS),
+    small_config(prune=False),
+    small_config(decompose=False),
+    small_config(productions=SWEEP_PRODUCTIONS, prune=False, decompose=False),
+    small_config(engine="reference"),
+    small_config(beta=2.0),
+]
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("config_index", range(len(SEARCH_CONFIGS)))
+    def test_synthesize_extractors_modes_agree(self, config_index):
+        config = SEARCH_CONFIGS[config_index]
+        locator = ast.get_leaves(ast.GetRoot())
+        frontier_contexts = fresh_contexts(engine=config.engine)
+        propagated, pages = propagate_examples(
+            locator, EXAMPLES[:2], frontier_contexts
+        )
+        frontier = synthesize_extractors(
+            propagated, pages, frontier_contexts,
+            replace(config, frontier=True), 0.0,
+        )
+        scalar_contexts = fresh_contexts(engine=config.engine)
+        propagated2, pages2 = propagate_examples(
+            locator, EXAMPLES[:2], scalar_contexts
+        )
+        scalar = synthesize_extractors(
+            propagated2, pages2, scalar_contexts,
+            replace(config, frontier=False), 0.0,
+        )
+        assert frontier == scalar
+
+    @pytest.mark.parametrize("config_index", range(len(SEARCH_CONFIGS)))
+    def test_iter_guards_modes_agree(self, config_index):
+        config = SEARCH_CONFIGS[config_index]
+        positives, negatives = EXAMPLES[:1], EXAMPLES[1:]
+        produced = list(
+            iter_guards(
+                positives, negatives,
+                fresh_contexts(engine=config.engine),
+                replace(config, frontier=True), lambda: 0.0,
+            )
+        )
+        expected = list(
+            iter_guards(
+                positives, negatives,
+                fresh_contexts(engine=config.engine),
+                replace(config, frontier=False), lambda: 0.0,
+            )
+        )
+        assert produced == expected
+
+    @pytest.mark.parametrize("config_index", range(len(SEARCH_CONFIGS)))
+    def test_synthesize_branch_modes_agree(self, config_index):
+        config = SEARCH_CONFIGS[config_index]
+        positives = [EXAMPLES[0], EXAMPLES[1]]
+        negatives = [EXAMPLES[2]]
+        frontier = synthesize_branch(
+            positives, negatives,
+            fresh_contexts(engine=config.engine),
+            replace(config, frontier=True),
+        )
+        scalar = synthesize_branch(
+            positives, negatives,
+            fresh_contexts(engine=config.engine),
+            replace(config, frontier=False),
+        )
+        assert branch_observables(frontier) == branch_observables(scalar)
+
+    def test_noisy_models_full_branch(self):
+        noisy = NoisyNlpModels(MODELS, error_rate=0.2, seed=11)
+        config = small_config(productions=SWEEP_PRODUCTIONS)
+        frontier = synthesize_branch(
+            EXAMPLES[:2], EXAMPLES[2:], fresh_contexts(noisy),
+            replace(config, frontier=True),
+        )
+        scalar = synthesize_branch(
+            EXAMPLES[:2], EXAMPLES[2:], fresh_contexts(noisy),
+            replace(config, frontier=False),
+        )
+        assert branch_observables(frontier) == branch_observables(scalar)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=12, deadline=None)
+    def test_generated_pages_branch_agrees(self, seed):
+        """Corpus-generated faculty pages: frontier ≡ sequential."""
+        sample = generate_page("faculty", seed)
+        examples = [LabeledExample(sample.page, sample.gold["fac_t1"])]
+        config = small_config()
+        frontier = synthesize_branch(
+            examples, [], fresh_contexts(), replace(config, frontier=True)
+        )
+        scalar = synthesize_branch(
+            examples, [], fresh_contexts(), replace(config, frontier=False)
+        )
+        assert branch_observables(frontier) == branch_observables(scalar)
+
+
+class TestDatasetTasksEquivalence:
+    """Frontier ≡ sequential across all 25 dataset tasks.
+
+    Uses a reduced per-task dataset (2 labeled pages) and the compact
+    search space so the sweep stays test-suite fast; spaces, F1 and
+    search counters must match exactly, task by task.
+    """
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.task_id)
+    def test_task_synthesis_agrees(self, task):
+        from repro.dataset.corpus import load_task_dataset
+
+        dataset = load_task_dataset(task, n_pages=3, n_train=2, seed=0)
+        examples = list(dataset.train)
+        config = small_config()
+        results = {}
+        for frontier in (True, False):
+            result = synthesize(
+                examples,
+                task.question,
+                task.keywords,
+                dataset.models,
+                replace(config, frontier=frontier),
+            )
+            results[frontier] = result
+        frontier_result, scalar_result = results[True], results[False]
+        assert frontier_result.f1 == scalar_result.f1
+        assert frontier_result.stats.guards_tried == scalar_result.stats.guards_tried
+        assert (
+            frontier_result.stats.extractors_evaluated
+            == scalar_result.stats.extractors_evaluated
+        )
+        assert (
+            frontier_result.stats.extractor_dedup_hits
+            == scalar_result.stats.extractor_dedup_hits
+        )
+        frontier_spaces = [
+            tuple(bs.options for bs in space.branch_spaces)
+            for space in frontier_result.spaces
+        ]
+        scalar_spaces = [
+            tuple(bs.options for bs in space.branch_spaces)
+            for space in scalar_result.spaces
+        ]
+        assert frontier_spaces == scalar_spaces
+        # The optimal program set is therefore identical too.
+        assert frontier_result.enumerate(50) == scalar_result.enumerate(50)

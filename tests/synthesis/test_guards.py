@@ -40,7 +40,13 @@ class TestLocatorSignature:
     def test_signature_shape(self, contexts):
         examples = [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)]
         signature = locator_signature(ast.GetRoot(), examples, contexts)
-        assert signature == ((0,), (0,))
+        # One opaque behaviour key per page, equal to the engine's
+        # per-page key for the root locator.
+        assert signature == tuple(
+            contexts.ctx(example.page).signature_key(ast.GetRoot())
+            for example in examples
+        )
+        assert len(signature) == len(examples)
 
     def test_equivalent_locators_share_signature(self, contexts):
         examples = [LabeledExample(PAGE_A, GOLD_A)]

@@ -284,3 +284,92 @@ class TestFingerprints:
         root.add_child(PageNode(1, "B"))
         real = WebPage(root, url="u")
         assert forged.content_fingerprint() != real.content_fingerprint()
+
+
+class TestBlockParallelism:
+    """``jobs > 1`` block-parallel synthesis ≡ the sequential driver."""
+
+    @staticmethod
+    def _spaces_view(result):
+        return [
+            tuple(bs.options for bs in space.branch_spaces)
+            for space in result.spaces
+        ], result.f1
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_jobs_equal_sequential(self, backend):
+        from dataclasses import replace
+
+        examples = [
+            LabeledExample(PAGE_A, GOLD_A),
+            LabeledExample(PAGE_B, GOLD_B),
+            LabeledExample(PAGE_C, GOLD_C),
+        ]
+        config = small_config(max_branches=2)
+        sequential = fresh_result(examples, config)
+        parallel_config = replace(config, jobs=2, runner_backend=backend)
+        with SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=parallel_config,
+            examples=examples,
+        ) as session:
+            parallel = session.synthesize()
+        assert self._spaces_view(parallel) == self._spaces_view(sequential)
+        # Un-budgeted runs book identical work too: every block the
+        # sequential replay needed was solved exactly once.
+        assert parallel.stats.blocks_synthesized == sequential.stats.blocks_synthesized
+        assert parallel.stats.guards_tried == sequential.stats.guards_tried
+        assert (
+            parallel.stats.extractors_evaluated
+            == sequential.stats.extractors_evaluated
+        )
+        assert parallel.stats.completed
+
+    def test_parallel_refit_reuses_blocks(self):
+        from dataclasses import replace
+
+        config = replace(small_config(max_branches=2), jobs=2)
+        with SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        ) as session:
+            session.synthesize()
+            session.add_example(LabeledExample(PAGE_B, GOLD_B))
+            refit = session.synthesize()
+            fresh = fresh_result(
+                [LabeledExample(PAGE_A, GOLD_A), LabeledExample(PAGE_B, GOLD_B)],
+                replace(config, jobs=1),
+            )
+            assert self._spaces_view(refit) == self._spaces_view(fresh)
+            assert refit.stats.blocks_reused > 0
+
+    def test_close_is_idempotent_and_reusable(self):
+        from dataclasses import replace
+
+        config = replace(small_config(), jobs=2)
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        )
+        first = session.synthesize()
+        session.close()
+        session.close()  # idempotent
+        # A closed session builds a fresh pool on demand.
+        again = session.synthesize()
+        assert self._spaces_view(first) == self._spaces_view(again)
+        session.close()
+
+    def test_save_excludes_worker_pool(self, tmp_path):
+        from dataclasses import replace
+
+        config = replace(small_config(), jobs=2)
+        session = SynthesisSession(
+            QUESTION, KEYWORDS, MODELS, config=config,
+            examples=[LabeledExample(PAGE_A, GOLD_A)],
+        )
+        session.synthesize()
+        path = tmp_path / "session.pkl"
+        session.save(str(path))
+        session.close()
+        loaded = SynthesisSession.load(str(path))
+        assert loaded.cached_blocks() == session.cached_blocks()
+        loaded.close()
