@@ -506,3 +506,89 @@ def test_bench_serve_warm_batch(benchmark):
     finally:
         service.close()
     assert answers == [tool.predict(page) for page in _SERVE_PAGES]
+
+
+def test_bench_serve_warm_batch_nonstrict(benchmark):
+    """The isolation tax: serve_warm_batch with ``strict=False``.
+
+    Same regime as :func:`test_bench_serve_warm_batch`, but through the
+    per-request isolation path — structured :class:`ServingResult`
+    objects, per-item exception walls, retry accounting — with no faults
+    injected.  The ``serve_warm_batch`` / ``_nonstrict`` median ratio is
+    tracked as a speedup pair: fault tolerance must not tax the clean
+    path (expected ≈1.0x).
+    """
+    from repro.serving.service import QAService, ServingRequest
+
+    tool = _serving_tool()
+    service = QAService(jobs=2, max_batch=len(_SERVE_PAGES))
+    service.register("bench", tool.export_artifact())
+
+    def setup():
+        (pages,), _ = _fresh_serve_pages()
+        return ([ServingRequest(route="bench", page=page) for page in pages],), {}
+
+    def run(requests):
+        return service.ask_many(requests, strict=False)
+
+    try:
+        results = benchmark.pedantic(
+            run, setup=setup, rounds=15, iterations=1, warmup_rounds=2
+        )
+    finally:
+        service.close()
+    assert all(result.ok for result in results)
+    assert [r.answer for r in results] == [
+        tool.predict(page) for page in _SERVE_PAGES
+    ]
+
+
+# One terminally poisoned request inside a healthy batch: seeds 40..55
+# give a 16-page micro-batch; index 5 always fails at predict.
+_FAULTY_PAGES = [generate_page("faculty", seed).page for seed in range(40, 56)]
+_FAULTY_INDEX = 5
+
+
+def test_bench_serve_faulty_batch(benchmark):
+    """Per-request isolation under fire, timed (and gated in CI).
+
+    A 16-page warm batch with one terminally poisoned request served
+    non-strict: the poisoned slot must come back as a structured error,
+    the other 15 with correct answers, and the whole round must stay in
+    the same cost regime as the clean warm batch (isolation, not
+    batch-wide retry or abort).
+    """
+    from repro.serving.faults import ALWAYS, FaultPlan
+    from repro.serving.service import QAService, ServingRequest
+
+    tool = _serving_tool()
+    service = QAService(
+        jobs=2,
+        max_batch=len(_FAULTY_PAGES),
+        fault_injector=FaultPlan(predict_faults={_FAULTY_INDEX: ALWAYS}),
+    )
+    service.register("bench", tool.export_artifact())
+
+    def setup():
+        import copy
+
+        pages = copy.deepcopy(_FAULTY_PAGES)
+        return ([ServingRequest(route="bench", page=page) for page in pages],), {}
+
+    def run(requests):
+        return service.ask_many(requests, strict=False)
+
+    try:
+        results = benchmark.pedantic(
+            run, setup=setup, rounds=15, iterations=1, warmup_rounds=2
+        )
+    finally:
+        service.close()
+    for index, result in enumerate(results):
+        if index == _FAULTY_INDEX:
+            assert result.error is not None
+            assert result.error.stage == "predict"
+            assert result.error.injected
+        else:
+            assert result.ok
+            assert result.answer == tool.predict(_FAULTY_PAGES[index])

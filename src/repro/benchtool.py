@@ -38,6 +38,7 @@ GUARDED = (
     "test_bench_full_synthesis",
     "test_bench_full_synthesis_cold",
     "test_bench_serve_warm_batch",
+    "test_bench_serve_faulty_batch",
 )
 
 #: A guarded median may grow at most this factor over the baseline.
@@ -73,6 +74,10 @@ SPEEDUP_PAIRS = (
     # the warm cache vs cold-ingest win.
     ("test_bench_serve_warm_batch", "test_bench_predict_batch"),
     ("test_bench_serve_warm_batch", "test_bench_serve_cold"),
+    # Fault tolerance: the *isolation tax* — the strict fast path vs the
+    # per-request isolation path (structured results, retry accounting)
+    # on the same warm pages.  Expected ≈1.0x.
+    ("test_bench_serve_warm_batch", "test_bench_serve_warm_batch_nonstrict"),
 )
 
 #: Path fragments that locate the micro-benchmark suite from a repo root.
@@ -105,8 +110,16 @@ def _pytest_env(repo_root: Path) -> dict:
     }
 
 
-def run_benchmarks(raw_json: Path, repo_root: Path | None = None) -> None:
-    """Run the micro-benchmark suite, writing pytest-benchmark JSON."""
+def run_benchmarks(
+    raw_json: Path,
+    repo_root: Path | None = None,
+    filter_expr: str | None = None,
+) -> None:
+    """Run the micro-benchmark suite, writing pytest-benchmark JSON.
+
+    ``filter_expr`` is a pytest ``-k`` expression restricting which
+    benchmarks run (the CI chaos job measures only the serving subset).
+    """
     repo_root = repo_root or find_repo_root()
     command = [
         sys.executable,
@@ -116,6 +129,8 @@ def run_benchmarks(raw_json: Path, repo_root: Path | None = None) -> None:
         "-q",
         f"--benchmark-json={raw_json}",
     ]
+    if filter_expr:
+        command += ["-k", filter_expr]
     result = subprocess.run(command, cwd=repo_root, env=_pytest_env(repo_root))
     if result.returncode != 0:
         raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
@@ -175,12 +190,14 @@ def summarize(raw: dict) -> dict:
 
 
 def measure(
-    output: Path | None = None, repo_root: Path | None = None
+    output: Path | None = None,
+    repo_root: Path | None = None,
+    filter_expr: str | None = None,
 ) -> dict:
     """Run the micro suite and return (and optionally write) the artifact."""
     with tempfile.TemporaryDirectory() as tmp:
         raw_json = Path(tmp) / "raw.json"
-        run_benchmarks(raw_json, repo_root)
+        run_benchmarks(raw_json, repo_root, filter_expr=filter_expr)
         raw = json.loads(raw_json.read_text())
     artifact = summarize(raw)
     if output is not None:

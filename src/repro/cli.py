@@ -254,6 +254,31 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """Run the serve-chaos scenario table on the synthetic corpus.
+
+    Fits one task at the requested scale, then drives the exported
+    artifact through every chaos scenario (transient faults, poisoned
+    requests, worker crashes, adversarial HTML, overload, deadlines)
+    with its invariants asserted — the command fails loudly if any
+    fault escapes the failure model.  Defaults are quick-scale so the
+    table doubles as a CI smoke check.
+    """
+    from .experiments.chaos import run_and_render
+    from .experiments.common import ExperimentConfig
+
+    config = ExperimentConfig(
+        n_pages=args.pages,
+        n_train=args.train,
+        ensemble_size=args.ensemble,
+        seed=args.seed,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    print(run_and_render(config))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Measure the micro-benchmark suite and/or gate it against a baseline.
 
@@ -282,14 +307,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
         fresh = json_module.loads(args.fresh.read_text())
         print(f"loaded fresh artifact: {args.fresh}")
     else:
-        fresh = benchtool.measure(output=args.output)
+        fresh = benchtool.measure(output=args.output, filter_expr=args.filter)
         if args.output is not None:
             print(f"wrote {args.output}")
         for name, ratio in fresh.get("median_speedups", {}).items():
             print(f"  {name}: {ratio}x")
     if baseline is None:
         return 0
-    rows = benchtool.compare(fresh, baseline)
+    # Under --filter only a subset was measured; guarded benchmarks that
+    # were filtered *out* are absent by design, not vanished — gate only
+    # the guarded names the fresh run actually contains.
+    guarded = benchtool.GUARDED
+    if args.filter:
+        guarded = tuple(
+            name for name in guarded if name in fresh.get("benchmarks", {})
+        )
+    rows = benchtool.compare(fresh, baseline, guarded=guarded)
     print(f"delta vs baseline {args.compare}:")
     print(benchtool.format_compare(rows, args.max_regression))
     failures = [row for row in rows if row.fails(args.max_regression)]
@@ -432,7 +465,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the non-micro benchmark files once (CI sanity pass) "
         "and exit",
     )
+    bench.add_argument(
+        "--filter", default=None, metavar="EXPR",
+        help="pytest -k expression selecting which micro benchmarks to "
+        "measure; guarded names filtered out are not treated as missing",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    serve_chaos = sub.add_parser(
+        "serve-chaos",
+        help="run the fault-tolerant serving chaos table",
+    )
+    serve_chaos.add_argument(
+        "--pages", type=int, default=10, help="pages per domain"
+    )
+    serve_chaos.add_argument(
+        "--train", type=int, default=3, help="labeled pages for the fit"
+    )
+    serve_chaos.add_argument(
+        "--ensemble", type=int, default=50, help="ensemble size N"
+    )
+    serve_chaos.add_argument("--seed", type=int, default=0)
+    serve_chaos.add_argument(
+        "--jobs", type=int, default=2,
+        help="service workers per micro-batch (>1 enables the deadline "
+        "scenario: deadlines bound waiting on pool workers)",
+    )
+    serve_chaos.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker pool backend (process makes injected crashes kill "
+        "real worker processes)",
+    )
+    serve_chaos.set_defaults(func=cmd_serve_chaos)
     return parser
 
 

@@ -1,10 +1,23 @@
-"""Exception types of the core WebQA API.
+"""Exception types of the core WebQA API and the serving error taxonomy.
 
 Kept in their own module so the serving layer (``repro.serving``) and
 the tool (``repro.core.webqa``) can share them without an import cycle.
+
+The serving taxonomy (:class:`ServingError` and its subclasses) gives a
+long-lived service one structured vocabulary for *everything* that can
+go wrong on the request path: which **stage** failed (ingest, route,
+predict, admission, deadline), which **route** and page **fingerprint**
+were involved, how many **retries** were spent, and whether the failure
+is **transient** (worth retrying: a crashed worker, an injected
+recoverable fault) or terminal.  ``QAService.ask_many(strict=False)``
+returns these inside per-request ``ServingResult`` values instead of
+letting one poisoned request fail its whole micro-batch; ``strict=True``
+raises them through, preserving the original fail-fast semantics.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
 
 
 class NotFittedError(RuntimeError):
@@ -22,3 +35,148 @@ class NotFittedError(RuntimeError):
             f"artifact with WebQA.from_artifact()"
         )
         self.operation = operation
+
+
+class ServingError(RuntimeError):
+    """Base of the serving failure taxonomy.
+
+    Parameters
+    ----------
+    route / fingerprint:
+        Request context: the routing key and the ingest fingerprint of
+        the page involved (empty when unknown at raise time).
+    retries:
+        Retry attempts spent before this error became final.  Mutable on
+        purpose — the retry loop stamps the final count onto the error
+        it ultimately reports.
+    transient:
+        ``True`` for failures a bounded retry may cure (worker crash,
+        injected recoverable fault); the service's retry policy only
+        ever retries transient errors.
+    injected:
+        ``True`` when the error came from the deterministic
+        fault-injection harness (:mod:`repro.serving.faults`), so chaos
+        tests can tell injected failures from organic ones.
+    """
+
+    #: Pipeline stage this error class belongs to (overridden per subclass).
+    stage = "serving"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        route: str = "",
+        fingerprint: str = "",
+        retries: int = 0,
+        transient: bool = False,
+        injected: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.route = route
+        self.fingerprint = fingerprint
+        self.retries = retries
+        self.transient = transient
+        self.injected = injected
+
+    def as_dict(self) -> dict:
+        """Structured form for logs, stats and chaos-bench tables."""
+        return {
+            "type": type(self).__name__,
+            "stage": self.stage,
+            "message": str(self),
+            "route": self.route,
+            "fingerprint": self.fingerprint,
+            "retries": self.retries,
+            "transient": self.transient,
+            "injected": self.injected,
+        }
+
+
+class IngestError(ServingError):
+    """Raw HTML could not be turned into a servable page."""
+
+    stage = "ingest"
+
+
+class RouteError(ServingError, KeyError):
+    """The request named a routing key with no registered artifact.
+
+    Also a :class:`KeyError` so pre-taxonomy callers catching the old
+    ``KeyError("unknown route ...")`` keep working unchanged.
+    """
+
+    stage = "route"
+
+    # KeyError.__str__ repr-quotes its argument; keep the plain message.
+    __str__ = RuntimeError.__str__
+
+
+class PredictError(ServingError):
+    """The predict stage failed for one request (after any fallback)."""
+
+    stage = "predict"
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline elapsed before an answer was produced.
+
+    Never transient: by definition there is no time left to retry.
+    """
+
+    stage = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_seconds: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        **context,
+    ) -> None:
+        context.pop("transient", None)
+        super().__init__(message, transient=False, **context)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["deadline_seconds"] = self.deadline_seconds
+        payload["elapsed_seconds"] = self.elapsed_seconds
+        return payload
+
+
+class RejectedError(ServingError):
+    """The request was shed before any work was done on it.
+
+    Raised by admission control (the in-flight bound) and by an open
+    per-route circuit breaker.  Transient by nature — the caller may
+    retry later — but never retried *inside* the service: shedding
+    exists to reduce load, and an internal retry would re-add it.
+    """
+
+    stage = "admission"
+
+    def __init__(self, message: str, *, reason: str = "overload", **context) -> None:
+        context.pop("transient", None)
+        super().__init__(message, transient=True, **context)
+        self.reason = reason
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["reason"] = self.reason
+        return payload
+
+
+def is_transient(error: BaseException) -> bool:
+    """Is ``error`` worth a bounded retry?
+
+    :class:`ServingError` carries its own flag; a
+    :class:`concurrent.futures.BrokenExecutor` (a crashed worker pool —
+    the :class:`~repro.runtime.TaskRunner` rebuilds it on the next map)
+    is always transient.  Everything else is terminal: an organic
+    predict exception is deterministic, so re-running it buys nothing.
+    """
+    if isinstance(error, ServingError):
+        return error.transient
+    return isinstance(error, BrokenExecutor)

@@ -190,6 +190,18 @@ class WebQA(ExtractionTool):
         # the tool from retaining every page it ever answered.
         return self._compiled.run(self._contexts.serving_ctx(page))
 
+    def predict_interpreted(self, page: WebPage) -> tuple[str, ...]:
+        """:meth:`predict` via the AST interpreter, bypassing the compiled plan.
+
+        The serving layer's degradation path: if a compiled plan ever
+        misbehaves (or a chaos test injects a compiled-stage fault), the
+        interpreter answers from the same program and eval state —
+        bit-identical output, just without the compiled fast path.
+        """
+        if self._contexts is None or self._program is None:
+            raise NotFittedError("predict_interpreted")
+        return self._contexts.serving_ctx(page).eval_program(self._program)
+
     def predict_batch(
         self,
         pages: list[WebPage],

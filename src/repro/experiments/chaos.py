@@ -1,0 +1,201 @@
+"""Serve-chaos experiment: the fault-tolerant serving path, measured.
+
+Every scenario drives the *same* exported artifact through a fresh
+:class:`~repro.serving.QAService` under a different deterministic
+failure regime (``repro.serving.faults``), and the table reports what
+the failure model promises: failures stay structured and isolated,
+transient faults are retried to success, hostile pages degrade instead
+of crashing, overload is shed, and throughput under chaos stays in the
+same decade as the clean baseline.
+
+Invariants are asserted, not eyeballed: a scenario whose outcome
+deviates from its plan (an un-planned failure, a clean request that
+errored, answers diverging from the fitted tool) aborts the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.webqa import WebQA
+from ..dataset.tasks import TASKS_BY_ID
+from ..serving.faults import ALWAYS, FaultPlan, adversarial_corpus
+from ..serving.service import QAService, RetryPolicy, ServingRequest
+from ..webtree.html_out import page_to_html
+from .common import ExperimentConfig, dataset_for
+
+#: The one serving task the chaos table exercises (routes are
+#: orthogonal to the failure machinery; one is enough).
+CHAOS_TASK = "fac_t1"
+
+#: Backoff tuned for a table run: deterministic, but near-instant.
+_FAST_RETRY = RetryPolicy(max_retries=2, backoff_seconds=0.001,
+                          max_backoff_seconds=0.002)
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """Outcome counters for one chaos scenario."""
+
+    scenario: str
+    requests: int
+    ok: int
+    failed: int
+    rejected: int
+    deadline: int
+    degraded: int
+    retries: int
+    pages_per_s: float
+
+
+def _summarize(scenario, results, elapsed) -> ChaosRow:
+    ok = sum(1 for r in results if r.ok)
+    stages = [r.error.stage for r in results if r.error is not None]
+    return ChaosRow(
+        scenario=scenario,
+        requests=len(results),
+        ok=ok,
+        failed=len(results) - ok,
+        rejected=stages.count("admission"),
+        deadline=stages.count("deadline"),
+        degraded=sum(1 for r in results if r.degraded),
+        retries=sum(r.retries for r in results),
+        pages_per_s=len(results) / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+def run(config: ExperimentConfig) -> list[ChaosRow]:
+    """All chaos scenarios over one artifact; one :class:`ChaosRow` each."""
+    task = TASKS_BY_ID[CHAOS_TASK]
+    dataset = dataset_for(task, config)
+    tool = WebQA(ensemble_size=config.ensemble_size, seed=config.seed).fit(
+        task.question,
+        task.keywords,
+        list(dataset.train),
+        list(dataset.test_pages),
+        dataset.models,
+    )
+    artifact = tool.export_artifact()
+    expected = [tool.predict(page) for page in dataset.test_pages]
+    requests = [
+        ServingRequest(route=CHAOS_TASK, html=page_to_html(page), url=page.url)
+        for page in dataset.test_pages
+    ]
+    n = len(requests)
+
+    def service(**kwargs) -> QAService:
+        kwargs.setdefault("jobs", config.jobs)
+        kwargs.setdefault("backend", config.backend)
+        kwargs.setdefault("retry_policy", _FAST_RETRY)
+        svc = QAService(**kwargs)
+        svc.register(CHAOS_TASK, artifact)
+        return svc
+
+    def serve(svc, reqs, **kwargs):
+        start = time.perf_counter()
+        results = svc.ask_many(reqs, strict=False, **kwargs)
+        return results, time.perf_counter() - start
+
+    rows: list[ChaosRow] = []
+
+    # -- baseline: no faults; must answer exactly like the fitted tool.
+    with service() as svc:
+        results, elapsed = serve(svc, requests)
+    if [r.answer for r in results] != expected:
+        raise AssertionError("chaos baseline diverged from fitted tool")
+    rows.append(_summarize("baseline", results, elapsed))
+
+    # -- transient: every request faults once on predict, some on ingest;
+    # bounded retry must cure all of them.
+    plan = FaultPlan(
+        ingest_faults={i: 1 for i in range(0, n, 3)},
+        predict_faults={i: 1 for i in range(n)},
+        seed=config.seed,
+    )
+    with service(fault_injector=plan) as svc:
+        results, elapsed = serve(svc, requests)
+    if not all(r.ok for r in results):
+        raise AssertionError("transient scenario left unrecovered failures")
+    rows.append(_summarize("transient", results, elapsed))
+
+    # -- poisoned: a fifth of the requests fail terminally; the rest of
+    # the micro-batch must be untouched.
+    poisoned = {i: ALWAYS for i in range(0, n, 5)}
+    plan = FaultPlan(predict_faults=poisoned, seed=config.seed)
+    with service(fault_injector=plan) as svc:
+        results, elapsed = serve(svc, requests)
+    for index, result in enumerate(results):
+        if (index in poisoned) == result.ok:
+            raise AssertionError("poisoned scenario isolation violated")
+    rows.append(_summarize("poisoned", results, elapsed))
+
+    # -- crash: injected worker deaths (real pool kills on the process
+    # backend, transient predict faults on threads); retry must recover.
+    plan = FaultPlan(pool_crashes=frozenset({0, n // 2}), seed=config.seed)
+    with service(fault_injector=plan) as svc:
+        results, elapsed = serve(svc, requests)
+    if not all(r.ok for r in results):
+        raise AssertionError("crash scenario left unrecovered failures")
+    rows.append(_summarize("crash", results, elapsed))
+
+    # -- adversarial: hostile generated pages mixed into real traffic;
+    # everything answers (degraded at worst) under the default limits.
+    hostile = [
+        ServingRequest(route=CHAOS_TASK, html=html, url=f"adv://{kind}")
+        for kind, html in adversarial_corpus(seed=config.seed)
+    ]
+    with service() as svc:
+        results, elapsed = serve(svc, requests + hostile)
+    if not all(r.ok for r in results):
+        raise AssertionError("adversarial pages crashed the serving path")
+    rows.append(_summarize("adversarial", results, elapsed))
+
+    # -- overload: admission bound below the offered load; overflow is
+    # shed instantly, admitted requests still answer correctly.
+    bound = max(1, n // 2)
+    with service(max_inflight=bound) as svc:
+        results, elapsed = serve(svc, requests)
+    if sum(1 for r in results if r.ok) != bound:
+        raise AssertionError("admission bound not enforced")
+    rows.append(_summarize("overload", results, elapsed))
+
+    # -- deadline: injected latency against a tight deadline (pool
+    # backends only: the deadline bounds *waiting* on workers).
+    if config.jobs > 1:
+        plan = FaultPlan(latency_seconds={0: 0.5}, seed=config.seed)
+        with service(fault_injector=plan) as svc:
+            results, elapsed = serve(svc, requests, deadline_seconds=0.15)
+        if results[0].error is None or results[0].error.stage != "deadline":
+            raise AssertionError("deadline scenario did not trip")
+        rows.append(_summarize("deadline", results, elapsed))
+
+    return rows
+
+
+def render(rows: list[ChaosRow]) -> str:
+    """The serve-chaos table, experiments-runner style."""
+    lines = [
+        "Serve-chaos: fault-tolerant serving under deterministic fault plans",
+        "",
+        f"{'scenario':<12} {'req':>4} {'ok':>4} {'fail':>5} {'shed':>5} "
+        f"{'ddl':>4} {'degr':>5} {'retry':>6} {'pages/s':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<12} {row.requests:>4} {row.ok:>4} "
+            f"{row.failed - row.rejected - row.deadline:>5} {row.rejected:>5} "
+            f"{row.deadline:>4} {row.degraded:>5} {row.retries:>6} "
+            f"{row.pages_per_s:>9.1f}"
+        )
+    lines.append("")
+    lines.append(
+        "fail = terminal stage failures; shed = admission/circuit "
+        "rejections; ddl = deadline misses; degr = degraded answers "
+        "(bounded parse or interpreter fallback)."
+    )
+    return "\n".join(lines)
+
+
+def run_and_render(config: ExperimentConfig) -> str:
+    return render(run(config))

@@ -11,6 +11,7 @@ Regenerates every table and figure of the paper's evaluation::
     python -m repro.experiments.runner fig14            # Figure 14
     python -m repro.experiments.runner noise            # extension: module-error robustness
     python -m repro.experiments.runner serving          # extension: QAService throughput
+    python -m repro.experiments.runner chaos            # extension: fault-tolerant serving
     python -m repro.experiments.runner all              # everything
 
 Scale flags: ``--pages N --train N --ensemble N`` (defaults are a reduced
@@ -27,12 +28,23 @@ import sys
 import time
 from dataclasses import replace
 
-from . import fig12, fig13, fig14, noise, serving, table2, table3, table4, table6
+from . import (
+    chaos,
+    fig12,
+    fig13,
+    fig14,
+    noise,
+    serving,
+    table2,
+    table3,
+    table4,
+    table6,
+)
 from .common import ExperimentConfig, paper_scale
 
 EXPERIMENTS = (
     "fig12", "table2", "table3", "table4", "table6", "fig13", "fig14",
-    "noise", "serving",
+    "noise", "serving", "chaos",
 )
 
 
@@ -61,6 +73,8 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
         return noise.run_and_render(config)
     if name == "serving":
         return serving.run_and_render(config)
+    if name == "chaos":
+        return chaos.run_and_render(config)
     raise ValueError(f"unknown experiment {name!r}")
 
 

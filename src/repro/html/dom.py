@@ -154,10 +154,15 @@ class Document(Element):
 
     A ``Document`` behaves as an element with the pseudo-tag ``#document``
     so traversal helpers work uniformly from the root.
+
+    ``truncated`` is ``True`` when a parse-time guard
+    (``parse_html(max_depth=..., max_nodes=...)``) capped the tree — the
+    document is well-formed but deliberately incomplete.
     """
 
     def __init__(self) -> None:
         super().__init__("#document")
+        self.truncated = False
 
     @property
     def html(self) -> Optional[Element]:

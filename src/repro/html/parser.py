@@ -11,6 +11,13 @@ the recovery behaviours that matter in practice:
 * character references are decoded by the tokenizer (``convert_charrefs``).
 
 The output is a :class:`~repro.html.dom.Document`.
+
+Serving guards (PR 6): :func:`parse_html` accepts optional ``max_depth``
+and ``max_nodes`` caps so a pathological page (adversarial nesting, a
+million flat siblings) degrades to a *bounded* parse instead of
+exhausting recursion depth or memory downstream.  A capped document is
+flagged ``document.truncated = True``; with the caps at their ``None``
+defaults behaviour is bit-identical to the uncapped parser.
 """
 
 from __future__ import annotations
@@ -50,19 +57,47 @@ DROPPED_CONTENT = frozenset({"script", "style"})
 
 
 class _TreeBuilder(HTMLParser):
-    """Incremental tree builder fed by the stdlib tokenizer."""
+    """Incremental tree builder fed by the stdlib tokenizer.
 
-    def __init__(self) -> None:
+    ``max_depth`` bounds the open-element stack: elements opened beyond
+    it are appended *flat* (their children attach to the capped
+    ancestor), which bounds every later recursive traversal of the tree.
+    ``max_nodes`` bounds the total node count: once spent, further
+    nodes are dropped.  Either cap firing sets ``document.truncated``.
+    """
+
+    def __init__(
+        self, max_depth: int | None = None, max_nodes: int | None = None
+    ) -> None:
         super().__init__(convert_charrefs=True)
         self.document = Document()
         self._stack: list[Element] = [self.document]
         self._drop_depth = 0
+        self._max_depth = max_depth
+        self._nodes_left = max_nodes
 
     # -- helpers ------------------------------------------------------------
 
     @property
     def _top(self) -> Element:
         return self._stack[-1]
+
+    def _spend_node(self) -> bool:
+        """Take one node from the budget; False (and truncated) when spent."""
+        if self._nodes_left is None:
+            return True
+        if self._nodes_left <= 0:
+            self.document.truncated = True
+            return False
+        self._nodes_left -= 1
+        return True
+
+    def _may_push(self) -> bool:
+        """Whether a new open element may deepen the stack."""
+        if self._max_depth is None or len(self._stack) < self._max_depth:
+            return True
+        self.document.truncated = True
+        return False
 
     def _implicitly_close_for(self, tag: str) -> None:
         closers = IMPLICIT_CLOSERS.get(tag)
@@ -83,9 +118,11 @@ class _TreeBuilder(HTMLParser):
             self._drop_depth = 1
             return
         self._implicitly_close_for(tag)
+        if not self._spend_node():
+            return
         element = Element(tag, {k.lower(): (v or "") for k, v in attrs})
         self._top.append(element)
-        if tag not in VOID_ELEMENTS:
+        if tag not in VOID_ELEMENTS and self._may_push():
             self._stack.append(element)
 
     def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
@@ -93,6 +130,8 @@ class _TreeBuilder(HTMLParser):
         if self._drop_depth or tag in DROPPED_CONTENT:
             return
         self._implicitly_close_for(tag)
+        if not self._spend_node():
+            return
         self._top.append(Element(tag, {k.lower(): (v or "") for k, v in attrs}))
 
     def handle_endtag(self, tag: str) -> None:
@@ -112,19 +151,30 @@ class _TreeBuilder(HTMLParser):
     def handle_data(self, data: str) -> None:
         if self._drop_depth or not data:
             return
+        if not self._spend_node():
+            return
         self._top.append(TextNode(data))
 
     def handle_comment(self, data: str) -> None:
         if self._drop_depth:
             return
+        if not self._spend_node():
+            return
         self._top.append(Comment(data))
 
 
-def parse_html(markup: str) -> Document:
+def parse_html(
+    markup: str,
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+) -> Document:
     """Parse an HTML string into a :class:`Document`.
 
     The parser never raises on malformed input; it recovers using the
-    rules documented in the module docstring.
+    rules documented in the module docstring.  ``max_depth`` /
+    ``max_nodes`` bound the result tree for hostile inputs (see the
+    module docstring); the capped parse is flagged on
+    ``document.truncated``.
 
     >>> doc = parse_html("<html><body><h1>Hi</h1><p>there</p></body></html>")
     >>> doc.title
@@ -132,7 +182,7 @@ def parse_html(markup: str) -> Document:
     >>> doc.body.text_content()
     'Hithere'
     """
-    builder = _TreeBuilder()
+    builder = _TreeBuilder(max_depth=max_depth, max_nodes=max_nodes)
     builder.feed(markup)
     builder.close()
     return builder.document

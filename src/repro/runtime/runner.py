@@ -1,6 +1,6 @@
 """Parallel task execution over ``concurrent.futures`` pools.
 
-The experiment sweeps (and any production serving layer built on this
+The experiment sweeps (and the production serving layer built on this
 reproduction) run *many independent extraction tasks*: each task fits a
 tool on its own dataset and scores it.  :class:`TaskRunner` fans such
 work across a thread or process pool with three guarantees the sweeps
@@ -23,12 +23,24 @@ rely on:
 
 ``jobs=1`` bypasses the pool entirely and runs inline — the exact serial
 semantics, used as the determinism baseline.
+
+Fault tolerance (PR 6): a *persistent* runner survives a crashed pool.
+When a map observes :class:`concurrent.futures.BrokenExecutor` (a
+process worker died mid-item, a thread initializer raised), the broken
+executor is discarded under the pool lock so the **next** map builds a
+fresh pool instead of failing forever — previously one
+``BrokenProcessPool`` left the runner permanently dead.  ``map`` also
+grows two serving-grade knobs: ``return_exceptions`` isolates work items
+(a failed item yields its exception *in place* instead of poisoning the
+whole map), and ``deadline`` bounds the total wait.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..webtree.node import WebPage
@@ -77,7 +89,10 @@ class TaskRunner:
         :meth:`close` or the context-manager exit) — what a serving
         process dispatching many small micro-batches needs, since pool
         construction would otherwise dominate per-batch cost (process
-        pools re-spawn workers; thread pools re-spawn threads).
+        pools re-spawn workers; thread pools re-spawn threads).  A
+        persistent pool that breaks (worker crash) is discarded and
+        rebuilt lazily on the next :meth:`map`; :attr:`pools_broken`
+        counts such discards.
     """
 
     def __init__(
@@ -97,6 +112,10 @@ class TaskRunner:
         self.initializer = initializer
         self.initargs = initargs
         self.persistent = persistent
+        #: Broken executors discarded so far (each is lazily replaced by
+        #: a fresh pool on the next map); a service surfaces this in its
+        #: stats as the pool-crash count.
+        self.pools_broken = 0
         self._pool: Executor | None = None
         # Guards lazy pool creation: a persistent runner is shared by
         # concurrent callers (the serving service), and an unsynchronized
@@ -130,39 +149,142 @@ class TaskRunner:
             initargs=self.initargs,
         )
 
+    def _acquire_pool(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._executor()
+            return self._pool
+
+    def _discard_pool(self, pool: Executor) -> None:
+        """Drop a broken persistent executor so the next map rebuilds.
+
+        Safe against races: only the runner's *current* pool is
+        discarded (a concurrent map may already have replaced it), and
+        the broken executor is shut down without waiting — its workers
+        are dead or dying.
+        """
+        discarded = False
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+                self.pools_broken += 1
+                discarded = True
+        if discarded:
+            pool.shutdown(wait=False)
+
     def map(
         self,
         fn: Callable[[ItemT], ResultT],
         items: Sequence[ItemT],
-    ) -> list[ResultT]:
+        *,
+        return_exceptions: bool = False,
+        deadline: float | None = None,
+    ) -> list:
         """``[fn(item) for item in items]``, possibly in parallel.
 
-        Results are returned in item order; the first worker exception
-        propagates to the caller (remaining futures are cancelled where
-        possible).
+        Results are returned in item order.  With the default
+        ``return_exceptions=False`` the first worker exception propagates
+        to the caller (remaining futures are cancelled where possible).
+        With ``return_exceptions=True`` each failed item's exception is
+        returned *in its slot* instead — per-item isolation for callers
+        (the serving service) that must not let one bad request poison a
+        batch; only ``Exception`` subclasses are captured, so
+        ``KeyboardInterrupt``/``SystemExit`` always propagate.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp:
+        once it passes, items whose results are not yet available fail
+        with :class:`concurrent.futures.TimeoutError` (raised, or
+        returned in-slot under ``return_exceptions``).  Already-finished
+        results are still collected — a deadline bounds *waiting*, never
+        discards completed work.  Running work is not interrupted (thread
+        pools cannot cancel mid-flight); pending futures are cancelled.
+
+        A :class:`BrokenExecutor` observed on a persistent pool marks the
+        pool broken: the executor is discarded and the next map builds a
+        fresh one (see :attr:`pools_broken`).
         """
         items = list(items)
         if self.jobs == 1:
-            if self.initializer is not None:
-                self.initializer(*self.initargs)
-            return [fn(item) for item in items]
-        if self.persistent:
-            with self._pool_lock:
-                if self._pool is None:
-                    self._pool = self._executor()
-                pool = self._pool
-            return self._map_on(pool, fn, items)
-        with self._executor() as pool:
-            return self._map_on(pool, fn, items)
+            return self._map_inline(fn, items, return_exceptions, deadline)
+        if not self.persistent:
+            with self._executor() as pool:
+                return self._map_on(pool, fn, items, return_exceptions, deadline)
+        # Persistent: tolerate a pool that broke since the last call —
+        # submission to a dead executor raises BrokenExecutor; discard
+        # and rebuild once before giving up.
+        for attempt in (0, 1):
+            pool = self._acquire_pool()
+            try:
+                return self._map_on(pool, fn, items, return_exceptions, deadline)
+            except BrokenExecutor:
+                self._discard_pool(pool)
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
-    @staticmethod
+    def _map_inline(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: list,
+        return_exceptions: bool,
+        deadline: float | None,
+    ) -> list:
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        results: list = []
+        for item in items:
+            if deadline is not None and time.monotonic() > deadline:
+                timeout = FuturesTimeout(
+                    f"deadline passed with {len(items) - len(results)} items pending"
+                )
+                if not return_exceptions:
+                    raise timeout
+                results.append(timeout)
+                continue
+            try:
+                results.append(fn(item))
+            except Exception as error:
+                if not return_exceptions:
+                    raise
+                results.append(error)
+        return results
+
     def _map_on(
-        pool: Executor, fn: Callable[[ItemT], ResultT], items: list[ItemT]
-    ) -> list[ResultT]:
+        self,
+        pool: Executor,
+        fn: Callable[[ItemT], ResultT],
+        items: list,
+        return_exceptions: bool,
+        deadline: float | None,
+    ) -> list:
+        # Submission itself can observe a dead executor; the caller
+        # (map) handles BrokenExecutor raised from here.
         futures = [pool.submit(fn, item) for item in items]
+        results: list = []
+        broken = False
         try:
-            return [future.result() for future in futures]
+            for future in futures:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                try:
+                    results.append(future.result(timeout=timeout))
+                except FuturesTimeout as error:
+                    if not return_exceptions:
+                        raise
+                    future.cancel()
+                    results.append(error)
+                except Exception as error:
+                    if isinstance(error, BrokenExecutor):
+                        broken = True
+                    if not return_exceptions:
+                        raise
+                    results.append(error)
         except BaseException:
             for future in futures:
                 future.cancel()
             raise
+        finally:
+            if broken and self.persistent:
+                self._discard_pool(pool)
+        return results

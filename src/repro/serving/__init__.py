@@ -9,24 +9,67 @@ registered tools are stateless, loadable
 
 * :mod:`repro.serving.ingest` — raw HTML → parse → webtree →
   :class:`~repro.webtree.index.PageIndex`, behind a fingerprint-keyed
-  bounded :class:`PageCache` so repeated pages skip parse+index.
+  bounded :class:`PageCache` so repeated pages skip parse+index, with
+  :class:`ServingLimits` guard rails downgrading hostile pages to a
+  bounded parse.
 * :mod:`repro.serving.service` — :class:`QAService`: many artifacts
   under routing keys, request coalescing into micro-batches dispatched
   over the :class:`~repro.runtime.TaskRunner`, per-stage latency and
-  throughput statistics.
+  throughput statistics, and the fault-tolerance layer (per-request
+  isolation, deadlines, bounded retry, admission control, per-route
+  circuit breakers — see the module docstring for the failure model).
+* :mod:`repro.serving.faults` — the deterministic fault-injection
+  harness and adversarial-HTML generator driving the chaos suite.
 * :mod:`repro.serving.smoke` — the two-process CI smoke (export in one
   run, load + serve in a fresh process).
 """
 
-from .ingest import IngestStats, PageCache, ingest_html, page_fingerprint
-from .service import QAService, ServiceStats, ServingRequest
+from .faults import (
+    ADVERSARIAL_KINDS,
+    FaultInjector,
+    FaultPlan,
+    adversarial_corpus,
+    adversarial_html,
+)
+from .ingest import (
+    DEFAULT_LIMITS,
+    IngestOutcome,
+    IngestStats,
+    PageCache,
+    ServingLimits,
+    ingest_html,
+    ingest_page,
+    page_fingerprint,
+)
+from .service import (
+    NO_RETRY,
+    CircuitBreaker,
+    QAService,
+    RetryPolicy,
+    ServiceStats,
+    ServingRequest,
+    ServingResult,
+)
 
 __all__ = [
+    "ADVERSARIAL_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "adversarial_corpus",
+    "adversarial_html",
+    "DEFAULT_LIMITS",
+    "IngestOutcome",
     "IngestStats",
     "PageCache",
+    "ServingLimits",
     "ingest_html",
+    "ingest_page",
     "page_fingerprint",
+    "NO_RETRY",
+    "CircuitBreaker",
     "QAService",
+    "RetryPolicy",
     "ServiceStats",
     "ServingRequest",
+    "ServingResult",
 ]

@@ -1,0 +1,328 @@
+"""Deterministic fault injection and adversarial HTML for serving chaos.
+
+Fault-tolerance code is only trustworthy if its failure paths run in CI
+on every commit, and failure paths only run reliably if failures are
+**injected deterministically** — a chaos test that flips real coins
+cannot assert "request 7 fails twice then succeeds".  This module is the
+injection harness:
+
+* :class:`FaultPlan` — a frozen, picklable description of *exactly*
+  which request indices fail, at which pipeline stage, for how many
+  attempts.  The same plan drives the same failures on the thread and
+  process backends, in tests and in the ``serve-chaos`` bench.
+* :class:`FaultInjector` — the stateless executor of a plan, called
+  from the service's ingest/predict hooks.  Stateless is load-bearing:
+  process workers get a *pickled copy*, so any mutable attempt counter
+  kept here would silently diverge between parent and worker.  Instead
+  the **caller** tracks attempt numbers and passes them in, making the
+  injector a pure function of ``(plan, index, attempt)``.
+* :func:`adversarial_html` — a seeded generator of hostile-but-legal
+  pages (unclosed tag soup, huge flat sibling lists, entity soup, deep
+  nesting, near-duplicate decoys) that exercise the ingest guards and
+  the extractor's robustness without any network or fixture files.
+
+Nothing in this module is imported by the happy path: a service built
+without a ``fault_injector`` pays zero overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.errors import IngestError, PredictError
+
+#: Attempt-count value meaning "every attempt" (a permanent fault).
+ALWAYS = -1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which request indices fail, where, and for how many attempts.
+
+    Each mapping is request-index → *fault budget*: a positive budget
+    ``n`` makes the first ``n`` attempts fail with a **transient** error
+    (a bounded retry cures it); :data:`ALWAYS` (``-1``) makes *every*
+    attempt fail with a **terminal** error (a poisoned request no retry
+    should waste time on).
+
+    All fields are plain dicts/frozensets of ints and floats, so a plan
+    pickles cleanly into process-pool workers and compares by value in
+    tests.
+    """
+
+    #: Ingest-stage faults (raw HTML refuses to parse).
+    ingest_faults: Mapping[int, int] = field(default_factory=dict)
+    #: Predict-stage faults (the program evaluation blows up).
+    predict_faults: Mapping[int, int] = field(default_factory=dict)
+    #: Indices whose *compiled* plan fails, forcing the interpreted
+    #: fallback (the request still succeeds, flagged degraded).
+    compiled_faults: frozenset = frozenset()
+    #: Artificial predict latency per index, in seconds — the lever for
+    #: driving deadline tests without real slow work.
+    latency_seconds: Mapping[int, float] = field(default_factory=dict)
+    #: Indices whose first predict attempt kills the whole worker pool.
+    pool_crashes: frozenset = frozenset()
+    #: Identifies the plan in error messages and bench tables.
+    seed: int = 0
+
+    @classmethod
+    def from_rates(
+        cls,
+        n_requests: int,
+        *,
+        seed: int = 0,
+        ingest_rate: float = 0.0,
+        predict_rate: float = 0.0,
+        permanent_rate: float = 0.0,
+        transient_attempts: int = 1,
+        compiled_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency: float = 0.05,
+        pool_crashes: "tuple[int, ...]" = (),
+    ) -> "FaultPlan":
+        """Sample a plan over ``n_requests`` indices, deterministically.
+
+        The same ``(n_requests, seed, rates)`` always yields the same
+        plan — the sampler is seeded and draws in a fixed order, so a
+        chaos run is reproducible from its parameters alone.
+        ``permanent_rate`` is the fraction of *faulted* predict indices
+        whose budget is :data:`ALWAYS` instead of ``transient_attempts``.
+        """
+        rng = random.Random(f"fault-plan:{seed}")
+        ingest_faults: dict[int, int] = {}
+        predict_faults: dict[int, int] = {}
+        compiled: set[int] = set()
+        latencies: dict[int, float] = {}
+        for index in range(n_requests):
+            if rng.random() < ingest_rate:
+                ingest_faults[index] = transient_attempts
+            if rng.random() < predict_rate:
+                permanent = rng.random() < permanent_rate
+                predict_faults[index] = ALWAYS if permanent else transient_attempts
+            if rng.random() < compiled_rate:
+                compiled.add(index)
+            if rng.random() < latency_rate:
+                latencies[index] = latency
+        return cls(
+            ingest_faults=ingest_faults,
+            predict_faults=predict_faults,
+            compiled_faults=frozenset(compiled),
+            latency_seconds=latencies,
+            pool_crashes=frozenset(pool_crashes),
+            seed=seed,
+        )
+
+    def faulted_indices(self) -> frozenset:
+        """Every index the plan touches, for test bookkeeping."""
+        return frozenset(
+            set(self.ingest_faults)
+            | set(self.predict_faults)
+            | self.compiled_faults
+            | set(self.latency_seconds)
+            | self.pool_crashes
+        )
+
+
+def _fires(budget: "int | None", attempt: int) -> "tuple[bool, bool]":
+    """``(fires, transient)`` for a fault budget at a given attempt."""
+    if budget is None:
+        return False, False
+    if budget == ALWAYS:
+        return True, False
+    return attempt < budget, True
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the service's stage hooks.
+
+    A pure function of ``(plan, index, attempt)`` — see the module
+    docstring for why attempt counters live with the caller.  Every
+    raised error carries ``injected=True`` so chaos tests can tell
+    planned failures from organic bugs.
+    """
+
+    plan: FaultPlan
+
+    def before_ingest(self, index: int, attempt: int = 0) -> None:
+        """Raise the planned ingest fault for ``(index, attempt)``."""
+        fires, transient = _fires(self.plan.ingest_faults.get(index), attempt)
+        if fires:
+            raise IngestError(
+                f"injected ingest fault (request {index}, attempt {attempt}, "
+                f"plan seed {self.plan.seed})",
+                transient=transient,
+                injected=True,
+                retries=attempt,
+            )
+
+    def before_predict(
+        self, index: int, attempt: int = 0, allow_exit: bool = False
+    ) -> None:
+        """Apply planned latency, pool crash or predict fault, in that order.
+
+        ``allow_exit`` gates the pool-crash fault behind the process
+        backend: ``os._exit`` in a *thread* worker would take the test
+        process down with it, so on thread pools the crash degrades to a
+        transient :class:`PredictError` — same retry path, survivable.
+        A crash fires only on attempt 0; the retry after the pool
+        rebuild must be allowed to succeed.
+        """
+        delay = self.plan.latency_seconds.get(index)
+        if delay:
+            time.sleep(delay)
+        if index in self.plan.pool_crashes and attempt == 0:
+            if allow_exit:
+                os._exit(13)
+            raise PredictError(
+                f"injected worker crash (request {index}, thread-backend "
+                f"degradation, plan seed {self.plan.seed})",
+                transient=True,
+                injected=True,
+            )
+        fires, transient = _fires(self.plan.predict_faults.get(index), attempt)
+        if fires:
+            raise PredictError(
+                f"injected predict fault (request {index}, attempt {attempt}, "
+                f"plan seed {self.plan.seed})",
+                transient=transient,
+                injected=True,
+                retries=attempt,
+            )
+
+    def breaks_compiled(self, index: int) -> bool:
+        """Whether the compiled plan should fail for this index."""
+        return index in self.plan.compiled_faults
+
+
+# ---------------------------------------------------------------------------
+# Adversarial HTML generation
+# ---------------------------------------------------------------------------
+
+#: The generator's repertoire, in the order ``adversarial_corpus`` emits it.
+ADVERSARIAL_KINDS = (
+    "unclosed_tags",
+    "flat_siblings",
+    "entity_soup",
+    "deep_nesting",
+    "decoy_duplicates",
+    "truncated_tag_soup",
+)
+
+_WORDS = (
+    "alpha", "bravo", "carol", "delta", "echo", "felix", "greta", "hotel",
+    "india", "jolt", "kilo", "lima", "mike", "nova", "oscar", "papa",
+)
+
+
+def _rng(kind: str, seed: int) -> random.Random:
+    return random.Random(f"adversarial:{kind}:{seed}")
+
+
+def adversarial_html(kind: str, seed: int = 0, scale: int = 1) -> str:
+    """One hostile page of the given ``kind``, deterministic in ``seed``.
+
+    ``scale`` multiplies the structural size (sibling counts, nesting
+    depth, soup length); ``scale=1`` is sized for fast unit tests,
+    larger scales for the chaos bench.  Every kind is *valid input* to
+    the tag-soup parser — the point is never to crash the tokenizer but
+    to stress recovery, the ingest guards, and extraction precision.
+
+    Kinds
+    -----
+    ``unclosed_tags``
+        Sections and list items that never close, exercising the
+        parser's implicit-close recovery end to end.
+    ``flat_siblings``
+        One enormous flat ``<ul>`` — thousands of siblings under one
+        parent, the node-budget guard's target shape.
+    ``entity_soup``
+        Text dominated by character references and stray ``&``/``<``,
+        stressing tokenizer decode paths.
+    ``deep_nesting``
+        Divs nested far beyond any legitimate page, the depth guard's
+        target shape (unguarded, this drives recursive tree walks
+        toward ``RecursionError``).
+    ``decoy_duplicates``
+        Near-duplicate sections whose headers and items differ by one
+        token — precision bait for keyword-anchored locators.
+    ``truncated_tag_soup``
+        A page cut mid-tag and mid-entity, as a broken crawler would
+        deliver it.
+    """
+    if kind not in ADVERSARIAL_KINDS:
+        raise ValueError(f"kind must be one of {ADVERSARIAL_KINDS}, got {kind!r}")
+    rng = _rng(kind, seed)
+    words = lambda n: " ".join(rng.choice(_WORDS) for _ in range(n))  # noqa: E731
+
+    if kind == "unclosed_tags":
+        parts = [f"<html><body><h1>{words(2)}"]
+        for _ in range(20 * scale):
+            roll = rng.random()
+            if roll < 0.3:
+                parts.append(f"<h2>{words(2)}")
+            elif roll < 0.6:
+                parts.append(f"<ul><li>{words(3)}<li>{words(3)}")
+            elif roll < 0.8:
+                parts.append(f"<p><b>{words(2)}</b> {words(4)}")
+            else:
+                parts.append(f"<table><tr><td>{words(2)}<td>{words(2)}")
+        return "".join(parts)
+
+    if kind == "flat_siblings":
+        items = "".join(
+            f"<li>{rng.choice(_WORDS)} item {i}</li>" for i in range(2000 * scale)
+        )
+        return (
+            f"<html><body><h1>{words(2)}</h1><h2>Entries</h2><ul>{items}</ul>"
+            "</body></html>"
+        )
+
+    if kind == "entity_soup":
+        entities = ("&amp;", "&lt;", "&gt;", "&#65;", "&#x42;", "&nbsp;", "&", "< ")
+        soup = "".join(
+            rng.choice(entities) if rng.random() < 0.5 else rng.choice(_WORDS) + " "
+            for _ in range(1500 * scale)
+        )
+        return (
+            f"<html><body><h1>{words(2)}</h1><p>{soup}</p>"
+            f"<h2>{words(2)}</h2><p>{soup[: 400 * scale]}</p></body></html>"
+        )
+
+    if kind == "deep_nesting":
+        depth = 400 * scale
+        return (
+            f"<html><body><h1>{words(2)}</h1>"
+            + "<div>" * depth
+            + f"<p>{words(5)}</p>"
+            + "</div>" * depth
+            + "</body></html>"
+        )
+
+    if kind == "decoy_duplicates":
+        base = words(2)
+        sections = []
+        for i in range(12 * scale):
+            decoy = f"{base} {rng.choice(_WORDS)}" if i else base
+            items = "".join(f"<li>{decoy} member {j}</li>" for j in range(4))
+            sections.append(f"<h2>{decoy}</h2><ul>{items}</ul>")
+        return (
+            f"<html><body><h1>{words(2)}</h1>{''.join(sections)}</body></html>"
+        )
+
+    # truncated_tag_soup
+    body = adversarial_html("unclosed_tags", seed=seed, scale=scale)
+    cut = rng.randrange(len(body) // 2, len(body))
+    return body[:cut] + "<tabl"
+
+
+def adversarial_corpus(seed: int = 0, scale: int = 1) -> "list[tuple[str, str]]":
+    """``(kind, html)`` for every adversarial kind at one seed/scale."""
+    return [
+        (kind, adversarial_html(kind, seed=seed, scale=scale))
+        for kind in ADVERSARIAL_KINDS
+    ]

@@ -13,6 +13,21 @@ The cache deliberately keys on *raw input bytes*, not parsed content:
 hashing the input is pure arithmetic, needs no parse, and two byte-
 identical documents always parse identically (the parser is
 deterministic).
+
+Pathological input is **downgraded, not trusted**: a
+:class:`ServingLimits` bundle caps raw size, tree depth and node count,
+and an over-limit page parses to a *bounded* tree (flagged
+``degraded``) instead of exhausting memory or recursion depth —
+graceful degradation, in the sense that a capped page still answers
+from whatever survived the cap.
+
+Locking discipline (one rule, two locks): every ``IngestStats`` counter
+is mutated only by its ``record_*`` methods under ``IngestStats._lock``;
+``PageCache._lock`` guards only the LRU ``OrderedDict``.  The cache
+computes hit/miss/eviction outcomes inside its own lock, releases it,
+*then* records them on the stats — the two locks are never held
+together, so there is no ordering to get wrong and counters cannot tear
+when ingest and cache run on different threads.
 """
 
 from __future__ import annotations
@@ -23,7 +38,8 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..webtree.builder import page_from_html
+from ..html.parser import parse_html
+from ..webtree.builder import build_tree
 from ..webtree.node import WebPage
 
 
@@ -37,29 +53,82 @@ def page_fingerprint(html: str, url: str = "") -> str:
     return hasher.hexdigest()
 
 
+@dataclass(frozen=True)
+class ServingLimits:
+    """Ingest guard rails for hostile or broken pages.
+
+    The defaults are far above anything a legitimate page in the corpus
+    produces (the synthetic pages run tens-of-KB / depth < 20 /
+    hundreds of nodes), so they never change well-formed behaviour —
+    they exist to bound the damage of the adversarial generator's worst
+    cases (multi-MB entity soup, 10⁵-deep nesting, 10⁶ flat siblings).
+    ``None`` disables the individual cap.
+    """
+
+    #: Raw HTML beyond this many *characters* is cut before parsing.
+    max_html_chars: int | None = 2_000_000
+    #: Open-element stack bound; deeper elements are flattened.
+    max_depth: int | None = 150
+    #: Total DOM node budget; nodes beyond it are dropped.
+    max_nodes: int | None = 50_000
+
+
+#: The limits a :class:`~repro.serving.service.QAService` applies by default.
+DEFAULT_LIMITS = ServingLimits()
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """One ingest's result: the page plus its provenance flags."""
+
+    page: WebPage
+    fingerprint: str
+    #: True when any :class:`ServingLimits` cap fired — the page is a
+    #: bounded downgrade of the input, not a faithful parse.
+    degraded: bool
+    #: True when the page came from the cache (no parse/index paid).
+    cache_hit: bool
+
+
 @dataclass
 class IngestStats:
     """Counters and per-stage timings for one ingestion pipeline.
 
-    Hit/miss/eviction counters are mutated under the owning
-    :class:`PageCache`'s lock; :meth:`record` serializes the remaining
-    fields so concurrent ingest threads never lose increments.
+    Every field is mutated only through the ``record_*`` methods, each
+    of which takes ``_lock`` — the single documented locking discipline
+    (see the module docstring), shared by direct ingest callers and the
+    owning :class:`PageCache`.
     """
 
     pages_ingested: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
+    pages_degraded: int = 0
     parse_seconds: float = 0.0
     index_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, parse_seconds: float = 0.0, index_seconds: float = 0.0) -> None:
+    def record(
+        self,
+        parse_seconds: float = 0.0,
+        index_seconds: float = 0.0,
+        degraded: bool = False,
+    ) -> None:
         """Count one ingested page (plus its stage timings), atomically."""
         with self._lock:
             self.pages_ingested += 1
             self.parse_seconds += parse_seconds
             self.index_seconds += index_seconds
+            if degraded:
+                self.pages_degraded += 1
+
+    def record_lookup(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        """Fold one cache operation's outcome in, atomically."""
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            self.evictions += evictions
 
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
@@ -71,6 +140,7 @@ class IngestStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
+            "pages_degraded": self.pages_degraded,
             "hit_rate": round(self.hit_rate(), 4),
             "parse_seconds": self.parse_seconds,
             "index_seconds": self.index_seconds,
@@ -88,12 +158,15 @@ class PageCache:
     Thread-safe: a long-lived service handles concurrent requests, and
     ``move_to_end``/``popitem`` on a shared ``OrderedDict`` are not
     atomic — every access takes the cache lock (the critical sections
-    are dictionary operations, never parse or predict work).
+    are dictionary operations, never parse or predict work, and the
+    stats lock is only ever taken *after* the cache lock is released).
     """
 
     capacity: int = 256
     stats: IngestStats = field(default_factory=IngestStats)
-    _pages: "OrderedDict[str, WebPage]" = field(default_factory=OrderedDict, repr=False)
+    _pages: "OrderedDict[str, tuple[WebPage, bool]]" = field(
+        default_factory=OrderedDict, repr=False
+    )
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __len__(self) -> int:
@@ -101,45 +174,61 @@ class PageCache:
             return len(self._pages)
 
     def get(self, fingerprint: str) -> WebPage | None:
-        with self._lock:
-            page = self._pages.get(fingerprint)
-            if page is None:
-                self.stats.cache_misses += 1
-                return None
-            self._pages.move_to_end(fingerprint)
-            self.stats.cache_hits += 1
-            return page
+        entry = self.get_entry(fingerprint)
+        return entry[0] if entry is not None else None
 
-    def put(self, fingerprint: str, page: WebPage) -> None:
+    def get_entry(self, fingerprint: str) -> "tuple[WebPage, bool] | None":
+        """Cached ``(page, degraded)`` for ``fingerprint``, if present."""
+        with self._lock:
+            entry = self._pages.get(fingerprint)
+            if entry is not None:
+                self._pages.move_to_end(fingerprint)
+        if entry is None:
+            self.stats.record_lookup(misses=1)
+            return None
+        self.stats.record_lookup(hits=1)
+        return entry
+
+    def put(self, fingerprint: str, page: WebPage, degraded: bool = False) -> None:
+        evicted = 0
         with self._lock:
             if self.capacity <= 0:
                 return
             if fingerprint in self._pages:
                 self._pages.move_to_end(fingerprint)
-                self._pages[fingerprint] = page
-                return
-            while len(self._pages) >= self.capacity:
-                self._pages.popitem(last=False)
-                self.stats.evictions += 1
-            self._pages[fingerprint] = page
+                self._pages[fingerprint] = (page, degraded)
+            else:
+                while len(self._pages) >= self.capacity:
+                    self._pages.popitem(last=False)
+                    evicted += 1
+                self._pages[fingerprint] = (page, degraded)
+        if evicted:
+            self.stats.record_lookup(evictions=evicted)
 
     def clear(self) -> None:
         with self._lock:
             self._pages.clear()
 
 
-def ingest_html(
+def ingest_page(
     html: str,
     url: str = "",
     cache: PageCache | None = None,
     stats: IngestStats | None = None,
-) -> WebPage:
+    limits: ServingLimits | None = None,
+) -> IngestOutcome:
     """Raw HTML → parsed, indexed :class:`WebPage`, through the cache.
 
     The returned page's evaluation index is built eagerly: serving
     latency is paid here, in the ingest stage, not inside the first
     locator evaluation of the predict stage — which keeps the per-stage
     timings honest and lets a cache hit skip *all* of it.
+
+    ``limits`` (see :class:`ServingLimits`) bounds the parse for hostile
+    input; the cache remembers the ``degraded`` flag with the page, so a
+    warm hit on a capped page reports honestly.  The fingerprint is
+    always taken over the *original* input — two inputs that differ only
+    beyond a cap still parse identically, so sharing the entry is sound.
     """
     if stats is None:
         # NB: explicit None-check — PageCache has __len__, so an *empty*
@@ -152,16 +241,45 @@ def ingest_html(
     fingerprint = ""
     if cache is not None:
         fingerprint = page_fingerprint(html, url)
-        cached = cache.get(fingerprint)
-        if cached is not None:
-            stats.record()
-            return cached
+        entry = cache.get_entry(fingerprint)
+        if entry is not None:
+            page, degraded = entry
+            stats.record(degraded=degraded)
+            return IngestOutcome(page, fingerprint, degraded, cache_hit=True)
+    degraded = False
+    if (
+        limits is not None
+        and limits.max_html_chars is not None
+        and len(html) > limits.max_html_chars
+    ):
+        html = html[: limits.max_html_chars]
+        degraded = True
     start = time.perf_counter()
-    page = page_from_html(html, url=url)
+    if limits is not None:
+        document = parse_html(html, limits.max_depth, limits.max_nodes)
+        degraded = degraded or document.truncated
+        page = build_tree(document, url=url)
+    else:
+        page = build_tree(parse_html(html), url=url)
     parsed = time.perf_counter()
     page.index()
     indexed = time.perf_counter()
-    stats.record(parse_seconds=parsed - start, index_seconds=indexed - parsed)
+    stats.record(
+        parse_seconds=parsed - start,
+        index_seconds=indexed - parsed,
+        degraded=degraded,
+    )
     if cache is not None:
-        cache.put(fingerprint, page)
-    return page
+        cache.put(fingerprint, page, degraded)
+    return IngestOutcome(page, fingerprint, degraded, cache_hit=False)
+
+
+def ingest_html(
+    html: str,
+    url: str = "",
+    cache: PageCache | None = None,
+    stats: IngestStats | None = None,
+    limits: ServingLimits | None = None,
+) -> WebPage:
+    """:func:`ingest_page`, returning just the page (the original API)."""
+    return ingest_page(html, url, cache=cache, stats=stats, limits=limits).page

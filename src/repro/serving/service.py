@@ -12,29 +12,79 @@ once.  One :class:`QAService` owns
   every other route's parsed pages;
 * the **dispatch loop** — incoming requests are coalesced per route into
   micro-batches of at most ``max_batch`` pages and dispatched through
-  ``WebQA.predict_batch`` over a :class:`~repro.runtime.TaskRunner`
-  pool;
+  the service's persistent :class:`~repro.runtime.TaskRunner` pool;
 * **per-stage statistics** — ingest/predict latency, batch counts and
-  sizes, cache hit rates, per-route request counters.
+  sizes, cache hit rates, per-route request counters, and the
+  resilience counters (retries, failures by stage, rejections, pool
+  rebuilds).
 
 Semantics are deliberately boring: answers come back in request order
 and are bit-identical to calling ``tool.predict`` sequentially per page
 (pinned by the differential tests in ``tests/serving/test_service.py``);
 the batching exists for throughput, never for approximation.
+
+Fault tolerance (PR 6) — the failure model, end to end:
+
+* **Per-request isolation.**  ``ask_many(strict=False)`` returns one
+  :class:`ServingResult` per request — answer *or* structured
+  :class:`~repro.core.errors.ServingError` — so one poisoned page
+  cannot fail the 31 good requests sharing its micro-batch.  The
+  default ``strict=True`` keeps the original fail-fast contract: the
+  first error raises through, and the no-fault answers stay
+  bit-identical to the pre-resilience service.
+* **Deadlines.**  A per-call (or service-default) ``deadline_seconds``
+  bounds the *whole* request path; work that misses it fails with
+  :class:`~repro.core.errors.DeadlineExceeded` rather than wedging the
+  caller.  Completed answers are never discarded by a deadline.
+* **Bounded retry.**  Transient failures (crashed workers, injected
+  recoverable faults) are retried up to
+  :attr:`RetryPolicy.max_retries` times with exponential backoff and
+  *deterministic* jitter; terminal failures are never retried.
+* **Pool self-healing.**  A worker crash breaks the persistent pool;
+  the :class:`~repro.runtime.TaskRunner` discards it and the retry
+  lands on a freshly built pool (``pools_broken`` counts these).
+* **Admission control.**  ``max_inflight`` bounds concurrently served
+  requests; overflow is shed instantly with
+  :class:`~repro.core.errors.RejectedError` — an overloaded service
+  stays responsive *because* it refuses work.  A per-route
+  :class:`CircuitBreaker` sheds requests for routes that keep failing
+  (closed → open after ``circuit_threshold`` consecutive failures →
+  half-open probe after ``circuit_reset_seconds`` → closed on success).
+* **Graceful degradation.**  Hostile pages are ingested under
+  :class:`~repro.serving.ingest.ServingLimits` (bounded parse, flagged
+  ``degraded``), and a failing *compiled* plan falls back to the AST
+  interpreter (same program, same answer, flagged ``degraded``).
+
+Chaos testing hooks: a :class:`~repro.serving.faults.FaultInjector`
+passed at construction injects the deterministic failures the whole
+model is tested against (``tests/serving/test_faults.py``).
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 
 from ..core.artifact import ProgramArtifact
-from ..core.errors import NotFittedError
+from ..core.errors import (
+    DeadlineExceeded,
+    IngestError,
+    NotFittedError,
+    PredictError,
+    RejectedError,
+    RouteError,
+    ServingError,
+    is_transient,
+)
 from ..core.webqa import WebQA
 from ..runtime.runner import TaskRunner
 from ..webtree.node import WebPage
-from .ingest import PageCache, ingest_html
+from .faults import FaultInjector, FaultPlan
+from .ingest import DEFAULT_LIMITS, IngestOutcome, PageCache, ServingLimits, ingest_page
 
 
 @dataclass(frozen=True)
@@ -57,6 +107,171 @@ class ServingRequest:
 
 
 @dataclass
+class ServingResult:
+    """The structured outcome of one request under ``strict=False``.
+
+    Exactly one of :attr:`answer` / :attr:`error` is set.  The rest is
+    provenance an operator needs when triaging: where the page came from
+    (fingerprint, cache hit), whether any degradation fired (bounded
+    parse, interpreter fallback), and how much the request cost
+    (retries, per-stage seconds).
+    """
+
+    route: str
+    answer: "tuple[str, ...] | None" = None
+    error: ServingError | None = None
+    fingerprint: str = ""
+    #: Bounded-parse ingest or interpreter-fallback predict fired.
+    degraded: bool = False
+    cache_hit: bool = False
+    #: Retry attempts spent across ingest and predict.
+    retries: int = 0
+    ingest_seconds: float = 0.0
+    predict_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def as_dict(self) -> dict:
+        return {
+            "route": self.route,
+            "ok": self.ok,
+            "answer": list(self.answer) if self.answer is not None else None,
+            "error": self.error.as_dict() if self.error is not None else None,
+            "fingerprint": self.fingerprint,
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "retries": self.retries,
+            "ingest_seconds": self.ingest_seconds,
+            "predict_seconds": self.predict_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay`` is a pure function of ``(policy, attempt, key)`` — the
+    jitter comes from a ``random.Random`` seeded with both, so two runs
+    of the same chaos plan back off identically (real-clock *sleeps*
+    still vary; the decision sequence does not).  The defaults are
+    test-friendly small; production callers tune ``backoff_seconds`` to
+    their downstream costs.
+    """
+
+    #: Retries per request per stage (0 disables retrying entirely).
+    max_retries: int = 2
+    backoff_seconds: float = 0.01
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 0.25
+    #: Fraction of the backoff randomly shaved off (0 = no jitter).
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        base = min(
+            self.backoff_seconds * self.backoff_factor ** max(0, attempt),
+            self.max_backoff_seconds,
+        )
+        if not self.jitter or base <= 0:
+            return base
+        rng = random.Random(f"retry:{self.seed}:{key}:{attempt}")
+        return base * (1.0 - self.jitter * rng.random())
+
+
+#: A retry policy that never retries — for tests pinning first-failure paths.
+NO_RETRY = RetryPolicy(max_retries=0, backoff_seconds=0.0, jitter=0.0)
+
+
+class CircuitBreaker:
+    """Per-route failure breaker: closed → open → half-open → closed.
+
+    ``threshold`` *consecutive* failures open the circuit; while open,
+    :meth:`allow` refuses instantly (the route sheds load instead of
+    burning pool time on a failing artifact).  After ``reset_seconds``
+    the next :meth:`allow` admits exactly one probe (half-open); its
+    success re-closes the circuit, its failure re-opens the clock.
+
+    ``clock`` is injectable so tests drive the state machine without
+    sleeping.  All transitions happen under one lock — the breaker is
+    shared by every thread serving its route.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed?  Admitting the probe is a side effect."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.reset_seconds
+            ):
+                self._state = "half_open"
+                return True
+            # Open and still cooling, or a half-open probe is in flight.
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+
+
+class _Deadline:
+    """An absolute wall for one ``ask_many`` call (monotonic clock)."""
+
+    __slots__ = ("at", "seconds", "started")
+
+    def __init__(self, seconds: "float | None") -> None:
+        self.seconds = seconds or 0.0
+        self.started = time.monotonic()
+        self.at = self.started + seconds if seconds is not None else None
+
+    def passed(self) -> bool:
+        return self.at is not None and time.monotonic() > self.at
+
+    def remaining(self) -> "float | None":
+        if self.at is None:
+            return None
+        return max(0.0, self.at - time.monotonic())
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+
+@dataclass
 class ServiceStats:
     """Counters and stage timings for one :class:`QAService`.
 
@@ -70,6 +285,15 @@ class ServiceStats:
     ingest_seconds: float = 0.0
     predict_seconds: float = 0.0
     requests_by_route: dict[str, int] = field(default_factory=dict)
+    # -- resilience counters (PR 6) --------------------------------------
+    retries: int = 0
+    failures: int = 0
+    failures_by_stage: dict[str, int] = field(default_factory=dict)
+    rejected: int = 0
+    deadline_exceeded: int = 0
+    degraded: int = 0
+    #: Broken worker pools discarded and rebuilt (mirrors the runner).
+    pools_broken: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_batch(self, size: int) -> None:
@@ -94,6 +318,29 @@ class ServiceStats:
                     self.requests_by_route.get(route, 0) + route_count
                 )
 
+    def record_results(self, results: "list[ServingResult]") -> None:
+        """Fold one call's per-request outcomes into the resilience counters."""
+        with self._lock:
+            for result in results:
+                self.retries += result.retries
+                if result.degraded:
+                    self.degraded += 1
+                error = result.error
+                if error is None:
+                    continue
+                self.failures += 1
+                self.failures_by_stage[error.stage] = (
+                    self.failures_by_stage.get(error.stage, 0) + 1
+                )
+                if isinstance(error, RejectedError):
+                    self.rejected += 1
+                if isinstance(error, DeadlineExceeded):
+                    self.deadline_exceeded += 1
+
+    def set_pools_broken(self, count: int) -> None:
+        with self._lock:
+            self.pools_broken = count
+
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
 
@@ -112,7 +359,37 @@ class ServiceStats:
             "predict_seconds": self.predict_seconds,
             "throughput_pages_per_s": round(self.throughput(), 2),
             "requests_by_route": dict(self.requests_by_route),
+            "retries": self.retries,
+            "failures": self.failures,
+            "failures_by_stage": dict(self.failures_by_stage),
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "pools_broken": self.pools_broken,
         }
+
+
+def _predict_page(payload: tuple) -> "tuple[tuple[str, ...], bool]":
+    """Answer one page; module-level so process pools can pickle it.
+
+    Returns ``(answer, degraded)``.  The fault hook runs first (it may
+    raise, sleep, or kill the worker — that is its job); an organic
+    *compiled*-plan failure falls back to the AST interpreter, which
+    evaluates the same program over the same eval state — a correct
+    answer on the slow path beats no answer, and the ``degraded`` flag
+    keeps the downgrade observable.
+    """
+    tool, page, index, attempt, injector, allow_exit = payload
+    if injector is not None:
+        injector.before_predict(index, attempt, allow_exit=allow_exit)
+        if injector.breaks_compiled(index):
+            return tool.predict_interpreted(page), True
+    try:
+        return tool.predict(page), False
+    except (NotFittedError, ServingError):
+        raise
+    except Exception:
+        return tool.predict_interpreted(page), True
 
 
 class QAService:
@@ -129,6 +406,27 @@ class QAService:
         overhead; the cap bounds per-batch latency.
     page_cache_size:
         Capacity of the shared ingest :class:`PageCache` (0 disables).
+    retry_policy:
+        Backoff schedule for transient failures (default
+        :class:`RetryPolicy`; :data:`NO_RETRY` disables).
+    deadline_seconds:
+        Default per-call deadline (``None`` = unbounded; any
+        ``ask_many`` call may override).
+    max_inflight:
+        Admission bound on concurrently served requests (``None`` =
+        unbounded).  Overflow is shed with
+        :class:`~repro.core.errors.RejectedError`.
+    circuit_threshold / circuit_reset_seconds:
+        Per-route :class:`CircuitBreaker` tuning.
+    limits:
+        Ingest guard rails (:class:`~repro.serving.ingest.ServingLimits`)
+        applied to every raw-HTML request; ``None`` disables.
+    fault_injector:
+        A :class:`~repro.serving.faults.FaultInjector` (or bare
+        :class:`~repro.serving.faults.FaultPlan`) for chaos testing;
+        ``None`` (production) costs nothing.
+    clock:
+        Injectable monotonic clock shared by the circuit breakers.
     """
 
     def __init__(
@@ -137,15 +435,38 @@ class QAService:
         backend: str = "thread",
         max_batch: int = 32,
         page_cache_size: int = 256,
+        retry_policy: "RetryPolicy | None" = None,
+        deadline_seconds: "float | None" = None,
+        max_inflight: "int | None" = None,
+        circuit_threshold: int = 5,
+        circuit_reset_seconds: float = 30.0,
+        limits: "ServingLimits | None" = DEFAULT_LIMITS,
+        fault_injector: "FaultInjector | FaultPlan | None" = None,
+        clock=time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.jobs = jobs
         self.backend = backend
         self.max_batch = max_batch
         self.cache = PageCache(capacity=page_cache_size)
         self.stats = ServiceStats()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.deadline_seconds = deadline_seconds
+        self.max_inflight = max_inflight
+        self.limits = limits
+        self.circuit_threshold = circuit_threshold
+        self.circuit_reset_seconds = circuit_reset_seconds
+        if isinstance(fault_injector, FaultPlan):
+            fault_injector = FaultInjector(fault_injector)
+        self._injector = fault_injector
+        self._clock = clock
         self._routes: dict[str, WebQA] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         # One long-lived pool for every micro-batch: a service dispatches
         # many small batches, and per-batch pool construction (worker
         # spawn, tool re-pickling on the process backend) would dominate.
@@ -180,11 +501,17 @@ class QAService:
         else:
             tool = WebQA.from_artifact(source)
         self._routes[route] = tool
+        self._breakers[route] = CircuitBreaker(
+            threshold=self.circuit_threshold,
+            reset_seconds=self.circuit_reset_seconds,
+            clock=self._clock,
+        )
         self.stats.requests_by_route.setdefault(route, 0)
         return tool
 
     def unregister(self, route: str) -> None:
         del self._routes[route]
+        self._breakers.pop(route, None)
 
     def routes(self) -> tuple[str, ...]:
         return tuple(sorted(self._routes))
@@ -192,17 +519,61 @@ class QAService:
     def tool(self, route: str) -> WebQA:
         tool = self._routes.get(route)
         if tool is None:
-            raise KeyError(
-                f"unknown route {route!r}; registered: {self.routes()}"
+            raise RouteError(
+                f"unknown route {route!r}; registered: {self.routes()}",
+                route=route,
             )
         return tool
 
-    # -- the serving path --------------------------------------------------------
+    def breaker(self, route: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``route`` (KeyError if unknown)."""
+        return self._breakers[route]
 
-    def _ingest_request(self, request: ServingRequest) -> WebPage:
-        if request.page is not None:
-            return request.page
-        return ingest_html(request.html or "", request.url, cache=self.cache)
+    def inject_faults(
+        self, injector: "FaultInjector | FaultPlan | None"
+    ) -> None:
+        """Swap the fault injector at runtime (``None`` turns chaos off).
+
+        Chaos tests use this to model an outage ending — e.g. to let a
+        half-open circuit's probe succeed after a run of injected
+        failures opened it.
+        """
+        if isinstance(injector, FaultPlan):
+            injector = FaultInjector(injector)
+        self._injector = injector
+
+    def health(self) -> dict:
+        """One operator-facing snapshot of the service's state."""
+        with self._inflight_lock:
+            inflight = self._inflight
+        return {
+            "routes": list(self.routes()),
+            "inflight": inflight,
+            "max_inflight": self.max_inflight,
+            "pools_broken": self._runner.pools_broken,
+            "circuits": {r: b.state for r, b in sorted(self._breakers.items())},
+            "stats": self.stats.as_dict(),
+            "ingest": self.cache.stats.as_dict(),
+        }
+
+    # -- admission ---------------------------------------------------------------
+
+    def _admit(self, count: int) -> int:
+        """Reserve in-flight slots; returns how many were granted."""
+        if self.max_inflight is None:
+            return count
+        with self._inflight_lock:
+            granted = min(count, max(0, self.max_inflight - self._inflight))
+            self._inflight += granted
+        return granted
+
+    def _release(self, count: int) -> None:
+        if self.max_inflight is None or count == 0:
+            return
+        with self._inflight_lock:
+            self._inflight -= count
+
+    # -- the serving path --------------------------------------------------------
 
     def ask(
         self,
@@ -218,17 +589,35 @@ class QAService:
         return answer
 
     def ask_many(
-        self, requests: "list[ServingRequest | tuple]"
-    ) -> list[tuple[str, ...]]:
+        self,
+        requests: "list[ServingRequest | tuple]",
+        *,
+        strict: bool = True,
+        deadline_seconds: "float | None" = None,
+    ):
         """Answer a bulk of requests; results align with ``requests``.
 
-        The dispatch pipeline: (1) **ingest** every raw-HTML request
-        through the shared page cache; (2) **route** — group request
-        indices by routing key, preserving arrival order within each
-        route; (3) **batch** — chunk each route's run into micro-batches
-        of at most ``max_batch``; (4) **predict** — each batch goes
-        through the route tool's ``predict_batch`` over the service's
-        worker pool.  Answers are scattered back to request order.
+        The dispatch pipeline: (1) **admit** — shed overflow beyond
+        ``max_inflight``; (2) **ingest** every raw-HTML request through
+        the shared page cache, under the service's
+        :class:`~repro.serving.ingest.ServingLimits`; (3) **route** —
+        group request indices by routing key (order-preserving), each
+        gated by its route's circuit breaker; (4) **batch** — chunk each
+        route's run into micro-batches of at most ``max_batch``; (5)
+        **predict** — each batch goes through the worker pool, with
+        bounded retry for transient failures.  Answers are scattered
+        back to request order.
+
+        With the default ``strict=True`` the first failure raises
+        through (the original contract) and the return value is a plain
+        ``list[tuple[str, ...]]`` of answers.  With ``strict=False``
+        every request is isolated: the return value is one
+        :class:`ServingResult` per request, failures contained in their
+        own slots.
+
+        ``deadline_seconds`` (default: the service-wide setting) bounds
+        the whole call; late work fails with
+        :class:`~repro.core.errors.DeadlineExceeded`.
 
         Tuples ``(route, html)`` / ``(route, html, url)`` are accepted as
         a convenience and normalized to :class:`ServingRequest`.
@@ -243,52 +632,316 @@ class QAService:
             )
             for request in requests
         ]
-        # Stage 1: ingest (cache-aware, timed).  On the thread backend
-        # the cold parse+index work fans over the same pool predict
-        # uses (the cache and its stats are lock-protected; concurrent
-        # misses on identical bytes at worst parse twice, last put
-        # wins).  Parsing is GIL-bound pure Python, so the win today is
-        # overlap with any I/O-releasing work, but the structure is
-        # ready for free-threaded builds.  Process workers cannot
-        # populate the parent's cache, so that backend stays sequential.
-        start = time.perf_counter()
-        needs_ingest = any(request.page is None for request in normalized)
-        if needs_ingest and self.jobs > 1 and self.backend == "thread":
-            pages = self._runner.map(self._ingest_request, normalized)
-        else:
-            # All requests carry pre-parsed pages (or the pool cannot
-            # help): plain passthrough, no per-request dispatch tax.
-            pages = [self._ingest_request(request) for request in normalized]
-        ingest_seconds = time.perf_counter() - start
+        if deadline_seconds is None:
+            deadline_seconds = self.deadline_seconds
+        deadline = _Deadline(deadline_seconds)
+        results = self._serve(normalized, strict=strict, deadline=deadline)
+        if strict:
+            # _serve raised on any error, so every answer is present.
+            return [result.answer for result in results]
+        return results
 
-        # Stage 2: route.
-        by_route: dict[str, list[int]] = {}
-        for position, request in enumerate(normalized):
-            by_route.setdefault(request.route, []).append(position)
-
-        # Stages 3+4: micro-batch and predict, per route, over the
-        # service's persistent worker pool.
-        answers: list[tuple[str, ...] | None] = [None] * len(normalized)
-        start = time.perf_counter()
-        for route, positions in by_route.items():
-            tool = self.tool(route)
-            for offset in range(0, len(positions), self.max_batch):
-                batch = positions[offset : offset + self.max_batch]
-                results = tool.predict_batch(
-                    [pages[i] for i in batch], runner=self._runner
+    def _serve(
+        self,
+        normalized: "list[ServingRequest]",
+        strict: bool,
+        deadline: _Deadline,
+    ) -> "list[ServingResult]":
+        results = [ServingResult(route=request.route) for request in normalized]
+        admitted = self._admit(len(normalized))
+        try:
+            for position in range(admitted, len(normalized)):
+                results[position].error = RejectedError(
+                    f"request shed: {self.max_inflight} requests already in "
+                    f"flight (admission bound)",
+                    reason="overload",
+                    route=normalized[position].route,
                 )
-                # Counted only after the dispatch succeeds, so a failing
-                # batch cannot permanently skew the batches/requests
-                # ratio of a long-lived service.
-                self.stats.record_batch(len(batch))
-                for position, answer in zip(batch, results):
-                    answers[position] = answer
-        self.stats.record_requests(
-            count=len(normalized),
-            by_route={route: len(p) for route, p in by_route.items()},
-            ingest_seconds=ingest_seconds,
-            predict_seconds=time.perf_counter() - start,
-        )
-        # Every position was filled (unknown routes raise before predict);
-        # the fallback only satisfies the type checker.
-        return [answer if answer is not None else () for answer in answers]
+            if strict and admitted < len(normalized):
+                raise results[admitted].error
+
+            # Stage 2: ingest (cache-aware, retried, timed).  On the
+            # thread backend cold parse+index work fans over the same
+            # pool predict uses; process workers cannot populate the
+            # parent's cache, so that backend stays sequential.
+            start = time.perf_counter()
+            live = list(range(admitted))
+            work = [(i, normalized[i], deadline) for i in live]
+            needs_ingest = any(normalized[i].page is None for i in live)
+            if needs_ingest and self.jobs > 1 and self.backend == "thread":
+                outcomes = self._runner.map(
+                    self._ingest_one, work, return_exceptions=True
+                )
+            else:
+                outcomes = []
+                for item in work:
+                    try:
+                        outcomes.append(self._ingest_one(item))
+                    except Exception as error:  # noqa: BLE001 — isolated below
+                        outcomes.append(error)
+            pages: "dict[int, WebPage]" = {}
+            for position, outcome in zip(live, outcomes):
+                result = results[position]
+                if isinstance(outcome, BaseException):
+                    error = self._wrap_error(
+                        outcome, IngestError, normalized[position].route,
+                        result.fingerprint, result.retries, deadline,
+                    )
+                    result.error = error
+                    if strict:
+                        raise error
+                    continue
+                ingested, attempts, seconds = outcome
+                pages[position] = ingested.page
+                result.fingerprint = ingested.fingerprint
+                result.degraded = ingested.degraded
+                result.cache_hit = ingested.cache_hit
+                result.retries += attempts
+                result.ingest_seconds = seconds
+            ingest_seconds = time.perf_counter() - start
+
+            # Stage 3: route, gated per request by the circuit breaker.
+            by_route: dict[str, list[int]] = {}
+            for position in live:
+                if results[position].error is not None:
+                    continue
+                route = normalized[position].route
+                if route not in self._routes:
+                    error = RouteError(
+                        f"unknown route {route!r}; registered: {self.routes()}",
+                        route=route,
+                        fingerprint=results[position].fingerprint,
+                    )
+                    results[position].error = error
+                    if strict:
+                        raise error
+                    continue
+                breaker = self._breakers.get(route)
+                if breaker is not None and not breaker.allow():
+                    error = RejectedError(
+                        f"circuit open for route {route!r}",
+                        reason="circuit-open",
+                        route=route,
+                        fingerprint=results[position].fingerprint,
+                    )
+                    results[position].error = error
+                    if strict:
+                        raise error
+                    continue
+                by_route.setdefault(route, []).append(position)
+
+            # Stages 4+5: micro-batch and predict, per route, over the
+            # service's persistent worker pool.
+            start = time.perf_counter()
+            for route, positions in by_route.items():
+                tool = self._routes[route]
+                breaker = self._breakers.get(route)
+                for offset in range(0, len(positions), self.max_batch):
+                    batch = positions[offset : offset + self.max_batch]
+                    batch_start = time.perf_counter()
+                    self._predict_batch(
+                        tool, route, batch, pages, results, deadline, strict
+                    )
+                    # Counted only after the dispatch, so a raising batch
+                    # cannot permanently skew the batches/requests ratio.
+                    self.stats.record_batch(len(batch))
+                    per_request = (time.perf_counter() - batch_start) / len(batch)
+                    for position in batch:
+                        results[position].predict_seconds = per_request
+                        if breaker is None:
+                            continue
+                        error = results[position].error
+                        if error is None:
+                            breaker.record_success()
+                        elif error.stage in ("predict", "deadline"):
+                            breaker.record_failure()
+            predict_seconds = time.perf_counter() - start
+
+            by_route_counts: dict[str, int] = {}
+            for request in normalized:
+                by_route_counts[request.route] = (
+                    by_route_counts.get(request.route, 0) + 1
+                )
+            self.stats.record_requests(
+                count=len(normalized),
+                by_route=by_route_counts,
+                ingest_seconds=ingest_seconds,
+                predict_seconds=predict_seconds,
+            )
+            self.stats.record_results(results)
+            return results
+        finally:
+            self._release(admitted)
+            self.stats.set_pools_broken(self._runner.pools_broken)
+
+    # -- stage helpers -----------------------------------------------------------
+
+    def _ingest_one(
+        self, item: "tuple[int, ServingRequest, _Deadline]"
+    ) -> "tuple[IngestOutcome, int, float]":
+        """Ingest one request with bounded retry.
+
+        Returns ``(outcome, attempts_spent, seconds)``; raises an
+        already-wrapped :class:`~repro.core.errors.ServingError` when
+        the retry budget (or the deadline) runs out.
+        """
+        index, request, deadline = item
+        attempt = 0
+        started = time.perf_counter()
+        while True:
+            if deadline.passed():
+                raise DeadlineExceeded(
+                    f"deadline passed before ingest of request {index}",
+                    route=request.route,
+                    retries=attempt,
+                    deadline_seconds=deadline.seconds,
+                    elapsed_seconds=deadline.elapsed(),
+                )
+            try:
+                if self._injector is not None:
+                    self._injector.before_ingest(index, attempt)
+                if request.page is not None:
+                    outcome = IngestOutcome(
+                        request.page, "", degraded=False, cache_hit=False
+                    )
+                else:
+                    outcome = ingest_page(
+                        request.html or "",
+                        request.url,
+                        cache=self.cache,
+                        limits=self.limits,
+                    )
+                return outcome, attempt, time.perf_counter() - started
+            except Exception as error:  # noqa: BLE001 — classified below
+                if (
+                    is_transient(error)
+                    and attempt < self.retry_policy.max_retries
+                    and not deadline.passed()
+                ):
+                    self._backoff(attempt, f"ingest:{index}", deadline)
+                    attempt += 1
+                    continue
+                raise self._wrap_error(
+                    error, IngestError, request.route, "", attempt, deadline
+                ) from error
+
+    def _predict_batch(
+        self,
+        tool: WebQA,
+        route: str,
+        batch: "list[int]",
+        pages: "dict[int, WebPage]",
+        results: "list[ServingResult]",
+        deadline: _Deadline,
+        strict: bool,
+    ) -> None:
+        """Run one micro-batch with per-item isolation and bounded retry."""
+        allow_exit = self.backend == "process"
+        pending = list(batch)
+        attempts = {position: 0 for position in batch}
+        while pending:
+            payloads = [
+                (
+                    tool,
+                    pages[position],
+                    position,
+                    attempts[position],
+                    self._injector,
+                    allow_exit,
+                )
+                for position in pending
+            ]
+            outs = self._runner.map(
+                _predict_page,
+                payloads,
+                return_exceptions=True,
+                deadline=deadline.at,
+            )
+            retry: list[int] = []
+            for position, out in zip(pending, outs):
+                result = results[position]
+                if isinstance(out, BaseException):
+                    if (
+                        is_transient(out)
+                        and attempts[position] < self.retry_policy.max_retries
+                        and not deadline.passed()
+                    ):
+                        attempts[position] += 1
+                        retry.append(position)
+                        continue
+                    error = self._wrap_error(
+                        out, PredictError, route, result.fingerprint,
+                        attempts[position], deadline,
+                    )
+                    result.error = error
+                    result.retries += attempts[position]
+                    if strict:
+                        raise error
+                else:
+                    answer, degraded = out
+                    result.answer = answer
+                    result.degraded = result.degraded or degraded
+                    result.retries += attempts[position]
+            if retry:
+                round_attempt = min(attempts[position] for position in retry) - 1
+                self._backoff(round_attempt, f"predict:{route}", deadline)
+            pending = retry
+
+    def _backoff(self, attempt: int, key: str, deadline: _Deadline) -> None:
+        delay = self.retry_policy.delay(attempt, key)
+        remaining = deadline.remaining()
+        if remaining is not None:
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _wrap_error(
+        self,
+        error: BaseException,
+        stage_cls: type,
+        route: str,
+        fingerprint: str,
+        retries: int,
+        deadline: _Deadline,
+    ) -> ServingError:
+        """Normalize any stage failure into the serving taxonomy.
+
+        A :class:`ServingError` passes through with its context
+        completed; a pool timeout becomes
+        :class:`~repro.core.errors.DeadlineExceeded`; a broken pool or
+        any organic exception is wrapped in the stage's error class
+        (cause preserved for tracebacks).
+        """
+        if isinstance(error, ServingError):
+            error.route = error.route or route
+            error.fingerprint = error.fingerprint or fingerprint
+            error.retries = max(error.retries, retries)
+            return error
+        if isinstance(error, (FuturesTimeout, TimeoutError)):
+            wrapped: ServingError = DeadlineExceeded(
+                f"deadline of {deadline.seconds:.3f}s exceeded "
+                f"after {deadline.elapsed():.3f}s",
+                route=route,
+                fingerprint=fingerprint,
+                retries=retries,
+                deadline_seconds=deadline.seconds,
+                elapsed_seconds=deadline.elapsed(),
+            )
+        elif isinstance(error, BrokenExecutor):
+            wrapped = stage_cls(
+                f"worker pool broke: {error!r}",
+                route=route,
+                fingerprint=fingerprint,
+                retries=retries,
+                transient=True,
+            )
+        else:
+            wrapped = stage_cls(
+                f"{type(error).__name__}: {error}",
+                route=route,
+                fingerprint=fingerprint,
+                retries=retries,
+                transient=False,
+            )
+        wrapped.__cause__ = error
+        return wrapped

@@ -213,7 +213,12 @@ def build_tree(document: Document, url: str = "") -> WebPage:
     return WebPage(assembler.root, url=url)
 
 
-def page_from_html(markup: str, url: str = "") -> WebPage:
+def page_from_html(
+    markup: str,
+    url: str = "",
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+) -> WebPage:
     """Parse HTML markup directly into a :class:`WebPage`.
 
     This is the main entry point used throughout the system:
@@ -223,5 +228,11 @@ def page_from_html(markup: str, url: str = "") -> WebPage:
     'Jane'
     >>> [c.text for c in page.root.children]
     ['Students']
+
+    ``max_depth`` / ``max_nodes`` are the serving ingest guards
+    (forwarded to :func:`~repro.html.parser.parse_html`); with the
+    ``None`` defaults the parse is unbounded, as before.  Callers that
+    need to know whether a cap fired use the two-step
+    ``parse_html`` + ``build_tree`` path and read ``document.truncated``.
     """
-    return build_tree(parse_html(markup), url=url)
+    return build_tree(parse_html(markup, max_depth, max_nodes), url=url)

