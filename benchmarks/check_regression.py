@@ -41,7 +41,12 @@ def check(
 ) -> list[tuple[str, float, float, float]]:
     """Regressions beyond the threshold: (name, base_s, fresh_s, ratio)."""
     failures = []
-    for row in benchtool.compare(fresh, baseline):
+    rows = benchtool.compare(fresh, baseline)
+    # Suite-wide machine-speed estimate: uniform shifts (slower runner,
+    # busy host) are normalized out before gating individual medians.
+    scale = benchtool.speed_scale(rows)
+    print(f"  machine-speed scale: {scale:.2f}x")
+    for row in rows:
         if not row.guarded:
             continue
         if row.base_median_s is None:
@@ -55,12 +60,12 @@ def check(
             )
             continue
         ratio = row.ratio
-        verdict = "FAIL" if row.fails(max_regression) else "ok"
+        verdict = "FAIL" if row.fails(max_regression, scale) else "ok"
         print(
             f"  {row.name}: baseline {row.base_median_s * 1000:.3f}ms → "
             f"fresh {row.fresh_median_s * 1000:.3f}ms ({ratio:.2f}x) {verdict}"
         )
-        if row.fails(max_regression):
+        if row.fails(max_regression, scale):
             failures.append(
                 (row.name, row.base_median_s, row.fresh_median_s, ratio)
             )

@@ -59,6 +59,42 @@ def test_bench_parse_html(benchmark):
     assert doc.body is not None
 
 
+# -- tokenizer fast path: vectorized scanner vs the stdlib event parser -------
+#
+# Both variants parse the same spread of dataset pages (all four domains,
+# several seeds each) so the ratio reflects corpus-shaped markup, not one
+# lucky page.  The vectorized median is guarded in CI and its win over
+# the stdlib path is tracked as a speedup pair (≥2x by construction of
+# the PR that introduced it).
+
+_PARSE_CORPUS = [
+    generate_page(domain, seed).html
+    for domain in ("faculty", "conference", "class", "clinic")
+    for seed in range(3, 27, 2)
+]
+
+
+def test_bench_parse_html_stdlib(benchmark):
+    def run():
+        return [
+            parse_html(html, tokenizer="stdlib") for html in _PARSE_CORPUS
+        ]
+
+    docs = benchmark(run)
+    assert len(docs) == len(_PARSE_CORPUS)
+
+
+def test_bench_parse_html_vectorized(benchmark):
+    def run():
+        return [parse_html(html) for html in _PARSE_CORPUS]
+
+    docs = benchmark(run)
+    assert len(docs) == len(_PARSE_CORPUS)
+    # The fast scanner must actually take its fast path on dataset pages;
+    # a silent wholesale fallback would quietly measure stdlib twice.
+    assert not any(doc.fast_fallback for doc in docs)
+
+
 def test_bench_build_tree(benchmark):
     doc = parse_html(PAGE_HTML)
     page = benchmark(build_tree, doc)
@@ -193,7 +229,12 @@ def test_bench_branch_synthesis(benchmark):
             [LabeledExample(PAGE, GOLD)], [], contexts, SMALL
         )
 
-    space = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=0)
+    # 15 rounds, not 5: this median is a CI merge gate, and at rounds=5
+    # the distribution was unstable enough (stddev ≈ mean, mean 12.3ms vs
+    # median 6.7ms) that one slow outlier round could flip the verdict.
+    # The gate itself compares *medians* (benchtool CompareRow), which
+    # the extra rounds make robust.
+    space = benchmark.pedantic(run, rounds=15, iterations=1, warmup_rounds=1)
     assert space.f1 > 0
 
 
@@ -210,7 +251,9 @@ def test_bench_branch_synthesis_sequential(benchmark):
             [LabeledExample(PAGE, GOLD)], [], contexts, config
         )
 
-    space = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=0)
+    # Rounds match test_bench_branch_synthesis: the two medians form a
+    # tracked speedup pair, so they should face the same noise regime.
+    space = benchmark.pedantic(run, rounds=15, iterations=1, warmup_rounds=1)
     assert space.f1 > 0
 
 
@@ -242,7 +285,9 @@ def test_bench_frontier_guard_sweep(benchmark):
         contexts = TaskContexts(QUESTION, KEYWORDS, MODELS)
         return contexts.classify_guard_frontier(family, positives, negatives)
 
-    verdicts = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    # Guarded median: 15 rounds for the same outlier robustness as
+    # test_bench_branch_synthesis.
+    verdicts = benchmark.pedantic(run, rounds=15, iterations=1, warmup_rounds=1)
     assert len(verdicts) == len(family)
 
 
@@ -257,7 +302,10 @@ def test_bench_full_synthesis(benchmark):
     def run():
         return synthesize(examples, QUESTION, KEYWORDS, MODELS, SMALL)
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    # Guarded medians get >= 7 rounds (see test_bench_branch_synthesis);
+    # full synthesis is slow enough that 7 keeps the suite affordable
+    # while still drowning a single outlier round.
+    result = benchmark.pedantic(run, rounds=7, iterations=1, warmup_rounds=0)
     assert result.f1 > 0
 
 
@@ -269,7 +317,7 @@ def test_bench_full_synthesis_cold(benchmark):
         PAGE.invalidate_index()
         return synthesize(examples, QUESTION, KEYWORDS, MODELS, SMALL)
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    result = benchmark.pedantic(run, rounds=7, iterations=1, warmup_rounds=0)
     assert result.f1 > 0
 
 
@@ -458,7 +506,12 @@ def test_bench_serve_cold(benchmark):
     services = []
 
     def setup():
-        service = QAService(jobs=2, max_batch=len(_SERVE_HTML))
+        # jobs=1: inline dispatch, no worker pool.  The cold pair
+        # (serve_cold vs serve_cold_store) isolates the *ingest* path —
+        # thread-pool scheduling jitter on shared runners otherwise
+        # swamps the medians the speedup gate divides.  The warm-batch
+        # benches below keep the jobs=2 pool path covered.
+        service = QAService(jobs=1, max_batch=len(_SERVE_HTML))
         service.register("bench", artifact)
         services.append(service)
         return (service,), {}
@@ -469,13 +522,85 @@ def test_bench_serve_cold(benchmark):
         )
 
     try:
+        # 9 rounds to match test_bench_serve_cold_store: this median is
+        # the denominator of a speedup gate, and a 3-round median bounces
+        # enough run-to-run to blur the ratio.
         answers = benchmark.pedantic(
-            run, setup=setup, rounds=3, iterations=1, warmup_rounds=1
+            run, setup=setup, rounds=9, iterations=1, warmup_rounds=1
         )
     finally:
         for service in services:
             service.close()
     assert len(answers) == len(_SERVE_HTML)
+
+
+_SERVE_STORE_PATH = None
+
+
+def _serving_store_path():
+    """A columnar corpus store over _SERVE_HTML, built once per session."""
+    global _SERVE_STORE_PATH
+    if _SERVE_STORE_PATH is None:
+        import os
+        import tempfile
+
+        from repro.serving.corpus import build_corpus_store
+
+        handle, path = tempfile.mkstemp(suffix=".rpw")
+        os.close(handle)
+        build_corpus_store(_SERVE_HTML, path)
+        _SERVE_STORE_PATH = path
+    return _SERVE_STORE_PATH
+
+
+def test_bench_serve_cold_store(benchmark):
+    """test_bench_serve_cold with the page planes on disk.
+
+    Identical regime — fresh service, empty page cache, raw (html, url)
+    requests — except every ingest rehydrates its prebuilt index planes
+    from the memmapped store instead of parsing.  The serve_cold /
+    serve_cold_store median ratio is the store's whole reason to exist
+    (≥3x, tracked as a speedup pair); the median itself is guarded in CI.
+    """
+    from repro.serving.service import QAService
+
+    artifact = _serving_tool().export_artifact()
+    store_path = _serving_store_path()
+    services = []
+
+    def setup():
+        # jobs=1 to mirror test_bench_serve_cold exactly (see there).
+        service = QAService(
+            jobs=1, max_batch=len(_SERVE_HTML), store=store_path
+        )
+        service.register("bench", artifact)
+        services.append(service)
+        return (service,), {}
+
+    def run(service):
+        return service.ask_many(
+            [("bench", html, url) for html, url in _SERVE_HTML]
+        )
+
+    # More rounds than serve_cold: this one is a guarded CI gate and
+    # fast enough (no parsing) that extra rounds are cheap.
+    try:
+        answers = benchmark.pedantic(
+            run, setup=setup, rounds=9, iterations=1, warmup_rounds=1
+        )
+    finally:
+        for service in services:
+            service.close()
+    assert len(answers) == len(_SERVE_HTML)
+    # Every request must have come off the store, not the parser.
+    last = services[-1]
+    assert last.cache.stats.store_hits == len(_SERVE_HTML)
+    # Store-backed answers are bit-identical to the parse path's.
+    with QAService(jobs=2, max_batch=len(_SERVE_HTML)) as parsed_service:
+        parsed_service.register("bench", artifact)
+        assert answers == parsed_service.ask_many(
+            [("bench", html, url) for html, url in _SERVE_HTML]
+        )
 
 
 def test_bench_serve_warm_batch(benchmark):

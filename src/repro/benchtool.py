@@ -29,8 +29,11 @@ from .persist import tagged_payload, write_artifact
 #: Benchmarks whose median gates CI.  They are the headline perf
 #: invariants: branch synthesis and the frontier guard sweep (the
 #: synthesis engine), cold indexed locator evaluation (the eval engine),
-#: whole-pipeline synthesis warm + cold (the full Figure 7 stack), and
-#: the QAService warm batch path (the serving stack).
+#: whole-pipeline synthesis warm + cold (the full Figure 7 stack), the
+#: QAService warm batch path (the serving stack), the vectorized HTML
+#: tokenizer and store-backed cold serving (the ingest stack).  All
+#: guarded benches run enough rounds (>=7, most 15) that the gated
+#: median shrugs off single outlier rounds on shared CI runners.
 GUARDED = (
     "test_bench_branch_synthesis",
     "test_bench_frontier_guard_sweep",
@@ -39,13 +42,38 @@ GUARDED = (
     "test_bench_full_synthesis_cold",
     "test_bench_serve_warm_batch",
     "test_bench_serve_faulty_batch",
+    "test_bench_parse_html_vectorized",
+    "test_bench_serve_cold_store",
 )
 
-#: A guarded median may grow at most this factor over the baseline.
+#: A guarded median may grow at most this factor over the baseline,
+#: after machine-speed normalization (see :func:`speed_scale`).
 #: Cross-machine absolute times are noisy, so the threshold is
 #: deliberately loose and guards *relative catastrophes* (a disabled
 #: cache, a quadratic loop), not scheduling jitter.
 DEFAULT_MAX_REGRESSION = 1.25
+
+#: Minimum shared benchmarks needed to estimate machine speed; a
+#: ``--filter`` subset below this gates on raw ratios instead.
+SPEED_SCALE_MIN_SAMPLES = 8
+
+#: Machine-speed estimates outside this band are rejected (scale 1.0):
+#: a whole suite uniformly >2x slower is more plausibly a real global
+#: regression than a 2x-slower runner, so it must fail loudly rather
+#: than be normalized away.
+SPEED_SCALE_BAND = (0.5, 2.0)
+
+#: Per-benchmark regression bounds overriding DEFAULT_MAX_REGRESSION.
+#: test_bench_serve_cold_store has a sub-millisecond median dominated by
+#: raw allocation throughput (tens of thousands of node objects per
+#: round), which on shared runners lands in visibly bimodal fast/slow
+#: host states that suite-median normalization cannot cancel (the rest
+#: of the suite is compute-, not allocation-, bound).  2.0x still trips
+#: on losing the store path itself: falling back to parsing is a >3x
+#: jump by construction.
+MAX_REGRESSION_OVERRIDES = {
+    "test_bench_serve_cold_store": 2.0,
+}
 
 #: (fast, slow) benchmark pairs whose ratio is reported as a speedup.
 SPEEDUP_PAIRS = (
@@ -78,6 +106,13 @@ SPEEDUP_PAIRS = (
     # per-request isolation path (structured results, retry accounting)
     # on the same warm pages.  Expected ≈1.0x.
     ("test_bench_serve_warm_batch", "test_bench_serve_warm_batch_nonstrict"),
+    # Streaming tokenizer: the vectorized single-pass scanner vs the
+    # stdlib HTMLParser event path over the same dataset pages (>=2x;
+    # identical trees by construction, pinned differentially in tests).
+    ("test_bench_parse_html_vectorized", "test_bench_parse_html_stdlib"),
+    # Columnar corpus store: cold serving rehydrating memmapped index
+    # planes vs cold serving parsing raw HTML (>=3x).
+    ("test_bench_serve_cold_store", "test_bench_serve_cold"),
 )
 
 #: Path fragments that locate the micro-benchmark suite from a repo root.
@@ -128,6 +163,11 @@ def run_benchmarks(
         str(repo_root / MICRO_BENCH),
         "-q",
         f"--benchmark-json={raw_json}",
+        # GC pauses land on random rounds and swamp the short medians
+        # (a single gen-2 pass costs more than a whole store-backed
+        # serve round); collecting between rounds instead keeps the
+        # guarded medians deterministic enough to gate on.
+        "--benchmark-disable-gc",
     ]
     if filter_expr:
         command += ["-k", filter_expr]
@@ -225,18 +265,23 @@ class CompareRow:
             return float("inf") if self.fresh_median_s > 0 else 1.0
         return self.fresh_median_s / self.base_median_s
 
-    def verdict(self, max_regression: float) -> str:
+    def verdict(self, max_regression: float, scale: float = 1.0) -> str:
         if self.base_median_s is None:
             return "new"
         if self.fresh_median_s is None:
             return "MISSING" if self.guarded else "missing"
         if not self.guarded:
             return ""
-        ratio = self.ratio
-        return "FAIL" if ratio is not None and ratio > max_regression else "ok"
+        return "FAIL" if self.fails(max_regression, scale) else "ok"
 
-    def fails(self, max_regression: float) -> bool:
-        """True when this row blocks the gate (guarded rows only)."""
+    def fails(self, max_regression: float, scale: float = 1.0) -> bool:
+        """True when this row blocks the gate (guarded rows only).
+
+        ``scale`` is the suite-wide machine-speed estimate from
+        :func:`speed_scale`; the gate bounds the *normalized* ratio, so
+        a uniformly slower runner doesn't fail every guarded benchmark
+        at once.
+        """
         if not self.guarded:
             return False
         if self.base_median_s is None:
@@ -244,7 +289,43 @@ class CompareRow:
         if self.fresh_median_s is None:
             return True  # a guarded benchmark that vanished is a failure
         ratio = self.ratio
-        return ratio is not None and ratio > max_regression
+        bound = MAX_REGRESSION_OVERRIDES.get(self.name, max_regression)
+        return ratio is not None and ratio / scale > bound
+
+
+def speed_scale(rows: "Sequence[CompareRow]") -> float:
+    """Suite-wide machine-speed estimate: the median fresh/base ratio.
+
+    A committed baseline records absolute medians from one machine and
+    one weather; a fresh run on a slower runner (or a busy host) shifts
+    *every* benchmark by roughly the same factor.  That shift is machine
+    speed, not regression — the gate divides each guarded ratio by this
+    estimate so it measures a benchmark's movement *relative to the rest
+    of the suite*.  The median over all compared benchmarks is robust to
+    a handful of genuinely regressed (or improved) entries.
+
+    Returns 1.0 (no normalization) when fewer than
+    :data:`SPEED_SCALE_MIN_SAMPLES` ratios are available — a filtered
+    subset can't distinguish its own regressions from machine speed —
+    or when the estimate falls outside :data:`SPEED_SCALE_BAND`.
+    """
+    ratios = sorted(
+        row.ratio
+        for row in rows
+        if row.ratio is not None and row.ratio != float("inf")
+    )
+    if len(ratios) < SPEED_SCALE_MIN_SAMPLES:
+        return 1.0
+    middle = len(ratios) // 2
+    estimate = (
+        ratios[middle]
+        if len(ratios) % 2
+        else (ratios[middle - 1] + ratios[middle]) / 2
+    )
+    low, high = SPEED_SCALE_BAND
+    if not low <= estimate <= high:
+        return 1.0
+    return estimate
 
 
 def compare(
@@ -279,7 +360,9 @@ def compare(
 
 
 def format_compare(
-    rows: Sequence[CompareRow], max_regression: float = DEFAULT_MAX_REGRESSION
+    rows: Sequence[CompareRow],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    scale: float = 1.0,
 ) -> str:
     """The human-readable delta table of ``compare`` rows."""
 
@@ -297,10 +380,11 @@ def format_compare(
         lines.append(
             f"{row.name:44s} {ms(row.base_median_s)} "
             f"{ms(row.fresh_median_s)} {ratio_text}  "
-            f"{marker}{row.verdict(max_regression)}"
+            f"{marker}{row.verdict(max_regression, scale)}"
         )
     lines.append(
-        f"(* guarded: median may grow at most {max_regression:.2f}x "
-        "over the baseline)"
+        f"(machine-speed scale {scale:.2f}x; * guarded: normalized "
+        f"median may grow at most {max_regression:.2f}x over the baseline, "
+        "subject to MAX_REGRESSION_OVERRIDES)"
     )
     return "\n".join(lines)

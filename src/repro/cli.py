@@ -210,7 +210,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         ServingRequest(route="bench", html=html, url=path)
         for path, html in htmls
     ]
-    with QAService(jobs=args.jobs, max_batch=args.max_batch) as service:
+    with QAService(
+        jobs=args.jobs, max_batch=args.max_batch, store=args.store
+    ) as service:
         tool = service.register("bench", args.artifact)
 
         round_seconds: list[float] = []
@@ -251,6 +253,35 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"  {key}: {value}")
     for key, value in service.cache.stats.as_dict().items():
         print(f"  page_cache.{key}: {value}")
+    return 0
+
+
+def cmd_corpus_build(args: argparse.Namespace) -> int:
+    """Parse a corpus once into a columnar store file."""
+    from .serving.corpus import (
+        build_corpus_store,
+        build_dataset_store,
+        html_dir_documents,
+    )
+
+    if args.html_dir:
+        report = build_corpus_store(html_dir_documents(args.html_dir), args.output)
+    else:
+        domains = args.domains.split(",") if args.domains else None
+        report = build_dataset_store(
+            args.output, domains=domains, pages_per_domain=args.pages
+        )
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_corpus_stat(args: argparse.Namespace) -> int:
+    """Validate a corpus store and print its shape."""
+    from .serving.corpus import corpus_stat
+
+    for key, value in corpus_stat(args.store).items():
+        print(f"{key}: {value}")
     return 0
 
 
@@ -323,16 +354,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             name for name in guarded if name in fresh.get("benchmarks", {})
         )
     rows = benchtool.compare(fresh, baseline, guarded=guarded)
+    scale = benchtool.speed_scale(rows)
     print(f"delta vs baseline {args.compare}:")
-    print(benchtool.format_compare(rows, args.max_regression))
-    failures = [row for row in rows if row.fails(args.max_regression)]
+    print(benchtool.format_compare(rows, args.max_regression, scale))
+    failures = [
+        row for row in rows if row.fails(args.max_regression, scale)
+    ]
     if failures:
         for row in failures:
             ratio = row.ratio
             print(
                 f"REGRESSION: {row.name} "
                 + (
-                    f"({ratio:.2f}x over baseline)"
+                    f"({ratio:.2f}x over baseline, "
+                    f"{ratio / scale:.2f}x speed-normalized)"
                     if ratio is not None
                     else "(guarded benchmark missing from fresh run)"
                 ),
@@ -431,8 +466,38 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker threads per micro-batch")
     serve_bench.add_argument("--max-batch", type=int, default=32,
                              help="micro-batch size cap")
+    serve_bench.add_argument("--store", default=None,
+                             help="corpus store file; cache misses load "
+                             "prebuilt indexes instead of parsing")
     serve_bench.add_argument("pages", nargs="+", help=".html files to serve")
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="build or inspect a disk-backed columnar corpus store",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_build = corpus_sub.add_parser(
+        "build",
+        help="parse a corpus once and persist its index planes",
+    )
+    corpus_build.add_argument("output", help="store file to write")
+    corpus_build.add_argument(
+        "--domains", default=None,
+        help="comma-separated dataset domains (default: all)")
+    corpus_build.add_argument(
+        "--pages", type=int, default=25,
+        help="pages (seeds) per domain from the synthetic corpus")
+    corpus_build.add_argument(
+        "--html-dir", default=None,
+        help="build from a directory of .html files instead of the "
+        "synthetic corpus (urls are the bare filenames)")
+    corpus_build.set_defaults(func=cmd_corpus_build)
+    corpus_stat_parser = corpus_sub.add_parser(
+        "stat", help="validate a store file and print its shape"
+    )
+    corpus_stat_parser.add_argument("store", help="store file to inspect")
+    corpus_stat_parser.set_defaults(func=cmd_corpus_stat)
 
     from pathlib import Path
 

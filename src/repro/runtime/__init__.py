@@ -3,12 +3,28 @@
 - :class:`TaskRunner` — deterministic-ordering map over a thread or
   process pool (``jobs`` selectable, ``jobs=1`` runs inline).
 - :func:`warm_pages` — per-worker page-index warmup.
+- :func:`corpus_store_initializer` / :func:`worker_store` — per-worker
+  warm-start from a disk-backed corpus store: N workers share one
+  memmapped page file through the OS page cache instead of parsing
+  private copies.
 
 This package is the orchestration seam above single-task synthesis: the
 experiment sweeps (``repro.experiments.common.run_comparison``), the CLI
 (``--jobs``) and any future serving layer all schedule work through it.
 """
 
-from .runner import BACKENDS, TaskRunner, warm_pages
+from .runner import (
+    BACKENDS,
+    TaskRunner,
+    corpus_store_initializer,
+    warm_pages,
+    worker_store,
+)
 
-__all__ = ["TaskRunner", "warm_pages", "BACKENDS"]
+__all__ = [
+    "TaskRunner",
+    "warm_pages",
+    "BACKENDS",
+    "corpus_store_initializer",
+    "worker_store",
+]

@@ -67,6 +67,50 @@ def warm_pages(pages: Iterable[WebPage]) -> int:
     return count
 
 
+def _prewarm_noop() -> None:
+    """Picklable no-op: :meth:`TaskRunner.prewarm` on the process backend."""
+
+
+#: Per-worker corpus store handle, set by :func:`corpus_store_initializer`.
+_worker_store = None
+
+
+def corpus_store_initializer(path: str, fingerprints: Sequence[str] = ()) -> None:
+    """Worker warm-start from a corpus store path.
+
+    Pass as ``TaskRunner(initializer=corpus_store_initializer,
+    initargs=(path, fingerprints))``: each worker opens the store once
+    (an ``np.memmap`` — N workers share the read-only file through the
+    OS page cache instead of each parsing private copies) and optionally
+    pre-loads the named pages so their indexes exist before the first
+    mapped item.  The handle is available to mapped functions via
+    :func:`worker_store`.  Works on both backends: in a process worker
+    the global is per-process; with threads (or ``jobs=1`` inline) it is
+    simply module state.
+    """
+    global _worker_store
+    from ..webtree.store import CorpusStoreReader
+
+    _worker_store = CorpusStoreReader(path)
+    for fingerprint in fingerprints:
+        _worker_store.load(fingerprint)
+
+
+def worker_store():
+    """The store opened by :func:`corpus_store_initializer` here.
+
+    Raises ``RuntimeError`` when no store initializer ran in this
+    worker — a mapped function asking for pages that were never warmed
+    is a wiring bug, not a case to silently re-parse around.
+    """
+    if _worker_store is None:
+        raise RuntimeError(
+            "no corpus store in this worker: construct the TaskRunner with "
+            "initializer=corpus_store_initializer, initargs=(path, ...)"
+        )
+    return _worker_store
+
+
 class TaskRunner:
     """Map a function over work items with a configurable worker pool.
 
@@ -154,6 +198,40 @@ class TaskRunner:
             if self._pool is None:
                 self._pool = self._executor()
             return self._pool
+
+    def prewarm(self) -> None:
+        """Start the persistent pool's workers before the first batch.
+
+        Executors spawn workers lazily, one per submit, so a fresh
+        serving process otherwise bills pool construction (OS thread or
+        process startup, per-worker initializers) to its first batch's
+        latency.  Calling this at service startup moves that cost out of
+        the request path.  No-op for non-persistent runners and for
+        ``jobs=1`` (which maps inline, no pool at all).
+        """
+        if not self.persistent or self.jobs == 1:
+            return
+        pool = self._acquire_pool()
+        if self.backend == "thread":
+            # One submit per worker, held at a barrier so no thread can
+            # drain two of them: all `jobs` threads must exist before
+            # any future resolves.  The timeout is a safety valve — a
+            # broken barrier just means a partial prewarm.
+            barrier = threading.Barrier(self.jobs)
+
+            def hold() -> None:
+                try:
+                    barrier.wait(timeout=5.0)
+                except threading.BrokenBarrierError:
+                    pass
+
+            futures = [pool.submit(hold) for _ in range(self.jobs)]
+        else:
+            # Process workers can't share a barrier; best-effort no-ops
+            # still trigger worker spawn + per-worker initializers.
+            futures = [pool.submit(_prewarm_noop) for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
 
     def _discard_pool(self, pool: Executor) -> None:
         """Drop a broken persistent executor so the next map rebuilds.

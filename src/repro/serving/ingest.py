@@ -88,6 +88,9 @@ class IngestOutcome:
     degraded: bool
     #: True when the page came from the cache (no parse/index paid).
     cache_hit: bool
+    #: True when the page rehydrated from the corpus store (no parse
+    #: paid; planes loaded from disk instead of rebuilt).
+    store_hit: bool = False
 
 
 @dataclass
@@ -105,6 +108,12 @@ class IngestStats:
     cache_misses: int = 0
     evictions: int = 0
     pages_degraded: int = 0
+    #: Cache misses answered by the corpus store (no parse paid).
+    store_hits: int = 0
+    #: Parses whose fast tokenizer bailed to the stdlib path — a high
+    #: ratio against ``pages_ingested`` means the corpus is outside the
+    #: scanner subset and the parse_seconds budget is the slow path's.
+    parse_fallbacks: int = 0
     parse_seconds: float = 0.0
     index_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -114,12 +123,23 @@ class IngestStats:
         parse_seconds: float = 0.0,
         index_seconds: float = 0.0,
         degraded: bool = False,
+        fallback: bool = False,
     ) -> None:
         """Count one ingested page (plus its stage timings), atomically."""
         with self._lock:
             self.pages_ingested += 1
             self.parse_seconds += parse_seconds
             self.index_seconds += index_seconds
+            if degraded:
+                self.pages_degraded += 1
+            if fallback:
+                self.parse_fallbacks += 1
+
+    def record_store_hit(self, degraded: bool = False) -> None:
+        """Count one page served from the corpus store, atomically."""
+        with self._lock:
+            self.pages_ingested += 1
+            self.store_hits += 1
             if degraded:
                 self.pages_degraded += 1
 
@@ -141,6 +161,8 @@ class IngestStats:
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
             "pages_degraded": self.pages_degraded,
+            "store_hits": self.store_hits,
+            "parse_fallbacks": self.parse_fallbacks,
             "hit_rate": round(self.hit_rate(), 4),
             "parse_seconds": self.parse_seconds,
             "index_seconds": self.index_seconds,
@@ -216,6 +238,8 @@ def ingest_page(
     cache: PageCache | None = None,
     stats: IngestStats | None = None,
     limits: ServingLimits | None = None,
+    store: "object | None" = None,
+    store_writer: "object | None" = None,
 ) -> IngestOutcome:
     """Raw HTML → parsed, indexed :class:`WebPage`, through the cache.
 
@@ -229,6 +253,16 @@ def ingest_page(
     warm hit on a capped page reports honestly.  The fingerprint is
     always taken over the *original* input — two inputs that differ only
     beyond a cap still parse identically, so sharing the entry is sound.
+
+    Lookup order is memory → disk → parse: a *cache* miss consults
+    ``store`` (a :class:`~repro.webtree.store.CorpusStoreReader`) before
+    parsing, rehydrating the prebuilt index planes from disk and
+    promoting the page into the cache; both share the raw-bytes
+    fingerprint key, so neither lookup touches the parser.  A page that
+    does get parsed is appended to ``store_writer`` (a
+    :class:`~repro.webtree.store.CorpusStoreWriter`) when one is given —
+    that is how ``repro corpus build`` populates a store through the
+    exact pipeline serving uses.
     """
     if stats is None:
         # NB: explicit None-check — PageCache has __len__, so an *empty*
@@ -239,13 +273,24 @@ def ingest_page(
         # full HTML, no lock round-trips, no forever-0% hit-rate noise.
         cache = None
     fingerprint = ""
-    if cache is not None:
+    if cache is not None or store is not None or store_writer is not None:
         fingerprint = page_fingerprint(html, url)
+    if cache is not None:
         entry = cache.get_entry(fingerprint)
         if entry is not None:
             page, degraded = entry
             stats.record(degraded=degraded)
             return IngestOutcome(page, fingerprint, degraded, cache_hit=True)
+    if store is not None:
+        entry = store.get(fingerprint)
+        if entry is not None:
+            page, degraded = entry
+            stats.record_store_hit(degraded=degraded)
+            if cache is not None:
+                cache.put(fingerprint, page, degraded)
+            return IngestOutcome(
+                page, fingerprint, degraded, cache_hit=False, store_hit=True
+            )
     degraded = False
     if (
         limits is not None
@@ -258,9 +303,9 @@ def ingest_page(
     if limits is not None:
         document = parse_html(html, limits.max_depth, limits.max_nodes)
         degraded = degraded or document.truncated
-        page = build_tree(document, url=url)
     else:
-        page = build_tree(parse_html(html), url=url)
+        document = parse_html(html)
+    page = build_tree(document, url=url)
     parsed = time.perf_counter()
     page.index()
     indexed = time.perf_counter()
@@ -268,9 +313,12 @@ def ingest_page(
         parse_seconds=parsed - start,
         index_seconds=indexed - parsed,
         degraded=degraded,
+        fallback=document.fast_fallback,
     )
     if cache is not None:
         cache.put(fingerprint, page, degraded)
+    if store_writer is not None:
+        store_writer.add_page(fingerprint, page, degraded)
     return IngestOutcome(page, fingerprint, degraded, cache_hit=False)
 
 
@@ -280,6 +328,16 @@ def ingest_html(
     cache: PageCache | None = None,
     stats: IngestStats | None = None,
     limits: ServingLimits | None = None,
+    store: "object | None" = None,
+    store_writer: "object | None" = None,
 ) -> WebPage:
     """:func:`ingest_page`, returning just the page (the original API)."""
-    return ingest_page(html, url, cache=cache, stats=stats, limits=limits).page
+    return ingest_page(
+        html,
+        url,
+        cache=cache,
+        stats=stats,
+        limits=limits,
+        store=store,
+        store_writer=store_writer,
+    ).page

@@ -62,6 +62,7 @@ model is tested against (``tests/serving/test_faults.py``).
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -427,6 +428,11 @@ class QAService:
         ``None`` (production) costs nothing.
     clock:
         Injectable monotonic clock shared by the circuit breakers.
+    store:
+        A prebuilt corpus store — a path or an opened
+        :class:`~repro.webtree.store.CorpusStoreReader`.  Page-cache
+        misses rehydrate the indexed page from its planes instead of
+        parsing (see :func:`~repro.serving.ingest.ingest_page`).
     """
 
     def __init__(
@@ -443,11 +449,17 @@ class QAService:
         limits: "ServingLimits | None" = DEFAULT_LIMITS,
         fault_injector: "FaultInjector | FaultPlan | None" = None,
         clock=time.monotonic,
+        store: "object | str | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if isinstance(store, (str, os.PathLike)):
+            from ..webtree.store import CorpusStoreReader
+
+            store = CorpusStoreReader(store)
+        self.store = store
         self.jobs = jobs
         self.backend = backend
         self.max_batch = max_batch
@@ -471,6 +483,10 @@ class QAService:
         # many small batches, and per-batch pool construction (worker
         # spawn, tool re-pickling on the process backend) would dominate.
         self._runner = TaskRunner(jobs=jobs, backend=backend, persistent=True)
+        # Spawn the workers now, at startup, not lazily inside the first
+        # batch — first-request latency should not pay for OS thread
+        # (or process) creation.
+        self._runner.prewarm()
 
     def close(self) -> None:
         """Shut down the service's worker pool (idempotent)."""
@@ -554,6 +570,7 @@ class QAService:
             "circuits": {r: b.state for r, b in sorted(self._breakers.items())},
             "stats": self.stats.as_dict(),
             "ingest": self.cache.stats.as_dict(),
+            "store": self.store.stat() if self.store is not None else None,
         }
 
     # -- admission ---------------------------------------------------------------
@@ -810,6 +827,7 @@ class QAService:
                         request.url,
                         cache=self.cache,
                         limits=self.limits,
+                        store=self.store,
                     )
                 return outcome, attempt, time.perf_counter() - started
             except Exception as error:  # noqa: BLE001 — classified below

@@ -11,10 +11,20 @@ ingest → route → batch → predict pipeline, and fails unless
 * zero synthesis searches ran in the serving process
   (:func:`~repro.synthesis.session.synthesis_call_count`).
 
+The corpus variant (the CI `corpus-serving` job) proves the disk-backed
+store end to end: ``corpus-export`` additionally parses the exported
+HTML once into a columnar store file, and ``corpus-serve`` serves from
+it in a fresh interpreter asserting **zero** ``parse_html`` calls
+(:func:`~repro.html.parser.parse_call_count`) on top of the identical-
+answers and zero-synthesis bars — pages must rehydrate from planes, not
+re-parse.
+
 Usage::
 
     python -m repro.serving.smoke export --dir smoke-out
     python -m repro.serving.smoke serve  --dir smoke-out   # fresh process
+    python -m repro.serving.smoke corpus-export --dir smoke-out
+    python -m repro.serving.smoke corpus-serve  --dir smoke-out
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from pathlib import Path
 from ..core.webqa import WebQA
 from ..dataset.corpus import load_task_dataset
 from ..dataset.tasks import TASKS_BY_ID
+from ..html.parser import parse_call_count
 from ..persist import read_artifact, write_artifact
 from .ingest import ingest_html
 from .service import QAService, ServingRequest
@@ -38,6 +49,9 @@ from ..webtree.html_out import page_to_html
 SMOKE_TASKS = ("fac_t1", "conf_t1", "class_t2", "clinic_t5")
 
 MANIFEST = "manifest.json"
+
+#: Columnar store file written by ``corpus-export`` next to the manifest.
+CORPUS_FILE = "corpus.rpw"
 
 
 def run_export(out_dir: Path, n_pages: int, n_train: int) -> int:
@@ -143,6 +157,109 @@ def run_serve(out_dir: Path, jobs: int, max_batch: int) -> int:
     return 0
 
 
+def run_corpus_export(out_dir: Path, n_pages: int, n_train: int) -> int:
+    """``export`` plus a columnar store over the exported pages.
+
+    The store is keyed by ``page_fingerprint(html, url)`` over the exact
+    ``(html, url)`` pairs the serve phase will request, so every serve-
+    phase ingest must resolve from planes on disk.
+    """
+    status = run_export(out_dir, n_pages, n_train)
+    if status:
+        return status
+    from .corpus import build_corpus_store
+
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    documents = []
+    for entry in manifest["tasks"]:
+        for page_entry in entry["pages"]:
+            html = (out_dir / page_entry["html"]).read_text(encoding="utf-8")
+            documents.append((html, page_entry["url"]))
+    report = build_corpus_store(documents, str(out_dir / CORPUS_FILE))
+    print(json.dumps({"corpus_store": report}, indent=2))
+    return 0
+
+
+def run_corpus_serve(out_dir: Path, jobs: int, max_batch: int) -> int:
+    """``serve`` from the columnar store: zero parses allowed.
+
+    Runs in a fresh interpreter after ``corpus-export``: every page must
+    rehydrate from the store (``store_hits`` covers every request,
+    ``parse_call_count()`` delta stays 0) and answers must match the
+    fitted tools bit-for-bit — proving store-backed serving ≡ the parse
+    path without ever invoking the parser.
+    """
+    parses_before = parse_call_count()
+    calls_before = synthesis_call_count()
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    requests: list[ServingRequest] = []
+    expected: list[tuple[str, ...]] = []
+    store_path = out_dir / CORPUS_FILE
+    with QAService(
+        jobs=jobs, max_batch=max_batch, store=str(store_path)
+    ) as service:
+        for entry in manifest["tasks"]:
+            service.register(entry["task_id"], str(out_dir / entry["artifact"]))
+            for page_entry in entry["pages"]:
+                html = (out_dir / page_entry["html"]).read_text(encoding="utf-8")
+                requests.append(
+                    ServingRequest(
+                        route=entry["task_id"], html=html, url=page_entry["url"]
+                    )
+                )
+                expected.append(tuple(page_entry["expected"]))
+        answers = service.ask_many(requests)
+        answers_again = service.ask_many(requests)
+
+    failures = 0
+    for request, got, want in zip(requests, answers, expected):
+        if tuple(got) != want:
+            failures += 1
+            print(
+                f"MISMATCH route={request.route} url={request.url}: "
+                f"got {got!r}, expected {want!r}",
+                file=sys.stderr,
+            )
+    if answers_again != answers:
+        failures += 1
+        print("MISMATCH: warm-cache pass differs from cold pass", file=sys.stderr)
+    store_hits = service.cache.stats.store_hits
+    if store_hits < len(requests):
+        failures += 1
+        print(
+            f"STORE INEFFECTIVE: {store_hits} store hits over "
+            f"{len(requests)} cold requests (every miss must resolve "
+            f"from the store)",
+            file=sys.stderr,
+        )
+    parse_calls = parse_call_count() - parses_before
+    if parse_calls != 0:
+        failures += 1
+        print(
+            f"PARSE IN STORE-BACKED SERVING: {parse_calls} parse_html "
+            f"calls during load+serve (must be 0)",
+            file=sys.stderr,
+        )
+    synthesis_calls = synthesis_call_count() - calls_before
+    if synthesis_calls != 0:
+        failures += 1
+        print(
+            f"SYNTHESIS IN SERVING PATH: {synthesis_calls} synthesize() "
+            f"calls during load+serve (must be 0)",
+            file=sys.stderr,
+        )
+    print(json.dumps(service.stats.as_dict(), indent=2))
+    print(json.dumps({"page_cache": service.cache.stats.as_dict()}, indent=2))
+    if failures:
+        print(f"corpus smoke FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"corpus smoke OK: {len(requests)} requests x2 passes, "
+        f"{store_hits} store hits, 0 parse calls, 0 synthesis calls"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="phase", required=True)
@@ -154,9 +271,25 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--dir", type=Path, required=True)
     serve.add_argument("--jobs", type=int, default=2)
     serve.add_argument("--max-batch", type=int, default=8)
+    corpus_export = sub.add_parser(
+        "corpus-export", help="export plus build a columnar corpus store"
+    )
+    corpus_export.add_argument("--dir", type=Path, required=True)
+    corpus_export.add_argument("--pages", type=int, default=8)
+    corpus_export.add_argument("--train", type=int, default=3)
+    corpus_serve = sub.add_parser(
+        "corpus-serve", help="serve from the store: 0 parse calls allowed"
+    )
+    corpus_serve.add_argument("--dir", type=Path, required=True)
+    corpus_serve.add_argument("--jobs", type=int, default=2)
+    corpus_serve.add_argument("--max-batch", type=int, default=8)
     args = parser.parse_args(argv)
     if args.phase == "export":
         return run_export(args.dir, args.pages, args.train)
+    if args.phase == "corpus-export":
+        return run_corpus_export(args.dir, args.pages, args.train)
+    if args.phase == "corpus-serve":
+        return run_corpus_serve(args.dir, args.jobs, args.max_batch)
     return run_serve(args.dir, args.jobs, args.max_batch)
 
 

@@ -199,8 +199,8 @@ class PageIndex:
         "leaf_mask",
         "elem_mask",
         "all_mask",
-        "children_ranks",
-        "children_mask",
+        "_children_ranks",
+        "_children_mask",
         "_rank_by_node",
         "_id_map",
         "_subtree_texts",
@@ -258,13 +258,13 @@ class PageIndex:
         self.leaf_mask = leaf_mask
         self.elem_mask = elem_mask
         self.all_mask = (1 << size) - 1
-        self.children_ranks = children_ranks
-        self.children_mask = children_mask
-        self._rank_by_node = {id(node): rank for rank, node in enumerate(nodes)}
-        id_map: dict[int, PageNode] = {}
-        for node in nodes:  # first occurrence wins, matching the old scan
-            id_map.setdefault(node.node_id, node)
-        self._id_map = id_map
+        self._children_ranks = children_ranks
+        self._children_mask = children_mask
+        # The node-identity and node-id lookup tables are derived lazily
+        # (see `rank` / `node_by_id`): most pages are indexed for plane
+        # queries only and never resolve individual nodes.
+        self._rank_by_node = None
+        self._id_map = None
         self._subtree_texts: list[Optional[str]] = [None] * size
         self._shared_caches = BoundedLru(self.MAX_SHARED_CACHES)
         self._text_planes = BoundedLru(self.MAX_SHARED_CACHES)
@@ -275,6 +275,92 @@ class PageIndex:
         # without it (the LRU tables above carry their own locks).
         self._cache_lock = threading.Lock()
 
+    @classmethod
+    def from_planes(
+        cls,
+        page: WebPage,
+        nodes: list[PageNode],
+        exit_: list[int],
+        parent: list[int],
+        depth: list[int],
+        leaf_mask: int,
+        elem_mask: int,
+        texts: "Optional[list[str]]" = None,
+    ) -> "PageIndex":
+        """Rebuild an index from persisted planes, skipping the tree walk.
+
+        ``nodes`` must be the pre-order node list and ``exit_`` /
+        ``parent`` / ``depth`` / ``leaf_mask`` / ``elem_mask`` the planes
+        a regular ``__init__`` build would have produced for ``page`` —
+        the corpus store (:mod:`repro.webtree.store`) persists exactly
+        those; callers that already sliced the text plane may pass it as
+        ``texts`` to skip the re-gather.  All remaining derived tables
+        (children ranks/masks, node lookup dicts) build lazily on first
+        use, so rehydration itself touches nothing but the planes; the
+        differential store tests pin every table of a rehydrated index
+        against a fresh build.
+        """
+        index = object.__new__(cls)
+        size = len(nodes)
+        index.page = page
+        index.nodes = nodes
+        index.exit = exit_
+        index.parent = parent
+        index.depth = depth
+        index.texts = (
+            texts if texts is not None else [node.text for node in nodes]
+        )
+        index.leaf_mask = leaf_mask
+        index.elem_mask = elem_mask
+        index.all_mask = (1 << size) - 1
+        index._children_ranks = None
+        index._children_mask = None
+        index._rank_by_node = None
+        index._id_map = None
+        index._subtree_texts = [None] * size
+        index._shared_caches = BoundedLru(cls.MAX_SHARED_CACHES)
+        index._text_planes = BoundedLru(cls.MAX_SHARED_CACHES)
+        index._cache_lock = threading.Lock()
+        return index
+
+    def _build_children_tables(self) -> None:
+        """Derive ``children_ranks`` / ``children_mask`` from ``parent``.
+
+        Runs at most once per index, on first access through either
+        property — plane-rehydrated indexes skip it entirely unless a
+        program actually takes a child axis.  Guarded by ``_cache_lock``
+        because cached pages are shared across pool workers.
+        """
+        with self._cache_lock:
+            if self._children_ranks is not None:
+                return
+            size = len(self.nodes)
+            children_ranks: list[list[int]] = [[] for _ in range(size)]
+            children_mask: list[int] = [0] * size
+            for rank, parent_rank in enumerate(self.parent):
+                if parent_rank >= 0:
+                    children_ranks[parent_rank].append(rank)
+                    children_mask[parent_rank] |= 1 << rank
+            self._children_mask = children_mask
+            # Publish ranks last: it is the property guard.
+            self._children_ranks = children_ranks
+
+    @property
+    def children_ranks(self) -> list[list[int]]:
+        """Per-rank lists of child ranks, in document order."""
+        ranks = self._children_ranks
+        if ranks is None:
+            self._build_children_tables()
+            ranks = self._children_ranks
+        return ranks
+
+    @property
+    def children_mask(self) -> list[int]:
+        """Per-rank bitsets of direct children."""
+        if self._children_ranks is None:
+            self._build_children_tables()
+        return self._children_mask
+
     # -- structure queries -----------------------------------------------------
 
     def __len__(self) -> int:
@@ -282,11 +368,22 @@ class PageIndex:
 
     def rank(self, node: PageNode) -> int:
         """Pre-order rank of ``node``; KeyError for foreign nodes."""
-        return self._rank_by_node[id(node)]
+        table = self._rank_by_node
+        if table is None:
+            # Benign race: concurrent builders produce identical dicts.
+            table = {id(n): r for r, n in enumerate(self.nodes)}
+            self._rank_by_node = table
+        return table[id(node)]
 
     def node_by_id(self, node_id: int) -> Optional[PageNode]:
         """O(1) replacement for the old pre-order id scan."""
-        return self._id_map.get(node_id)
+        id_map = self._id_map
+        if id_map is None:
+            id_map = {}
+            for node in self.nodes:  # first occurrence wins, as before
+                id_map.setdefault(node.node_id, node)
+            self._id_map = id_map
+        return id_map.get(node_id)
 
     def descendants_mask(self, rank: int) -> int:
         """Bitset of the proper descendants of ``rank``: the contiguous

@@ -1,0 +1,430 @@
+"""Disk-backed columnar store for indexed webpage trees.
+
+``PageIndex`` is already a pre/post "XPath accelerator"-style window
+encoding in parallel arrays: pre-order ranks with ``exit``/``parent``/
+``depth`` planes and rank-bitset masks.  This module persists exactly
+those planes, so a corpus is parsed **once** and every later process
+rehydrates pages straight from the planes — no HTML tokenizing, no
+tree walk, no Euler tour.
+
+On-disk layout (single file, little-endian)::
+
+    header   b"RPWSTORE" + u32 version + u32 flags            (16 bytes)
+    block*   one per page, at manifest-recorded offsets:
+               node plane   n × NODE_DTYPE  (exit/parent/depth i4,
+                            node_id i8, node_type u1 — packed, 21 B)
+               text offsets (n+1) × u8      (*character* offsets)
+               text blob    UTF-8           (all node texts, one run)
+               leaf bits    ceil(n/8)       (leaf_mask, little-endian)
+               elem bits    ceil(n/8)       (elem_mask, little-endian)
+    manifest JSON: fingerprint → {url, degraded, n, offset, text_bytes}
+    footer   u64 manifest_offset + u64 manifest_len + b"RPWSEND1"
+
+The manifest key is the serving layer's raw-bytes ``page_fingerprint``
+(sha256 over url + raw HTML), so a store lookup needs **no parse** —
+hashing the input answers "is this page already indexed?".  The same
+property is the invalidation rule: any byte change to the HTML (or the
+url namespace) changes the key, so a stale entry can never be returned;
+re-ingesting the changed document simply misses and parses.
+
+Readers map the file with ``np.memmap`` and slice plane views out of
+it zero-copy; N worker processes opening one store share the read-only
+pages through the OS page cache.  The numeric planes are converted to
+Python lists at page-load time (the rank bitsets are arbitrary-
+precision ints, and ``1 << numpy_int`` overflows), which is the only
+materialization the load path pays besides decoding the text blob.
+
+Truncated or corrupt files fail *loudly*: every structural check
+(magic, version, footer, manifest bounds, block bounds, text encoding)
+raises :class:`~repro.core.errors.IngestError` instead of serving
+garbage.  The writer streams blocks to ``<path>.tmp`` and atomically
+renames on :meth:`CorpusStoreWriter.finalize`, so a crashed build can
+never leave a half-written file at the published path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.errors import IngestError
+from .index import PageIndex
+from .node import NodeType, PageNode, WebPage
+
+MAGIC = b"RPWSTORE"
+FOOTER_MAGIC = b"RPWSEND1"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sII")
+_FOOTER = struct.Struct("<QQ8s")
+
+#: One row per pre-order rank; packed (align=False) so row r of a page
+#: with block offset o lives at byte o + 21*r regardless of platform.
+NODE_DTYPE = np.dtype(
+    [
+        ("exit", "<i4"),
+        ("parent", "<i4"),
+        ("depth", "<i4"),
+        ("node_id", "<i8"),
+        ("node_type", "u1"),
+    ],
+    align=False,
+)
+
+OFFSET_DTYPE = np.dtype("<u8")
+
+_TYPE_CODE = {NodeType.NONE: 0, NodeType.LIST: 1, NodeType.TABLE: 2}
+_TYPE_BY_CODE = {code: node_type for node_type, code in _TYPE_CODE.items()}
+
+
+def _corrupt(path: str, reason: str) -> IngestError:
+    return IngestError(f"corpus store {path!r} is unreadable: {reason}")
+
+
+class CorpusStoreWriter:
+    """Streaming store builder: pages in, one atomic file out.
+
+    Usage::
+
+        with CorpusStoreWriter(path) as writer:
+            for html, url in corpus:
+                outcome = ingest_page(html, url, ...)
+                writer.add_page(outcome.fingerprint, outcome.page,
+                                degraded=outcome.degraded)
+        # __exit__ finalizes (atomic rename); an exception aborts and
+        # removes the temp file instead.
+
+    Pages stream straight to disk — the writer holds one page's planes
+    at a time plus the (small) manifest, so corpus size is bounded by
+    disk, not RAM.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._tmp_path = self.path + ".tmp"
+        self._file = open(self._tmp_path, "wb")
+        self._file.write(_HEADER.pack(MAGIC, VERSION, 0))
+        self._offset = _HEADER.size
+        self._manifest: dict[str, dict] = {}
+        self._closed = False
+
+    def __enter__(self) -> "CorpusStoreWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.abort()
+
+    def __len__(self) -> int:
+        return len(self._manifest)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._manifest
+
+    def add_page(
+        self, fingerprint: str, page: WebPage, degraded: bool = False
+    ) -> bool:
+        """Serialize one indexed page under ``fingerprint``.
+
+        Returns False (and writes nothing) when the fingerprint is
+        already present — re-ingesting a known page is a no-op, matching
+        the cache semantics of the serving layer.
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        if fingerprint in self._manifest:
+            return False
+        index = page.index()
+        nodes = index.nodes
+        size = len(nodes)
+        plane = np.empty(size, dtype=NODE_DTYPE)
+        plane["exit"] = index.exit
+        plane["parent"] = index.parent
+        plane["depth"] = index.depth
+        try:
+            plane["node_id"] = [node.node_id for node in nodes]
+        except OverflowError as exc:
+            raise ValueError(
+                f"page {page.url!r} has a node_id outside int64"
+            ) from exc
+        plane["node_type"] = [_TYPE_CODE[node.node_type] for node in nodes]
+        offsets = np.zeros(size + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(
+            [len(text) for text in index.texts], out=offsets[1:]
+        )
+        # surrogatepass: node text is arbitrary Python str (hostile HTML
+        # can smuggle lone surrogates through the parser); the reader
+        # decodes with the same handler, so any str round-trips exactly.
+        blob = "".join(index.texts).encode("utf-8", "surrogatepass")
+        mask_bytes = (size + 7) // 8
+        write = self._file.write
+        written = write(plane.tobytes())
+        written += write(offsets.tobytes())
+        written += write(blob)
+        written += write(index.leaf_mask.to_bytes(mask_bytes, "little"))
+        written += write(index.elem_mask.to_bytes(mask_bytes, "little"))
+        self._manifest[fingerprint] = {
+            "url": page.url,
+            "degraded": bool(degraded),
+            "n": size,
+            "offset": self._offset,
+            "text_bytes": len(blob),
+        }
+        self._offset += written
+        return True
+
+    def finalize(self) -> None:
+        """Write manifest + footer, fsync, and atomically publish."""
+        if self._closed:
+            return
+        payload = json.dumps(
+            {"pages": self._manifest}, ensure_ascii=False, sort_keys=True
+        ).encode("utf-8")
+        self._file.write(payload)
+        self._file.write(_FOOTER.pack(self._offset, len(payload), FOOTER_MAGIC))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed = True
+        os.replace(self._tmp_path, self.path)
+
+    def abort(self) -> None:
+        """Discard everything written; the published path is untouched."""
+        if self._closed:
+            return
+        self._file.close()
+        self._closed = True
+        try:
+            os.unlink(self._tmp_path)
+        except OSError:
+            pass
+
+
+def _block_length(size: int, text_bytes: int) -> int:
+    return (
+        size * NODE_DTYPE.itemsize
+        + (size + 1) * OFFSET_DTYPE.itemsize
+        + text_bytes
+        + 2 * ((size + 7) // 8)
+    )
+
+
+class CorpusStoreReader:
+    """Read-only memmap view of a corpus store file.
+
+    Cheap to open (header/footer/manifest validation; no page is read
+    until :meth:`load`), safe to share across threads, and **picklable
+    by path** — unpickling re-opens the memmap in the receiving process,
+    so a reader can ride initargs into ``TaskRunner`` process workers
+    where all workers share the file through the OS page cache.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._open()
+
+    def _open(self) -> None:
+        try:
+            raw = np.memmap(self.path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise _corrupt(self.path, str(exc)) from exc
+        total = raw.size
+        if total < _HEADER.size + _FOOTER.size:
+            raise _corrupt(self.path, f"file too short ({total} bytes)")
+        magic, version, _flags = _HEADER.unpack(
+            raw[: _HEADER.size].tobytes()
+        )
+        if magic != MAGIC:
+            raise _corrupt(self.path, "bad magic (not a corpus store)")
+        if version != VERSION:
+            raise _corrupt(self.path, f"unsupported version {version}")
+        manifest_offset, manifest_len, footer_magic = _FOOTER.unpack(
+            raw[total - _FOOTER.size :].tobytes()
+        )
+        if footer_magic != FOOTER_MAGIC:
+            raise _corrupt(
+                self.path, "bad footer magic (truncated or corrupt)"
+            )
+        if manifest_offset + manifest_len + _FOOTER.size != total:
+            raise _corrupt(self.path, "manifest bounds do not match file size")
+        try:
+            manifest = json.loads(
+                raw[manifest_offset : manifest_offset + manifest_len]
+                .tobytes()
+                .decode("utf-8")
+            )
+            pages = manifest["pages"]
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise _corrupt(self.path, f"manifest unreadable: {exc}") from exc
+        for fingerprint, entry in pages.items():
+            try:
+                size = entry["n"]
+                offset = entry["offset"]
+                text_bytes = entry["text_bytes"]
+                entry["url"], entry["degraded"]
+            except (TypeError, KeyError) as exc:
+                raise _corrupt(
+                    self.path, f"manifest entry {fingerprint[:12]} malformed"
+                ) from exc
+            if (
+                size < 1
+                or offset < _HEADER.size
+                or offset + _block_length(size, text_bytes) > manifest_offset
+            ):
+                raise _corrupt(
+                    self.path,
+                    f"page block {fingerprint[:12]} out of bounds",
+                )
+        self._raw = raw
+        # Plain memoryview over the mapping: per-load byte reads (text
+        # blob, bitsets) skip np.memmap.__getitem__/__array_finalize__
+        # overhead, which dominates small-page loads.
+        self._view = memoryview(raw)
+        self._pages = pages
+
+    # -- pickling (reopen by path) ------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._lock = threading.Lock()
+        self._open()
+
+    # -- manifest queries ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._pages
+
+    def fingerprints(self) -> Iterator[str]:
+        return iter(self._pages)
+
+    def stat(self) -> dict:
+        """Aggregate shape of the store, for `repro corpus stat`."""
+        total_nodes = sum(entry["n"] for entry in self._pages.values())
+        total_text = sum(entry["text_bytes"] for entry in self._pages.values())
+        return {
+            "path": self.path,
+            "file_bytes": int(self._raw.size),
+            "pages": len(self._pages),
+            "nodes": total_nodes,
+            "text_bytes": total_text,
+            "degraded_pages": sum(
+                1 for entry in self._pages.values() if entry["degraded"]
+            ),
+        }
+
+    # -- page loads ----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> "Optional[tuple[WebPage, bool]]":
+        """``(page, degraded)`` for ``fingerprint``, or None if absent."""
+        if fingerprint not in self._pages:
+            return None
+        return self.load(fingerprint)
+
+    def load(self, fingerprint: str) -> "tuple[WebPage, bool]":
+        """Rehydrate one page (with its index prebuilt) from the planes."""
+        entry = self._pages[fingerprint]
+        size = entry["n"]
+        offset = entry["offset"]
+        text_bytes = entry["text_bytes"]
+        raw = self._raw
+        view = self._view
+        plane = np.frombuffer(raw, dtype=NODE_DTYPE, count=size, offset=offset)
+        cursor = offset + size * NODE_DTYPE.itemsize
+        char_offsets = np.frombuffer(
+            raw, dtype=OFFSET_DTYPE, count=size + 1, offset=cursor
+        ).tolist()
+        cursor += (size + 1) * OFFSET_DTYPE.itemsize
+        try:
+            blob = str(
+                view[cursor : cursor + text_bytes], "utf-8", "surrogatepass"
+            )
+        except UnicodeDecodeError as exc:
+            raise _corrupt(
+                self.path, f"text blob of {fingerprint[:12]} undecodable"
+            ) from exc
+        cursor += text_bytes
+        mask_bytes = (size + 7) // 8
+        leaf_mask = int.from_bytes(
+            view[cursor : cursor + mask_bytes], "little"
+        )
+        cursor += mask_bytes
+        elem_mask = int.from_bytes(
+            view[cursor : cursor + mask_bytes], "little"
+        )
+        if char_offsets[0] != 0 or char_offsets[-1] != len(blob):
+            raise _corrupt(
+                self.path, f"text offsets of {fingerprint[:12]} inconsistent"
+            )
+        # Bitset arithmetic needs Python ints (`1 << numpy_int` would
+        # overflow); .tolist() materializes each plane exactly once.
+        exit_ = plane["exit"].tolist()
+        parent = plane["parent"].tolist()
+        depth = plane["depth"].tolist()
+        node_ids = plane["node_id"].tolist()
+        type_codes = plane["node_type"].tolist()
+        texts = [
+            blob[begin:end]
+            for begin, end in zip(char_offsets, char_offsets[1:])
+        ]
+        nodes: list[PageNode] = []
+        # PageNode.__init__ and add_child are inlined (slot stores only):
+        # this loop is the hot center of store-backed cold serving.
+        new_node = object.__new__
+        node_type = _TYPE_BY_CODE
+        append = nodes.append
+        rank = 0
+        try:
+            for node_id, code, parent_rank, text in zip(
+                node_ids, type_codes, parent, texts
+            ):
+                node = new_node(PageNode)
+                node.node_id = node_id
+                node.text = text
+                node.node_type = node_type[code]
+                node.children = []
+                node.parent = None
+                node.sibling_pos = 0
+                if parent_rank >= 0:
+                    # Pre-order guarantees parent[r] < r, so the parent
+                    # object always exists already; sibling_pos is set
+                    # exactly as add_child would.
+                    top = nodes[parent_rank]
+                    node.parent = top
+                    node.sibling_pos = len(top.children)
+                    top.children.append(node)
+                elif rank != 0:
+                    raise _corrupt(
+                        self.path,
+                        f"page {fingerprint[:12]} has multiple roots",
+                    )
+                append(node)
+                rank += 1
+        except (KeyError, IndexError) as exc:
+            raise _corrupt(
+                self.path, f"node plane of {fingerprint[:12]} inconsistent"
+            ) from exc
+        page = WebPage(nodes[0], url=entry["url"])
+        page._index = PageIndex.from_planes(
+            page, nodes, exit_, parent, depth, leaf_mask, elem_mask,
+            texts=texts,
+        )
+        return page, entry["degraded"]
+
+
+def open_store(path: str) -> CorpusStoreReader:
+    """Open an existing corpus store (validating its structure)."""
+    return CorpusStoreReader(path)

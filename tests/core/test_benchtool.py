@@ -96,6 +96,62 @@ class TestCompare:
         assert not guarded.fails(1.25)
         assert guarded.verdict(1.25) == "new"
 
+    def test_speed_scale_normalizes_uniform_slowdown(self):
+        # Twelve benchmarks, all 1.4x slower: a slower machine, not
+        # twelve simultaneous regressions — the normalized gate passes.
+        names = [GUARDED_NAME] + [f"test_other_{i}" for i in range(11)]
+        base = artifact({name: 0.010 for name in names})
+        fresh = artifact({name: 0.014 for name in names})
+        rows = benchtool.compare(fresh, base)
+        scale = benchtool.speed_scale(rows)
+        assert scale == pytest.approx(1.4)
+        guarded = next(row for row in rows if row.name == GUARDED_NAME)
+        assert guarded.fails(1.25)  # raw ratio alone would gate
+        assert not guarded.fails(1.25, scale)
+
+    def test_speed_scale_keeps_relative_regressions_gated(self):
+        # One guarded benchmark 2x slower against a steady suite: the
+        # median scale stays ~1.0 and the regression still fails.
+        names = [f"test_other_{i}" for i in range(11)]
+        base = artifact({GUARDED_NAME: 0.010, **{n: 0.010 for n in names}})
+        fresh = artifact({GUARDED_NAME: 0.020, **{n: 0.010 for n in names}})
+        rows = benchtool.compare(fresh, base)
+        scale = benchtool.speed_scale(rows)
+        assert scale == pytest.approx(1.0)
+        guarded = next(row for row in rows if row.name == GUARDED_NAME)
+        assert guarded.fails(1.25, scale)
+
+    def test_speed_scale_rejects_small_samples_and_global_collapse(self):
+        # Too few shared benchmarks (a --filter subset): no estimate.
+        base = artifact({GUARDED_NAME: 0.010, "test_other": 0.010})
+        fresh = artifact({GUARDED_NAME: 0.014, "test_other": 0.014})
+        assert benchtool.speed_scale(benchtool.compare(fresh, base)) == 1.0
+        # A suite uniformly 3x slower is outside SPEED_SCALE_BAND — a
+        # plausible real global regression, so it is NOT normalized away.
+        names = [GUARDED_NAME] + [f"test_other_{i}" for i in range(11)]
+        base = artifact({name: 0.010 for name in names})
+        fresh = artifact({name: 0.030 for name in names})
+        rows = benchtool.compare(fresh, base)
+        assert benchtool.speed_scale(rows) == 1.0
+        guarded = next(row for row in rows if row.name == GUARDED_NAME)
+        assert guarded.fails(1.25, benchtool.speed_scale(rows))
+
+    def test_per_benchmark_override_loosens_bound(self):
+        name = "test_bench_serve_cold_store"
+        assert name in benchtool.GUARDED
+        base = artifact({name: 0.001})
+        fresh = artifact({name: 0.0016})  # 1.6x: within its 2.0x override
+        rows = benchtool.compare(fresh, base)
+        row = next(r for r in rows if r.name == name)
+        assert not row.fails(1.25)
+        worse = artifact({name: 0.0022})  # 2.2x: beyond the override
+        row = next(
+            r
+            for r in benchtool.compare(worse, base)
+            if r.name == name
+        )
+        assert row.fails(1.25)
+
     def test_format_marks_guarded_rows(self):
         base = artifact({GUARDED_NAME: 0.010, "test_other": 0.001})
         fresh = artifact({GUARDED_NAME: 0.030, "test_other": 0.001})

@@ -1,0 +1,176 @@
+"""Differential pinning: the vectorized tokenizer ≡ the stdlib path.
+
+The fast scanner is only allowed to exist because it is *provably
+indistinguishable* from the ``html.parser`` event path on every document
+it accepts — anything outside its subset must bail out and re-parse on
+the stdlib tokenizer.  Every test here compares full tree dumps
+(structure, tags, attrs, text, comments, truncation flag) between
+``tokenizer="fast"`` and ``tokenizer="stdlib"`` across dataset pages,
+the adversarial serving families, hostile hand-picked edge cases, node
+and depth budgets, and hypothesis-generated markup-ish noise.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_page
+from repro.html import parse_html
+from repro.html.dom import Comment, Element, TextNode
+from repro.html.parser import parse_call_count, parse_fallback_count
+from repro.serving.faults import ADVERSARIAL_KINDS, adversarial_html
+
+markupish = st.text(
+    alphabet=st.sampled_from(list("<>/=\"' abcdefghijklmnop123&;!-")),
+    max_size=200,
+)
+
+
+def dump(document):
+    """A comparable, complete rendering of a parsed tree."""
+    events = [("truncated", document.truncated)]
+
+    def walk(node):
+        if isinstance(node, Comment):
+            events.append(("comment", node.text))
+        elif isinstance(node, TextNode):
+            events.append(("text", node.text))
+        else:
+            events.append(("open", node.tag, tuple(sorted(node.attrs.items()))))
+            for child in node.children:
+                assert child.parent is node  # parent links stay coherent
+                walk(child)
+            events.append(("close", node.tag))
+
+    for child in document.children:
+        walk(child)
+    return events
+
+
+def assert_equivalent(markup, max_depth=None, max_nodes=None):
+    stdlib = parse_html(markup, max_depth, max_nodes, tokenizer="stdlib")
+    fast = parse_html(markup, max_depth, max_nodes, tokenizer="fast")
+    assert dump(fast) == dump(stdlib)
+
+
+class TestDatasetEquivalence:
+    @pytest.mark.parametrize(
+        "domain", ("faculty", "conference", "class", "clinic")
+    )
+    def test_dataset_pages_identical_and_fast(self, domain):
+        for seed in range(3, 27, 2):
+            html = generate_page(domain, seed).html
+            stdlib = parse_html(html, tokenizer="stdlib")
+            fast = parse_html(html)
+            assert dump(fast) == dump(stdlib)
+            # Dataset markup must take the fast path, not the fallback —
+            # otherwise the ingest speedup silently evaporates.
+            assert not fast.fast_fallback
+
+    @pytest.mark.parametrize("kind", ADVERSARIAL_KINDS)
+    def test_adversarial_families_identical(self, kind):
+        for seed in range(4):
+            assert_equivalent(adversarial_html(kind, seed))
+
+
+HOSTILE_CASES = (
+    # CDATA content: clean closes, unclean closes, self-closing script.
+    "<script>var a = '<p>not a tag</p>';</script><p>after</p>",
+    "<style>p { color: red }</style>text",
+    "<script>a</scriptx</script>real",  # unclean close: stdlib recovery
+    "<script>never closed",
+    "<script/>not cdata<p>x</p>",
+    "<SCRIPT>UPPER</SCRIPT>tail",
+    "<script>a</script foo>b</script>c",
+    # Attribute edge cases.
+    "<a href='q' TITLE=\"T\" data-x=bare checked>t</a>",
+    "<a x=>empty-bare</a>",  # stdlib yields x="": scanner must bail
+    "<a x='1'y='2'>quote-adjacent</a>",
+    "<a x=&amp;>entity in bare</a>",
+    "<p class='a&quot;b'>entity in quoted</p>",
+    # Implicit closers and void elements.
+    "<ul><li>a<li>b</ul><br><br/><input type=text>",
+    "<table><tr><td>1<td>2<tr><td>3</table>",
+    "<p>a<p>b<div>c</div>",
+    # End-tag recovery.
+    "</div>stray close",
+    "<div><b>x</div>y</b>",
+    "<p>a</P>b",
+    "</>bogus",
+    # Declarations, comments, processing instructions.
+    "<!DOCTYPE html><p>x</p>",
+    "<!doctype html public 'x'><i>y</i>",
+    "<!-- comment --><p>x</p>",
+    "<!-- unterminated",
+    "<!--- tricky ---><p>x</p>",
+    "<![CDATA[not html]]><p>x</p>",
+    "<?php instruction ?><p>x</p>",
+    # Entities and stray angle brackets.
+    "a &amp; b &lt;c&gt; &#65; &bogus; d",
+    "1 < 2 and 3 > 2",
+    "text<",
+    "<",
+    "",
+)
+
+
+class TestHostileEquivalence:
+    @pytest.mark.parametrize("markup", HOSTILE_CASES)
+    def test_hostile_case_identical(self, markup):
+        assert_equivalent(markup)
+
+    @pytest.mark.parametrize("markup", HOSTILE_CASES)
+    def test_hostile_case_identical_under_budgets(self, markup):
+        for max_depth, max_nodes in ((3, None), (None, 5), (2, 4)):
+            assert_equivalent(markup, max_depth, max_nodes)
+
+
+class TestBudgetEquivalence:
+    def test_node_budget_sweep_matches_stdlib(self):
+        html = generate_page("faculty", 7).html
+        for max_nodes in (0, 1, 2, 5, 10, 50, 10_000):
+            assert_equivalent(html, max_nodes=max_nodes)
+
+    def test_depth_budget_sweep_matches_stdlib(self):
+        html = generate_page("conference", 5).html
+        for max_depth in (1, 2, 3, 5, 50):
+            assert_equivalent(html, max_depth=max_depth)
+
+
+class TestPropertyEquivalence:
+    @given(markup=markupish)
+    @settings(max_examples=300, deadline=None)
+    def test_generated_markup_identical(self, markup):
+        assert_equivalent(markup)
+
+    @given(markup=markupish)
+    @settings(max_examples=100, deadline=None)
+    def test_generated_markup_identical_under_budgets(self, markup):
+        assert_equivalent(markup, max_depth=3, max_nodes=8)
+
+
+class TestCounters:
+    def test_parse_calls_counted(self):
+        before = parse_call_count()
+        parse_html("<p>x</p>")
+        parse_html("<p>y</p>", tokenizer="stdlib")
+        assert parse_call_count() == before + 2
+
+    def test_fallback_counted_and_flagged(self):
+        before = parse_fallback_count()
+        clean = parse_html("<p>x</p>")
+        assert not clean.fast_fallback
+        assert parse_fallback_count() == before
+        bailed = parse_html("<a x=>y</a>")  # outside the scanner subset
+        assert bailed.fast_fallback
+        assert parse_fallback_count() == before + 1
+
+    def test_explicit_stdlib_is_not_a_fallback(self):
+        before = parse_fallback_count()
+        document = parse_html("<a x=>y</a>", tokenizer="stdlib")
+        assert not document.fast_fallback
+        assert parse_fallback_count() == before
+
+    def test_unknown_tokenizer_rejected(self):
+        with pytest.raises(ValueError):
+            parse_html("<p>x</p>", tokenizer="turbo")

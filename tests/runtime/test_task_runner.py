@@ -67,6 +67,35 @@ class TestTaskRunner:
         assert runner._pool is None  # context exit shut it down
         runner.close()  # idempotent
 
+    def test_prewarm_spawns_all_workers_up_front(self):
+        with TaskRunner(jobs=3, persistent=True) as runner:
+            runner.prewarm()
+            pool = runner._pool
+            assert pool is not None
+            assert len(pool._threads) == 3  # all spawned, none lazy
+            assert runner.map(operator.neg, [1, 2]) == [-1, -2]
+            assert runner._pool is pool  # prewarmed pool is the one used
+
+    def test_prewarm_is_a_noop_for_inline_and_transient_runners(self):
+        inline = TaskRunner(jobs=1, persistent=True)
+        inline.prewarm()
+        assert inline._pool is None
+        transient = TaskRunner(jobs=2)
+        transient.prewarm()
+        assert transient._pool is None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prewarm_runs_initializer_per_worker(self, backend):
+        runner = TaskRunner(
+            jobs=2,
+            backend=backend,
+            initializer=os.getpid,  # any callable; must not raise
+            persistent=True,
+        )
+        with runner:
+            runner.prewarm()
+            assert runner.map(operator.neg, [7]) == [-7]
+
     def test_persistent_pool_results_match_serial(self):
         runner = TaskRunner(jobs=3, persistent=True)
         try:
@@ -212,3 +241,54 @@ class TestSweepDeterminism:
         serial = self.sweep(jobs=1)
         spawned = self.sweep(jobs=2, backend="process")
         assert _strip_timing(serial) == _strip_timing(spawned)
+
+
+def _store_subtree_text(fingerprint):
+    """Worker-side load: pages come off the shared memmapped store."""
+    from repro.runtime import worker_store
+
+    page, _ = worker_store().load(fingerprint)
+    return page.root.subtree_text()
+
+
+class TestCorpusStoreWarmStart:
+    @pytest.fixture()
+    def built_store(self, tmp_path):
+        from repro.serving.corpus import build_corpus_store
+        from repro.serving.ingest import page_fingerprint
+
+        documents = [
+            (f"<h1>Title {i}</h1><ul><li>item {i}</li></ul>", f"u{i}")
+            for i in range(4)
+        ]
+        path = str(tmp_path / "corpus.rpw")
+        build_corpus_store(documents, path)
+        fingerprints = [page_fingerprint(html, url) for html, url in documents]
+        return path, fingerprints
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_workers_serve_from_shared_store(self, built_store, backend):
+        from repro.runtime import corpus_store_initializer
+
+        path, fingerprints = built_store
+        with TaskRunner(
+            jobs=2,
+            backend=backend,
+            initializer=corpus_store_initializer,
+            initargs=(path, fingerprints[:2]),
+            persistent=True,
+        ) as runner:
+            texts = runner.map(_store_subtree_text, fingerprints)
+        assert texts == [f"Title {i} item {i}" for i in range(4)]
+
+    def test_worker_store_unset_raises(self):
+        import repro.runtime.runner as runner_module
+        from repro.runtime import worker_store
+
+        saved = runner_module._worker_store
+        runner_module._worker_store = None
+        try:
+            with pytest.raises(RuntimeError):
+                worker_store()
+        finally:
+            runner_module._worker_store = saved

@@ -1,0 +1,253 @@
+"""Columnar corpus store: every index plane survives the disk round-trip.
+
+The store's contract is *plane-exact rehydration*: a PageIndex loaded
+from disk must be indistinguishable from one built freshly over the same
+tree — same Euler-tour ranks, same bitsets, same text planes, same
+children structure — because serving answers are computed off those
+planes.  The hypothesis suite drives that over generated trees
+(including unicode text and the degraded flag); the crash-safety suite
+pins that a truncated or corrupted file fails loudly with IngestError
+instead of serving garbage planes.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IngestError
+from repro.serving.ingest import page_fingerprint
+from repro.webtree import page_from_html
+from repro.webtree.node import NodeType, PageNode, WebPage
+from repro.webtree.store import (
+    CorpusStoreReader,
+    CorpusStoreWriter,
+    open_store,
+)
+
+# -- tree generation ----------------------------------------------------------
+
+#: Per-node spec: (parent selector, text, type).  The selector indexes
+#: the already-built nodes modulo their count, so every draw yields a
+#: valid tree of any shape hypothesis reaches for.
+node_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.text(max_size=40),
+        st.sampled_from(list(NodeType)),
+    ),
+    max_size=30,
+)
+
+
+def build_page(specs, url="https://store.test/page"):
+    root = PageNode(0, "root text")
+    nodes = [root]
+    for position, (selector, text, node_type) in enumerate(specs, start=1):
+        parent = nodes[selector % len(nodes)]
+        nodes.append(parent.add_child(PageNode(position, text, node_type)))
+    return WebPage(root, url=url)
+
+
+def assert_index_equal(loaded, fresh):
+    """Every evaluation-relevant plane of the two indexes is equal."""
+    assert len(loaded) == len(fresh)
+    assert loaded.exit == fresh.exit
+    assert loaded.parent == fresh.parent
+    assert loaded.depth == fresh.depth
+    assert loaded.texts == fresh.texts
+    assert loaded.leaf_mask == fresh.leaf_mask
+    assert loaded.elem_mask == fresh.elem_mask
+    assert loaded.all_mask == fresh.all_mask
+    assert loaded.children_ranks == fresh.children_ranks
+    assert loaded.children_mask == fresh.children_mask
+    # Bitset arithmetic requires Python ints (1 << numpy int overflows);
+    # rehydration must have converted every plane out of numpy.
+    for plane in (loaded.exit, loaded.parent, loaded.depth):
+        assert all(type(value) is int for value in plane)
+    assert type(loaded.leaf_mask) is int
+    assert type(loaded.elem_mask) is int
+
+
+def assert_page_equal(loaded, original):
+    assert loaded.url == original.url
+    loaded_nodes = list(loaded.root.iter_subtree())
+    original_nodes = list(original.root.iter_subtree())
+    assert len(loaded_nodes) == len(original_nodes)
+    for got, want in zip(loaded_nodes, original_nodes):
+        assert got.node_id == want.node_id
+        assert got.text == want.text
+        assert got.node_type is want.node_type
+        assert got.sibling_pos == want.sibling_pos
+        assert len(got.children) == len(want.children)
+    assert_index_equal(loaded.index(), original.index())
+
+
+class TestRoundTrip:
+    @given(specs=node_specs, degraded=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_every_plane_round_trips(self, tmp_path_factory, specs, degraded):
+        path = str(tmp_path_factory.mktemp("store") / "pages.rpw")
+        page = build_page(specs)
+        fingerprint = "fp-solo"
+        with CorpusStoreWriter(path) as writer:
+            assert writer.add_page(fingerprint, page, degraded=degraded)
+        reader = CorpusStoreReader(path)
+        loaded, loaded_degraded = reader.load(fingerprint)
+        assert loaded_degraded is degraded
+        assert_page_equal(loaded, page)
+
+    @given(
+        texts=st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FA1F),
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unicode_text_planes_round_trip(self, tmp_path_factory, texts):
+        # Multi-byte codepoints stress the char-offset table: offsets are
+        # *character* positions into the decoded blob, not byte offsets.
+        path = str(tmp_path_factory.mktemp("store") / "pages.rpw")
+        root = PageNode(0, texts[0])
+        for position, text in enumerate(texts[1:], start=1):
+            root.add_child(PageNode(position, text))
+        page = WebPage(root, url="https://store.test/unicode")
+        with CorpusStoreWriter(path) as writer:
+            writer.add_page("fp-unicode", page)
+        loaded, _ = CorpusStoreReader(path).load("fp-unicode")
+        assert loaded.index().texts == page.index().texts
+
+    def test_dataset_pages_round_trip(self, tmp_path):
+        from repro.dataset import generate_page
+
+        path = str(tmp_path / "pages.rpw")
+        pages = [
+            generate_page(domain, seed).page
+            for domain in ("faculty", "conference", "class", "clinic")
+            for seed in (3, 9)
+        ]
+        with CorpusStoreWriter(path) as writer:
+            for position, page in enumerate(pages):
+                writer.add_page(f"fp{position}", page)
+        reader = open_store(path)
+        for position, page in enumerate(pages):
+            loaded, degraded = reader.load(f"fp{position}")
+            assert not degraded
+            assert_page_equal(loaded, page)
+
+
+class TestWriter:
+    def test_duplicate_fingerprint_dedupes(self, tmp_path):
+        path = str(tmp_path / "pages.rpw")
+        page = build_page([(0, "child", NodeType.NONE)])
+        with CorpusStoreWriter(path) as writer:
+            assert writer.add_page("fp", page)
+            assert not writer.add_page("fp", page)
+            assert len(writer) == 1
+            assert "fp" in writer
+        assert len(CorpusStoreReader(path)) == 1
+
+    def test_file_appears_atomically(self, tmp_path):
+        path = tmp_path / "pages.rpw"
+        page = build_page([])
+        writer = CorpusStoreWriter(str(path))
+        writer.add_page("fp", page)
+        assert not path.exists()  # only the .tmp exists mid-build
+        writer.finalize()
+        assert path.exists()
+
+    def test_abort_leaves_nothing(self, tmp_path):
+        path = tmp_path / "pages.rpw"
+        try:
+            with CorpusStoreWriter(str(path)) as writer:
+                writer.add_page("fp", build_page([]))
+                raise RuntimeError("build failed")
+        except RuntimeError:
+            pass
+        assert not path.exists()
+        assert not (tmp_path / "pages.rpw.tmp").exists()
+
+
+class TestCrashSafety:
+    def _built(self, tmp_path):
+        path = tmp_path / "pages.rpw"
+        with CorpusStoreWriter(str(path)) as writer:
+            for position in range(3):
+                writer.add_page(
+                    f"fp{position}",
+                    build_page([(0, f"text {position}", NodeType.LIST)]),
+                )
+        return path
+
+    def test_truncated_file_raises_ingest_error(self, tmp_path):
+        path = self._built(tmp_path)
+        payload = path.read_bytes()
+        # Every truncation point — mid-header, mid-blocks, mid-manifest,
+        # mid-footer — must be rejected at open, not at first load.
+        for keep in (0, 4, len(payload) // 2, len(payload) - 1):
+            clipped = tmp_path / f"clipped{keep}.rpw"
+            clipped.write_bytes(payload[:keep])
+            with pytest.raises(IngestError):
+                CorpusStoreReader(str(clipped))
+
+    def test_corrupt_magic_raises_ingest_error(self, tmp_path):
+        path = self._built(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[0] ^= 0xFF
+        bad = tmp_path / "badmagic.rpw"
+        bad.write_bytes(bytes(payload))
+        with pytest.raises(IngestError):
+            CorpusStoreReader(str(bad))
+
+    def test_corrupt_footer_raises_ingest_error(self, tmp_path):
+        path = self._built(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[-1] ^= 0xFF
+        bad = tmp_path / "badfooter.rpw"
+        bad.write_bytes(bytes(payload))
+        with pytest.raises(IngestError):
+            CorpusStoreReader(str(bad))
+
+    def test_missing_file_raises_ingest_error(self, tmp_path):
+        with pytest.raises(IngestError):
+            CorpusStoreReader(str(tmp_path / "absent.rpw"))
+
+
+class TestReader:
+    def test_get_unknown_fingerprint_is_none(self, tmp_path):
+        path = str(tmp_path / "pages.rpw")
+        with CorpusStoreWriter(path) as writer:
+            writer.add_page("known", build_page([]))
+        reader = CorpusStoreReader(path)
+        assert reader.get("unknown") is None
+        assert "known" in reader
+        assert "unknown" not in reader
+
+    def test_stat_shape(self, tmp_path):
+        path = str(tmp_path / "pages.rpw")
+        with CorpusStoreWriter(path) as writer:
+            writer.add_page("a", build_page([(0, "x", NodeType.NONE)]))
+            writer.add_page("b", build_page([]), degraded=True)
+        stat = CorpusStoreReader(path).stat()
+        assert stat["pages"] == 2
+        assert stat["nodes"] == 3
+        assert stat["degraded_pages"] == 1
+        assert stat["file_bytes"] > 0
+
+    def test_reader_pickles_by_path(self, tmp_path):
+        # TaskRunner process workers receive the reader by pickle; the
+        # handle must reopen its memmap worker-side, not ship bytes.
+        path = str(tmp_path / "pages.rpw")
+        page = page_from_html("<h1>T</h1><ul><li>a</li><li>b</li></ul>")
+        fingerprint = page_fingerprint("<h1>T</h1>", "u")
+        with CorpusStoreWriter(path) as writer:
+            writer.add_page(fingerprint, page)
+        reader = CorpusStoreReader(path)
+        clone = pickle.loads(pickle.dumps(reader))
+        loaded, _ = clone.load(fingerprint)
+        assert_page_equal(loaded, page)
