@@ -396,6 +396,56 @@ def test_bench_session_refit_fresh(benchmark):
     assert result.f1 > 0
 
 
+def test_bench_live_update(benchmark):
+    """End-to-end live feed: publish → invalidate → warm refit → hot-swap.
+
+    One unlabeled page alternates between two content variants, so every
+    round is a real change (fresh fingerprint) but the labeled examples
+    never move — the refit runs in the fully-cached resynthesize regime
+    and the measured time is the live-update machinery itself plus
+    selection, compared against ``test_bench_session_refit_fresh``.
+    """
+    from repro.core.webqa import WebQA
+    from repro.serving.ingest import ingest_html
+    from repro.serving.live import LiveCorpus
+    from repro.serving.service import QAService
+
+    _prewarm_refit_pages()
+    url = "https://bench/live-update"
+    variants = [
+        generate_page("faculty", seed=70).html,
+        generate_page("faculty", seed=71).html,
+    ]
+    service = QAService()
+    session = SynthesisSession(
+        QUESTION, KEYWORDS, MODELS, config=REFIT_CONFIG,
+        examples=[BASE_EXAMPLE, NEW_EXAMPLE],
+    )
+    unlabeled = [ingest_html(variants[0], url=url)]
+    tool = WebQA(
+        config=REFIT_CONFIG, ensemble_size=8, selection="shortest"
+    ).fit_session(session, unlabeled)
+    service.register("bench", tool)
+    live = LiveCorpus(service)
+    live.track(
+        "bench", session, unlabeled=unlabeled,
+        ensemble_size=8, selection="shortest",
+    )
+    # Warm both variants through once so neural memos are populated.
+    live.feed(variants[1], url)
+    live.feed(variants[0], url)
+    state = {"i": 0}
+
+    def run():
+        state["i"] ^= 1
+        return live.feed(variants[state["i"]], url)
+
+    report = benchmark.pedantic(run, rounds=7, iterations=1, warmup_rounds=0)
+    assert not report.unchanged
+    assert report.swaps and report.swaps[0].swapped
+    service.close()
+
+
 # -- serving: compiled predict / predict_batch --------------------------------
 #
 # The production-shaped path: one fitted tool answering previously

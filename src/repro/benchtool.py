@@ -44,6 +44,7 @@ GUARDED = (
     "test_bench_serve_faulty_batch",
     "test_bench_parse_html_vectorized",
     "test_bench_serve_cold_store",
+    "test_bench_live_update",
 )
 
 #: A guarded median may grow at most this factor over the baseline,
@@ -86,6 +87,10 @@ SPEEDUP_PAIRS = (
     # same final example set.
     ("test_bench_session_refit_warm", "test_bench_session_refit_fresh"),
     ("test_bench_session_resynthesize", "test_bench_session_refit_fresh"),
+    # Live update: feed a changed unlabeled page through the full
+    # publish→invalidate→refit→swap path vs a fresh full synthesis of
+    # the same (unchanged) example set.
+    ("test_bench_live_update", "test_bench_session_refit_fresh"),
     # Vectorized planes: batched keyword scoring of a whole page vs the
     # per-text scalar loop, both from cold matcher caches.
     (

@@ -276,6 +276,25 @@ def cmd_corpus_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus_update(args: argparse.Namespace) -> int:
+    """Publish a new store generation: changed pages in, stale urls out."""
+    from .serving.corpus import update_corpus_store
+
+    documents = []
+    for html_file, url in args.page or ():
+        with open(html_file, "r", encoding="utf-8") as f:
+            documents.append((f.read(), url))
+    report = update_corpus_store(
+        args.store,
+        documents,
+        remove_urls=tuple(args.remove_url or ()),
+        compact=args.compact,
+    )
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    return 0
+
+
 def cmd_corpus_stat(args: argparse.Namespace) -> int:
     """Validate a corpus store and print its shape."""
     from .serving.corpus import corpus_stat
@@ -493,6 +512,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="build from a directory of .html files instead of the "
         "synthetic corpus (urls are the bare filenames)")
     corpus_build.set_defaults(func=cmd_corpus_build)
+    corpus_update = corpus_sub.add_parser(
+        "update",
+        help="publish a new store generation (crash-safe live update)",
+    )
+    corpus_update.add_argument("store", help="existing store file to update")
+    corpus_update.add_argument(
+        "--page", nargs=2, action="append", metavar=("HTML_FILE", "URL"),
+        help="replace (or add) the page at URL with the file's HTML; "
+        "repeatable")
+    corpus_update.add_argument(
+        "--remove-url", action="append", metavar="URL",
+        help="drop the page at URL from the store; repeatable")
+    corpus_update.add_argument(
+        "--compact", action="store_true",
+        help="squash generations into a fresh base afterwards and "
+        "collect stale segment files")
+    corpus_update.set_defaults(func=cmd_corpus_update)
     corpus_stat_parser = corpus_sub.add_parser(
         "stat", help="validate a store file and print its shape"
     )

@@ -29,6 +29,8 @@ reject unknown versions loudly instead of misreading them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -89,6 +91,29 @@ class ProgramArtifact:
     def compiled_meta(self) -> dict[str, Any]:
         """Shape of the serving plan this artifact compiles to."""
         return compiled_plan_meta(self.program, self.engine)
+
+    def fingerprint(self) -> str:
+        """Sha256 version id over the artifact's *served* content.
+
+        Covers exactly what determines answers — question, keywords,
+        engine, program, and the embedded model state — and excludes
+        provenance (fit stats, task metadata): two artifacts with equal
+        fingerprints serve bit-identical answers.  This is the version
+        key of :class:`~repro.serving.service.QAService` hot-swaps, so
+        a no-change refit republishes under the same id.
+        """
+        canonical = json.dumps(
+            {
+                "question": self.question,
+                "keywords": list(self.keywords),
+                "engine": self.engine,
+                "program": program_to_dict(self.program),
+                "models": self.models.state_dict(),
+            },
+            sort_keys=True,
+            ensure_ascii=False,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- encoding ---------------------------------------------------------------
 

@@ -15,14 +15,21 @@ errored, answers diverging from the fitted tool) aborts the run.
 
 from __future__ import annotations
 
+import os
+import tempfile
+import threading
 import time
 from dataclasses import dataclass
 
+from ..core.errors import IngestError
 from ..core.webqa import WebQA
+from ..dataset.corpus import generate_page
 from ..dataset.tasks import TASKS_BY_ID
-from ..serving.faults import ALWAYS, FaultPlan, adversarial_corpus
+from ..serving.faults import ALWAYS, FaultInjector, FaultPlan, adversarial_corpus
+from ..serving.live import LiveCorpus
 from ..serving.service import QAService, RetryPolicy, ServingRequest
 from ..webtree.html_out import page_to_html
+from ..webtree.store import CorpusStoreWriter, collect_garbage
 from .common import ExperimentConfig, dataset_for
 
 #: The one serving task the chaos table exercises (routes are
@@ -47,6 +54,54 @@ class ChaosRow:
     degraded: int
     retries: int
     pages_per_s: float
+
+
+class _Askers:
+    """Background query storm: threads hammering ``ask_many`` in a loop.
+
+    The concurrency side of the hot-swap invariants: while the routing
+    table is republished underneath them, every request must still
+    answer (``ok``), and — when ``expected`` is given — answer
+    *identically* (all swapped versions serve the same content, so any
+    divergence is a torn read of the routing table).
+    """
+
+    def __init__(self, svc, requests, expected=None, threads=3):
+        self.svc = svc
+        self.requests = requests
+        self.expected = expected
+        self.stop = threading.Event()
+        self.failures: list = []
+        self.results: list = []
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._loop, daemon=True)
+            for _ in range(threads)
+        ]
+
+    def _loop(self) -> None:
+        while not self.stop.is_set():
+            batch = self.svc.ask_many(self.requests, strict=False)
+            with self._lock:
+                self.results.extend(batch)
+                for index, result in enumerate(batch):
+                    if not result.ok:
+                        self.failures.append(result)
+                    elif (
+                        self.expected is not None
+                        and result.answer != self.expected[index]
+                    ):
+                        self.failures.append(result)
+
+    def __enter__(self) -> "_Askers":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join()
 
 
 def _summarize(scenario, results, elapsed) -> ChaosRow:
@@ -169,6 +224,143 @@ def run(config: ExperimentConfig) -> list[ChaosRow]:
         if results[0].error is None or results[0].error.stage != "deadline":
             raise AssertionError("deadline scenario did not trip")
         rows.append(_summarize("deadline", results, elapsed))
+
+    # -- hotswap: ≥100 versions republished under concurrent load; every
+    # in-flight request must answer, bit-identically (all versions carry
+    # the same content), and the route must fully drain afterwards.
+    swap_target = 120
+    with service() as svc:
+        start = time.perf_counter()
+        with _Askers(svc, requests, expected=expected) as askers:
+            for i in range(swap_target):
+                svc.register(CHAOS_TASK, artifact, version=f"chaos-v{i}")
+        elapsed = time.perf_counter() - start
+        if askers.failures:
+            raise AssertionError(
+                f"hot-swap storm dropped/corrupted {len(askers.failures)} "
+                "in-flight requests"
+            )
+        if svc.stats.hot_swaps < 100:
+            raise AssertionError("hot-swap storm republished fewer than 100 versions")
+        deadline = time.monotonic() + 5.0
+        while not svc.route_drained(CHAOS_TASK):
+            if time.monotonic() > deadline:
+                raise AssertionError("retired versions failed to drain")
+            time.sleep(0.005)
+        rows.append(_summarize("hotswap", askers.results, elapsed))
+
+    # -- live-update scenarios: a generational store behind the service,
+    # fed through LiveCorpus while askers run.  Each sub-regime asserts
+    # its own invariant; the table reports the combined storm.
+    changed_url = dataset.test_pages[-1].url
+    documents = [(page_to_html(ex.page), ex.page.url) for ex in dataset.train]
+    documents += [(page_to_html(page), page.url) for page in dataset.test_pages]
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "chaos.rpw")
+        with CorpusStoreWriter(store_path) as writer:
+            from ..serving.ingest import ingest_page
+
+            for html, url in documents:
+                ingest_page(html, url, store_writer=writer)
+
+        with service(store=store_path) as svc:
+            live = LiveCorpus(svc)
+            live.track(
+                CHAOS_TASK, tool.session,
+                unlabeled=list(dataset.test_pages),
+                ensemble_size=config.ensemble_size, seed=config.seed,
+            )
+
+            # (a) feed + warm refit + hot-swap, askers in flight: zero
+            # drops; the swapped program answers like a fresh fit.
+            changed = generate_page(task.domain, seed=9000 + config.seed)
+            start = time.perf_counter()
+            with _Askers(svc, requests) as askers:
+                report = live.feed(changed.html, changed_url)
+            elapsed = time.perf_counter() - start
+            if askers.failures:
+                raise AssertionError("live feed dropped in-flight requests")
+            if not report.swaps or not report.swaps[0].swapped:
+                raise AssertionError(f"live feed did not hot-swap: {report.swaps}")
+            fresh_unlabeled = [
+                changed.page if page.url == changed_url else page
+                for page in dataset.test_pages
+            ]
+            fresh = WebQA(
+                ensemble_size=config.ensemble_size, seed=config.seed
+            ).fit(
+                task.question, task.keywords, list(dataset.train),
+                fresh_unlabeled, dataset.models,
+            )
+            updated_requests = [
+                ServingRequest(
+                    route=CHAOS_TASK, html=page_to_html(page), url=page.url
+                )
+                for page in fresh_unlabeled
+            ]
+            served = svc.ask_many(updated_requests)
+            if served != [fresh.predict(page) for page in fresh_unlabeled]:
+                raise AssertionError(
+                    "post-feed answers diverged from a fresh rebuild + fit"
+                )
+            rows.append(_summarize("live-feed", askers.results, elapsed))
+
+            # (b) refit fault → rollback: the route keeps its version and
+            # every request keeps answering.
+            version_before = svc.route_version(CHAOS_TASK)
+            live._injector = FaultInjector(
+                FaultPlan(refit_faults={live._feeds: ALWAYS}, seed=config.seed)
+            )
+            second = generate_page(task.domain, seed=9100 + config.seed)
+            start = time.perf_counter()
+            with _Askers(svc, updated_requests) as askers:
+                report = live.feed(second.html, changed_url)
+            elapsed = time.perf_counter() - start
+            if askers.failures:
+                raise AssertionError("rollback scenario dropped requests")
+            if any(swap.swapped for swap in report.swaps) or not any(
+                swap.reason == "refit-error" for swap in report.swaps
+            ):
+                raise AssertionError(f"refit fault did not roll back: {report.swaps}")
+            if svc.route_version(CHAOS_TASK) != version_before:
+                raise AssertionError("rollback changed the serving version")
+            if svc.stats.rollbacks < 1:
+                raise AssertionError("rollback not counted")
+            rows.append(_summarize("live-rollback", askers.results, elapsed))
+
+            # (c) torn segment and mid-publish crash: the injected fault
+            # surfaces, the store stays at its generation, serving and a
+            # later clean feed are unaffected; GC collects the orphan.
+            generation = svc.store.generation
+            for field_name in ("torn_segments", "publish_crashes"):
+                live._injector = FaultInjector(
+                    FaultPlan(**{field_name: frozenset({live._feeds})},
+                              seed=config.seed)
+                )
+                third = generate_page(task.domain, seed=9200 + config.seed)
+                try:
+                    live.feed(third.html, changed_url)
+                    raise AssertionError(f"{field_name} fault did not surface")
+                except IngestError as error:
+                    if not error.injected:
+                        raise
+                svc.store.reload()
+                if svc.store.generation != generation:
+                    raise AssertionError(
+                        f"{field_name}: store generation moved under a crash"
+                    )
+            collect_garbage(store_path)
+            live._injector = None
+            start = time.perf_counter()
+            with _Askers(svc, updated_requests) as askers:
+                report = live.feed(
+                    generate_page(task.domain, seed=9300 + config.seed).html,
+                    changed_url,
+                )
+            elapsed = time.perf_counter() - start
+            if askers.failures or not report.swaps or not report.swaps[0].swapped:
+                raise AssertionError("post-crash feed did not recover cleanly")
+            rows.append(_summarize("live-crash", askers.results, elapsed))
 
     return rows
 

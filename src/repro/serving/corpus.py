@@ -105,6 +105,77 @@ def html_dir_documents(directory: str) -> "Iterable[tuple[str, str]]":
             yield f.read(), name
 
 
+def update_corpus_store(
+    path: str,
+    documents: "Iterable[tuple[str, str]]" = (),
+    remove_urls: "Sequence[str]" = (),
+    limits: "ServingLimits | None" = DEFAULT_LIMITS,
+    compact: bool = False,
+) -> dict:
+    """Publish one new store generation: changed pages in, stale urls out.
+
+    Each ``(html, url)`` document is parsed through the serving ingest
+    pipeline and appended as an update segment entry; any live page with
+    the same url is superseded (its fingerprint lands in the
+    generation's ``removed`` set).  ``remove_urls`` drops pages outright.
+    The publish is crash-safe end to end (segment rename, then manifest
+    rename — see :mod:`repro.webtree.store`); a no-op update leaves the
+    store untouched at its current generation.
+
+    With ``compact`` the generations are squashed into a fresh base
+    afterwards and stale files collected.  Returns a report merging the
+    post-update :meth:`~repro.webtree.store.CorpusStoreReader.stat` with
+    update counts — the ``repro corpus update`` CLI body.
+    """
+    from ..webtree.store import CorpusStoreUpdater, compact_store
+    from .ingest import page_fingerprint
+
+    reader = CorpusStoreReader(path)
+    by_url = {}
+    for fingerprint in reader.fingerprints():
+        entry = reader.entry(fingerprint)
+        if entry is not None and entry.get("url"):
+            by_url[entry["url"]] = fingerprint
+    stats = IngestStats()
+    started = time.perf_counter()
+    updated = removed = missing = 0
+    with CorpusStoreUpdater(path) as updater:
+        for html, url in documents:
+            fingerprint = page_fingerprint(html, url)
+            stale = by_url.get(url)
+            if stale == fingerprint:
+                continue  # byte-identical to the live page: no-op
+            outcome = ingest_page(html, url, stats=stats, limits=limits)
+            if stale is not None:
+                updater.remove(stale)
+            if updater.update(fingerprint, outcome.page, degraded=outcome.degraded):
+                updated += 1
+            by_url[url] = fingerprint
+        for url in remove_urls:
+            stale = by_url.get(url)
+            if stale is None:
+                missing += 1
+            elif updater.remove(stale):
+                removed += 1
+    reader.reload()
+    report = reader.stat()
+    if compact:
+        compacted = compact_store(path)
+        reader.reload()
+        report = reader.stat()
+        report["collected"] = len(compacted["collected"])
+    report.update(
+        {
+            "updated": updated,
+            "removed": removed,
+            "missing_urls": missing,
+            "degraded_updates": stats.pages_degraded,
+            "update_seconds": round(time.perf_counter() - started, 4),
+        }
+    )
+    return report
+
+
 def corpus_stat(path: str) -> dict:
     """Shape summary of an existing store (validates it on open)."""
     return CorpusStoreReader(path).stat()

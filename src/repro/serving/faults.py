@@ -66,6 +66,17 @@ class FaultPlan:
     latency_seconds: Mapping[int, float] = field(default_factory=dict)
     #: Indices whose first predict attempt kills the whole worker pool.
     pool_crashes: frozenset = frozenset()
+    #: *Feed* indices (the live-corpus update path counts its own feeds,
+    #: a separate namespace from request indices) that crash between the
+    #: segment publish and the manifest publish — the torn-write window
+    #: the generational store must survive.
+    publish_crashes: frozenset = frozenset()
+    #: Feed indices whose update segment is torn mid-write (the writer
+    #: abandons a partial ``.tmp``, as a real crash would leave it).
+    torn_segments: frozenset = frozenset()
+    #: Feed-index → fault budget for the background refit stage; a
+    #: failed refit must roll the route back, never serve half a fit.
+    refit_faults: Mapping[int, int] = field(default_factory=dict)
     #: Identifies the plan in error messages and bench tables.
     seed: int = 0
 
@@ -117,13 +128,19 @@ class FaultPlan:
         )
 
     def faulted_indices(self) -> frozenset:
-        """Every index the plan touches, for test bookkeeping."""
+        """Every *request* index the plan touches, for test bookkeeping."""
         return frozenset(
             set(self.ingest_faults)
             | set(self.predict_faults)
             | self.compiled_faults
             | set(self.latency_seconds)
             | self.pool_crashes
+        )
+
+    def faulted_feeds(self) -> frozenset:
+        """Every *feed* index the plan touches on the live-update path."""
+        return frozenset(
+            self.publish_crashes | self.torn_segments | set(self.refit_faults)
         )
 
 
@@ -197,6 +214,45 @@ class FaultInjector:
     def breaks_compiled(self, index: int) -> bool:
         """Whether the compiled plan should fail for this index."""
         return index in self.plan.compiled_faults
+
+    # -- live-update path (feed indices, not request indices) ----------------
+
+    def tears_segment(self, feed_index: int) -> bool:
+        """Whether this feed's update segment should be torn mid-write.
+
+        The caller (:class:`~repro.serving.live.LiveCorpus`) abandons the
+        in-flight segment ``.tmp`` exactly as a crash would, then raises
+        — the next open must still serve the previous generation.
+        """
+        return feed_index in self.plan.torn_segments
+
+    def before_publish(self, feed_index: int) -> None:
+        """Raise the planned crash between segment and manifest publish.
+
+        This is the narrowest torn-write window of the generational
+        store: the new segment is durable but unreferenced.  The store
+        must reopen at the previous generation and a later GC must
+        collect the orphan.
+        """
+        if feed_index in self.plan.publish_crashes:
+            raise IngestError(
+                f"injected publish crash (feed {feed_index}, plan seed "
+                f"{self.plan.seed})",
+                transient=False,
+                injected=True,
+            )
+
+    def before_refit(self, feed_index: int, attempt: int = 0) -> None:
+        """Raise the planned refit fault for ``(feed_index, attempt)``."""
+        fires, transient = _fires(self.plan.refit_faults.get(feed_index), attempt)
+        if fires:
+            raise PredictError(
+                f"injected refit fault (feed {feed_index}, attempt {attempt}, "
+                f"plan seed {self.plan.seed})",
+                transient=transient,
+                injected=True,
+                retries=attempt,
+            )
 
 
 # ---------------------------------------------------------------------------

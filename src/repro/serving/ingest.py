@@ -114,6 +114,9 @@ class IngestStats:
     #: ratio against ``pages_ingested`` means the corpus is outside the
     #: scanner subset and the parse_seconds budget is the slow path's.
     parse_fallbacks: int = 0
+    #: Entries dropped by exact invalidation (live-corpus updates), as
+    #: opposed to ``evictions`` which counts LRU capacity pressure.
+    invalidations: int = 0
     parse_seconds: float = 0.0
     index_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -150,6 +153,11 @@ class IngestStats:
             self.cache_misses += misses
             self.evictions += evictions
 
+    def record_invalidation(self, count: int = 1) -> None:
+        """Count exact invalidations (stale live-corpus entries), atomically."""
+        with self._lock:
+            self.invalidations += count
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -163,6 +171,7 @@ class IngestStats:
             "pages_degraded": self.pages_degraded,
             "store_hits": self.store_hits,
             "parse_fallbacks": self.parse_fallbacks,
+            "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate(), 4),
             "parse_seconds": self.parse_seconds,
             "index_seconds": self.index_seconds,
@@ -226,6 +235,28 @@ class PageCache:
                 self._pages[fingerprint] = (page, degraded)
         if evicted:
             self.stats.record_lookup(evictions=evicted)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop exactly one entry (a stale live-corpus page), if cached.
+
+        Cascades past the LRU slot: the evicted page's lazily-built
+        ``PageIndex`` — which owns its ``TextPlane`` and the per-page
+        keyword/locator memo tables — is dropped too, so nothing keeps
+        serving answers derived from the stale content even if the page
+        object itself is still referenced elsewhere (e.g. pinned by an
+        in-flight request, which simply rebuilds on next access).
+        Degraded entries invalidate the same way — the flag lives in the
+        cache slot and dies with it.  Returns True when an entry was
+        dropped; only actual drops count toward
+        :attr:`IngestStats.invalidations`.
+        """
+        with self._lock:
+            entry = self._pages.pop(fingerprint, None)
+        if entry is None:
+            return False
+        entry[0].invalidate_index()
+        self.stats.record_invalidation()
+        return True
 
     def clear(self) -> None:
         with self._lock:

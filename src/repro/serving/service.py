@@ -6,7 +6,13 @@ once.  One :class:`QAService` owns
 
 * a **routing table** — routing key (task id, attribute name, anything)
   → a serving-only :class:`~repro.core.webqa.WebQA` loaded from a
-  :class:`~repro.core.artifact.ProgramArtifact`;
+  :class:`~repro.core.artifact.ProgramArtifact`.  Each route's tool is
+  **versioned** (artifact sha256) and hot-swappable under an
+  epoch/refcount protocol: re-registering a live route installs the new
+  tool atomically while in-flight requests drain on the version they
+  pinned, and :meth:`QAService.rollback` restores the previous version
+  the same way — the backbone of live-corpus refits
+  (:mod:`repro.serving.live`);
 * the **ingestion pipeline** — one shared
   :class:`~repro.serving.ingest.PageCache`, so every route benefits from
   every other route's parsed pages;
@@ -295,6 +301,11 @@ class ServiceStats:
     degraded: int = 0
     #: Broken worker pools discarded and rebuilt (mirrors the runner).
     pools_broken: int = 0
+    #: Live-route tool hot-swaps (re-register / live-corpus refit).
+    hot_swaps: int = 0
+    #: Refit outcomes rejected in favour of the serving version
+    #: (failure, deadline, held-out regression) plus explicit rollbacks.
+    rollbacks: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_batch(self, size: int) -> None:
@@ -342,6 +353,14 @@ class ServiceStats:
         with self._lock:
             self.pools_broken = count
 
+    def record_swap(self) -> None:
+        with self._lock:
+            self.hot_swaps += 1
+
+    def record_rollback(self) -> None:
+        with self._lock:
+            self.rollbacks += 1
+
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
 
@@ -367,7 +386,97 @@ class ServiceStats:
             "deadline_exceeded": self.deadline_exceeded,
             "degraded": self.degraded,
             "pools_broken": self.pools_broken,
+            "hot_swaps": self.hot_swaps,
+            "rollbacks": self.rollbacks,
         }
+
+
+class _ToolVersion:
+    """One published ``(tool, version)`` pair with its in-flight refcount.
+
+    Refcounts are mutated only under the owning :class:`_RouteState`
+    lock; the ``tool``/``version``/``epoch`` fields are immutable after
+    construction, so a pinned holder may read them lock-free.
+    """
+
+    __slots__ = ("tool", "version", "epoch", "refs")
+
+    def __init__(self, tool: WebQA, version: str, epoch: int) -> None:
+        self.tool = tool
+        self.version = version
+        self.epoch = epoch
+        self.refs = 0
+
+
+class _RouteState:
+    """Everything one route owns, swapped as a unit — never piecewise.
+
+    The epoch/refcount hot-swap protocol: a serving call :meth:`pin`\\ s
+    the current :class:`_ToolVersion` once (incrementing its refcount)
+    and serves the whole call from that pin, so a concurrent
+    :meth:`swap` can never change the tool underneath a half-dispatched
+    batch.  ``swap`` installs a fresh version under the next epoch;
+    the retired version keeps serving its pinned calls and *drains* —
+    it leaves the draining list when its last pin is released.  The
+    circuit breaker and the route's request counters live here, not on
+    the version, so a swap never resets them.
+    """
+
+    __slots__ = ("breaker", "epoch", "current", "previous", "_draining", "_lock")
+
+    def __init__(self, tool: WebQA, version: str, breaker: CircuitBreaker) -> None:
+        self.breaker = breaker
+        self.epoch = 0
+        self.current = _ToolVersion(tool, version, 0)
+        self.previous: "_ToolVersion | None" = None
+        self._draining: "list[_ToolVersion]" = []
+        self._lock = threading.Lock()
+
+    def pin(self) -> _ToolVersion:
+        """Take a reference on the current version (release when done)."""
+        with self._lock:
+            version = self.current
+            version.refs += 1
+            return version
+
+    def release(self, version: _ToolVersion) -> None:
+        with self._lock:
+            version.refs -= 1
+            if version.refs == 0 and version is not self.current:
+                try:
+                    self._draining.remove(version)
+                except ValueError:
+                    pass
+
+    def swap(self, tool: WebQA, version: str) -> _ToolVersion:
+        """Install a new current version; returns the retired one."""
+        with self._lock:
+            retired = self.current
+            self.epoch += 1
+            self.current = _ToolVersion(tool, version, self.epoch)
+            self.previous = retired
+            if retired.refs > 0:
+                self._draining.append(retired)
+            return retired
+
+    def rollback(self) -> "_ToolVersion | None":
+        """Re-install the previously served version (a fresh epoch)."""
+        with self._lock:
+            restored = self.previous
+            if restored is None:
+                return None
+            retired = self.current
+            self.epoch += 1
+            self.current = _ToolVersion(restored.tool, restored.version, self.epoch)
+            self.previous = retired
+            if retired.refs > 0:
+                self._draining.append(retired)
+            return self.current
+
+    def drained(self) -> bool:
+        """True when no retired version still serves an in-flight call."""
+        with self._lock:
+            return not self._draining
 
 
 def _predict_page(payload: tuple) -> "tuple[tuple[str, ...], bool]":
@@ -475,8 +584,8 @@ class QAService:
             fault_injector = FaultInjector(fault_injector)
         self._injector = fault_injector
         self._clock = clock
-        self._routes: dict[str, WebQA] = {}
-        self._breakers: dict[str, CircuitBreaker] = {}
+        self._routes: dict[str, _RouteState] = {}
+        self._live: "object | None" = None
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         # One long-lived pool for every micro-batch: a service dispatches
@@ -501,7 +610,10 @@ class QAService:
     # -- routing table -----------------------------------------------------------
 
     def register(
-        self, route: str, source: "WebQA | ProgramArtifact | str"
+        self,
+        route: str,
+        source: "WebQA | ProgramArtifact | str",
+        version: "str | None" = None,
     ) -> WebQA:
         """Bind ``route`` to an artifact (object or path) or a fitted tool.
 
@@ -509,6 +621,13 @@ class QAService:
         synthesis); an already-constructed tool must be serving-capable,
         otherwise :class:`NotFittedError` surfaces immediately at
         registration instead of on the first request.
+
+        Re-registering a live route is an atomic **hot-swap**: requests
+        already in flight drain on the version they pinned, new requests
+        see the new tool, and the route's circuit breaker state and
+        request counters carry over untouched.  ``version`` defaults to
+        the artifact's sha256 ``fingerprint()`` when the source carries
+        one ("" otherwise); live-corpus refits always pass it.
         """
         if isinstance(source, WebQA):
             tool = source
@@ -516,34 +635,102 @@ class QAService:
                 raise NotFittedError(f"registering route {route!r}")
         else:
             tool = WebQA.from_artifact(source)
-        self._routes[route] = tool
-        self._breakers[route] = CircuitBreaker(
-            threshold=self.circuit_threshold,
-            reset_seconds=self.circuit_reset_seconds,
-            clock=self._clock,
-        )
-        self.stats.requests_by_route.setdefault(route, 0)
+        if version is None:
+            version = (
+                tool.artifact.fingerprint() if tool.artifact is not None else ""
+            )
+        state = self._routes.get(route)
+        if state is None:
+            breaker = CircuitBreaker(
+                threshold=self.circuit_threshold,
+                reset_seconds=self.circuit_reset_seconds,
+                clock=self._clock,
+            )
+            self._routes[route] = _RouteState(tool, version, breaker)
+            self.stats.requests_by_route.setdefault(route, 0)
+        else:
+            state.swap(tool, version)
+            self.stats.record_swap()
         return tool
 
     def unregister(self, route: str) -> None:
         del self._routes[route]
-        self._breakers.pop(route, None)
 
     def routes(self) -> tuple[str, ...]:
         return tuple(sorted(self._routes))
 
-    def tool(self, route: str) -> WebQA:
-        tool = self._routes.get(route)
-        if tool is None:
+    def _state(self, route: str) -> _RouteState:
+        state = self._routes.get(route)
+        if state is None:
             raise RouteError(
                 f"unknown route {route!r}; registered: {self.routes()}",
                 route=route,
             )
-        return tool
+        return state
+
+    def tool(self, route: str) -> WebQA:
+        return self._state(route).current.tool
 
     def breaker(self, route: str) -> CircuitBreaker:
         """The circuit breaker guarding ``route`` (KeyError if unknown)."""
-        return self._breakers[route]
+        return self._routes[route].breaker
+
+    def rollback(self, route: str) -> str:
+        """Restore ``route``'s previously served version; returns its id.
+
+        The counterpart of a hot-swap gone wrong after publication —
+        the previous ``(tool, version)`` is re-installed under a fresh
+        epoch (in-flight requests on the bad version drain, exactly as
+        in a forward swap).  :class:`RouteError` when the route is
+        unknown or has never swapped.
+        """
+        state = self._state(route)
+        restored = state.rollback()
+        if restored is None:
+            raise RouteError(
+                f"route {route!r} has no previous version to roll back to",
+                route=route,
+            )
+        self.stats.record_rollback()
+        return restored.version
+
+    def route_version(self, route: str) -> str:
+        """The version id currently served for ``route``."""
+        return self._state(route).current.version
+
+    def route_epoch(self, route: str) -> int:
+        """How many swaps/rollbacks ``route`` has seen (0 = original)."""
+        return self._state(route).epoch
+
+    def route_drained(self, route: str) -> bool:
+        """True when no retired version of ``route`` still serves a call."""
+        return self._state(route).drained()
+
+    # -- live corpus --------------------------------------------------------------
+
+    def attach_live(self, live: "object") -> None:
+        """Attach a :class:`~repro.serving.live.LiveCorpus`; done by its
+        constructor — :meth:`feed` delegates to it."""
+        self._live = live
+
+    @property
+    def live(self) -> "object | None":
+        return self._live
+
+    def feed(self, html: str, url: str = "", **kwargs):
+        """Feed one changed raw document into the attached live corpus.
+
+        Convenience front for :meth:`LiveCorpus.feed` (ingest →
+        invalidate → store generation → warm refit → hot-swap/rollback);
+        requires a :class:`~repro.serving.live.LiveCorpus` constructed
+        over this service.
+        """
+        if self._live is None:
+            raise ValueError(
+                "no live corpus attached; construct "
+                "repro.serving.live.LiveCorpus(service, ...) first"
+            )
+        return self._live.feed(html, url=url, **kwargs)
 
     def inject_faults(
         self, injector: "FaultInjector | FaultPlan | None"
@@ -562,12 +749,15 @@ class QAService:
         """One operator-facing snapshot of the service's state."""
         with self._inflight_lock:
             inflight = self._inflight
+        states = sorted(self._routes.items())
         return {
             "routes": list(self.routes()),
             "inflight": inflight,
             "max_inflight": self.max_inflight,
             "pools_broken": self._runner.pools_broken,
-            "circuits": {r: b.state for r, b in sorted(self._breakers.items())},
+            "circuits": {r: s.breaker.state for r, s in states},
+            "versions": {r: s.current.version for r, s in states},
+            "epochs": {r: s.epoch for r, s in states},
             "stats": self.stats.as_dict(),
             "ingest": self.cache.stats.as_dict(),
             "store": self.store.stat() if self.store is not None else None,
@@ -665,6 +855,11 @@ class QAService:
         deadline: _Deadline,
     ) -> "list[ServingResult]":
         results = [ServingResult(route=request.route) for request in normalized]
+        # Tool versions pinned by this call (one per served route): the
+        # pin taken at routing time is what stages 4-5 serve, so a
+        # concurrent hot-swap drains behind this call instead of
+        # changing the tool mid-batch.
+        pinned: "dict[str, tuple[_RouteState, _ToolVersion]]" = {}
         admitted = self._admit(len(normalized))
         try:
             for position in range(admitted, len(normalized)):
@@ -723,7 +918,8 @@ class QAService:
                 if results[position].error is not None:
                     continue
                 route = normalized[position].route
-                if route not in self._routes:
+                state = self._routes.get(route)
+                if state is None:
                     error = RouteError(
                         f"unknown route {route!r}; registered: {self.routes()}",
                         route=route,
@@ -733,8 +929,7 @@ class QAService:
                     if strict:
                         raise error
                     continue
-                breaker = self._breakers.get(route)
-                if breaker is not None and not breaker.allow():
+                if not state.breaker.allow():
                     error = RejectedError(
                         f"circuit open for route {route!r}",
                         reason="circuit-open",
@@ -745,14 +940,17 @@ class QAService:
                     if strict:
                         raise error
                     continue
+                if route not in pinned:
+                    pinned[route] = (state, state.pin())
                 by_route.setdefault(route, []).append(position)
 
             # Stages 4+5: micro-batch and predict, per route, over the
             # service's persistent worker pool.
             start = time.perf_counter()
             for route, positions in by_route.items():
-                tool = self._routes[route]
-                breaker = self._breakers.get(route)
+                state, version = pinned[route]
+                tool = version.tool
+                breaker = state.breaker
                 for offset in range(0, len(positions), self.max_batch):
                     batch = positions[offset : offset + self.max_batch]
                     batch_start = time.perf_counter()
@@ -765,8 +963,6 @@ class QAService:
                     per_request = (time.perf_counter() - batch_start) / len(batch)
                     for position in batch:
                         results[position].predict_seconds = per_request
-                        if breaker is None:
-                            continue
                         error = results[position].error
                         if error is None:
                             breaker.record_success()
@@ -788,6 +984,8 @@ class QAService:
             self.stats.record_results(results)
             return results
         finally:
+            for state, version in pinned.values():
+                state.release(version)
             self._release(admitted)
             self.stats.set_pools_broken(self._runner.pools_broken)
 

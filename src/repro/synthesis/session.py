@@ -206,6 +206,21 @@ class SynthesisSession:
         self._probed = None
         return removed
 
+    def replace_example(self, index: int, example: LabeledExample) -> LabeledExample:
+        """Swap one labeled example in place; returns the one replaced.
+
+        The live-corpus operation: a tracked page changed, its label
+        survives.  Keeps the example *order* — partition enumeration is
+        order-sensitive, so a replace must not behave like
+        remove-then-append — and invalidates the probe set exactly as
+        add/remove do.  Blocks not touching the replaced example keep
+        their content fingerprints and still hit the cache.
+        """
+        replaced = self._examples[index]
+        self._examples[index] = example
+        self._probed = None
+        return replaced
+
     def cached_blocks(self) -> int:
         """Number of solved branch-synthesis problems currently cached."""
         return len(self._block_cache)

@@ -7,7 +7,7 @@ those planes, so a corpus is parsed **once** and every later process
 rehydrates pages straight from the planes — no HTML tokenizing, no
 tree walk, no Euler tour.
 
-On-disk layout (single file, little-endian)::
+On-disk layout (store-format file, little-endian)::
 
     header   b"RPWSTORE" + u32 version + u32 flags            (16 bytes)
     block*   one per page, at manifest-recorded offsets:
@@ -27,19 +27,60 @@ property is the invalidation rule: any byte change to the HTML (or the
 url namespace) changes the key, so a stale entry can never be returned;
 re-ingesting the changed document simply misses and parses.
 
-Readers map the file with ``np.memmap`` and slice plane views out of
+Generational updates
+--------------------
+
+A published store is immutable, but it is not frozen: mutations land in
+**generations**.  ``<path>`` is the base file; each committed update
+generation appends a segment file ``<path>.seg-<G>`` (itself a complete
+store-format file) and atomically swaps the sidecar manifest
+``<path>.gen``::
+
+    {"format": 1, "generation": G,
+     "segments": ["<base>.seg-1", ...],     # applied in order
+     "removed": ["<fingerprint>", ...]}     # hidden everywhere
+
+Later segments shadow earlier files; ``removed`` hides fingerprints in
+every file (re-adding a fingerprint drops it from ``removed`` — content
+addressing guarantees the surviving bytes are the right ones).  With no
+``.gen`` file the base alone is generation 0, so every pre-generational
+store opens unchanged.
+
+The publish ordering is the crash-safety argument:
+
+1. segment blocks stream into ``<path>.seg-<G>.tmp``; finalize fsyncs
+   and ``os.replace``\\ s it to ``<path>.seg-<G>``;
+2. the new ``.gen`` manifest is written to ``<path>.gen.tmp``, fsynced,
+   and ``os.replace``\\ d over ``<path>.gen``;
+3. the directory is fsynced (best effort) so the renames are durable.
+
+A published manifest therefore only ever references fully-published
+files, and a crash at *any* byte boundary of steps 1–2 leaves either
+the previous ``.gen`` (previous generation, fully intact) or the new
+one (new generation, fully intact) — never a torn hybrid.  Orphan
+segments and stale ``*.tmp`` files from interrupted updates are inert
+(readers never open unreferenced files) and are deleted by
+:func:`collect_garbage`.  :func:`compact_store` folds all live pages
+back into a fresh base (replacing the base *before* publishing the
+manifest that drops the segments, so a crash between the two is safe —
+the old manifest over the new base still resolves every live page to
+identical bytes).  One writer at a time: updates, compaction and GC
+assume a single updating process, while any number of readers may hold
+older generations mapped — ``os.replace``/``unlink`` never disturb an
+open ``np.memmap``, and :meth:`CorpusStoreReader.reload` swaps a reader
+to the newest generation without invalidating pages already loaded.
+
+Readers map each file with ``np.memmap`` and slice plane views out of
 it zero-copy; N worker processes opening one store share the read-only
 pages through the OS page cache.  The numeric planes are converted to
 Python lists at page-load time (the rank bitsets are arbitrary-
 precision ints, and ``1 << numpy_int`` overflows), which is the only
 materialization the load path pays besides decoding the text blob.
 
-Truncated or corrupt files fail *loudly*: every structural check
-(magic, version, footer, manifest bounds, block bounds, text encoding)
-raises :class:`~repro.core.errors.IngestError` instead of serving
-garbage.  The writer streams blocks to ``<path>.tmp`` and atomically
-renames on :meth:`CorpusStoreWriter.finalize`, so a crashed build can
-never leave a half-written file at the published path.
+Truncated or corrupt *published* files fail loudly: every structural
+check (magic, version, footer, manifest bounds, block bounds, text
+encoding, generation manifest shape) raises
+:class:`~repro.core.errors.IngestError` instead of serving garbage.
 """
 
 from __future__ import annotations
@@ -59,6 +100,9 @@ from .node import NodeType, PageNode, WebPage
 MAGIC = b"RPWSTORE"
 FOOTER_MAGIC = b"RPWSEND1"
 VERSION = 1
+
+#: Format tag of the ``.gen`` generation manifest sidecar.
+GEN_FORMAT = 1
 
 _HEADER = struct.Struct("<8sII")
 _FOOTER = struct.Struct("<QQ8s")
@@ -84,6 +128,32 @@ _TYPE_BY_CODE = {code: node_type for node_type, code in _TYPE_CODE.items()}
 
 def _corrupt(path: str, reason: str) -> IngestError:
     return IngestError(f"corpus store {path!r} is unreadable: {reason}")
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _publish_bytes(path: str, payload: bytes) -> None:
+    """Atomically publish ``payload`` at ``path`` (tmp → fsync → replace)."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path)
 
 
 class CorpusStoreWriter:
@@ -194,6 +264,7 @@ class CorpusStoreWriter:
         self._file.close()
         self._closed = True
         os.replace(self._tmp_path, self.path)
+        _fsync_dir(self.path)
 
     def abort(self) -> None:
         """Discard everything written; the published path is untouched."""
@@ -216,22 +287,13 @@ def _block_length(size: int, text_bytes: int) -> int:
     )
 
 
-class CorpusStoreReader:
-    """Read-only memmap view of a corpus store file.
+class _StoreFile:
+    """One validated, memmapped store-format file (base or segment)."""
 
-    Cheap to open (header/footer/manifest validation; no page is read
-    until :meth:`load`), safe to share across threads, and **picklable
-    by path** — unpickling re-opens the memmap in the receiving process,
-    so a reader can ride initargs into ``TaskRunner`` process workers
-    where all workers share the file through the OS page cache.
-    """
+    __slots__ = ("path", "raw", "view", "pages")
 
     def __init__(self, path: str) -> None:
         self.path = os.fspath(path)
-        self._lock = threading.Lock()
-        self._open()
-
-    def _open(self) -> None:
         try:
             raw = np.memmap(self.path, dtype=np.uint8, mode="r")
         except (OSError, ValueError) as exc:
@@ -283,65 +345,21 @@ class CorpusStoreReader:
                     self.path,
                     f"page block {fingerprint[:12]} out of bounds",
                 )
-        self._raw = raw
+        self.raw = raw
         # Plain memoryview over the mapping: per-load byte reads (text
         # blob, bitsets) skip np.memmap.__getitem__/__array_finalize__
         # overhead, which dominates small-page loads.
-        self._view = memoryview(raw)
-        self._pages = pages
-
-    # -- pickling (reopen by path) ------------------------------------------
-
-    def __getstate__(self) -> dict:
-        return {"path": self.path}
-
-    def __setstate__(self, state: dict) -> None:
-        self.path = state["path"]
-        self._lock = threading.Lock()
-        self._open()
-
-    # -- manifest queries ----------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self._pages)
-
-    def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._pages
-
-    def fingerprints(self) -> Iterator[str]:
-        return iter(self._pages)
-
-    def stat(self) -> dict:
-        """Aggregate shape of the store, for `repro corpus stat`."""
-        total_nodes = sum(entry["n"] for entry in self._pages.values())
-        total_text = sum(entry["text_bytes"] for entry in self._pages.values())
-        return {
-            "path": self.path,
-            "file_bytes": int(self._raw.size),
-            "pages": len(self._pages),
-            "nodes": total_nodes,
-            "text_bytes": total_text,
-            "degraded_pages": sum(
-                1 for entry in self._pages.values() if entry["degraded"]
-            ),
-        }
-
-    # -- page loads ----------------------------------------------------------
-
-    def get(self, fingerprint: str) -> "Optional[tuple[WebPage, bool]]":
-        """``(page, degraded)`` for ``fingerprint``, or None if absent."""
-        if fingerprint not in self._pages:
-            return None
-        return self.load(fingerprint)
+        self.view = memoryview(raw)
+        self.pages = pages
 
     def load(self, fingerprint: str) -> "tuple[WebPage, bool]":
         """Rehydrate one page (with its index prebuilt) from the planes."""
-        entry = self._pages[fingerprint]
+        entry = self.pages[fingerprint]
         size = entry["n"]
         offset = entry["offset"]
         text_bytes = entry["text_bytes"]
-        raw = self._raw
-        view = self._view
+        raw = self.raw
+        view = self.view
         plane = np.frombuffer(raw, dtype=NODE_DTYPE, count=size, offset=offset)
         cursor = offset + size * NODE_DTYPE.itemsize
         char_offsets = np.frombuffer(
@@ -423,6 +441,472 @@ class CorpusStoreReader:
             texts=texts,
         )
         return page, entry["degraded"]
+
+
+def _generation_path(path: str) -> str:
+    return path + ".gen"
+
+
+def _segment_path(path: str, generation: int) -> str:
+    return f"{path}.seg-{generation}"
+
+
+def _read_generation_manifest(path: str) -> dict:
+    """The ``.gen`` sidecar as a dict; a synthetic generation 0 if absent."""
+    gen_path = _generation_path(path)
+    try:
+        with open(gen_path, "rb") as handle:
+            payload = handle.read()
+    except FileNotFoundError:
+        return {"format": GEN_FORMAT, "generation": 0,
+                "segments": [], "removed": []}
+    except OSError as exc:
+        raise _corrupt(gen_path, str(exc)) from exc
+    try:
+        manifest = json.loads(payload.decode("utf-8"))
+        if manifest["format"] != GEN_FORMAT:
+            raise ValueError(f"unsupported format {manifest['format']!r}")
+        manifest["generation"] = int(manifest["generation"])
+        if manifest["generation"] < 0:
+            raise ValueError("negative generation")
+        segments = manifest["segments"]
+        removed = manifest["removed"]
+        if not isinstance(segments, list) or not all(
+            isinstance(name, str) for name in segments
+        ):
+            raise ValueError("segments must be a list of file names")
+        if not isinstance(removed, list) or not all(
+            isinstance(fp, str) for fp in removed
+        ):
+            raise ValueError("removed must be a list of fingerprints")
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise _corrupt(gen_path, f"generation manifest unreadable: {exc}") from exc
+    return manifest
+
+
+def _open_generation(
+    path: str,
+) -> "tuple[int, list[_StoreFile], dict[str, _StoreFile], set[str]]":
+    """Open the current generation: base + referenced segments, composed."""
+    manifest = _read_generation_manifest(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    files = [_StoreFile(path)]
+    for name in manifest["segments"]:
+        files.append(_StoreFile(os.path.join(directory, name)))
+    removed = set(manifest["removed"])
+    routing: dict[str, _StoreFile] = {}
+    for store_file in files:  # later segments shadow earlier files
+        for fingerprint in store_file.pages:
+            routing[fingerprint] = store_file
+    for fingerprint in removed:
+        routing.pop(fingerprint, None)
+    return manifest["generation"], files, routing, removed
+
+
+class CorpusStoreReader:
+    """Read-only memmap view of a corpus store (base + update segments).
+
+    Cheap to open (header/footer/manifest validation; no page is read
+    until :meth:`load`), safe to share across threads, and **picklable
+    by path** — unpickling re-opens the memmaps in the receiving
+    process, so a reader can ride initargs into ``TaskRunner`` process
+    workers where all workers share the files through the OS page cache.
+
+    :meth:`reload` swaps the reader to the newest published generation
+    in place; pages loaded from the previous generation stay valid (the
+    old mappings survive until the last loaded page drops them).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._install(*_open_generation(self.path))
+
+    def _install(
+        self,
+        generation: int,
+        files: "list[_StoreFile]",
+        routing: "dict[str, _StoreFile]",
+        removed: "set[str]",
+    ) -> None:
+        self._generation = generation
+        self._files = files
+        self._pages = routing
+        self._removed = removed
+
+    # -- pickling (reopen by path) ------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._lock = threading.Lock()
+        self._install(*_open_generation(self.path))
+
+    # -- generations ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def reload(self) -> bool:
+        """Re-open the newest published generation.
+
+        Returns True when the visible page set (or generation number)
+        changed.  Pages already loaded are untouched: they hold their
+        own references to the old mappings, which ``os.replace`` and
+        ``unlink`` cannot disturb.  Safe to call concurrently with
+        :meth:`load` — lookups read the routing table exactly once.
+        """
+        with self._lock:
+            generation, files, routing, removed = _open_generation(self.path)
+            changed = (
+                generation != self._generation
+                or routing.keys() != self._pages.keys()
+            )
+            self._install(generation, files, routing, removed)
+            return changed
+
+    # -- manifest queries ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._pages
+
+    def fingerprints(self) -> Iterator[str]:
+        return iter(self._pages)
+
+    def entry(self, fingerprint: str) -> "Optional[dict]":
+        """The live manifest entry for ``fingerprint`` (url etc.), if any."""
+        store_file = self._pages.get(fingerprint)
+        if store_file is None:
+            return None
+        return store_file.pages[fingerprint]
+
+    def stat(self) -> dict:
+        """Aggregate shape of the store, for `repro corpus stat`."""
+        routing = self._pages
+        entries = [
+            store_file.pages[fingerprint]
+            for fingerprint, store_file in routing.items()
+        ]
+        return {
+            "path": self.path,
+            "file_bytes": sum(
+                int(store_file.raw.size) for store_file in self._files
+            ),
+            "pages": len(routing),
+            "nodes": sum(entry["n"] for entry in entries),
+            "text_bytes": sum(entry["text_bytes"] for entry in entries),
+            "degraded_pages": sum(
+                1 for entry in entries if entry["degraded"]
+            ),
+            "generation": self._generation,
+            "segments": len(self._files) - 1,
+            "removed_pages": len(self._removed),
+        }
+
+    # -- page loads ----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> "Optional[tuple[WebPage, bool]]":
+        """``(page, degraded)`` for ``fingerprint``, or None if absent."""
+        store_file = self._pages.get(fingerprint)
+        if store_file is None:
+            return None
+        return store_file.load(fingerprint)
+
+    def load(self, fingerprint: str) -> "tuple[WebPage, bool]":
+        """Rehydrate one page (with its index prebuilt) from the planes."""
+        return self._pages[fingerprint].load(fingerprint)
+
+
+class CorpusStoreUpdater:
+    """Crash-safe mutations to a published store, one generation at a time.
+
+    Usage::
+
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove(stale_fingerprint)
+            updater.update(new_fingerprint, page)
+        # __exit__ commits (publishes the next generation); an
+        # exception aborts and removes the in-flight segment instead.
+
+    :meth:`update` streams page blocks into ``<path>.seg-<G>.tmp``; no
+    published file is touched until :meth:`commit`, which runs the
+    two-step publish described in the module docstring (segment rename,
+    then manifest rename).  A crash at any byte boundary leaves the
+    previous generation fully openable.  One updater commits one
+    generation; the instance is closed afterwards.  Single writer at a
+    time — concurrent updaters would race the generation counter.
+    """
+
+    def __init__(self, path: str, *, create: bool = True) -> None:
+        self.path = os.fspath(path)
+        if not os.path.exists(self.path):
+            if not create:
+                raise _corrupt(self.path, "no store at path")
+            CorpusStoreWriter(self.path).finalize()
+        self._reader = CorpusStoreReader(self.path)
+        self._base_generation = self._reader.generation
+        self._segment_target = _segment_path(
+            self.path, self._base_generation + 1
+        )
+        self._writer: "Optional[CorpusStoreWriter]" = None
+        self._removed = set(self._reader._removed)
+        self._added: set[str] = set()
+        self._restored: set[str] = set()
+        self._segment_published = False
+        self._closed = False
+
+    def __enter__(self) -> "CorpusStoreUpdater":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    @property
+    def generation(self) -> int:
+        """The generation this updater will publish (base + 1)."""
+        return self._base_generation + 1
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("updater is closed")
+
+    def _has_bytes(self, fingerprint: str) -> bool:
+        """Whether any on-disk file already stores this fingerprint."""
+        return any(
+            fingerprint in store_file.pages
+            for store_file in self._reader._files
+        )
+
+    def _dirty(self) -> bool:
+        return bool(
+            self._added
+            or self._restored
+            or self._removed != self._reader._removed
+        )
+
+    def update(
+        self, fingerprint: str, page: WebPage, degraded: bool = False
+    ) -> bool:
+        """Stage ``page`` under ``fingerprint`` for the next generation.
+
+        Returns False (writing nothing) when the fingerprint is already
+        live — content addressing makes that a guaranteed no-op.  A
+        fingerprint whose bytes exist but were removed is restored
+        without rewriting (the stored bytes are identical by key).
+        """
+        self._check_open()
+        if fingerprint in self._added or fingerprint in self._restored:
+            return False
+        if fingerprint not in self._removed and (
+            fingerprint in self._reader or (
+                self._writer is not None and fingerprint in self._writer
+            )
+        ):
+            return False
+        if self._has_bytes(fingerprint) or (
+            self._writer is not None and fingerprint in self._writer
+        ):
+            self._restored.add(fingerprint)
+            self._removed.discard(fingerprint)
+            return True
+        if self._writer is None:
+            self._writer = CorpusStoreWriter(self._segment_target)
+        self._writer.add_page(fingerprint, page, degraded=degraded)
+        self._added.add(fingerprint)
+        self._removed.discard(fingerprint)
+        return True
+
+    def remove(self, fingerprint: str) -> bool:
+        """Stage removal of ``fingerprint``; False when not live."""
+        self._check_open()
+        staged = fingerprint in self._added or fingerprint in self._restored
+        live = staged or (
+            fingerprint not in self._removed
+            and (
+                self._has_bytes(fingerprint)
+                or (self._writer is not None and fingerprint in self._writer)
+            )
+        )
+        if not live:
+            return False
+        self._added.discard(fingerprint)
+        self._restored.discard(fingerprint)
+        self._removed.add(fingerprint)
+        return True
+
+    def publish_segment(self) -> None:
+        """Step 1 of the publish: atomically rename the segment file."""
+        self._check_open()
+        if self._segment_published or self._writer is None:
+            return
+        if len(self._writer) == 0:
+            self._writer.abort()
+            self._writer = None
+            return
+        self._writer.finalize()
+        self._segment_published = True
+
+    def publish_manifest(self) -> int:
+        """Step 2 of the publish: atomically swap the ``.gen`` manifest."""
+        self._check_open()
+        segments = list(self._reader._files[1:])
+        names = [os.path.basename(store_file.path) for store_file in segments]
+        if self._segment_published:
+            names.append(os.path.basename(self._segment_target))
+        generation = self._base_generation + 1
+        payload = json.dumps(
+            {
+                "format": GEN_FORMAT,
+                "generation": generation,
+                "segments": names,
+                "removed": sorted(self._removed),
+            },
+            ensure_ascii=False,
+            sort_keys=True,
+        ).encode("utf-8")
+        _publish_bytes(_generation_path(self.path), payload)
+        self._closed = True
+        return generation
+
+    def commit(self) -> int:
+        """Publish all staged mutations; returns the live generation.
+
+        With nothing staged this is a no-op returning the unchanged
+        generation.
+        """
+        self._check_open()
+        if not self._dirty():
+            self.abort()
+            return self._base_generation
+        self.publish_segment()
+        return self.publish_manifest()
+
+    def abort(self) -> None:
+        """Discard staged mutations; published files are untouched."""
+        if self._closed:
+            return
+        if self._writer is not None and not self._segment_published:
+            self._writer.abort()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Simulate a crash mid-update (tests/chaos): drop all in-flight
+        state, leaving any partially written segment tmp on disk."""
+        if self._closed:
+            return
+        if self._writer is not None and not self._writer._closed:
+            self._writer._file.close()
+            self._writer._closed = True
+        self._closed = True
+
+
+def collect_garbage(path: str) -> "list[str]":
+    """Delete generation debris not referenced by the current manifest.
+
+    Removes orphan segments (published but never referenced — a crash
+    between the two publish steps) and stale ``*.tmp`` files from
+    interrupted writes.  Returns the deleted paths.  Safe with respect
+    to live readers: only unreferenced files are touched, and unlink
+    never disturbs an open memmap.  Assumes the single-writer rule (an
+    updater running in another process could lose its in-flight tmp).
+    """
+    path = os.fspath(path)
+    manifest = _read_generation_manifest(path)
+    referenced = set(manifest["segments"])
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    base = os.path.basename(path)
+    deleted: list[str] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.startswith(base + "."):
+            continue
+        stale_tmp = name.endswith(".tmp") and (
+            name == base + ".tmp"
+            or name == base + ".gen.tmp"
+            or name.startswith(base + ".seg-")
+        )
+        orphan_segment = (
+            name.startswith(base + ".seg-")
+            and not name.endswith(".tmp")
+            and name not in referenced
+        )
+        if not (stale_tmp or orphan_segment):
+            continue
+        target = os.path.join(directory, name)
+        try:
+            os.unlink(target)
+        except OSError:
+            continue
+        deleted.append(target)
+    return deleted
+
+
+def compact_store(path: str) -> dict:
+    """Fold all live pages into a fresh base and drop the segments.
+
+    Publishes the result as the next generation (empty ``segments`` and
+    ``removed``), then garbage-collects the stale files.  The base file
+    is replaced *before* the manifest swap: a crash between the two
+    leaves the old manifest over the new base, which still resolves
+    every live fingerprint to identical bytes (content addressing) and
+    hides every removed one (they are simply absent from the new base).
+    """
+    path = os.fspath(path)
+    reader = CorpusStoreReader(path)
+    tmp = path + ".tmp"
+    manifest_pages: dict[str, dict] = {}
+    with open(tmp, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, 0))
+        offset = _HEADER.size
+        for fingerprint, store_file in reader._pages.items():
+            entry = store_file.pages[fingerprint]
+            length = _block_length(entry["n"], entry["text_bytes"])
+            handle.write(
+                store_file.view[entry["offset"] : entry["offset"] + length]
+            )
+            moved = dict(entry)
+            moved["offset"] = offset
+            manifest_pages[fingerprint] = moved
+            offset += length
+        payload = json.dumps(
+            {"pages": manifest_pages}, ensure_ascii=False, sort_keys=True
+        ).encode("utf-8")
+        handle.write(payload)
+        handle.write(_FOOTER.pack(offset, len(payload), FOOTER_MAGIC))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path)
+    generation = reader.generation + 1
+    _publish_bytes(
+        _generation_path(path),
+        json.dumps(
+            {
+                "format": GEN_FORMAT,
+                "generation": generation,
+                "segments": [],
+                "removed": [],
+            },
+            ensure_ascii=False,
+            sort_keys=True,
+        ).encode("utf-8"),
+    )
+    collected = collect_garbage(path)
+    return {
+        "path": path,
+        "generation": generation,
+        "pages": len(manifest_pages),
+        "file_bytes": os.path.getsize(path),
+        "collected": collected,
+    }
 
 
 def open_store(path: str) -> CorpusStoreReader:

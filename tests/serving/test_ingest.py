@@ -53,6 +53,61 @@ class TestIngest:
         assert first is not second
         assert len(cache) == 0
 
+
+class TestInvalidation:
+    def test_invalidate_drops_entry_and_counts(self):
+        cache = PageCache(capacity=4)
+        page = ingest_html(HTML_A, url="u", cache=cache)
+        fingerprint = page_fingerprint(HTML_A, "u")
+        assert page._index is not None
+        assert cache.invalidate(fingerprint) is True
+        assert cache.get(fingerprint) is None
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        # The cascade: dropping the cache slot also drops the page's
+        # index (TextPlane + memos) so nothing stale can be shared.
+        assert page._index is None
+        # A later ingest of the same bytes rebuilds from scratch.
+        rebuilt = ingest_html(HTML_A, url="u", cache=cache)
+        assert rebuilt is not page
+        assert cache.stats.pages_ingested == 2
+
+    def test_invalidate_unknown_fingerprint_is_noop(self):
+        cache = PageCache(capacity=4)
+        assert cache.invalidate("absent") is False
+        assert cache.stats.invalidations == 0
+
+    def test_invalidate_degraded_entry(self):
+        from repro.serving.ingest import ServingLimits, ingest_page
+
+        cache = PageCache(capacity=4)
+        limits = ServingLimits(max_html_chars=20)
+        outcome = ingest_page(HTML_A, "u", cache=cache, limits=limits)
+        assert outcome.degraded
+        fingerprint = page_fingerprint(HTML_A, "u")
+        assert cache.invalidate(fingerprint) is True
+        assert cache.stats.invalidations == 1
+        # The degraded flag dies with the slot: re-ingest under clean
+        # limits serves an undegraded page, not a stale degraded one.
+        outcome = ingest_page(HTML_A, "u", cache=cache)
+        assert not outcome.degraded
+        assert not outcome.cache_hit
+
+    def test_invalidations_surface_in_as_dict(self):
+        cache = PageCache(capacity=4)
+        ingest_html(HTML_A, url="u", cache=cache)
+        cache.invalidate(page_fingerprint(HTML_A, "u"))
+        stats = cache.stats.as_dict()
+        assert stats["invalidations"] == 1
+
+    def test_invalidate_and_evict_count_separately(self):
+        cache = PageCache(capacity=1)
+        ingest_html(HTML_A, url="a", cache=cache)
+        ingest_html(HTML_B, url="b", cache=cache)  # evicts A
+        cache.invalidate(page_fingerprint(HTML_B, "b"))
+        assert cache.stats.evictions == 1
+        assert cache.stats.invalidations == 1
+
     def test_concurrent_ingest_is_safe_and_counts_exactly(self):
         # Hammer one shared cache from many threads: no lost updates on
         # the counters and no OrderedDict corruption under eviction.

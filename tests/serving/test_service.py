@@ -163,3 +163,113 @@ class TestStats:
     def test_max_batch_validation(self):
         with pytest.raises(ValueError):
             QAService(max_batch=0)
+
+
+class TestHotSwap:
+    def test_reregister_preserves_breaker_and_route_counters(self, fitted):
+        # The regression this class exists for: re-registering a route
+        # used to rebuild its CircuitBreaker and reset its counters,
+        # silently forgetting failure history mid-incident.
+        tool, dataset = fitted["fac_t1"]
+        service = QAService()
+        service.register("fac_t1", tool, version="v1")
+        breaker = service.breaker("fac_t1")
+        service.ask("fac_t1", page=dataset.test_pages[0])
+        counters = dict(service.stats.requests_by_route)
+        # Accumulate failure history *after* the successful request so a
+        # success cannot legitimately clear it before the swap.
+        breaker.record_failure()
+        breaker.record_failure()
+        service.register("fac_t1", tool, version="v2")
+        assert service.breaker("fac_t1") is breaker
+        assert breaker._consecutive_failures == 2
+        assert service.stats.requests_by_route == counters
+        assert service.route_version("fac_t1") == "v2"
+        assert service.stats.hot_swaps == 1
+
+    def test_swap_is_atomic_under_concurrent_askers(self, fitted):
+        import threading
+
+        tool, dataset = fitted["fac_t1"]
+        expected = [tool.predict(page) for page in dataset.test_pages]
+        requests = [
+            ServingRequest(
+                route="fac_t1", html=page_to_html(page), url=page.url
+            )
+            for page in dataset.test_pages
+        ]
+        with QAService(jobs=2, max_batch=2) as service:
+            service.register("fac_t1", tool.export_artifact(), version="v0")
+            failures: list[object] = []
+            stop = threading.Event()
+
+            def asker():
+                while not stop.is_set():
+                    results = service.ask_many(requests, strict=False)
+                    for result, want in zip(results, expected):
+                        if not result.ok or result.answer != want:
+                            failures.append(result)
+
+            threads = [threading.Thread(target=asker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            # Republish the same content under 50 fresh version ids
+            # while the askers are in flight.
+            for index in range(50):
+                service.register(
+                    "fac_t1", tool.export_artifact(), version=f"v{index + 1}"
+                )
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            assert service.stats.hot_swaps == 50
+            assert service.route_version("fac_t1") == "v50"
+            # Every retired version must drain once callers are gone.
+            assert service.route_drained("fac_t1")
+
+    def test_rollback_restores_previous_version(self, fitted):
+        from repro.core.errors import RouteError
+
+        tool, dataset = fitted["fac_t1"]
+        service = QAService()
+        service.register("fac_t1", tool, version="v1")
+        with pytest.raises(RouteError):
+            service.rollback("fac_t1")  # nothing to roll back to yet
+        service.register("fac_t1", tool, version="v2")
+        assert service.rollback("fac_t1") == "v1"
+        assert service.route_version("fac_t1") == "v1"
+        assert service.stats.rollbacks == 1
+        # The route still serves after the rollback.
+        want = tool.predict(dataset.test_pages[0])
+        assert service.ask("fac_t1", page=dataset.test_pages[0]) == want
+        with pytest.raises(RouteError):
+            service.rollback("nope")
+
+    def test_epoch_bumps_on_swap_and_rollback(self, fitted):
+        tool, _ = fitted["fac_t1"]
+        service = QAService()
+        service.register("fac_t1", tool, version="v1")
+        epoch = service.route_epoch("fac_t1")
+        service.register("fac_t1", tool, version="v2")
+        assert service.route_epoch("fac_t1") == epoch + 1
+        service.rollback("fac_t1")
+        assert service.route_epoch("fac_t1") == epoch + 2
+
+    def test_version_defaults_to_artifact_fingerprint(self, fitted):
+        tool, _ = fitted["fac_t1"]
+        artifact = tool.export_artifact()
+        service = QAService()
+        service.register("fac_t1", artifact)
+        assert service.route_version("fac_t1") == artifact.fingerprint()
+        # A fresh-fitted tool has no artifact to derive an id from.
+        service.register("fresh", tool)
+        assert service.route_version("fresh") == ""
+
+    def test_health_reports_versions_and_epochs(self, fitted):
+        tool, _ = fitted["fac_t1"]
+        service = QAService()
+        service.register("fac_t1", tool, version="v7")
+        health = service.health()
+        assert health["versions"]["fac_t1"] == "v7"
+        assert "fac_t1" in health["epochs"]

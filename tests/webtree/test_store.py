@@ -22,7 +22,10 @@ from repro.webtree import page_from_html
 from repro.webtree.node import NodeType, PageNode, WebPage
 from repro.webtree.store import (
     CorpusStoreReader,
+    CorpusStoreUpdater,
     CorpusStoreWriter,
+    collect_garbage,
+    compact_store,
     open_store,
 )
 
@@ -251,3 +254,272 @@ class TestReader:
         clone = pickle.loads(pickle.dumps(reader))
         loaded, _ = clone.load(fingerprint)
         assert_page_equal(loaded, page)
+
+
+# -- generational updates -----------------------------------------------------
+
+
+def _page(tag):
+    return build_page(
+        [(0, f"{tag} alpha", NodeType.LIST), (0, f"{tag} beta", NodeType.NONE)],
+        url=f"https://store.test/{tag}",
+    )
+
+
+class TestGenerations:
+    def _base(self, tmp_path, fingerprints=("fp0", "fp1")):
+        path = str(tmp_path / "pages.rpw")
+        pages = {fp: _page(fp) for fp in fingerprints}
+        with CorpusStoreWriter(path) as writer:
+            for fp, page in pages.items():
+                writer.add_page(fp, page)
+        return path, pages
+
+    def test_update_and_remove_roundtrip(self, tmp_path):
+        path, pages = self._base(tmp_path)
+        replacement = _page("fp0-v2")
+        with CorpusStoreUpdater(path) as updater:
+            assert updater.remove("fp0")
+            assert updater.update("fp0-v2", replacement)
+        reader = open_store(path)
+        assert reader.generation == 1
+        assert "fp0" not in reader
+        assert "fp1" in reader  # untouched pages survive updates
+        loaded, _ = reader.load("fp0-v2")
+        assert_page_equal(loaded, replacement)
+        loaded, _ = reader.load("fp1")
+        assert_page_equal(loaded, pages["fp1"])
+
+    def test_reload_picks_up_new_generation(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        reader = open_store(path)
+        assert reader.generation == 0
+        with CorpusStoreUpdater(path) as updater:
+            updater.update("fp2", _page("fp2"))
+        # The open reader still serves its generation until reload.
+        assert "fp2" not in reader
+        assert reader.reload() is True
+        assert reader.generation == 1
+        assert "fp2" in reader
+        assert reader.reload() is False  # idempotent when nothing changed
+
+    def test_loaded_pages_survive_reload(self, tmp_path):
+        path, pages = self._base(tmp_path)
+        reader = open_store(path)
+        loaded, _ = reader.load("fp0")
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp0")
+        reader.reload()
+        assert "fp0" not in reader
+        # The already-rehydrated page keeps working: it owns its planes.
+        assert_page_equal(loaded, pages["fp0"])
+
+    def test_restore_after_remove_reuses_bytes(self, tmp_path):
+        path, pages = self._base(tmp_path)
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp0")
+        with CorpusStoreUpdater(path) as updater:
+            # The bytes are still in the base file, only hidden by the
+            # removed set — restoring must not rewrite them.
+            assert updater.update("fp0", pages["fp0"])
+        reader = open_store(path)
+        assert reader.generation == 2
+        assert reader.stat()["segments"] == 0  # no segment was written
+        loaded, _ = reader.load("fp0")
+        assert_page_equal(loaded, pages["fp0"])
+
+    def test_noop_commit_publishes_nothing(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        with CorpusStoreUpdater(path) as updater:
+            updater.update("fp0", _page("fp0"))  # already live: no-op
+        assert open_store(path).generation == 0
+        assert not (tmp_path / "pages.rpw.gen").exists()
+
+    def test_updater_abort_on_exception(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        with pytest.raises(RuntimeError):
+            with CorpusStoreUpdater(path) as updater:
+                updater.update("fp2", _page("fp2"))
+                raise RuntimeError("update failed")
+        assert open_store(path).generation == 0
+        assert "fp2" not in open_store(path)
+        assert not (tmp_path / "pages.rpw.seg-1.tmp").exists()
+
+    def test_update_existing_fingerprint_is_noop(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        with CorpusStoreUpdater(path) as updater:
+            assert not updater.update("fp0", _page("fp0"))
+            assert not updater.remove("absent")
+
+    def test_successive_generations_resolve_newest(self, tmp_path):
+        # Fingerprints are content hashes: each content version of a url
+        # arrives under a *new* fingerprint, superseding the old one.
+        path, _ = self._base(tmp_path)
+        v2, v3 = _page("v2"), _page("v3")
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp0")
+            updater.update("fp-v2", v2)
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp-v2")
+            updater.update("fp-v3", v3)
+        reader = open_store(path)
+        assert reader.generation == 2
+        assert set(reader.fingerprints()) == {"fp1", "fp-v3"}
+        loaded, _ = reader.load("fp-v3")
+        assert_page_equal(loaded, v3)
+
+    def test_compaction_preserves_pages_and_collects(self, tmp_path):
+        path, pages = self._base(tmp_path)
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp0")
+            updater.update("fp2", _page("fp2"))
+        with CorpusStoreUpdater(path) as updater:
+            updater.update("fp3", _page("fp3"))
+        before = open_store(path)
+        live = {fp: before.load(fp) for fp in before.fingerprints()}
+        report = compact_store(path)
+        reader = open_store(path)
+        assert reader.generation == report["generation"]
+        assert set(reader.fingerprints()) == set(live)
+        assert reader.stat()["segments"] == 0
+        assert reader.stat()["removed_pages"] == 0
+        for fp, (page, degraded) in live.items():
+            loaded, got_degraded = reader.load(fp)
+            assert got_degraded == degraded
+            assert_page_equal(loaded, page)
+        # Only the base and its (empty-segment) manifest remain on disk.
+        leftovers = sorted(p.name for p in tmp_path.iterdir())
+        assert leftovers == ["pages.rpw", "pages.rpw.gen"]
+
+    def test_collect_garbage_removes_orphans(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        # An orphaned segment (published, never referenced: the
+        # mid-publish crash residue) and torn tmp files.
+        (tmp_path / "pages.rpw.seg-9").write_bytes(b"orphan")
+        (tmp_path / "pages.rpw.seg-3.tmp").write_bytes(b"torn")
+        (tmp_path / "pages.rpw.gen.tmp").write_bytes(b"torn")
+        deleted = collect_garbage(path)
+        assert len(deleted) == 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["pages.rpw"]
+        assert open_store(path).generation == 0
+
+    def test_reader_pickles_at_current_generation(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        added = _page("fp2")
+        with CorpusStoreUpdater(path) as updater:
+            updater.update("fp2", added)
+        reader = open_store(path)
+        clone = pickle.loads(pickle.dumps(reader))
+        assert clone.generation == 1
+        loaded, _ = clone.load("fp2")
+        assert_page_equal(loaded, added)
+
+
+class TestGenerationCrashSafety:
+    """The byte-boundary sweep: a crash at *any* point of the update
+    write sequence leaves the previous generation fully openable.
+
+    The sequence (see the store module docstring) is: stream segment
+    ``.tmp`` → fsync+rename segment → write manifest ``.tmp`` →
+    fsync+rename manifest.  We materialize the exact directory state at
+    every byte boundary of both writes and at both rename seams, and
+    assert each state opens at the previous generation and serves its
+    pages — never an IngestError on the published path.
+    """
+
+    def _materialize(self, tmp_path):
+        """Build one committed update; return (base, segment, manifest) bytes."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        path = str(scratch / "pages.rpw")
+        self.old_page = _page("old")
+        self.new_page = _page("new")
+        with CorpusStoreWriter(path) as writer:
+            writer.add_page("fp-old", self.old_page)
+        base = (scratch / "pages.rpw").read_bytes()
+        with CorpusStoreUpdater(path) as updater:
+            updater.remove("fp-old")
+            updater.update("fp-new", self.new_page)
+        segment = (scratch / "pages.rpw.seg-1").read_bytes()
+        manifest = (scratch / "pages.rpw.gen").read_bytes()
+        return base, segment, manifest
+
+    def _open_state(self, tmp_path, name, files):
+        state_dir = tmp_path / name
+        state_dir.mkdir()
+        for filename, payload in files.items():
+            (state_dir / filename).write_bytes(payload)
+        return open_store(str(state_dir / "pages.rpw"))
+
+    def _assert_previous_generation(self, reader):
+        assert reader.generation == 0
+        assert "fp-old" in reader
+        assert "fp-new" not in reader
+        loaded, _ = reader.load("fp-old")
+        assert_page_equal(loaded, self.old_page)
+
+    def test_every_byte_boundary_reopens_previous_generation(self, tmp_path):
+        base, segment, manifest = self._materialize(tmp_path)
+        states = []
+        # Crash mid-segment-write: every prefix of the segment tmp.
+        for keep in range(len(segment) + 1):
+            states.append({"pages.rpw": base,
+                           "pages.rpw.seg-1.tmp": segment[:keep]})
+        # Crash between segment rename and manifest write: the segment
+        # is durable but unreferenced.
+        states.append({"pages.rpw": base, "pages.rpw.seg-1": segment})
+        # Crash mid-manifest-write: every prefix of the manifest tmp.
+        for keep in range(len(manifest) + 1):
+            states.append({"pages.rpw": base, "pages.rpw.seg-1": segment,
+                           "pages.rpw.gen.tmp": manifest[:keep]})
+        for index, files in enumerate(states):
+            reader = self._open_state(tmp_path, f"state{index}", files)
+            self._assert_previous_generation(reader)
+        # And the state *after* the final rename serves the update.
+        committed = self._open_state(
+            tmp_path, "committed",
+            {"pages.rpw": base, "pages.rpw.seg-1": segment,
+             "pages.rpw.gen": manifest},
+        )
+        assert committed.generation == 1
+        assert "fp-old" not in committed
+        loaded, _ = committed.load("fp-new")
+        assert_page_equal(loaded, self.new_page)
+
+    def test_bit_flipped_tmp_files_are_ignored(self, tmp_path):
+        base, segment, manifest = self._materialize(tmp_path)
+        rng = __import__("random").Random("bitflip-sweep")
+        for trial in range(24):
+            torn_segment = bytearray(segment)
+            torn_manifest = bytearray(manifest)
+            torn_segment[rng.randrange(len(segment))] ^= 1 << rng.randrange(8)
+            torn_manifest[rng.randrange(len(manifest))] ^= 1 << rng.randrange(8)
+            reader = self._open_state(
+                tmp_path, f"flip{trial}",
+                {"pages.rpw": base,
+                 "pages.rpw.seg-1.tmp": bytes(torn_segment),
+                 "pages.rpw.gen.tmp": bytes(torn_manifest)},
+            )
+            self._assert_previous_generation(reader)
+
+    def test_published_manifest_without_segment_fails_loudly(self, tmp_path):
+        # The converse guarantee: *published* state that is inconsistent
+        # (a manifest referencing a missing segment) is corruption, and
+        # must raise instead of silently time-traveling to generation 0.
+        base, segment, manifest = self._materialize(tmp_path)
+        state_dir = tmp_path / "missing-segment"
+        state_dir.mkdir()
+        (state_dir / "pages.rpw").write_bytes(base)
+        (state_dir / "pages.rpw.gen").write_bytes(manifest)
+        with pytest.raises(IngestError):
+            open_store(str(state_dir / "pages.rpw"))
+
+    def test_truncated_published_segment_fails_loudly(self, tmp_path):
+        base, segment, manifest = self._materialize(tmp_path)
+        state_dir = tmp_path / "torn-published-segment"
+        state_dir.mkdir()
+        (state_dir / "pages.rpw").write_bytes(base)
+        (state_dir / "pages.rpw.seg-1").write_bytes(segment[: len(segment) // 2])
+        (state_dir / "pages.rpw.gen").write_bytes(manifest)
+        with pytest.raises(IngestError):
+            open_store(str(state_dir / "pages.rpw"))
