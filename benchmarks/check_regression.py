@@ -8,12 +8,18 @@ threshold and comparison logic live in :mod:`repro.benchtool` (shared
 with the ``repro bench`` CLI subcommand, which also measures and prints
 the full delta table in one step — the CI job uses it).
 
+A fresh artifact tagged ``suite: serving_load`` (the output of
+``repro bench serve-load --output``) is routed to the serving SLO gate
+in :mod:`repro.serving.loadgen` instead, against the committed
+``BENCH_serving.json`` baseline.
+
 Usage::
 
     python benchmarks/persist.py --output fresh.json
     python benchmarks/check_regression.py fresh.json          # vs committed baseline
     python benchmarks/check_regression.py fresh.json --baseline other.json
     python benchmarks/check_regression.py fresh.json --max-regression 1.5
+    python benchmarks/check_regression.py fresh_serving.json  # serving SLO gate
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_synthesis_micro.json"
+DEFAULT_SERVING_BASELINE = REPO_ROOT / "BENCH_serving.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
@@ -72,14 +79,31 @@ def check(
     return failures
 
 
+def check_serving(fresh: dict, baseline: "dict | None") -> int:
+    """Apply the serving SLO gate (speedup floor, clean loops, p95)."""
+    from repro.serving import loadgen
+
+    print("serving load gate (see repro.serving.loadgen.check_serving):")
+    print(loadgen.format_serving(fresh))
+    failures = loadgen.check_serving(fresh, baseline)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("serving load gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", type=Path, help="freshly measured artifact JSON")
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=DEFAULT_BASELINE,
-        help="committed baseline artifact (default: repo BENCH_synthesis_micro.json)",
+        default=None,
+        help="committed baseline artifact (default: repo "
+        "BENCH_synthesis_micro.json, or BENCH_serving.json for a "
+        "serving_load artifact)",
     )
     parser.add_argument(
         "--max-regression",
@@ -90,7 +114,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     fresh = json.loads(args.fresh.read_text())
-    baseline = json.loads(args.baseline.read_text())
+    if fresh.get("suite") == "serving_load":
+        baseline_path = args.baseline or DEFAULT_SERVING_BASELINE
+        baseline = (
+            json.loads(baseline_path.read_text())
+            if baseline_path.exists()
+            else None
+        )
+        return check_serving(fresh, baseline)
+    baseline = json.loads((args.baseline or DEFAULT_BASELINE).read_text())
     print(
         f"benchmark regression gate (threshold {args.max_regression:.2f}x, "
         f"baseline {args.baseline}):"

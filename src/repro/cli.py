@@ -329,6 +329,116 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_stat(args: argparse.Namespace) -> int:
+    """Stand up a small sharded gateway, drive a burst, print health.
+
+    The operator's-eye view of :meth:`ServingGateway.health`: per-shard
+    queue depth, in-flight, pool/dispatcher liveness, breaker state and
+    route versions, plus the gateway batching/shedding counters — over
+    a seeded synthetic burst so the numbers are reproducible.
+    """
+    from .serving.gateway import ServingGateway
+    from .serving.loadgen import LoadConfig, build_workload
+
+    config = LoadConfig(
+        shards=args.shards,
+        routes=args.routes,
+        pages_per_route=args.pages,
+        ensemble=args.ensemble,
+        seed=args.seed,
+    )
+    workload = build_workload(config)
+    with ServingGateway(
+        shards=config.shards, queue_depth=args.queue_depth
+    ) as gateway:
+        for route in workload.routes:
+            gateway.register(route, workload.tools[route])
+        stream = workload.stream[: args.requests]
+        gateway.ask_many(stream, strict=False)
+        health = gateway.health()
+
+    stats = health["stats"]
+    print(f"shards: {health['shards']}  closed: {health['closed']}")
+    print(
+        f"requests: {health['requests']}  "
+        f"span: {health['span_seconds']:.3f}s  "
+        f"throughput: {health['throughput_pages_per_s']:.1f} pages/s"
+    )
+    print(
+        f"submitted: {stats['submitted']}  shed: {stats['shed']} "
+        f"({100 * stats['shed_rate']:.1f}%)  "
+        f"batches: {stats['batches']}  "
+        f"mean batch: {stats['mean_batch_size']:.2f}  "
+        f"max batch: {stats['max_batch_size']}"
+    )
+    print(
+        f"hot swaps: {stats['hot_swaps']}  rollbacks: {stats['rollbacks']}  "
+        f"queue depth bound: {health['queue_depth_bound']}"
+    )
+    print(f"{'shard':>5} {'queue':>5} {'inflight':>8} {'pool':>6} {'dispatcher':>10}")
+    for index in range(health["shards"]):
+        pool = "broken" if health["pools_broken"][index] else "ok"
+        alive = "alive" if health["dispatchers_alive"][index] else "dead"
+        print(
+            f"{index:>5} {health['queue_depths'][index]:>5} "
+            f"{health['inflight'][index]:>8} {pool:>6} {alive:>10}"
+        )
+    for route in sorted(health["versions"]):
+        versions = " ".join(
+            (v[:10] if v else "-") for v in health["versions"][route]
+        )
+        circuits = " ".join(
+            str(c) for c in health["circuits"].get(route, [])
+        )
+        print(f"route {route}: versions [{versions}]  circuits [{circuits}]")
+    return 0
+
+
+def _bench_serve_load(args: argparse.Namespace) -> int:
+    """``repro bench serve-load``: measure and gate the serving SLOs.
+
+    Runs the seeded closed-/open-loop load generator over the sharded
+    gateway, prints the phase table, and applies the SLO gate: the
+    shard-count speedup floor and clean-loop invariants always, plus
+    the p95 regression check when ``--compare`` names a committed
+    ``BENCH_serving.json`` baseline.
+    """
+    import json as json_module
+
+    from .serving import loadgen
+
+    config = loadgen.LoadConfig(
+        shards=args.shards,
+        concurrency=args.concurrency,
+        window=args.window,
+        requests=args.requests,
+        open_requests=args.open_requests,
+        pages_per_route=args.pages_per_route,
+        ensemble=args.ensemble,
+        seed=args.seed,
+    )
+    baseline = (
+        json_module.loads(args.compare.read_text())
+        if args.compare is not None
+        else None
+    )
+    if args.fresh is not None:
+        payload = json_module.loads(args.fresh.read_text())
+        print(f"loaded fresh artifact: {args.fresh}")
+    else:
+        payload = loadgen.measure_serving(config, output=args.output)
+        if args.output is not None:
+            print(f"wrote {args.output}")
+    print(loadgen.format_serving(payload))
+    failures = loadgen.check_serving(payload, baseline)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("serving load gate passed")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Measure the micro-benchmark suite and/or gate it against a baseline.
 
@@ -338,12 +448,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     non-zero when a guarded median regressed beyond the threshold.
     ``--fresh`` skips measuring and compares an existing artifact;
     ``--smoke`` runs the non-micro benchmark files once (the sanity pass
-    of the CI ``benchmarks`` job) instead.
+    of the CI ``benchmarks`` job) instead.  ``repro bench serve-load``
+    switches to the serving load generator and its SLO gate (see
+    :mod:`repro.serving.loadgen`).
     """
     import json as json_module
 
     from . import benchtool
 
+    if args.suite == "serve-load":
+        return _bench_serve_load(args)
     if args.smoke:
         return benchtool.run_smoke()
     # Read the baseline before measuring: --output may legitimately
@@ -544,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the micro-benchmark suite and gate it vs a baseline",
     )
     bench.add_argument(
+        "suite", nargs="?", choices=("micro", "serve-load"), default="micro",
+        help="'micro' (default) measures the synthesis micro suite; "
+        "'serve-load' runs the sharded-gateway load generator and its "
+        "SLO gate (baseline: BENCH_serving.json)",
+    )
+    bench.add_argument(
         "--compare", type=Path, default=None, metavar="BASELINE",
         help="baseline artifact to print a delta table against "
         "(e.g. BENCH_synthesis_micro.json); guarded regressions exit 1",
@@ -571,7 +691,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="pytest -k expression selecting which micro benchmarks to "
         "measure; guarded names filtered out are not treated as missing",
     )
+    from .serving.loadgen import LoadConfig as _LoadDefaults
+
+    serve_load = bench.add_argument_group(
+        "serve-load options", "knobs for the 'serve-load' suite"
+    )
+    serve_load.add_argument(
+        "--shards", type=int, default=_LoadDefaults.shards,
+        help="replica QAService shards behind the gateway",
+    )
+    serve_load.add_argument(
+        "--concurrency", type=int, default=_LoadDefaults.concurrency,
+        help="closed-loop caller threads",
+    )
+    serve_load.add_argument(
+        "--window", type=int, default=_LoadDefaults.window,
+        help="outstanding requests per closed-loop caller",
+    )
+    serve_load.add_argument(
+        "--requests", type=int, default=_LoadDefaults.requests,
+        help="closed-loop requests per phase",
+    )
+    serve_load.add_argument(
+        "--open-requests", type=int, default=_LoadDefaults.open_requests,
+        help="open-loop requests (0 skips the open phase)",
+    )
+    serve_load.add_argument(
+        "--pages-per-route", type=int, default=_LoadDefaults.pages_per_route,
+        help="distinct pages per route (sets the working-set size "
+        "against the per-replica page cache)",
+    )
+    serve_load.add_argument(
+        "--ensemble", type=int, default=_LoadDefaults.ensemble,
+        help="ensemble size for the per-route fits",
+    )
+    serve_load.add_argument(
+        "--seed", type=int, default=_LoadDefaults.seed,
+        help="workload seed (corpus, stream order, pacing)",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    serve_stat = sub.add_parser(
+        "serve-stat",
+        help="drive a seeded burst through a sharded gateway and print "
+        "its health surface",
+    )
+    serve_stat.add_argument("--shards", type=int, default=2)
+    serve_stat.add_argument("--routes", type=int, default=2,
+                            help="dataset domains to register")
+    serve_stat.add_argument("--pages", type=int, default=12,
+                            help="distinct pages per route")
+    serve_stat.add_argument("--requests", type=int, default=64,
+                            help="burst size")
+    serve_stat.add_argument("--ensemble", type=int, default=20,
+                            help="ensemble size for the per-route fits")
+    serve_stat.add_argument("--queue-depth", type=int, default=None,
+                            help="per-shard queue bound (default unbounded)")
+    serve_stat.add_argument("--seed", type=int, default=0)
+    serve_stat.set_defaults(func=cmd_serve_stat)
 
     serve_chaos = sub.add_parser(
         "serve-chaos",

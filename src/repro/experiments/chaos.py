@@ -26,6 +26,7 @@ from ..core.webqa import WebQA
 from ..dataset.corpus import generate_page
 from ..dataset.tasks import TASKS_BY_ID
 from ..serving.faults import ALWAYS, FaultInjector, FaultPlan, adversarial_corpus
+from ..serving.gateway import ServingGateway
 from ..serving.live import LiveCorpus
 from ..serving.service import QAService, RetryPolicy, ServingRequest
 from ..webtree.html_out import page_to_html
@@ -248,6 +249,46 @@ def run(config: ExperimentConfig) -> list[ChaosRow]:
                 raise AssertionError("retired versions failed to drain")
             time.sleep(0.005)
         rows.append(_summarize("hotswap", askers.results, elapsed))
+
+    # -- hotswap-sharded: the same 120-version storm through the sharded
+    # gateway.  Every republish fans out to all shards under each
+    # shard's own drain protocol; in-flight answers must stay
+    # bit-identical, the shards must converge on the final version, and
+    # every retired version must drain on every shard.
+    with ServingGateway(
+        shards=2,
+        jobs=config.jobs,
+        backend=config.backend,
+        retry_policy=_FAST_RETRY,
+    ) as gateway:
+        gateway.register(CHAOS_TASK, artifact)
+        start = time.perf_counter()
+        with _Askers(gateway, requests, expected=expected) as askers:
+            for i in range(swap_target):
+                gateway.register(CHAOS_TASK, artifact, version=f"chaos-v{i}")
+        elapsed = time.perf_counter() - start
+        if askers.failures:
+            raise AssertionError(
+                f"sharded hot-swap storm dropped/corrupted "
+                f"{len(askers.failures)} in-flight requests"
+            )
+        if gateway.stats.hot_swaps < 100:
+            raise AssertionError(
+                "sharded hot-swap storm republished fewer than 100 versions"
+            )
+        final = gateway.route_versions(CHAOS_TASK)
+        if set(final) != {f"chaos-v{swap_target - 1}"}:
+            raise AssertionError(
+                f"shards diverged after the swap storm: {final}"
+            )
+        deadline = time.monotonic() + 5.0
+        while not gateway.route_drained(CHAOS_TASK):
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    "retired versions failed to drain on some shard"
+                )
+            time.sleep(0.005)
+        rows.append(_summarize("hotswap-sharded", askers.results, elapsed))
 
     # -- live-update scenarios: a generational store behind the service,
     # fed through LiveCorpus while askers run.  Each sub-regime asserts

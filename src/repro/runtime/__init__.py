@@ -2,6 +2,9 @@
 
 - :class:`TaskRunner` — deterministic-ordering map over a thread or
   process pool (``jobs`` selectable, ``jobs=1`` runs inline).
+- :class:`CoalescingQueue` — bounded multi-producer queue whose
+  consumer takes size- or age-triggered micro-batches; the batching
+  and backpressure seam of the serving gateway.
 - :func:`warm_pages` — per-worker page-index warmup.
 - :func:`corpus_store_initializer` / :func:`worker_store` — per-worker
   warm-start from a disk-backed corpus store: N workers share one
@@ -13,6 +16,7 @@ experiment sweeps (``repro.experiments.common.run_comparison``), the CLI
 (``--jobs``) and any future serving layer all schedule work through it.
 """
 
+from .batchq import CoalescingQueue, QueueClosed
 from .runner import (
     BACKENDS,
     TaskRunner,
@@ -22,6 +26,8 @@ from .runner import (
 )
 
 __all__ = [
+    "CoalescingQueue",
+    "QueueClosed",
     "TaskRunner",
     "warm_pages",
     "BACKENDS",

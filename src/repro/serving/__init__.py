@@ -18,6 +18,15 @@ registered tools are stateless, loadable
   throughput statistics, and the fault-tolerance layer (per-request
   isolation, deadlines, bounded retry, admission control, per-route
   circuit breakers — see the module docstring for the failure model).
+* :mod:`repro.serving.gateway` — :class:`ServingGateway`: concurrent
+  ``ask``/``ask_many`` (sync and asyncio) over N replica
+  :class:`QAService` shards with content-affinity hashing, per-shard
+  micro-batch coalescing and queue-depth backpressure; hot-swap,
+  rollback and :class:`~repro.serving.live.LiveCorpus` feeds fan out
+  to every shard.
+* :mod:`repro.serving.loadgen` — the seeded closed-/open-loop load
+  generator behind ``repro bench serve-load`` and the committed
+  ``BENCH_serving.json`` SLO gate.
 * :mod:`repro.serving.faults` — the deterministic fault-injection
   harness and adversarial-HTML generator driving the chaos suite.
 * :mod:`repro.serving.smoke` — the two-process CI smoke (export in one
@@ -31,6 +40,7 @@ from .faults import (
     adversarial_corpus,
     adversarial_html,
 )
+from .gateway import GatewayStats, ServingGateway
 from .ingest import (
     DEFAULT_LIMITS,
     IngestOutcome,
@@ -57,6 +67,8 @@ __all__ = [
     "FaultPlan",
     "adversarial_corpus",
     "adversarial_html",
+    "GatewayStats",
+    "ServingGateway",
     "DEFAULT_LIMITS",
     "IngestOutcome",
     "IngestStats",

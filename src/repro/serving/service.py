@@ -289,8 +289,16 @@ class ServiceStats:
     requests: int = 0
     batches: int = 0
     max_batch_size: int = 0
+    #: *Busy* seconds summed per call — with concurrent callers these
+    #: overlap in wall-clock, so they measure work done, never elapsed
+    #: time (see :meth:`throughput` vs :meth:`busy_throughput`).
     ingest_seconds: float = 0.0
     predict_seconds: float = 0.0
+    #: Monotonic activity window across every recorded call: earliest
+    #: call start and latest call end.  ``requests / span`` is honest
+    #: wall-clock throughput even when calls overlap.
+    span_started: "float | None" = None
+    span_ended: "float | None" = None
     requests_by_route: dict[str, int] = field(default_factory=dict)
     # -- resilience counters (PR 6) --------------------------------------
     retries: int = 0
@@ -319,12 +327,33 @@ class ServiceStats:
         by_route: dict[str, int],
         ingest_seconds: float,
         predict_seconds: float,
+        started: "float | None" = None,
+        ended: "float | None" = None,
     ) -> None:
-        """Fold one ``ask_many`` call's counters in atomically."""
+        """Fold one ``ask_many`` call's counters in atomically.
+
+        ``started``/``ended`` are the call's monotonic wall-clock
+        bounds; they extend the stats-wide activity span, which is kept
+        *separately* from the per-stage busy seconds — concurrent calls
+        overlap in wall-clock, so summing their stage seconds would
+        over-report elapsed time (the pre-gateway accounting bug).
+        """
         with self._lock:
             self.requests += count
             self.ingest_seconds += ingest_seconds
             self.predict_seconds += predict_seconds
+            if started is not None:
+                self.span_started = (
+                    started
+                    if self.span_started is None
+                    else min(self.span_started, started)
+                )
+            if ended is not None:
+                self.span_ended = (
+                    ended
+                    if self.span_ended is None
+                    else max(self.span_ended, ended)
+                )
             for route, route_count in by_route.items():
                 self.requests_by_route[route] = (
                     self.requests_by_route.get(route, 0) + route_count
@@ -364,10 +393,37 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
 
+    def busy_seconds(self) -> float:
+        """Work done across all callers (stage seconds; overlaps sum)."""
+        return self.ingest_seconds + self.predict_seconds
+
+    def span_seconds(self) -> float:
+        """Wall-clock activity window: first call start → last call end."""
+        if self.span_started is None or self.span_ended is None:
+            return 0.0
+        return max(0.0, self.span_ended - self.span_started)
+
     def throughput(self) -> float:
-        """End-to-end answered pages per second (ingest + predict)."""
-        elapsed = self.ingest_seconds + self.predict_seconds
-        return self.requests / elapsed if elapsed > 0 else 0.0
+        """Answered pages per *wall-clock* second over the activity span.
+
+        Falls back to the busy-time rate when no span was recorded
+        (stats populated by hand, e.g. in unit tests).
+        """
+        span = self.span_seconds()
+        if span > 0:
+            return self.requests / span
+        return self.busy_throughput()
+
+    def busy_throughput(self) -> float:
+        """Pages per second of *busy* time (ingest + predict work done).
+
+        With one caller this equals wall-clock throughput; with N
+        concurrent callers the busy seconds overlap and this measures
+        per-lane service rate, not aggregate QPS — use
+        :meth:`throughput` for capacity claims.
+        """
+        busy = self.busy_seconds()
+        return self.requests / busy if busy > 0 else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -377,7 +433,10 @@ class ServiceStats:
             "max_batch_size": self.max_batch_size,
             "ingest_seconds": self.ingest_seconds,
             "predict_seconds": self.predict_seconds,
+            "busy_seconds": self.busy_seconds(),
+            "span_seconds": self.span_seconds(),
             "throughput_pages_per_s": round(self.throughput(), 2),
+            "busy_pages_per_s": round(self.busy_throughput(), 2),
             "requests_by_route": dict(self.requests_by_route),
             "retries": self.retries,
             "failures": self.failures,
@@ -766,16 +825,23 @@ class QAService:
     # -- admission ---------------------------------------------------------------
 
     def _admit(self, count: int) -> int:
-        """Reserve in-flight slots; returns how many were granted."""
-        if self.max_inflight is None:
-            return count
+        """Reserve in-flight slots; returns how many were granted.
+
+        The in-flight counter is maintained even without a
+        ``max_inflight`` bound — the health surface reports it either
+        way (an unbounded service still has observable load).
+        """
         with self._inflight_lock:
-            granted = min(count, max(0, self.max_inflight - self._inflight))
+            granted = (
+                count
+                if self.max_inflight is None
+                else min(count, max(0, self.max_inflight - self._inflight))
+            )
             self._inflight += granted
         return granted
 
     def _release(self, count: int) -> None:
-        if self.max_inflight is None or count == 0:
+        if count == 0:
             return
         with self._inflight_lock:
             self._inflight -= count
@@ -980,6 +1046,8 @@ class QAService:
                 by_route=by_route_counts,
                 ingest_seconds=ingest_seconds,
                 predict_seconds=predict_seconds,
+                started=deadline.started,
+                ended=time.monotonic(),
             )
             self.stats.record_results(results)
             return results

@@ -1,0 +1,203 @@
+"""CoalescingQueue: flush triggers, deterministic shedding, lifecycle.
+
+The queue is the gateway's batching and backpressure seam, so its
+contract is tested directly and deterministically: the age trigger runs
+against an injected clock (no sleeps), and the shed boundary is an
+exact function of arrival order.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime import CoalescingQueue, QueueClosed
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_batch=0)
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_delay_seconds=-0.1)
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_depth=0)
+
+
+class TestFlushTriggers:
+    def test_size_trigger_flushes_exactly_max_batch(self):
+        queue = CoalescingQueue(max_batch=3, max_delay_seconds=60.0)
+        for index in range(7):
+            assert queue.put(index) is True
+        assert queue.take() == [0, 1, 2]
+        assert queue.take() == [3, 4, 5]
+        assert queue.depth() == 1
+
+    def test_age_trigger_flushes_underfull_batch(self):
+        clock = FakeClock()
+        queue = CoalescingQueue(
+            max_batch=32, max_delay_seconds=0.5, clock=clock
+        )
+        queue.put("lone")
+        clock.advance(0.6)  # oldest item is now past the age bound
+        assert queue.take() == ["lone"]
+
+    def test_zero_delay_flushes_whatever_is_present(self):
+        queue = CoalescingQueue(max_batch=32, max_delay_seconds=0.0)
+        queue.put("a")
+        queue.put("b")
+        assert queue.take() == ["a", "b"]
+
+    def test_take_blocks_until_age_due_then_releases(self):
+        # Real clock, tiny delay: a single waiting item must come back
+        # within the age bound, not hang for a full batch.
+        queue = CoalescingQueue(max_batch=32, max_delay_seconds=0.01)
+        out = []
+        consumer = threading.Thread(target=lambda: out.append(queue.take()))
+        consumer.start()
+        queue.put("x")
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert out == [["x"]]
+
+    def test_fifo_order_preserved_across_batches(self):
+        queue = CoalescingQueue(max_batch=4, max_delay_seconds=0.0)
+        for index in range(10):
+            queue.put(index)
+        seen = []
+        while queue.depth():
+            seen.extend(queue.take())
+        assert seen == list(range(10))
+
+
+class TestShedding:
+    def test_put_beyond_depth_returns_false_and_counts(self):
+        queue = CoalescingQueue(max_batch=8, max_depth=3)
+        assert [queue.put(i) for i in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert queue.shed == 2
+        assert queue.depth() == 3
+
+    def test_shedding_is_a_pure_function_of_arrival_order(self):
+        # Pause the consumer, overfill, resume: exactly the items past
+        # the bound are refused, and exactly the accepted ones drain.
+        queue = CoalescingQueue(max_batch=8, max_depth=4,
+                                max_delay_seconds=0.0)
+        queue.pause()
+        accepted = [i for i in range(10) if queue.put(i)]
+        assert accepted == [0, 1, 2, 3]
+        assert queue.shed == 6
+        queue.resume()
+        assert queue.take() == [0, 1, 2, 3]
+
+    def test_capacity_reopens_after_drain(self):
+        queue = CoalescingQueue(max_batch=2, max_depth=2,
+                                max_delay_seconds=0.0)
+        assert queue.put("a") and queue.put("b")
+        assert queue.put("c") is False
+        assert queue.take() == ["a", "b"]
+        assert queue.put("c") is True
+
+
+class TestLifecycle:
+    def test_put_after_close_raises(self):
+        queue = CoalescingQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("late")
+
+    def test_close_drains_then_returns_empty(self):
+        queue = CoalescingQueue(max_batch=2, max_delay_seconds=60.0)
+        for index in range(5):
+            queue.put(index)
+        queue.close()
+        assert queue.take() == [0, 1]
+        assert queue.take() == [2, 3]
+        assert queue.take() == [4]
+        assert queue.take() == []  # the consumer's shutdown signal
+
+    def test_close_overrides_pause(self):
+        # A paused, closed queue still drains — shutdown can never
+        # deadlock behind a forgotten pause.
+        queue = CoalescingQueue(max_batch=8, max_delay_seconds=60.0)
+        queue.pause()
+        queue.put("x")
+        queue.close()
+        assert queue.take() == ["x"]
+        assert queue.take() == []
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = CoalescingQueue(max_batch=8, max_delay_seconds=60.0)
+        out = []
+        consumer = threading.Thread(target=lambda: out.append(queue.take()))
+        consumer.start()
+        queue.close()
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert out == [[]]
+
+    def test_pause_blocks_consumer_resume_wakes_it(self):
+        queue = CoalescingQueue(max_batch=1)
+        queue.pause()
+        assert queue.paused
+        out = []
+        consumer = threading.Thread(target=lambda: out.append(queue.take()))
+        consumer.start()
+        queue.put("x")
+        consumer.join(timeout=0.2)
+        assert consumer.is_alive()  # still frozen
+        queue.resume()
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert out == [["x"]]
+
+
+class TestConcurrency:
+    def test_many_producers_one_consumer_no_loss(self):
+        queue = CoalescingQueue(max_batch=16, max_delay_seconds=0.001)
+        n_producers, per_producer = 8, 50
+        done = threading.Event()
+        seen = []
+
+        def producer(base):
+            for index in range(per_producer):
+                queue.put(base + index)
+
+        def consumer():
+            while True:
+                batch = queue.take()
+                if not batch:
+                    return
+                seen.extend(batch)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        producers = [
+            threading.Thread(target=producer, args=(base * 1000,))
+            for base in range(n_producers)
+        ]
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join()
+        queue.close()
+        thread.join(timeout=10.0)
+        done.set()
+        assert not thread.is_alive()
+        assert len(seen) == n_producers * per_producer
+        assert set(seen) == {
+            base * 1000 + index
+            for base in range(n_producers)
+            for index in range(per_producer)
+        }

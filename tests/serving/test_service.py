@@ -160,6 +160,85 @@ class TestStats:
         summary = stats.as_dict()
         assert summary["requests_by_route"] == {"fac_t1": 3, "clinic_t5": 3}
 
+    def test_span_vs_busy_accounting_single_caller(self, fitted):
+        service = QAService(max_batch=4)
+        for task_id, (tool, _) in fitted.items():
+            service.register(task_id, tool.export_artifact())
+        requests, _ = _requests_for(fitted, as_html=True)
+        service.ask_many(requests)
+        stats = service.stats
+        # One caller: a real wall-clock window was recorded, and it
+        # covers at least the busy time (span includes batching/waiting
+        # overhead the stage clocks don't see).
+        assert stats.span_started is not None
+        assert stats.span_ended is not None
+        assert stats.span_seconds() >= stats.busy_seconds() > 0
+        assert stats.throughput() == pytest.approx(
+            stats.requests / stats.span_seconds()
+        )
+        summary = stats.as_dict()
+        assert summary["span_seconds"] == pytest.approx(stats.span_seconds())
+        assert summary["busy_seconds"] == pytest.approx(stats.busy_seconds())
+        assert summary["busy_pages_per_s"] == pytest.approx(
+            stats.busy_throughput(), rel=0.01
+        )
+
+    def test_concurrent_callers_span_is_wall_clock_not_summed(self, fitted):
+        # The accounting bug this pins: N concurrent callers used to
+        # sum their per-call elapsed time, over-reporting wall-clock by
+        # ~Nx and deflating throughput.  The span is the merged window
+        # [min start, max end], so it must stay close to true elapsed
+        # time, far below the per-caller sum.
+        import threading
+        import time as time_module
+
+        n_threads, rounds = 4, 3
+        with QAService(max_batch=4) as service:
+            for task_id, (tool, _) in fitted.items():
+                service.register(task_id, tool.export_artifact())
+            requests, _ = _requests_for(fitted, as_html=True)
+            service.ask_many(requests)  # warm: measure steady overlap
+
+            def caller():
+                for _ in range(rounds):
+                    service.ask_many(requests)
+
+            wall_started = time_module.monotonic()
+            threads = [
+                threading.Thread(target=caller) for _ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time_module.monotonic() - wall_started
+            stats = service.stats
+            # The span covers the overlapping burst once, not N times.
+            assert stats.span_seconds() <= wall * 1.5 + 0.1
+            assert stats.throughput() > 0
+
+    def test_throughput_falls_back_to_busy_rate_without_span(self):
+        from repro.serving.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.record_requests(
+            10, {"r": 10}, ingest_seconds=1.0, predict_seconds=1.0
+        )
+        # Hand-populated stats (no started/ended): no span exists, the
+        # busy rate is the only defensible number.
+        assert stats.span_seconds() == 0.0
+        assert stats.throughput() == stats.busy_throughput() == 5.0
+
+    def test_inflight_tracked_even_unbounded(self, fitted):
+        tool, dataset = fitted["fac_t1"]
+        service = QAService()  # no max_inflight bound
+        service.register("fac_t1", tool)
+        assert service.health()["inflight"] == 0
+        service.ask("fac_t1", page=dataset.test_pages[0])
+        # Back to zero after the call: the counter is maintained (and
+        # released) even when admission is unbounded.
+        assert service.health()["inflight"] == 0
+
     def test_max_batch_validation(self):
         with pytest.raises(ValueError):
             QAService(max_batch=0)
