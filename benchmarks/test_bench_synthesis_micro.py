@@ -767,3 +767,92 @@ def test_bench_serve_faulty_batch(benchmark):
         else:
             assert result.ok
             assert result.answer == tool.predict(_FAULTY_PAGES[index])
+
+
+# -- corpus routing: inverted-index top-k vs exhaustive scan ------------------
+#
+# The corpus-scale question-answering path: one fitted tool, a 2048-page
+# store with its memmap inverted index, `ask_corpus` routing the question
+# to the top-k candidate pages and answering by consensus.  The routed /
+# exhaustive median ratio is the index's whole reason to exist (scoring
+# drops from one tokenize+NER pass per store page to a handful of
+# posting-list reads); the answers are bit-identical by construction and
+# asserted so below.  The routed median is guarded in CI.
+
+_ROUTING_RIG = None
+_ROUTING_PAGES_PER_DOMAIN = 512  # x4 domains = 2048 store pages
+
+
+def _routing_rig():
+    """(service, route) over a 2048-page indexed store, built once."""
+    global _ROUTING_RIG
+    if _ROUTING_RIG is None:
+        import os
+        import tempfile
+
+        from repro.core.webqa import WebQA
+        from repro.dataset.corpus import load_task_dataset
+        from repro.dataset.tasks import tasks_for_domain
+        from repro.retrieval.index import build_corpus_index
+        from repro.serving.corpus import build_dataset_store
+        from repro.serving.service import QAService
+
+        handle, path = tempfile.mkstemp(suffix=".rpw")
+        os.close(handle)
+        build_dataset_store(
+            path, pages_per_domain=_ROUTING_PAGES_PER_DOMAIN
+        )
+        build_corpus_index(path)
+        task = tasks_for_domain("faculty")[0]
+        dataset = load_task_dataset(
+            task, n_pages=4, n_train=2, seed=0, use_label_suggestions=False
+        )
+        tool = WebQA(ensemble_size=20).fit(
+            task.question,
+            task.keywords,
+            list(dataset.train),
+            list(dataset.test_pages),
+            dataset.models,
+        )
+        service = QAService(jobs=1, store=path)
+        service.register(task.task_id, tool)
+        _ROUTING_RIG = (service, task.task_id)
+    return _ROUTING_RIG
+
+
+def test_bench_route_topk(benchmark):
+    """Index-routed `ask_corpus`: score, cut top-16, fan out, consensus."""
+    service, route = _routing_rig()
+
+    def run():
+        return service.ask_corpus(route, top_k=16)
+
+    answer = benchmark.pedantic(
+        run, rounds=9, iterations=1, warmup_rounds=1
+    )
+    assert answer.ok and answer.routed
+    assert len(answer.candidates) == 16
+    # The equivalence contract, enforced in the bench itself: the routed
+    # answer (payload and provenance) is bit-identical to the exhaustive
+    # reference scan's.
+    exhaustive = service.ask_corpus(route, top_k=16, exhaustive=True)
+    assert answer.answer == exhaustive.answer
+    assert answer.fingerprint == exhaustive.fingerprint
+    assert answer.url == exhaustive.url
+    assert answer.score == exhaustive.score
+    assert answer.support == exhaustive.support
+    assert answer.candidates == exhaustive.candidates
+
+
+def test_bench_route_exhaustive(benchmark):
+    """The no-index baseline: same query, every store page scanned."""
+    service, route = _routing_rig()
+
+    def run():
+        return service.ask_corpus(route, top_k=16, exhaustive=True)
+
+    answer = benchmark.pedantic(
+        run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert answer.ok and not answer.routed
+    assert len(answer.candidates) == 16

@@ -45,6 +45,7 @@ GUARDED = (
     "test_bench_parse_html_vectorized",
     "test_bench_serve_cold_store",
     "test_bench_live_update",
+    "test_bench_route_topk",
 )
 
 #: A guarded median may grow at most this factor over the baseline,
@@ -118,6 +119,10 @@ SPEEDUP_PAIRS = (
     # Columnar corpus store: cold serving rehydrating memmapped index
     # planes vs cold serving parsing raw HTML (>=3x).
     ("test_bench_serve_cold_store", "test_bench_serve_cold"),
+    # Corpus routing: inverted-index top-k question routing vs the
+    # exhaustive per-page scan over the same >=2k-page store, at
+    # bit-identical answers and provenance (>=10x; sublinear vs O(n)).
+    ("test_bench_route_topk", "test_bench_route_exhaustive"),
 )
 
 #: Path fragments that locate the micro-benchmark suite from a repo root.

@@ -304,6 +304,23 @@ def cmd_corpus_stat(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus_index(args: argparse.Namespace) -> int:
+    """Build (or rebuild) the inverted routing index for a store.
+
+    One pass over the store's prebuilt text planes — no HTML parsing —
+    fitting the IDF model and packing token/entity postings into the
+    memmap ``<store>.idx`` sibling.  Re-running after live updates
+    rebuilds from scratch, which is also the repair path when routing
+    fails closed on a store/index generation mismatch.
+    """
+    from .retrieval.index import build_corpus_index
+
+    report = build_corpus_index(args.store)
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    return 0
+
+
 def cmd_serve_chaos(args: argparse.Namespace) -> int:
     """Run the serve-chaos scenario table on the synthetic corpus.
 
@@ -375,13 +392,23 @@ def cmd_serve_stat(args: argparse.Namespace) -> int:
         f"hot swaps: {stats['hot_swaps']}  rollbacks: {stats['rollbacks']}  "
         f"queue depth bound: {health['queue_depth_bound']}"
     )
-    print(f"{'shard':>5} {'queue':>5} {'inflight':>8} {'pool':>6} {'dispatcher':>10}")
+    store_gen = health["store_generation"]
+    index_gen = health["index_generation"]
+    print(
+        f"store generation: {'-' if store_gen is None else store_gen}  "
+        f"index generation: {'-' if index_gen is None else index_gen}"
+    )
+    print(
+        f"{'shard':>5} {'queue':>5} {'inflight':>8} {'inval':>5} "
+        f"{'pool':>6} {'dispatcher':>10}"
+    )
     for index in range(health["shards"]):
         pool = "broken" if health["pools_broken"][index] else "ok"
         alive = "alive" if health["dispatchers_alive"][index] else "dead"
         print(
             f"{index:>5} {health['queue_depths'][index]:>5} "
-            f"{health['inflight'][index]:>8} {pool:>6} {alive:>10}"
+            f"{health['inflight'][index]:>8} "
+            f"{health['invalidations'][index]:>5} {pool:>6} {alive:>10}"
         )
     for route in sorted(health["versions"]):
         versions = " ".join(
@@ -413,9 +440,12 @@ def _bench_serve_load(args: argparse.Namespace) -> int:
         window=args.window,
         requests=args.requests,
         open_requests=args.open_requests,
+        open_queue_depth=args.open_queue_depth,
         pages_per_route=args.pages_per_route,
         ensemble=args.ensemble,
         seed=args.seed,
+        routed=args.routed,
+        routed_top_k=args.routed_top_k,
     )
     baseline = (
         json_module.loads(args.compare.read_text())
@@ -648,6 +678,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corpus_stat_parser.add_argument("store", help="store file to inspect")
     corpus_stat_parser.set_defaults(func=cmd_corpus_stat)
+    corpus_index_parser = corpus_sub.add_parser(
+        "index",
+        help="build the inverted keyword/entity routing index for a store",
+    )
+    corpus_index_parser.add_argument(
+        "store", help="store file to index (writes <store>.idx beside it)"
+    )
+    corpus_index_parser.set_defaults(func=cmd_corpus_index)
 
     from pathlib import Path
 
@@ -728,6 +766,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_load.add_argument(
         "--seed", type=int, default=_LoadDefaults.seed,
         help="workload seed (corpus, stream order, pacing)",
+    )
+    serve_load.add_argument(
+        "--open-queue-depth", type=int, default=None,
+        help="per-shard queue bound for the open-loop phase (default "
+        "scales with open request count so shedding is exercised)",
+    )
+    serve_load.add_argument(
+        "--routed", action="store_true",
+        help="also run the routed-answering phase: corpus-index top-k "
+        "routing vs the exhaustive scan, gated on equal answers and "
+        "the corpus-scale speedup floor",
+    )
+    serve_load.add_argument(
+        "--routed-top-k", type=int, default=_LoadDefaults.routed_top_k,
+        help="candidate pages per routed question",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from .tokenize import words
 
@@ -81,3 +81,16 @@ class IdfModel:
 
     def weight_tokens(self, tokens: list[str]) -> list[float]:
         return [self.idf(t) for t in tokens]
+
+    def idf_array(self, tokens: "Sequence[str]") -> "np.ndarray":
+        """IDF weights for ``tokens`` as a float64 array.
+
+        The batch entry point of the inverted-index build pass
+        (:mod:`repro.retrieval.index`): one call weights a whole page's
+        unique-token vector, element-for-element identical to
+        :meth:`idf` so array-built postings and scalar-scored postings
+        can be compared bit-for-bit.
+        """
+        import numpy as np
+
+        return np.array([self.idf(token) for token in tokens], dtype=np.float64)

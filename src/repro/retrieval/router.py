@@ -1,0 +1,215 @@
+"""Question → candidate-page routing over a corpus store.
+
+Pure routing logic, service-agnostic: turn a question (plus the task's
+attribute keywords) into a sparse term query, score it against a corpus
+— either through the memmap inverted index (:mod:`.index`, sublinear in
+corpus size) or by an exhaustive on-the-fly scan over every store page —
+and pick the consensus answer across the candidate pages' predictions.
+
+The two scoring paths are **bit-identical by construction**: both weight
+pages with the shared :func:`~repro.retrieval.index.page_postings`
+function, accumulate float32 posting weights into float64 scores in
+sorted-term order, rank by the total order ``(-score, fingerprint)`` and
+cut the same top-k.  The exhaustive scan is therefore not a different
+algorithm but the *specification* of the index — which is what lets the
+differential tests demand exact answer/provenance equality and lets the
+benchmarks claim "≥10x faster at equal answers" rather than "usually
+close".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..nlp.ner import extract_entities
+from ..nlp.tokenize import words
+from ..nlp.vocab import IdfModel
+from ..selection.transductive import consensus_select
+from .index import entity_key, page_postings, page_text
+
+#: Default candidate-set size for routed answering.  Large enough that
+#: the gold page's score has to beat only obvious non-matches, small
+#: enough that the fan-out predict stays trivially cheap next to an
+#: O(corpus) scan.
+DEFAULT_TOP_K = 16
+
+
+def query_terms(
+    question: str, keywords: "Sequence[str]" = ()
+) -> dict[str, float]:
+    """The sparse term query for a question: tokens + typed entity keys.
+
+    Terms carry unit query weight — all discrimination lives in the
+    IDF-scaled posting weights — and the same extraction runs over the
+    question and every attribute keyword, so a route's compiled task
+    vocabulary contributes to routing exactly as it does to extraction.
+    """
+    terms: dict[str, float] = {}
+    for text in (question, *keywords):
+        for token in words(text):
+            terms[token] = 1.0
+        for span in extract_entities(text):
+            key = entity_key(span.label, span.text)
+            if key:
+                terms[key] = 1.0
+    return terms
+
+
+def scan_scores(
+    store: "object", idf: IdfModel, query: Mapping[str, float]
+) -> "list[tuple[str, float]]":
+    """Exhaustive reference scorer: every store page, no index.
+
+    Mirrors :meth:`CorpusIndexReader.score` operation-for-operation —
+    float64 accumulation of float32 :func:`page_postings` weights in
+    sorted-term order — so its scores are bit-identical to the index's.
+    Cost is one tokenize+NER pass per page per query; this is exactly
+    the work the index precomputes.
+    """
+    terms = sorted(query)
+    results: list[tuple[str, float]] = []
+    for fingerprint in sorted(store.fingerprints()):  # type: ignore[attr-defined]
+        page, _ = store.load(fingerprint)  # type: ignore[attr-defined]
+        postings = page_postings(page_text(page), idf)
+        score = 0.0
+        for term in terms:
+            weight = postings.get(term)
+            if weight is not None:
+                score += float(query[term]) * float(weight)
+        if score > 0.0:
+            results.append((fingerprint, score))
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results
+
+
+def cut_top_k(
+    scored: "list[tuple[str, float]]", top_k: Optional[int]
+) -> "list[tuple[str, float]]":
+    """The shared candidate rule: positive scores, ranked, first k."""
+    if top_k is None:
+        return list(scored)
+    return list(scored[: max(0, int(top_k))])
+
+
+@dataclass(frozen=True)
+class CorpusAnswer:
+    """A cross-page answer with full provenance.
+
+    ``fingerprint``/``url`` identify the consensus page; ``candidates``
+    records every ``(fingerprint, score)`` pair the router considered
+    (ranked), and ``support`` counts how many candidate pages produced
+    the winning answer verbatim.  ``routed`` distinguishes index-backed
+    routing from the exhaustive reference scan — the answer payload is
+    identical either way, by the equivalence contract.
+    """
+
+    route: str
+    question: str
+    answer: "tuple[str, ...]"
+    fingerprint: "Optional[str]"
+    url: "Optional[str]"
+    score: "Optional[float]"
+    consensus_loss: float
+    support: int
+    top_k: "Optional[int]"
+    routed: bool
+    candidates: "tuple[tuple[str, float], ...]" = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return self.fingerprint is not None
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form (gateway responses, CLI output)."""
+        return {
+            "route": self.route,
+            "question": self.question,
+            "answer": list(self.answer),
+            "fingerprint": self.fingerprint,
+            "url": self.url,
+            "score": self.score,
+            "consensus_loss": self.consensus_loss,
+            "support": self.support,
+            "top_k": self.top_k,
+            "routed": self.routed,
+            "candidates": [
+                {"fingerprint": fingerprint, "score": score}
+                for fingerprint, score in self.candidates
+            ],
+        }
+
+
+def build_answer(
+    route: str,
+    question: str,
+    candidates: "Sequence[tuple[str, float]]",
+    answers: "Sequence[Optional[tuple[str, ...]]]",
+    *,
+    top_k: "Optional[int]",
+    routed: bool,
+    url_of,
+) -> CorpusAnswer:
+    """Assemble the :class:`CorpusAnswer` from a fan-out's raw outcomes.
+
+    The shared tail of ``QAService.ask_corpus`` and the gateway
+    equivalent: run :func:`select_answer` over the aligned
+    ``(candidates, answers)`` and attach provenance (``url_of`` maps a
+    fingerprint to its store url, or ``None``).
+    """
+    winner, loss, support = select_answer(candidates, answers)
+    if winner is None:
+        return CorpusAnswer(
+            route=route,
+            question=question,
+            answer=(),
+            fingerprint=None,
+            url=None,
+            score=None,
+            consensus_loss=0.0,
+            support=0,
+            top_k=top_k,
+            routed=routed,
+            candidates=tuple(candidates),
+        )
+    fingerprint, score = candidates[winner]
+    return CorpusAnswer(
+        route=route,
+        question=question,
+        answer=answers[winner] or (),
+        fingerprint=fingerprint,
+        url=url_of(fingerprint),
+        score=score,
+        consensus_loss=loss,
+        support=support,
+        top_k=top_k,
+        routed=routed,
+        candidates=tuple(candidates),
+    )
+
+
+def select_answer(
+    candidates: "Sequence[tuple[str, float]]",
+    answers: "Sequence[Optional[tuple[str, ...]]]",
+) -> "tuple[Optional[int], float, int]":
+    """Consensus over the candidates' predicted answers.
+
+    ``answers`` aligns with ``candidates``; ``None`` (failed predict)
+    and empty tuples (page matched the query but the plan extracted
+    nothing) are excluded from the vote.  Returns the winning
+    candidate's index plus the consensus ``(mean_loss, support)``
+    evidence, or ``(None, 0.0, 0)`` when no candidate produced an
+    answer.  Because candidates arrive in the canonical
+    ``(-score, fingerprint)`` order and :func:`consensus_select` is
+    permutation-independent, the same candidate set always elects the
+    same page.
+    """
+    pool = [
+        (position, answer)
+        for position, answer in enumerate(answers)
+        if answer
+    ]
+    if not pool:
+        return None, 0.0, 0
+    winner, loss, support = consensus_select([answer for _, answer in pool])
+    return pool[winner][0], loss, support

@@ -68,6 +68,40 @@ def run_on_pages(
     return tuple(contexts.ctx(page).eval_program(program) for page in pages)
 
 
+def consensus_select(
+    outputs: "list[tuple[str, ...]]",
+) -> "tuple[int, float, int]":
+    """Pick the consensus member of a set of single-page answers.
+
+    The cross-page analogue of :func:`select_program`'s Eq. 11 argmin:
+    ``outputs[i]`` is one candidate page's answer tuple, and the winner
+    is the answer minimizing the mean Hamming word loss against all the
+    others — the answer the candidate set "votes" for.  Returns
+    ``(index, mean_loss, support)`` where ``support`` counts exact
+    duplicates of the winning answer.  Ties break toward larger
+    support, then lexicographically smaller answer, then smaller index —
+    a total order independent of input permutation, which the corpus
+    router (:mod:`repro.retrieval.router`) relies on for routed ≡
+    exhaustive bit-identity.
+    """
+    if not outputs:
+        raise ValueError("consensus_select needs at least one output")
+    multiplicity: dict[tuple[str, ...], int] = {}
+    for answer in outputs:
+        multiplicity[answer] = multiplicity.get(answer, 0) + 1
+    losses: dict[tuple[str, ...], float] = {}
+    for answer in multiplicity:
+        total = 0.0
+        for other, count in multiplicity.items():
+            total += count * output_loss((answer,), (other,))
+        losses[answer] = total / len(outputs)
+    best = min(
+        multiplicity,
+        key=lambda answer: (losses[answer], -multiplicity[answer], answer),
+    )
+    return outputs.index(best), losses[best], multiplicity[best]
+
+
 def select_program(
     result: SynthesisResult,
     unlabeled_pages: list[WebPage],

@@ -126,7 +126,15 @@ def update_corpus_store(
     afterwards and stale files collected.  Returns a report merging the
     post-update :meth:`~repro.webtree.store.CorpusStoreReader.stat` with
     update counts — the ``repro corpus update`` CLI body.
+
+    When an inverted index exists at the canonical sidecar path
+    (``repro corpus index`` has been run), it is advanced in lock-step:
+    incrementally for a plain update, by full rebuild after compaction
+    (IDF statistics are refit over the squashed corpus).  Either way the
+    published index generation records the new store generation, so
+    routed answering stays exact across updates.
     """
+    from ..retrieval.index import build_corpus_index, index_path, update_corpus_index
     from ..webtree.store import CorpusStoreUpdater, compact_store
     from .ingest import page_fingerprint
 
@@ -139,6 +147,8 @@ def update_corpus_store(
     stats = IngestStats()
     started = time.perf_counter()
     updated = removed = missing = 0
+    changed_fps: list[str] = []
+    removed_fps: list[str] = []
     with CorpusStoreUpdater(path) as updater:
         for html, url in documents:
             fingerprint = page_fingerprint(html, url)
@@ -148,8 +158,10 @@ def update_corpus_store(
             outcome = ingest_page(html, url, stats=stats, limits=limits)
             if stale is not None:
                 updater.remove(stale)
+                removed_fps.append(stale)
             if updater.update(fingerprint, outcome.page, degraded=outcome.degraded):
                 updated += 1
+                changed_fps.append(fingerprint)
             by_url[url] = fingerprint
         for url in remove_urls:
             stale = by_url.get(url)
@@ -157,6 +169,7 @@ def update_corpus_store(
                 missing += 1
             elif updater.remove(stale):
                 removed += 1
+                removed_fps.append(stale)
     reader.reload()
     report = reader.stat()
     if compact:
@@ -164,6 +177,14 @@ def update_corpus_store(
         reader.reload()
         report = reader.stat()
         report["collected"] = len(compacted["collected"])
+    index_report = None
+    if os.path.exists(index_path(path)):
+        if compact:
+            index_report = build_corpus_index(path)
+        elif changed_fps or removed_fps:
+            index_report = update_corpus_index(
+                path, changed=changed_fps, removed=removed_fps
+            )
     report.update(
         {
             "updated": updated,
@@ -171,6 +192,7 @@ def update_corpus_store(
             "missing_urls": missing,
             "degraded_updates": stats.pages_degraded,
             "update_seconds": round(time.perf_counter() - started, 4),
+            "index": index_report,
         }
     )
     return report

@@ -41,6 +41,7 @@ and warm refit are *transparent* optimizations.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -379,7 +380,13 @@ class LiveCorpus:
                     self._pending.remove(thread)
 
     def compact(self) -> dict:
-        """Squash generations into a fresh base; reload the reader."""
+        """Squash generations into a fresh base; reload the reader.
+
+        An inverted index riding the store is fully rebuilt (IDF refit
+        over the squashed corpus) so its generation matches the
+        compacted store's.
+        """
+        from ..retrieval.index import build_corpus_index, index_path
         from ..webtree.store import compact_store
 
         with self._lock:
@@ -389,6 +396,8 @@ class LiveCorpus:
             store = getattr(self.service, "store", None)
             if store is not None:
                 store.reload()
+            if os.path.exists(index_path(self.store_path)):
+                report["index"] = build_corpus_index(self.store_path)
             return report
 
     # -- internals -----------------------------------------------------------
@@ -439,7 +448,31 @@ class LiveCorpus:
         store = getattr(self.service, "store", None)
         if store is not None:
             store.reload()
+        self._sync_index(
+            changed=(fingerprint,) if page is not None else (),
+            removed=removals,
+        )
         return generation
+
+    def _sync_index(
+        self, changed: "tuple[str, ...]", removed: "tuple[str, ...]"
+    ) -> None:
+        """Advance the inverted index to the just-published generation.
+
+        Runs strictly *after* the store publish (store-first ordering):
+        a crash in this window leaves the index one store generation
+        behind, which routed answering detects
+        (:meth:`~repro.retrieval.index.CorpusIndexReader.ensure_fresh`
+        fails closed with a rebuild hint) — stale postings never route.
+        No-op while no index has been built.
+        """
+        from ..retrieval.index import update_corpus_index
+
+        if self.store_path is None:
+            return
+        update_corpus_index(
+            self.store_path, changed=changed, removed=removed
+        )
 
     def _replace_page(
         self,

@@ -260,6 +260,209 @@ def run_corpus_serve(out_dir: Path, jobs: int, max_batch: int) -> int:
     return 0
 
 
+#: Routed-answer expectations written by ``routing-export`` next to the
+#: manifest, keyed by task id.
+ROUTING_FILE = "routing.json"
+
+#: CorpusAnswer fields compared across processes and against the
+#: exhaustive scan ("routed" itself necessarily differs between paths).
+ROUTING_KEYS = (
+    "answer", "fingerprint", "url", "score", "consensus_loss",
+    "support", "candidates",
+)
+
+
+def run_routing_export(
+    out_dir: Path, n_pages: int, n_train: int, top_k: int
+) -> int:
+    """``corpus-export`` plus the inverted routing index + expectations.
+
+    Builds the store and its ``.idx`` sibling, then records each task's
+    routed :class:`~repro.retrieval.router.CorpusAnswer` so the fresh-
+    process ``routing-serve`` phase can demand bit-identical answers and
+    provenance.
+    """
+    status = run_corpus_export(out_dir, n_pages, n_train)
+    if status:
+        return status
+    from ..retrieval.index import build_corpus_index
+
+    store_path = out_dir / CORPUS_FILE
+    report = build_corpus_index(str(store_path))
+    print(json.dumps({"corpus_index": report}, indent=2))
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    routing: dict = {"top_k": top_k, "tasks": {}}
+    with QAService(jobs=1, store=str(store_path)) as service:
+        for entry in manifest["tasks"]:
+            service.register(entry["task_id"], str(out_dir / entry["artifact"]))
+            answer = service.ask_corpus(entry["task_id"], top_k=top_k)
+            routing["tasks"][entry["task_id"]] = answer.as_dict()
+            print(
+                f"routed {entry['task_id']}: {answer.url} "
+                f"support={answer.support}/{len(answer.candidates)}"
+            )
+    write_artifact(str(out_dir / ROUTING_FILE), routing)
+    return 0
+
+
+def run_routing_serve(out_dir: Path, jobs: int, max_batch: int) -> int:
+    """Route and answer from the index in a fresh process.
+
+    Three bars on top of the recorded expectations: zero ``parse_html``
+    calls (candidates rehydrate from store planes), zero synthesis
+    calls (artifacts only), and routed ≡ exhaustive — the top-k answer,
+    provenance and candidate ranking must be bit-identical to a full
+    scan of every store page, re-proving the equivalence contract in
+    the serving process itself.
+    """
+    parses_before = parse_call_count()
+    calls_before = synthesis_call_count()
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    routing = read_artifact(str(out_dir / ROUTING_FILE))
+    top_k = int(routing["top_k"])
+    failures = 0
+    with QAService(
+        jobs=jobs, max_batch=max_batch, store=str(out_dir / CORPUS_FILE)
+    ) as service:
+        for entry in manifest["tasks"]:
+            task_id = entry["task_id"]
+            service.register(task_id, str(out_dir / entry["artifact"]))
+            routed = service.ask_corpus(task_id, top_k=top_k)
+            exhaustive = service.ask_corpus(
+                task_id, top_k=top_k, exhaustive=True
+            )
+            got, reference = routed.as_dict(), exhaustive.as_dict()
+            expected = routing["tasks"][task_id]
+            for key in ROUTING_KEYS:
+                if got[key] != reference[key]:
+                    failures += 1
+                    print(
+                        f"ROUTED != EXHAUSTIVE for {task_id}.{key}: "
+                        f"{got[key]!r} vs {reference[key]!r}",
+                        file=sys.stderr,
+                    )
+                if got[key] != expected[key]:
+                    failures += 1
+                    print(
+                        f"MISMATCH vs export for {task_id}.{key}: "
+                        f"got {got[key]!r}, expected {expected[key]!r}",
+                        file=sys.stderr,
+                    )
+            if not routed.ok:
+                failures += 1
+                print(f"NO ANSWER routed for {task_id}", file=sys.stderr)
+    parse_calls = parse_call_count() - parses_before
+    if parse_calls != 0:
+        failures += 1
+        print(
+            f"PARSE IN ROUTED SERVING: {parse_calls} parse_html calls "
+            f"(must be 0: candidates come from store planes)",
+            file=sys.stderr,
+        )
+    synthesis_calls = synthesis_call_count() - calls_before
+    if synthesis_calls != 0:
+        failures += 1
+        print(
+            f"SYNTHESIS IN ROUTED SERVING: {synthesis_calls} synthesize() "
+            f"calls (must be 0)",
+            file=sys.stderr,
+        )
+    if failures:
+        print(f"routing smoke FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"routing smoke OK: {len(manifest['tasks'])} routes answered from "
+        f"the index at top_k={top_k}, routed == exhaustive == export, "
+        f"0 parse calls, 0 synthesis calls"
+    )
+    return 0
+
+
+def run_routing_update(out_dir: Path) -> int:
+    """Verify the index tracks a live store update (`repro corpus update`).
+
+    Run after mutating the store: the index's recorded store generation
+    must match the store's, at least one index generation must have been
+    published, and — the strong form of "postings reflect the new
+    generation" — every live page's postings must equal a fresh
+    :func:`~repro.retrieval.index.page_postings` pass over its current
+    store text.  Finishes with a routed-vs-exhaustive pass over the
+    updated corpus.
+    """
+    from ..retrieval.index import index_path, open_corpus_index, page_postings, page_text
+    from ..webtree.store import open_store
+
+    store_path = out_dir / CORPUS_FILE
+    store = open_store(str(store_path))
+    reader = open_corpus_index(index_path(str(store_path)))
+    failures = 0
+    if reader.store_generation != store.generation:
+        failures += 1
+        print(
+            f"STALE INDEX: store generation {store.generation} vs index's "
+            f"recorded {reader.store_generation}",
+            file=sys.stderr,
+        )
+    if reader.generation < 1:
+        failures += 1
+        print(
+            f"NO NEW GENERATION: index generation {reader.generation} "
+            f"(an update must have published >= 1)",
+            file=sys.stderr,
+        )
+    store_fps = sorted(store.fingerprints())
+    if sorted(reader.fingerprints()) != store_fps:
+        failures += 1
+        print("PAGE SET DIVERGED between store and index", file=sys.stderr)
+    idf = reader.idf()
+    stale_pages = 0
+    for fingerprint in store_fps:
+        page, _ = store.load(fingerprint)
+        if reader.postings_for(fingerprint) != page_postings(page_text(page), idf):
+            stale_pages += 1
+    if stale_pages:
+        failures += 1
+        print(
+            f"STALE POSTINGS: {stale_pages}/{len(store_fps)} pages' index "
+            f"postings differ from their current store text",
+            file=sys.stderr,
+        )
+    manifest = read_artifact(str(out_dir / MANIFEST))
+    routing = read_artifact(str(out_dir / ROUTING_FILE))
+    top_k = int(routing["top_k"])
+    with QAService(jobs=1, store=str(store_path)) as service:
+        for entry in manifest["tasks"]:
+            task_id = entry["task_id"]
+            service.register(task_id, str(out_dir / entry["artifact"]))
+            routed = service.ask_corpus(task_id, top_k=top_k)
+            exhaustive = service.ask_corpus(
+                task_id, top_k=top_k, exhaustive=True
+            )
+            got, reference = routed.as_dict(), exhaustive.as_dict()
+            diverged = [
+                key for key in ROUTING_KEYS if got[key] != reference[key]
+            ]
+            if diverged:
+                failures += 1
+                print(
+                    f"ROUTED != EXHAUSTIVE after update for {task_id}: "
+                    f"{', '.join(diverged)}",
+                    file=sys.stderr,
+                )
+    if failures:
+        print(
+            f"routing update smoke FAILED: {failures} problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"routing update smoke OK: index generation {reader.generation} "
+        f"covers store generation {store.generation}; "
+        f"{len(store_fps)} pages' postings current; routed == exhaustive"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="phase", required=True)
@@ -283,6 +486,28 @@ def main(argv: list[str] | None = None) -> int:
     corpus_serve.add_argument("--dir", type=Path, required=True)
     corpus_serve.add_argument("--jobs", type=int, default=2)
     corpus_serve.add_argument("--max-batch", type=int, default=8)
+    routing_export = sub.add_parser(
+        "routing-export",
+        help="corpus-export plus the routing index and expected answers",
+    )
+    routing_export.add_argument("--dir", type=Path, required=True)
+    routing_export.add_argument("--pages", type=int, default=8)
+    routing_export.add_argument("--train", type=int, default=3)
+    routing_export.add_argument("--top-k", type=int, default=8)
+    routing_serve = sub.add_parser(
+        "routing-serve",
+        help="route+answer from the index in a fresh process: 0 parse, "
+        "0 synthesis, routed == exhaustive == export",
+    )
+    routing_serve.add_argument("--dir", type=Path, required=True)
+    routing_serve.add_argument("--jobs", type=int, default=2)
+    routing_serve.add_argument("--max-batch", type=int, default=8)
+    routing_update = sub.add_parser(
+        "routing-update",
+        help="after `repro corpus update`: assert the index covers the "
+        "new store generation with current postings",
+    )
+    routing_update.add_argument("--dir", type=Path, required=True)
     args = parser.parse_args(argv)
     if args.phase == "export":
         return run_export(args.dir, args.pages, args.train)
@@ -290,6 +515,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_corpus_export(args.dir, args.pages, args.train)
     if args.phase == "corpus-serve":
         return run_corpus_serve(args.dir, args.jobs, args.max_batch)
+    if args.phase == "routing-export":
+        return run_routing_export(args.dir, args.pages, args.train, args.top_k)
+    if args.phase == "routing-serve":
+        return run_routing_serve(args.dir, args.jobs, args.max_batch)
+    if args.phase == "routing-update":
+        return run_routing_update(args.dir)
     return run_serve(args.dir, args.jobs, args.max_batch)
 
 

@@ -912,3 +912,15 @@ def compact_store(path: str) -> dict:
 def open_store(path: str) -> CorpusStoreReader:
     """Open an existing corpus store (validating its structure)."""
     return CorpusStoreReader(path)
+
+
+# Public aliases of the publish/generation primitives, shared with the
+# inverted-index sidecar (``repro.retrieval.index``) which replicates
+# this module's crash-safety discipline — atomic tmp→fsync→replace
+# publishes and an append-only ``.gen`` segment manifest — over its own
+# postings file format.  One implementation, one set of invariants.
+publish_bytes = _publish_bytes
+fsync_dir = _fsync_dir
+generation_path = _generation_path
+segment_path = _segment_path
+read_generation_manifest = _read_generation_manifest
